@@ -1,0 +1,52 @@
+// Fig. 5 (RQ5): robustness to noisy training interactions. A proportion
+// {0, 10%, ..., 50%} of random items is injected into every training
+// sequence; SASRec, DuoRec and Meta-SGCL are retrained and tested on the
+// clean held-out targets.
+// Paper shape: all models degrade with noise; self-supervised models
+// (DuoRec, Meta-SGCL) degrade more slowly; Meta-SGCL is the most robust —
+// at 10% noise it still beats the others trained on clean data.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace msgcl;
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick");
+  const double scale = flags.GetDouble("scale", quick ? 0.08 : 0.2);
+  const int64_t epochs = flags.GetInt("epochs", quick ? 2 : 20);
+  const uint64_t seed = flags.GetInt("seed", 42);
+
+  auto datasets = bench::MakeDatasets(scale, seed);
+  datasets.resize(2);  // Toys and Clothing, as in the paper's Fig. 5
+
+  const std::vector<double> ratios =
+      quick ? std::vector<double>{0.0, 0.3}
+            : std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::vector<std::string> model_names = {"SASRec", "DuoRec", "Meta-SGCL"};
+
+  std::printf("== Fig. 5: robustness to noisy training data (scale=%.2f, epochs=%lld) ==\n",
+              scale, static_cast<long long>(epochs));
+  for (auto& ds : datasets) {
+    std::printf("\n-- %s (HR@10 by noise ratio) --\n", ds.name.c_str());
+    std::printf("%-12s", "model");
+    for (double r : ratios) std::printf(" %7.0f%%", 100.0 * r);
+    std::printf("\n");
+    for (const auto& name : model_names) {
+      std::printf("%-12s", name.c_str());
+      for (double ratio : ratios) {
+        Rng noise_rng(seed + static_cast<uint64_t>(1000 * ratio));
+        bench::DatasetSpec noisy = ds;
+        noisy.split = data::InjectTrainingNoise(ds.split, ratio, noise_rng);
+        bench::HyperParams hp;
+        auto model = bench::MakeModel(name, noisy, hp, epochs, seed);
+        auto r = bench::TrainAndEvaluate(*model, noisy);
+        std::printf(" %8.4f", r.metrics.hr10);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\npaper shape: all degrade with noise; Meta-SGCL degrades the least\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// §IV.F complexity analysis: google-benchmark micro-benchmarks backing the
+// paper's claims that self-attention costs O(n^2 d), the feed-forward layer
+// O(n d^2), and that the model's parameter count is O(N d + n d + d^2).
+#include <benchmark/benchmark.h>
+
+#include "models/backbone.h"
+#include "nn/nn.h"
+
+namespace {
+
+using namespace msgcl;
+
+// Attention forward over sequence length n (fixed d): expect ~n^2 growth.
+void BM_AttentionSeqLen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  Rng rng(1);
+  nn::MultiHeadSelfAttention attn(d, 2, 0.0f, rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::Randn({1, n, d}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Rng fwd(2);
+    benchmark::DoNotOptimize(attn.Forward(x, true, nullptr, fwd));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AttentionSeqLen)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// Attention forward over model dim d (fixed n): expect ~linear-in-d for the
+// score term plus d^2 for the projections.
+void BM_AttentionDim(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(3);
+  nn::MultiHeadSelfAttention attn(d, 2, 0.0f, rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::Randn({1, 64, d}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Rng fwd(4);
+    benchmark::DoNotOptimize(attn.Forward(x, true, nullptr, fwd));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_AttentionDim)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+// Feed-forward layer over d (fixed n): expect ~d^2.
+void BM_FfnDim(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(5);
+  nn::PositionwiseFfn ffn(d, 0.0f, rng);
+  ffn.SetTraining(false);
+  Tensor x = Tensor::Randn({1, 64, d}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Rng fwd(6);
+    benchmark::DoNotOptimize(ffn.Forward(x, fwd));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_FfnDim)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// GRU forward over sequence length: sequential O(n d^2) with no
+// parallelism across time steps — the contrast the paper draws with
+// attention's parallelizable computation.
+void BM_GruSeqLen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  Rng rng(7);
+  nn::Gru gru(d, d, rng);
+  Tensor x = Tensor::Randn({1, n, d}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.Forward(x));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GruSeqLen)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// Dense matmul kernel throughput (the backbone of everything above).
+void BM_MatMul(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  Rng rng(8);
+  Tensor a = Tensor::Randn({m, m}, rng);
+  Tensor b = Tensor::Randn({m, m}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * m);
+}
+BENCHMARK(BM_MatMul)->RangeMultiplier(2)->Range(32, 256);
+
+// Space complexity O(N d + n d + d^2): parameter count of the backbone as
+// the item count N grows (reported as a counter, not timed work).
+void BM_BackboneParams(benchmark::State& state) {
+  const int64_t num_items = state.range(0);
+  models::BackboneConfig cfg;
+  cfg.num_items = num_items;
+  cfg.max_len = 50;
+  cfg.dim = 32;
+  Rng rng(9);
+  for (auto _ : state) {
+    models::SasBackbone backbone(cfg, rng);
+    benchmark::DoNotOptimize(backbone.NumParameters());
+    state.counters["params"] = static_cast<double>(backbone.NumParameters());
+  }
+}
+BENCHMARK(BM_BackboneParams)->RangeMultiplier(4)->Range(256, 16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

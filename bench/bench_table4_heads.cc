@@ -1,0 +1,37 @@
+// Table IV (RQ4.4): influence of the number of self-attention heads
+// h in {1, 2, 4, 8} on Clothing and Toys.
+// Paper shape: h = 2 best overall (h = 1 competitive on Clothing NDCG);
+// more heads do not help — the task "may not require too complex structures".
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace msgcl;
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick");
+  const double scale = flags.GetDouble("scale", quick ? 0.08 : 0.2);
+  const int64_t epochs = flags.GetInt("epochs", quick ? 2 : 20);
+  const uint64_t seed = flags.GetInt("seed", 42);
+
+  auto datasets = bench::MakeDatasets(scale, seed);
+  datasets.resize(2);  // Clothing, Toys
+
+  std::printf("== Table IV: number of attention heads (scale=%.2f, epochs=%lld) ==\n",
+              scale, static_cast<long long>(epochs));
+  for (auto& ds : datasets) {
+    std::printf("\n-- %s --\n", ds.name.c_str());
+    std::printf("%-6s %8s %8s %8s %8s\n", "h", "HR@5", "HR@10", "NDCG@5", "NDCG@10");
+    for (int64_t h : quick ? std::vector<int64_t>{1, 2} : std::vector<int64_t>{1, 2, 4, 8}) {
+      bench::HyperParams hp;
+      hp.heads = h;
+      auto model = bench::MakeModel("Meta-SGCL", ds, hp, epochs, seed);
+      auto r = bench::TrainAndEvaluate(*model, ds);
+      std::printf("%-6lld %8.4f %8.4f %8.4f %8.4f\n", static_cast<long long>(h),
+                  r.metrics.hr5, r.metrics.hr10, r.metrics.ndcg5, r.metrics.ndcg10);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper shape: h=2 best; h=8 worst\n");
+  return 0;
+}

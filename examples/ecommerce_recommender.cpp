@@ -1,0 +1,112 @@
+// E-commerce scenario (the paper's Amazon Clothing/Toys setting): many users
+// with *short, sparse* histories — the regime the paper's introduction
+// motivates and where self-supervised signals matter most. Trains the
+// popularity baseline, SASRec, and Meta-SGCL, then breaks results down by
+// history length to show where the contrastive-generative signal pays off.
+//
+// Run: ./build/examples/ecommerce_recommender [--quick]
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+
+namespace {
+
+using namespace msgcl;
+
+/// HR@10 restricted to users whose training history length is in [lo, hi).
+double Hr10ForCohort(eval::Ranker& model, const data::SequenceDataset& ds, int64_t max_len,
+                     size_t lo, size_t hi) {
+  std::vector<std::vector<int32_t>> inputs;
+  std::vector<int32_t> targets;
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    const size_t len = ds.train_seqs[u].size();
+    if (len < lo || len >= hi) continue;
+    inputs.push_back(ds.TestInput(u));
+    targets.push_back(ds.test_targets[u]);
+  }
+  if (inputs.empty()) return 0.0;
+  eval::MetricAccumulator acc({5, 10});
+  const int64_t N1 = ds.num_items + 1;
+  for (size_t start = 0; start < inputs.size(); start += 128) {
+    std::vector<int32_t> rows;
+    for (size_t u = start; u < std::min(inputs.size(), start + 128); ++u) {
+      rows.push_back(static_cast<int32_t>(u));
+    }
+    data::Batch b = data::MakeEvalBatch(inputs, rows, max_len);
+    std::vector<float> scores = model.ScoreAll(b);
+    for (int64_t i = 0; i < b.batch_size; ++i) {
+      std::vector<float> row(scores.begin() + i * N1, scores.begin() + (i + 1) * N1);
+      acc.Add(eval::RankOfTarget(row, targets[rows[i]]));
+    }
+  }
+  return acc.Hr(10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  data::SyntheticConfig cfg = data::ClothingLike(quick ? 0.08 : 0.25);
+  data::InteractionLog log = data::GenerateSynthetic(cfg).value();
+  data::SequenceDataset ds = data::LeaveOneOutSplit(log);
+  const int64_t max_len = 16;
+  std::printf("e-commerce log: %d shoppers, %d products, sparsity %.2f%%\n",
+              log.num_users(), log.num_items, 100.0 * log.sparsity());
+
+  models::TrainConfig train;
+  train.epochs = quick ? 6 : 30;
+  train.max_len = max_len;
+  train.lr = 3e-3f;          // calibrated for this scale
+  train.eval_every = 2;      // early stopping on validation NDCG@10
+
+
+  models::BackboneConfig backbone;
+  backbone.num_items = ds.num_items;
+  backbone.max_len = max_len;
+  backbone.dim = 32;
+  backbone.layers = 1;
+
+  eval::EvalConfig ecfg;
+  ecfg.max_len = max_len;
+
+  models::Pop pop;
+  pop.Fit(ds);
+  models::SasRec sasrec(backbone, train, Rng(21));
+  std::printf("training SASRec...\n");
+  sasrec.Fit(ds);
+  core::MetaSgclConfig mcfg;
+  mcfg.backbone = backbone;
+  mcfg.beta = 0.3f;  // the paper's Clothing setting
+  mcfg.alpha = 0.1f;
+  mcfg.use_decoder = false;
+  core::MetaSgcl metasgcl(mcfg, train, Rng(22));
+  std::printf("training Meta-SGCL...\n");
+  metasgcl.Fit(ds);
+
+  std::printf("\n%-12s %s\n", "Pop", eval::Evaluate(pop, ds, eval::Split::kTest, ecfg).ToString().c_str());
+  std::printf("%-12s %s\n", "SASRec",
+              eval::Evaluate(sasrec, ds, eval::Split::kTest, ecfg).ToString().c_str());
+  std::printf("%-12s %s\n", "Meta-SGCL",
+              eval::Evaluate(metasgcl, ds, eval::Split::kTest, ecfg).ToString().c_str());
+
+  // Cohort breakdown: short histories are where SSL should help most.
+  std::printf("\nHR@10 by training-history length:\n");
+  std::printf("%-12s %10s %10s %10s\n", "model", "len<5", "5..8", ">=8");
+  struct Cohort { size_t lo, hi; };
+  const Cohort cohorts[] = {{0, 5}, {5, 8}, {8, 100000}};
+  for (auto* model : std::initializer_list<eval::Ranker*>{&pop, &sasrec, &metasgcl}) {
+    std::printf("%-12s", model->name().c_str());
+    for (const auto& c : cohorts) {
+      std::printf(" %10.4f", Hr10ForCohort(*model, ds, max_len, c.lo, c.hi));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

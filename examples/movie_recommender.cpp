@@ -1,0 +1,88 @@
+// Movie-recommendation scenario (the paper's ML-1M setting): long, dense
+// viewing histories. Trains SASRec and Meta-SGCL on an ML-1M-like log,
+// compares their ranking quality, and walks one user's recommendation list
+// with the latent "genre" (cluster) of each movie, showing that the
+// recommender respects the viewer's recent genre trajectory.
+//
+// Run: ./build/examples/movie_recommender [--quick]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "models/sasrec.h"
+
+int main(int argc, char** argv) {
+  using namespace msgcl;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  // An ML-1M-like log: few users, long dense sequences.
+  data::SyntheticConfig cfg = data::Ml1mLike(quick ? 1.0 : 1.0);
+  if (quick) {
+    cfg.num_users = 150;
+    cfg.avg_length = 30;
+    cfg.min_length = 8;
+  }
+  data::InteractionLog log = data::GenerateSynthetic(cfg).value();
+  data::SequenceDataset ds = data::LeaveOneOutSplit(log);
+  const int64_t max_len = quick ? 24 : 50;
+  std::printf("MovieLens-like log: %d viewers, %d movies, avg history %.1f\n",
+              log.num_users(), log.num_items, log.avg_length());
+
+  models::TrainConfig train;
+  train.epochs = quick ? 6 : 30;
+  train.max_len = max_len;
+  train.lr = 3e-3f;          // calibrated for this scale
+  train.eval_every = 2;      // early stopping on validation NDCG@10
+
+
+  models::BackboneConfig backbone;
+  backbone.num_items = ds.num_items;
+  backbone.max_len = max_len;
+  backbone.dim = 32;
+  backbone.layers = 1;
+
+  eval::EvalConfig ecfg;
+  ecfg.max_len = max_len;
+
+  models::SasRec sasrec(backbone, train, Rng(11));
+  std::printf("training %s...\n", sasrec.name().c_str());
+  sasrec.Fit(ds);
+  eval::Metrics ms = eval::Evaluate(sasrec, ds, eval::Split::kTest, ecfg);
+
+  core::MetaSgclConfig mcfg;
+  mcfg.backbone = backbone;
+  mcfg.alpha = 0.1f;
+  mcfg.use_decoder = false;
+  core::MetaSgcl metasgcl(mcfg, train, Rng(12));
+  std::printf("training %s...\n", metasgcl.name().c_str());
+  metasgcl.Fit(ds);
+  eval::Metrics mm = eval::Evaluate(metasgcl, ds, eval::Split::kTest, ecfg);
+
+  std::printf("\n%-12s %s\n", "SASRec", ms.ToString().c_str());
+  std::printf("%-12s %s\n\n", "Meta-SGCL", mm.ToString().c_str());
+
+  // Inspect one viewer: recent genres vs recommended genres.
+  const int32_t K = cfg.num_clusters;
+  auto genre_of = [K](int32_t movie) { return (movie - 1) % K; };
+  const int32_t user = 3;
+  auto history = ds.TestInput(user);
+  std::printf("viewer %d's last 5 movies (genre):", user);
+  for (size_t i = history.size() >= 5 ? history.size() - 5 : 0; i < history.size(); ++i) {
+    std::printf(" %d(g%d)", history[i], genre_of(history[i]));
+  }
+  data::Batch batch = data::MakeEvalBatch({history}, {0}, max_len);
+  std::vector<float> scores = metasgcl.ScoreAll(batch);
+  std::vector<int32_t> items(ds.num_items);
+  std::iota(items.begin(), items.end(), 1);
+  std::partial_sort(items.begin(), items.begin() + 5, items.end(),
+                    [&](int32_t a, int32_t b) { return scores[a] > scores[b]; });
+  std::printf("\nMeta-SGCL's top-5 next movies (genre):");
+  for (int i = 0; i < 5; ++i) std::printf(" %d(g%d)", items[i], genre_of(items[i]));
+  std::printf("\nheld-out next movie: %d(g%d)\n", ds.test_targets[user],
+              genre_of(ds.test_targets[user]));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Robust-training scenario (the paper's RQ5): production interaction logs
+// carry accidental clicks and bot traffic. This example injects 20% random
+// items into every training sequence and compares how much SASRec and
+// Meta-SGCL lose relative to their clean-data performance.
+//
+// Run: ./build/examples/robust_training [--quick]
+#include <cstdio>
+#include <cstring>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "models/sasrec.h"
+
+namespace {
+
+using namespace msgcl;
+
+template <typename MakeModel>
+void Compare(const char* name, MakeModel make, const data::SequenceDataset& clean,
+             const data::SequenceDataset& noisy, const eval::EvalConfig& ecfg) {
+  auto clean_model = make(1);
+  clean_model->Fit(clean);
+  eval::Metrics mc = eval::Evaluate(*clean_model, clean, eval::Split::kTest, ecfg);
+  auto noisy_model = make(2);
+  noisy_model->Fit(noisy);
+  // Test targets are identical in both splits; only training data differs.
+  eval::Metrics mn = eval::Evaluate(*noisy_model, clean, eval::Split::kTest, ecfg);
+  const double drop = mc.hr10 > 0 ? 100.0 * (1.0 - mn.hr10 / mc.hr10) : 0.0;
+  std::printf("%-12s clean HR@10 %.4f -> noisy HR@10 %.4f (drop %.1f%%)\n", name, mc.hr10,
+              mn.hr10, drop);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  data::SyntheticConfig cfg = data::ToysLike(quick ? 0.08 : 0.25);
+  data::SequenceDataset clean =
+      data::LeaveOneOutSplit(data::GenerateSynthetic(cfg).value());
+  Rng noise_rng(3);
+  data::SequenceDataset noisy = data::InjectTrainingNoise(clean, 0.2, noise_rng);
+  const int64_t max_len = 16;
+  std::printf("injected 20%% random items into %d training sequences\n",
+              clean.num_users());
+
+  models::TrainConfig train;
+  train.epochs = quick ? 6 : 30;
+  train.max_len = max_len;
+  train.lr = 3e-3f;          // calibrated for this scale
+  train.eval_every = 2;      // early stopping on validation NDCG@10
+
+
+  models::BackboneConfig backbone;
+  backbone.num_items = clean.num_items;
+  backbone.max_len = max_len;
+  backbone.dim = 32;
+  backbone.layers = 1;
+
+  eval::EvalConfig ecfg;
+  ecfg.max_len = max_len;
+
+  Compare("SASRec",
+          [&](uint64_t seed) {
+            return std::make_unique<models::SasRec>(backbone, train, Rng(seed));
+          },
+          clean, noisy, ecfg);
+  Compare("Meta-SGCL",
+          [&](uint64_t seed) {
+            core::MetaSgclConfig c;
+            c.backbone = backbone;
+            c.alpha = 0.1f;
+            c.use_decoder = false;
+            return std::make_unique<core::MetaSgcl>(c, train, Rng(seed));
+          },
+          clean, noisy, ecfg);
+  std::printf("\nexpected: Meta-SGCL's generative views make it degrade less\n");
+  return 0;
+}

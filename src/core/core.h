@@ -1,0 +1,9 @@
+// Umbrella header for the Meta-SGCL core library.
+#ifndef MSGCL_CORE_CORE_H_
+#define MSGCL_CORE_CORE_H_
+
+#include "core/meta_sgcl.h"          // IWYU pragma: export
+#include "core/seq2seq_generator.h"  // IWYU pragma: export
+#include "core/tuner.h"              // IWYU pragma: export
+
+#endif  // MSGCL_CORE_CORE_H_

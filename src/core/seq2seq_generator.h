@@ -1,0 +1,123 @@
+// The Seq2Seq generator of Meta-SGCL (paper §IV.C-D): a variational
+// autoencoder whose encoder and decoder are both Transformers.
+//
+//   encoder:  sequence -> F (self-attention states)            (Eq. 5-10)
+//   heads:    mu = Enc_mu(F), logvar = Enc_sigma(F)            (Eq. 11)
+//             logvar' = Enc_sigma'(F)  (the *meta* head)       (Eq. 14)
+//   sample:   z = mu + sigma  * eps                            (Eq. 12)
+//             z' = mu + sigma' * eps'                          (Eq. 15)
+//   decoder:  z -> hidden states used for next-item scores     (Eq. 13, 21-22)
+//
+// Feeding the same sequence through both variance heads yields two
+// generatively-augmented views (z, z') of one input — the paper's
+// "generative-based augmentation" — without editing the sequence itself.
+#ifndef MSGCL_CORE_SEQ2SEQ_GENERATOR_H_
+#define MSGCL_CORE_SEQ2SEQ_GENERATOR_H_
+
+#include <vector>
+
+#include "models/backbone.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace core {
+
+/// One forward pass through the generator.
+struct Seq2SeqOutput {
+  Tensor mu;            // [B, T, D] posterior mean (shared by both views)
+  Tensor logvar;        // [B, T, D] log-variance from Enc_sigma
+  Tensor logvar_prime;  // [B, T, D] log-variance from Enc_sigma' (meta head)
+  Tensor z;             // [B, T, D] first-view latent
+  Tensor z_prime;       // [B, T, D] second-view latent (defined iff two views)
+  Tensor h_dec;         // [B, T, D] decoder states of the first view
+  Tensor h_dec_prime;   // [B, T, D] decoder states of the second view
+
+  bool has_second_view() const { return z_prime.defined(); }
+};
+
+/// Transformer-VAE Seq2Seq generator with the paper's twin variance heads.
+class Seq2SeqGenerator : public nn::Module {
+ public:
+  Seq2SeqGenerator(const models::BackboneConfig& config, Rng& rng)
+      : backbone_(config, rng),
+        enc_mu_(config.dim, config.dim, rng),
+        enc_logvar_(config.dim, config.dim, rng),
+        enc_logvar_prime_(config.dim, config.dim, rng),
+        decoder_({config.dim, config.heads, config.layers, config.dropout}, rng) {
+    RegisterChild("backbone", &backbone_);
+    RegisterChild("enc_mu", &enc_mu_);
+    RegisterChild("enc_logvar", &enc_logvar_);
+    RegisterChild("enc_logvar_prime", &enc_logvar_prime_);
+    RegisterChild("decoder", &decoder_);
+    // Start both variance heads at small sigma (~0.14) so early training is
+    // reconstruction-driven; the KL term later pulls sigma toward the prior.
+    enc_logvar_.InitBiasConstant(kLogVarBiasInit);
+    enc_logvar_prime_.InitBiasConstant(kLogVarBiasInit);
+  }
+
+  /// Initial log-variance bias shared by all variational models in this repo.
+  static constexpr float kLogVarBiasInit = -4.0f;
+
+  /// Runs encoder, variance head(s), reparameterisation and decoder.
+  ///
+  /// `sample` = false makes z = mu deterministically (inference and the
+  /// "-clkl" ablation). `second_view` adds the Enc_sigma' path.
+  /// `use_decoder` = false skips the Transformer decoder and scores from the
+  /// latent directly (the paper's Eq. 21-22 reading, where log p(s|z) is
+  /// "formalized as a next-item recommendation task" with y = z M^T);
+  /// h_dec then aliases z.
+  Seq2SeqOutput Forward(const data::Batch& batch, Rng& rng, bool sample,
+                        bool second_view, bool use_decoder = true) const {
+    Seq2SeqOutput out;
+    Tensor f = backbone_.Encode(batch, /*causal=*/true, rng);
+    out.mu = enc_mu_.Forward(f);
+    out.logvar = enc_logvar_.Forward(f);
+    out.z = sample ? Reparameterize(out.mu, out.logvar, rng) : out.mu;
+    out.h_dec = use_decoder
+                    ? decoder_.Forward(out.z, /*causal=*/true, &batch.key_padding, rng)
+                    : out.z;
+    if (second_view) {
+      out.logvar_prime = enc_logvar_prime_.Forward(f);
+      out.z_prime = sample ? Reparameterize(out.mu, out.logvar_prime, rng) : out.mu;
+      out.h_dec_prime =
+          use_decoder
+              ? decoder_.Forward(out.z_prime, /*causal=*/true, &batch.key_padding, rng)
+              : out.z_prime;
+    }
+    return out;
+  }
+
+  /// Weight-tied all-item logits (Eq. 22): h [M, D] -> [M, num_items + 1].
+  Tensor LogitsAll(const Tensor& h) const { return backbone_.LogitsAll(h); }
+
+  /// Stage-1 parameter group: Enc_mu, Enc_sigma, Dec and the backbone.
+  std::vector<Tensor> MainParameters() const {
+    std::vector<Tensor> out = backbone_.Parameters();
+    for (auto& p : enc_mu_.Parameters()) out.push_back(p);
+    for (auto& p : enc_logvar_.Parameters()) out.push_back(p);
+    for (auto& p : decoder_.Parameters()) out.push_back(p);
+    return out;
+  }
+
+  /// Stage-2 (meta) parameter group: Enc_sigma' only.
+  std::vector<Tensor> MetaParameters() const { return enc_logvar_prime_.Parameters(); }
+
+  const models::SasBackbone& backbone() const { return backbone_; }
+
+ private:
+  static Tensor Reparameterize(const Tensor& mu, const Tensor& logvar, Rng& rng) {
+    Tensor sigma = logvar.MulScalar(0.5f).Exp();
+    return mu.Add(sigma.Mul(Tensor::Randn(mu.shape(), rng)));
+  }
+
+  models::SasBackbone backbone_;
+  nn::Linear enc_mu_;
+  nn::Linear enc_logvar_;
+  nn::Linear enc_logvar_prime_;
+  nn::TransformerEncoder decoder_;
+};
+
+}  // namespace core
+}  // namespace msgcl
+
+#endif  // MSGCL_CORE_SEQ2SEQ_GENERATOR_H_

@@ -1,0 +1,75 @@
+// Grid-search tuning for Meta-SGCL's key hyper-parameters (alpha, beta, tau
+// — the knobs the paper's RQ4 studies). Each candidate is trained with the
+// supplied TrainConfig and scored by validation NDCG@10; the best full
+// configuration is returned for a final training run.
+#ifndef MSGCL_CORE_TUNER_H_
+#define MSGCL_CORE_TUNER_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "core/meta_sgcl.h"
+#include "eval/evaluator.h"
+
+namespace msgcl {
+namespace core {
+
+/// The grid to explore. Empty axes keep the base config's value.
+struct TuneGrid {
+  std::vector<float> alphas;
+  std::vector<float> betas;
+  std::vector<float> taus;
+};
+
+/// One evaluated grid point.
+struct TuneResult {
+  MetaSgclConfig config;
+  double val_ndcg10 = 0.0;
+};
+
+/// Trains one model per grid point and returns all results, best first.
+/// Deterministic: each candidate trains from the same seed.
+inline std::vector<TuneResult> GridSearch(const MetaSgclConfig& base,
+                                          const models::TrainConfig& train,
+                                          const data::SequenceDataset& ds, TuneGrid grid,
+                                          uint64_t seed = 1234, bool verbose = false) {
+  if (grid.alphas.empty()) grid.alphas = {base.alpha};
+  if (grid.betas.empty()) grid.betas = {base.beta};
+  if (grid.taus.empty()) grid.taus = {base.tau};
+
+  eval::EvalConfig eval_cfg;
+  eval_cfg.max_len = train.max_len;
+
+  std::vector<TuneResult> results;
+  for (float alpha : grid.alphas) {
+    for (float beta : grid.betas) {
+      for (float tau : grid.taus) {
+        MetaSgclConfig cfg = base;
+        cfg.alpha = alpha;
+        cfg.beta = beta;
+        cfg.tau = tau;
+        MetaSgcl model(cfg, train, Rng(seed));
+        model.Fit(ds);
+        TuneResult r;
+        r.config = cfg;
+        r.val_ndcg10 =
+            eval::Evaluate(model, ds, eval::Split::kValidation, eval_cfg).ndcg10;
+        if (verbose) {
+          std::fprintf(stderr, "[tune] alpha=%.3f beta=%.2f tau=%.2f -> NDCG@10 %.4f\n",
+                       alpha, beta, tau, r.val_ndcg10);
+        }
+        results.push_back(std::move(r));
+      }
+    }
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const TuneResult& a, const TuneResult& b) {
+                     return a.val_ndcg10 > b.val_ndcg10;
+                   });
+  return results;
+}
+
+}  // namespace core
+}  // namespace msgcl
+
+#endif  // MSGCL_CORE_TUNER_H_

@@ -1,0 +1,73 @@
+// Hand-crafted sequence augmentation operators from CL4SRec/CoSeRec, used by
+// the contrastive baselines (and by Fig. 1's motivating comparison). The
+// paper's core claim is that its generative views beat these random edits.
+#ifndef MSGCL_DATA_AUGMENT_H_
+#define MSGCL_DATA_AUGMENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/macros.h"
+#include "tensor/rng.h"
+
+namespace msgcl {
+namespace data {
+
+/// Item crop: keeps a random contiguous sub-sequence of length
+/// ceil(ratio * n) (CL4SRec's "item crop").
+inline std::vector<int32_t> AugmentCrop(const std::vector<int32_t>& seq, double ratio,
+                                        Rng& rng) {
+  MSGCL_CHECK_MSG(ratio > 0.0 && ratio <= 1.0, "crop ratio " << ratio);
+  const int64_t n = static_cast<int64_t>(seq.size());
+  if (n <= 1) return seq;
+  const int64_t keep = std::max<int64_t>(1, static_cast<int64_t>(ratio * n + 0.999));
+  if (keep >= n) return seq;
+  const int64_t start = static_cast<int64_t>(rng.UniformInt(n - keep + 1));
+  return std::vector<int32_t>(seq.begin() + start, seq.begin() + start + keep);
+}
+
+/// Item mask: replaces a `ratio` fraction of positions with `mask_id`
+/// (CL4SRec's "item mask"). `mask_id` is conventionally num_items + 1.
+inline std::vector<int32_t> AugmentMask(const std::vector<int32_t>& seq, double ratio,
+                                        int32_t mask_id, Rng& rng) {
+  MSGCL_CHECK_MSG(ratio >= 0.0 && ratio < 1.0, "mask ratio " << ratio);
+  std::vector<int32_t> out = seq;
+  for (auto& it : out) {
+    if (rng.Bernoulli(ratio)) it = mask_id;
+  }
+  return out;
+}
+
+/// Item reorder: shuffles a random contiguous window of length
+/// ceil(ratio * n) (CL4SRec's "item reorder").
+inline std::vector<int32_t> AugmentReorder(const std::vector<int32_t>& seq, double ratio,
+                                           Rng& rng) {
+  MSGCL_CHECK_MSG(ratio >= 0.0 && ratio <= 1.0, "reorder ratio " << ratio);
+  const int64_t n = static_cast<int64_t>(seq.size());
+  std::vector<int32_t> out = seq;
+  const int64_t len = static_cast<int64_t>(ratio * n + 0.999);
+  if (len < 2) return out;
+  const int64_t start = static_cast<int64_t>(rng.UniformInt(n - len + 1));
+  for (int64_t i = len - 1; i > 0; --i) {
+    std::swap(out[start + i], out[start + rng.UniformInt(static_cast<uint64_t>(i) + 1)]);
+  }
+  return out;
+}
+
+/// One of the three CL4SRec operators, chosen uniformly.
+inline std::vector<int32_t> AugmentRandom(const std::vector<int32_t>& seq, int32_t mask_id,
+                                          Rng& rng, double crop_ratio = 0.6,
+                                          double mask_ratio = 0.3,
+                                          double reorder_ratio = 0.3) {
+  switch (rng.UniformInt(3)) {
+    case 0: return AugmentCrop(seq, crop_ratio, rng);
+    case 1: return AugmentMask(seq, mask_ratio, mask_id, rng);
+    default: return AugmentReorder(seq, reorder_ratio, rng);
+  }
+}
+
+}  // namespace data
+}  // namespace msgcl
+
+#endif  // MSGCL_DATA_AUGMENT_H_

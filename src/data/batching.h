@@ -1,0 +1,141 @@
+// Mini-batch construction: left-padded fixed-length sequences with
+// next-item targets at every position (the SASRec training scheme shared by
+// all sequence models here).
+#ifndef MSGCL_DATA_BATCHING_H_
+#define MSGCL_DATA_BATCHING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace msgcl {
+namespace data {
+
+/// One training/eval mini-batch of fixed-length, left-padded sequences.
+///
+/// Left padding keeps the most recent item at position T-1 for every row, so
+/// sequence-level representations are always read at the final time step.
+struct Batch {
+  int64_t batch_size = 0;
+  int64_t seq_len = 0;
+  std::vector<int32_t> inputs;       // [B*T], 0 = padding
+  std::vector<int32_t> targets;      // [B*T], next item per position, 0 = ignore
+  std::vector<uint8_t> key_padding;  // [B*T], 1 = padded position
+  std::vector<int32_t> positions;    // [B*T], position-embedding indices
+  std::vector<int32_t> users;        // [B], dataset row of each sequence
+
+  /// Target at the final position of each row (for sequence-level losses).
+  std::vector<int32_t> LastTargets() const {
+    std::vector<int32_t> out(batch_size);
+    for (int64_t b = 0; b < batch_size; ++b) out[b] = targets[(b + 1) * seq_len - 1];
+    return out;
+  }
+};
+
+/// Left-pads/truncates `seq` to `max_len`, keeping the most recent items.
+inline std::vector<int32_t> PadLeft(const std::vector<int32_t>& seq, int64_t max_len) {
+  std::vector<int32_t> out(max_len, 0);
+  const int64_t n = static_cast<int64_t>(seq.size());
+  const int64_t keep = std::min(n, max_len);
+  for (int64_t i = 0; i < keep; ++i) out[max_len - keep + i] = seq[n - keep + i];
+  return out;
+}
+
+/// Builds a training batch from dataset rows `rows`.
+///
+/// For each training sequence s[0..m-1], the model input is s[0..m-2] and the
+/// target at each position i is s[i+1]; rows with m < 2 yield all-ignore
+/// targets. When `override_seqs` is non-null it supplies the (possibly
+/// augmented/noised) sequences instead of `ds.train_seqs`.
+inline Batch MakeTrainBatch(const SequenceDataset& ds, const std::vector<int32_t>& rows,
+                            int64_t max_len,
+                            const std::vector<std::vector<int32_t>>* override_seqs = nullptr) {
+  Batch batch;
+  batch.batch_size = static_cast<int64_t>(rows.size());
+  batch.seq_len = max_len;
+  batch.inputs.assign(batch.batch_size * max_len, 0);
+  batch.targets.assign(batch.batch_size * max_len, 0);
+  batch.key_padding.assign(batch.batch_size * max_len, 1);
+  batch.positions.resize(batch.batch_size * max_len);
+  batch.users.assign(rows.begin(), rows.end());
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    const auto& seq =
+        override_seqs != nullptr ? (*override_seqs)[rows[b]] : ds.train_seqs[rows[b]];
+    const int64_t m = static_cast<int64_t>(seq.size());
+    // Use the last max_len+1 items: inputs are s[..m-2], targets shift by one.
+    const int64_t usable = std::min<int64_t>(m - 1, max_len);
+    for (int64_t i = 0; i < usable; ++i) {
+      const int64_t col = max_len - usable + i;
+      const int64_t src = m - 1 - usable + i;
+      batch.inputs[b * max_len + col] = seq[src];
+      batch.targets[b * max_len + col] = seq[src + 1];
+      batch.key_padding[b * max_len + col] = 0;
+    }
+    for (int64_t col = 0; col < max_len; ++col) {
+      batch.positions[b * max_len + col] = static_cast<int32_t>(col);
+    }
+  }
+  return batch;
+}
+
+/// Builds an evaluation batch: full input sequences (no shift), targets left
+/// empty — the caller ranks `eval_targets` against model scores.
+inline Batch MakeEvalBatch(const std::vector<std::vector<int32_t>>& inputs,
+                           const std::vector<int32_t>& rows, int64_t max_len) {
+  Batch batch;
+  batch.batch_size = static_cast<int64_t>(rows.size());
+  batch.seq_len = max_len;
+  batch.inputs.assign(batch.batch_size * max_len, 0);
+  batch.key_padding.assign(batch.batch_size * max_len, 1);
+  batch.positions.resize(batch.batch_size * max_len);
+  batch.users.assign(rows.begin(), rows.end());
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    auto padded = PadLeft(inputs[rows[b]], max_len);
+    for (int64_t col = 0; col < max_len; ++col) {
+      batch.inputs[b * max_len + col] = padded[col];
+      if (padded[col] != 0) batch.key_padding[b * max_len + col] = 0;
+      batch.positions[b * max_len + col] = static_cast<int32_t>(col);
+    }
+  }
+  return batch;
+}
+
+/// Shuffled epoch iterator over dataset rows.
+class EpochIterator {
+ public:
+  EpochIterator(int32_t num_rows, int64_t batch_size, Rng& rng)
+      : batch_size_(batch_size), rows_(num_rows) {
+    std::iota(rows_.begin(), rows_.end(), 0);
+    // Fisher-Yates shuffle driven by the caller's rng.
+    for (int32_t i = num_rows - 1; i > 0; --i) {
+      std::swap(rows_[i], rows_[rng.UniformInt(static_cast<uint64_t>(i) + 1)]);
+    }
+  }
+
+  /// Next chunk of row indices, or empty when the epoch is done.
+  std::vector<int32_t> Next() {
+    if (cursor_ >= rows_.size()) return {};
+    const size_t end = std::min(rows_.size(), cursor_ + static_cast<size_t>(batch_size_));
+    std::vector<int32_t> out(rows_.begin() + cursor_, rows_.begin() + end);
+    cursor_ = end;
+    return out;
+  }
+
+  int64_t num_batches() const {
+    return (static_cast<int64_t>(rows_.size()) + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  int64_t batch_size_;
+  std::vector<int32_t> rows_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace msgcl
+
+#endif  // MSGCL_DATA_BATCHING_H_

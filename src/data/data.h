@@ -1,0 +1,13 @@
+// Umbrella header for the data substrate.
+#ifndef MSGCL_DATA_DATA_H_
+#define MSGCL_DATA_DATA_H_
+
+#include "data/augment.h"   // IWYU pragma: export
+#include "data/batching.h"  // IWYU pragma: export
+#include "data/dataset.h"   // IWYU pragma: export
+#include "data/loader.h"    // IWYU pragma: export
+#include "data/noise.h"     // IWYU pragma: export
+#include "data/stats.h"     // IWYU pragma: export
+#include "data/synthetic.h" // IWYU pragma: export
+
+#endif  // MSGCL_DATA_DATA_H_

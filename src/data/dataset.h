@@ -1,0 +1,108 @@
+// Interaction-log container and the leave-one-out split protocol used by the
+// paper (§V.A: "For each user, we use the last clicked item for testing, the
+// penultimate one for validation, and the remaining clicked items for
+// training").
+#ifndef MSGCL_DATA_DATASET_H_
+#define MSGCL_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/macros.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace data {
+
+/// A chronological user->item interaction log. Item ids are 1-based; id 0 is
+/// reserved for padding everywhere in this repo.
+struct InteractionLog {
+  std::string name;
+  int32_t num_items = 0;  // valid ids are 1..num_items
+  std::vector<std::vector<int32_t>> sequences;  // sequences[u] in time order
+
+  int32_t num_users() const { return static_cast<int32_t>(sequences.size()); }
+
+  int64_t num_interactions() const {
+    int64_t n = 0;
+    for (const auto& s : sequences) n += static_cast<int64_t>(s.size());
+    return n;
+  }
+
+  double avg_length() const {
+    return sequences.empty() ? 0.0
+                             : static_cast<double>(num_interactions()) / sequences.size();
+  }
+
+  /// 1 - |interactions| / (|users| * |items|), as reported in Table I.
+  double sparsity() const {
+    const double cells = static_cast<double>(num_users()) * num_items;
+    return cells == 0.0 ? 0.0 : 1.0 - static_cast<double>(num_interactions()) / cells;
+  }
+
+  /// Validates invariants: ids in range, no empty sequences.
+  Status Validate() const {
+    for (size_t u = 0; u < sequences.size(); ++u) {
+      if (sequences[u].empty()) {
+        return Status::InvalidArgument("user " + std::to_string(u) + " has empty sequence");
+      }
+      for (int32_t it : sequences[u]) {
+        if (it < 1 || it > num_items) {
+          return Status::OutOfRange("item id " + std::to_string(it) + " for user " +
+                                    std::to_string(u) + " outside [1, " +
+                                    std::to_string(num_items) + "]");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+/// Leave-one-out split of an InteractionLog.
+///
+/// For a full sequence s[0..n-1]:
+///  * test target   = s[n-1], test input  = s[0..n-2]
+///  * valid target  = s[n-2], valid input = s[0..n-3]
+///  * training uses s[0..n-3]: inputs s[0..m-2] predict targets s[1..m-1].
+/// Users with fewer than 3 interactions are dropped (they cannot be split).
+struct SequenceDataset {
+  std::string name;
+  int32_t num_items = 0;
+  std::vector<std::vector<int32_t>> train_seqs;  // s[0..n-3] per kept user
+  std::vector<int32_t> valid_targets;            // s[n-2]
+  std::vector<int32_t> test_targets;             // s[n-1]
+
+  int32_t num_users() const { return static_cast<int32_t>(train_seqs.size()); }
+
+  /// Input sequence for validation ranking: the training items.
+  const std::vector<int32_t>& ValidInput(int32_t u) const { return train_seqs[u]; }
+
+  /// Input sequence for test ranking: training items plus the validation item.
+  std::vector<int32_t> TestInput(int32_t u) const {
+    std::vector<int32_t> s = train_seqs[u];
+    s.push_back(valid_targets[u]);
+    return s;
+  }
+};
+
+/// Applies the paper's leave-one-out protocol. Users with < 3 interactions
+/// are dropped.
+inline SequenceDataset LeaveOneOutSplit(const InteractionLog& log) {
+  SequenceDataset ds;
+  ds.name = log.name;
+  ds.num_items = log.num_items;
+  for (const auto& s : log.sequences) {
+    if (s.size() < 3) continue;
+    const size_t n = s.size();
+    ds.train_seqs.emplace_back(s.begin(), s.end() - 2);
+    ds.valid_targets.push_back(s[n - 2]);
+    ds.test_targets.push_back(s[n - 1]);
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace msgcl
+
+#endif  // MSGCL_DATA_DATASET_H_

@@ -1,0 +1,39 @@
+// Training-noise injection for the robustness study (paper §V.F / Fig. 5):
+// "randomly add a certain proportion of negative items into the input
+// sequences during training".
+#ifndef MSGCL_DATA_NOISE_H_
+#define MSGCL_DATA_NOISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace msgcl {
+namespace data {
+
+/// Returns a copy of `ds` whose *training* sequences have `ratio * len`
+/// random items inserted at random positions. Validation/test targets are
+/// untouched, so the evaluation protocol measures robustness of training.
+inline SequenceDataset InjectTrainingNoise(const SequenceDataset& ds, double ratio,
+                                           Rng& rng) {
+  MSGCL_CHECK_MSG(ratio >= 0.0 && ratio <= 1.0, "noise ratio " << ratio);
+  SequenceDataset out = ds;
+  if (ratio == 0.0) return out;
+  for (auto& seq : out.train_seqs) {
+    const int64_t n = static_cast<int64_t>(seq.size());
+    const int64_t inject = static_cast<int64_t>(ratio * n + 0.5);
+    for (int64_t i = 0; i < inject; ++i) {
+      const int32_t item = 1 + static_cast<int32_t>(rng.UniformInt(ds.num_items));
+      const size_t pos = rng.UniformInt(seq.size() + 1);
+      seq.insert(seq.begin() + pos, item);
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace msgcl
+
+#endif  // MSGCL_DATA_NOISE_H_

@@ -1,0 +1,117 @@
+// Dataset diagnostics: the quantities that make two interaction logs
+// "behave alike" for sequential recommendation — length distribution,
+// popularity concentration, and sequential predictability. Used to verify
+// that the synthetic stand-ins are calibrated to Table I (tests) and for
+// exploratory analysis of user-supplied CSV logs.
+#ifndef MSGCL_DATA_STATS_H_
+#define MSGCL_DATA_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace msgcl {
+namespace data {
+
+/// Summary statistics of an interaction log.
+struct LogStats {
+  // Sequence lengths.
+  double mean_length = 0.0;
+  double median_length = 0.0;
+  int64_t max_length = 0;
+
+  // Popularity concentration.
+  double gini = 0.0;        // Gini coefficient of item frequencies, [0, 1)
+  double top10_share = 0.0; // interaction share of the 10 most popular items
+
+  // Sequential predictability: entropy (in bits) of the empirical next-item
+  // distribution conditioned on the current item, averaged over items with
+  // enough support, normalised by log2(num_items). 0 = deterministic
+  // transitions, 1 = uniformly random next item.
+  double transition_entropy = 1.0;
+
+  std::string ToString() const {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "len(mean=%.1f median=%.0f max=%lld) gini=%.3f top10=%.1f%% "
+                  "trans_entropy=%.3f",
+                  mean_length, median_length, static_cast<long long>(max_length), gini,
+                  100.0 * top10_share, transition_entropy);
+    return buf;
+  }
+};
+
+/// Computes LogStats. `min_support` is the minimum number of observed
+/// transitions from an item for it to enter the entropy average.
+inline LogStats ComputeLogStats(const InteractionLog& log, int64_t min_support = 5) {
+  LogStats s;
+  if (log.sequences.empty()) return s;
+
+  // Lengths.
+  std::vector<int64_t> lengths;
+  lengths.reserve(log.sequences.size());
+  for (const auto& seq : log.sequences) {
+    lengths.push_back(static_cast<int64_t>(seq.size()));
+  }
+  std::sort(lengths.begin(), lengths.end());
+  s.max_length = lengths.back();
+  s.median_length = static_cast<double>(lengths[lengths.size() / 2]);
+  s.mean_length = log.avg_length();
+
+  // Popularity.
+  std::vector<int64_t> freq(log.num_items + 1, 0);
+  for (const auto& seq : log.sequences) {
+    for (int32_t it : seq) freq[it]++;
+  }
+  std::vector<int64_t> f(freq.begin() + 1, freq.end());
+  std::sort(f.begin(), f.end());
+  const double total = static_cast<double>(log.num_interactions());
+  if (total > 0 && !f.empty()) {
+    // Gini via the sorted-frequency formula.
+    double weighted = 0.0;
+    const int64_t n = static_cast<int64_t>(f.size());
+    for (int64_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(2 * (i + 1) - n - 1) * static_cast<double>(f[i]);
+    }
+    s.gini = weighted / (static_cast<double>(f.size()) * total);
+    double top10 = 0.0;
+    for (size_t i = f.size() >= 10 ? f.size() - 10 : 0; i < f.size(); ++i) top10 += f[i];
+    s.top10_share = top10 / total;
+  }
+
+  // Transition entropy.
+  std::map<int32_t, std::map<int32_t, int64_t>> trans;
+  std::map<int32_t, int64_t> support;
+  for (const auto& seq : log.sequences) {
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      trans[seq[i]][seq[i + 1]]++;
+      support[seq[i]]++;
+    }
+  }
+  double entropy_sum = 0.0;
+  int64_t counted = 0;
+  const double log2_items = std::log2(std::max<double>(2.0, log.num_items));
+  for (auto& [item, nexts] : trans) {
+    const int64_t n = support[item];
+    if (n < min_support) continue;
+    double h = 0.0;
+    for (auto& [next, cnt] : nexts) {
+      const double p = static_cast<double>(cnt) / static_cast<double>(n);
+      h -= p * std::log2(p);
+    }
+    entropy_sum += h / log2_items;
+    ++counted;
+  }
+  if (counted > 0) s.transition_entropy = entropy_sum / counted;
+  return s;
+}
+
+}  // namespace data
+}  // namespace msgcl
+
+#endif  // MSGCL_DATA_STATS_H_

@@ -1,0 +1,210 @@
+// Deeper evaluation utilities beyond the paper's headline protocol:
+//  * sampled-negative evaluation (the classic SASRec/BERT4Rec protocol:
+//    rank the target against N sampled negatives instead of all items);
+//  * paired bootstrap significance testing between two rankers;
+//  * popularity-stratified metrics (who wins on head vs tail items).
+#ifndef MSGCL_EVAL_ANALYSIS_H_
+#define MSGCL_EVAL_ANALYSIS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/batching.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "tensor/rng.h"
+
+namespace msgcl {
+namespace eval {
+
+/// Sampled-negative evaluation: for each user, rank the held-out target
+/// against `num_negatives` items sampled uniformly from the catalogue,
+/// excluding the user's history (the SASRec/BERT4Rec "1 + 100" protocol).
+/// Less faithful than full ranking (the paper uses full ranking) but much
+/// cheaper at real catalogue sizes and common in baselines' original papers.
+inline Metrics EvaluateSampled(Ranker& model, const data::SequenceDataset& ds, Split split,
+                               int32_t num_negatives, Rng& rng,
+                               const EvalConfig& config = {}) {
+  const int32_t U = ds.num_users();
+  const std::vector<int32_t>& targets =
+      split == Split::kValidation ? ds.valid_targets : ds.test_targets;
+  std::vector<std::vector<int32_t>> inputs(U);
+  for (int32_t u = 0; u < U; ++u) {
+    inputs[u] = split == Split::kValidation ? ds.ValidInput(u) : ds.TestInput(u);
+  }
+
+  MetricAccumulator acc(config.cutoffs);
+  const int64_t N1 = static_cast<int64_t>(ds.num_items) + 1;
+  for (int32_t start = 0; start < U; start += static_cast<int32_t>(config.batch_size)) {
+    std::vector<int32_t> rows;
+    for (int32_t u = start; u < std::min<int32_t>(U, start + config.batch_size); ++u) {
+      rows.push_back(u);
+    }
+    data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
+    std::vector<float> scores = model.ScoreAll(batch);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      const int32_t u = rows[b];
+      std::unordered_set<int32_t> seen(inputs[u].begin(), inputs[u].end());
+      seen.insert(targets[u]);
+      const float* row = scores.data() + b * N1;
+      const float target_score = row[targets[u]];
+      int64_t rank = 0;
+      for (int32_t n = 0; n < num_negatives; ++n) {
+        int32_t item;
+        do {
+          item = 1 + static_cast<int32_t>(rng.UniformInt(ds.num_items));
+        } while (seen.count(item) > 0 && seen.size() < static_cast<size_t>(ds.num_items));
+        if (row[item] > target_score) ++rank;
+      }
+      acc.Add(rank);
+    }
+  }
+  Metrics m;
+  m.hr5 = acc.Hr(5);
+  m.hr10 = acc.Hr(10);
+  m.ndcg5 = acc.Ndcg(5);
+  m.ndcg10 = acc.Ndcg(10);
+  m.mrr = acc.Mrr();
+  return m;
+}
+
+/// Result of a paired bootstrap comparison.
+struct BootstrapResult {
+  double mean_a = 0.0;        // mean per-user NDCG@10 of model A
+  double mean_b = 0.0;        // mean per-user NDCG@10 of model B
+  double p_value = 1.0;       // P(B >= A under resampling) if A leads, sym.
+  int64_t samples = 0;
+};
+
+/// Per-user NDCG@10 contributions for one ranker.
+inline std::vector<double> PerUserNdcg10(Ranker& model, const data::SequenceDataset& ds,
+                                         Split split, const EvalConfig& config = {}) {
+  const int32_t U = ds.num_users();
+  const std::vector<int32_t>& targets =
+      split == Split::kValidation ? ds.valid_targets : ds.test_targets;
+  std::vector<std::vector<int32_t>> inputs(U);
+  for (int32_t u = 0; u < U; ++u) {
+    inputs[u] = split == Split::kValidation ? ds.ValidInput(u) : ds.TestInput(u);
+  }
+  std::vector<double> out(U, 0.0);
+  const int64_t N1 = static_cast<int64_t>(ds.num_items) + 1;
+  for (int32_t start = 0; start < U; start += static_cast<int32_t>(config.batch_size)) {
+    std::vector<int32_t> rows;
+    for (int32_t u = start; u < std::min<int32_t>(U, start + config.batch_size); ++u) {
+      rows.push_back(u);
+    }
+    data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
+    std::vector<float> scores = model.ScoreAll(batch);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);
+      out[rows[b]] = NdcgAt(RankOfTarget(row, targets[rows[b]]), 10);
+    }
+  }
+  return out;
+}
+
+/// Paired bootstrap over users: resamples user indices with replacement and
+/// counts how often the trailing model matches/overtakes the leading one.
+/// A small p_value means the observed gap is unlikely to be resampling noise.
+inline BootstrapResult PairedBootstrap(const std::vector<double>& per_user_a,
+                                       const std::vector<double>& per_user_b, Rng& rng,
+                                       int64_t resamples = 2000) {
+  MSGCL_CHECK_EQ(per_user_a.size(), per_user_b.size());
+  MSGCL_CHECK_GT(per_user_a.size(), 0u);
+  const size_t n = per_user_a.size();
+  BootstrapResult r;
+  r.samples = resamples;
+  for (size_t i = 0; i < n; ++i) {
+    r.mean_a += per_user_a[i];
+    r.mean_b += per_user_b[i];
+  }
+  r.mean_a /= static_cast<double>(n);
+  r.mean_b /= static_cast<double>(n);
+  const bool a_leads = r.mean_a >= r.mean_b;
+  int64_t flips = 0;
+  for (int64_t s = 0; s < resamples; ++s) {
+    double da = 0.0, db = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = rng.UniformInt(n);
+      da += per_user_a[j];
+      db += per_user_b[j];
+    }
+    if (a_leads ? db >= da : da >= db) ++flips;
+  }
+  r.p_value = static_cast<double>(flips) / static_cast<double>(resamples);
+  return r;
+}
+
+/// HR@10 stratified by item popularity: users are bucketed by how frequent
+/// their held-out target item is in the *training* data. Self-supervised
+/// regularisation is expected to help most on tail items.
+struct PopularityStrata {
+  double head_hr10 = 0.0;  // targets in the most popular third
+  double mid_hr10 = 0.0;
+  double tail_hr10 = 0.0;
+  int64_t head_n = 0, mid_n = 0, tail_n = 0;
+};
+
+inline PopularityStrata PopularityStratifiedHr10(Ranker& model,
+                                                 const data::SequenceDataset& ds,
+                                                 Split split,
+                                                 const EvalConfig& config = {}) {
+  // Item frequency from training sequences.
+  std::vector<int64_t> freq(ds.num_items + 1, 0);
+  for (const auto& s : ds.train_seqs) {
+    for (int32_t it : s) freq[it]++;
+  }
+  // Thirds by frequency rank.
+  std::vector<int32_t> items(ds.num_items);
+  std::iota(items.begin(), items.end(), 1);
+  std::sort(items.begin(), items.end(), [&](int32_t a, int32_t b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;  // deterministic tie-break
+  });
+  std::vector<int> bucket(ds.num_items + 1, 2);
+  for (size_t i = 0; i < items.size(); ++i) {
+    bucket[items[i]] = static_cast<int>(i * 3 / items.size());  // 0=head, 2=tail
+  }
+
+  const std::vector<int32_t>& targets =
+      split == Split::kValidation ? ds.valid_targets : ds.test_targets;
+  std::vector<std::vector<int32_t>> inputs(ds.num_users());
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    inputs[u] = split == Split::kValidation ? ds.ValidInput(u) : ds.TestInput(u);
+  }
+  double hits[3] = {0, 0, 0};
+  int64_t counts[3] = {0, 0, 0};
+  const int64_t N1 = static_cast<int64_t>(ds.num_items) + 1;
+  for (int32_t start = 0; start < ds.num_users();
+       start += static_cast<int32_t>(config.batch_size)) {
+    std::vector<int32_t> rows;
+    for (int32_t u = start;
+         u < std::min<int32_t>(ds.num_users(), start + config.batch_size); ++u) {
+      rows.push_back(u);
+    }
+    data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
+    std::vector<float> scores = model.ScoreAll(batch);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);
+      const int32_t t = targets[rows[b]];
+      const int bk = bucket[t];
+      hits[bk] += HitAt(RankOfTarget(row, t), 10);
+      counts[bk]++;
+    }
+  }
+  PopularityStrata out;
+  out.head_n = counts[0];
+  out.mid_n = counts[1];
+  out.tail_n = counts[2];
+  out.head_hr10 = counts[0] ? hits[0] / counts[0] : 0.0;
+  out.mid_hr10 = counts[1] ? hits[1] / counts[1] : 0.0;
+  out.tail_hr10 = counts[2] ? hits[2] / counts[2] : 0.0;
+  return out;
+}
+
+}  // namespace eval
+}  // namespace msgcl
+
+#endif  // MSGCL_EVAL_ANALYSIS_H_

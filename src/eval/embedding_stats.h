@@ -1,0 +1,170 @@
+// Quantitative item-embedding distribution statistics — the substitution for
+// the paper's Fig. 6 t-SNE scatter (see DESIGN.md §1, substitution 3).
+//
+// Fig. 6's qualitative claim: SASRec's item embeddings collapse into a
+// "narrow cone" while Meta-SGCL's spread more uniformly. We quantify that
+// with four statistics over the learned embedding matrix:
+//   * mean pairwise cosine similarity (cone-ness: higher = narrower cone)
+//   * uniformity loss log E exp(-2 ||z_i - z_j||^2) on normalised embeddings
+//     (Wang & Isola 2020; lower = more uniform)
+//   * singular-value entropy of the embedding matrix, normalised to [0, 1]
+//     (higher = variance spread over more directions)
+//   * mean embedding norm (scale context for the above)
+#ifndef MSGCL_EVAL_EMBEDDING_STATS_H_
+#define MSGCL_EVAL_EMBEDDING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace eval {
+
+/// Distribution statistics of an item-embedding matrix.
+struct EmbeddingStats {
+  double mean_cosine = 0.0;     // cone-ness; ~0 for isotropic embeddings
+  double uniformity = 0.0;      // Wang-Isola uniformity loss (lower = better)
+  double sv_entropy = 0.0;      // normalised singular-value entropy in [0, 1]
+  double mean_norm = 0.0;
+
+  std::string ToString() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "mean_cos=%.4f uniformity=%.4f sv_entropy=%.4f mean_norm=%.4f",
+                  mean_cosine, uniformity, sv_entropy, mean_norm);
+    return buf;
+  }
+};
+
+namespace internal {
+
+/// Eigenvalues of a small symmetric matrix via cyclic Jacobi rotations.
+inline std::vector<double> SymmetricEigenvalues(std::vector<double> a, int n,
+                                                int sweeps = 50) {
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    }
+    if (off < 1e-18) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-15) continue;
+        const double theta = (a[q * n + q] - a[p * n + p]) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = a[k * n + p], akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a[p * n + k], aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (int i = 0; i < n; ++i) eig[i] = a[i * n + i];
+  return eig;
+}
+
+}  // namespace internal
+
+/// Computes EmbeddingStats for `table` ([num_items+1, d]; row 0 = padding is
+/// skipped). Pairwise statistics are estimated from `sample_pairs` random
+/// pairs for O(1) memory.
+inline EmbeddingStats ComputeEmbeddingStats(const Tensor& table, Rng& rng,
+                                            int64_t sample_pairs = 20000) {
+  MSGCL_CHECK_EQ(table.ndim(), 2);
+  const int64_t rows = table.dim(0);
+  const int64_t d = table.dim(1);
+  MSGCL_CHECK_GT(rows, 2);
+  const int64_t n = rows - 1;  // skip padding row 0
+  const auto& e = table.data();
+
+  EmbeddingStats stats;
+
+  // Mean norm.
+  std::vector<double> norms(n);
+  for (int64_t i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double v = e[(i + 1) * d + j];
+      sq += v * v;
+    }
+    norms[i] = std::sqrt(sq);
+    stats.mean_norm += norms[i];
+  }
+  stats.mean_norm /= static_cast<double>(n);
+
+  // Sampled pairwise cosine and uniformity.
+  double cos_sum = 0.0;
+  double unif_sum = 0.0;
+  for (int64_t s = 0; s < sample_pairs; ++s) {
+    const int64_t i = static_cast<int64_t>(rng.UniformInt(n));
+    int64_t j = static_cast<int64_t>(rng.UniformInt(n - 1));
+    if (j >= i) ++j;
+    double dot = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      dot += static_cast<double>(e[(i + 1) * d + k]) * e[(j + 1) * d + k];
+    }
+    const double denom = std::max(norms[i] * norms[j], 1e-12);
+    const double c = dot / denom;
+    cos_sum += c;
+    // On unit-normalised embeddings ||zi - zj||^2 = 2 - 2 cos.
+    unif_sum += std::exp(-2.0 * (2.0 - 2.0 * c));
+  }
+  stats.mean_cosine = cos_sum / static_cast<double>(sample_pairs);
+  stats.uniformity = std::log(unif_sum / static_cast<double>(sample_pairs));
+
+  // Singular-value entropy from the d x d covariance (mean-centred).
+  std::vector<double> mean(d, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) mean[j] += e[(i + 1) * d + j];
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+  std::vector<double> cov(d * d, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t a = 0; a < d; ++a) {
+      const double va = e[(i + 1) * d + a] - mean[a];
+      for (int64_t b = a; b < d; ++b) {
+        cov[a * d + b] += va * (e[(i + 1) * d + b] - mean[b]);
+      }
+    }
+  }
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b = 0; b < a; ++b) cov[a * d + b] = cov[b * d + a];
+  }
+  auto eig = internal::SymmetricEigenvalues(std::move(cov), static_cast<int>(d));
+  double total = 0.0;
+  for (double& v : eig) {
+    v = std::max(v, 0.0);
+    total += v;
+  }
+  double entropy = 0.0;
+  if (total > 0.0) {
+    for (double v : eig) {
+      if (v <= 0.0) continue;
+      const double p = v / total;
+      entropy -= p * std::log(p);
+    }
+    entropy /= std::log(static_cast<double>(d));  // normalise to [0, 1]
+  }
+  stats.sv_entropy = entropy;
+  return stats;
+}
+
+}  // namespace eval
+}  // namespace msgcl
+
+#endif  // MSGCL_EVAL_EMBEDDING_STATS_H_

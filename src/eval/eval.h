@@ -1,0 +1,11 @@
+// Umbrella header for the evaluation substrate.
+#ifndef MSGCL_EVAL_EVAL_H_
+#define MSGCL_EVAL_EVAL_H_
+
+#include "eval/analysis.h"         // IWYU pragma: export
+#include "eval/embedding_stats.h"  // IWYU pragma: export
+#include "eval/evaluator.h"        // IWYU pragma: export
+#include "eval/metrics.h"          // IWYU pragma: export
+#include "eval/recommend.h"        // IWYU pragma: export
+
+#endif  // MSGCL_EVAL_EVAL_H_

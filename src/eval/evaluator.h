@@ -1,0 +1,84 @@
+// Leave-one-out ranking evaluation over the full item set (paper §V.A).
+//
+// Models implement the minimal `Ranker` interface; the evaluator batches
+// users, asks the model to score every item, and accumulates HR/NDCG for the
+// held-out target of each user.
+#ifndef MSGCL_EVAL_EVALUATOR_H_
+#define MSGCL_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/batching.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace msgcl {
+namespace eval {
+
+/// Minimal scoring interface every recommender implements.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Human-readable model name (Table II row label).
+  virtual std::string name() const = 0;
+
+  /// Scores all items for each sequence in the batch.
+  ///
+  /// `batch.inputs` holds B left-padded sequences of length T. The result
+  /// must have B * (num_items + 1) entries; entry [b * (N+1) + i] is the
+  /// score of item id i for row b (index 0 is padding and is ignored).
+  virtual std::vector<float> ScoreAll(const data::Batch& batch) = 0;
+};
+
+/// Which held-out interaction to rank.
+enum class Split { kValidation, kTest };
+
+/// Evaluator configuration.
+struct EvalConfig {
+  int64_t max_len = 50;
+  int64_t batch_size = 128;
+  std::vector<int> cutoffs = {5, 10};
+};
+
+/// Runs the paper's protocol: for each user, rank the held-out item among
+/// all items and accumulate HR@k / NDCG@k.
+inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split split,
+                        const EvalConfig& config = {}) {
+  const int32_t U = ds.num_users();
+  std::vector<std::vector<int32_t>> inputs(U);
+  const std::vector<int32_t>& targets =
+      split == Split::kValidation ? ds.valid_targets : ds.test_targets;
+  for (int32_t u = 0; u < U; ++u) {
+    inputs[u] = split == Split::kValidation ? ds.ValidInput(u) : ds.TestInput(u);
+  }
+
+  MetricAccumulator acc(config.cutoffs);
+  const int64_t N1 = static_cast<int64_t>(ds.num_items) + 1;
+  for (int32_t start = 0; start < U; start += static_cast<int32_t>(config.batch_size)) {
+    std::vector<int32_t> rows;
+    for (int32_t u = start; u < std::min<int32_t>(U, start + config.batch_size); ++u) {
+      rows.push_back(u);
+    }
+    data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
+    std::vector<float> scores = model.ScoreAll(batch);
+    MSGCL_CHECK_EQ(static_cast<int64_t>(scores.size()), batch.batch_size * N1);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);
+      acc.Add(RankOfTarget(row, targets[rows[b]]));
+    }
+  }
+  Metrics m;
+  m.hr5 = acc.Hr(5);
+  m.hr10 = acc.Hr(10);
+  m.ndcg5 = acc.Ndcg(5);
+  m.ndcg10 = acc.Ndcg(10);
+  m.mrr = acc.Mrr();
+  return m;
+}
+
+}  // namespace eval
+}  // namespace msgcl
+
+#endif  // MSGCL_EVAL_EVALUATOR_H_

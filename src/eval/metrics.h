@@ -1,0 +1,102 @@
+// Top-k ranking metrics: Hit Ratio and NDCG (paper §V.A "Metrics").
+#ifndef MSGCL_EVAL_METRICS_H_
+#define MSGCL_EVAL_METRICS_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace eval {
+
+/// 0-based rank of `target` under `scores` (rank 0 = highest score).
+/// Computed by counting strictly-greater scores, so full sorting is avoided;
+/// ties rank the target optimistically last among equals is avoided by
+/// counting ties at half weight? No — ties count as ranked above only when
+/// strictly greater, matching common implementations.
+/// `scores` is indexed by item id; index 0 (padding) is skipped.
+inline int64_t RankOfTarget(const std::vector<float>& scores, int32_t target) {
+  MSGCL_CHECK_GT(target, 0);
+  MSGCL_CHECK_LT(static_cast<size_t>(target), scores.size());
+  const float t = scores[target];
+  int64_t rank = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (static_cast<int32_t>(i) != target && scores[i] > t) ++rank;
+  }
+  return rank;
+}
+
+/// HR@k contribution of one ranked example: 1 if rank < k.
+inline double HitAt(int64_t rank, int k) { return rank < k ? 1.0 : 0.0; }
+
+/// NDCG@k contribution of one ranked example with a single relevant item:
+/// 1/log2(rank + 2) if rank < k, else 0.
+inline double NdcgAt(int64_t rank, int k) {
+  return rank < k ? 1.0 / std::log2(static_cast<double>(rank) + 2.0) : 0.0;
+}
+
+/// Accumulates HR@k / NDCG@k over users for a fixed set of cutoffs.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(std::vector<int> ks = {5, 10}) : ks_(std::move(ks)) {
+    MSGCL_CHECK_LE(ks_.size(), hr_.size());
+  }
+
+  void Add(int64_t rank) {
+    ++count_;
+    mrr_ += 1.0 / static_cast<double>(rank + 1);
+    for (size_t i = 0; i < ks_.size(); ++i) {
+      hr_[i] += HitAt(rank, ks_[i]);
+      ndcg_[i] += NdcgAt(rank, ks_[i]);
+    }
+  }
+
+  int64_t count() const { return count_; }
+
+  double Hr(int k) const { return Get(hr_, k); }
+  double Ndcg(int k) const { return Get(ndcg_, k); }
+  /// Mean reciprocal rank over all accumulated examples (extension metric;
+  /// not reported in the paper but standard in the area).
+  double Mrr() const { return count_ == 0 ? 0.0 : mrr_ / static_cast<double>(count_); }
+
+ private:
+  double Get(const std::array<double, 8>& acc, int k) const {
+    for (size_t i = 0; i < ks_.size(); ++i) {
+      if (ks_[i] == k) return count_ == 0 ? 0.0 : acc[i] / static_cast<double>(count_);
+    }
+    MSGCL_CHECK_MSG(false, "cutoff k=" << k << " was not configured");
+    return 0.0;
+  }
+
+  std::vector<int> ks_;
+  std::array<double, 8> hr_{};
+  std::array<double, 8> ndcg_{};
+  double mrr_ = 0.0;
+  int64_t count_ = 0;
+};
+
+/// Final metric bundle reported by the evaluator (the four Table II columns).
+struct Metrics {
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double ndcg5 = 0.0;
+  double ndcg10 = 0.0;
+  double mrr = 0.0;  // extension metric (not in the paper's tables)
+
+  std::string ToString() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "HR@5=%.4f HR@10=%.4f NDCG@5=%.4f NDCG@10=%.4f", hr5,
+                  hr10, ndcg5, ndcg10);
+    return buf;
+  }
+};
+
+}  // namespace eval
+}  // namespace msgcl
+
+#endif  // MSGCL_EVAL_METRICS_H_

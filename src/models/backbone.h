@@ -1,0 +1,100 @@
+// Shared self-attention backbone: item + position embeddings feeding a
+// Transformer encoder, with weight-tied all-item scoring. SASRec, BERT4Rec,
+// VSAN, DuoRec, ContrastVAE, ACVAE and Meta-SGCL all build on this, so their
+// comparison isolates the training objective (DESIGN.md §4.3).
+#ifndef MSGCL_MODELS_BACKBONE_H_
+#define MSGCL_MODELS_BACKBONE_H_
+
+#include <vector>
+
+#include "data/batching.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// Backbone hyper-parameters.
+struct BackboneConfig {
+  int64_t num_items = 0;  // valid ids 1..num_items
+  int64_t max_len = 50;
+  int64_t dim = 32;
+  int64_t heads = 2;
+  int64_t layers = 2;
+  float dropout = 0.2f;
+  bool with_mask_token = false;  // reserve id num_items+1 (BERT4Rec)
+};
+
+/// Embedding layer + Transformer encoder + tied output projection.
+class SasBackbone : public nn::Module {
+ public:
+  SasBackbone(const BackboneConfig& config, Rng& rng)
+      : config_(config),
+        item_emb_(config.num_items + (config.with_mask_token ? 2 : 1), config.dim, rng,
+                  /*padding_idx=*/0),
+        pos_emb_(config.max_len, config.dim, rng),
+        encoder_({config.dim, config.heads, config.layers, config.dropout}, rng),
+        emb_dropout_(config.dropout),
+        emb_norm_(config.dim) {
+    RegisterChild("item_emb", &item_emb_);
+    RegisterChild("pos_emb", &pos_emb_);
+    RegisterChild("encoder", &encoder_);
+    RegisterChild("emb_dropout", &emb_dropout_);
+    RegisterChild("emb_norm", &emb_norm_);
+  }
+
+  /// Embeds a batch: item embedding + position embedding, LayerNorm, dropout
+  /// (Eq. 4). Returns [B, T, dim].
+  Tensor Embed(const data::Batch& batch, Rng& rng) const {
+    Tensor e = item_emb_.Forward(batch.inputs, {batch.batch_size, batch.seq_len});
+    Tensor p = pos_emb_.Forward(batch.positions, {batch.batch_size, batch.seq_len});
+    return emb_dropout_.Forward(emb_norm_.Forward(e.Add(p)), rng);
+  }
+
+  /// Embed + encode. `causal` selects unidirectional (SASRec) vs
+  /// bidirectional (BERT4Rec) attention. `skip_layer` bypasses one encoder
+  /// block (SRMA's layer-drop augmentation; -1 = full stack). Returns hidden
+  /// states [B, T, dim].
+  Tensor Encode(const data::Batch& batch, bool causal, Rng& rng,
+                int64_t skip_layer = -1) const {
+    Tensor x = Embed(batch, rng);
+    return encoder_.Forward(x, causal, &batch.key_padding, rng, skip_layer);
+  }
+
+  /// Number of encoder blocks (for layer-drop sampling).
+  int64_t num_layers() const { return encoder_.num_layers(); }
+
+  /// Weight-tied logits against rows 0..num_items of the item table
+  /// (the mask-token row, when present, is excluded so it is never
+  /// recommended). h: [M, dim] -> [M, num_items + 1].
+  Tensor LogitsAll(const Tensor& h) const {
+    Tensor table = item_emb_.table();
+    if (config_.with_mask_token) table = table.Narrow(0, 0, config_.num_items + 1);
+    return h.MatMul(table.TransposeLast2());
+  }
+
+  /// Hidden state of the final (most recent) position: [B, dim].
+  static Tensor LastPosition(const Tensor& h) {
+    const int64_t B = h.dim(0), T = h.dim(1), D = h.dim(2);
+    return h.Narrow(1, T - 1, 1).Reshape({B, D});
+  }
+
+  const nn::Embedding& item_embedding() const { return item_emb_; }
+  const BackboneConfig& config() const { return config_; }
+  int32_t mask_token() const {
+    MSGCL_CHECK(config_.with_mask_token);
+    return static_cast<int32_t>(config_.num_items + 1);
+  }
+
+ private:
+  BackboneConfig config_;
+  nn::Embedding item_emb_;
+  nn::Embedding pos_emb_;
+  nn::TransformerEncoder encoder_;
+  nn::Dropout emb_dropout_;
+  nn::LayerNorm emb_norm_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_BACKBONE_H_

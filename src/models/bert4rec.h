@@ -1,0 +1,113 @@
+// BERT4Rec baseline (Sun et al., CIKM 2019): bidirectional self-attention
+// trained as masked-item prediction (Cloze task). At inference the [mask]
+// token is appended after the history and its hidden state scores all items.
+#ifndef MSGCL_MODELS_BERT4REC_H_
+#define MSGCL_MODELS_BERT4REC_H_
+
+#include <vector>
+
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// BERT4Rec configuration: backbone + masking probability.
+struct Bert4RecConfig {
+  BackboneConfig backbone;
+  float mask_prob = 0.2f;
+};
+
+class Bert4Rec : public Recommender, public nn::Module {
+ public:
+  Bert4Rec(Bert4RecConfig config, const TrainConfig& train, Rng rng)
+      : config_(std::move(config)), train_(train), rng_(rng),
+        backbone_((config_.backbone.with_mask_token = true, config_.backbone), rng_) {
+    RegisterChild("backbone", &backbone_);
+  }
+
+  std::string name() const override { return "BERT4Rec"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(*this, opt, train_.grad_clip,
+                             [this](const data::Batch& batch, Rng& rng) {
+                               return Loss(batch, rng);
+                             });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  /// Cloze loss: randomly replace non-pad inputs with [mask] and predict the
+  /// original item at masked positions only. The final position is always
+  /// masked with probability 0.5 to align training with inference.
+  Tensor Loss(const data::Batch& batch, Rng& rng) const {
+    data::Batch masked = batch;
+    std::vector<int32_t> mlm_targets(batch.inputs.size(), 0);
+    const int32_t mask_id = backbone_.mask_token();
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      bool any = false;
+      for (int64_t t = 0; t < batch.seq_len; ++t) {
+        const int64_t i = b * batch.seq_len + t;
+        if (batch.inputs[i] == 0) continue;
+        const bool is_last = t == batch.seq_len - 1;
+        const double p = is_last ? 0.5 : config_.mask_prob;
+        if (rng.Bernoulli(p)) {
+          mlm_targets[i] = batch.inputs[i];
+          masked.inputs[i] = mask_id;
+          any = true;
+        }
+      }
+      if (!any) {
+        // Guarantee a training signal: mask the final real position.
+        for (int64_t t = batch.seq_len - 1; t >= 0; --t) {
+          const int64_t i = b * batch.seq_len + t;
+          if (batch.inputs[i] != 0) {
+            mlm_targets[i] = batch.inputs[i];
+            masked.inputs[i] = mask_id;
+            break;
+          }
+        }
+      }
+    }
+    Tensor h = backbone_.Encode(masked, /*causal=*/false, rng);
+    Tensor logits = backbone_.LogitsAll(
+        h.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+    return CrossEntropyLogits(logits, mlm_targets, /*ignore_index=*/0);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    // Shift the history left by one and append [mask]; predict at the mask.
+    data::Batch shifted = batch;
+    const int32_t mask_id = backbone_.mask_token();
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      for (int64_t t = 0; t + 1 < batch.seq_len; ++t) {
+        shifted.inputs[b * batch.seq_len + t] = batch.inputs[b * batch.seq_len + t + 1];
+        shifted.key_padding[b * batch.seq_len + t] =
+            batch.key_padding[b * batch.seq_len + t + 1];
+      }
+      shifted.inputs[(b + 1) * batch.seq_len - 1] = mask_id;
+      shifted.key_padding[(b + 1) * batch.seq_len - 1] = 0;
+    }
+    Rng rng(0);
+    Tensor h = backbone_.Encode(shifted, /*causal=*/false, rng);
+    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  Bert4RecConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_BERT4REC_H_

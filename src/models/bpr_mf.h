@@ -1,0 +1,96 @@
+// BPR-MF baseline (Rendle et al., UAI 2009): matrix factorisation trained
+// with the Bayesian Personalised Ranking pairwise loss on implicit feedback.
+// Non-sequential: order within a user's history is ignored.
+#ifndef MSGCL_MODELS_BPR_MF_H_
+#define MSGCL_MODELS_BPR_MF_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// BPR-MF configuration.
+struct BprMfConfig {
+  int64_t dim = 32;
+  float weight_decay = 1e-5f;
+};
+
+class BprMf : public Recommender, public nn::Module {
+ public:
+  BprMf(const BprMfConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config), train_(train), rng_(rng) {}
+
+  std::string name() const override { return "BPR-MF"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    num_items_ = ds.num_items;
+    user_emb_ = std::make_unique<nn::Embedding>(ds.num_users(), config_.dim, rng_);
+    item_emb_ = std::make_unique<nn::Embedding>(ds.num_items + 1, config_.dim, rng_,
+                                                /*padding_idx=*/0);
+    RegisterChild("user_emb", user_emb_.get());
+    RegisterChild("item_emb", item_emb_.get());
+
+    // Per-user positive sets for negative sampling.
+    std::vector<std::set<int32_t>> seen(ds.num_users());
+    for (int32_t u = 0; u < ds.num_users(); ++u) {
+      seen[u].insert(ds.train_seqs[u].begin(), ds.train_seqs[u].end());
+    }
+
+    nn::Adam opt(Parameters(), train_.lr, 0.9f, 0.999f, 1e-8f, config_.weight_decay);
+    auto step = [&](const data::Batch& batch, Rng& rng) {
+      // One (user, positive, negative) triple per row; the positive is a
+      // uniformly drawn item from the user's history.
+      const int64_t B = batch.batch_size;
+      std::vector<int32_t> users(B), pos(B), neg(B);
+      for (int64_t b = 0; b < B; ++b) {
+        const int32_t u = batch.users[b];
+        users[b] = u;
+        const auto& seq = ds.train_seqs[u];
+        pos[b] = seq[rng.UniformInt(seq.size())];
+        int32_t n;
+        do {
+          n = 1 + static_cast<int32_t>(rng.UniformInt(ds.num_items));
+        } while (seen[u].count(n) > 0);
+        neg[b] = n;
+      }
+      opt.ZeroGrad();
+      Tensor eu = user_emb_->Forward(users, {B});
+      Tensor ep = item_emb_->Forward(pos, {B});
+      Tensor en = item_emb_->Forward(neg, {B});
+      Tensor diff = eu.Mul(ep).SumLastDim().Sub(eu.Mul(en).SumLastDim());
+      // -log sigmoid(diff), numerically safe via the sigmoid op itself.
+      Tensor loss = diff.Sigmoid().Log().Neg().Mean();
+      loss.Backward();
+      opt.Step();
+      return loss.item();
+    };
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    MSGCL_CHECK_MSG(user_emb_ != nullptr, "BprMf::Fit must be called before ScoreAll");
+    NoGradGuard guard;
+    Tensor eu = user_emb_->Forward(batch.users, {batch.batch_size});
+    Tensor logits = eu.MatMul(item_emb_->table().TransposeLast2());
+    return logits.data();
+  }
+
+ private:
+  BprMfConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  int32_t num_items_ = 0;
+  std::unique_ptr<nn::Embedding> user_emb_;
+  std::unique_ptr<nn::Embedding> item_emb_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_BPR_MF_H_

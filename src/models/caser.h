@@ -1,0 +1,126 @@
+// Caser baseline (Tang & Wang, WSDM 2018): treats the last T item embeddings
+// as a T x d "image" and applies horizontal (per-window) and vertical
+// (per-dimension) convolutions, concatenated with a user embedding for
+// prediction. Trained with all-item cross-entropy at the sequence level.
+#ifndef MSGCL_MODELS_CASER_H_
+#define MSGCL_MODELS_CASER_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// Caser configuration.
+struct CaserConfig {
+  int64_t num_items = 0;
+  int64_t dim = 32;
+  std::vector<int64_t> h_filter_heights = {2, 3, 4};
+  int64_t h_filters_per_height = 4;  // n_h in the paper
+  int64_t v_filters = 2;             // n_v in the paper
+  float dropout = 0.2f;
+};
+
+class Caser : public Recommender, public nn::Module {
+ public:
+  Caser(const CaserConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config),
+        train_(train),
+        rng_(rng),
+        item_emb_(config.num_items + 1, config.dim, rng_, /*padding_idx=*/0),
+        dropout_(config.dropout) {
+    RegisterChild("item_emb", &item_emb_);
+    RegisterChild("dropout", &dropout_);
+    for (int64_t h : config_.h_filter_heights) {
+      h_weights_.push_back(RegisterParameter(
+          "hconv" + std::to_string(h) + ".weight",
+          nn::NormalInit({config_.h_filters_per_height, h, config_.dim}, rng_, 0.1f)));
+      h_biases_.push_back(RegisterParameter("hconv" + std::to_string(h) + ".bias",
+                                            Tensor::Zeros({config_.h_filters_per_height})));
+    }
+    // Vertical filters contract the time axis: [v_filters, T].
+    v_weight_ = RegisterParameter(
+        "vconv.weight", nn::NormalInit({config_.v_filters, train_.max_len}, rng_, 0.1f));
+    const int64_t conv_out = static_cast<int64_t>(config_.h_filter_heights.size()) *
+                                 config_.h_filters_per_height +
+                             config_.v_filters * config_.dim;
+    fc_ = std::make_unique<nn::Linear>(conv_out, config_.dim, rng_);
+    RegisterChild("fc", fc_.get());
+  }
+
+  std::string name() const override { return "Caser"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    // The user embedding table is sized by the dataset, so it is created here.
+    if (user_emb_ == nullptr) {
+      user_emb_ = std::make_unique<nn::Embedding>(ds.num_users(), config_.dim, rng_);
+      RegisterChild("user_emb", user_emb_.get());
+      out_ = std::make_unique<nn::Linear>(2 * config_.dim, config_.num_items + 1, rng_);
+      RegisterChild("out", out_.get());
+    }
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(*this, opt, train_.grad_clip,
+                             [this](const data::Batch& batch, Rng& rng) {
+                               Tensor logits = Logits(batch, rng, /*use_user=*/true);
+                               return CrossEntropyLogits(logits, batch.LastTargets(),
+                                                         /*ignore_index=*/0);
+                             });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    MSGCL_CHECK_MSG(user_emb_ != nullptr, "Caser::Fit must be called before ScoreAll");
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor logits = Logits(batch, rng, /*use_user=*/true);
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  /// Full Caser pipeline: embeddings -> conv features -> fc -> user concat ->
+  /// all-item logits [B, num_items + 1].
+  Tensor Logits(const data::Batch& batch, Rng& rng, bool use_user) const {
+    const int64_t B = batch.batch_size, T = batch.seq_len;
+    MSGCL_CHECK_EQ(T, train_.max_len);
+    Tensor x = item_emb_.Forward(batch.inputs, {B, T});  // [B, T, d]
+
+    std::vector<Tensor> feats;
+    for (size_t i = 0; i < h_weights_.size(); ++i) {
+      // [B, L, F] -> max over time -> [B, F]
+      Tensor c = HorizontalConv(x, h_weights_[i], h_biases_[i]).Relu();
+      feats.push_back(c.TransposeLast2().MaxLastDim());
+    }
+    // Vertical: [F_v, T] @ [B, T, d] -> [B, F_v, d] -> flatten.
+    Tensor v = v_weight_.MatMul(x).Reshape({B, config_.v_filters * config_.dim});
+    feats.push_back(v);
+
+    Tensor conv = dropout_.Forward(Tensor::Concat(feats, 1), rng);
+    Tensor zc = fc_->Forward(conv).Relu();  // [B, d]
+    Tensor zu = use_user ? user_emb_->Forward(batch.users, {B})
+                         : Tensor::Zeros({B, config_.dim});
+    return out_->Forward(Tensor::Concat({zc, zu}, 1));
+  }
+
+  CaserConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Dropout dropout_;
+  std::vector<Tensor> h_weights_, h_biases_;
+  Tensor v_weight_;
+  std::unique_ptr<nn::Linear> fc_;
+  std::unique_ptr<nn::Linear> out_;
+  std::unique_ptr<nn::Embedding> user_emb_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_CASER_H_

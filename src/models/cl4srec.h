@@ -1,0 +1,100 @@
+// CL4SRec baseline (Xie et al., 2020 — "CLS4Rec" in the paper's §I): SASRec
+// plus contrastive learning whose two views are random *data* augmentations
+// of the sequence (item crop / item mask / item reorder). This is the
+// canonical hand-crafted-augmentation method whose semantic damage motivates
+// Meta-SGCL's generative views (paper Fig. 1a).
+#ifndef MSGCL_MODELS_CL4SREC_H_
+#define MSGCL_MODELS_CL4SREC_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/augment.h"
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// CL4SRec configuration.
+struct Cl4SRecConfig {
+  BackboneConfig backbone;
+  float lambda = 0.1f;  // contrastive weight
+  float tau = 0.5f;
+  nn::Similarity similarity = nn::Similarity::kCosine;
+  double crop_ratio = 0.6;
+  double mask_ratio = 0.3;
+  double reorder_ratio = 0.3;
+};
+
+class Cl4SRec : public Recommender, public nn::Module {
+ public:
+  Cl4SRec(Cl4SRecConfig config, const TrainConfig& train, Rng rng)
+      : config_((config.backbone.with_mask_token = true, std::move(config))),
+        train_(train),
+        rng_(rng),
+        backbone_(config_.backbone, rng_) {
+    RegisterChild("backbone", &backbone_);
+  }
+
+  std::string name() const override { return "CL4SRec"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(
+        *this, opt, train_.grad_clip, [this, &ds](const data::Batch& batch, Rng& rng) {
+          // Main task: next-item prediction on the un-augmented sequence.
+          Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+          Tensor logits = backbone_.LogitsAll(
+              h.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+          Tensor loss = CrossEntropyLogits(logits, batch.targets, 0);
+          if (config_.lambda > 0.0f && batch.batch_size > 1) {
+            Tensor z1 = EncodeAugmented(ds, batch, rng);
+            Tensor z2 = EncodeAugmented(ds, batch, rng);
+            loss = loss.Add(nn::InfoNce(z1, z2, config_.tau, config_.similarity)
+                                .MulScalar(config_.lambda));
+          }
+          return loss;
+        });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  /// Sequence-level representation of a randomly augmented copy of each row.
+  Tensor EncodeAugmented(const data::SequenceDataset& ds, const data::Batch& batch,
+                         Rng& rng) const {
+    std::vector<std::vector<int32_t>> aug(ds.train_seqs.size());
+    for (int32_t u : batch.users) {
+      aug[u] = data::AugmentRandom(ds.train_seqs[u], backbone_.mask_token(), rng,
+                                   config_.crop_ratio, config_.mask_ratio,
+                                   config_.reorder_ratio);
+      if (aug[u].empty()) aug[u] = ds.train_seqs[u];
+    }
+    data::Batch view = data::MakeTrainBatch(ds, batch.users, batch.seq_len, &aug);
+    Tensor h = backbone_.Encode(view, /*causal=*/true, rng);
+    return SasBackbone::LastPosition(h);
+  }
+
+  Cl4SRecConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_CL4SREC_H_

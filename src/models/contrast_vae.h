@@ -1,0 +1,117 @@
+// ContrastVAE baseline (Wang et al., CIKM 2022): a variational sequence
+// model with *two* views per sequence — the original input and a
+// data-augmented copy (CL4SRec crop/mask/reorder), each passing through the
+// encoder with independent dropout (model augmentation). Both views get an
+// ELBO (cross-entropy + KL) and their sequence-level latents are pulled
+// together with InfoNCE. Meta-SGCL's pitch is that these random-edit views
+// can destroy sequence semantics; this baseline makes that comparison live.
+#ifndef MSGCL_MODELS_CONTRAST_VAE_H_
+#define MSGCL_MODELS_CONTRAST_VAE_H_
+
+#include <vector>
+
+#include "data/augment.h"
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// ContrastVAE configuration.
+struct ContrastVaeConfig {
+  BackboneConfig backbone;
+  float alpha = 0.1f;  // contrastive weight
+  float beta = 0.2f;   // KL weight
+  float tau = 1.0f;
+};
+
+class ContrastVae : public Recommender, public nn::Module {
+ public:
+  ContrastVae(ContrastVaeConfig config, const TrainConfig& train, Rng rng)
+      : config_((config.backbone.with_mask_token = true, std::move(config))),
+        train_(train),
+        rng_(rng),
+        backbone_(config_.backbone, rng_),
+        enc_mu_(config_.backbone.dim, config_.backbone.dim, rng_),
+        enc_logvar_(config_.backbone.dim, config_.backbone.dim, rng_) {
+    RegisterChild("backbone", &backbone_);
+    RegisterChild("enc_mu", &enc_mu_);
+    RegisterChild("enc_logvar", &enc_logvar_);
+    enc_logvar_.InitBiasConstant(-4.0f);  // start at small sigma
+  }
+
+  std::string name() const override { return "ContrastVAE"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(
+        *this, opt, train_.grad_clip, [this, &ds](const data::Batch& batch, Rng& rng) {
+          // View 2: CL4SRec augmentation of each row's training sequence.
+          std::vector<std::vector<int32_t>> aug(ds.train_seqs.size());
+          for (int32_t u : batch.users) {
+            aug[u] = data::AugmentRandom(ds.train_seqs[u], backbone_.mask_token(), rng);
+            if (aug[u].size() < 2) aug[u] = ds.train_seqs[u];
+          }
+          data::Batch batch2 =
+              data::MakeTrainBatch(ds, batch.users, batch.seq_len, &aug);
+          // Masked items can appear as next-item targets in the augmented
+          // view; they are not scorable (logits exclude the mask row), so
+          // they are ignored in the reconstruction loss.
+          for (auto& t : batch2.targets) {
+            if (t == backbone_.mask_token()) t = 0;
+          }
+
+          auto view = [&](const data::Batch& b) {
+            Tensor h = backbone_.Encode(b, /*causal=*/true, rng);
+            Tensor mu = enc_mu_.Forward(h);
+            Tensor logvar = enc_logvar_.Forward(h);
+            Tensor z = mu.Add(logvar.MulScalar(0.5f).Exp().Mul(
+                Tensor::Randn(mu.shape(), rng)));
+            Tensor logits = backbone_.LogitsAll(
+                z.Reshape({b.batch_size * b.seq_len, backbone_.config().dim}));
+            Tensor ce = CrossEntropyLogits(logits, b.targets, 0);
+            std::vector<uint8_t> valid(b.key_padding.size());
+            for (size_t i = 0; i < valid.size(); ++i) valid[i] = b.key_padding[i] ? 0 : 1;
+            Tensor elbo = ce.Add(nn::GaussianKl(mu, logvar, &valid).MulScalar(config_.beta));
+            Tensor z_last = z.Narrow(1, b.seq_len - 1, 1)
+                                .Reshape({b.batch_size, backbone_.config().dim});
+            return std::make_pair(elbo, z_last);
+          };
+          auto [elbo1, z1] = view(batch);
+          auto [elbo2, z2] = view(batch2);
+          Tensor loss = elbo1.Add(elbo2);
+          if (config_.alpha > 0.0f && batch.batch_size > 1) {
+            loss = loss.Add(nn::InfoNce(z1, z2, config_.tau).MulScalar(config_.alpha));
+          }
+          return loss;
+        });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor mu = enc_mu_.Forward(SasBackbone::LastPosition(h));
+    Tensor logits = backbone_.LogitsAll(mu);
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  ContrastVaeConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+  nn::Linear enc_mu_;
+  nn::Linear enc_logvar_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_CONTRAST_VAE_H_

@@ -1,0 +1,172 @@
+// CoSeRec baseline (Liu et al., 2021, paper §I): contrastive learning with
+// *robust* data augmentations — instead of CL4SRec's random crop/mask/
+// reorder, CoSeRec substitutes items with highly-correlated ones and inserts
+// correlated items, preserving semantics better. Correlation here is the
+// training-data co-occurrence within a sliding window (the original offers
+// item-CF or embedding similarity; co-occurrence is its model-free variant).
+#ifndef MSGCL_MODELS_COSEREC_H_
+#define MSGCL_MODELS_COSEREC_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// Most-correlated item lookup built from windowed co-occurrence counts.
+class ItemCorrelation {
+ public:
+  /// Builds the top-1 correlate per item from `seqs` with a +-window.
+  ItemCorrelation(const std::vector<std::vector<int32_t>>& seqs, int32_t num_items,
+                  int64_t window = 3) {
+    std::vector<std::unordered_map<int32_t, int64_t>> co(num_items + 1);
+    for (const auto& s : seqs) {
+      const int64_t n = static_cast<int64_t>(s.size());
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = std::max<int64_t>(0, i - window);
+             j < std::min(n, i + window + 1); ++j) {
+          if (i == j || s[i] == s[j]) continue;
+          co[s[i]][s[j]]++;
+        }
+      }
+    }
+    best_.assign(num_items + 1, 0);
+    for (int32_t item = 1; item <= num_items; ++item) {
+      int64_t mx = 0;
+      for (const auto& [other, cnt] : co[item]) {
+        if (cnt > mx) {
+          mx = cnt;
+          best_[item] = other;
+        }
+      }
+    }
+  }
+
+  /// The most co-occurring item, or 0 when the item was never seen.
+  int32_t MostCorrelated(int32_t item) const {
+    MSGCL_CHECK_GE(item, 0);
+    MSGCL_CHECK_LT(static_cast<size_t>(item), best_.size());
+    return best_[item];
+  }
+
+ private:
+  std::vector<int32_t> best_;
+};
+
+/// Substitute: replaces a `ratio` fraction of positions with their most
+/// correlated item (falls back to keeping the item when no correlate).
+inline std::vector<int32_t> AugmentSubstitute(const std::vector<int32_t>& seq,
+                                              const ItemCorrelation& corr, double ratio,
+                                              Rng& rng) {
+  std::vector<int32_t> out = seq;
+  for (auto& it : out) {
+    if (rng.Bernoulli(ratio)) {
+      const int32_t sub = corr.MostCorrelated(it);
+      if (sub != 0) it = sub;
+    }
+  }
+  return out;
+}
+
+/// Insert: after a `ratio` fraction of positions, inserts the position's
+/// most correlated item.
+inline std::vector<int32_t> AugmentInsert(const std::vector<int32_t>& seq,
+                                          const ItemCorrelation& corr, double ratio,
+                                          Rng& rng) {
+  std::vector<int32_t> out;
+  out.reserve(seq.size() * 2);
+  for (int32_t it : seq) {
+    out.push_back(it);
+    if (rng.Bernoulli(ratio)) {
+      const int32_t ins = corr.MostCorrelated(it);
+      if (ins != 0) out.push_back(ins);
+    }
+  }
+  return out;
+}
+
+/// CoSeRec configuration.
+struct CoSeRecConfig {
+  BackboneConfig backbone;
+  float lambda = 0.1f;
+  float tau = 0.5f;
+  nn::Similarity similarity = nn::Similarity::kCosine;
+  double substitute_ratio = 0.3;
+  double insert_ratio = 0.3;
+  int64_t correlation_window = 3;
+};
+
+class CoSeRec : public Recommender, public nn::Module {
+ public:
+  CoSeRec(const CoSeRecConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config), train_(train), rng_(rng), backbone_(config.backbone, rng_) {
+    RegisterChild("backbone", &backbone_);
+  }
+
+  std::string name() const override { return "CoSeRec"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    corr_ = std::make_unique<ItemCorrelation>(ds.train_seqs, ds.num_items,
+                                              config_.correlation_window);
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(
+        *this, opt, train_.grad_clip, [this, &ds](const data::Batch& batch, Rng& rng) {
+          Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+          Tensor logits = backbone_.LogitsAll(
+              h.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+          Tensor loss = CrossEntropyLogits(logits, batch.targets, 0);
+          if (config_.lambda > 0.0f && batch.batch_size > 1) {
+            Tensor z1 = EncodeAugmented(ds, batch, rng);
+            Tensor z2 = EncodeAugmented(ds, batch, rng);
+            loss = loss.Add(nn::InfoNce(z1, z2, config_.tau, config_.similarity)
+                                .MulScalar(config_.lambda));
+          }
+          return loss;
+        });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  Tensor EncodeAugmented(const data::SequenceDataset& ds, const data::Batch& batch,
+                         Rng& rng) const {
+    std::vector<std::vector<int32_t>> aug(ds.train_seqs.size());
+    for (int32_t u : batch.users) {
+      const auto& seq = ds.train_seqs[u];
+      aug[u] = rng.Bernoulli(0.5)
+                   ? AugmentSubstitute(seq, *corr_, config_.substitute_ratio, rng)
+                   : AugmentInsert(seq, *corr_, config_.insert_ratio, rng);
+      if (aug[u].empty()) aug[u] = seq;
+    }
+    data::Batch view = data::MakeTrainBatch(ds, batch.users, batch.seq_len, &aug);
+    Tensor h = backbone_.Encode(view, /*causal=*/true, rng);
+    return SasBackbone::LastPosition(h);
+  }
+
+  CoSeRecConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+  std::unique_ptr<ItemCorrelation> corr_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_COSEREC_H_

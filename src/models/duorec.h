@@ -1,0 +1,111 @@
+// DuoRec baseline (Qiu et al., WSDM 2022): SASRec plus contrastive
+// regularisation where the two views of a sequence are (a) the same input
+// passed twice through the encoder with independent dropout masks
+// (unsupervised, model-level augmentation) and (b) optionally a different
+// sequence sharing the same target item (supervised positive sampling).
+#ifndef MSGCL_MODELS_DUOREC_H_
+#define MSGCL_MODELS_DUOREC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// DuoRec configuration.
+struct DuoRecConfig {
+  BackboneConfig backbone;
+  float lambda = 0.1f;  // weight of the contrastive term
+  float tau = 1.0f;     // InfoNCE temperature
+  bool supervised_positives = true;
+  nn::Similarity similarity = nn::Similarity::kDot;
+};
+
+class DuoRec : public Recommender, public nn::Module {
+ public:
+  DuoRec(const DuoRecConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config), train_(train), rng_(rng), backbone_(config.backbone, rng_) {
+    RegisterChild("backbone", &backbone_);
+  }
+
+  std::string name() const override { return "DuoRec"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    // Index training rows by their final target for supervised sampling.
+    std::unordered_map<int32_t, std::vector<int32_t>> by_target;
+    if (config_.supervised_positives) {
+      for (int32_t u = 0; u < ds.num_users(); ++u) {
+        const auto& s = ds.train_seqs[u];
+        if (s.size() >= 2) by_target[s.back()].push_back(u);
+      }
+    }
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(
+        *this, opt, train_.grad_clip, [this, &ds, &by_target](const data::Batch& batch, Rng& rng) {
+          Tensor h1 = backbone_.Encode(batch, /*causal=*/true, rng);
+          Tensor logits = backbone_.LogitsAll(
+              h1.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+          Tensor loss = CrossEntropyLogits(logits, batch.targets, 0);
+          if (config_.lambda > 0.0f && batch.batch_size > 1) {
+            Tensor z1 = SasBackbone::LastPosition(h1);
+            // Unsupervised view: identical input, fresh dropout masks.
+            Tensor z2 =
+                SasBackbone::LastPosition(backbone_.Encode(batch, /*causal=*/true, rng));
+            Tensor cl = nn::InfoNce(z1, z2, config_.tau, config_.similarity);
+            if (config_.supervised_positives) {
+              // Supervised view: a different sequence with the same target.
+              data::Batch pos = batch;
+              std::vector<int32_t> rows(batch.batch_size);
+              for (int64_t b = 0; b < batch.batch_size; ++b) {
+                const int32_t u = batch.users[b];
+                const auto& s = ds.train_seqs[u];
+                rows[b] = u;
+                if (s.size() >= 2) {
+                  auto it = by_target.find(s.back());
+                  if (it != by_target.end() && it->second.size() > 1) {
+                    rows[b] = it->second[rng.UniformInt(it->second.size())];
+                  }
+                }
+              }
+              pos = data::MakeTrainBatch(ds, rows, batch.seq_len);
+              Tensor z3 =
+                  SasBackbone::LastPosition(backbone_.Encode(pos, /*causal=*/true, rng));
+              cl = cl.Add(nn::InfoNce(z1, z3, config_.tau, config_.similarity))
+                       .MulScalar(0.5f);
+            }
+            loss = loss.Add(cl.MulScalar(config_.lambda));
+          }
+          return loss;
+        });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+  const SasBackbone& backbone() const { return backbone_; }
+
+ private:
+  DuoRecConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_DUOREC_H_

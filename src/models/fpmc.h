@@ -1,0 +1,106 @@
+// FPMC baseline (Rendle et al., WWW 2010): Factorizing Personalized Markov
+// Chains. Scores combine a user-item matrix-factorisation term with a
+// last-item-to-next-item transition term:
+//   score(u, i | last = l) = <V_u^{UI}, V_i^{IU}> + <V_l^{LI}, V_i^{IL}>
+// Trained with BPR over (user, last item, positive next, sampled negative).
+// A classic MC-based sequential model (paper §VI.A related work).
+#ifndef MSGCL_MODELS_FPMC_H_
+#define MSGCL_MODELS_FPMC_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// FPMC configuration.
+struct FpmcConfig {
+  int64_t dim = 32;
+  float weight_decay = 1e-5f;
+};
+
+class Fpmc : public Recommender, public nn::Module {
+ public:
+  Fpmc(const FpmcConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config), train_(train), rng_(rng) {}
+
+  std::string name() const override { return "FPMC"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    num_items_ = ds.num_items;
+    user_ui_ = std::make_unique<nn::Embedding>(ds.num_users(), config_.dim, rng_);
+    item_iu_ = std::make_unique<nn::Embedding>(ds.num_items + 1, config_.dim, rng_, 0);
+    last_li_ = std::make_unique<nn::Embedding>(ds.num_items + 1, config_.dim, rng_, 0);
+    item_il_ = std::make_unique<nn::Embedding>(ds.num_items + 1, config_.dim, rng_, 0);
+    RegisterChild("user_ui", user_ui_.get());
+    RegisterChild("item_iu", item_iu_.get());
+    RegisterChild("last_li", last_li_.get());
+    RegisterChild("item_il", item_il_.get());
+
+    nn::Adam opt(Parameters(), train_.lr, 0.9f, 0.999f, 1e-8f, config_.weight_decay);
+    auto step = [&](const data::Batch& batch, Rng& rng) {
+      const int64_t B = batch.batch_size;
+      std::vector<int32_t> users(B), last(B), pos(B), neg(B);
+      for (int64_t b = 0; b < B; ++b) {
+        const int32_t u = batch.users[b];
+        users[b] = u;
+        const auto& seq = ds.train_seqs[u];
+        // A random transition (l -> p) from the user's history.
+        if (seq.size() >= 2) {
+          const size_t t = rng.UniformInt(seq.size() - 1);
+          last[b] = seq[t];
+          pos[b] = seq[t + 1];
+        } else {
+          last[b] = seq[0];
+          pos[b] = seq[0];
+        }
+        neg[b] = 1 + static_cast<int32_t>(rng.UniformInt(ds.num_items));
+      }
+      opt.ZeroGrad();
+      Tensor eu = user_ui_->Forward(users, {B});
+      Tensor el = last_li_->Forward(last, {B});
+      auto score = [&](const std::vector<int32_t>& items) {
+        Tensor iu = item_iu_->Forward(items, {B});
+        Tensor il = item_il_->Forward(items, {B});
+        return eu.Mul(iu).SumLastDim().Add(el.Mul(il).SumLastDim());
+      };
+      Tensor diff = score(pos).Sub(score(neg));
+      Tensor loss = diff.Sigmoid().Log().Neg().Mean();
+      loss.Backward();
+      opt.Step();
+      return loss.item();
+    };
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    MSGCL_CHECK_MSG(user_ui_ != nullptr, "Fpmc::Fit must be called before ScoreAll");
+    NoGradGuard guard;
+    const int64_t B = batch.batch_size;
+    std::vector<int32_t> last(B);
+    for (int64_t b = 0; b < B; ++b) {
+      last[b] = batch.inputs[(b + 1) * batch.seq_len - 1];  // most recent item
+    }
+    Tensor eu = user_ui_->Forward(batch.users, {B});
+    Tensor el = last_li_->Forward(last, {B});
+    Tensor mf = eu.MatMul(item_iu_->table().TransposeLast2());
+    Tensor mc = el.MatMul(item_il_->table().TransposeLast2());
+    return mf.Add(mc).data();
+  }
+
+ private:
+  FpmcConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  int32_t num_items_ = 0;
+  std::unique_ptr<nn::Embedding> user_ui_, item_iu_, last_li_, item_il_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_FPMC_H_

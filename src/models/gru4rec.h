@@ -1,0 +1,85 @@
+// GRU4Rec baseline (Hidasi et al., ICLR 2016): a GRU over the interaction
+// sequence with weight-tied all-item output. The original's session-parallel
+// mini-batches and pairwise losses are replaced by the repo-wide padded-batch
+// + cross-entropy protocol so every model trains on identical batches.
+#ifndef MSGCL_MODELS_GRU4REC_H_
+#define MSGCL_MODELS_GRU4REC_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// GRU4Rec configuration.
+struct Gru4RecConfig {
+  int64_t num_items = 0;
+  int64_t dim = 32;
+  float dropout = 0.2f;
+};
+
+class Gru4Rec : public Recommender, public nn::Module {
+ public:
+  Gru4Rec(const Gru4RecConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config),
+        train_(train),
+        rng_(rng),
+        item_emb_(config.num_items + 1, config.dim, rng_, /*padding_idx=*/0),
+        gru_(config.dim, config.dim, rng_),
+        dropout_(config.dropout) {
+    RegisterChild("item_emb", &item_emb_);
+    RegisterChild("gru", &gru_);
+    RegisterChild("dropout", &dropout_);
+  }
+
+  std::string name() const override { return "GRU4Rec"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(*this, opt, train_.grad_clip,
+                             [this](const data::Batch& batch, Rng& rng) {
+                               return Loss(batch, rng);
+                             });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  Tensor Loss(const data::Batch& batch, Rng& rng) const {
+    Tensor h = Encode(batch, rng);
+    Tensor logits = h.Reshape({batch.batch_size * batch.seq_len, config_.dim})
+                        .MatMul(item_emb_.table().TransposeLast2());
+    return CrossEntropyLogits(logits, batch.targets, /*ignore_index=*/0);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = Encode(batch, rng);
+    Tensor last = h.Narrow(1, batch.seq_len - 1, 1).Reshape({batch.batch_size, config_.dim});
+    Tensor logits = last.MatMul(item_emb_.table().TransposeLast2());
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  Tensor Encode(const data::Batch& batch, Rng& rng) const {
+    Tensor e = item_emb_.Forward(batch.inputs, {batch.batch_size, batch.seq_len});
+    return gru_.Forward(dropout_.Forward(e, rng));
+  }
+
+  Gru4RecConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Gru gru_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_GRU4REC_H_

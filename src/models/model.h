@@ -1,0 +1,71 @@
+// Common interfaces and configuration for all recommenders.
+#ifndef MSGCL_MODELS_MODEL_H_
+#define MSGCL_MODELS_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace models {
+
+/// Shared training hyper-parameters (paper §V.A "Implementation Details":
+/// Adam, lr 1e-3, dim 64, heads 2, dropout 0.2, early stopping on
+/// validation; everything here is scaled per DESIGN.md).
+/// Per-epoch training trace filled by FitLoop when requested via
+/// TrainConfig::history.
+struct FitHistory {
+  std::vector<double> epoch_loss;       // mean step loss per epoch
+  std::vector<int64_t> val_epochs;      // epochs at which validation ran
+  std::vector<double> val_ndcg10;       // NDCG@10 at those epochs
+  int64_t best_epoch = -1;              // epoch of the restored weights
+  int64_t stopped_epoch = -1;           // last epoch executed
+
+  void Clear() { *this = FitHistory(); }
+};
+
+struct TrainConfig {
+  int64_t epochs = 30;
+  int64_t batch_size = 128;
+  float lr = 1e-3f;
+  int64_t max_len = 50;
+  float grad_clip = 5.0f;
+  uint64_t seed = 1234;
+
+  /// Optional training-trace sink (non-owning; must outlive Fit).
+  FitHistory* history = nullptr;
+
+  // Early stopping: evaluate validation NDCG@10 every `eval_every` epochs and
+  // stop after `patience` evaluations without improvement (0 disables). The
+  // best-scoring weights are restored at the end.
+  int64_t eval_every = 0;
+  int64_t patience = 3;
+
+  bool verbose = false;
+
+  Status Validate() const {
+    if (epochs <= 0 || batch_size <= 0 || max_len <= 0) {
+      return Status::InvalidArgument("epochs, batch_size and max_len must be positive");
+    }
+    if (lr <= 0.0f) return Status::InvalidArgument("lr must be positive");
+    return Status::Ok();
+  }
+};
+
+/// A trainable recommender: fit on the training split, then rank via
+/// eval::Ranker::ScoreAll.
+class Recommender : public eval::Ranker {
+ public:
+  /// Trains on `ds.train_seqs` (validation data is used only for early
+  /// stopping when enabled).
+  virtual void Fit(const data::SequenceDataset& ds) = 0;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_MODEL_H_

@@ -1,0 +1,23 @@
+// Umbrella header for all baseline recommenders.
+#ifndef MSGCL_MODELS_MODELS_H_
+#define MSGCL_MODELS_MODELS_H_
+
+#include "models/acvae.h"         // IWYU pragma: export
+#include "models/backbone.h"     // IWYU pragma: export
+#include "models/bert4rec.h"     // IWYU pragma: export
+#include "models/bpr_mf.h"       // IWYU pragma: export
+#include "models/caser.h"        // IWYU pragma: export
+#include "models/cl4srec.h"      // IWYU pragma: export
+#include "models/contrast_vae.h" // IWYU pragma: export
+#include "models/coserec.h"      // IWYU pragma: export
+#include "models/duorec.h"       // IWYU pragma: export
+#include "models/fpmc.h"         // IWYU pragma: export
+#include "models/gru4rec.h"      // IWYU pragma: export
+#include "models/model.h"        // IWYU pragma: export
+#include "models/pop.h"          // IWYU pragma: export
+#include "models/sasrec.h"       // IWYU pragma: export
+#include "models/srma.h"         // IWYU pragma: export
+#include "models/trainer.h"      // IWYU pragma: export
+#include "models/vsan.h"         // IWYU pragma: export
+
+#endif  // MSGCL_MODELS_MODELS_H_

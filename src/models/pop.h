@@ -1,0 +1,42 @@
+// Pop baseline: recommends the globally most popular items (paper §V.A).
+#ifndef MSGCL_MODELS_POP_H_
+#define MSGCL_MODELS_POP_H_
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace msgcl {
+namespace models {
+
+/// Non-personalised popularity ranking over the training interactions.
+class Pop : public Recommender {
+ public:
+  std::string name() const override { return "Pop"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    counts_.assign(ds.num_items + 1, 0.0f);
+    for (const auto& seq : ds.train_seqs) {
+      for (int32_t item : seq) counts_[item] += 1.0f;
+    }
+    counts_[0] = -1.0f;  // padding must never be recommended
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    MSGCL_CHECK_MSG(!counts_.empty(), "Pop::Fit must be called before ScoreAll");
+    std::vector<float> scores(batch.batch_size * counts_.size());
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      std::copy(counts_.begin(), counts_.end(),
+                scores.begin() + b * static_cast<int64_t>(counts_.size()));
+    }
+    return scores;
+  }
+
+ private:
+  std::vector<float> counts_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_POP_H_

@@ -1,0 +1,65 @@
+// SASRec baseline (Kang & McAuley, ICDM 2018): causal self-attention over
+// the interaction sequence, trained with next-item cross-entropy at every
+// position. Also serves as the paper's "-clkl" ablation reference.
+#ifndef MSGCL_MODELS_SASREC_H_
+#define MSGCL_MODELS_SASREC_H_
+
+#include <vector>
+
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+class SasRec : public Recommender, public nn::Module {
+ public:
+  SasRec(const BackboneConfig& config, const TrainConfig& train, Rng rng)
+      : train_(train), rng_(rng), backbone_(config, rng_) {
+    RegisterChild("backbone", &backbone_);
+  }
+
+  std::string name() const override { return "SASRec"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(*this, opt, train_.grad_clip,
+                             [this](const data::Batch& batch, Rng& rng) {
+                               return Loss(batch, rng);
+                             });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  /// Next-item cross-entropy over all non-padded positions.
+  Tensor Loss(const data::Batch& batch, Rng& rng) const {
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor logits = backbone_.LogitsAll(
+        h.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+    return CrossEntropyLogits(logits, batch.targets, /*ignore_index=*/0);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);  // unused in eval mode
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+  const SasBackbone& backbone() const { return backbone_; }
+
+ private:
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_SASREC_H_

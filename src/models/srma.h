@@ -1,0 +1,85 @@
+// SRMA baseline (Yu et al., 2022, per the paper's §I): SASRec plus
+// *model-level* augmentation — beyond DuoRec's neuron dropout, SRMA also
+// drops whole encoder layers to build the second contrastive view. This
+// reproduction implements the neuron-drop + layer-drop combination (the
+// third SRMA component, an encoder-complement model, is a separately trained
+// network and is out of scope; documented in DESIGN.md).
+#ifndef MSGCL_MODELS_SRMA_H_
+#define MSGCL_MODELS_SRMA_H_
+
+#include <vector>
+
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// SRMA configuration.
+struct SrmaConfig {
+  BackboneConfig backbone;
+  float lambda = 0.1f;
+  float tau = 0.5f;
+  nn::Similarity similarity = nn::Similarity::kCosine;
+  double layer_drop_prob = 0.5;  // P(second view drops one random layer)
+};
+
+class Srma : public Recommender, public nn::Module {
+ public:
+  Srma(const SrmaConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config), train_(train), rng_(rng), backbone_(config.backbone, rng_) {
+    RegisterChild("backbone", &backbone_);
+  }
+
+  std::string name() const override { return "SRMA"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(
+        *this, opt, train_.grad_clip, [this](const data::Batch& batch, Rng& rng) {
+          Tensor h1 = backbone_.Encode(batch, /*causal=*/true, rng);
+          Tensor logits = backbone_.LogitsAll(
+              h1.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+          Tensor loss = CrossEntropyLogits(logits, batch.targets, 0);
+          if (config_.lambda > 0.0f && batch.batch_size > 1) {
+            // Second view: fresh dropout masks, and with probability
+            // layer_drop_prob one random encoder block is skipped.
+            int64_t skip = -1;
+            if (backbone_.num_layers() > 1 && rng.Bernoulli(config_.layer_drop_prob)) {
+              skip = static_cast<int64_t>(rng.UniformInt(backbone_.num_layers()));
+            }
+            Tensor h2 = backbone_.Encode(batch, /*causal=*/true, rng, skip);
+            Tensor cl = nn::InfoNce(SasBackbone::LastPosition(h1),
+                                    SasBackbone::LastPosition(h2), config_.tau,
+                                    config_.similarity);
+            loss = loss.Add(cl.MulScalar(config_.lambda));
+          }
+          return loss;
+        });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+ private:
+  SrmaConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_SRMA_H_

@@ -1,0 +1,119 @@
+// Epoch/batch orchestration shared by every trainable model: shuffled
+// mini-batches, a model-supplied step function, and early stopping on
+// validation NDCG@10 with best-weight restore (paper §V.A).
+#ifndef MSGCL_MODELS_TRAINER_H_
+#define MSGCL_MODELS_TRAINER_H_
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "data/batching.h"
+#include "eval/evaluator.h"
+#include "models/model.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// Performs one optimisation step on a batch and returns the loss value.
+/// The callee owns backward() and optimizer stepping (some models, like
+/// Meta-SGCL, take two sub-steps per batch).
+using StepFn = std::function<float(const data::Batch& batch, Rng& rng)>;
+
+/// Runs the training loop for `model` with early stopping.
+///
+/// `ranker` is evaluated on the validation split every
+/// `config.eval_every` epochs (when > 0); training stops after
+/// `config.patience` evaluations without NDCG@10 improvement, and the
+/// best-scoring weights are restored.
+inline void FitLoop(nn::Module& model, eval::Ranker& ranker,
+                    const data::SequenceDataset& ds, const TrainConfig& config,
+                    const StepFn& step) {
+  MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+  Rng rng(config.seed);
+  model.SetTraining(true);
+  if (config.history != nullptr) config.history->Clear();
+
+  auto params = model.Parameters();
+  std::vector<std::vector<float>> best_weights;
+  double best_ndcg = -1.0;
+  int64_t best_epoch = -1;
+  int64_t bad_evals = 0;
+
+  eval::EvalConfig eval_cfg;
+  eval_cfg.max_len = config.max_len;
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    int64_t steps = 0;
+    data::EpochIterator it(ds.num_users(), config.batch_size, rng);
+    for (auto rows = it.Next(); !rows.empty(); rows = it.Next()) {
+      data::Batch batch = data::MakeTrainBatch(ds, rows, config.max_len);
+      loss_sum += step(batch, rng);
+      ++steps;
+    }
+    if (config.verbose) {
+      std::fprintf(stderr, "[%s] epoch %ld loss %.4f\n", ranker.name().c_str(),
+                   static_cast<long>(epoch), steps ? loss_sum / steps : 0.0);
+    }
+    if (config.history != nullptr) {
+      config.history->epoch_loss.push_back(steps ? loss_sum / steps : 0.0);
+      config.history->stopped_epoch = epoch;
+    }
+
+    if (config.eval_every > 0 && (epoch + 1) % config.eval_every == 0) {
+      model.SetTraining(false);
+      double ndcg;
+      {
+        NoGradGuard guard;
+        ndcg = eval::Evaluate(ranker, ds, eval::Split::kValidation, eval_cfg).ndcg10;
+      }
+      model.SetTraining(true);
+      if (config.history != nullptr) {
+        config.history->val_epochs.push_back(epoch);
+        config.history->val_ndcg10.push_back(ndcg);
+      }
+      if (ndcg > best_ndcg) {
+        best_ndcg = ndcg;
+        best_epoch = epoch;
+        bad_evals = 0;
+        best_weights.clear();
+        best_weights.reserve(params.size());
+        for (auto& p : params) best_weights.push_back(p.data());
+      } else if (++bad_evals >= config.patience) {
+        if (config.verbose) {
+          std::fprintf(stderr, "[%s] early stop at epoch %ld (best NDCG@10 %.4f)\n",
+                       ranker.name().c_str(), static_cast<long>(epoch), best_ndcg);
+        }
+        break;
+      }
+    }
+  }
+
+  if (!best_weights.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) params[i].data() = best_weights[i];
+  }
+  if (config.history != nullptr) config.history->best_epoch = best_epoch;
+  model.SetTraining(false);
+}
+
+/// The common single-optimizer step: zero grads, compute `loss_fn`, backward,
+/// clip, step.
+inline StepFn StandardStep(nn::Module& model, nn::Optimizer& opt, float grad_clip,
+                           std::function<Tensor(const data::Batch&, Rng&)> loss_fn) {
+  return [&model, &opt, grad_clip, loss_fn = std::move(loss_fn)](const data::Batch& batch,
+                                                                 Rng& rng) {
+    opt.ZeroGrad();
+    Tensor loss = loss_fn(batch, rng);
+    loss.Backward();
+    if (grad_clip > 0.0f) nn::ClipGradNorm(model.Parameters(), grad_clip);
+    opt.Step();
+    return loss.item();
+  };
+}
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_TRAINER_H_

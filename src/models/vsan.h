@@ -1,0 +1,96 @@
+// VSAN baseline (Zhao et al., ICDE 2021): Variational Self-Attention
+// Network — the SASRec backbone with a per-position Gaussian latent
+// (mu/log-variance heads + reparameterisation), trained with the single-view
+// ELBO: next-item cross-entropy + beta * KL.
+#ifndef MSGCL_MODELS_VSAN_H_
+#define MSGCL_MODELS_VSAN_H_
+
+#include <vector>
+
+#include "models/backbone.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "nn/nn.h"
+
+namespace msgcl {
+namespace models {
+
+/// VSAN configuration.
+struct VsanConfig {
+  BackboneConfig backbone;
+  float beta = 0.2f;  // KL weight
+};
+
+class Vsan : public Recommender, public nn::Module {
+ public:
+  Vsan(const VsanConfig& config, const TrainConfig& train, Rng rng)
+      : config_(config),
+        train_(train),
+        rng_(rng),
+        backbone_(config.backbone, rng_),
+        enc_mu_(config.backbone.dim, config.backbone.dim, rng_),
+        enc_logvar_(config.backbone.dim, config.backbone.dim, rng_) {
+    RegisterChild("backbone", &backbone_);
+    RegisterChild("enc_mu", &enc_mu_);
+    RegisterChild("enc_logvar", &enc_logvar_);
+    enc_logvar_.InitBiasConstant(-4.0f);  // start at small sigma
+  }
+
+  std::string name() const override { return "VSAN"; }
+
+  void Fit(const data::SequenceDataset& ds) override {
+    nn::Adam opt(Parameters(), train_.lr);
+    auto step = StandardStep(*this, opt, train_.grad_clip,
+                             [this](const data::Batch& batch, Rng& rng) {
+                               return Loss(batch, rng);
+                             });
+    FitLoop(*this, *this, ds, train_, step);
+  }
+
+  Tensor Loss(const data::Batch& batch, Rng& rng) const {
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor mu = enc_mu_.Forward(h);
+    Tensor logvar = enc_logvar_.Forward(h);
+    Tensor z = Reparameterize(mu, logvar, rng);
+    Tensor logits = backbone_.LogitsAll(
+        z.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
+    Tensor ce = CrossEntropyLogits(logits, batch.targets, /*ignore_index=*/0);
+    std::vector<uint8_t> valid(batch.key_padding.size());
+    for (size_t i = 0; i < valid.size(); ++i) valid[i] = batch.key_padding[i] ? 0 : 1;
+    Tensor kl = nn::GaussianKl(mu, logvar, &valid);
+    return ce.Add(kl.MulScalar(config_.beta));
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    Tensor mu = enc_mu_.Forward(SasBackbone::LastPosition(h));  // posterior mean at eval
+    Tensor logits = backbone_.LogitsAll(mu);
+    SetTraining(was_training);
+    return logits.data();
+  }
+
+  /// z = mu + sigma * eps with eps ~ N(0, I) (Eq. 12). In eval mode, z = mu.
+  Tensor Reparameterize(const Tensor& mu, const Tensor& logvar, Rng& rng) const {
+    if (!training()) return mu;
+    Tensor sigma = logvar.MulScalar(0.5f).Exp();
+    Tensor eps = Tensor::Randn(mu.shape(), rng);
+    return mu.Add(sigma.Mul(eps));
+  }
+
+ private:
+  VsanConfig config_;
+  TrainConfig train_;
+  Rng rng_;
+  SasBackbone backbone_;
+  nn::Linear enc_mu_;
+  nn::Linear enc_logvar_;
+};
+
+}  // namespace models
+}  // namespace msgcl
+
+#endif  // MSGCL_MODELS_VSAN_H_

@@ -1,0 +1,97 @@
+// Multi-head self-attention with causal and key-padding masking (paper §IV.C.1).
+#ifndef MSGCL_NN_ATTENTION_H_
+#define MSGCL_NN_ATTENTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Multi-head scaled dot-product self-attention (Eq. 5-7 of the paper).
+///
+/// Masking:
+///  * `causal` blocks attention to future positions (j > i), the paper's
+///    "block all items after the current moment".
+///  * `key_padding` (optional, size B*T, nonzero = padding) blocks attention
+///    to padded key positions.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, float dropout_rate, Rng& rng)
+      : dim_(dim),
+        heads_(num_heads),
+        wq_(dim, dim, rng, /*bias=*/true),
+        wk_(dim, dim, rng, /*bias=*/true),
+        wv_(dim, dim, rng, /*bias=*/true),
+        wo_(dim, dim, rng, /*bias=*/true),
+        attn_dropout_(dropout_rate) {
+    MSGCL_CHECK_MSG(dim % num_heads == 0,
+                    "dim " << dim << " not divisible by heads " << num_heads);
+    RegisterChild("wq", &wq_);
+    RegisterChild("wk", &wk_);
+    RegisterChild("wv", &wv_);
+    RegisterChild("wo", &wo_);
+    RegisterChild("attn_dropout", &attn_dropout_);
+  }
+
+  /// x: [B, T, dim] -> [B, T, dim].
+  Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
+                 Rng& rng) const {
+    const int64_t B = x.dim(0), T = x.dim(1);
+    const int64_t dh = dim_ / heads_;
+
+    auto split_heads = [&](const Tensor& t) {
+      // [B, T, D] -> [B, H, T, dh]
+      return t.Reshape({B, T, heads_, dh}).Permute({0, 2, 1, 3});
+    };
+    Tensor q = split_heads(wq_.Forward(x));
+    Tensor k = split_heads(wk_.Forward(x));
+    Tensor v = split_heads(wv_.Forward(x));
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+    Tensor scores = q.MatMul(k.TransposeLast2()).MulScalar(scale);  // [B, H, T, T]
+
+    std::vector<uint8_t> mask(static_cast<size_t>(B) * heads_ * T * T, 0);
+    bool any_masked = false;
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t h = 0; h < heads_; ++h) {
+        uint8_t* m = mask.data() + ((b * heads_ + h) * T) * T;
+        for (int64_t i = 0; i < T; ++i) {
+          for (int64_t j = 0; j < T; ++j) {
+            const bool future = causal && j > i;
+            const bool pad = key_padding != nullptr && (*key_padding)[b * T + j] != 0;
+            if (future || pad) {
+              m[i * T + j] = 1;
+              any_masked = true;
+            }
+          }
+        }
+      }
+    }
+    if (any_masked) scores = scores.MaskedFill(mask, -1e9f);
+
+    Tensor attn = scores.SoftmaxLastDim();
+    attn = attn_dropout_.Forward(attn, rng);
+    Tensor ctx = attn.MatMul(v);                       // [B, H, T, dh]
+    ctx = ctx.Permute({0, 2, 1, 3}).Reshape({B, T, dim_});
+    return wo_.Forward(ctx);
+  }
+
+  int64_t dim() const { return dim_; }
+  int64_t heads() const { return heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t heads_;
+  Linear wq_, wk_, wv_, wo_;
+  Dropout attn_dropout_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_ATTENTION_H_

@@ -1,0 +1,70 @@
+// GRU cell and layer (for the GRU4Rec baseline).
+#ifndef MSGCL_NN_GRU_H_
+#define MSGCL_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Single GRU step. Gate layout in the fused 3h matrices: [reset, update, new].
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+      : hidden_(hidden_dim), wx_(input_dim, 3 * hidden_dim, rng), wh_(hidden_dim, 3 * hidden_dim, rng) {
+    RegisterChild("wx", &wx_);
+    RegisterChild("wh", &wh_);
+  }
+
+  /// x: [B, input_dim], h: [B, hidden_dim] -> new hidden [B, hidden_dim].
+  Tensor Forward(const Tensor& x, const Tensor& h) const {
+    Tensor gx = wx_.Forward(x);  // [B, 3h]
+    Tensor gh = wh_.Forward(h);
+    Tensor r = gx.Narrow(-1, 0, hidden_).Add(gh.Narrow(-1, 0, hidden_)).Sigmoid();
+    Tensor z = gx.Narrow(-1, hidden_, hidden_).Add(gh.Narrow(-1, hidden_, hidden_)).Sigmoid();
+    Tensor n = gx.Narrow(-1, 2 * hidden_, hidden_)
+                   .Add(r.Mul(gh.Narrow(-1, 2 * hidden_, hidden_)))
+                   .Tanh();
+    // h' = (1 - z) * n + z * h = n + z * (h - n)
+    return n.Add(z.Mul(h.Sub(n)));
+  }
+
+  int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  int64_t hidden_;
+  Linear wx_, wh_;
+};
+
+/// Unrolled GRU over a [B, T, input_dim] sequence; returns [B, T, hidden].
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, Rng& rng) : cell_(input_dim, hidden_dim, rng) {
+    RegisterChild("cell", &cell_);
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    const int64_t B = x.dim(0), T = x.dim(1);
+    const int64_t H = cell_.hidden_dim();
+    Tensor h = Tensor::Zeros({B, H});
+    std::vector<Tensor> outputs;
+    outputs.reserve(T);
+    for (int64_t t = 0; t < T; ++t) {
+      Tensor xt = x.Narrow(1, t, 1).Reshape({B, x.dim(2)});
+      h = cell_.Forward(xt, h);
+      outputs.push_back(h.Reshape({B, 1, H}));
+    }
+    return Tensor::Concat(outputs, 1);
+  }
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_GRU_H_

@@ -1,0 +1,28 @@
+// Weight initialisation schemes.
+#ifndef MSGCL_NN_INIT_H_
+#define MSGCL_NN_INIT_H_
+
+#include <cmath>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+inline Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand({fan_in, fan_out}, rng, -limit, limit);
+}
+
+/// Truncated-free normal init with the given stddev (used for embeddings;
+/// SASRec's reference implementation uses N(0, 0.02)).
+inline Tensor NormalInit(Shape shape, Rng& rng, float stddev = 0.02f) {
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_INIT_H_

@@ -1,0 +1,121 @@
+// Basic layers: Linear, Embedding, LayerNorm, Dropout.
+#ifndef MSGCL_NN_LAYERS_H_
+#define MSGCL_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/module.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Affine map y = x W + b over the last dimension.
+class Linear : public Module {
+ public:
+  /// Xavier-uniform weight; zero bias. Set `bias=false` for a pure matmul.
+  Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true)
+      : has_bias_(bias) {
+    weight_ = RegisterParameter("weight", XavierUniform(in_features, out_features, rng));
+    if (has_bias_) {
+      bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+    }
+  }
+
+  /// x: [..., in_features] -> [..., out_features].
+  Tensor Forward(const Tensor& x) const {
+    Tensor y = x.MatMul(weight_);
+    if (has_bias_) y = y.Add(bias_);
+    return y;
+  }
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+  /// Overwrites the bias with a constant. Used e.g. to start variance heads
+  /// at small sigma (bias = -4 => sigma ~ 0.14) so reconstruction signal is
+  /// not drowned in unit Gaussian noise early in VAE training.
+  void InitBiasConstant(float value) {
+    MSGCL_CHECK_MSG(has_bias_, "InitBiasConstant on a bias-free Linear");
+    Tensor b = bias_;
+    for (auto& v : b.data()) v = value;
+  }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  bool has_bias_;
+};
+
+/// Learnable lookup table; row `padding_idx` receives no gradient.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng, int32_t padding_idx = -1,
+            float init_stddev = 0.02f)
+      : padding_idx_(padding_idx) {
+    table_ = RegisterParameter("table", NormalInit({num_embeddings, dim}, rng, init_stddev));
+    if (padding_idx_ >= 0) {
+      // Zero the padding row so padded positions contribute nothing.
+      auto& d = table_.data();
+      const int64_t width = dim;
+      for (int64_t j = 0; j < width; ++j) d[padding_idx_ * width + j] = 0.0f;
+    }
+  }
+
+  /// Gathers rows; result shape is index_shape + [dim].
+  Tensor Forward(const std::vector<int32_t>& indices, const Shape& index_shape) const {
+    return EmbeddingLookup(table_, indices, index_shape, padding_idx_);
+  }
+
+  /// The full table, e.g. for scoring all items (z M^T) or Fig. 6 statistics.
+  const Tensor& table() const { return table_; }
+  int64_t num_embeddings() const { return table_.dim(0); }
+  int64_t dim() const { return table_.dim(1); }
+
+ private:
+  Tensor table_;
+  int32_t padding_idx_;
+};
+
+/// Layer normalisation over the last dimension with learnable affine.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f) : eps_(eps) {
+    gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+    beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+  }
+
+  Tensor Forward(const Tensor& x) const { return LayerNormLastDim(x, gamma_, beta_, eps_); }
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  float eps_;
+};
+
+/// Inverted dropout; identity in eval mode or when rate == 0.
+class Dropout : public Module {
+ public:
+  explicit Dropout(float rate) : rate_(rate) {
+    MSGCL_CHECK_MSG(rate >= 0.0f && rate < 1.0f, "dropout rate " << rate);
+  }
+
+  Tensor Forward(const Tensor& x, Rng& rng) const {
+    if (!training() || rate_ == 0.0f) return x;
+    std::vector<uint8_t> keep(x.numel());
+    for (auto& k : keep) k = rng.Bernoulli(1.0 - rate_) ? 1 : 0;
+    return x.DropoutMask(keep, 1.0f - rate_);
+  }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_LAYERS_H_

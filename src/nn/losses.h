@@ -1,0 +1,92 @@
+// Loss functions shared across models: InfoNCE contrastive loss (paper
+// Eq. 26) and the Gaussian-prior KL divergence (paper Eq. 24/25).
+#ifndef MSGCL_NN_LOSSES_H_
+#define MSGCL_NN_LOSSES_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Similarity used inside InfoNCE (paper Table VII compares the two).
+enum class Similarity { kDot, kCosine };
+
+/// InfoNCE between two views of a batch (paper Eq. 26).
+///
+/// For each row u, the positive is (z_u, z'_u); negatives are the other rows
+/// of the *same* view (z_v, v != u) as in Eq. 26, plus optionally the other
+/// rows of the second view (`cross_view_negatives`, the DuoRec convention).
+/// Returns the mean cross-entropy of classifying the positive.
+inline Tensor InfoNce(const Tensor& z, const Tensor& z_prime, float tau,
+                      Similarity similarity = Similarity::kDot,
+                      bool cross_view_negatives = true) {
+  MSGCL_CHECK_EQ(z.ndim(), 2);
+  MSGCL_CHECK(z.shape() == z_prime.shape());
+  const int64_t B = z.dim(0);
+  MSGCL_CHECK_GT(B, 1);
+  const float inv_tau = 1.0f / tau;
+
+  Tensor a = z, b = z_prime;
+  if (similarity == Similarity::kCosine) {
+    a = a.L2NormalizeLastDim();
+    b = b.L2NormalizeLastDim();
+  }
+
+  // Cross-view block: [B, B]; diagonal holds positives.
+  Tensor cross = a.MatMul(b.TransposeLast2()).MulScalar(inv_tau);
+  // Same-view block: [B, B]; diagonal (self-similarity) masked out.
+  Tensor same = a.MatMul(a.TransposeLast2()).MulScalar(inv_tau);
+  std::vector<uint8_t> diag(B * B, 0);
+  for (int64_t i = 0; i < B; ++i) diag[i * B + i] = 1;
+  same = same.MaskedFill(diag, -1e9f);
+  if (!cross_view_negatives) {
+    // Keep only the positive column of the cross block.
+    std::vector<uint8_t> offdiag(B * B, 1);
+    for (int64_t i = 0; i < B; ++i) offdiag[i * B + i] = 0;
+    cross = cross.MaskedFill(offdiag, -1e9f);
+  }
+
+  Tensor logits = Tensor::Concat({cross, same}, 1);  // [B, 2B]
+  std::vector<int32_t> targets(B);
+  std::iota(targets.begin(), targets.end(), 0);  // positive at column u
+  return CrossEntropyLogits(logits, targets);
+}
+
+/// KL( N(mu, sigma^2) || N(0, I) ) from the log-variance parameterisation
+/// (paper Eq. 24/25), *normalised per latent dimension* and averaged over
+/// rows:
+///   (0.5 / d) * sum_d (exp(logvar) + mu^2 - 1 - logvar).
+/// The 1/d normalisation keeps the beta hyper-parameter comparable across
+/// embedding sizes (the paper's Fig. 4e-f d-sweep); it is absorbed into beta
+/// relative to the paper's summed form. `valid` (optional, size = rows of
+/// mu) excludes padded rows from the average (entry 0 = excluded).
+inline Tensor GaussianKl(const Tensor& mu, const Tensor& logvar,
+                         const std::vector<uint8_t>* valid = nullptr) {
+  MSGCL_CHECK(mu.shape() == logvar.shape());
+  const int64_t d = mu.dim(-1);
+  const int64_t rows = mu.numel() / d;
+  Tensor kl_elem = logvar.Exp().Add(mu.Square()).AddScalar(-1.0f).Sub(logvar);
+  Tensor kl_rows =
+      kl_elem.SumLastDim().MulScalar(0.5f / static_cast<float>(d));  // [rows...]
+  if (valid != nullptr) {
+    MSGCL_CHECK_EQ(static_cast<int64_t>(valid->size()), rows);
+    int64_t count = 0;
+    std::vector<uint8_t> drop(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      drop[i] = (*valid)[i] ? 0 : 1;
+      count += (*valid)[i] ? 1 : 0;
+    }
+    Tensor masked = kl_rows.Reshape({rows}).MaskedFill(drop, 0.0f);
+    return masked.Sum().MulScalar(count > 0 ? 1.0f / static_cast<float>(count) : 0.0f);
+  }
+  return kl_rows.Mean();
+}
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_LOSSES_H_

@@ -1,0 +1,103 @@
+// Module system: hierarchical parameter registration, train/eval mode, and
+// parameter traversal — the base for every layer and model in this repo.
+#ifndef MSGCL_NN_MODULE_H_
+#define MSGCL_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Base class for layers and models.
+///
+/// Subclasses register their trainable tensors with RegisterParameter and
+/// their member sub-layers with RegisterChild (members are owned by
+/// composition; the registry holds non-owning pointers). Parameters(),
+/// NamedParameters() and SetTraining() traverse the whole subtree.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules are identity objects; copying would silently duplicate
+  // parameters.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters in this subtree (depth-first, registration
+  /// order). Tensors are shared handles, so optimizers mutate in place.
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> out;
+    CollectParameters("", &out, nullptr);
+    return out;
+  }
+
+  /// Parameters with hierarchical dotted names, e.g. "encoder.layer0.wq.weight".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const {
+    std::vector<Tensor> tensors;
+    std::vector<std::string> names;
+    CollectParameters("", &tensors, &names);
+    std::vector<std::pair<std::string, Tensor>> out;
+    out.reserve(tensors.size());
+    for (size_t i = 0; i < tensors.size(); ++i) out.emplace_back(names[i], tensors[i]);
+    return out;
+  }
+
+  /// Total number of scalar parameters (the paper's space-complexity lens).
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.numel();
+    return n;
+  }
+
+  /// Switches train/eval mode for this subtree (affects dropout etc.).
+  void SetTraining(bool training) {
+    training_ = training;
+    for (auto& [name, child] : children_) child->SetTraining(training);
+  }
+  bool training() const { return training_; }
+
+  /// Zeroes gradients of every parameter in the subtree.
+  void ZeroGrad() {
+    for (auto& p : Parameters()) p.ZeroGrad();
+  }
+
+ protected:
+  /// Registers a trainable tensor; marks it requires_grad.
+  Tensor RegisterParameter(std::string name, Tensor t) {
+    t.set_requires_grad(true);
+    params_.emplace_back(std::move(name), t);
+    return t;
+  }
+
+  /// Registers a member sub-module (non-owning; member must outlive this).
+  void RegisterChild(std::string name, Module* child) {
+    MSGCL_CHECK(child != nullptr);
+    children_.emplace_back(std::move(name), child);
+  }
+
+ private:
+  void CollectParameters(const std::string& prefix, std::vector<Tensor>* tensors,
+                         std::vector<std::string>* names) const {
+    for (const auto& [name, t] : params_) {
+      tensors->push_back(t);
+      if (names) names->push_back(prefix.empty() ? name : prefix + "." + name);
+    }
+    for (const auto& [name, child] : children_) {
+      child->CollectParameters(prefix.empty() ? name : prefix + "." + name, tensors, names);
+    }
+  }
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_MODULE_H_

@@ -1,0 +1,16 @@
+// Umbrella header for the neural-network layer library.
+#ifndef MSGCL_NN_NN_H_
+#define MSGCL_NN_NN_H_
+
+#include "nn/attention.h"   // IWYU pragma: export
+#include "nn/gru.h"         // IWYU pragma: export
+#include "nn/init.h"        // IWYU pragma: export
+#include "nn/layers.h"      // IWYU pragma: export
+#include "nn/losses.h"      // IWYU pragma: export
+#include "nn/module.h"      // IWYU pragma: export
+#include "nn/optim.h"       // IWYU pragma: export
+#include "nn/schedule.h"    // IWYU pragma: export
+#include "nn/serialize.h"   // IWYU pragma: export
+#include "nn/transformer.h" // IWYU pragma: export
+
+#endif  // MSGCL_NN_NN_H_

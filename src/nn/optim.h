@@ -1,0 +1,145 @@
+// Optimizers (Adam, SGD) and gradient clipping.
+#ifndef MSGCL_NN_OPTIM_H_
+#define MSGCL_NN_OPTIM_H_
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes every parameter's gradient buffer.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD: p -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr) : Optimizer(std::move(params)), lr_(lr) {}
+
+  void Step() override {
+    for (auto& p : params_) {
+      const auto& g = p.grad();
+      if (g.empty()) continue;
+      auto& d = p.data();
+      for (size_t i = 0; i < d.size(); ++i) d[i] -= lr_ * g[i];
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)),
+        lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps),
+        weight_decay_(weight_decay) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      m_[i].assign(params_[i].numel(), 0.0f);
+      v_[i].assign(params_[i].numel(), 0.0f);
+    }
+  }
+
+  void Step() override {
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+      auto& p = params_[pi];
+      const auto& g = p.grad();
+      if (g.empty()) continue;
+      auto& d = p.data();
+      auto& m = m_[pi];
+      auto& v = v_[pi];
+      for (size_t i = 0; i < d.size(); ++i) {
+        float gi = g[i];
+        if (weight_decay_ != 0.0f) gi += weight_decay_ * d[i];
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * gi;
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * gi * gi;
+        const float mhat = m[i] / bc1;
+        const float vhat = v[i] / bc2;
+        d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+inline float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  double sq = 0.0;
+  for (const auto& p : params) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params) {
+      Tensor q = p;
+      for (auto& g : q.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+/// Linear KL-annealing schedule: weight ramps 0 -> beta over `warmup` steps
+/// (the paper's "KL annealing" heuristic in §IV.E.2).
+class KlAnnealing {
+ public:
+  KlAnnealing(float beta, int64_t warmup_steps) : beta_(beta), warmup_(warmup_steps) {}
+
+  /// Weight at the given global step.
+  float Weight(int64_t step) const {
+    if (warmup_ <= 0) return beta_;
+    if (step >= warmup_) return beta_;
+    return beta_ * static_cast<float>(step) / static_cast<float>(warmup_);
+  }
+
+ private:
+  float beta_;
+  int64_t warmup_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_OPTIM_H_

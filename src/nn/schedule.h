@@ -1,0 +1,76 @@
+// Learning-rate schedules. The paper trains with a constant Adam rate;
+// these schedules are library extensions for longer training runs.
+#ifndef MSGCL_NN_SCHEDULE_H_
+#define MSGCL_NN_SCHEDULE_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Base interface: learning rate as a function of the global step.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float Lr(int64_t step) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float Lr(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Multiplies the rate by `gamma` every `step_size` steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base_lr, int64_t step_size, float gamma)
+      : base_(base_lr), step_size_(step_size), gamma_(gamma) {
+    MSGCL_CHECK_GT(step_size, 0);
+  }
+  float Lr(int64_t step) const override {
+    return base_ * std::pow(gamma_, static_cast<float>(step / step_size_));
+  }
+
+ private:
+  float base_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Linear warmup to `base_lr` over `warmup` steps, then cosine decay to
+/// `min_lr` at `total` steps (clamped beyond).
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float base_lr, int64_t warmup_steps, int64_t total_steps,
+                 float min_lr = 0.0f)
+      : base_(base_lr), warmup_(warmup_steps), total_(total_steps), min_(min_lr) {
+    MSGCL_CHECK_GT(total_steps, warmup_steps);
+  }
+  float Lr(int64_t step) const override {
+    if (warmup_ > 0 && step < warmup_) {
+      return base_ * static_cast<float>(step + 1) / static_cast<float>(warmup_);
+    }
+    const double t = std::min<double>(1.0, static_cast<double>(step - warmup_) /
+                                               static_cast<double>(total_ - warmup_));
+    return min_ + (base_ - min_) * 0.5f * static_cast<float>(1.0 + std::cos(M_PI * t));
+  }
+
+ private:
+  float base_;
+  int64_t warmup_;
+  int64_t total_;
+  float min_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_SCHEDULE_H_

@@ -1,0 +1,127 @@
+// Model checkpointing: save/load a Module's named parameters to a simple
+// binary container. The format is self-describing (name + shape per entry)
+// and loading verifies that names and shapes match the target module, so a
+// checkpoint cannot silently load into the wrong architecture.
+//
+// Format (little-endian):
+//   magic "MSGCLCKPT\0"  u32 version  u64 num_entries
+//   per entry: u32 name_len, name bytes, u32 ndim, i64 dims..., f32 data...
+#ifndef MSGCL_NN_SERIALIZE_H_
+#define MSGCL_NN_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace nn {
+
+namespace internal {
+inline constexpr char kCkptMagic[10] = "MSGCLCKPT";  // includes the NUL
+inline constexpr uint32_t kCkptVersion = 1;
+}  // namespace internal
+
+/// Writes every named parameter of `module` to `path`.
+inline Status SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  auto params = module.NamedParameters();
+  out.write(internal::kCkptMagic, sizeof(internal::kCkptMagic));
+  const uint32_t version = internal::kCkptVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t n = params.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& [name, tensor] : params) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), name_len);
+    const uint32_t ndim = static_cast<uint32_t>(tensor.shape().size());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : tensor.shape()) {
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(tensor.data().data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+/// Loads a checkpoint into `module`. Every entry must match an existing
+/// parameter by name and shape; a mismatch or a missing/extra entry fails
+/// without modifying anything (the load is staged, then committed).
+inline Status LoadCheckpoint(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  char magic[sizeof(internal::kCkptMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, internal::kCkptMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + " is not a Meta-SGCL checkpoint");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (version != internal::kCkptVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+
+  auto params = module.NamedParameters();
+  if (n != params.size()) {
+    return Status::InvalidArgument("checkpoint has " + std::to_string(n) +
+                                   " entries, module has " +
+                                   std::to_string(params.size()));
+  }
+  std::vector<std::vector<float>> staged(params.size());
+  std::vector<bool> seen(params.size(), false);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) return Status::InvalidArgument("corrupt entry name");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim > 16) return Status::InvalidArgument("corrupt entry rank");
+    Shape shape(ndim);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    // Find the matching parameter.
+    size_t idx = params.size();
+    for (size_t p = 0; p < params.size(); ++p) {
+      if (!seen[p] && params[p].first == name) {
+        idx = p;
+        break;
+      }
+    }
+    if (idx == params.size()) {
+      return Status::InvalidArgument("checkpoint entry '" + name +
+                                     "' has no matching parameter");
+    }
+    if (params[idx].second.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for '" + name + "': checkpoint " +
+                                     ShapeToString(shape) + " vs module " +
+                                     ShapeToString(params[idx].second.shape()));
+    }
+    staged[idx].resize(NumElements(shape));
+    in.read(reinterpret_cast<char*>(staged[idx].data()),
+            static_cast<std::streamsize>(staged[idx].size() * sizeof(float)));
+    if (!in) return Status::InvalidArgument("truncated checkpoint at '" + name + "'");
+    seen[idx] = true;
+  }
+  // Commit.
+  for (size_t p = 0; p < params.size(); ++p) {
+    params[p].second.data() = std::move(staged[p]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_SERIALIZE_H_

@@ -1,0 +1,115 @@
+// Transformer encoder stack (paper §IV.C): multi-head self-attention +
+// position-wise feed-forward with residual connections, layer norm and
+// dropout. Used as both the sequential encoder and the sequential decoder of
+// the Seq2Seq generator, and as the shared backbone of all SAN baselines.
+#ifndef MSGCL_NN_TRANSFORMER_H_
+#define MSGCL_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Position-wise feed-forward: ReLU(x W1 + b1) W2 + b2 (Eq. 8; d x d mats).
+class PositionwiseFfn : public Module {
+ public:
+  PositionwiseFfn(int64_t dim, float dropout_rate, Rng& rng)
+      : w1_(dim, dim, rng), w2_(dim, dim, rng), dropout_(dropout_rate) {
+    RegisterChild("w1", &w1_);
+    RegisterChild("w2", &w2_);
+    RegisterChild("dropout", &dropout_);
+  }
+
+  Tensor Forward(const Tensor& x, Rng& rng) const {
+    Tensor h = dropout_.Forward(w1_.Forward(x).Relu(), rng);
+    return w2_.Forward(h);
+  }
+
+ private:
+  Linear w1_, w2_;
+  Dropout dropout_;
+};
+
+/// One self-attention block with post-norm residual wiring (SASRec style):
+///   x = LN(x + Dropout(Attn(x))); x = LN(x + Dropout(FFN(x))).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t dim, int64_t heads, float dropout_rate, Rng& rng)
+      : attn_(dim, heads, dropout_rate, rng),
+        ffn_(dim, dropout_rate, rng),
+        ln1_(dim),
+        ln2_(dim),
+        dropout_(dropout_rate) {
+    RegisterChild("attn", &attn_);
+    RegisterChild("ffn", &ffn_);
+    RegisterChild("ln1", &ln1_);
+    RegisterChild("ln2", &ln2_);
+    RegisterChild("dropout", &dropout_);
+  }
+
+  Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
+                 Rng& rng) const {
+    Tensor a = attn_.Forward(x, causal, key_padding, rng);
+    Tensor h = ln1_.Forward(x.Add(dropout_.Forward(a, rng)));
+    Tensor f = ffn_.Forward(h, rng);
+    return ln2_.Forward(h.Add(dropout_.Forward(f, rng)));
+  }
+
+ private:
+  MultiHeadSelfAttention attn_;
+  PositionwiseFfn ffn_;
+  LayerNorm ln1_, ln2_;
+  Dropout dropout_;
+};
+
+/// Configuration for a Transformer encoder stack.
+struct TransformerConfig {
+  int64_t dim = 32;
+  int64_t heads = 2;
+  int64_t layers = 2;
+  float dropout = 0.2f;
+};
+
+/// A stack of TransformerBlocks (Eq. 9-10). Embedding is applied by callers.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng& rng) : config_(config) {
+    blocks_.reserve(config.layers);
+    for (int64_t l = 0; l < config.layers; ++l) {
+      blocks_.push_back(
+          std::make_unique<TransformerBlock>(config.dim, config.heads, config.dropout, rng));
+      RegisterChild("layer" + std::to_string(l), blocks_.back().get());
+    }
+  }
+
+  /// x: [B, T, dim] -> [B, T, dim].
+  ///
+  /// `skip_layer` (optional) bypasses one block — the "random layer drop"
+  /// model augmentation of SRMA; -1 runs the full stack.
+  Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
+                 Rng& rng, int64_t skip_layer = -1) const {
+    Tensor h = x;
+    for (size_t l = 0; l < blocks_.size(); ++l) {
+      if (static_cast<int64_t>(l) == skip_layer) continue;
+      h = blocks_[l]->Forward(h, causal, key_padding, rng);
+    }
+    return h;
+  }
+
+  int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_TRANSFORMER_H_

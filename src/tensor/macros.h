@@ -1,0 +1,52 @@
+// Internal invariant checking for the msgcl libraries.
+//
+// MSGCL_CHECK* abort with a readable message on violation. They guard
+// programmer errors (shape mismatches, out-of-range indices) that indicate a
+// bug rather than a recoverable condition; recoverable conditions use
+// msgcl::Status (see status.h).
+#ifndef MSGCL_TENSOR_MACROS_H_
+#define MSGCL_TENSOR_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace msgcl {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "MSGCL_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " -- ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace msgcl
+
+#define MSGCL_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::msgcl::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                  \
+  } while (0)
+
+#define MSGCL_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream msgcl_oss_;                                   \
+      msgcl_oss_ << msg;                                               \
+      ::msgcl::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                     msgcl_oss_.str());                \
+    }                                                                  \
+  } while (0)
+
+#define MSGCL_CHECK_EQ(a, b) MSGCL_CHECK_MSG((a) == (b), "expected " << (a) << " == " << (b))
+#define MSGCL_CHECK_NE(a, b) MSGCL_CHECK_MSG((a) != (b), "expected " << (a) << " != " << (b))
+#define MSGCL_CHECK_LT(a, b) MSGCL_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
+#define MSGCL_CHECK_LE(a, b) MSGCL_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
+#define MSGCL_CHECK_GT(a, b) MSGCL_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
+#define MSGCL_CHECK_GE(a, b) MSGCL_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))
+
+#endif  // MSGCL_TENSOR_MACROS_H_

@@ -1,0 +1,984 @@
+// Operator implementations for Tensor: elementwise ops with broadcasting,
+// reductions, matmul, shape manipulation, and fused neural-net primitives.
+// Each op records a backward closure that accumulates into parent gradients.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/tensor.h"
+
+namespace msgcl {
+
+namespace {
+
+using detail::TensorImpl;
+
+bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
+  if (!NoGradGuard::GradEnabled()) return false;
+  for (const auto& p : parents) {
+    if (p.requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Creates an op-output node. `bw` may be empty when no parent needs grad.
+Tensor MakeNode(Shape shape, std::vector<float> data, const std::vector<Tensor>& parents,
+                std::function<void(TensorImpl&)> bw) {
+  auto impl = std::make_shared<TensorImpl>();
+  MSGCL_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  if (AnyRequiresGrad(parents)) {
+    impl->requires_grad = true;
+    impl->parents.reserve(parents.size());
+    for (const auto& p : parents) impl->parents.push_back(p.impl_ptr());
+    impl->backward_fn = std::move(bw);
+  }
+  return Tensor::FromImpl(std::move(impl));
+}
+
+/// NumPy broadcasting of two shapes; aborts on incompatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  Shape out;
+  int na = static_cast<int>(a.size()), nb = static_cast<int>(b.size());
+  int n = std::max(na, nb);
+  out.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int64_t da = i < n - na ? 1 : a[i - (n - na)];
+    int64_t db = i < n - nb ? 1 : b[i - (n - nb)];
+    MSGCL_CHECK_MSG(da == db || da == 1 || db == 1,
+                    "cannot broadcast " << ShapeToString(a) << " with " << ShapeToString(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+/// Row-major strides of a shape, with 0 for broadcast (size-1) dims when
+/// aligned to `out_rank` dims on the right.
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
+  int n = static_cast<int>(out.size());
+  int ns = static_cast<int>(shape.size());
+  std::vector<int64_t> strides(n, 0);
+  int64_t running = 1;
+  for (int i = ns - 1; i >= 0; --i) {
+    int oi = i + (n - ns);
+    strides[oi] = (shape[i] == 1 && out[oi] != 1) ? 0 : running;
+    running *= shape[i];
+  }
+  return strides;
+}
+
+/// Walks every coordinate of `out_shape`, calling fn(out_flat, a_off, b_off).
+/// Offsets advance incrementally (odometer), no div/mod per element.
+template <typename Fn>
+void ForEachBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
+                      const std::vector<int64_t>& sb, Fn&& fn) {
+  const int n = static_cast<int>(out_shape.size());
+  const int64_t total = NumElements(out_shape);
+  if (total == 0) return;
+  if (n == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> idx(n, 0);
+  int64_t ao = 0, bo = 0;
+  for (int64_t flat = 0; flat < total; ++flat) {
+    fn(flat, ao, bo);
+    // Increment odometer from the last dim.
+    for (int d = n - 1; d >= 0; --d) {
+      idx[d]++;
+      ao += sa[d];
+      bo += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      ao -= sa[d] * out_shape[d];
+      bo -= sb[d] * out_shape[d];
+    }
+  }
+}
+
+/// Elementwise binary op with broadcasting.
+/// fwd(a, b) -> out; bwd writes (da, db) contributions given (a, b, gout).
+template <typename Fwd, typename DA, typename DB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
+  Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  auto sa = BroadcastStrides(a.shape(), out_shape);
+  auto sb = BroadcastStrides(b.shape(), out_shape);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  std::vector<float> out(NumElements(out_shape));
+  if (a.shape() == b.shape()) {
+    // Fast path: identical shapes, tight vectorizable loop.
+    for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(ad[i], bd[i]);
+  } else {
+    ForEachBroadcast(out_shape, sa, sb,
+                     [&](int64_t o, int64_t ao, int64_t bo) { out[o] = fwd(ad[ao], bd[bo]); });
+  }
+  auto ai = a.impl_ptr();
+  auto bi = b.impl_ptr();
+  Shape shape_copy = out_shape;
+  return MakeNode(
+      std::move(out_shape), std::move(out), {a, b},
+      [ai, bi, sa, sb, shape_copy, da_fn, db_fn](TensorImpl& self) {
+        const bool need_a = ai->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_a) ai->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        const auto& g = self.grad;
+        const auto& ad = ai->data;
+        const auto& bd = bi->data;
+        if (ai->shape == bi->shape) {
+          for (size_t i = 0; i < g.size(); ++i) {
+            if (need_a) ai->grad[i] += da_fn(ad[i], bd[i]) * g[i];
+            if (need_b) bi->grad[i] += db_fn(ad[i], bd[i]) * g[i];
+          }
+        } else {
+          ForEachBroadcast(shape_copy, sa, sb, [&](int64_t o, int64_t ao, int64_t bo) {
+            if (need_a) ai->grad[ao] += da_fn(ad[ao], bd[bo]) * g[o];
+            if (need_b) bi->grad[bo] += db_fn(ad[ao], bd[bo]) * g[o];
+          });
+        }
+      });
+}
+
+/// Elementwise unary op. bwd receives (x, y, gout) and returns dx.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd) {
+  const auto& xd = x.data();
+  std::vector<float> out(xd.size());
+  for (size_t i = 0; i < xd.size(); ++i) out[i] = fwd(xd[i]);
+  auto xi = x.impl_ptr();
+  return MakeNode(x.shape(), std::move(out), {x}, [xi, bwd](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const auto& g = self.grad;
+    const auto& xd = xi->data;
+    const auto& yd = self.data;
+    for (size_t i = 0; i < g.size(); ++i) xi->grad[i] += bwd(xd[i], yd[i]) * g[i];
+  });
+}
+
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
+  // C[m,n] += A[m,k] * B[k,n]; i-p-j loop order keeps the inner loop
+  // contiguous over both B and C so the compiler can vectorize it.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// dA[m,k] += dC[m,n] * B^T  (i.e. dA[i,p] += sum_j dC[i,j] B[p,j])
+void MatMulGradA(const float* dc, const float* b, float* da, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* dcrow = dc + i * n;
+    float* darow = da + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[p] += acc;
+    }
+  }
+}
+
+// dB[k,n] += A^T * dC  (i.e. dB[p,j] += sum_i A[i,p] dC[i,j])
+void MatMulGradB(const float* a, const float* dc, float* db, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* dcrow = dc + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      float* dbrow = db + p * n;
+      for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Elementwise binary ---------------------------------------------------
+
+Tensor Tensor::Add(const Tensor& o) const {
+  return BinaryOp(
+      *this, o, [](float a, float b) { return a + b; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Tensor::Sub(const Tensor& o) const {
+  return BinaryOp(
+      *this, o, [](float a, float b) { return a - b; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Tensor::Mul(const Tensor& o) const {
+  return BinaryOp(
+      *this, o, [](float a, float b) { return a * b; },
+      [](float, float b) { return b; }, [](float a, float) { return a; });
+}
+
+Tensor Tensor::Div(const Tensor& o) const {
+  return BinaryOp(
+      *this, o, [](float a, float b) { return a / b; },
+      [](float, float b) { return 1.0f / b; },
+      [](float a, float b) { return -a / (b * b); });
+}
+
+Tensor Tensor::AddScalar(float s) const {
+  return UnaryOp(
+      *this, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Tensor::MulScalar(float s) const {
+  return UnaryOp(
+      *this, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+// ---- Elementwise unary -----------------------------------------------------
+
+Tensor Tensor::Relu() const {
+  return UnaryOp(
+      *this, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tensor::Gelu() const {
+  // tanh approximation of GELU and its analytic derivative.
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return UnaryOp(
+      *this,
+      [](float x) {
+        const float inner = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float inner = kC * (x + kA * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.0f + 3.0f * kA * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor Tensor::Tanh() const {
+  return UnaryOp(
+      *this, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Tensor::Sigmoid() const {
+  return UnaryOp(
+      *this, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tensor::Exp() const {
+  return UnaryOp(
+      *this, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+}
+
+Tensor Tensor::Log(float eps) const {
+  return UnaryOp(
+      *this, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Tensor::Sqrt() const {
+  return UnaryOp(
+      *this, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+}
+
+Tensor Tensor::Square() const {
+  return UnaryOp(
+      *this, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+}
+
+// ---- Reductions ------------------------------------------------------------
+
+Tensor Tensor::Sum() const {
+  const auto& xd = data();
+  double acc = 0.0;
+  for (float v : xd) acc += v;
+  auto xi = impl_ptr();
+  return MakeNode({1}, {static_cast<float>(acc)}, {*this}, [xi](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const float g = self.grad[0];
+    for (auto& gi : xi->grad) gi += g;
+  });
+}
+
+Tensor Tensor::Mean() const {
+  const int64_t n = numel();
+  MSGCL_CHECK_GT(n, 0);
+  return Sum().MulScalar(1.0f / static_cast<float>(n));
+}
+
+Tensor Tensor::SumLastDim() const {
+  MSGCL_CHECK_GE(ndim(), 1);
+  const int64_t c = dim(-1);
+  const int64_t rows = numel() / std::max<int64_t>(c, 1);
+  const auto& xd = data();
+  std::vector<float> out(rows, 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) acc += xd[r * c + j];
+    out[r] = static_cast<float>(acc);
+  }
+  Shape out_shape(shape().begin(), shape().end() - 1);
+  if (out_shape.empty()) out_shape = {1};
+  auto xi = impl_ptr();
+  return MakeNode(std::move(out_shape), std::move(out), {*this}, [xi, c](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const int64_t rows = static_cast<int64_t>(self.grad.size());
+    for (int64_t r = 0; r < rows; ++r) {
+      const float g = self.grad[r];
+      for (int64_t j = 0; j < c; ++j) xi->grad[r * c + j] += g;
+    }
+  });
+}
+
+Tensor Tensor::MeanLastDim() const {
+  const int64_t c = dim(-1);
+  MSGCL_CHECK_GT(c, 0);
+  return SumLastDim().MulScalar(1.0f / static_cast<float>(c));
+}
+
+Tensor Tensor::MaxLastDim() const {
+  MSGCL_CHECK_GE(ndim(), 1);
+  const int64_t c = dim(-1);
+  MSGCL_CHECK_GT(c, 0);
+  const int64_t rows = numel() / c;
+  const auto& xd = data();
+  std::vector<float> out(rows);
+  auto argmax = std::make_shared<std::vector<int64_t>>(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t best = 0;
+    float bv = xd[r * c];
+    for (int64_t j = 1; j < c; ++j) {
+      if (xd[r * c + j] > bv) {
+        bv = xd[r * c + j];
+        best = j;
+      }
+    }
+    out[r] = bv;
+    (*argmax)[r] = best;
+  }
+  Shape out_shape(shape().begin(), shape().end() - 1);
+  if (out_shape.empty()) out_shape = {1};
+  auto xi = impl_ptr();
+  return MakeNode(std::move(out_shape), std::move(out), {*this},
+                  [xi, c, argmax](TensorImpl& self) {
+                    if (!xi->requires_grad) return;
+                    xi->EnsureGrad();
+                    const int64_t rows = static_cast<int64_t>(self.grad.size());
+                    for (int64_t r = 0; r < rows; ++r) {
+                      xi->grad[r * c + (*argmax)[r]] += self.grad[r];
+                    }
+                  });
+}
+
+// ---- Softmax family ---------------------------------------------------------
+
+Tensor Tensor::SoftmaxLastDim() const {
+  MSGCL_CHECK_GE(ndim(), 1);
+  const int64_t c = dim(-1);
+  MSGCL_CHECK_GT(c, 0);
+  const int64_t rows = numel() / c;
+  const auto& xd = data();
+  std::vector<float> out(xd.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xd.data() + r * c;
+    float* yr = out.data() + r * c;
+    float mx = xr[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      z += yr[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t j = 0; j < c; ++j) yr[j] *= inv;
+  }
+  auto xi = impl_ptr();
+  return MakeNode(shape(), std::move(out), {*this}, [xi, c](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = self.data.data() + r * c;
+      const float* g = self.grad.data() + r * c;
+      double dot = 0.0;
+      for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
+      float* gx = xi->grad.data() + r * c;
+      for (int64_t j = 0; j < c; ++j) gx[j] += y[j] * (g[j] - static_cast<float>(dot));
+    }
+  });
+}
+
+Tensor Tensor::LogSoftmaxLastDim() const {
+  MSGCL_CHECK_GE(ndim(), 1);
+  const int64_t c = dim(-1);
+  MSGCL_CHECK_GT(c, 0);
+  const int64_t rows = numel() / c;
+  const auto& xd = data();
+  std::vector<float> out(xd.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xd.data() + r * c;
+    float* yr = out.data() + r * c;
+    float mx = xr[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(z));
+    for (int64_t j = 0; j < c; ++j) yr[j] = xr[j] - lse;
+  }
+  auto xi = impl_ptr();
+  return MakeNode(shape(), std::move(out), {*this}, [xi, c](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = self.data.data() + r * c;  // log-softmax values
+      const float* g = self.grad.data() + r * c;
+      double gsum = 0.0;
+      for (int64_t j = 0; j < c; ++j) gsum += g[j];
+      float* gx = xi->grad.data() + r * c;
+      for (int64_t j = 0; j < c; ++j) {
+        gx[j] += g[j] - std::exp(y[j]) * static_cast<float>(gsum);
+      }
+    }
+  });
+}
+
+Tensor Tensor::L2NormalizeLastDim(float eps) const {
+  MSGCL_CHECK_GE(ndim(), 1);
+  const int64_t c = dim(-1);
+  MSGCL_CHECK_GT(c, 0);
+  const int64_t rows = numel() / c;
+  const auto& xd = data();
+  std::vector<float> out(xd.size());
+  auto norms = std::make_shared<std::vector<float>>(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xd.data() + r * c;
+    double sq = 0.0;
+    for (int64_t j = 0; j < c; ++j) sq += static_cast<double>(xr[j]) * xr[j];
+    const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+    (*norms)[r] = norm;
+    for (int64_t j = 0; j < c; ++j) out[r * c + j] = xr[j] / norm;
+  }
+  auto xi = impl_ptr();
+  return MakeNode(shape(), std::move(out), {*this}, [xi, c, norms](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = self.data.data() + r * c;
+      const float* g = self.grad.data() + r * c;
+      double dot = 0.0;
+      for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
+      const float inv_norm = 1.0f / (*norms)[r];
+      float* gx = xi->grad.data() + r * c;
+      for (int64_t j = 0; j < c; ++j) {
+        gx[j] += (g[j] - y[j] * static_cast<float>(dot)) * inv_norm;
+      }
+    }
+  });
+}
+
+// ---- Masking ----------------------------------------------------------------
+
+Tensor Tensor::MaskedFill(const std::vector<uint8_t>& mask, float value) const {
+  MSGCL_CHECK_EQ(static_cast<int64_t>(mask.size()), numel());
+  const auto& xd = data();
+  std::vector<float> out(xd.size());
+  for (size_t i = 0; i < xd.size(); ++i) out[i] = mask[i] ? value : xd[i];
+  auto xi = impl_ptr();
+  auto mask_copy = std::make_shared<std::vector<uint8_t>>(mask);
+  return MakeNode(shape(), std::move(out), {*this}, [xi, mask_copy](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      if (!(*mask_copy)[i]) xi->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Tensor Tensor::DropoutMask(const std::vector<uint8_t>& keep, float keep_prob) const {
+  MSGCL_CHECK_EQ(static_cast<int64_t>(keep.size()), numel());
+  MSGCL_CHECK_GT(keep_prob, 0.0f);
+  const float scale = 1.0f / keep_prob;
+  const auto& xd = data();
+  std::vector<float> out(xd.size());
+  for (size_t i = 0; i < xd.size(); ++i) out[i] = keep[i] ? xd[i] * scale : 0.0f;
+  auto xi = impl_ptr();
+  auto keep_copy = std::make_shared<std::vector<uint8_t>>(keep);
+  return MakeNode(shape(), std::move(out), {*this},
+                  [xi, keep_copy, scale](TensorImpl& self) {
+                    if (!xi->requires_grad) return;
+                    xi->EnsureGrad();
+                    for (size_t i = 0; i < self.grad.size(); ++i) {
+                      if ((*keep_copy)[i]) xi->grad[i] += self.grad[i] * scale;
+                    }
+                  });
+}
+
+// ---- Shape manipulation -------------------------------------------------------
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  MSGCL_CHECK_MSG(NumElements(new_shape) == numel(),
+                  "reshape " << ShapeToString(shape()) << " -> " << ShapeToString(new_shape));
+  auto xi = impl_ptr();
+  return MakeNode(std::move(new_shape), data(), {*this}, [xi](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) xi->grad[i] += self.grad[i];
+  });
+}
+
+Tensor Tensor::TransposeLast2() const {
+  const int n = ndim();
+  MSGCL_CHECK_GE(n, 2);
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::swap(perm[n - 1], perm[n - 2]);
+  return Permute(perm);
+}
+
+Tensor Tensor::Permute(const std::vector<int>& perm) const {
+  const int n = ndim();
+  MSGCL_CHECK_EQ(static_cast<int>(perm.size()), n);
+  const Shape& in_shape = shape();
+  Shape out_shape(n);
+  for (int i = 0; i < n; ++i) out_shape[i] = in_shape[perm[i]];
+
+  // in_strides in input layout; then arrange by perm so that walking the
+  // output row-major advances the input offset by strides_by_out.
+  std::vector<int64_t> in_strides(n, 1);
+  for (int i = n - 2; i >= 0; --i) in_strides[i] = in_strides[i + 1] * in_shape[i + 1];
+  std::vector<int64_t> strides_by_out(n);
+  for (int i = 0; i < n; ++i) strides_by_out[i] = in_strides[perm[i]];
+
+  const auto& xd = data();
+  std::vector<float> out(xd.size());
+  std::vector<int64_t> zero(n, 0);
+  ForEachBroadcast(out_shape, strides_by_out, zero,
+                   [&](int64_t o, int64_t io, int64_t) { out[o] = xd[io]; });
+
+  auto xi = impl_ptr();
+  Shape out_copy = out_shape;
+  return MakeNode(std::move(out_shape), std::move(out), {*this},
+                  [xi, strides_by_out, out_copy](TensorImpl& self) {
+                    if (!xi->requires_grad) return;
+                    xi->EnsureGrad();
+                    std::vector<int64_t> zero(out_copy.size(), 0);
+                    ForEachBroadcast(out_copy, strides_by_out, zero,
+                                     [&](int64_t o, int64_t io, int64_t) {
+                                       xi->grad[io] += self.grad[o];
+                                     });
+                  });
+}
+
+Tensor Tensor::Narrow(int d, int64_t start, int64_t length) const {
+  const int n = ndim();
+  if (d < 0) d += n;
+  MSGCL_CHECK_MSG(d >= 0 && d < n, "Narrow dim out of range");
+  MSGCL_CHECK_MSG(start >= 0 && start + length <= shape()[d],
+                  "Narrow [" << start << ", " << start + length << ") out of range for dim "
+                             << shape()[d]);
+  const Shape& in_shape = shape();
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < d; ++i) outer *= in_shape[i];
+  for (int i = d + 1; i < n; ++i) inner *= in_shape[i];
+  const int64_t in_dim = in_shape[d];
+
+  Shape out_shape = in_shape;
+  out_shape[d] = length;
+  const auto& xd = data();
+  std::vector<float> out(outer * length * inner);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = xd.data() + (o * in_dim + start) * inner;
+    float* dst = out.data() + o * length * inner;
+    std::copy(src, src + length * inner, dst);
+  }
+  auto xi = impl_ptr();
+  return MakeNode(std::move(out_shape), std::move(out), {*this},
+                  [xi, outer, inner, in_dim, start, length](TensorImpl& self) {
+                    if (!xi->requires_grad) return;
+                    xi->EnsureGrad();
+                    for (int64_t o = 0; o < outer; ++o) {
+                      const float* gs = self.grad.data() + o * length * inner;
+                      float* gd = xi->grad.data() + (o * in_dim + start) * inner;
+                      for (int64_t i = 0; i < length * inner; ++i) gd[i] += gs[i];
+                    }
+                  });
+}
+
+Tensor Tensor::Concat(const std::vector<Tensor>& tensors, int d) {
+  MSGCL_CHECK_GT(tensors.size(), 0u);
+  const int n = tensors[0].ndim();
+  if (d < 0) d += n;
+  MSGCL_CHECK_MSG(d >= 0 && d < n, "Concat dim out of range");
+  Shape out_shape = tensors[0].shape();
+  int64_t total_dim = 0;
+  for (const auto& t : tensors) {
+    MSGCL_CHECK_EQ(t.ndim(), n);
+    for (int i = 0; i < n; ++i) {
+      if (i != d) MSGCL_CHECK_EQ(t.shape()[i], out_shape[i]);
+    }
+    total_dim += t.shape()[d];
+  }
+  out_shape[d] = total_dim;
+
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < d; ++i) outer *= out_shape[i];
+  for (int i = d + 1; i < n; ++i) inner *= out_shape[i];
+
+  std::vector<float> out(NumElements(out_shape));
+  std::vector<int64_t> dim_sizes;
+  dim_sizes.reserve(tensors.size());
+  int64_t offset_dim = 0;
+  for (const auto& t : tensors) {
+    const int64_t td = t.shape()[d];
+    dim_sizes.push_back(td);
+    const auto& src = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(src.data() + o * td * inner, src.data() + (o + 1) * td * inner,
+                out.data() + (o * total_dim + offset_dim) * inner);
+    }
+    offset_dim += td;
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> parent_impls;
+  parent_impls.reserve(tensors.size());
+  for (const auto& t : tensors) parent_impls.push_back(t.impl_ptr());
+  return MakeNode(std::move(out_shape), std::move(out), tensors,
+                  [parent_impls, dim_sizes, outer, inner, total_dim](TensorImpl& self) {
+                    int64_t offset_dim = 0;
+                    for (size_t p = 0; p < parent_impls.size(); ++p) {
+                      auto& pi = *parent_impls[p];
+                      const int64_t td = dim_sizes[p];
+                      if (pi.requires_grad) {
+                        pi.EnsureGrad();
+                        for (int64_t o = 0; o < outer; ++o) {
+                          const float* gs =
+                              self.grad.data() + (o * total_dim + offset_dim) * inner;
+                          float* gd = pi.grad.data() + o * td * inner;
+                          for (int64_t i = 0; i < td * inner; ++i) gd[i] += gs[i];
+                        }
+                      }
+                      offset_dim += td;
+                    }
+                  });
+}
+
+// ---- MatMul -------------------------------------------------------------------
+
+Tensor Tensor::MatMul(const Tensor& other) const {
+  const Tensor& A = *this;
+  const Tensor& B = other;
+  MSGCL_CHECK_GE(A.ndim(), 2);
+  MSGCL_CHECK_GE(B.ndim(), 2);
+  const int64_t m = A.dim(-2), ka = A.dim(-1);
+  const int64_t kb = B.dim(-2), nn = B.dim(-1);
+  MSGCL_CHECK_MSG(ka == kb, "matmul inner dims " << ka << " vs " << kb << " ("
+                                                 << ShapeToString(A.shape()) << " x "
+                                                 << ShapeToString(B.shape()) << ")");
+  Shape batch_a(A.shape().begin(), A.shape().end() - 2);
+  Shape batch_b(B.shape().begin(), B.shape().end() - 2);
+  MSGCL_CHECK_MSG(batch_a == batch_b || batch_a.empty() || batch_b.empty(),
+                  "matmul batch dims must match or one side must be rank-2: "
+                      << ShapeToString(A.shape()) << " x " << ShapeToString(B.shape()));
+  const Shape& batch = batch_a.empty() ? batch_b : batch_a;
+  const int64_t nbatch = NumElements(batch);
+  const bool a_batched = !batch_a.empty();
+  const bool b_batched = !batch_b.empty();
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(nn);
+  std::vector<float> out(NumElements(out_shape), 0.0f);
+  const auto& ad = A.data();
+  const auto& bd = B.data();
+  const int64_t a_stride = a_batched ? m * ka : 0;
+  const int64_t b_stride = b_batched ? ka * nn : 0;
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    MatMulKernel(ad.data() + bi * a_stride, bd.data() + bi * b_stride,
+                 out.data() + bi * m * nn, m, ka, nn);
+  }
+
+  auto ai = A.impl_ptr();
+  auto bimp = B.impl_ptr();
+  const int64_t k = ka;
+  return MakeNode(std::move(out_shape), std::move(out), {A, B},
+                  [ai, bimp, m, k, nn, nbatch, a_stride, b_stride](TensorImpl& self) {
+                    const bool need_a = ai->requires_grad;
+                    const bool need_b = bimp->requires_grad;
+                    if (need_a) ai->EnsureGrad();
+                    if (need_b) bimp->EnsureGrad();
+                    for (int64_t bi = 0; bi < nbatch; ++bi) {
+                      const float* dc = self.grad.data() + bi * m * nn;
+                      const float* a = ai->data.data() + bi * a_stride;
+                      const float* b = bimp->data.data() + bi * b_stride;
+                      if (need_a) {
+                        MatMulGradA(dc, b, ai->grad.data() + bi * a_stride, m, k, nn);
+                      }
+                      if (need_b) {
+                        MatMulGradB(a, dc, bimp->grad.data() + bi * b_stride, m, k, nn);
+                      }
+                    }
+                  });
+}
+
+// ---- Fused neural-net primitives -----------------------------------------------
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& indices,
+                       const Shape& index_shape, int32_t padding_idx) {
+  MSGCL_CHECK_EQ(table.ndim(), 2);
+  MSGCL_CHECK_EQ(NumElements(index_shape), static_cast<int64_t>(indices.size()));
+  const int64_t rows = table.dim(0);
+  const int64_t width = table.dim(1);
+  const auto& td = table.data();
+  std::vector<float> out(indices.size() * width);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int32_t id = indices[i];
+    MSGCL_CHECK_MSG(id >= 0 && id < rows,
+                    "embedding index " << id << " out of [0, " << rows << ")");
+    std::copy(td.data() + id * width, td.data() + (id + 1) * width,
+              out.data() + static_cast<int64_t>(i) * width);
+  }
+  Shape out_shape = index_shape;
+  out_shape.push_back(width);
+  auto ti = table.impl_ptr();
+  auto idx = std::make_shared<std::vector<int32_t>>(indices);
+  return MakeNode(std::move(out_shape), std::move(out), {table},
+                  [ti, idx, width, padding_idx](TensorImpl& self) {
+                    if (!ti->requires_grad) return;
+                    ti->EnsureGrad();
+                    for (size_t i = 0; i < idx->size(); ++i) {
+                      const int32_t id = (*idx)[i];
+                      if (id == padding_idx) continue;
+                      const float* gs = self.grad.data() + static_cast<int64_t>(i) * width;
+                      float* gd = ti->grad.data() + static_cast<int64_t>(id) * width;
+                      for (int64_t j = 0; j < width; ++j) gd[j] += gs[j];
+                    }
+                  });
+}
+
+Tensor GatherTimeStep(const Tensor& x, const std::vector<int32_t>& positions) {
+  MSGCL_CHECK_EQ(x.ndim(), 3);
+  const int64_t B = x.dim(0), T = x.dim(1), D = x.dim(2);
+  MSGCL_CHECK_EQ(static_cast<int64_t>(positions.size()), B);
+  const auto& xd = x.data();
+  std::vector<float> out(B * D);
+  for (int64_t b = 0; b < B; ++b) {
+    const int32_t t = positions[b];
+    MSGCL_CHECK_MSG(t >= 0 && t < T, "position " << t << " out of [0, " << T << ")");
+    std::copy(xd.data() + (b * T + t) * D, xd.data() + (b * T + t + 1) * D,
+              out.data() + b * D);
+  }
+  auto xi = x.impl_ptr();
+  auto pos = std::make_shared<std::vector<int32_t>>(positions);
+  return MakeNode({B, D}, std::move(out), {x}, [xi, pos, T, D](TensorImpl& self) {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const int64_t B = static_cast<int64_t>(pos->size());
+    for (int64_t b = 0; b < B; ++b) {
+      const int32_t t = (*pos)[b];
+      const float* gs = self.grad.data() + b * D;
+      float* gd = xi->grad.data() + (b * T + t) * D;
+      for (int64_t j = 0; j < D; ++j) gd[j] += gs[j];
+    }
+  });
+}
+
+Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                        float eps) {
+  MSGCL_CHECK_GE(x.ndim(), 1);
+  const int64_t c = x.dim(-1);
+  MSGCL_CHECK_GT(c, 0);
+  MSGCL_CHECK_EQ(gamma.numel(), c);
+  MSGCL_CHECK_EQ(beta.numel(), c);
+  const int64_t rows = x.numel() / c;
+  const auto& xd = x.data();
+  const auto& gd = gamma.data();
+  const auto& bd = beta.data();
+  std::vector<float> out(xd.size());
+  auto xhat = std::make_shared<std::vector<float>>(xd.size());
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xd.data() + r * c;
+    double mu = 0.0;
+    for (int64_t j = 0; j < c; ++j) mu += xr[j];
+    mu /= static_cast<double>(c);
+    double var = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double d = xr[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(c);
+    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    (*inv_std)[r] = is;
+    for (int64_t j = 0; j < c; ++j) {
+      const float xh = (xr[j] - static_cast<float>(mu)) * is;
+      (*xhat)[r * c + j] = xh;
+      out[r * c + j] = gd[j] * xh + bd[j];
+    }
+  }
+  auto xi = x.impl_ptr();
+  auto gi = gamma.impl_ptr();
+  auto bi = beta.impl_ptr();
+  return MakeNode(x.shape(), std::move(out), {x, gamma, beta},
+                  [xi, gi, bi, xhat, inv_std, c](TensorImpl& self) {
+                    const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
+                    const bool need_x = xi->requires_grad;
+                    const bool need_g = gi->requires_grad;
+                    const bool need_b = bi->requires_grad;
+                    if (need_x) xi->EnsureGrad();
+                    if (need_g) gi->EnsureGrad();
+                    if (need_b) bi->EnsureGrad();
+                    for (int64_t r = 0; r < rows; ++r) {
+                      const float* g = self.grad.data() + r * c;
+                      const float* xh = xhat->data() + r * c;
+                      if (need_g || need_b) {
+                        for (int64_t j = 0; j < c; ++j) {
+                          if (need_g) gi->grad[j] += g[j] * xh[j];
+                          if (need_b) bi->grad[j] += g[j];
+                        }
+                      }
+                      if (need_x) {
+                        // dx = inv_std/c * (c*dy*gamma - sum(dy*gamma)
+                        //        - xhat * sum(dy*gamma*xhat))
+                        double s1 = 0.0, s2 = 0.0;
+                        for (int64_t j = 0; j < c; ++j) {
+                          const double dg = static_cast<double>(g[j]) * gi->data[j];
+                          s1 += dg;
+                          s2 += dg * xh[j];
+                        }
+                        const float is = (*inv_std)[r];
+                        float* gx = xi->grad.data() + r * c;
+                        const float invc = 1.0f / static_cast<float>(c);
+                        for (int64_t j = 0; j < c; ++j) {
+                          const float dg = g[j] * gi->data[j];
+                          gx[j] += is * (dg - invc * static_cast<float>(s1) -
+                                         xh[j] * invc * static_cast<float>(s2));
+                        }
+                      }
+                    }
+                  });
+}
+
+Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targets,
+                          int32_t ignore_index) {
+  MSGCL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t M = logits.dim(0), C = logits.dim(1);
+  MSGCL_CHECK_EQ(static_cast<int64_t>(targets.size()), M);
+  const auto& xd = logits.data();
+  // Forward: mean over non-ignored rows of (logsumexp - logit[target]).
+  auto log_probs = std::make_shared<std::vector<float>>(xd.size());
+  double loss = 0.0;
+  int64_t valid = 0;
+  for (int64_t r = 0; r < M; ++r) {
+    const float* xr = xd.data() + r * C;
+    float mx = xr[0];
+    for (int64_t j = 1; j < C; ++j) mx = std::max(mx, xr[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < C; ++j) z += std::exp(xr[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(z));
+    for (int64_t j = 0; j < C; ++j) (*log_probs)[r * C + j] = xr[j] - lse;
+    const int32_t t = targets[r];
+    if (t == ignore_index) continue;
+    MSGCL_CHECK_MSG(t >= 0 && t < C, "target " << t << " out of [0, " << C << ")");
+    loss -= (*log_probs)[r * C + t];
+    ++valid;
+  }
+  const float mean_loss =
+      valid > 0 ? static_cast<float>(loss / static_cast<double>(valid)) : 0.0f;
+  auto li = logits.impl_ptr();
+  auto tgt = std::make_shared<std::vector<int32_t>>(targets);
+  return MakeNode({1}, {mean_loss}, {logits},
+                  [li, tgt, log_probs, ignore_index, C, valid](TensorImpl& self) {
+                    if (!li->requires_grad || valid == 0) return;
+                    li->EnsureGrad();
+                    const float g = self.grad[0] / static_cast<float>(valid);
+                    const int64_t M = static_cast<int64_t>(tgt->size());
+                    for (int64_t r = 0; r < M; ++r) {
+                      const int32_t t = (*tgt)[r];
+                      if (t == ignore_index) continue;
+                      const float* lp = log_probs->data() + r * C;
+                      float* gx = li->grad.data() + r * C;
+                      for (int64_t j = 0; j < C; ++j) {
+                        const float softmax = std::exp(lp[j]);
+                        gx[j] += g * (softmax - (j == t ? 1.0f : 0.0f));
+                      }
+                    }
+                  });
+}
+
+Tensor HorizontalConv(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  MSGCL_CHECK_EQ(x.ndim(), 3);
+  MSGCL_CHECK_EQ(weight.ndim(), 3);
+  MSGCL_CHECK_EQ(bias.ndim(), 1);
+  const int64_t B = x.dim(0), T = x.dim(1), D = x.dim(2);
+  const int64_t F = weight.dim(0), h = weight.dim(1);
+  MSGCL_CHECK_EQ(weight.dim(2), D);
+  MSGCL_CHECK_EQ(bias.dim(0), F);
+  MSGCL_CHECK_MSG(h <= T, "filter height " << h << " exceeds sequence length " << T);
+  const int64_t L = T - h + 1;
+  const auto& xd = x.data();
+  const auto& wd = weight.data();
+  const auto& bd = bias.data();
+  std::vector<float> out(B * L * F);
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t t = 0; t < L; ++t) {
+      float* orow = out.data() + (b * L + t) * F;
+      for (int64_t f = 0; f < F; ++f) {
+        const float* w = wd.data() + f * h * D;
+        const float* xwin = xd.data() + (b * T + t) * D;
+        double acc = bd[f];
+        for (int64_t i = 0; i < h * D; ++i) acc += w[i] * xwin[i];
+        orow[f] = static_cast<float>(acc);
+      }
+    }
+  }
+  auto xi = x.impl_ptr();
+  auto wi = weight.impl_ptr();
+  auto bi = bias.impl_ptr();
+  return MakeNode({B, L, F}, std::move(out), {x, weight, bias},
+                  [xi, wi, bi, B, T, D, F, h, L](TensorImpl& self) {
+                    const bool need_x = xi->requires_grad;
+                    const bool need_w = wi->requires_grad;
+                    const bool need_b = bi->requires_grad;
+                    if (need_x) xi->EnsureGrad();
+                    if (need_w) wi->EnsureGrad();
+                    if (need_b) bi->EnsureGrad();
+                    for (int64_t b = 0; b < B; ++b) {
+                      for (int64_t t = 0; t < L; ++t) {
+                        const float* g = self.grad.data() + (b * L + t) * F;
+                        for (int64_t f = 0; f < F; ++f) {
+                          const float gv = g[f];
+                          if (gv == 0.0f) continue;
+                          if (need_b) bi->grad[f] += gv;
+                          const float* w = wi->data.data() + f * h * D;
+                          const float* xwin = xi->data.data() + (b * T + t) * D;
+                          if (need_w) {
+                            float* gw = wi->grad.data() + f * h * D;
+                            for (int64_t i = 0; i < h * D; ++i) gw[i] += gv * xwin[i];
+                          }
+                          if (need_x) {
+                            float* gx = xi->grad.data() + (b * T + t) * D;
+                            for (int64_t i = 0; i < h * D; ++i) gx[i] += gv * w[i];
+                          }
+                        }
+                      }
+                    }
+                  });
+}
+
+}  // namespace msgcl

@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component (weight init, dropout masks, reparameterisation
+// noise, dataset synthesis, negative sampling) draws from an explicitly
+// seeded Rng so that runs are bit-exactly repeatable. The generator is
+// xoshiro256** seeded via SplitMix64, following the reference
+// implementations by Blackman & Vigna.
+#ifndef MSGCL_TENSOR_RNG_H_
+#define MSGCL_TENSOR_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/macros.h"
+
+namespace msgcl {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi) {
+    return lo + (hi - lo) * static_cast<float>(Uniform());
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    MSGCL_CHECK_GT(n, 0u);
+    // Lemire-style rejection-free-enough bounded sampling; the modulo bias
+    // for n << 2^64 is negligible at our scales, but debias anyway.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Box-Muller (cached second draw).
+  float Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = Uniform();
+    } while (u1 <= 1e-12);
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = static_cast<float>(r * std::sin(theta));
+    has_cached_ = true;
+    return static_cast<float>(r * std::cos(theta));
+  }
+
+  /// Normal with the given mean and standard deviation.
+  float Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Geometric-like Zipf sampler over [0, n) with exponent s (popularity skew).
+  /// Uses inverse-CDF over precomputation-free rejection; adequate for data
+  /// synthesis where exact Zipf tail behaviour is not load-bearing.
+  uint64_t Zipf(uint64_t n, double s) {
+    MSGCL_CHECK_GT(n, 0u);
+    // Rejection sampling from the Zipf distribution (Devroye).
+    const double b = std::pow(2.0, s - 1.0);
+    for (;;) {
+      const double u = Uniform();
+      const double v = Uniform();
+      const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+      const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+      if (v * x * (t - 1.0) / (b - 1.0) <= t / b && x <= static_cast<double>(n)) {
+        return static_cast<uint64_t>(x) - 1;
+      }
+    }
+  }
+
+  /// Derives an independent stream; use to give each component its own RNG.
+  Rng Split() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace msgcl
+
+#endif  // MSGCL_TENSOR_RNG_H_

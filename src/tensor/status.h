@@ -1,0 +1,95 @@
+// RocksDB-style Status / Result<T> error handling for fallible public APIs.
+//
+// Library code never throws across the public API boundary; operations that
+// can fail for reasons outside the programmer's control (bad configuration
+// values, malformed input data) return Status or Result<T>.
+#ifndef MSGCL_TENSOR_STATUS_H_
+#define MSGCL_TENSOR_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "tensor/macros.h"
+
+namespace msgcl {
+
+/// Outcome of a fallible operation: OK or an error code plus message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
+  static Status OutOfRange(std::string msg) { return Status(Code::kOutOfRange, std::move(msg)); }
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kOutOfRange: name = "OUT_OF_RANGE"; break;
+      case Code::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value or an error Status. Access to value() on an error aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    MSGCL_CHECK_MSG(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MSGCL_CHECK_MSG(ok(), "Result::value() on error: " << status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    MSGCL_CHECK_MSG(ok(), "Result::value() on error: " << status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    MSGCL_CHECK_MSG(ok(), "Result::value() on error: " << status_.ToString());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace msgcl
+
+#endif  // MSGCL_TENSOR_STATUS_H_

@@ -1,0 +1,171 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace msgcl {
+
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+std::shared_ptr<detail::TensorImpl> MakeImpl(Shape shape, std::vector<float> data,
+                                             bool requires_grad) {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  MSGCL_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad && g_grad_enabled;
+  return impl;
+}
+
+}  // namespace
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    MSGCL_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+// ---- Factories ----------------------------------------------------------
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  int64_t n = NumElements(shape);
+  return FromImpl(MakeImpl(std::move(shape), std::vector<float>(n, 0.0f), requires_grad));
+}
+
+Tensor Tensor::Ones(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  int64_t n = NumElements(shape);
+  return FromImpl(MakeImpl(std::move(shape), std::vector<float>(n, value), requires_grad));
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  int64_t n = NumElements(shape);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.Normal(0.0f, stddev);
+  return FromImpl(MakeImpl(std::move(shape), std::move(v), requires_grad));
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi, bool requires_grad) {
+  int64_t n = NumElements(shape);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.UniformFloat(lo, hi);
+  return FromImpl(MakeImpl(std::move(shape), std::move(v), requires_grad));
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values, bool requires_grad) {
+  return FromImpl(MakeImpl(std::move(shape), std::move(values), requires_grad));
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<detail::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+// ---- Introspection -------------------------------------------------------
+
+int64_t Tensor::dim(int i) const {
+  const auto& s = impl()->shape;
+  int n = static_cast<int>(s.size());
+  if (i < 0) i += n;
+  MSGCL_CHECK_MSG(i >= 0 && i < n, "dim " << i << " out of range for " << ShapeToString(s));
+  return s[i];
+}
+
+float Tensor::item() const {
+  MSGCL_CHECK_MSG(numel() == 1, "item() on tensor of shape " << ShapeToString(shape()));
+  return impl()->data[0];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  MSGCL_CHECK_MSG(flat_index >= 0 && flat_index < numel(),
+                  "flat index " << flat_index << " out of range " << numel());
+  return impl()->data[flat_index];
+}
+
+void Tensor::set(int64_t flat_index, float value) {
+  MSGCL_CHECK_MSG(flat_index >= 0 && flat_index < numel(),
+                  "flat index " << flat_index << " out of range " << numel());
+  impl()->data[flat_index] = value;
+}
+
+// ---- Autograd -------------------------------------------------------------
+
+void Tensor::Backward(const std::vector<float>* grad_output) {
+  detail::TensorImpl* root = impl();
+  root->EnsureGrad();
+  if (grad_output != nullptr) {
+    MSGCL_CHECK_EQ(static_cast<int64_t>(grad_output->size()), root->numel());
+    for (int64_t i = 0; i < root->numel(); ++i) root->grad[i] += (*grad_output)[i];
+  } else {
+    MSGCL_CHECK_MSG(root->numel() == 1,
+                    "Backward() without grad_output requires a scalar; got "
+                        << ShapeToString(root->shape));
+    root->grad[0] += 1.0f;
+  }
+
+  // Topological order via iterative post-order DFS over parents.
+  std::vector<detail::TensorImpl*> topo;
+  std::unordered_set<detail::TensorImpl*> visited;
+  struct Frame {
+    detail::TensorImpl* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < f.node->parents.size()) {
+      detail::TensorImpl* child = f.node->parents[f.next_child++].get();
+      if (visited.insert(child).second) stack.push_back({child, 0});
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // topo is post-order: parents before children in vector order; we need
+  // to process the root first, so iterate in reverse.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    detail::TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  auto& g = impl()->grad;
+  std::fill(g.begin(), g.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  return FromImpl(MakeImpl(impl()->shape, impl()->data, /*requires_grad=*/false));
+}
+
+}  // namespace msgcl

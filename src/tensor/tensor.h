@@ -1,0 +1,258 @@
+// A small dense float32 tensor library with reverse-mode automatic
+// differentiation — the numerics substrate for the Meta-SGCL reproduction.
+//
+// Design:
+//  * `Tensor` is a cheap shared handle onto a `TensorImpl` node. Operations
+//    build a define-by-run graph; `backward()` runs a topological sweep and
+//    accumulates gradients into every node with `requires_grad()`.
+//  * Data is row-major contiguous float32. Shapes are dynamic
+//    (`std::vector<int64_t>`). Integer index inputs (item ids) are plain
+//    `std::vector<int32_t>` passed alongside a shape, not tensors.
+//  * Binary elementwise ops broadcast NumPy-style. `matmul` contracts the
+//    last two dims and broadcasts leading batch dims (either side may also
+//    be rank-2, shared across the batch).
+//  * Gradient recording can be suspended with `NoGradGuard` for inference.
+//
+// All shape violations abort via MSGCL_CHECK — they are programmer errors.
+#ifndef MSGCL_TENSOR_TENSOR_H_
+#define MSGCL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/macros.h"
+#include "tensor/rng.h"
+
+namespace msgcl {
+
+/// Dynamic tensor shape, row-major.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements in a shape.
+int64_t NumElements(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" rendering of a shape.
+std::string ShapeToString(const Shape& shape);
+
+class Tensor;
+
+namespace detail {
+
+/// Graph node: storage, gradient buffer and backward closure.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily, same size as data
+  bool requires_grad = false;
+
+  // Autograd bookkeeping. `backward_fn` reads this node's grad and
+  // accumulates into the parents' grads. Empty for leaves.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+/// Suspends gradient recording for its lifetime (thread-local).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True when gradients are currently being recorded.
+  static bool GradEnabled();
+
+ private:
+  bool prev_;
+};
+
+/// Shared handle onto a tensor graph node. Copying is O(1) and aliases.
+class Tensor {
+ public:
+  /// Null tensor; most operations on it abort. Use factories below.
+  Tensor() = default;
+
+  // ---- Factories -----------------------------------------------------
+
+  /// All-zeros tensor of the given shape.
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  /// All-ones tensor of the given shape.
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+  /// Tensor filled with `value`.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  /// I.i.d. N(0, stddev^2) entries drawn from `rng`.
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// I.i.d. Uniform[lo, hi) entries drawn from `rng`.
+  static Tensor Rand(Shape shape, Rng& rng, float lo, float hi,
+                     bool requires_grad = false);
+  /// Takes ownership of `values`; NumElements(shape) must match.
+  static Tensor FromVector(Shape shape, std::vector<float> values,
+                           bool requires_grad = false);
+
+  // ---- Introspection -------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl()->shape; }
+  int64_t dim(int i) const;  // negative i counts from the back
+  int ndim() const { return static_cast<int>(impl()->shape.size()); }
+  int64_t numel() const { return impl()->numel(); }
+  bool requires_grad() const { return impl()->requires_grad; }
+
+  /// Mutable raw storage. Writing through this on a graph interior node
+  /// invalidates recorded gradients; intended for leaves and tests.
+  std::vector<float>& data() { return impl()->data; }
+  const std::vector<float>& data() const { return impl()->data; }
+  /// Gradient buffer (empty until backward touches this node).
+  const std::vector<float>& grad() const { return impl()->grad; }
+  std::vector<float>& mutable_grad() { impl()->EnsureGrad(); return impl()->grad; }
+
+  /// Scalar value of a 1-element tensor.
+  float item() const;
+
+  /// Flat element accessors.
+  float at(int64_t flat_index) const;
+  void set(int64_t flat_index, float value);
+
+  // ---- Autograd ------------------------------------------------------
+
+  /// Backpropagates from this node. If the tensor is not a scalar,
+  /// `grad_output` must be supplied with matching size.
+  void Backward(const std::vector<float>* grad_output = nullptr);
+
+  /// Zeroes this node's gradient buffer.
+  void ZeroGrad();
+
+  /// A leaf copy sharing no graph history (same data, detached).
+  Tensor Detach() const;
+
+  /// Marks this (leaf) tensor as a trainable parameter.
+  void set_requires_grad(bool value) { impl()->requires_grad = value; }
+
+  // ---- Shape ops -----------------------------------------------------
+
+  /// View with a new shape; element count must match. O(numel) copy-free
+  /// forward (shares storage is NOT done — data is copied to keep the
+  /// implementation simple and the graph acyclic).
+  Tensor Reshape(Shape new_shape) const;
+  /// Swaps the last two dimensions.
+  Tensor TransposeLast2() const;
+  /// General permutation of dimensions (copying).
+  Tensor Permute(const std::vector<int>& perm) const;
+  /// Narrows dimension `dim` to `[start, start+length)`.
+  Tensor Narrow(int dim, int64_t start, int64_t length) const;
+
+  /// Concatenates tensors along dimension `dim` (all other dims equal).
+  static Tensor Concat(const std::vector<Tensor>& tensors, int dim);
+
+  // ---- Elementwise / reductions (see ops.cc) --------------------------
+
+  Tensor Add(const Tensor& other) const;
+  Tensor Sub(const Tensor& other) const;
+  Tensor Mul(const Tensor& other) const;
+  Tensor Div(const Tensor& other) const;
+  Tensor AddScalar(float s) const;
+  Tensor MulScalar(float s) const;
+  Tensor Neg() const { return MulScalar(-1.0f); }
+
+  Tensor Relu() const;
+  Tensor Gelu() const;
+  Tensor Tanh() const;
+  Tensor Sigmoid() const;
+  Tensor Exp() const;
+  /// Natural log of max(x, eps) for numerical safety.
+  Tensor Log(float eps = 1e-12f) const;
+  Tensor Sqrt() const;
+  Tensor Square() const;
+
+  /// Sum of all elements -> scalar tensor.
+  Tensor Sum() const;
+  /// Mean of all elements -> scalar tensor.
+  Tensor Mean() const;
+  /// Sum over the last dimension (keepdim=false).
+  Tensor SumLastDim() const;
+  /// Mean over the last dimension (keepdim=false).
+  Tensor MeanLastDim() const;
+  /// Max over the last dimension (keepdim=false); gradient flows to argmax.
+  Tensor MaxLastDim() const;
+
+  /// Softmax over the last dimension.
+  Tensor SoftmaxLastDim() const;
+  /// Log-softmax over the last dimension (numerically stable).
+  Tensor LogSoftmaxLastDim() const;
+  /// Rows scaled to unit L2 norm over the last dimension.
+  Tensor L2NormalizeLastDim(float eps = 1e-12f) const;
+
+  /// Where mask != 0, replaces the element with `value` (no grad there).
+  /// `mask` has NumElements == numel() and is not differentiated through.
+  Tensor MaskedFill(const std::vector<uint8_t>& mask, float value) const;
+
+  /// Multiplies by a constant 0/1 mask divided by keep-prob (inverted
+  /// dropout); `mask` entries are 1=keep.
+  Tensor DropoutMask(const std::vector<uint8_t>& keep, float keep_prob) const;
+
+  // Operator sugar.
+  Tensor operator+(const Tensor& o) const { return Add(o); }
+  Tensor operator-(const Tensor& o) const { return Sub(o); }
+  Tensor operator*(const Tensor& o) const { return Mul(o); }
+  Tensor operator/(const Tensor& o) const { return Div(o); }
+
+  /// Matrix product contracting the last two dims; leading batch dims
+  /// broadcast (must be equal, or one operand may be rank-2).
+  Tensor MatMul(const Tensor& other) const;
+
+  // ---- Implementation access (for op authors) -------------------------
+  const std::shared_ptr<detail::TensorImpl>& impl_ptr() const { return impl_; }
+  detail::TensorImpl* impl() const {
+    MSGCL_CHECK_MSG(impl_ != nullptr, "operation on a null Tensor");
+    return impl_.get();
+  }
+
+  /// Wraps an impl (op-author API).
+  static Tensor FromImpl(std::shared_ptr<detail::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+// ---- Free-function ops (fused / multi-input; see ops.cc) ----------------
+
+/// Rows of `table` ([num_rows, width]) gathered by `indices`; the result has
+/// shape `index_shape + [width]`. Backward scatter-adds into `table`.
+/// Gradient to row `padding_idx` is suppressed when `padding_idx >= 0`.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& indices,
+                       const Shape& index_shape, int32_t padding_idx = -1);
+
+/// Gathers one row per batch element: x is [B, T, D], positions has B entries
+/// in [0, T); the result is [B, D].
+Tensor GatherTimeStep(const Tensor& x, const std::vector<int32_t>& positions);
+
+/// Layer normalisation over the last dimension with affine gamma/beta
+/// (both rank-1 of size = last dim).
+Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                        float eps = 1e-5f);
+
+/// Mean cross-entropy of `logits` ([M, C]) against integer `targets`
+/// (size M). Rows whose target equals `ignore_index` contribute nothing.
+/// Fused log-softmax + NLL, numerically stable.
+Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targets,
+                          int32_t ignore_index = -1);
+
+/// Horizontal convolution for Caser: x is [B, T, D], weight is [F, h, D],
+/// bias is [F]; output is [B, T-h+1, F] (valid convolution down the time
+/// axis with full-width filters).
+Tensor HorizontalConv(const Tensor& x, const Tensor& weight, const Tensor& bias);
+
+}  // namespace msgcl
+
+#endif  // MSGCL_TENSOR_TENSOR_H_

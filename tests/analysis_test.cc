@@ -1,0 +1,165 @@
+// Tests for the evaluation analysis utilities: sampled-negative evaluation,
+// paired bootstrap significance testing, and popularity-stratified metrics.
+#include <numeric>
+
+#include "eval/analysis.h"
+#include "gtest/gtest.h"
+
+namespace msgcl {
+namespace eval {
+namespace {
+
+/// Always ranks `best` first; background scores fall with item id.
+class FixedBestRanker : public Ranker {
+ public:
+  FixedBestRanker(int32_t num_items, int32_t best) : num_items_(num_items), best_(best) {}
+  std::string name() const override { return "fixed-best"; }
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> out(batch.batch_size * (num_items_ + 1));
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      for (int32_t i = 1; i <= num_items_; ++i) {
+        out[b * (num_items_ + 1) + i] = -0.001f * i;
+      }
+      out[b * (num_items_ + 1) + best_] = 1.0f;
+    }
+    return out;
+  }
+
+ private:
+  int32_t num_items_;
+  int32_t best_;
+};
+
+data::SequenceDataset SmallDs() {
+  data::SequenceDataset ds;
+  ds.num_items = 50;
+  for (int u = 0; u < 20; ++u) {
+    ds.train_seqs.push_back({1, 2, 3});
+    ds.valid_targets.push_back(4);
+    ds.test_targets.push_back(u < 10 ? 5 : 40);  // half head-ish, half tail
+  }
+  return ds;
+}
+
+// ---------- Sampled-negative evaluation ----------
+
+TEST(SampledEvalTest, PerfectModelStillPerfect) {
+  auto ds = SmallDs();
+  FixedBestRanker model(ds.num_items, 5);
+  // For the 10 users whose target is 5, the model is perfect.
+  data::SequenceDataset subset = ds;
+  subset.train_seqs.resize(10);
+  subset.valid_targets.resize(10);
+  subset.test_targets.resize(10);
+  Rng rng(1);
+  EvalConfig cfg;
+  cfg.max_len = 6;
+  Metrics m = EvaluateSampled(model, subset, Split::kTest, 100, rng, cfg);
+  EXPECT_EQ(m.hr10, 1.0);
+  EXPECT_EQ(m.ndcg10, 1.0);
+}
+
+TEST(SampledEvalTest, SampledAtLeastAsGenerousAsFull) {
+  // Ranking against a sample of negatives can only improve (or keep) the
+  // rank vs ranking against all items.
+  auto ds = SmallDs();
+  FixedBestRanker model(ds.num_items, 7);  // never the target
+  Rng rng(2);
+  EvalConfig cfg;
+  cfg.max_len = 6;
+  Metrics full = Evaluate(model, ds, Split::kTest, cfg);
+  Metrics sampled = EvaluateSampled(model, ds, Split::kTest, 20, rng, cfg);
+  EXPECT_GE(sampled.hr10 + 1e-9, full.hr10);
+  EXPECT_GE(sampled.ndcg10 + 1e-9, full.ndcg10);
+}
+
+TEST(SampledEvalTest, DeterministicGivenRngSeed) {
+  auto ds = SmallDs();
+  FixedBestRanker model(ds.num_items, 7);
+  EvalConfig cfg;
+  cfg.max_len = 6;
+  Rng r1(3), r2(3);
+  Metrics a = EvaluateSampled(model, ds, Split::kTest, 30, r1, cfg);
+  Metrics b = EvaluateSampled(model, ds, Split::kTest, 30, r2, cfg);
+  EXPECT_EQ(a.hr10, b.hr10);
+  EXPECT_EQ(a.ndcg10, b.ndcg10);
+}
+
+// ---------- Per-user NDCG + paired bootstrap ----------
+
+TEST(BootstrapTest, PerUserNdcgMatchesEvaluatorMean) {
+  auto ds = SmallDs();
+  FixedBestRanker model(ds.num_items, 5);
+  EvalConfig cfg;
+  cfg.max_len = 6;
+  auto per_user = PerUserNdcg10(model, ds, Split::kTest, cfg);
+  ASSERT_EQ(per_user.size(), 20u);
+  const double mean =
+      std::accumulate(per_user.begin(), per_user.end(), 0.0) / per_user.size();
+  Metrics m = Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_NEAR(mean, m.ndcg10, 1e-9);
+}
+
+TEST(BootstrapTest, LargeGapIsSignificant) {
+  std::vector<double> a(100, 0.9), b(100, 0.1);
+  Rng rng(4);
+  auto r = PairedBootstrap(a, b, rng, 500);
+  EXPECT_NEAR(r.mean_a, 0.9, 1e-9);
+  EXPECT_NEAR(r.mean_b, 0.1, 1e-9);
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(BootstrapTest, IdenticalModelsNotSignificant) {
+  std::vector<double> a(50), b(50);
+  Rng noise(5);
+  for (int i = 0; i < 50; ++i) a[i] = b[i] = noise.Uniform();
+  Rng rng(6);
+  auto r = PairedBootstrap(a, b, rng, 500);
+  EXPECT_GT(r.p_value, 0.5);  // ties count as flips
+}
+
+TEST(BootstrapTest, NoisyOverlapIsInsignificant) {
+  // Two models whose per-user scores are the same distribution.
+  Rng gen(7);
+  std::vector<double> a(60), b(60);
+  for (int i = 0; i < 60; ++i) {
+    a[i] = gen.Uniform();
+    b[i] = gen.Uniform();
+  }
+  Rng rng(8);
+  auto r = PairedBootstrap(a, b, rng, 1000);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+// ---------- Popularity strata ----------
+
+TEST(PopularityStrataTest, BucketsCoverAllUsers) {
+  auto ds = SmallDs();
+  FixedBestRanker model(ds.num_items, 5);
+  EvalConfig cfg;
+  cfg.max_len = 6;
+  auto strata = PopularityStratifiedHr10(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(strata.head_n + strata.mid_n + strata.tail_n, 20);
+}
+
+TEST(PopularityStrataTest, HeadTargetModelWinsOnItsBucket) {
+  // Targets: item 5 for half the users. Make 5 popular in training so it
+  // lands in the head bucket; the model always ranks 5 first.
+  data::SequenceDataset ds;
+  ds.num_items = 30;
+  for (int u = 0; u < 12; ++u) {
+    ds.train_seqs.push_back({5, 5, 5, 2});
+    ds.valid_targets.push_back(2);
+    ds.test_targets.push_back(u % 2 == 0 ? 5 : 25);
+  }
+  FixedBestRanker model(ds.num_items, 5);
+  EvalConfig cfg;
+  cfg.max_len = 6;
+  auto strata = PopularityStratifiedHr10(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(strata.head_hr10, 1.0);   // item 5 targets all hit
+  EXPECT_LT(strata.tail_hr10, 1.0);   // item 25 targets mostly missed
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace msgcl

@@ -1,0 +1,293 @@
+// Tests for the Meta-SGCL core: the Seq2Seq generator, the double-ELBO loss,
+// parameter-group split for the meta-optimized two-step strategy, ablation
+// variants, and end-to-end learning checks.
+#include <cmath>
+#include <set>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "gtest/gtest.h"
+#include "models/pop.h"
+
+namespace msgcl {
+namespace core {
+namespace {
+
+data::SequenceDataset TinySplit(uint64_t seed = 7) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(seed)).value();
+  return data::LeaveOneOutSplit(log);
+}
+
+models::TrainConfig QuickTrain(int64_t epochs = 3) {
+  models::TrainConfig t;
+  t.epochs = epochs;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 99;
+  return t;
+}
+
+MetaSgclConfig TinyConfig(const data::SequenceDataset& ds) {
+  MetaSgclConfig c;
+  c.backbone.num_items = ds.num_items;
+  c.backbone.max_len = 12;
+  c.backbone.dim = 16;
+  c.backbone.heads = 2;
+  c.backbone.layers = 1;
+  c.backbone.dropout = 0.1f;
+  c.kl_anneal_steps = 10;
+  return c;
+}
+
+// ---------- Seq2SeqGenerator ----------
+
+TEST(Seq2SeqGeneratorTest, ForwardShapes) {
+  auto ds = TinySplit();
+  Rng rng(1);
+  Seq2SeqGenerator gen(TinyConfig(ds).backbone, rng);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1, 2}, 12);
+  Rng fwd(2);
+  Seq2SeqOutput out = gen.Forward(batch, fwd, /*sample=*/true, /*second_view=*/true);
+  const Shape expect = {3, 12, 16};
+  EXPECT_EQ(out.mu.shape(), expect);
+  EXPECT_EQ(out.logvar.shape(), expect);
+  EXPECT_EQ(out.logvar_prime.shape(), expect);
+  EXPECT_EQ(out.z.shape(), expect);
+  EXPECT_EQ(out.z_prime.shape(), expect);
+  EXPECT_EQ(out.h_dec.shape(), expect);
+  EXPECT_EQ(out.h_dec_prime.shape(), expect);
+  EXPECT_TRUE(out.has_second_view());
+}
+
+TEST(Seq2SeqGeneratorTest, SingleViewSkipsMetaHead) {
+  auto ds = TinySplit();
+  Rng rng(3);
+  Seq2SeqGenerator gen(TinyConfig(ds).backbone, rng);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1}, 12);
+  Rng fwd(4);
+  Seq2SeqOutput out = gen.Forward(batch, fwd, true, /*second_view=*/false);
+  EXPECT_FALSE(out.has_second_view());
+  EXPECT_FALSE(out.z_prime.defined());
+}
+
+TEST(Seq2SeqGeneratorTest, NoSampleMakesZEqualMu) {
+  auto ds = TinySplit();
+  Rng rng(5);
+  Seq2SeqGenerator gen(TinyConfig(ds).backbone, rng);
+  gen.SetTraining(false);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1}, 12);
+  Rng fwd(6);
+  Seq2SeqOutput out = gen.Forward(batch, fwd, /*sample=*/false, /*second_view=*/true);
+  for (int64_t i = 0; i < out.mu.numel(); ++i) {
+    ASSERT_EQ(out.z.at(i), out.mu.at(i));
+    ASSERT_EQ(out.z_prime.at(i), out.mu.at(i));
+  }
+}
+
+TEST(Seq2SeqGeneratorTest, TwoViewsDifferWhenSampling) {
+  auto ds = TinySplit();
+  Rng rng(7);
+  Seq2SeqGenerator gen(TinyConfig(ds).backbone, rng);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1}, 12);
+  Rng fwd(8);
+  Seq2SeqOutput out = gen.Forward(batch, fwd, /*sample=*/true, /*second_view=*/true);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < out.z.numel(); ++i) diff += std::fabs(out.z.at(i) - out.z_prime.at(i));
+  EXPECT_GT(diff, 1e-3f) << "generated views are identical";
+}
+
+TEST(Seq2SeqGeneratorTest, ParameterGroupsPartitionAllParameters) {
+  auto ds = TinySplit();
+  Rng rng(9);
+  Seq2SeqGenerator gen(TinyConfig(ds).backbone, rng);
+  auto all = gen.Parameters();
+  auto main = gen.MainParameters();
+  auto meta = gen.MetaParameters();
+  EXPECT_EQ(all.size(), main.size() + meta.size());
+  std::set<const void*> main_set, meta_set;
+  for (auto& p : main) main_set.insert(p.impl_ptr().get());
+  for (auto& p : meta) meta_set.insert(p.impl_ptr().get());
+  for (const void* ptr : meta_set) {
+    EXPECT_EQ(main_set.count(ptr), 0u) << "parameter groups overlap";
+  }
+  std::set<const void*> union_set = main_set;
+  union_set.insert(meta_set.begin(), meta_set.end());
+  for (auto& p : all) EXPECT_EQ(union_set.count(p.impl_ptr().get()), 1u);
+  EXPECT_EQ(meta.size(), 2u);  // Enc_sigma' weight + bias
+}
+
+// ---------- MetaSgcl losses and training ----------
+
+TEST(MetaSgclTest, FullLossFiniteAndPositive) {
+  auto ds = TinySplit();
+  MetaSgcl model(TinyConfig(ds), QuickTrain(1), Rng(10));
+  model.SetTraining(true);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1, 2, 3}, 12);
+  Rng rng(11);
+  Tensor loss = model.FullLoss(batch, rng, /*beta_weight=*/0.2f);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+TEST(MetaSgclTest, AblationNamesAndModes) {
+  auto ds = TinySplit();
+  MetaSgclConfig c = TinyConfig(ds);
+  EXPECT_EQ(MetaSgcl(c, QuickTrain(), Rng(1)).name(), "Meta-SGCL");
+  c.mode = TrainingMode::kJoint;
+  EXPECT_EQ(MetaSgcl(c, QuickTrain(), Rng(1)).name(), "Meta-SGCL(joint)");
+  c.mode = TrainingMode::kMetaTwoStep;
+  c.use_cl = false;
+  EXPECT_EQ(MetaSgcl(c, QuickTrain(), Rng(1)).name(), "Meta-SGCL(-cl)");
+  c.use_cl = true;
+  c.use_kl = false;
+  EXPECT_EQ(MetaSgcl(c, QuickTrain(), Rng(1)).name(), "Meta-SGCL(-kl)");
+  c.use_cl = false;
+  EXPECT_EQ(MetaSgcl(c, QuickTrain(), Rng(1)).name(), "Meta-SGCL(-clkl)");
+}
+
+TEST(MetaSgclTest, ConfigValidation) {
+  auto ds = TinySplit();
+  MetaSgclConfig c = TinyConfig(ds);
+  c.tau = 0.0f;
+  EXPECT_FALSE(c.Validate().ok());
+  c = TinyConfig(ds);
+  c.alpha = -1.0f;
+  EXPECT_FALSE(c.Validate().ok());
+  c = TinyConfig(ds);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(MetaSgclTest, FullLossMatchesManualDoubleElboAssembly) {
+  // Regression-wires Eq. 27/28: FullLoss must equal
+  //   CE(view1) + CE(view2) + beta*(KL1 + KL2) + alpha*InfoNCE(z, z')
+  // recomputed by hand from an identical forward pass (same RNG stream).
+  auto ds = TinySplit();
+  MetaSgclConfig cfg = TinyConfig(ds);
+  cfg.backbone.dropout = 0.0f;  // forward consumes rng only for sampling
+  cfg.alpha = 0.07f;
+  MetaSgcl model(cfg, QuickTrain(1), Rng(20));
+  model.SetTraining(true);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1, 2, 3}, 12);
+
+  const float beta_w = 0.13f;
+  Rng r1(77);
+  const float loss = model.FullLoss(batch, r1, beta_w).item();
+
+  Rng r2(77);
+  Seq2SeqOutput out = model.generator().Forward(batch, r2, /*sample=*/true,
+                                                /*second_view=*/true);
+  const int64_t D = 16, M = batch.batch_size * batch.seq_len;
+  std::vector<uint8_t> valid(batch.key_padding.size());
+  for (size_t i = 0; i < valid.size(); ++i) valid[i] = batch.key_padding[i] ? 0 : 1;
+  float manual =
+      CrossEntropyLogits(model.generator().LogitsAll(out.h_dec.Reshape({M, D})),
+                         batch.targets, 0)
+          .item();
+  manual += CrossEntropyLogits(
+                model.generator().LogitsAll(out.h_dec_prime.Reshape({M, D})),
+                batch.targets, 0)
+                .item();
+  manual += beta_w * nn::GaussianKl(out.mu, out.logvar, &valid).item();
+  manual += beta_w * nn::GaussianKl(out.mu, out.logvar_prime, &valid).item();
+  manual += cfg.alpha * model.ContrastiveLoss(out, batch).item();
+  EXPECT_NEAR(loss, manual, 1e-4f);
+}
+
+TEST(MetaSgclTest, StageTwoOnlyMovesMetaHead) {
+  // Reproduce one two-step update manually and assert the freeze semantics:
+  // a contrastive-only step through opt_meta must leave main params intact.
+  auto ds = TinySplit();
+  Rng rng(12);
+  Seq2SeqGenerator gen(TinyConfig(ds).backbone, rng);
+  gen.SetTraining(true);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1, 2, 3, 4, 5, 6, 7}, 12);
+
+  auto snapshot = [&](const std::vector<Tensor>& ps) {
+    std::vector<std::vector<float>> out;
+    for (auto& p : ps) out.push_back(p.data());
+    return out;
+  };
+  auto main_before = snapshot(gen.MainParameters());
+  auto meta_before = snapshot(gen.MetaParameters());
+
+  nn::Adam opt_meta(gen.MetaParameters(), 1e-2f);
+  Rng fwd(13);
+  Seq2SeqOutput out = gen.Forward(batch, fwd, true, true);
+  Tensor z = out.z.Narrow(1, 11, 1).Reshape({8, 16});
+  Tensor zp = out.z_prime.Narrow(1, 11, 1).Reshape({8, 16});
+  nn::InfoNce(z, zp, 1.0f).Backward();
+  opt_meta.Step();
+
+  auto main_after = snapshot(gen.MainParameters());
+  auto meta_after = snapshot(gen.MetaParameters());
+  EXPECT_EQ(main_before, main_after) << "stage 2 leaked into main parameters";
+  EXPECT_NE(meta_before, meta_after) << "stage 2 did not update the meta head";
+}
+
+TEST(MetaSgclTest, MetaTwoStepTrainingRuns) {
+  auto ds = TinySplit();
+  MetaSgcl model(TinyConfig(ds), QuickTrain(2), Rng(14));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1}, 12);
+  auto scores = model.ScoreAll(b);
+  ASSERT_EQ(scores.size(), 2u * (ds.num_items + 1));
+  for (float s : scores) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(MetaSgclTest, JointTrainingRuns) {
+  auto ds = TinySplit();
+  MetaSgclConfig c = TinyConfig(ds);
+  c.mode = TrainingMode::kJoint;
+  MetaSgcl model(c, QuickTrain(2), Rng(15));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(MetaSgclTest, AblationVariantsTrain) {
+  auto ds = TinySplit();
+  for (bool use_cl : {false, true}) {
+    for (bool use_kl : {false, true}) {
+      MetaSgclConfig c = TinyConfig(ds);
+      c.use_cl = use_cl;
+      c.use_kl = use_kl;
+      MetaSgcl model(c, QuickTrain(1), Rng(16));
+      model.Fit(ds);
+      data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+      for (float s : model.ScoreAll(b)) {
+        ASSERT_TRUE(std::isfinite(s)) << "cl=" << use_cl << " kl=" << use_kl;
+      }
+    }
+  }
+}
+
+TEST(MetaSgclTest, EvalScoringDeterministic) {
+  auto ds = TinySplit();
+  MetaSgcl model(TinyConfig(ds), QuickTrain(1), Rng(17));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1, 2}, 12);
+  EXPECT_EQ(model.ScoreAll(b), model.ScoreAll(b));
+}
+
+TEST(MetaSgclIntegrationTest, BeatsPopOnSequentialData) {
+  auto ds = TinySplit(123);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = 12;
+
+  models::Pop pop;
+  pop.Fit(ds);
+  eval::Metrics mp = eval::Evaluate(pop, ds, eval::Split::kTest, ecfg);
+
+  MetaSgcl model(TinyConfig(ds), QuickTrain(40), Rng(18));
+  model.Fit(ds);
+  eval::Metrics mm = eval::Evaluate(model, ds, eval::Split::kTest, ecfg);
+
+  EXPECT_GT(mm.hr10, mp.hr10 + 0.05)
+      << "Pop " << mp.ToString() << " vs Meta-SGCL " << mm.ToString();
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace msgcl

@@ -1,0 +1,98 @@
+// Tests for the CoSeRec baseline: co-occurrence correlation, informative
+// substitute/insert augmentations, and end-to-end training.
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/coserec.h"
+
+namespace msgcl {
+namespace models {
+namespace {
+
+TEST(ItemCorrelationTest, FindsCooccurringPair) {
+  // Items 1 and 2 always adjacent; 3 isolated at distance > window.
+  std::vector<std::vector<int32_t>> seqs = {
+      {1, 2, 4, 4, 4, 4, 3}, {2, 1, 5, 5, 5, 5, 3}, {1, 2, 6, 6, 6, 6, 3}};
+  ItemCorrelation corr(seqs, 6, /*window=*/1);
+  EXPECT_EQ(corr.MostCorrelated(1), 2);
+  EXPECT_EQ(corr.MostCorrelated(2), 1);
+}
+
+TEST(ItemCorrelationTest, UnseenItemHasNoCorrelate) {
+  std::vector<std::vector<int32_t>> seqs = {{1, 2}};
+  ItemCorrelation corr(seqs, 10);
+  EXPECT_EQ(corr.MostCorrelated(7), 0);
+}
+
+TEST(ItemCorrelationTest, SelfIsNeverCorrelate) {
+  std::vector<std::vector<int32_t>> seqs = {{3, 3, 3, 3, 3, 4}};
+  ItemCorrelation corr(seqs, 5);
+  EXPECT_NE(corr.MostCorrelated(3), 3);
+}
+
+TEST(CoSeRecAugmentTest, SubstituteSwapsToCorrelate) {
+  std::vector<std::vector<int32_t>> seqs = {{1, 2, 1, 2, 1, 2, 1, 2}};
+  ItemCorrelation corr(seqs, 3, 1);
+  Rng rng(1);
+  auto out = AugmentSubstitute({1, 1, 1, 1, 1, 1}, corr, 1.0, rng);
+  for (int32_t v : out) EXPECT_EQ(v, 2);  // 1's top correlate is 2
+}
+
+TEST(CoSeRecAugmentTest, SubstituteZeroRatioIsIdentity) {
+  std::vector<std::vector<int32_t>> seqs = {{1, 2, 1, 2}};
+  ItemCorrelation corr(seqs, 3, 1);
+  Rng rng(2);
+  std::vector<int32_t> seq = {1, 2, 1};
+  EXPECT_EQ(AugmentSubstitute(seq, corr, 0.0, rng), seq);
+}
+
+TEST(CoSeRecAugmentTest, InsertGrowsSequenceWithCorrelates) {
+  std::vector<std::vector<int32_t>> seqs = {{1, 2, 1, 2, 1, 2}};
+  ItemCorrelation corr(seqs, 3, 1);
+  Rng rng(3);
+  auto out = AugmentInsert({1, 1, 1, 1}, corr, 1.0, rng);
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t i = 0; i < out.size(); i += 2) {
+    EXPECT_EQ(out[i], 1);
+    EXPECT_EQ(out[i + 1], 2);
+  }
+}
+
+TEST(CoSeRecAugmentTest, InsertPreservesOriginalOrder) {
+  std::vector<std::vector<int32_t>> seqs = {{1, 2, 3, 1, 2, 3}};
+  ItemCorrelation corr(seqs, 4, 1);
+  Rng rng(4);
+  auto out = AugmentInsert({1, 2, 3}, corr, 0.5, rng);
+  // Original items appear as a subsequence.
+  std::vector<int32_t> orig = {1, 2, 3};
+  size_t j = 0;
+  for (int32_t v : out) {
+    if (j < orig.size() && v == orig[j]) ++j;
+  }
+  EXPECT_EQ(j, orig.size());
+}
+
+TEST(CoSeRecTest, TrainsAndScores) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+  CoSeRecConfig cfg;
+  cfg.backbone.num_items = ds.num_items;
+  cfg.backbone.max_len = 12;
+  cfg.backbone.dim = 16;
+  cfg.backbone.layers = 1;
+  TrainConfig t;
+  t.epochs = 2;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  CoSeRec model(cfg, t, Rng(5));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1}, 12);
+  auto s1 = model.ScoreAll(b);
+  ASSERT_EQ(s1.size(), 2u * (ds.num_items + 1));
+  EXPECT_EQ(s1, model.ScoreAll(b));
+  for (float s : s1) ASSERT_TRUE(std::isfinite(s));
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace msgcl

@@ -1,0 +1,383 @@
+// Tests for the data substrate: interaction logs, leave-one-out splitting,
+// synthetic generation (calibration + determinism + sequential signal),
+// batching, augmentation operators, and noise injection.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/data.h"
+#include "gtest/gtest.h"
+
+namespace msgcl {
+namespace data {
+namespace {
+
+InteractionLog SmallLog() {
+  InteractionLog log;
+  log.name = "small";
+  log.num_items = 10;
+  log.sequences = {
+      {1, 2, 3, 4, 5},  // user 0
+      {6, 7, 8},        // user 1
+      {9, 10},          // user 2: too short, dropped by split
+  };
+  return log;
+}
+
+// ---------- InteractionLog ----------
+
+TEST(InteractionLogTest, Statistics) {
+  InteractionLog log = SmallLog();
+  EXPECT_EQ(log.num_users(), 3);
+  EXPECT_EQ(log.num_interactions(), 10);
+  EXPECT_NEAR(log.avg_length(), 10.0 / 3.0, 1e-9);
+  EXPECT_NEAR(log.sparsity(), 1.0 - 10.0 / 30.0, 1e-9);
+}
+
+TEST(InteractionLogTest, ValidateAcceptsGoodLog) {
+  EXPECT_TRUE(SmallLog().Validate().ok());
+}
+
+TEST(InteractionLogTest, ValidateRejectsOutOfRangeItem) {
+  InteractionLog log = SmallLog();
+  log.sequences[0].push_back(11);  // > num_items
+  EXPECT_EQ(log.Validate().code(), Status::Code::kOutOfRange);
+  log.sequences[0].back() = 0;  // padding id is illegal in logs
+  EXPECT_FALSE(log.Validate().ok());
+}
+
+TEST(InteractionLogTest, ValidateRejectsEmptySequence) {
+  InteractionLog log = SmallLog();
+  log.sequences.push_back({});
+  EXPECT_FALSE(log.Validate().ok());
+}
+
+// ---------- Leave-one-out split ----------
+
+TEST(SplitTest, TargetsAreLastAndPenultimate) {
+  SequenceDataset ds = LeaveOneOutSplit(SmallLog());
+  ASSERT_EQ(ds.num_users(), 2);  // user 2 dropped
+  EXPECT_EQ(ds.train_seqs[0], (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(ds.valid_targets[0], 4);
+  EXPECT_EQ(ds.test_targets[0], 5);
+  EXPECT_EQ(ds.train_seqs[1], (std::vector<int32_t>{6}));
+  EXPECT_EQ(ds.valid_targets[1], 7);
+  EXPECT_EQ(ds.test_targets[1], 8);
+}
+
+TEST(SplitTest, TestInputIncludesValidationItem) {
+  SequenceDataset ds = LeaveOneOutSplit(SmallLog());
+  EXPECT_EQ(ds.TestInput(0), (std::vector<int32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(ds.ValidInput(0), (std::vector<int32_t>{1, 2, 3}));
+}
+
+// ---------- Synthetic generation ----------
+
+TEST(SyntheticTest, ConfigValidation) {
+  SyntheticConfig bad;
+  bad.num_clusters = 0;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  bad = SyntheticConfig();
+  bad.min_length = 2;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  bad = SyntheticConfig();
+  bad.follow_prob = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  bad = SyntheticConfig();
+  bad.zipf_exponent = 1.0;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  EXPECT_TRUE(GenerateSynthetic(SyntheticConfig()).ok());
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticConfig c = TinyDataset(5);
+  InteractionLog a = GenerateSynthetic(c).value();
+  InteractionLog b = GenerateSynthetic(c).value();
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  InteractionLog a = GenerateSynthetic(TinyDataset(1)).value();
+  InteractionLog b = GenerateSynthetic(TinyDataset(2)).value();
+  EXPECT_NE(a.sequences, b.sequences);
+}
+
+TEST(SyntheticTest, RespectsBasicShape) {
+  SyntheticConfig c = TinyDataset();
+  InteractionLog log = GenerateSynthetic(c).value();
+  EXPECT_EQ(log.num_users(), c.num_users);
+  EXPECT_EQ(log.num_items, c.num_items);
+  EXPECT_TRUE(log.Validate().ok());
+  for (const auto& s : log.sequences) {
+    EXPECT_GE(static_cast<int32_t>(s.size()), c.min_length);
+    EXPECT_LE(static_cast<int32_t>(s.size()), c.max_length);
+  }
+}
+
+TEST(SyntheticTest, AverageLengthNearTarget) {
+  SyntheticConfig c = TinyDataset();
+  c.num_users = 2000;
+  c.avg_length = 12.0;
+  InteractionLog log = GenerateSynthetic(c).value();
+  EXPECT_NEAR(log.avg_length(), 12.0, 1.5);
+}
+
+TEST(SyntheticTest, PopularitySkewExists) {
+  InteractionLog log = GenerateSynthetic(TinyDataset()).value();
+  std::map<int32_t, int64_t> counts;
+  for (const auto& s : log.sequences) {
+    for (int32_t it : s) counts[it]++;
+  }
+  std::vector<int64_t> freq;
+  for (auto& [item, cnt] : counts) freq.push_back(cnt);
+  std::sort(freq.rbegin(), freq.rend());
+  // The most popular item should dominate the median item.
+  ASSERT_GT(freq.size(), 10u);
+  EXPECT_GT(freq[0], 3 * freq[freq.size() / 2]);
+}
+
+TEST(SyntheticTest, SequentialSignalBeatsChance) {
+  // The cluster of the next item should be predictable from the current
+  // item's cluster far better than chance: measure P(next cluster ==
+  // current + hop) aggregated. Since hops are hidden, test the weaker
+  // property that the empirical next-cluster distribution given current
+  // cluster is concentrated (max-prob >> 1/K).
+  SyntheticConfig c = TinyDataset();
+  c.num_users = 1000;
+  InteractionLog log = GenerateSynthetic(c).value();
+  const int32_t K = c.num_clusters;
+  auto cluster_of = [&](int32_t item) { return (item - 1) % K; };
+  std::vector<std::map<int32_t, int64_t>> trans(K);
+  std::vector<int64_t> totals(K, 0);
+  for (const auto& s : log.sequences) {
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      trans[cluster_of(s[i])][cluster_of(s[i + 1])]++;
+      totals[cluster_of(s[i])]++;
+    }
+  }
+  double avg_maxprob = 0.0;
+  int32_t counted = 0;
+  for (int32_t k = 0; k < K; ++k) {
+    if (totals[k] < 50) continue;
+    int64_t mx = 0;
+    for (auto& [to, cnt] : trans[k]) mx = std::max(mx, cnt);
+    avg_maxprob += static_cast<double>(mx) / totals[k];
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  avg_maxprob /= counted;
+  EXPECT_GT(avg_maxprob, 3.0 / K) << "next-cluster distribution not concentrated";
+}
+
+TEST(SyntheticTest, PresetsMatchTableIShapes) {
+  // At scale 1 the presets should land near 1/10 of Table I counts and
+  // reproduce the qualitative sparsity ordering:
+  //   Clothing (99.97%) > Toys (99.93%) > ML-1M (95.16%).
+  InteractionLog clothing = GenerateSynthetic(ClothingLike(0.25)).value();
+  InteractionLog toys = GenerateSynthetic(ToysLike(0.25)).value();
+  InteractionLog ml1m = GenerateSynthetic(Ml1mLike(0.25)).value();
+  EXPECT_GT(clothing.sparsity(), toys.sparsity());
+  EXPECT_GT(toys.sparsity(), ml1m.sparsity());
+  EXPECT_GT(ml1m.avg_length(), 3 * toys.avg_length());
+  EXPECT_NEAR(clothing.avg_length(), 7.1, 2.0);
+  EXPECT_NEAR(toys.avg_length(), 8.6, 2.0);
+}
+
+// ---------- Batching ----------
+
+TEST(BatchingTest, PadLeftKeepsMostRecent) {
+  EXPECT_EQ(PadLeft({1, 2, 3}, 5), (std::vector<int32_t>{0, 0, 1, 2, 3}));
+  EXPECT_EQ(PadLeft({1, 2, 3, 4, 5, 6}, 4), (std::vector<int32_t>{3, 4, 5, 6}));
+  EXPECT_EQ(PadLeft({}, 2), (std::vector<int32_t>{0, 0}));
+}
+
+TEST(BatchingTest, TrainBatchShiftsTargets) {
+  SequenceDataset ds;
+  ds.num_items = 10;
+  ds.train_seqs = {{1, 2, 3, 4}};
+  Batch b = MakeTrainBatch(ds, {0}, 5);
+  // inputs: s[0..2] = 1,2,3 left-padded; targets: s[1..3] = 2,3,4.
+  EXPECT_EQ(b.inputs, (std::vector<int32_t>{0, 0, 1, 2, 3}));
+  EXPECT_EQ(b.targets, (std::vector<int32_t>{0, 0, 2, 3, 4}));
+  EXPECT_EQ(b.key_padding, (std::vector<uint8_t>{1, 1, 0, 0, 0}));
+  EXPECT_EQ(b.LastTargets(), (std::vector<int32_t>{4}));
+}
+
+TEST(BatchingTest, TrainBatchTruncatesLongSequences) {
+  SequenceDataset ds;
+  ds.num_items = 10;
+  ds.train_seqs = {{1, 2, 3, 4, 5, 6}};
+  Batch b = MakeTrainBatch(ds, {0}, 3);
+  // usable = min(5, 3) = 3 most recent transitions: inputs 3,4,5 -> 4,5,6.
+  EXPECT_EQ(b.inputs, (std::vector<int32_t>{3, 4, 5}));
+  EXPECT_EQ(b.targets, (std::vector<int32_t>{4, 5, 6}));
+}
+
+TEST(BatchingTest, SingleItemSequenceHasNoTargets) {
+  SequenceDataset ds;
+  ds.num_items = 10;
+  ds.train_seqs = {{7}};
+  Batch b = MakeTrainBatch(ds, {0}, 3);
+  EXPECT_EQ(b.targets, (std::vector<int32_t>{0, 0, 0}));
+}
+
+TEST(BatchingTest, OverrideSequencesUsed) {
+  SequenceDataset ds;
+  ds.num_items = 10;
+  ds.train_seqs = {{1, 2, 3}};
+  std::vector<std::vector<int32_t>> noisy = {{5, 6, 7}};
+  Batch b = MakeTrainBatch(ds, {0}, 3, &noisy);
+  EXPECT_EQ(b.inputs, (std::vector<int32_t>{0, 5, 6}));
+  EXPECT_EQ(b.targets, (std::vector<int32_t>{0, 6, 7}));
+}
+
+TEST(BatchingTest, EvalBatchNoShift) {
+  std::vector<std::vector<int32_t>> inputs = {{1, 2, 3}};
+  Batch b = MakeEvalBatch(inputs, {0}, 4);
+  EXPECT_EQ(b.inputs, (std::vector<int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(b.key_padding, (std::vector<uint8_t>{1, 0, 0, 0}));
+}
+
+TEST(BatchingTest, EpochIteratorCoversAllRowsOnce) {
+  Rng rng(3);
+  EpochIterator it(10, 3, rng);
+  EXPECT_EQ(it.num_batches(), 4);
+  std::set<int32_t> seen;
+  int batches = 0;
+  for (auto rows = it.Next(); !rows.empty(); rows = it.Next()) {
+    ++batches;
+    EXPECT_LE(rows.size(), 3u);
+    for (int32_t r : rows) EXPECT_TRUE(seen.insert(r).second) << "duplicate row " << r;
+  }
+  EXPECT_EQ(batches, 4);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(BatchingTest, EpochIteratorShufflesDeterministically) {
+  Rng r1(5), r2(5), r3(6);
+  EpochIterator a(20, 20, r1), b(20, 20, r2), c(20, 20, r3);
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng r4(5);
+  EpochIterator d(20, 20, r4);
+  EXPECT_NE(c.Next(), d.Next());
+}
+
+// ---------- Augmentation operators ----------
+
+TEST(AugmentTest, CropKeepsContiguousSubsequence) {
+  Rng rng(1);
+  std::vector<int32_t> seq = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (int trial = 0; trial < 20; ++trial) {
+    auto out = AugmentCrop(seq, 0.5, rng);
+    ASSERT_EQ(out.size(), 5u);
+    // Must be a contiguous run of the original.
+    const int32_t start = out[0];
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], start + static_cast<int32_t>(i));
+  }
+}
+
+TEST(AugmentTest, CropFullRatioIsIdentity) {
+  Rng rng(2);
+  std::vector<int32_t> seq = {1, 2, 3};
+  EXPECT_EQ(AugmentCrop(seq, 1.0, rng), seq);
+}
+
+TEST(AugmentTest, MaskReplacesAboutRatio) {
+  Rng rng(3);
+  std::vector<int32_t> seq(1000, 5);
+  auto out = AugmentMask(seq, 0.3, 99, rng);
+  int masked = 0;
+  for (int32_t v : out) masked += (v == 99);
+  EXPECT_NEAR(masked / 1000.0, 0.3, 0.05);
+}
+
+TEST(AugmentTest, ReorderPreservesMultiset) {
+  Rng rng(4);
+  std::vector<int32_t> seq = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto out = AugmentReorder(seq, 0.5, rng);
+  auto a = seq, b = out;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AugmentTest, ReorderOnlyTouchesWindow) {
+  Rng rng(5);
+  std::vector<int32_t> seq = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (int trial = 0; trial < 10; ++trial) {
+    auto out = AugmentReorder(seq, 0.3, rng);
+    int changed_lo = -1, changed_hi = -1;
+    for (int i = 0; i < 10; ++i) {
+      if (out[i] != seq[i]) {
+        if (changed_lo < 0) changed_lo = i;
+        changed_hi = i;
+      }
+    }
+    if (changed_lo >= 0) {
+      EXPECT_LE(changed_hi - changed_lo + 1, 3);
+    }
+  }
+}
+
+TEST(AugmentTest, RandomPicksSomeOperator) {
+  Rng rng(6);
+  std::vector<int32_t> seq = {1, 2, 3, 4, 5, 6};
+  // Over many draws, at least one output differs from input (mask/reorder) and
+  // at least one is shorter (crop).
+  bool any_shorter = false, any_modified = false;
+  for (int i = 0; i < 50; ++i) {
+    auto out = AugmentRandom(seq, 99, rng);
+    any_shorter = any_shorter || out.size() < seq.size();
+    any_modified = any_modified || (out.size() == seq.size() && out != seq);
+  }
+  EXPECT_TRUE(any_shorter);
+  EXPECT_TRUE(any_modified);
+}
+
+// ---------- Noise injection ----------
+
+TEST(NoiseTest, ZeroRatioIsIdentity) {
+  SequenceDataset ds;
+  ds.num_items = 10;
+  ds.train_seqs = {{1, 2, 3, 4}};
+  ds.valid_targets = {5};
+  ds.test_targets = {6};
+  Rng rng(1);
+  SequenceDataset out = InjectTrainingNoise(ds, 0.0, rng);
+  EXPECT_EQ(out.train_seqs, ds.train_seqs);
+}
+
+TEST(NoiseTest, InjectsProportionalItems) {
+  SequenceDataset ds;
+  ds.num_items = 100;
+  ds.train_seqs = {std::vector<int32_t>(20, 1)};
+  ds.valid_targets = {5};
+  ds.test_targets = {6};
+  Rng rng(2);
+  SequenceDataset out = InjectTrainingNoise(ds, 0.5, rng);
+  EXPECT_EQ(out.train_seqs[0].size(), 30u);  // 20 + 0.5*20
+  // Targets untouched.
+  EXPECT_EQ(out.valid_targets, ds.valid_targets);
+  EXPECT_EQ(out.test_targets, ds.test_targets);
+}
+
+TEST(NoiseTest, OriginalItemsPreservedInOrder) {
+  SequenceDataset ds;
+  ds.num_items = 50;
+  ds.train_seqs = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  ds.valid_targets = {9};
+  ds.test_targets = {10};
+  Rng rng(3);
+  SequenceDataset out = InjectTrainingNoise(ds, 0.25, rng);
+  // The original sequence must be a subsequence of the noisy one.
+  const auto& noisy = out.train_seqs[0];
+  size_t j = 0;
+  for (int32_t v : noisy) {
+    if (j < ds.train_seqs[0].size() && v == ds.train_seqs[0][j]) ++j;
+  }
+  EXPECT_EQ(j, ds.train_seqs[0].size());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace msgcl

@@ -1,0 +1,175 @@
+// Contract/edge-case tests: misuse of the tensor API must fail loudly
+// (MSGCL_CHECK aborts), and boundary inputs must behave sensibly.
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/model.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace {
+
+// ---------- Tensor misuse aborts ----------
+
+TEST(TensorDeathTest, MatMulInnerDimMismatch) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor b = Tensor::Ones({4, 2});
+  EXPECT_DEATH(a.MatMul(b), "matmul inner dims");
+}
+
+TEST(TensorDeathTest, MatMulBatchDimMismatch) {
+  Tensor a = Tensor::Ones({2, 3, 4});
+  Tensor b = Tensor::Ones({3, 4, 5});
+  EXPECT_DEATH(a.MatMul(b), "batch dims");
+}
+
+TEST(TensorDeathTest, BroadcastIncompatible) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor b = Tensor::Ones({2, 4});
+  EXPECT_DEATH(a.Add(b), "broadcast");
+}
+
+TEST(TensorDeathTest, ReshapeWrongCount) {
+  Tensor a = Tensor::Ones({2, 3});
+  EXPECT_DEATH(a.Reshape({7}), "reshape");
+}
+
+TEST(TensorDeathTest, NarrowOutOfRange) {
+  Tensor a = Tensor::Ones({2, 3});
+  EXPECT_DEATH(a.Narrow(1, 2, 2), "out of range");
+}
+
+TEST(TensorDeathTest, ItemOnNonScalar) {
+  Tensor a = Tensor::Ones({3});
+  EXPECT_DEATH(a.item(), "item");
+}
+
+TEST(TensorDeathTest, BackwardOnNonScalarWithoutGradOutput) {
+  Tensor a = Tensor::Ones({3}, true);
+  EXPECT_DEATH(a.Backward(), "scalar");
+}
+
+TEST(TensorDeathTest, EmbeddingIndexOutOfRange) {
+  Tensor table = Tensor::Ones({3, 2});
+  EXPECT_DEATH(EmbeddingLookup(table, {5}, {1}), "embedding index");
+}
+
+TEST(TensorDeathTest, CrossEntropyTargetOutOfRange) {
+  Tensor logits = Tensor::Ones({1, 3});
+  EXPECT_DEATH(CrossEntropyLogits(logits, {7}), "target");
+}
+
+TEST(TensorDeathTest, OperationsOnNullTensor) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_DEATH(t.numel(), "null Tensor");
+}
+
+TEST(TensorDeathTest, FlatIndexOutOfRange) {
+  Tensor t = Tensor::Ones({2});
+  EXPECT_DEATH(t.at(5), "out of range");
+}
+
+// ---------- Boundary-size tensors ----------
+
+TEST(TensorEdgeTest, SingleElementEverywhere) {
+  Tensor a = Tensor::Full({1, 1, 1}, 2.0f);
+  EXPECT_EQ(a.MatMul(Tensor::Full({1, 1, 1}, 3.0f)).item(), 6.0f);
+  EXPECT_EQ(a.SoftmaxLastDim().item(), 1.0f);
+  EXPECT_EQ(a.SumLastDim().numel(), 1);
+}
+
+TEST(TensorEdgeTest, ZeroSizedDimension) {
+  Tensor a = Tensor::Zeros({0, 4});
+  EXPECT_EQ(a.numel(), 0);
+  EXPECT_EQ(a.Sum().item(), 0.0f);
+}
+
+TEST(TensorEdgeTest, SoftmaxSingleColumnIsOne) {
+  Tensor a = Tensor::FromVector({3, 1}, {-5.0f, 0.0f, 5.0f});
+  Tensor y = a.SoftmaxLastDim();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(y.at(i), 1.0f);
+}
+
+TEST(TensorEdgeTest, ConcatSingleTensorIsCopy) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor c = Tensor::Concat({a}, 0);
+  EXPECT_EQ(c.data(), a.data());
+}
+
+// ---------- Data-layer edges ----------
+
+TEST(DataEdgeTest, MakeTrainBatchEmptyRows) {
+  data::SequenceDataset ds;
+  ds.num_items = 5;
+  data::Batch b = data::MakeTrainBatch(ds, {}, 4);
+  EXPECT_EQ(b.batch_size, 0);
+  EXPECT_TRUE(b.inputs.empty());
+}
+
+TEST(DataEdgeTest, EpochIteratorSingleRow) {
+  Rng rng(1);
+  data::EpochIterator it(1, 8, rng);
+  auto rows = it.Next();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0);
+  EXPECT_TRUE(it.Next().empty());
+}
+
+TEST(DataEdgeTest, AugmentCropOnSingletonIsIdentity) {
+  Rng rng(2);
+  std::vector<int32_t> seq = {7};
+  EXPECT_EQ(data::AugmentCrop(seq, 0.5, rng), seq);
+}
+
+TEST(DataEdgeTest, AugmentReorderTinyWindowIsIdentity) {
+  Rng rng(3);
+  std::vector<int32_t> seq = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // ratio small enough that the window is < 2 elements.
+  EXPECT_EQ(data::AugmentReorder(seq, 0.05, rng), seq);
+}
+
+TEST(DataEdgeTest, SplitDropsAllShortUsers) {
+  data::InteractionLog log;
+  log.num_items = 5;
+  log.sequences = {{1}, {2, 3}};
+  auto ds = data::LeaveOneOutSplit(log);
+  EXPECT_EQ(ds.num_users(), 0);
+}
+
+TEST(DataEdgeTest, NoiseOnEmptyTrainSeqIsNoop) {
+  data::SequenceDataset ds;
+  ds.num_items = 5;
+  ds.train_seqs = {{}};
+  ds.valid_targets = {1};
+  ds.test_targets = {2};
+  Rng rng(4);
+  auto out = data::InjectTrainingNoise(ds, 0.5, rng);
+  EXPECT_TRUE(out.train_seqs[0].empty());
+}
+
+// ---------- Config validation ----------
+
+TEST(ConfigEdgeTest, TrainConfigRejectsNonPositive) {
+  models::TrainConfig t;
+  t.epochs = 0;
+  EXPECT_FALSE(t.Validate().ok());
+  t = models::TrainConfig();
+  t.batch_size = -1;
+  EXPECT_FALSE(t.Validate().ok());
+  t = models::TrainConfig();
+  t.lr = 0.0f;
+  EXPECT_FALSE(t.Validate().ok());
+  EXPECT_TRUE(models::TrainConfig().Validate().ok());
+}
+
+TEST(ConfigEdgeTest, SyntheticHostileValues) {
+  data::SyntheticConfig c;
+  c.num_users = 0;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+  c = data::SyntheticConfig();
+  c.num_clusters = c.num_items + 1;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+}
+
+}  // namespace
+}  // namespace msgcl

@@ -1,0 +1,217 @@
+// Tests for the evaluation substrate: ranking metrics, the full-ranking
+// evaluator against a mock ranker, and embedding-distribution statistics.
+#include <cmath>
+
+#include "eval/eval.h"
+#include "gtest/gtest.h"
+
+namespace msgcl {
+namespace eval {
+namespace {
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, RankOfTargetCountsStrictlyGreater) {
+  // scores indexed by item id; id 0 is padding.
+  std::vector<float> scores = {0.0f, 0.9f, 0.5f, 0.7f, 0.1f};
+  EXPECT_EQ(RankOfTarget(scores, 1), 0);
+  EXPECT_EQ(RankOfTarget(scores, 3), 1);
+  EXPECT_EQ(RankOfTarget(scores, 2), 2);
+  EXPECT_EQ(RankOfTarget(scores, 4), 3);
+}
+
+TEST(MetricsTest, RankIgnoresPaddingSlot) {
+  std::vector<float> scores = {100.0f, 0.5f, 0.4f};
+  EXPECT_EQ(RankOfTarget(scores, 1), 0);  // padding's huge score not counted
+}
+
+TEST(MetricsTest, TiesDoNotOutrank) {
+  std::vector<float> scores = {0.0f, 0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(RankOfTarget(scores, 2), 0);
+}
+
+TEST(MetricsTest, HitAndNdcgValues) {
+  EXPECT_EQ(HitAt(0, 5), 1.0);
+  EXPECT_EQ(HitAt(4, 5), 1.0);
+  EXPECT_EQ(HitAt(5, 5), 0.0);
+  EXPECT_NEAR(NdcgAt(0, 5), 1.0, 1e-12);
+  EXPECT_NEAR(NdcgAt(1, 5), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_EQ(NdcgAt(9, 5), 0.0);
+}
+
+TEST(MetricsTest, AccumulatorAverages) {
+  MetricAccumulator acc({5, 10});
+  acc.Add(0);   // hit@5, ndcg 1
+  acc.Add(7);   // miss@5, hit@10
+  acc.Add(20);  // miss both
+  EXPECT_NEAR(acc.Hr(5), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.Hr(10), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.Ndcg(5), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.Ndcg(10), (1.0 + 1.0 / std::log2(9.0)) / 3.0, 1e-12);
+  EXPECT_EQ(acc.count(), 3);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.Hr(5), 0.0);
+  EXPECT_EQ(acc.Ndcg(10), 0.0);
+}
+
+TEST(MetricsTest, MetricsToStringFormats) {
+  Metrics m;
+  m.hr5 = 0.0216;
+  EXPECT_NE(m.ToString().find("HR@5=0.0216"), std::string::npos);
+}
+
+// ---------- Evaluator with a mock ranker ----------
+
+/// Scores item (sum of input ids + item id) mod 7 — deterministic and
+/// sequence-dependent, so ranks are predictable in the test.
+class OracleRanker : public Ranker {
+ public:
+  explicit OracleRanker(int32_t num_items, std::vector<int32_t> best_item_per_user)
+      : num_items_(num_items), best_(std::move(best_item_per_user)) {}
+
+  std::string name() const override { return "oracle"; }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> scores(batch.batch_size * (num_items_ + 1), 0.0f);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      // Tie-free background: lower ids score higher.
+      for (int32_t i = 1; i <= num_items_; ++i) {
+        scores[b * (num_items_ + 1) + i] = -0.001f * static_cast<float>(i);
+      }
+      const int32_t u = batch.users[b];
+      scores[b * (num_items_ + 1) + best_[u]] = 1.0f;  // predicted item on top
+    }
+    return scores;
+  }
+
+ private:
+  int32_t num_items_;
+  std::vector<int32_t> best_;
+};
+
+data::SequenceDataset TwoUserDataset() {
+  data::SequenceDataset ds;
+  ds.num_items = 20;
+  ds.train_seqs = {{1, 2, 3}, {4, 5, 6}};
+  ds.valid_targets = {7, 8};
+  ds.test_targets = {9, 10};
+  return ds;
+}
+
+TEST(EvaluatorTest, PerfectRankerScoresOne) {
+  auto ds = TwoUserDataset();
+  OracleRanker model(ds.num_items, ds.test_targets);
+  EvalConfig cfg;
+  cfg.max_len = 5;
+  Metrics m = Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(m.hr5, 1.0);
+  EXPECT_EQ(m.hr10, 1.0);
+  EXPECT_EQ(m.ndcg5, 1.0);
+  EXPECT_EQ(m.ndcg10, 1.0);
+}
+
+TEST(EvaluatorTest, WrongRankerScoresBelowOne) {
+  auto ds = TwoUserDataset();
+  // Model always predicts item 1 -- never the target.
+  OracleRanker model(ds.num_items, {1, 1});
+  EvalConfig cfg;
+  cfg.max_len = 5;
+  Metrics m = Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_LT(m.hr5, 1.0);
+}
+
+TEST(EvaluatorTest, ValidationSplitUsesValidTargets) {
+  auto ds = TwoUserDataset();
+  OracleRanker model(ds.num_items, ds.valid_targets);
+  EvalConfig cfg;
+  cfg.max_len = 5;
+  EXPECT_EQ(Evaluate(model, ds, Split::kValidation, cfg).hr5, 1.0);
+  EXPECT_LT(Evaluate(model, ds, Split::kTest, cfg).hr5, 1.0);
+}
+
+TEST(EvaluatorTest, BatchesPartitionUsers) {
+  // 5 users with batch_size 2 -> batches of 2/2/1; all must be evaluated.
+  data::SequenceDataset ds;
+  ds.num_items = 10;
+  for (int u = 0; u < 5; ++u) {
+    ds.train_seqs.push_back({1, 2});
+    ds.valid_targets.push_back(3);
+    ds.test_targets.push_back(4);
+  }
+  OracleRanker model(ds.num_items, std::vector<int32_t>(5, 4));
+  EvalConfig cfg;
+  cfg.max_len = 4;
+  cfg.batch_size = 2;
+  Metrics m = Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(m.hr5, 1.0);
+}
+
+// ---------- Embedding stats ----------
+
+TEST(EmbeddingStatsTest, IsotropicEmbeddingsHaveLowCosineHighEntropy) {
+  Rng rng(1);
+  Tensor table = Tensor::Randn({201, 16}, rng);
+  Rng stats_rng(2);
+  EmbeddingStats s = ComputeEmbeddingStats(table, stats_rng, 5000);
+  EXPECT_NEAR(s.mean_cosine, 0.0, 0.05);
+  EXPECT_GT(s.sv_entropy, 0.95);
+}
+
+TEST(EmbeddingStatsTest, NarrowConeHasHighCosineLowEntropy) {
+  Rng rng(3);
+  // Embeddings = shared direction scaled by a per-row magnitude plus small
+  // noise: a narrow cone whose variance concentrates in one direction.
+  Tensor base = Tensor::Randn({1, 16}, rng);
+  Tensor table = Tensor::Zeros({201, 16});
+  for (int i = 0; i < 201; ++i) {
+    const float mag = 3.0f + 2.0f * static_cast<float>(rng.Uniform());
+    for (int j = 0; j < 16; ++j) {
+      table.set(i * 16 + j, base.at(j) * mag + rng.Normal() * 0.05f);
+    }
+  }
+  Rng stats_rng(4);
+  EmbeddingStats s = ComputeEmbeddingStats(table, stats_rng, 5000);
+  EXPECT_GT(s.mean_cosine, 0.9);
+  EXPECT_LT(s.sv_entropy, 0.7);
+}
+
+TEST(EmbeddingStatsTest, UniformityOrdersConeVsIsotropic) {
+  Rng rng(5);
+  Tensor iso = Tensor::Randn({101, 8}, rng);
+  Tensor cone = Tensor::Ones({101, 8});
+  Rng r1(6), r2(6);
+  EmbeddingStats si = ComputeEmbeddingStats(iso, r1, 3000);
+  EmbeddingStats sc = ComputeEmbeddingStats(cone, r2, 3000);
+  EXPECT_LT(si.uniformity, sc.uniformity);  // isotropic is more uniform
+}
+
+TEST(EmbeddingStatsTest, MeanNormMatchesConstruction) {
+  Tensor table = Tensor::Full({11, 4}, 0.5f);  // per-row norm = 1.0
+  Rng rng(7);
+  EmbeddingStats s = ComputeEmbeddingStats(table, rng, 100);
+  EXPECT_NEAR(s.mean_norm, 1.0, 1e-5);
+}
+
+TEST(EmbeddingStatsTest, JacobiEigenvaluesOfDiagonal) {
+  std::vector<double> m = {3.0, 0.0, 0.0, 1.0};
+  auto eig = internal::SymmetricEigenvalues(m, 2);
+  std::sort(eig.begin(), eig.end());
+  EXPECT_NEAR(eig[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig[1], 3.0, 1e-9);
+}
+
+TEST(EmbeddingStatsTest, JacobiEigenvaluesOfRotatedMatrix) {
+  // Symmetric [[2, 1], [1, 2]] has eigenvalues {1, 3}.
+  std::vector<double> m = {2.0, 1.0, 1.0, 2.0};
+  auto eig = internal::SymmetricEigenvalues(m, 2);
+  std::sort(eig.begin(), eig.end());
+  EXPECT_NEAR(eig[0], 1.0, 1e-8);
+  EXPECT_NEAR(eig[1], 3.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace msgcl

@@ -1,0 +1,328 @@
+// Tests for the library extensions: checkpoint serialization, the top-K
+// recommendation API, MRR, training history, and the FPMC / CL4SRec / SRMA
+// baselines.
+#include <cstdio>
+
+#include "data/data.h"
+#include "eval/eval.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+
+namespace msgcl {
+namespace {
+
+data::SequenceDataset TinySplit(uint64_t seed = 7) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(seed)).value();
+  return data::LeaveOneOutSplit(log);
+}
+
+models::TrainConfig QuickTrain(int64_t epochs = 2) {
+  models::TrainConfig t;
+  t.epochs = epochs;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 99;
+  return t;
+}
+
+models::BackboneConfig TinyBackbone(const data::SequenceDataset& ds) {
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  b.dropout = 0.1f;
+  return b;
+}
+
+// ---------- Serialization ----------
+
+TEST(SerializeTest, SaveLoadRoundTripBitExact) {
+  auto ds = TinySplit();
+  Rng rng(1);
+  models::SasBackbone a(TinyBackbone(ds), rng);
+  const std::string path = ::testing::TempDir() + "/msgcl_ckpt_roundtrip.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(a, path).ok());
+
+  Rng rng2(999);  // different init
+  models::SasBackbone b(TinyBackbone(ds), rng2);
+  ASSERT_TRUE(nn::LoadCheckpoint(b, path).ok());
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].second.data(), pb[i].second.data()) << pa[i].first;
+  }
+}
+
+TEST(SerializeTest, LoadRejectsWrongArchitecture) {
+  auto ds = TinySplit();
+  Rng rng(2);
+  models::SasBackbone a(TinyBackbone(ds), rng);
+  const std::string path = ::testing::TempDir() + "/msgcl_ckpt_arch.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(a, path).ok());
+
+  models::BackboneConfig other = TinyBackbone(ds);
+  other.dim = 32;  // shape mismatch
+  Rng rng2(3);
+  models::SasBackbone b(other, rng2);
+  Status s = nn::LoadCheckpoint(b, path);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SerializeTest, LoadRejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/msgcl_ckpt_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  auto ds = TinySplit();
+  Rng rng(4);
+  models::SasBackbone m(TinyBackbone(ds), rng);
+  EXPECT_FALSE(nn::LoadCheckpoint(m, path).ok());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  auto ds = TinySplit();
+  Rng rng(5);
+  models::SasBackbone m(TinyBackbone(ds), rng);
+  EXPECT_EQ(nn::LoadCheckpoint(m, "/nonexistent/ckpt.bin").code(),
+            Status::Code::kNotFound);
+}
+
+TEST(SerializeTest, TrainedModelScoresSurviveRoundTrip) {
+  auto ds = TinySplit();
+  models::SasRec model(TinyBackbone(ds), QuickTrain(3), Rng(6));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1}, 12);
+  auto before = model.ScoreAll(b);
+
+  const std::string path = ::testing::TempDir() + "/msgcl_ckpt_trained.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(model, path).ok());
+  models::SasRec fresh(TinyBackbone(ds), QuickTrain(3), Rng(777));
+  ASSERT_TRUE(nn::LoadCheckpoint(fresh, path).ok());
+  fresh.SetTraining(false);
+  EXPECT_EQ(fresh.ScoreAll(b), before);
+}
+
+// ---------- Top-K recommendation API ----------
+
+class FixedRanker : public eval::Ranker {
+ public:
+  explicit FixedRanker(std::vector<float> scores) : scores_(std::move(scores)) {}
+  std::string name() const override { return "fixed"; }
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> out;
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      out.insert(out.end(), scores_.begin(), scores_.end());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<float> scores_;
+};
+
+TEST(RecommendTest, TopKOrderedByScore) {
+  FixedRanker model({0.0f, 0.1f, 0.9f, 0.5f, 0.7f});  // items 1..4
+  eval::RecommendOptions opt;
+  opt.k = 3;
+  opt.max_len = 4;
+  opt.exclude_seen = false;
+  auto recs = eval::RecommendTopK(model, {1}, 4, opt);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 2);
+  EXPECT_EQ(recs[1].item, 4);
+  EXPECT_EQ(recs[2].item, 3);
+  EXPECT_FLOAT_EQ(recs[0].score, 0.9f);
+}
+
+TEST(RecommendTest, ExcludeSeenFiltersHistory) {
+  FixedRanker model({0.0f, 0.1f, 0.9f, 0.5f, 0.7f});
+  eval::RecommendOptions opt;
+  opt.k = 2;
+  opt.max_len = 4;
+  opt.exclude_seen = true;
+  auto recs = eval::RecommendTopK(model, {2, 4}, 4, opt);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 3);
+  EXPECT_EQ(recs[1].item, 1);
+}
+
+TEST(RecommendTest, KLargerThanCatalogue) {
+  FixedRanker model({0.0f, 0.1f, 0.2f});
+  eval::RecommendOptions opt;
+  opt.k = 50;
+  opt.max_len = 2;
+  opt.exclude_seen = false;
+  auto recs = eval::RecommendTopK(model, {1}, 2, opt);
+  EXPECT_EQ(recs.size(), 2u);
+}
+
+TEST(RecommendTest, DeterministicTieBreakByItemId) {
+  FixedRanker model({0.0f, 0.5f, 0.5f, 0.5f});
+  eval::RecommendOptions opt;
+  opt.k = 3;
+  opt.max_len = 2;
+  opt.exclude_seen = false;
+  auto recs = eval::RecommendTopK(model, {1}, 3, opt);
+  EXPECT_EQ(recs[0].item, 1);
+  EXPECT_EQ(recs[1].item, 2);
+  EXPECT_EQ(recs[2].item, 3);
+}
+
+TEST(RecommendTest, BatchMatchesSingle) {
+  FixedRanker model({0.0f, 0.3f, 0.9f, 0.1f});
+  eval::RecommendOptions opt;
+  opt.k = 2;
+  opt.max_len = 3;
+  std::vector<std::vector<int32_t>> histories = {{1}, {2, 3}};
+  auto batched = eval::RecommendTopKBatch(model, histories, 3, opt);
+  ASSERT_EQ(batched.size(), 2u);
+  for (size_t u = 0; u < histories.size(); ++u) {
+    auto single = eval::RecommendTopK(model, histories[u], 3, opt);
+    ASSERT_EQ(batched[u].size(), single.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batched[u][i].item, single[i].item);
+    }
+  }
+}
+
+// ---------- MRR ----------
+
+TEST(MrrTest, AccumulatorComputesReciprocalRanks) {
+  eval::MetricAccumulator acc;
+  acc.Add(0);  // 1
+  acc.Add(1);  // 1/2
+  acc.Add(3);  // 1/4
+  EXPECT_NEAR(acc.Mrr(), (1.0 + 0.5 + 0.25) / 3.0, 1e-12);
+}
+
+TEST(MrrTest, EvaluatorFillsMrr) {
+  auto ds = TinySplit();
+  models::Pop pop;
+  pop.Fit(ds);
+  eval::EvalConfig cfg;
+  cfg.max_len = 12;
+  eval::Metrics m = eval::Evaluate(pop, ds, eval::Split::kTest, cfg);
+  EXPECT_GT(m.mrr, 0.0);
+  EXPECT_LE(m.mrr, 1.0);
+}
+
+// ---------- FitHistory ----------
+
+TEST(FitHistoryTest, RecordsLossesAndValidation) {
+  auto ds = TinySplit();
+  models::FitHistory history;
+  models::TrainConfig t = QuickTrain(6);
+  t.eval_every = 2;
+  t.patience = 10;
+  t.history = &history;
+  models::SasRec model(TinyBackbone(ds), t, Rng(7));
+  model.Fit(ds);
+  EXPECT_EQ(history.epoch_loss.size(), 6u);
+  EXPECT_EQ(history.val_epochs.size(), 3u);  // epochs 1, 3, 5
+  EXPECT_EQ(history.val_ndcg10.size(), 3u);
+  EXPECT_GE(history.best_epoch, 0);
+  EXPECT_EQ(history.stopped_epoch, 5);
+  // Training loss should broadly decrease.
+  EXPECT_LT(history.epoch_loss.back(), history.epoch_loss.front());
+}
+
+TEST(FitHistoryTest, EarlyStopRecordsStoppedEpoch) {
+  auto ds = TinySplit();
+  models::FitHistory history;
+  models::TrainConfig t = QuickTrain(50);
+  t.eval_every = 1;
+  t.patience = 2;
+  t.history = &history;
+  models::SasRec model(TinyBackbone(ds), t, Rng(8));
+  model.Fit(ds);
+  EXPECT_LE(history.stopped_epoch, 49);
+  EXPECT_EQ(history.epoch_loss.size(), static_cast<size_t>(history.stopped_epoch + 1));
+}
+
+// ---------- Extra baselines ----------
+
+TEST(FpmcTest, TrainsAndScores) {
+  auto ds = TinySplit();
+  models::Fpmc model({16, 1e-5f}, QuickTrain(3), Rng(9));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1}, 12);
+  auto scores = model.ScoreAll(b);
+  ASSERT_EQ(scores.size(), 2u * (ds.num_items + 1));
+  for (float s : scores) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(FpmcTest, TransitionTermIsSequenceSensitive) {
+  auto ds = TinySplit();
+  models::Fpmc model({16, 0.0f}, QuickTrain(6), Rng(10));
+  model.Fit(ds);
+  // Same user, different last item -> different scores.
+  std::vector<std::vector<int32_t>> in1 = {{1, 2}};
+  std::vector<std::vector<int32_t>> in2 = {{2, 1}};
+  auto s1 = model.ScoreAll(data::MakeEvalBatch(in1, {0}, 4));
+  auto s2 = model.ScoreAll(data::MakeEvalBatch(in2, {0}, 4));
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Cl4SRecTest, TrainsAndScoresDeterministically) {
+  auto ds = TinySplit();
+  models::Cl4SRecConfig cfg;
+  cfg.backbone = TinyBackbone(ds);
+  models::Cl4SRec model(std::move(cfg), QuickTrain(2), Rng(11));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1}, 12);
+  auto s1 = model.ScoreAll(b);
+  EXPECT_EQ(s1, model.ScoreAll(b));
+  EXPECT_EQ(s1.size(), 2u * (ds.num_items + 1));
+}
+
+TEST(SrmaTest, TrainsAndScoresWithLayerDrop) {
+  auto ds = TinySplit();
+  models::SrmaConfig cfg;
+  cfg.backbone = TinyBackbone(ds);
+  cfg.backbone.layers = 2;  // layer drop needs > 1 layer
+  models::Srma model(cfg, QuickTrain(2), Rng(12));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(SrmaTest, SingleLayerBackboneStillWorks) {
+  auto ds = TinySplit();
+  models::SrmaConfig cfg;
+  cfg.backbone = TinyBackbone(ds);  // 1 layer: drop is skipped internally
+  models::Srma model(cfg, QuickTrain(1), Rng(13));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(TransformerTest, SkipLayerBypassesBlock) {
+  Rng rng(14);
+  nn::TransformerConfig cfg;
+  cfg.dim = 8;
+  cfg.heads = 2;
+  cfg.layers = 2;
+  cfg.dropout = 0.0f;
+  nn::TransformerEncoder enc(cfg, rng);
+  enc.SetTraining(false);
+  Tensor x = Tensor::Randn({1, 3, 8}, rng);
+  Rng r1(1), r2(1), r3(1);
+  Tensor full = enc.Forward(x, true, nullptr, r1);
+  Tensor skip0 = enc.Forward(x, true, nullptr, r2, 0);
+  Tensor skip_none = enc.Forward(x, true, nullptr, r3, -1);
+  // Skipping a layer changes the output; -1 matches the full stack.
+  float diff = 0.0f;
+  for (int64_t i = 0; i < full.numel(); ++i) diff += std::fabs(full.at(i) - skip0.at(i));
+  EXPECT_GT(diff, 1e-4f);
+  for (int64_t i = 0; i < full.numel(); ++i) {
+    ASSERT_EQ(full.at(i), skip_none.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace msgcl

@@ -1,0 +1,192 @@
+// End-to-end integration tests across module boundaries: the full
+// synthetic-data -> split -> train -> checkpoint -> evaluate pipeline,
+// training determinism, noise-robustness direction, and the paper's
+// core qualitative claims at miniature scale.
+#include <cmath>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+
+namespace msgcl {
+namespace {
+
+data::SequenceDataset TinySplit(uint64_t seed = 7) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(seed)).value();
+  return data::LeaveOneOutSplit(log);
+}
+
+models::TrainConfig Train(int64_t epochs) {
+  models::TrainConfig t;
+  t.epochs = epochs;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 5;
+  return t;
+}
+
+models::BackboneConfig Backbone(const data::SequenceDataset& ds) {
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  b.dropout = 0.1f;
+  return b;
+}
+
+TEST(PipelineTest, TrainingIsDeterministicGivenSeed) {
+  auto ds = TinySplit();
+  models::SasRec a(Backbone(ds), Train(3), Rng(11));
+  models::SasRec b(Backbone(ds), Train(3), Rng(11));
+  a.Fit(ds);
+  b.Fit(ds);
+  data::Batch batch = data::MakeEvalBatch(ds.train_seqs, {0, 1, 2}, 12);
+  EXPECT_EQ(a.ScoreAll(batch), b.ScoreAll(batch));
+}
+
+TEST(PipelineTest, DifferentSeedsProduceDifferentModels) {
+  auto ds = TinySplit();
+  models::SasRec a(Backbone(ds), Train(2), Rng(11));
+  models::SasRec b(Backbone(ds), Train(2), Rng(12));
+  a.Fit(ds);
+  b.Fit(ds);
+  data::Batch batch = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  EXPECT_NE(a.ScoreAll(batch), b.ScoreAll(batch));
+}
+
+TEST(PipelineTest, CheckpointPreservesEvaluationMetrics) {
+  auto ds = TinySplit();
+  core::MetaSgclConfig cfg;
+  cfg.backbone = Backbone(ds);
+  core::MetaSgcl model(cfg, Train(4), Rng(13));
+  model.Fit(ds);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = 12;
+  eval::Metrics before = eval::Evaluate(model, ds, eval::Split::kTest, ecfg);
+
+  const std::string path = ::testing::TempDir() + "/msgcl_integration_ckpt.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(model, path).ok());
+  core::MetaSgcl restored(cfg, Train(4), Rng(999));
+  ASSERT_TRUE(nn::LoadCheckpoint(restored, path).ok());
+  restored.SetTraining(false);
+  eval::Metrics after = eval::Evaluate(restored, ds, eval::Split::kTest, ecfg);
+  EXPECT_EQ(before.hr10, after.hr10);
+  EXPECT_EQ(before.ndcg10, after.ndcg10);
+}
+
+TEST(PipelineTest, RecommendTopKConsistentWithEvaluatorScores) {
+  auto ds = TinySplit();
+  models::Pop pop;
+  pop.Fit(ds);
+  eval::RecommendOptions opt;
+  opt.k = 3;
+  opt.max_len = 12;
+  opt.exclude_seen = false;
+  auto recs = eval::RecommendTopK(pop, ds.train_seqs[0], ds.num_items, opt);
+  ASSERT_EQ(recs.size(), 3u);
+  // Pop's top recommendation must be a globally most frequent item.
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  auto scores = pop.ScoreAll(b);
+  for (int32_t i = 1; i <= ds.num_items; ++i) {
+    EXPECT_LE(scores[i], recs[0].score + 1e-6f);
+  }
+}
+
+TEST(PipelineTest, HeavyNoiseDegradesSasRec) {
+  auto ds = TinySplit(21);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = 12;
+
+  models::SasRec clean_model(Backbone(ds), Train(10), Rng(14));
+  clean_model.Fit(ds);
+  const double clean = eval::Evaluate(clean_model, ds, eval::Split::kTest, ecfg).hr10;
+
+  Rng noise_rng(15);
+  auto noisy = data::InjectTrainingNoise(ds, 0.5, noise_rng);
+  models::SasRec noisy_model(Backbone(ds), Train(10), Rng(14));
+  noisy_model.Fit(noisy);
+  const double dirty = eval::Evaluate(noisy_model, ds, eval::Split::kTest, ecfg).hr10;
+
+  EXPECT_LT(dirty, clean + 0.02) << "50% noise should not materially improve training";
+}
+
+TEST(PaperClaimTest, GenerativeViewsDiffer) {
+  // The Seq2Seq generator must produce two distinct-but-semantically-tied
+  // views: distinct latents, yet far closer to each other than to another
+  // user's latent (the property InfoNCE exploits).
+  auto ds = TinySplit();
+  Rng rng(16);
+  core::Seq2SeqGenerator gen(Backbone(ds), rng);
+  gen.SetTraining(false);
+  data::Batch batch = data::MakeTrainBatch(ds, {0, 1, 2, 3, 4, 5, 6, 7}, 12);
+  Rng fwd(17);
+  auto out = gen.Forward(batch, fwd, /*sample=*/true, /*second_view=*/true);
+  const int64_t B = 8, T = 12, D = 16;
+  auto vec_at = [&](const Tensor& t, int64_t b) {
+    std::vector<float> v(D);
+    for (int64_t j = 0; j < D; ++j) v[j] = t.at((b * T + T - 1) * D + j);
+    return v;
+  };
+  auto dist = [&](const std::vector<float>& a, const std::vector<float>& b) {
+    double s = 0;
+    for (int64_t j = 0; j < D; ++j) s += (a[j] - b[j]) * (a[j] - b[j]);
+    return std::sqrt(s);
+  };
+  double within = 0, between = 0;
+  int between_count = 0;
+  for (int64_t b = 0; b < B; ++b) {
+    auto z = vec_at(out.z, b);
+    auto zp = vec_at(out.z_prime, b);
+    within += dist(z, zp);
+    for (int64_t o = 0; o < B; ++o) {
+      if (o == b) continue;
+      between += dist(z, vec_at(out.z, o));
+      ++between_count;
+    }
+  }
+  within /= B;
+  between /= between_count;
+  EXPECT_GT(within, 0.0) << "views must differ";
+  EXPECT_LT(within, between) << "a user's two views must be closer than other users";
+}
+
+TEST(PaperClaimTest, MetaTwoStepAtLeastMatchesJointAtTinyScale) {
+  // Fig. 3's direction at miniature scale: the two-step strategy should not
+  // be materially worse than joint training (at paper scale it wins).
+  auto ds = TinySplit(31);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = 12;
+  auto run = [&](core::TrainingMode mode) {
+    core::MetaSgclConfig cfg;
+    cfg.backbone = Backbone(ds);
+    cfg.mode = mode;
+    core::MetaSgcl model(cfg, Train(15), Rng(18));
+    model.Fit(ds);
+    return eval::Evaluate(model, ds, eval::Split::kTest, ecfg).ndcg10;
+  };
+  const double joint = run(core::TrainingMode::kJoint);
+  const double meta = run(core::TrainingMode::kMetaTwoStep);
+  EXPECT_GT(meta, joint - 0.05);
+}
+
+TEST(PaperClaimTest, EmbeddingStatsComputableOnTrainedModels) {
+  auto ds = TinySplit();
+  models::SasRec model(Backbone(ds), Train(4), Rng(19));
+  model.Fit(ds);
+  Rng stats_rng(20);
+  auto stats = eval::ComputeEmbeddingStats(model.backbone().item_embedding().table(),
+                                           stats_rng, 2000);
+  EXPECT_GE(stats.sv_entropy, 0.0);
+  EXPECT_LE(stats.sv_entropy, 1.0);
+  EXPECT_GE(stats.mean_cosine, -1.0);
+  EXPECT_LE(stats.mean_cosine, 1.0);
+  EXPECT_GT(stats.mean_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace msgcl

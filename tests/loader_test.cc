@@ -1,0 +1,152 @@
+// Tests for the CSV interaction-log loader and the paper's preprocessing
+// (rating binarisation, iterated k-core, chronological ordering).
+#include <sstream>
+
+#include "data/loader.h"
+#include "gtest/gtest.h"
+
+namespace msgcl {
+namespace data {
+namespace {
+
+CsvOptions NoFilter() {
+  CsvOptions opt;
+  opt.k_core = 1;
+  opt.min_rating = 0.0;
+  return opt;
+}
+
+TEST(CsvParseTest, SplitsFields) {
+  auto f = SplitCsvLine("a,b,4.0,100", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[3], "100");
+}
+
+TEST(CsvParseTest, ParsesEvents) {
+  std::istringstream in("u1,i1,5.0,100\nu2,i2,3.0,50\n");
+  auto result = ParseCsvEvents(in, CsvOptions{});
+  ASSERT_TRUE(result.ok());
+  const auto& events = result.value();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].user, "u1");
+  EXPECT_EQ(events[1].rating, 3.0);
+  EXPECT_EQ(events[1].timestamp, 50);
+}
+
+TEST(CsvParseTest, SkipsHeader) {
+  std::istringstream in("user,item,rating,ts\nu1,i1,5.0,1\n");
+  CsvOptions opt;
+  opt.has_header = true;
+  auto result = ParseCsvEvents(in, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST(CsvParseTest, RejectsShortRows) {
+  std::istringstream in("u1,i1\n");
+  auto result = ParseCsvEvents(in, CsvOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CsvParseTest, RejectsNonNumericRating) {
+  std::istringstream in("u1,i1,great,100\n");
+  auto result = ParseCsvEvents(in, CsvOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvParseTest, NoRatingColumn) {
+  std::istringstream in("u1\ti1\n");
+  CsvOptions opt;
+  opt.delimiter = '\t';
+  opt.rating_col = -1;
+  opt.timestamp_col = -1;
+  auto result = ParseCsvEvents(in, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()[0].item, "i1");
+}
+
+TEST(BuildLogTest, RatingBinarisationDiscardsLowRatings) {
+  // Paper: "discard ratings of less than four".
+  std::vector<RawEvent> events = {
+      {"u", "a", 5.0, 1}, {"u", "b", 3.9, 2}, {"u", "c", 4.0, 3}};
+  CsvOptions opt = NoFilter();
+  opt.min_rating = 4.0;
+  auto log = BuildLog(events, opt).value();
+  EXPECT_EQ(log.num_interactions(), 2);  // b dropped
+}
+
+TEST(BuildLogTest, ChronologicalOrderPerUser) {
+  std::vector<RawEvent> events = {
+      {"u", "late", 0, 300}, {"u", "early", 0, 100}, {"u", "mid", 0, 200}};
+  CsvOptions opt = NoFilter();
+  opt.rating_col = -1;
+  auto log = BuildLog(events, opt).value();
+  ASSERT_EQ(log.sequences.size(), 1u);
+  // Ids are assigned by sorted item name: early=1, late=2, mid=3; the
+  // sequence must be time-ordered: early, mid, late -> 1, 3, 2.
+  EXPECT_EQ(log.sequences[0], (std::vector<int32_t>{1, 3, 2}));
+}
+
+TEST(BuildLogTest, KCoreIteratesToFixedPoint) {
+  // u1 has 3 events but two of its items are rare; after dropping rare
+  // items, u1 falls below the 2-core and must be dropped entirely.
+  std::vector<RawEvent> events = {
+      {"u1", "rare1", 5, 1}, {"u1", "rare2", 5, 2}, {"u1", "popular", 5, 3},
+      {"u2", "popular", 5, 1}, {"u2", "popular2", 5, 2},
+      {"u3", "popular", 5, 1}, {"u3", "popular2", 5, 2}};
+  CsvOptions opt;
+  opt.k_core = 2;
+  opt.min_rating = 0.0;
+  auto log = BuildLog(events, opt).value();
+  // u1 survives only if it has >= 2 events on surviving items: it has 1.
+  EXPECT_EQ(log.num_users(), 2);
+  for (const auto& s : log.sequences) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(BuildLogTest, DenseIdsFrom1) {
+  std::vector<RawEvent> events = {{"u", "zzz", 0, 1}, {"u", "aaa", 0, 2}};
+  CsvOptions opt = NoFilter();
+  opt.rating_col = -1;
+  auto log = BuildLog(events, opt).value();
+  EXPECT_EQ(log.num_items, 2);
+  EXPECT_TRUE(log.Validate().ok());
+}
+
+TEST(BuildLogTest, EmptyAfterFilterIsError) {
+  std::vector<RawEvent> events = {{"u", "a", 1.0, 1}};
+  CsvOptions opt;
+  opt.min_rating = 4.0;
+  auto result = BuildLog(events, opt);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LoadCsvTest, MissingFileIsNotFound) {
+  auto result = LoadCsv("/nonexistent/file.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+}
+
+TEST(LoadCsvTest, RoundTripThroughTempFile) {
+  const std::string path = ::testing::TempDir() + "/msgcl_loader_test.csv";
+  {
+    std::ofstream out(path);
+    // 2 users x 3 shared items, ratings >= 4, shuffled timestamps.
+    out << "alice,hat,5,3\nalice,shoe,4,1\nalice,bag,5,2\n";
+    out << "bob,hat,4,1\nbob,shoe,5,2\nbob,bag,4,3\n";
+  }
+  CsvOptions opt;
+  opt.k_core = 2;
+  auto log = LoadCsv(path, opt).value();
+  EXPECT_EQ(log.num_users(), 2);
+  EXPECT_EQ(log.num_items, 3);
+  EXPECT_EQ(log.num_interactions(), 6);
+  // alice's order by timestamp: shoe, bag, hat.
+  // ids sorted: bag=1, hat=2, shoe=3 -> sequence {3, 1, 2}.
+  EXPECT_EQ(log.sequences[0], (std::vector<int32_t>{3, 1, 2}));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace msgcl

@@ -1,0 +1,161 @@
+// Tests for the shared loss functions: InfoNCE (paper Eq. 26) and the
+// Gaussian-prior KL divergence (paper Eq. 24/25).
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/losses.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace msgcl {
+namespace nn {
+namespace {
+
+using msgcl::testing::CheckGradients;
+
+// ---------- InfoNCE ----------
+
+TEST(InfoNceTest, AlignedViewsScoreLowerThanRandomViews) {
+  Rng rng(1);
+  Tensor z = Tensor::Randn({8, 16}, rng);
+  Tensor z_same = z.Detach();
+  Tensor z_rand = Tensor::Randn({8, 16}, rng);
+  const float aligned = InfoNce(z, z_same, 1.0f).item();
+  const float random = InfoNce(z, z_rand, 1.0f).item();
+  EXPECT_LT(aligned, random);
+}
+
+TEST(InfoNceTest, PerfectSeparationApproachesZero) {
+  // Strongly scaled identity-like embeddings: the positive dominates.
+  Tensor z = Tensor::Zeros({4, 4});
+  for (int i = 0; i < 4; ++i) z.set(i * 4 + i, 20.0f);
+  Tensor zp = z.Detach();
+  EXPECT_LT(InfoNce(z, zp, 1.0f).item(), 1e-3f);
+}
+
+TEST(InfoNceTest, TemperatureSharpensLogits) {
+  Rng rng(2);
+  Tensor z = Tensor::Randn({6, 8}, rng);
+  // Positive slightly aligned: z' = z + small noise.
+  Tensor zp = z.Detach();
+  for (int64_t i = 0; i < zp.numel(); ++i) zp.set(i, zp.at(i) + 0.1f * rng.Normal());
+  const float warm = InfoNce(z, zp, 5.0f).item();
+  const float cold = InfoNce(z, zp, 0.1f).item();
+  // Lower temperature amplifies the (positive) alignment.
+  EXPECT_LT(cold, warm);
+}
+
+TEST(InfoNceTest, CosineInvariantToScale) {
+  Rng rng(3);
+  Tensor z = Tensor::Randn({5, 8}, rng);
+  Tensor zp = Tensor::Randn({5, 8}, rng);
+  const float base = InfoNce(z, zp, 1.0f, Similarity::kCosine).item();
+  const float scaled = InfoNce(z.MulScalar(7.0f), zp.MulScalar(0.3f), 1.0f,
+                               Similarity::kCosine).item();
+  EXPECT_NEAR(base, scaled, 1e-4f);
+}
+
+TEST(InfoNceTest, DotSensitiveToScale) {
+  Rng rng(4);
+  Tensor z = Tensor::Randn({5, 8}, rng);
+  Tensor zp = Tensor::Randn({5, 8}, rng);
+  const float base = InfoNce(z, zp, 1.0f, Similarity::kDot).item();
+  const float scaled = InfoNce(z.MulScalar(3.0f), zp, 1.0f, Similarity::kDot).item();
+  EXPECT_GT(std::fabs(base - scaled), 1e-4f);
+}
+
+TEST(InfoNceTest, CrossViewNegativesToggleChangesLoss) {
+  Rng rng(5);
+  Tensor z = Tensor::Randn({6, 8}, rng);
+  Tensor zp = Tensor::Randn({6, 8}, rng);
+  const float with_cross = InfoNce(z, zp, 1.0f, Similarity::kDot, true).item();
+  const float without = InfoNce(z, zp, 1.0f, Similarity::kDot, false).item();
+  // Removing negatives can only reduce (or keep) the softmax denominator.
+  EXPECT_LE(without, with_cross + 1e-5f);
+}
+
+TEST(InfoNceTest, RequiresBatchGreaterThanOne) {
+  Tensor z = Tensor::Ones({1, 4});
+  EXPECT_DEATH(InfoNce(z, z, 1.0f), "");
+}
+
+TEST(InfoNceTest, GradCheck) {
+  Rng rng(6);
+  Tensor z = Tensor::Rand({4, 5}, rng, -1.0f, 1.0f);
+  Tensor zp = Tensor::Rand({4, 5}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) { return InfoNce(v[0], v[1], 0.7f); }, {z, zp});
+}
+
+TEST(InfoNceTest, GradCheckCosine) {
+  Rng rng(7);
+  Tensor z = Tensor::Rand({3, 4}, rng, 0.5f, 1.5f);
+  Tensor zp = Tensor::Rand({3, 4}, rng, 0.5f, 1.5f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) {
+        return InfoNce(v[0], v[1], 1.0f, Similarity::kCosine);
+      },
+      {z, zp});
+}
+
+// ---------- Gaussian KL ----------
+
+TEST(GaussianKlTest, ZeroAtStandardPrior) {
+  Tensor mu = Tensor::Zeros({3, 4});
+  Tensor logvar = Tensor::Zeros({3, 4});  // sigma = 1
+  EXPECT_NEAR(GaussianKl(mu, logvar).item(), 0.0f, 1e-6f);
+}
+
+TEST(GaussianKlTest, PositiveAwayFromPrior) {
+  Tensor mu = Tensor::Full({2, 4}, 1.0f);
+  Tensor logvar = Tensor::Zeros({2, 4});
+  // Per-dim KL = 0.5 * mu^2 = 0.5.
+  EXPECT_NEAR(GaussianKl(mu, logvar).item(), 0.5f, 1e-5f);
+}
+
+TEST(GaussianKlTest, MatchesClosedFormForVariance) {
+  Tensor mu = Tensor::Zeros({1, 2});
+  Tensor logvar = Tensor::Full({1, 2}, std::log(4.0f));  // sigma^2 = 4
+  // Per-dim: 0.5 * (4 - 1 - log 4).
+  const float expected = 0.5f * (4.0f - 1.0f - std::log(4.0f));
+  EXPECT_NEAR(GaussianKl(mu, logvar).item(), expected, 1e-5f);
+}
+
+TEST(GaussianKlTest, ValidMaskExcludesRows) {
+  Tensor mu = Tensor::FromVector({2, 2}, {1, 1, 100, 100});
+  Tensor logvar = Tensor::Zeros({2, 2});
+  std::vector<uint8_t> valid = {1, 0};  // second row excluded
+  EXPECT_NEAR(GaussianKl(mu, logvar, &valid).item(), 0.5f, 1e-5f);
+}
+
+TEST(GaussianKlTest, AllRowsMaskedGivesZero) {
+  Tensor mu = Tensor::Ones({2, 2});
+  Tensor logvar = Tensor::Zeros({2, 2});
+  std::vector<uint8_t> valid = {0, 0};
+  EXPECT_EQ(GaussianKl(mu, logvar, &valid).item(), 0.0f);
+}
+
+TEST(GaussianKlTest, GradCheck) {
+  Rng rng(8);
+  Tensor mu = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor logvar = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  std::vector<uint8_t> valid = {1, 0, 1};
+  CheckGradients(
+      [valid](std::vector<Tensor>& v) { return GaussianKl(v[0], v[1], &valid); },
+      {mu, logvar});
+}
+
+TEST(GaussianKlTest, GradientPushesTowardPrior) {
+  Tensor mu = Tensor::Full({1, 2}, 2.0f);
+  Tensor logvar = Tensor::Full({1, 2}, 1.0f);
+  mu.set_requires_grad(true);
+  logvar.set_requires_grad(true);
+  GaussianKl(mu, logvar).Backward();
+  // dKL/dmu ~ mu > 0; dKL/dlogvar ~ 0.5 (e^lv - 1) > 0 for lv > 0.
+  EXPECT_GT(mu.grad()[0], 0.0f);
+  EXPECT_GT(logvar.grad()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace msgcl

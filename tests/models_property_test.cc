@@ -1,0 +1,244 @@
+// Property-style sweeps over the model zoo: every trainable model must
+// improve over its untrained self, respect scoring contracts across
+// configuration sweeps, and exhibit its architecture's defining behaviour.
+#include <cmath>
+#include <memory>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+
+namespace msgcl {
+namespace {
+
+data::SequenceDataset TinySplit(uint64_t seed = 7) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(seed)).value();
+  return data::LeaveOneOutSplit(log);
+}
+
+models::TrainConfig Train(int64_t epochs) {
+  models::TrainConfig t;
+  t.epochs = epochs;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 3;
+  return t;
+}
+
+models::BackboneConfig Backbone(const data::SequenceDataset& ds, int64_t dim = 16) {
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = dim;
+  b.heads = 2;
+  b.layers = 1;
+  b.dropout = 0.1f;
+  return b;
+}
+
+double TestNdcg(eval::Ranker& model, const data::SequenceDataset& ds) {
+  eval::EvalConfig cfg;
+  cfg.max_len = 12;
+  return eval::Evaluate(model, ds, eval::Split::kTest, cfg).ndcg10;
+}
+
+// ---------- Every neural model learns something ----------
+
+enum class ModelKind {
+  kSasRec, kGru4Rec, kCaser, kBert4Rec, kVsan, kAcvae,
+  kDuoRec, kContrastVae, kCl4SRec, kSrma, kMetaSgcl,
+};
+
+std::unique_ptr<models::Recommender> Make(ModelKind kind, const data::SequenceDataset& ds,
+                                          const models::TrainConfig& t) {
+  Rng rng(11);
+  switch (kind) {
+    case ModelKind::kSasRec:
+      return std::make_unique<models::SasRec>(Backbone(ds), t, rng);
+    case ModelKind::kGru4Rec: {
+      models::Gru4RecConfig c;
+      c.num_items = ds.num_items;
+      c.dim = 16;
+      return std::make_unique<models::Gru4Rec>(c, t, rng);
+    }
+    case ModelKind::kCaser: {
+      models::CaserConfig c;
+      c.num_items = ds.num_items;
+      c.dim = 16;
+      return std::make_unique<models::Caser>(c, t, rng);
+    }
+    case ModelKind::kBert4Rec: {
+      models::Bert4RecConfig c;
+      c.backbone = Backbone(ds);
+      return std::make_unique<models::Bert4Rec>(c, t, rng);
+    }
+    case ModelKind::kVsan: {
+      models::VsanConfig c;
+      c.backbone = Backbone(ds);
+      return std::make_unique<models::Vsan>(c, t, rng);
+    }
+    case ModelKind::kAcvae: {
+      models::AcvaeConfig c;
+      c.backbone = Backbone(ds);
+      return std::make_unique<models::Acvae>(c, t, rng);
+    }
+    case ModelKind::kDuoRec: {
+      models::DuoRecConfig c;
+      c.backbone = Backbone(ds);
+      c.tau = 0.5f;
+      c.similarity = nn::Similarity::kCosine;
+      return std::make_unique<models::DuoRec>(c, t, rng);
+    }
+    case ModelKind::kContrastVae: {
+      models::ContrastVaeConfig c;
+      c.backbone = Backbone(ds);
+      return std::make_unique<models::ContrastVae>(std::move(c), t, rng);
+    }
+    case ModelKind::kCl4SRec: {
+      models::Cl4SRecConfig c;
+      c.backbone = Backbone(ds);
+      return std::make_unique<models::Cl4SRec>(std::move(c), t, rng);
+    }
+    case ModelKind::kSrma: {
+      models::SrmaConfig c;
+      c.backbone = Backbone(ds);
+      c.backbone.layers = 2;
+      return std::make_unique<models::Srma>(c, t, rng);
+    }
+    case ModelKind::kMetaSgcl: {
+      core::MetaSgclConfig c;
+      c.backbone = Backbone(ds);
+      c.use_decoder = false;
+      return std::make_unique<core::MetaSgcl>(c, t, rng);
+    }
+  }
+  return nullptr;
+}
+
+class ModelZooSweep : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelZooSweep, MoreTrainingDoesNotHurtMaterially) {
+  auto ds = TinySplit(99);
+  auto baseline = Make(GetParam(), ds, Train(1));
+  auto trained = Make(GetParam(), ds, Train(12));
+  baseline->Fit(ds);
+  trained->Fit(ds);
+  const double before = TestNdcg(*baseline, ds);
+  const double after = TestNdcg(*trained, ds);
+  EXPECT_GE(after, before - 0.03) << "12-epoch model much worse than 1-epoch model";
+}
+
+TEST_P(ModelZooSweep, ScoresAreFiniteAndRowComplete) {
+  auto ds = TinySplit(98);
+  auto model = Make(GetParam(), ds, Train(1));
+  model->Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0, 1, 2, 3, 4}, 12);
+  auto scores = model->ScoreAll(b);
+  ASSERT_EQ(scores.size(), 5u * (ds.num_items + 1));
+  for (float s : scores) ASSERT_TRUE(std::isfinite(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooSweep,
+    ::testing::Values(ModelKind::kSasRec, ModelKind::kGru4Rec, ModelKind::kCaser,
+                      ModelKind::kBert4Rec, ModelKind::kVsan, ModelKind::kAcvae,
+                      ModelKind::kDuoRec, ModelKind::kContrastVae, ModelKind::kCl4SRec,
+                      ModelKind::kSrma, ModelKind::kMetaSgcl));
+
+// ---------- Architecture-defining behaviours ----------
+
+TEST(ModelBehaviourTest, SasRecIsOrderSensitive) {
+  auto ds = TinySplit(55);
+  models::SasRec model(Backbone(ds), Train(10), Rng(1));
+  model.Fit(ds);
+  // Score the same multiset of items in two different orders.
+  std::vector<std::vector<int32_t>> a = {{1, 5, 9, 13}};
+  std::vector<std::vector<int32_t>> b = {{13, 9, 5, 1}};
+  auto sa = model.ScoreAll(data::MakeEvalBatch(a, {0}, 12));
+  auto sb = model.ScoreAll(data::MakeEvalBatch(b, {0}, 12));
+  EXPECT_NE(sa, sb) << "a sequential model must be order-sensitive";
+}
+
+TEST(ModelBehaviourTest, PopIsOrderInsensitive) {
+  auto ds = TinySplit(55);
+  models::Pop model;
+  model.Fit(ds);
+  std::vector<std::vector<int32_t>> a = {{1, 5, 9}};
+  std::vector<std::vector<int32_t>> b = {{9, 5, 1}};
+  EXPECT_EQ(model.ScoreAll(data::MakeEvalBatch(a, {0}, 12)),
+            model.ScoreAll(data::MakeEvalBatch(b, {0}, 12)));
+}
+
+TEST(ModelBehaviourTest, MetaSgclDimensionSweepStaysFinite) {
+  auto ds = TinySplit(56);
+  for (int64_t dim : {8, 16, 32}) {
+    core::MetaSgclConfig c;
+    c.backbone = Backbone(ds, dim);
+    c.use_decoder = false;
+    core::MetaSgcl model(c, Train(2), Rng(2));
+    model.Fit(ds);
+    data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+    for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s)) << "dim=" << dim;
+  }
+}
+
+TEST(ModelBehaviourTest, MetaSgclTemperatureSweepStaysFinite) {
+  auto ds = TinySplit(57);
+  for (float tau : {0.05f, 0.5f, 5.0f}) {
+    core::MetaSgclConfig c;
+    c.backbone = Backbone(ds);
+    c.tau = tau;
+    c.use_decoder = false;
+    core::MetaSgcl model(c, Train(2), Rng(3));
+    model.Fit(ds);
+    data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+    for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s)) << "tau=" << tau;
+  }
+}
+
+TEST(ModelBehaviourTest, Bert4RecMaskProbSweep) {
+  auto ds = TinySplit(58);
+  for (float p : {0.1f, 0.3f, 0.6f}) {
+    models::Bert4RecConfig c;
+    c.backbone = Backbone(ds);
+    c.mask_prob = p;
+    models::Bert4Rec model(c, Train(2), Rng(4));
+    model.Fit(ds);
+    data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+    for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s)) << "p=" << p;
+  }
+}
+
+TEST(ModelBehaviourTest, CaserFilterConfigSweep) {
+  auto ds = TinySplit(59);
+  models::CaserConfig c;
+  c.num_items = ds.num_items;
+  c.dim = 16;
+  c.h_filter_heights = {2, 5};
+  c.h_filters_per_height = 2;
+  c.v_filters = 3;
+  models::Caser model(c, Train(2), Rng(5));
+  model.Fit(ds);
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(ModelBehaviourTest, MetaStepsSweepRuns) {
+  auto ds = TinySplit(60);
+  for (int64_t steps : {1, 3}) {
+    core::MetaSgclConfig c;
+    c.backbone = Backbone(ds);
+    c.use_decoder = false;
+    c.meta_steps = steps;
+    core::MetaSgcl model(c, Train(2), Rng(6));
+    model.Fit(ds);
+    data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+    for (float s : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+}  // namespace
+}  // namespace msgcl

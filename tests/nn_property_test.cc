@@ -1,0 +1,215 @@
+// Property-based tests for the nn layer library: linearity laws, shape
+// sweeps, optimizer convergence properties, and architecture invariants.
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "nn/nn.h"
+#include "test_util.h"
+
+namespace msgcl {
+namespace nn {
+namespace {
+
+using msgcl::testing::CheckGradients;
+using msgcl::testing::ExpectTensorNear;
+
+// ---------- Linear layer laws ----------
+
+class LinearSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LinearSweep, IsAffine) {
+  // f(ax + by) == a f(x) + b f(y) - (a + b - 1) bias; test homogeneity of the
+  // linear part via f(x) - f(0) which must be linear.
+  auto [in, out] = GetParam();
+  Rng rng(in * 100 + out);
+  Linear lin(in, out, rng);
+  Rng data_rng(7);
+  Tensor x = Tensor::Randn({2, in}, data_rng);
+  Tensor y = Tensor::Randn({2, in}, data_rng);
+  Tensor zero = Tensor::Zeros({2, in});
+  Tensor f0 = lin.Forward(zero);
+  Tensor lhs = lin.Forward(x + y).Sub(f0);
+  Tensor rhs = lin.Forward(x).Sub(f0).Add(lin.Forward(y).Sub(f0));
+  ExpectTensorNear(lhs, rhs, 1e-4f, 1e-3f);
+}
+
+TEST_P(LinearSweep, GradCheck) {
+  auto [in, out] = GetParam();
+  Rng rng(in * 31 + out);
+  Linear lin(in, out, rng);
+  Rng data_rng(11);
+  Tensor x = Tensor::Rand({2, in}, data_rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& v) { return lin.Forward(v[0]).Square().Sum(); }, {x});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinearSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 4, 6)));
+
+// ---------- LayerNorm invariants ----------
+
+class LayerNormSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerNormSweep, OutputInvariantToInputShiftAndScale) {
+  const int d = GetParam();
+  LayerNorm ln(d);
+  Rng rng(d);
+  Tensor x = Tensor::Randn({3, d}, rng);
+  Tensor shifted = x.AddScalar(5.0f).MulScalar(2.0f);
+  ExpectTensorNear(ln.Forward(x), ln.Forward(shifted), 1e-3f, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LayerNormSweep, ::testing::Values(2, 4, 16, 33));
+
+// ---------- Dropout expectation property ----------
+
+class DropoutSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropoutSweep, PreservesExpectation) {
+  const double rate = GetParam();
+  Dropout drop(static_cast<float>(rate));
+  Rng rng(13);
+  Tensor x = Tensor::Ones({20000});
+  Tensor y = drop.Forward(x, rng);
+  double mean = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) mean += y.at(i);
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 1.0, 0.05) << "inverted dropout must preserve E[x]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropoutSweep, ::testing::Values(0.1, 0.2, 0.4, 0.7));
+
+// ---------- Attention invariants ----------
+
+TEST(AttentionPropertyTest, PermutingBatchPermutesOutput) {
+  Rng rng(17);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, rng);
+  attn.SetTraining(false);
+  Rng data_rng(18);
+  Tensor a = Tensor::Randn({1, 4, 8}, data_rng);
+  Tensor b = Tensor::Randn({1, 4, 8}, data_rng);
+  Tensor ab = Tensor::Concat({a, b}, 0);
+  Tensor ba = Tensor::Concat({b, a}, 0);
+  Rng r1(1), r2(1);
+  Tensor out_ab = attn.Forward(ab, true, nullptr, r1);
+  Tensor out_ba = attn.Forward(ba, true, nullptr, r2);
+  // Row 0 of ab == row 1 of ba.
+  for (int64_t i = 0; i < 4 * 8; ++i) {
+    ASSERT_NEAR(out_ab.at(i), out_ba.at(4 * 8 + i), 1e-5);
+  }
+}
+
+TEST(AttentionPropertyTest, FirstPositionDependsOnlyOnItself) {
+  // Under a causal mask, position 0 attends only to itself, so its output is
+  // independent of every later position.
+  Rng rng(19);
+  MultiHeadSelfAttention attn(4, 1, 0.0f, rng);
+  attn.SetTraining(false);
+  Rng data_rng(20);
+  Tensor x1 = Tensor::Randn({1, 5, 4}, data_rng);
+  Tensor x2 = x1.Detach();
+  for (int64_t i = 4; i < x2.numel(); ++i) x2.set(i, -x2.at(i));
+  Rng r1(1), r2(1);
+  Tensor y1 = attn.Forward(x1, true, nullptr, r1);
+  Tensor y2 = attn.Forward(x2, true, nullptr, r2);
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(y1.at(j), y2.at(j), 1e-5);
+}
+
+// ---------- Optimizer properties ----------
+
+TEST(OptimPropertyTest, AdamInvariantToGradientScale) {
+  // Adam's update direction is scale-invariant: optimizing f and 100*f from
+  // the same start should move parameters (nearly) identically.
+  auto run = [](float scale) {
+    Tensor p = Tensor::FromVector({1}, {5.0f}, true);
+    Adam opt({p}, 0.1f);
+    for (int i = 0; i < 20; ++i) {
+      opt.ZeroGrad();
+      p.Square().MulScalar(scale).Sum().Backward();
+      opt.Step();
+    }
+    return p.at(0);
+  };
+  EXPECT_NEAR(run(1.0f), run(100.0f), 1e-2f);
+}
+
+TEST(OptimPropertyTest, SgdDivergesWithHugeLrAdamStaysBounded) {
+  Tensor p1 = Tensor::FromVector({1}, {1.0f}, true);
+  Adam adam({p1}, 1.0f);
+  for (int i = 0; i < 50; ++i) {
+    adam.ZeroGrad();
+    p1.Square().Sum().Backward();
+    adam.Step();
+  }
+  // Adam's per-step movement is bounded by ~lr regardless of curvature.
+  EXPECT_LT(std::fabs(p1.at(0)), 60.0f);
+}
+
+class AdamLrSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamLrSweep, ConvergesOnConvexQuadratic) {
+  Tensor p = Tensor::FromVector({2}, {4.0f, -2.0f}, true);
+  Adam opt({p}, GetParam());
+  for (int i = 0; i < 2500; ++i) {
+    opt.ZeroGrad();
+    p.Square().Sum().Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(p.at(0), 0.0f, 0.1f);
+  EXPECT_NEAR(p.at(1), 0.0f, 0.1f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lrs, AdamLrSweep, ::testing::Values(0.01f, 0.05f, 0.2f));
+
+// ---------- Transformer scaling law (space complexity) ----------
+
+class TransformerParamSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TransformerParamSweep, ParamsScaleLinearlyInLayersQuadraticallyInDim) {
+  auto [dim, layers] = GetParam();
+  Rng rng(dim * 7 + layers);
+  TransformerConfig cfg;
+  cfg.dim = dim;
+  cfg.heads = 1;
+  cfg.layers = layers;
+  TransformerEncoder enc(cfg, rng);
+  const int64_t d = dim;
+  const int64_t per_block = 4 * (d * d + d) + 2 * (d * d + d) + 2 * 2 * d;
+  EXPECT_EQ(enc.NumParameters(), layers * per_block);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cfg, TransformerParamSweep,
+                         ::testing::Combine(::testing::Values(4, 8, 16),
+                                            ::testing::Values(1, 2, 4)));
+
+// ---------- InfoNCE batch-size sweep ----------
+
+class InfoNceBatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InfoNceBatchSweep, LossIsFiniteAndPositive) {
+  const int B = GetParam();
+  Rng rng(B);
+  Tensor z = Tensor::Randn({B, 8}, rng);
+  Tensor zp = Tensor::Randn({B, 8}, rng);
+  const float loss = InfoNce(z, zp, 1.0f).item();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+}
+
+TEST_P(InfoNceBatchSweep, MoreNegativesRaiseRandomViewLoss) {
+  // With random views, the loss should roughly grow with log(#negatives):
+  // check it is at least log(B) - 2 (a loose information-theoretic floor).
+  const int B = GetParam();
+  Rng rng(B + 100);
+  Tensor z = Tensor::Randn({B, 8}, rng);
+  Tensor zp = Tensor::Randn({B, 8}, rng);
+  EXPECT_GT(InfoNce(z, zp, 1.0f).item(), std::log(static_cast<float>(B)) - 2.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, InfoNceBatchSweep, ::testing::Values(2, 4, 16, 64));
+
+}  // namespace
+}  // namespace nn
+}  // namespace msgcl

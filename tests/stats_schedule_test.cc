@@ -1,0 +1,110 @@
+// Tests for dataset statistics (data/stats.h) and learning-rate schedules
+// (nn/schedule.h).
+#include <cmath>
+
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "nn/schedule.h"
+
+namespace msgcl {
+namespace {
+
+// ---------- LogStats ----------
+
+TEST(LogStatsTest, LengthsOfKnownLog) {
+  data::InteractionLog log;
+  log.num_items = 10;
+  log.sequences = {{1, 2}, {3, 4, 5, 6}, {7, 8, 9}};
+  auto s = data::ComputeLogStats(log);
+  EXPECT_NEAR(s.mean_length, 3.0, 1e-9);
+  EXPECT_EQ(s.median_length, 3.0);
+  EXPECT_EQ(s.max_length, 4);
+}
+
+TEST(LogStatsTest, UniformItemsHaveLowGini) {
+  data::InteractionLog log;
+  log.num_items = 4;
+  log.sequences = {{1, 2, 3, 4}, {1, 2, 3, 4}};
+  auto s = data::ComputeLogStats(log);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+}
+
+TEST(LogStatsTest, ConcentratedItemsHaveHighGini) {
+  data::InteractionLog log;
+  log.num_items = 10;
+  log.sequences = {std::vector<int32_t>(50, 1)};
+  log.sequences[0].push_back(2);
+  auto s = data::ComputeLogStats(log);
+  EXPECT_GT(s.gini, 0.8);
+  EXPECT_GT(s.top10_share, 0.99);
+}
+
+TEST(LogStatsTest, DeterministicChainHasZeroTransitionEntropy) {
+  data::InteractionLog log;
+  log.num_items = 3;
+  // 1 -> 2 -> 3 -> 1 -> ... always.
+  log.sequences = {{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3}};
+  auto s = data::ComputeLogStats(log, /*min_support=*/3);
+  EXPECT_NEAR(s.transition_entropy, 0.0, 1e-9);
+}
+
+TEST(LogStatsTest, RandomTransitionsHaveHighEntropy) {
+  Rng rng(1);
+  data::InteractionLog log;
+  log.num_items = 8;
+  std::vector<int32_t> seq;
+  for (int i = 0; i < 4000; ++i) {
+    seq.push_back(1 + static_cast<int32_t>(rng.UniformInt(8)));
+  }
+  log.sequences = {seq};
+  auto s = data::ComputeLogStats(log);
+  EXPECT_GT(s.transition_entropy, 0.9);
+}
+
+TEST(LogStatsTest, SyntheticGeneratorIsPredictableButNotDeterministic) {
+  auto log = data::GenerateSynthetic(data::TinyDataset()).value();
+  auto s = data::ComputeLogStats(log);
+  EXPECT_GT(s.transition_entropy, 0.02);  // noise exists
+  EXPECT_LT(s.transition_entropy, 0.75);  // but transitions carry signal
+}
+
+// ---------- LR schedules ----------
+
+TEST(ScheduleTest, ConstantIsConstant) {
+  nn::ConstantLr s(0.01f);
+  EXPECT_EQ(s.Lr(0), 0.01f);
+  EXPECT_EQ(s.Lr(100000), 0.01f);
+}
+
+TEST(ScheduleTest, StepDecayHalvesAtBoundaries) {
+  nn::StepDecayLr s(1.0f, 10, 0.5f);
+  EXPECT_EQ(s.Lr(0), 1.0f);
+  EXPECT_EQ(s.Lr(9), 1.0f);
+  EXPECT_EQ(s.Lr(10), 0.5f);
+  EXPECT_EQ(s.Lr(25), 0.25f);
+}
+
+TEST(ScheduleTest, WarmupRampsLinearly) {
+  nn::WarmupCosineLr s(1.0f, 10, 100);
+  EXPECT_NEAR(s.Lr(0), 0.1f, 1e-6);
+  EXPECT_NEAR(s.Lr(4), 0.5f, 1e-6);
+  EXPECT_NEAR(s.Lr(9), 1.0f, 1e-6);
+}
+
+TEST(ScheduleTest, CosineDecaysToMin) {
+  nn::WarmupCosineLr s(1.0f, 0, 100, 0.1f);
+  EXPECT_NEAR(s.Lr(0), 1.0f, 1e-5);
+  EXPECT_NEAR(s.Lr(50), 0.55f, 1e-4);   // halfway point of cosine
+  EXPECT_NEAR(s.Lr(100), 0.1f, 1e-5);
+  EXPECT_NEAR(s.Lr(100000), 0.1f, 1e-5);  // clamped
+}
+
+TEST(ScheduleTest, MonotoneDecreasingAfterWarmup) {
+  nn::WarmupCosineLr s(1.0f, 5, 50);
+  for (int64_t t = 5; t < 49; ++t) {
+    EXPECT_GE(s.Lr(t), s.Lr(t + 1));
+  }
+}
+
+}  // namespace
+}  // namespace msgcl

@@ -1,0 +1,202 @@
+// Property-based tests for the tensor substrate: algebraic identities,
+// broadcast/shape laws, and randomized reference checks, swept over many
+// shapes with parameterized gtest.
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace msgcl {
+namespace {
+
+using testing::ExpectTensorNear;
+
+Tensor RandomTensor(Shape shape, uint64_t seed, float lo = -2.0f, float hi = 2.0f) {
+  Rng rng(seed);
+  return Tensor::Rand(std::move(shape), rng, lo, hi);
+}
+
+// ---------- Algebraic identities over shape sweeps ----------
+
+class ShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeSweep, AdditionCommutes) {
+  Tensor a = RandomTensor(GetParam(), 1);
+  Tensor b = RandomTensor(GetParam(), 2);
+  ExpectTensorNear(a + b, b + a, 0.0f, 0.0f);
+}
+
+TEST_P(ShapeSweep, MultiplicationDistributesOverAddition) {
+  Tensor a = RandomTensor(GetParam(), 3);
+  Tensor b = RandomTensor(GetParam(), 4);
+  Tensor c = RandomTensor(GetParam(), 5);
+  ExpectTensorNear(a * (b + c), a * b + a * c, 1e-5f, 1e-4f);
+}
+
+TEST_P(ShapeSweep, DoubleNegationIsIdentity) {
+  Tensor a = RandomTensor(GetParam(), 6);
+  ExpectTensorNear(a.Neg().Neg(), a, 0.0f, 0.0f);
+}
+
+TEST_P(ShapeSweep, ExpLogRoundTrip) {
+  Tensor a = RandomTensor(GetParam(), 7, 0.1f, 3.0f);
+  ExpectTensorNear(a.Log().Exp(), a, 1e-4f, 1e-4f);
+}
+
+TEST_P(ShapeSweep, SumEqualsMeanTimesCount) {
+  Tensor a = RandomTensor(GetParam(), 8);
+  EXPECT_NEAR(a.Sum().item(), a.Mean().item() * static_cast<float>(a.numel()), 1e-3);
+}
+
+TEST_P(ShapeSweep, ReshapeRoundTripPreservesValues) {
+  Tensor a = RandomTensor(GetParam(), 9);
+  Tensor flat = a.Reshape({a.numel()});
+  ExpectTensorNear(flat.Reshape(a.shape()), a, 0.0f, 0.0f);
+}
+
+TEST_P(ShapeSweep, SoftmaxIsShiftInvariant) {
+  Tensor a = RandomTensor(GetParam(), 10);
+  ExpectTensorNear(a.SoftmaxLastDim(), a.AddScalar(3.7f).SoftmaxLastDim(), 1e-5f, 1e-4f);
+}
+
+TEST_P(ShapeSweep, SquareMatchesSelfMultiply) {
+  Tensor a = RandomTensor(GetParam(), 11);
+  ExpectTensorNear(a.Square(), a * a, 0.0f, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Values(Shape{4}, Shape{3, 5}, Shape{2, 3, 4},
+                                           Shape{1, 7}, Shape{2, 1, 6}, Shape{8, 2, 2}));
+
+// ---------- MatMul laws over dimension sweeps ----------
+
+class MatMulSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulSweep, MatchesNaiveReference) {
+  auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor({m, k}, 20 + m);
+  Tensor b = RandomTensor({k, n}, 30 + n);
+  Tensor c = a.MatMul(b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i * k + p)) * b.at(p * n + j);
+      }
+      ASSERT_NEAR(c.at(i * n + j), acc, 1e-4 + 1e-4 * std::fabs(acc));
+    }
+  }
+}
+
+TEST_P(MatMulSweep, TransposeLaw) {
+  // (A B)^T == B^T A^T
+  auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor({m, k}, 40 + m);
+  Tensor b = RandomTensor({k, n}, 50 + n);
+  ExpectTensorNear(a.MatMul(b).TransposeLast2(),
+                   b.TransposeLast2().MatMul(a.TransposeLast2()), 1e-4f, 1e-4f);
+}
+
+TEST_P(MatMulSweep, IdentityIsNeutral) {
+  auto [m, k, n] = GetParam();
+  (void)n;
+  Tensor a = RandomTensor({m, k}, 60 + m);
+  Tensor eye = Tensor::Zeros({k, k});
+  for (int i = 0; i < k; ++i) eye.set(i * k + i, 1.0f);
+  ExpectTensorNear(a.MatMul(eye), a, 1e-5f, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MatMulSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5),
+                                            ::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 4, 7)));
+
+// ---------- Broadcast laws ----------
+
+TEST(BroadcastPropertyTest, ScalarTensorBroadcastMatchesScalarOp) {
+  Tensor a = RandomTensor({3, 4}, 70);
+  Tensor s = Tensor::FromVector({1}, {2.5f});
+  ExpectTensorNear(a * s, a.MulScalar(2.5f), 0.0f, 0.0f);
+  ExpectTensorNear(a + s, a.AddScalar(2.5f), 0.0f, 0.0f);
+}
+
+TEST(BroadcastPropertyTest, RowBroadcastMatchesManualTile) {
+  Tensor a = RandomTensor({3, 4}, 71);
+  Tensor row = RandomTensor({4}, 72);
+  Tensor tiled = Tensor::Zeros({3, 4});
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) tiled.set(i * 4 + j, row.at(j));
+  }
+  ExpectTensorNear(a + row, a + tiled, 0.0f, 0.0f);
+}
+
+TEST(BroadcastPropertyTest, BidirectionalBroadcast) {
+  // [3,1] + [1,4] -> [3,4]
+  Tensor col = RandomTensor({3, 1}, 73);
+  Tensor row = RandomTensor({1, 4}, 74);
+  Tensor out = col + row;
+  ASSERT_EQ(out.shape(), (Shape{3, 4}));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_NEAR(out.at(i * 4 + j), col.at(i) + row.at(j), 1e-6);
+    }
+  }
+}
+
+// ---------- Gradient linearity property ----------
+
+TEST(AutogradPropertyTest, GradientOfSumIsOnes) {
+  Tensor a = RandomTensor({5, 3}, 80);
+  a.set_requires_grad(true);
+  a.Sum().Backward();
+  for (float g : a.grad()) EXPECT_EQ(g, 1.0f);
+}
+
+TEST(AutogradPropertyTest, GradScalesLinearlyWithLossScale) {
+  Tensor a = RandomTensor({6}, 81);
+  a.set_requires_grad(true);
+  a.Square().Sum().Backward();
+  std::vector<float> g1 = a.grad();
+  a.ZeroGrad();
+  a.Square().Sum().MulScalar(3.0f).Backward();
+  for (size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(a.grad()[i], 3.0f * g1[i], 1e-4f);
+  }
+}
+
+TEST(AutogradPropertyTest, AccumulationAcrossBackwardCalls) {
+  Tensor a = RandomTensor({4}, 82);
+  a.set_requires_grad(true);
+  a.Sum().Backward();
+  a.Sum().Backward();  // second graph, same leaf: grads accumulate
+  for (float g : a.grad()) EXPECT_EQ(g, 2.0f);
+}
+
+// ---------- Softmax/cross-entropy consistency ----------
+
+TEST(LossPropertyTest, CrossEntropyMatchesNllOfLogSoftmax) {
+  Tensor logits = RandomTensor({5, 7}, 90);
+  std::vector<int32_t> targets = {0, 3, 6, 2, 1};
+  Tensor lp = logits.LogSoftmaxLastDim();
+  double manual = 0.0;
+  for (int r = 0; r < 5; ++r) manual -= lp.at(r * 7 + targets[r]);
+  manual /= 5.0;
+  EXPECT_NEAR(CrossEntropyLogits(logits, targets).item(), manual, 1e-5);
+}
+
+TEST(LossPropertyTest, CrossEntropyLowerBoundedByZero) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Tensor logits = RandomTensor({4, 6}, 100 + seed, -5.0f, 5.0f);
+    EXPECT_GE(CrossEntropyLogits(logits, {0, 1, 2, 3}).item(), 0.0f);
+  }
+}
+
+TEST(LossPropertyTest, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::Zeros({2, 8});
+  EXPECT_NEAR(CrossEntropyLogits(logits, {3, 5}).item(), std::log(8.0f), 1e-5);
+}
+
+}  // namespace
+}  // namespace msgcl

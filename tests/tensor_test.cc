@@ -1,0 +1,745 @@
+// Unit tests for the tensor substrate: factories, shape utilities, forward
+// values of every op, autograd correctness (numerical gradient checks), and
+// RNG determinism.
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "tensor/rng.h"
+#include "tensor/status.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace msgcl {
+namespace {
+
+using testing::CheckGradients;
+using testing::ExpectTensorNear;
+
+// ---------- Shape utilities ----------
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0, 2}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad alpha");
+}
+
+TEST(StatusTest, ResultHoldsValueOrError) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[rng.UniformInt(10)]++;
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(13);
+  int head = 0, total = 5000;
+  for (int i = 0; i < total; ++i) {
+    if (rng.Zipf(1000, 1.2) < 10) head++;
+  }
+  // The top-10 ranks should carry far more than 1% of the mass.
+  EXPECT_GT(head, total / 10);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.Split();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+// ---------- Factories and accessors ----------
+
+TEST(TensorTest, ZerosOnesFull) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+  Tensor o = Tensor::Ones({4});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(o.at(i), 1.0f);
+  Tensor f = Tensor::Full({2}, 3.5f);
+  EXPECT_EQ(f.at(0), 3.5f);
+}
+
+TEST(TensorTest, FromVectorAndItem) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 2);
+  EXPECT_EQ(t.at(3), 4.0f);
+  Tensor s = Tensor::FromVector({1}, {7.0f});
+  EXPECT_EQ(s.item(), 7.0f);
+}
+
+TEST(TensorTest, RandnDeterministicGivenRng) {
+  Rng r1(3), r2(3);
+  Tensor a = Tensor::Randn({8}, r1);
+  Tensor b = Tensor::Randn({8}, r2);
+  ExpectTensorNear(a, b, 0.0f, 0.0f);
+}
+
+TEST(TensorTest, SetAndAt) {
+  Tensor t = Tensor::Zeros({3});
+  t.set(1, 5.0f);
+  EXPECT_EQ(t.at(1), 5.0f);
+}
+
+// ---------- Elementwise forward ----------
+
+TEST(OpsTest, AddSubMulDiv) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  ExpectTensorNear(a + b, Tensor::FromVector({3}, {5, 7, 9}));
+  ExpectTensorNear(b - a, Tensor::FromVector({3}, {3, 3, 3}));
+  ExpectTensorNear(a * b, Tensor::FromVector({3}, {4, 10, 18}));
+  ExpectTensorNear(b / a, Tensor::FromVector({3}, {4, 2.5f, 2}));
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({2}, {1, -2});
+  ExpectTensorNear(a.AddScalar(1.0f), Tensor::FromVector({2}, {2, -1}));
+  ExpectTensorNear(a.MulScalar(-3.0f), Tensor::FromVector({2}, {-3, 6}));
+  ExpectTensorNear(a.Neg(), Tensor::FromVector({2}, {-1, 2}));
+}
+
+TEST(OpsTest, BroadcastRowVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = Tensor::FromVector({3}, {10, 20, 30});
+  ExpectTensorNear(a + row, Tensor::FromVector({2, 3}, {11, 22, 33, 14, 25, 36}));
+}
+
+TEST(OpsTest, BroadcastColumnVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col = Tensor::FromVector({2, 1}, {10, 100});
+  ExpectTensorNear(a * col, Tensor::FromVector({2, 3}, {10, 20, 30, 400, 500, 600}));
+}
+
+TEST(OpsTest, BroadcastScalarTensor) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::FromVector({1}, {2.0f});
+  ExpectTensorNear(a * s, Tensor::FromVector({2, 2}, {2, 4, 6, 8}));
+}
+
+TEST(OpsTest, UnaryForwardValues) {
+  Tensor x = Tensor::FromVector({4}, {-1.0f, 0.0f, 0.5f, 2.0f});
+  ExpectTensorNear(x.Relu(), Tensor::FromVector({4}, {0, 0, 0.5f, 2}));
+  Tensor t = x.Tanh();
+  EXPECT_NEAR(t.at(3), std::tanh(2.0f), 1e-6);
+  Tensor s = x.Sigmoid();
+  EXPECT_NEAR(s.at(0), 1.0f / (1.0f + std::exp(1.0f)), 1e-6);
+  Tensor e = x.Exp();
+  EXPECT_NEAR(e.at(3), std::exp(2.0f), 1e-4);
+  Tensor sq = x.Square();
+  EXPECT_NEAR(sq.at(0), 1.0f, 1e-6);
+  Tensor sr = Tensor::FromVector({2}, {4.0f, 9.0f}).Sqrt();
+  ExpectTensorNear(sr, Tensor::FromVector({2}, {2, 3}));
+}
+
+TEST(OpsTest, LogClampsAtEps) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, 1.0f});
+  Tensor y = x.Log(1e-6f);
+  EXPECT_NEAR(y.at(0), std::log(1e-6f), 1e-3);
+  EXPECT_NEAR(y.at(1), 0.0f, 1e-6);
+}
+
+TEST(OpsTest, GeluMatchesReference) {
+  // Reference values from the tanh-approximation formula.
+  Tensor x = Tensor::FromVector({3}, {-1.0f, 0.0f, 1.0f});
+  Tensor y = x.Gelu();
+  EXPECT_NEAR(y.at(1), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at(2), 0.841192f, 1e-4);
+  EXPECT_NEAR(y.at(0), -0.158808f, 1e-4);
+}
+
+// ---------- Reductions ----------
+
+TEST(OpsTest, SumAndMean) {
+  Tensor x = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_NEAR(x.Sum().item(), 10.0f, 1e-6);
+  EXPECT_NEAR(x.Mean().item(), 2.5f, 1e-6);
+}
+
+TEST(OpsTest, SumLastDim) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  ExpectTensorNear(x.SumLastDim(), Tensor::FromVector({2}, {6, 15}));
+  ExpectTensorNear(x.MeanLastDim(), Tensor::FromVector({2}, {2, 5}));
+}
+
+TEST(OpsTest, MaxLastDim) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 9, 3, 7, 5, 6});
+  ExpectTensorNear(x.MaxLastDim(), Tensor::FromVector({2}, {9, 7}));
+}
+
+TEST(OpsTest, SumLastDimOn1D) {
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = x.SumLastDim();
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_NEAR(s.item(), 6.0f, 1e-6);
+}
+
+// ---------- Softmax family ----------
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({4, 7}, rng);
+  Tensor y = x.SoftmaxLastDim();
+  for (int r = 0; r < 4; ++r) {
+    float s = 0.0f;
+    for (int j = 0; j < 7; ++j) s += y.at(r * 7 + j);
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxStableUnderLargeLogits) {
+  Tensor x = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor y = x.SoftmaxLastDim();
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(y.at(j), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn({3, 5}, rng);
+  Tensor a = x.LogSoftmaxLastDim();
+  Tensor b = x.SoftmaxLastDim().Log();
+  ExpectTensorNear(a, b, 1e-4f, 1e-3f);
+}
+
+TEST(OpsTest, L2NormalizeRowsHaveUnitNorm) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn({5, 8}, rng);
+  Tensor y = x.L2NormalizeLastDim();
+  for (int r = 0; r < 5; ++r) {
+    double n = 0.0;
+    for (int j = 0; j < 8; ++j) n += static_cast<double>(y.at(r * 8 + j)) * y.at(r * 8 + j);
+    EXPECT_NEAR(n, 1.0, 1e-5);
+  }
+}
+
+// ---------- Masking ----------
+
+TEST(OpsTest, MaskedFillReplacesMaskedEntries) {
+  Tensor x = Tensor::FromVector({4}, {1, 2, 3, 4});
+  std::vector<uint8_t> mask = {0, 1, 0, 1};
+  Tensor y = x.MaskedFill(mask, -9.0f);
+  ExpectTensorNear(y, Tensor::FromVector({4}, {1, -9, 3, -9}));
+}
+
+TEST(OpsTest, DropoutMaskScalesKeptEntries) {
+  Tensor x = Tensor::FromVector({4}, {1, 2, 3, 4});
+  std::vector<uint8_t> keep = {1, 0, 1, 0};
+  Tensor y = x.DropoutMask(keep, 0.5f);
+  ExpectTensorNear(y, Tensor::FromVector({4}, {2, 0, 6, 0}));
+}
+
+// ---------- Shape ops ----------
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = x.Reshape({3, 2});
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(y.at(5), 6.0f);
+}
+
+TEST(OpsTest, TransposeLast2) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = x.TransposeLast2();
+  ExpectTensorNear(y, Tensor::FromVector({3, 2}, {1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, TransposeBatched) {
+  Tensor x = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor y = x.TransposeLast2();
+  ExpectTensorNear(y, Tensor::FromVector({2, 2, 2}, {1, 3, 2, 4, 5, 7, 6, 8}));
+}
+
+TEST(OpsTest, PermuteBHTD) {
+  // [B=1, T=2, H=2, D=1] -> [B, H, T, D]
+  Tensor x = Tensor::FromVector({1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor y = x.Permute({0, 2, 1, 3});
+  ExpectTensorNear(y, Tensor::FromVector({1, 2, 2, 1}, {1, 3, 2, 4}));
+}
+
+TEST(OpsTest, NarrowMiddleDim) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = x.Narrow(1, 1, 2);
+  ExpectTensorNear(y, Tensor::FromVector({2, 2}, {2, 3, 5, 6}));
+}
+
+TEST(OpsTest, ConcatLastDim) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 3});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 11, 30, 31});
+  Tensor y = Tensor::Concat({a, b}, -1);
+  ExpectTensorNear(y, Tensor::FromVector({2, 3}, {1, 10, 11, 3, 30, 31}));
+}
+
+TEST(OpsTest, ConcatFirstDim) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor y = Tensor::Concat({a, b}, 0);
+  ExpectTensorNear(y, Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6}));
+}
+
+// ---------- MatMul ----------
+
+TEST(OpsTest, MatMul2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  ExpectTensorNear(a.MatMul(b), Tensor::FromVector({2, 2}, {58, 64, 139, 154}));
+}
+
+TEST(OpsTest, MatMulBatched) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2, 1}, {1, 1, 2, 2});
+  Tensor y = a.MatMul(b);
+  ExpectTensorNear(y, Tensor::FromVector({2, 1, 1}, {3, 14}));
+}
+
+TEST(OpsTest, MatMulBroadcastRhs2D) {
+  // [2, 2, 2] x [2, 3]: shared weight across batch.
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 0, 0, 1, 2, 0, 0, 2});
+  Tensor w = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = a.MatMul(w);
+  ExpectTensorNear(y, Tensor::FromVector({2, 2, 3}, {1, 2, 3, 4, 5, 6, 2, 4, 6, 8, 10, 12}));
+}
+
+// ---------- Fused ops forward ----------
+
+TEST(OpsTest, EmbeddingLookupGathersRows) {
+  Tensor table = Tensor::FromVector({3, 2}, {0, 0, 10, 11, 20, 21});
+  Tensor y = EmbeddingLookup(table, {2, 1, 1}, {3});
+  ExpectTensorNear(y, Tensor::FromVector({3, 2}, {20, 21, 10, 11, 10, 11}));
+}
+
+TEST(OpsTest, EmbeddingLookupShapedIndices) {
+  Tensor table = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor y = EmbeddingLookup(table, {0, 1, 1, 0}, {2, 2});
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 2}));
+}
+
+TEST(OpsTest, GatherTimeStepPicksRows) {
+  // x: [2, 3, 2]
+  Tensor x = Tensor::FromVector({2, 3, 2}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Tensor y = GatherTimeStep(x, {2, 0});
+  ExpectTensorNear(y, Tensor::FromVector({2, 2}, {5, 6, 7, 8}));
+}
+
+TEST(OpsTest, LayerNormNormalizesRows) {
+  Tensor x = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 2, 2, 2, 2});
+  Tensor gamma = Tensor::Ones({4});
+  Tensor beta = Tensor::Zeros({4});
+  Tensor y = LayerNormLastDim(x, gamma, beta);
+  // Row 0 mean 2.5, var 1.25.
+  EXPECT_NEAR(y.at(0), (1.0f - 2.5f) / std::sqrt(1.25f + 1e-5f), 1e-4);
+  // Constant row stays ~0.
+  for (int j = 4; j < 8; ++j) EXPECT_NEAR(y.at(j), 0.0f, 1e-3);
+}
+
+TEST(OpsTest, LayerNormAffine) {
+  Tensor x = Tensor::FromVector({1, 2}, {0, 2});
+  Tensor gamma = Tensor::FromVector({2}, {2, 2});
+  Tensor beta = Tensor::FromVector({2}, {1, 1});
+  Tensor y = LayerNormLastDim(x, gamma, beta);
+  EXPECT_NEAR(y.at(0), 1.0f - 2.0f, 1e-3);
+  EXPECT_NEAR(y.at(1), 1.0f + 2.0f, 1e-3);
+}
+
+TEST(OpsTest, CrossEntropyMatchesManual) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, 3, 2, 1});
+  Tensor lp = logits.LogSoftmaxLastDim();
+  const float expected = -(lp.at(2) + lp.at(3)) / 2.0f;  // targets {2, 0}
+  Tensor loss = CrossEntropyLogits(logits, {2, 0});
+  EXPECT_NEAR(loss.item(), expected, 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyIgnoreIndexSkipsRows) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, 100, 2, 1});
+  Tensor lp = logits.LogSoftmaxLastDim();
+  Tensor loss = CrossEntropyLogits(logits, {2, -1}, /*ignore_index=*/-1);
+  EXPECT_NEAR(loss.item(), -lp.at(2), 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyAllIgnoredIsZero) {
+  Tensor logits = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor loss = CrossEntropyLogits(logits, {0}, /*ignore_index=*/0);
+  EXPECT_EQ(loss.item(), 0.0f);
+}
+
+TEST(OpsTest, HorizontalConvValidWindows) {
+  // x: [1, 3, 2]; one filter of height 2 that sums its window.
+  Tensor x = Tensor::FromVector({1, 3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor w = Tensor::Ones({1, 2, 2});
+  Tensor b = Tensor::Zeros({1});
+  Tensor y = HorizontalConv(x, w, b);
+  ExpectTensorNear(y, Tensor::FromVector({1, 2, 1}, {10, 18}));
+}
+
+TEST(OpsTest, HorizontalConvBias) {
+  Tensor x = Tensor::Zeros({1, 2, 2});
+  Tensor w = Tensor::Ones({3, 1, 2});
+  Tensor b = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor y = HorizontalConv(x, w, b);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 3}));
+  EXPECT_NEAR(y.at(0), 1.0f, 1e-6);
+  EXPECT_NEAR(y.at(2), 3.0f, 1e-6);
+}
+
+// ---------- Autograd ----------
+
+TEST(AutogradTest, SimpleChain) {
+  Tensor x = Tensor::FromVector({1}, {3.0f}, /*requires_grad=*/true);
+  Tensor y = x.Square().MulScalar(2.0f);  // y = 2 x^2, dy/dx = 4x = 12
+  y.Backward();
+  EXPECT_NEAR(x.grad()[0], 12.0f, 1e-5);
+}
+
+TEST(AutogradTest, DiamondAccumulates) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  Tensor a = x.MulScalar(3.0f);
+  Tensor b = x.Square();
+  Tensor y = (a + b).Sum();  // y = 3x + x^2, dy/dx = 3 + 2x = 7
+  y.Backward();
+  EXPECT_NEAR(x.grad()[0], 7.0f, 1e-5);
+}
+
+TEST(AutogradTest, ReusedNodeBackpropagatesOnce) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  Tensor s = x.Square();       // used twice below
+  Tensor y = (s * s).Sum();    // y = x^4, dy/dx = 4 x^3 = 32
+  y.Backward();
+  EXPECT_NEAR(x.grad()[0], 32.0f, 1e-4);
+}
+
+TEST(AutogradTest, NoGradGuardSuppressesGraph) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+    Tensor y = x.Square();
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+}
+
+TEST(AutogradTest, DetachCutsHistory) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  Tensor d = x.Square().Detach();
+  EXPECT_FALSE(d.requires_grad());
+  Tensor y = (d * x).Sum();
+  y.Backward();
+  EXPECT_NEAR(x.grad()[0], 4.0f, 1e-5);  // d treated as constant 4
+}
+
+TEST(AutogradTest, BackwardWithExplicitGradOutput) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, true);
+  Tensor y = x.Square();
+  std::vector<float> g = {1.0f, 10.0f};
+  y.Backward(&g);
+  EXPECT_NEAR(x.grad()[0], 2.0f, 1e-5);
+  EXPECT_NEAR(x.grad()[1], 40.0f, 1e-5);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({1}, {3.0f}, true);
+  x.Square().Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+// ---------- Numerical gradient checks ----------
+
+TEST(GradCheckTest, ElementwiseBinary) {
+  Rng rng(42);
+  Tensor a = Tensor::Rand({2, 3}, rng, 0.5f, 1.5f);
+  Tensor b = Tensor::Rand({2, 3}, rng, 0.5f, 1.5f);
+  CheckGradients([](std::vector<Tensor>& v) { return (v[0] * v[1] + v[0] / v[1]).Sum(); },
+                 {a, b});
+}
+
+TEST(GradCheckTest, BroadcastBinary) {
+  Rng rng(43);
+  Tensor a = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f);
+  Tensor row = Tensor::Rand({3}, rng, 0.5f, 1.5f);
+  CheckGradients([](std::vector<Tensor>& v) { return (v[0] * v[1]).Sum(); }, {a, row});
+}
+
+TEST(GradCheckTest, UnaryChain) {
+  Rng rng(44);
+  Tensor x = Tensor::Rand({6}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) { return v[0].Tanh().Square().Sum(); }, {x});
+}
+
+TEST(GradCheckTest, SigmoidExp) {
+  Rng rng(45);
+  Tensor x = Tensor::Rand({5}, rng, -1.0f, 1.0f);
+  CheckGradients([](std::vector<Tensor>& v) { return (v[0].Sigmoid() * v[0].Exp()).Sum(); },
+                 {x});
+}
+
+TEST(GradCheckTest, Gelu) {
+  Rng rng(46);
+  Tensor x = Tensor::Rand({5}, rng, -2.0f, 2.0f);
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].Gelu().Sum(); }, {x});
+}
+
+TEST(GradCheckTest, SoftmaxLoss) {
+  Rng rng(47);
+  Tensor x = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) { return (v[0].SoftmaxLastDim() * v[1]).Sum(); },
+      {x, w});
+}
+
+TEST(GradCheckTest, LogSoftmax) {
+  Rng rng(48);
+  Tensor x = Tensor::Rand({2, 5}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) {
+        Tensor lp = v[0].LogSoftmaxLastDim();
+        return lp.Narrow(1, 0, 1).Sum();
+      },
+      {x});
+}
+
+TEST(GradCheckTest, MatMul) {
+  Rng rng(49);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({4, 2}, rng, -1.0f, 1.0f);
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].MatMul(v[1]).Square().Sum(); },
+                 {a, b});
+}
+
+TEST(GradCheckTest, MatMulBatchedSharedRhs) {
+  Rng rng(50);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::Rand({4, 2}, rng, -1.0f, 1.0f);
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].MatMul(v[1]).Square().Sum(); },
+                 {a, w});
+}
+
+TEST(GradCheckTest, MatMulBothBatched) {
+  Rng rng(51);
+  Tensor a = Tensor::Rand({2, 2, 3}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({2, 3, 2}, rng, -1.0f, 1.0f);
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].MatMul(v[1]).Square().Sum(); },
+                 {a, b});
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(52);
+  Tensor x = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].SumLastDim().Square().Sum(); },
+                 {x});
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].MeanLastDim().Square().Sum(); },
+                 {x});
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].Mean().Square(); }, {x});
+}
+
+TEST(GradCheckTest, MaxLastDim) {
+  // Distinct values so the argmax is stable under perturbation.
+  Tensor x = Tensor::FromVector({2, 3}, {0.1f, 0.9f, 0.3f, 0.8f, 0.2f, 0.4f});
+  CheckGradients([](std::vector<Tensor>& v) { return v[0].MaxLastDim().Square().Sum(); },
+                 {x});
+}
+
+TEST(GradCheckTest, ShapeOps) {
+  Rng rng(53);
+  Tensor x = Tensor::Rand({2, 3, 2}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) {
+        return v[0].Permute({2, 0, 1}).Reshape({4, 3}).Narrow(0, 1, 2).Square().Sum();
+      },
+      {x});
+}
+
+TEST(GradCheckTest, Concat) {
+  Rng rng(54);
+  Tensor a = Tensor::Rand({2, 2}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) {
+        return Tensor::Concat({v[0], v[1]}, 1).Square().Sum();
+      },
+      {a, b});
+}
+
+TEST(GradCheckTest, L2Normalize) {
+  Rng rng(55);
+  Tensor x = Tensor::Rand({3, 4}, rng, 0.5f, 1.5f);
+  Tensor w = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) { return (v[0].L2NormalizeLastDim() * v[1]).Sum(); },
+      {x, w});
+}
+
+TEST(GradCheckTest, MaskedFill) {
+  Rng rng(56);
+  Tensor x = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f);
+  std::vector<uint8_t> mask = {0, 1, 0, 1, 0, 0};
+  CheckGradients(
+      [mask](std::vector<Tensor>& v) {
+        return v[0].MaskedFill(mask, -100.0f).SoftmaxLastDim().Square().Sum();
+      },
+      {x});
+}
+
+TEST(GradCheckTest, DropoutMask) {
+  Rng rng(57);
+  Tensor x = Tensor::Rand({6}, rng, -1.0f, 1.0f);
+  std::vector<uint8_t> keep = {1, 0, 1, 1, 0, 1};
+  CheckGradients(
+      [keep](std::vector<Tensor>& v) {
+        return v[0].DropoutMask(keep, 2.0f / 3.0f).Square().Sum();
+      },
+      {x});
+}
+
+TEST(GradCheckTest, EmbeddingLookup) {
+  Rng rng(58);
+  Tensor table = Tensor::Rand({4, 3}, rng, -1.0f, 1.0f);
+  std::vector<int32_t> idx = {1, 3, 1};
+  CheckGradients(
+      [idx](std::vector<Tensor>& v) {
+        return EmbeddingLookup(v[0], idx, {3}).Square().Sum();
+      },
+      {table});
+}
+
+TEST(GradCheckTest, EmbeddingPaddingIdxGetsNoGrad) {
+  Tensor table = Tensor::Ones({3, 2});
+  table.set_requires_grad(true);
+  Tensor y = EmbeddingLookup(table, {0, 1}, {2}, /*padding_idx=*/0);
+  y.Sum().Backward();
+  EXPECT_EQ(table.grad()[0], 0.0f);  // row 0 suppressed
+  EXPECT_EQ(table.grad()[1], 0.0f);
+  EXPECT_EQ(table.grad()[2], 1.0f);  // row 1 receives grad
+}
+
+TEST(GradCheckTest, GatherTimeStep) {
+  Rng rng(59);
+  Tensor x = Tensor::Rand({2, 3, 2}, rng, -1.0f, 1.0f);
+  std::vector<int32_t> pos = {2, 1};
+  CheckGradients(
+      [pos](std::vector<Tensor>& v) {
+        return GatherTimeStep(v[0], pos).Square().Sum();
+      },
+      {x});
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Rng rng(60);
+  Tensor x = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor gamma = Tensor::Rand({4}, rng, 0.5f, 1.5f);
+  Tensor beta = Tensor::Rand({4}, rng, -0.5f, 0.5f);
+  Tensor w = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [w](std::vector<Tensor>& v) {
+        return (LayerNormLastDim(v[0], v[1], v[2]) * w).Sum();
+      },
+      {x, gamma, beta}, /*eps=*/1e-3f, /*atol=*/5e-2f, /*rtol=*/5e-2f);
+}
+
+TEST(GradCheckTest, CrossEntropy) {
+  Rng rng(61);
+  Tensor logits = Tensor::Rand({4, 5}, rng, -1.0f, 1.0f);
+  std::vector<int32_t> targets = {0, 3, -1, 2};
+  CheckGradients(
+      [targets](std::vector<Tensor>& v) {
+        return CrossEntropyLogits(v[0], targets, -1);
+      },
+      {logits});
+}
+
+TEST(GradCheckTest, HorizontalConv) {
+  Rng rng(62);
+  Tensor x = Tensor::Rand({2, 4, 3}, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::Rand({2, 2, 3}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({2}, rng, -0.5f, 0.5f);
+  CheckGradients(
+      [](std::vector<Tensor>& v) {
+        return HorizontalConv(v[0], v[1], v[2]).Square().Sum();
+      },
+      {x, w, b});
+}
+
+// Property sweep: gradcheck a composite expression over several shapes.
+class CompositeGradSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompositeGradSweep, MatMulSoftmaxChain) {
+  auto [m, k] = GetParam();
+  Rng rng(100 + m * 10 + k);
+  Tensor a = Tensor::Rand({m, k}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({k, m}, rng, -1.0f, 1.0f);
+  testing::CheckGradients(
+      [](std::vector<Tensor>& v) {
+        return v[0].MatMul(v[1]).SoftmaxLastDim().Square().Sum();
+      },
+      {a, b});
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompositeGradSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 5)));
+
+}  // namespace
+}  // namespace msgcl

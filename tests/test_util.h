@@ -1,0 +1,65 @@
+// Shared helpers for the msgcl test suites: numerical gradient checking and
+// tolerant float comparison over tensors.
+#ifndef MSGCL_TESTS_TEST_UTIL_H_
+#define MSGCL_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace testing {
+
+/// Asserts tensors have equal shapes and element-wise |a-b| <= atol + rtol*|b|.
+inline void ExpectTensorNear(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+                             float rtol = 1e-4f) {
+  ASSERT_EQ(a.shape(), b.shape()) << ShapeToString(a.shape()) << " vs "
+                                  << ShapeToString(b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float av = a.at(i), bv = b.at(i);
+    EXPECT_NEAR(av, bv, atol + rtol * std::fabs(bv)) << "at flat index " << i;
+  }
+}
+
+/// Numerical gradient check.
+///
+/// `fn` must rebuild the graph from the leaves and return a scalar loss.
+/// For every element of every leaf, compares the analytic gradient (from one
+/// backward pass) against a central finite difference.
+inline void CheckGradients(const std::function<Tensor(std::vector<Tensor>&)>& fn,
+                           std::vector<Tensor> leaves, float eps = 1e-3f,
+                           float atol = 2e-2f, float rtol = 2e-2f) {
+  for (auto& leaf : leaves) leaf.set_requires_grad(true);
+
+  Tensor loss = fn(leaves);
+  ASSERT_EQ(loss.numel(), 1) << "gradcheck requires a scalar loss";
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  loss.Backward();
+
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& leaf = leaves[li];
+    // Snapshot analytic grads: graph rebuilds below will not touch them, but
+    // ZeroGrad between probes would.
+    std::vector<float> analytic = leaf.grad();
+    if (analytic.empty()) analytic.assign(leaf.numel(), 0.0f);
+    for (int64_t i = 0; i < leaf.numel(); ++i) {
+      const float orig = leaf.at(i);
+      leaf.set(i, orig + eps);
+      const float fp = fn(leaves).item();
+      leaf.set(i, orig - eps);
+      const float fm = fn(leaves).item();
+      leaf.set(i, orig);
+      const float numeric = (fp - fm) / (2.0f * eps);
+      EXPECT_NEAR(analytic[i], numeric, atol + rtol * std::fabs(numeric))
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace msgcl
+
+#endif  // MSGCL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,70 @@
+// Tests for the Meta-SGCL grid-search tuner.
+#include "core/core.h"
+#include "data/data.h"
+#include "gtest/gtest.h"
+
+namespace msgcl {
+namespace core {
+namespace {
+
+data::SequenceDataset TinySplit() {
+  auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
+  return data::LeaveOneOutSplit(log);
+}
+
+MetaSgclConfig BaseConfig(const data::SequenceDataset& ds) {
+  MetaSgclConfig c;
+  c.backbone.num_items = ds.num_items;
+  c.backbone.max_len = 12;
+  c.backbone.dim = 16;
+  c.backbone.layers = 1;
+  c.use_decoder = false;
+  return c;
+}
+
+models::TrainConfig QuickTrain() {
+  models::TrainConfig t;
+  t.epochs = 2;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  return t;
+}
+
+TEST(TunerTest, ExploresFullGridSortedByValidation) {
+  auto ds = TinySplit();
+  TuneGrid grid;
+  grid.alphas = {0.03f, 0.1f};
+  grid.betas = {0.2f, 0.4f};
+  auto results = GridSearch(BaseConfig(ds), QuickTrain(), ds, grid, /*seed=*/5);
+  ASSERT_EQ(results.size(), 4u);  // 2 alphas x 2 betas x 1 tau
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].val_ndcg10, results[i].val_ndcg10);
+  }
+}
+
+TEST(TunerTest, EmptyAxesUseBaseValues) {
+  auto ds = TinySplit();
+  MetaSgclConfig base = BaseConfig(ds);
+  base.alpha = 0.07f;
+  auto results = GridSearch(base, QuickTrain(), ds, TuneGrid{}, 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FLOAT_EQ(results[0].config.alpha, 0.07f);
+}
+
+TEST(TunerTest, DeterministicAcrossRuns) {
+  auto ds = TinySplit();
+  TuneGrid grid;
+  grid.taus = {0.5f, 1.0f};
+  auto a = GridSearch(BaseConfig(ds), QuickTrain(), ds, grid, 5);
+  auto b = GridSearch(BaseConfig(ds), QuickTrain(), ds, grid, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].val_ndcg10, b[i].val_ndcg10);
+    EXPECT_EQ(a[i].config.tau, b[i].config.tau);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace msgcl

@@ -1,0 +1,267 @@
+// msgcl — command-line interface to the Meta-SGCL library.
+//
+// Subcommands:
+//   generate   write a synthetic interaction log as CSV
+//   train      train a model on a CSV log (or a synthetic preset) and save
+//              a checkpoint
+//   evaluate   load a checkpoint and report HR/NDCG/MRR on the test split
+//   recommend  load a checkpoint and print top-K items for one user
+//
+// Examples:
+//   msgcl generate --preset=toys --scale=0.25 --out=toys.csv
+//   msgcl train --data=toys.csv --model=Meta-SGCL --epochs=30 --ckpt=m.bin
+//   msgcl evaluate --data=toys.csv --model=Meta-SGCL --ckpt=m.bin
+//   msgcl recommend --data=toys.csv --model=Meta-SGCL --ckpt=m.bin --user=3
+//
+// Architecture flags (--dim, --layers, --heads, --max_len) must match
+// between train and evaluate/recommend; the checkpoint loader verifies
+// shapes and refuses mismatches.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "data/data.h"
+#include "eval/eval.h"
+#include "models/models.h"
+
+namespace {
+
+using namespace msgcl;
+
+// Minimal --key=value parser (mirrors bench::Flags; tools stay standalone).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+  std::string Get(const std::string& k, std::string def = "") const {
+    auto it = values_.find(k);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetD(const std::string& k, double def) const {
+    auto it = values_.find(k);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+  int64_t GetI(const std::string& k, int64_t def) const {
+    auto it = values_.find(k);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::SyntheticConfig PresetByName(const std::string& name, double scale) {
+  if (name == "clothing") return data::ClothingLike(scale);
+  if (name == "toys") return data::ToysLike(scale);
+  if (name == "ml1m") return data::Ml1mLike(scale);
+  if (name == "tiny") return data::TinyDataset();
+  std::fprintf(stderr, "unknown preset '%s' (clothing|toys|ml1m|tiny)\n", name.c_str());
+  std::exit(2);
+}
+
+Result<data::InteractionLog> LoadData(const Args& args) {
+  const std::string path = args.Get("data");
+  if (!path.empty()) {
+    data::CsvOptions opt;
+    opt.k_core = static_cast<int32_t>(args.GetI("k_core", 5));
+    opt.min_rating = args.GetD("min_rating", 4.0);
+    return data::LoadCsv(path, opt);
+  }
+  return data::GenerateSynthetic(
+      PresetByName(args.Get("preset", "toys"), args.GetD("scale", 0.25)));
+}
+
+std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
+                                               const data::SequenceDataset& ds,
+                                               const Args& args) {
+  models::BackboneConfig backbone;
+  backbone.num_items = ds.num_items;
+  backbone.max_len = args.GetI("max_len", 16);
+  backbone.dim = args.GetI("dim", 32);
+  backbone.heads = args.GetI("heads", 2);
+  backbone.layers = args.GetI("layers", 1);
+  backbone.dropout = static_cast<float>(args.GetD("dropout", 0.2));
+
+  models::TrainConfig train;
+  train.epochs = args.GetI("epochs", 30);
+  train.max_len = backbone.max_len;
+  train.lr = static_cast<float>(args.GetD("lr", 3e-3));
+  train.batch_size = args.GetI("batch", 128);
+  train.seed = args.GetI("seed", 42);
+  train.eval_every = args.GetI("eval_every", 2);
+  train.patience = args.GetI("patience", 4);
+  train.verbose = args.Get("verbose") == "1";
+
+  Rng rng(train.seed * 31 + 7);
+  if (name == "SASRec") return std::make_unique<models::SasRec>(backbone, train, rng);
+  if (name == "DuoRec") {
+    models::DuoRecConfig c;
+    c.backbone = backbone;
+    c.tau = 0.5f;
+    c.similarity = nn::Similarity::kCosine;
+    return std::make_unique<models::DuoRec>(c, train, rng);
+  }
+  if (name == "ContrastVAE") {
+    models::ContrastVaeConfig c;
+    c.backbone = backbone;
+    return std::make_unique<models::ContrastVae>(std::move(c), train, rng);
+  }
+  if (name == "Meta-SGCL") {
+    core::MetaSgclConfig c;
+    c.backbone = backbone;
+    c.alpha = static_cast<float>(args.GetD("alpha", 0.1));
+    c.beta = static_cast<float>(args.GetD("beta", 0.2));
+    c.tau = static_cast<float>(args.GetD("tau", 1.0));
+    c.use_decoder = args.GetI("use_decoder", 0) != 0;
+    return std::make_unique<core::MetaSgcl>(c, train, rng);
+  }
+  std::fprintf(stderr, "unknown model '%s' (SASRec|DuoRec|ContrastVAE|Meta-SGCL)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+nn::Module* AsModule(models::Recommender* r) {
+  // All CLI-constructible models derive from nn::Module.
+  return dynamic_cast<nn::Module*>(r);
+}
+
+int CmdGenerate(const Args& args) {
+  auto cfg = PresetByName(args.Get("preset", "toys"), args.GetD("scale", 0.25));
+  cfg.seed = args.GetI("seed", 42);
+  auto log_result = data::GenerateSynthetic(cfg);
+  if (!log_result.ok()) {
+    std::fprintf(stderr, "%s\n", log_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& log = log_result.value();
+  const std::string out_path = args.Get("out", "synthetic.csv");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  for (int32_t u = 0; u < log.num_users(); ++u) {
+    for (size_t t = 0; t < log.sequences[u].size(); ++t) {
+      out << "u" << u << ",i" << log.sequences[u][t] << ",5," << t << "\n";
+    }
+  }
+  std::printf("wrote %lld interactions (%d users, %d items) to %s\n",
+              static_cast<long long>(log.num_interactions()), log.num_users(),
+              log.num_items, out_path.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  auto log = LoadData(args);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = data::LeaveOneOutSplit(log.value());
+  const std::string model_name = args.Get("model", "Meta-SGCL");
+  auto model = MakeModel(model_name, ds, args);
+  std::printf("training %s on %d users / %d items...\n", model->name().c_str(),
+              ds.num_users(), ds.num_items);
+  model->Fit(ds);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = args.GetI("max_len", 16);
+  auto metrics = eval::Evaluate(*model, ds, eval::Split::kTest, ecfg);
+  std::printf("test: %s MRR=%.4f\n", metrics.ToString().c_str(), metrics.mrr);
+  const std::string ckpt = args.Get("ckpt");
+  if (!ckpt.empty()) {
+    Status s = nn::SaveCheckpoint(*AsModule(model.get()), ckpt);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint saved to %s\n", ckpt.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  auto log = LoadData(args);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = data::LeaveOneOutSplit(log.value());
+  auto model = MakeModel(args.Get("model", "Meta-SGCL"), ds, args);
+  Status s = nn::LoadCheckpoint(*AsModule(model.get()), args.Get("ckpt"));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  AsModule(model.get())->SetTraining(false);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = args.GetI("max_len", 16);
+  auto test = eval::Evaluate(*model, ds, eval::Split::kTest, ecfg);
+  auto valid = eval::Evaluate(*model, ds, eval::Split::kValidation, ecfg);
+  std::printf("valid: %s MRR=%.4f\n", valid.ToString().c_str(), valid.mrr);
+  std::printf("test:  %s MRR=%.4f\n", test.ToString().c_str(), test.mrr);
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  auto log = LoadData(args);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = data::LeaveOneOutSplit(log.value());
+  auto model = MakeModel(args.Get("model", "Meta-SGCL"), ds, args);
+  Status s = nn::LoadCheckpoint(*AsModule(model.get()), args.Get("ckpt"));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  AsModule(model.get())->SetTraining(false);
+  const int32_t user = static_cast<int32_t>(args.GetI("user", 0));
+  if (user < 0 || user >= ds.num_users()) {
+    std::fprintf(stderr, "user %d out of range [0, %d)\n", user, ds.num_users());
+    return 1;
+  }
+  eval::RecommendOptions opt;
+  opt.k = args.GetI("k", 10);
+  opt.max_len = args.GetI("max_len", 16);
+  auto recs = eval::RecommendTopK(*model, ds.TestInput(user), ds.num_items, opt);
+  std::printf("top-%lld recommendations for user %d:\n", static_cast<long long>(opt.k),
+              user);
+  for (const auto& r : recs) std::printf("  item %-6d score %.4f\n", r.item, r.score);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: msgcl <generate|train|evaluate|recommend> [--flags]\n"
+               "see the header of tools/msgcl_cli.cc for examples\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Args args(argc, argv);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "evaluate") return CmdEvaluate(args);
+  if (cmd == "recommend") return CmdRecommend(args);
+  return Usage();
+}

@@ -1,0 +1,107 @@
+// Fault-tolerant training demo: the runtime surviving faults that would
+// silently ruin (or simply lose) an unguarded run.
+//
+//   1. inject a NaN gradient mid-training; the numeric-health guard detects
+//      it, rolls back to the last healthy snapshot, decays the lr, and
+//      retries — the run finishes with finite weights and reports the event
+//   2. checkpoint every epoch, "kill" the run at epoch 3, resume from the
+//      v2 train state, and verify the weights are bit-identical to an
+//      uninterrupted run with the same seed
+//   3. bit-flip the checkpoint file and show the CRC32 footer rejecting it
+//
+// Build & run:  cmake --build build && ./build/examples/fault_tolerant_training
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/data.h"
+#include "eval/eval.h"
+#include "models/models.h"
+#include "runtime/runtime.h"
+
+int main() {
+  using namespace msgcl;
+
+  data::InteractionLog log = data::GenerateSynthetic(data::TinyDataset()).value();
+  data::SequenceDataset ds = data::LeaveOneOutSplit(log);
+
+  models::BackboneConfig backbone;
+  backbone.num_items = ds.num_items;
+  backbone.max_len = 12;
+  backbone.dim = 16;
+  backbone.layers = 1;
+
+  models::TrainConfig train;
+  train.epochs = 6;
+  train.max_len = 12;
+  train.batch_size = 64;
+  train.lr = 3e-3f;
+  train.seed = 7;
+
+  // ---- 1. Survive an injected NaN gradient -------------------------------
+  std::printf("== 1. NaN gradient injection ==\n");
+  runtime::FaultPlan plan;
+  plan.corrupt_grad_steps = {4};  // poison the gradients of global step 4
+  plan.kind = runtime::FaultKind::kNaN;
+  runtime::FaultInjector injector(plan);
+
+  models::FitHistory history;
+  models::TrainConfig faulty = train;
+  faulty.fault_injector = &injector;
+  faulty.history = &history;
+  faulty.recovery.policy = runtime::RecoveryPolicy::kRollbackRetry;
+  faulty.recovery.max_retries = 3;
+
+  models::SasRec survivor(backbone, faulty, Rng(7));
+  Status s = survivor.Fit(ds);
+  std::printf("training status: %s\n", s.ToString().c_str());
+  std::printf("weights finite after recovery: %s\n",
+              nn::AllFinite(survivor.Parameters()) ? "yes" : "NO");
+  for (const auto& e : history.recovery_events) {
+    std::printf("recovery event: epoch %lld step %lld — %s\n",
+                static_cast<long long>(e.epoch), static_cast<long long>(e.global_step),
+                e.detail.c_str());
+  }
+
+  // Contrast: the same fault under the fail-fast policy aborts the run.
+  injector.Reset();
+  models::TrainConfig strict = faulty;
+  strict.history = nullptr;
+  strict.recovery.policy = runtime::RecoveryPolicy::kAbort;
+  models::SasRec doomed(backbone, strict, Rng(7));
+  std::printf("same fault with --recovery=abort: %s\n", doomed.Fit(ds).ToString().c_str());
+
+  // ---- 2. Kill at epoch 3, resume bit-exactly ----------------------------
+  std::printf("\n== 2. resumable v2 checkpoint ==\n");
+  const char* state_path = "fault_demo.state";
+
+  models::TrainConfig full = train;
+  models::SasRec uninterrupted(backbone, full, Rng(7));
+  (void)uninterrupted.Fit(ds);
+
+  models::TrainConfig first_leg = train;
+  first_leg.epochs = 3;  // "the process dies after epoch 3"
+  first_leg.checkpoint_path = state_path;
+  models::SasRec killed(backbone, first_leg, Rng(7));
+  (void)killed.Fit(ds);
+
+  models::TrainConfig second_leg = train;  // same 6-epoch target
+  second_leg.resume_from = state_path;
+  models::SasRec resumed(backbone, second_leg, Rng(7));
+  s = resumed.Fit(ds);
+  std::printf("resume status: %s\n", s.ToString().c_str());
+
+  bool identical = true;
+  auto a = uninterrupted.Parameters(), b = resumed.Parameters();
+  for (size_t i = 0; i < a.size() && identical; ++i) identical = a[i].data() == b[i].data();
+  std::printf("resumed weights identical to uninterrupted run: %s\n",
+              identical ? "yes" : "NO");
+
+  // ---- 3. Corrupt the checkpoint, watch the CRC reject it ----------------
+  std::printf("\n== 3. corrupted checkpoint rejection ==\n");
+  (void)injector.BitFlipFile(state_path, /*num_flips=*/1, /*skip_prefix=*/64);
+  models::SasRec victim(backbone, second_leg, Rng(7));
+  s = victim.Fit(ds);
+  std::printf("load of bit-flipped state: %s\n", s.ToString().c_str());
+  std::remove(state_path);
+  return 0;
+}

@@ -87,7 +87,7 @@ class MetaSgcl : public models::Recommender, public nn::Module {
     return config_.mode == TrainingMode::kJoint ? "Meta-SGCL(joint)" : "Meta-SGCL";
   }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     nn::KlAnnealing anneal(config_.beta, config_.kl_anneal_steps);
     int64_t global_step = 0;
 
@@ -102,8 +102,7 @@ class MetaSgcl : public models::Recommender, public nn::Module {
         opt.Step();
         return loss.item();
       };
-      models::FitLoop(*this, *this, ds, train_, step);
-      return;
+      return models::FitLoop(*this, *this, ds, train_, step, {&opt});
     }
 
     // Meta-optimized two-step training: disjoint optimizers over the two
@@ -139,7 +138,7 @@ class MetaSgcl : public models::Recommender, public nn::Module {
       }
       return loss.item();
     };
-    models::FitLoop(*this, *this, ds, train_, step);
+    return models::FitLoop(*this, *this, ds, train_, step, {&opt_main, &opt_meta});
   }
 
   /// The double-ELBO training loss for one batch (Eq. 27-28 in loss form).

@@ -49,7 +49,15 @@ inline std::vector<TuneResult> GridSearch(const MetaSgclConfig& base,
         cfg.beta = beta;
         cfg.tau = tau;
         MetaSgcl model(cfg, train, Rng(seed));
-        model.Fit(ds);
+        if (Status s = model.Fit(ds); !s.ok()) {
+          // A diverged candidate disqualifies itself rather than aborting
+          // the whole sweep.
+          if (verbose) {
+            std::fprintf(stderr, "[tune] alpha=%.3f beta=%.2f tau=%.2f -> %s\n", alpha,
+                         beta, tau, s.ToString().c_str());
+          }
+          continue;
+        }
         TuneResult r;
         r.config = cfg;
         r.val_ndcg10 =

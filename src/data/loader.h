@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,13 +50,50 @@ struct CsvOptions {
 };
 
 /// Parses one CSV line into fields (no quoting support — the rec-sys dumps
-/// this targets are plain "u,i,r,t" files).
+/// this targets are plain "u,i,r,t" files). A trailing delimiter yields a
+/// trailing empty field ("u,i,4," is four fields), matching every other CSV
+/// tool; istream-based splitting would silently drop it.
 inline std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
   std::vector<std::string> fields;
-  std::string field;
-  std::istringstream ss(line);
-  while (std::getline(ss, field, delim)) fields.push_back(field);
-  return fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t end = line.find(delim, start);
+    if (end == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+/// Strict numeric field parsers: the whole field must be consumed, so
+/// "3abc" or an empty field is rejected instead of silently truncated the
+/// way raw std::stod/std::stoll would.
+inline bool ParseFullDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  try {
+    size_t pos = 0;
+    const double v = std::stod(field, &pos);
+    if (pos != field.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+inline bool ParseFullInt64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  try {
+    size_t pos = 0;
+    const int64_t v = std::stoll(field, &pos);
+    if (pos != field.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 /// Parses raw events from a CSV stream; returns a Status error for malformed
@@ -82,12 +118,15 @@ inline Result<std::vector<RawEvent>> ParseCsvEvents(std::istream& in,
     RawEvent e;
     e.user = fields[opt.user_col];
     e.item = fields[opt.item_col];
-    try {
-      if (opt.rating_col >= 0) e.rating = std::stod(fields[opt.rating_col]);
-      if (opt.timestamp_col >= 0) e.timestamp = std::stoll(fields[opt.timestamp_col]);
-    } catch (const std::exception&) {
+    if (opt.rating_col >= 0 && !ParseFullDouble(fields[opt.rating_col], &e.rating)) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": non-numeric rating/timestamp");
+                                     ": malformed rating '" + fields[opt.rating_col] + "'");
+    }
+    if (opt.timestamp_col >= 0 &&
+        !ParseFullInt64(fields[opt.timestamp_col], &e.timestamp)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": malformed timestamp '" +
+                                     fields[opt.timestamp_col] + "'");
     }
     events.push_back(std::move(e));
   }

@@ -50,7 +50,7 @@ class Acvae : public Recommender, public nn::Module {
 
   std::string name() const override { return "ACVAE"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     // Separate optimizers: the adversarial game alternates between the
     // discriminator and the generator (encoder/decoder) sides.
     std::vector<Tensor> model_params = backbone_.Parameters();
@@ -112,7 +112,7 @@ class Acvae : public Recommender, public nn::Module {
       ZeroGrad();
       return loss.item();
     };
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt_model, &opt_disc});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

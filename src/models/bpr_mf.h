@@ -28,7 +28,7 @@ class BprMf : public Recommender, public nn::Module {
 
   std::string name() const override { return "BPR-MF"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     num_items_ = ds.num_items;
     user_emb_ = std::make_unique<nn::Embedding>(ds.num_users(), config_.dim, rng_);
     item_emb_ = std::make_unique<nn::Embedding>(ds.num_items + 1, config_.dim, rng_,
@@ -70,7 +70,7 @@ class BprMf : public Recommender, public nn::Module {
       opt.Step();
       return loss.item();
     };
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

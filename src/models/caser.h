@@ -54,7 +54,7 @@ class Caser : public Recommender, public nn::Module {
 
   std::string name() const override { return "Caser"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     // The user embedding table is sized by the dataset, so it is created here.
     if (user_emb_ == nullptr) {
       user_emb_ = std::make_unique<nn::Embedding>(ds.num_users(), config_.dim, rng_);
@@ -63,13 +63,13 @@ class Caser : public Recommender, public nn::Module {
       RegisterChild("out", out_.get());
     }
     nn::Adam opt(Parameters(), train_.lr);
-    auto step = StandardStep(*this, opt, train_.grad_clip,
+    auto step = StandardStep(*this, opt, train_,
                              [this](const data::Batch& batch, Rng& rng) {
                                Tensor logits = Logits(batch, rng, /*use_user=*/true);
                                return CrossEntropyLogits(logits, batch.LastTargets(),
                                                          /*ignore_index=*/0);
                              });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -41,10 +41,10 @@ class Cl4SRec : public Recommender, public nn::Module {
 
   std::string name() const override { return "CL4SRec"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     nn::Adam opt(Parameters(), train_.lr);
     auto step = StandardStep(
-        *this, opt, train_.grad_clip, [this, &ds](const data::Batch& batch, Rng& rng) {
+        *this, opt, train_, [this, &ds](const data::Batch& batch, Rng& rng) {
           // Main task: next-item prediction on the un-augmented sequence.
           Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
           Tensor logits = backbone_.LogitsAll(
@@ -58,7 +58,7 @@ class Cl4SRec : public Recommender, public nn::Module {
           }
           return loss;
         });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -44,10 +44,10 @@ class ContrastVae : public Recommender, public nn::Module {
 
   std::string name() const override { return "ContrastVAE"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     nn::Adam opt(Parameters(), train_.lr);
     auto step = StandardStep(
-        *this, opt, train_.grad_clip, [this, &ds](const data::Batch& batch, Rng& rng) {
+        *this, opt, train_, [this, &ds](const data::Batch& batch, Rng& rng) {
           // View 2: CL4SRec augmentation of each row's training sequence.
           std::vector<std::vector<int32_t>> aug(ds.train_seqs.size());
           for (int32_t u : batch.users) {
@@ -87,7 +87,7 @@ class ContrastVae : public Recommender, public nn::Module {
           }
           return loss;
         });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

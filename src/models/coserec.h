@@ -111,12 +111,12 @@ class CoSeRec : public Recommender, public nn::Module {
 
   std::string name() const override { return "CoSeRec"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     corr_ = std::make_unique<ItemCorrelation>(ds.train_seqs, ds.num_items,
                                               config_.correlation_window);
     nn::Adam opt(Parameters(), train_.lr);
     auto step = StandardStep(
-        *this, opt, train_.grad_clip, [this, &ds](const data::Batch& batch, Rng& rng) {
+        *this, opt, train_, [this, &ds](const data::Batch& batch, Rng& rng) {
           Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
           Tensor logits = backbone_.LogitsAll(
               h.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
@@ -129,7 +129,7 @@ class CoSeRec : public Recommender, public nn::Module {
           }
           return loss;
         });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -35,7 +35,7 @@ class DuoRec : public Recommender, public nn::Module {
 
   std::string name() const override { return "DuoRec"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     // Index training rows by their final target for supervised sampling.
     std::unordered_map<int32_t, std::vector<int32_t>> by_target;
     if (config_.supervised_positives) {
@@ -46,7 +46,7 @@ class DuoRec : public Recommender, public nn::Module {
     }
     nn::Adam opt(Parameters(), train_.lr);
     auto step = StandardStep(
-        *this, opt, train_.grad_clip, [this, &ds, &by_target](const data::Batch& batch, Rng& rng) {
+        *this, opt, train_, [this, &ds, &by_target](const data::Batch& batch, Rng& rng) {
           Tensor h1 = backbone_.Encode(batch, /*causal=*/true, rng);
           Tensor logits = backbone_.LogitsAll(
               h1.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
@@ -82,7 +82,7 @@ class DuoRec : public Recommender, public nn::Module {
           }
           return loss;
         });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -30,7 +30,7 @@ class Fpmc : public Recommender, public nn::Module {
 
   std::string name() const override { return "FPMC"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     num_items_ = ds.num_items;
     user_ui_ = std::make_unique<nn::Embedding>(ds.num_users(), config_.dim, rng_);
     item_iu_ = std::make_unique<nn::Embedding>(ds.num_items + 1, config_.dim, rng_, 0);
@@ -74,7 +74,7 @@ class Fpmc : public Recommender, public nn::Module {
       opt.Step();
       return loss.item();
     };
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -8,6 +8,8 @@
 
 #include "data/dataset.h"
 #include "eval/evaluator.h"
+#include "runtime/fault_injector.h"
+#include "runtime/recovery.h"
 #include "tensor/status.h"
 
 namespace msgcl {
@@ -24,6 +26,13 @@ struct FitHistory {
   std::vector<double> val_ndcg10;       // NDCG@10 at those epochs
   int64_t best_epoch = -1;              // epoch of the restored weights
   int64_t stopped_epoch = -1;           // last epoch executed
+
+  // Fault-tolerance trace: every detect->rollback action the numeric-health
+  // guard took, plus summary counters.
+  std::vector<runtime::RecoveryEvent> recovery_events;
+  int64_t skipped_batches = 0;          // batches abandoned by kSkipBatch
+  int64_t rollback_retries = 0;         // retry attempts consumed
+  int64_t resumed_from_epoch = -1;      // >= 0 when the run resumed mid-way
 
   void Clear() { *this = FitHistory(); }
 };
@@ -45,6 +54,20 @@ struct TrainConfig {
   int64_t eval_every = 0;
   int64_t patience = 3;
 
+  // ---- Fault-tolerant runtime (see src/runtime/ and DESIGN.md) ----
+  // Numeric-health guard policy applied after every optimisation step.
+  runtime::RecoveryConfig recovery;
+  // Optional deterministic fault source (non-owning; testing/chaos drills).
+  runtime::FaultInjector* fault_injector = nullptr;
+  // Resumable checkpointing: when checkpoint_path is non-empty, a v2 train
+  // state (weights + optimizer moments + RNG + early-stop bookkeeping) is
+  // written atomically every `checkpoint_every` epochs (<=0: only at the
+  // end). When resume_from is non-empty, training restarts from that v2
+  // checkpoint instead of from scratch.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 1;
+  std::string resume_from;
+
   bool verbose = false;
 
   Status Validate() const {
@@ -52,7 +75,7 @@ struct TrainConfig {
       return Status::InvalidArgument("epochs, batch_size and max_len must be positive");
     }
     if (lr <= 0.0f) return Status::InvalidArgument("lr must be positive");
-    return Status::Ok();
+    return recovery.Validate();
   }
 };
 
@@ -61,8 +84,11 @@ struct TrainConfig {
 class Recommender : public eval::Ranker {
  public:
   /// Trains on `ds.train_seqs` (validation data is used only for early
-  /// stopping when enabled).
-  virtual void Fit(const data::SequenceDataset& ds) = 0;
+  /// stopping when enabled). Returns non-OK when training could not
+  /// complete — e.g. the numeric-health guard exhausted its retries, or a
+  /// resume checkpoint was missing/corrupt. Weights are unspecified after a
+  /// failure.
+  virtual Status Fit(const data::SequenceDataset& ds) = 0;
 };
 
 }  // namespace models

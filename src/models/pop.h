@@ -14,12 +14,13 @@ class Pop : public Recommender {
  public:
   std::string name() const override { return "Pop"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     counts_.assign(ds.num_items + 1, 0.0f);
     for (const auto& seq : ds.train_seqs) {
       for (int32_t item : seq) counts_[item] += 1.0f;
     }
     counts_[0] = -1.0f;  // padding must never be recommended
+    return Status::Ok();
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -23,13 +23,13 @@ class SasRec : public Recommender, public nn::Module {
 
   std::string name() const override { return "SASRec"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     nn::Adam opt(Parameters(), train_.lr);
-    auto step = StandardStep(*this, opt, train_.grad_clip,
+    auto step = StandardStep(*this, opt, train_,
                              [this](const data::Batch& batch, Rng& rng) {
                                return Loss(batch, rng);
                              });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   /// Next-item cross-entropy over all non-padded positions.

@@ -35,10 +35,10 @@ class Srma : public Recommender, public nn::Module {
 
   std::string name() const override { return "SRMA"; }
 
-  void Fit(const data::SequenceDataset& ds) override {
+  Status Fit(const data::SequenceDataset& ds) override {
     nn::Adam opt(Parameters(), train_.lr);
     auto step = StandardStep(
-        *this, opt, train_.grad_clip, [this](const data::Batch& batch, Rng& rng) {
+        *this, opt, train_, [this](const data::Batch& batch, Rng& rng) {
           Tensor h1 = backbone_.Encode(batch, /*causal=*/true, rng);
           Tensor logits = backbone_.LogitsAll(
               h1.Reshape({batch.batch_size * batch.seq_len, backbone_.config().dim}));
@@ -58,7 +58,7 @@ class Srma : public Recommender, public nn::Module {
           }
           return loss;
         });
-    FitLoop(*this, *this, ds, train_, step);
+    return FitLoop(*this, *this, ds, train_, step, {&opt});
   }
 
   std::vector<float> ScoreAll(const data::Batch& batch) override {

@@ -1,17 +1,29 @@
 // Epoch/batch orchestration shared by every trainable model: shuffled
 // mini-batches, a model-supplied step function, and early stopping on
 // validation NDCG@10 with best-weight restore (paper §V.A).
+//
+// The loop is fault-tolerant (DESIGN.md "Fault-tolerant training runtime"):
+// after every step a numeric-health guard scans the loss and parameters, and
+// a non-finite value triggers the configured RecoveryPolicy (skip the batch,
+// or roll back to the last healthy snapshot, decay the learning rate, and
+// retry with exponential backoff). Training state — weights, optimizer
+// moments, RNG stream, early-stopping bookkeeping — can be checkpointed
+// every k epochs and resumed bit-exactly via TrainConfig::checkpoint_path /
+// resume_from.
 #ifndef MSGCL_MODELS_TRAINER_H_
 #define MSGCL_MODELS_TRAINER_H_
 
 #include <cstdio>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "data/batching.h"
 #include "eval/evaluator.h"
 #include "models/model.h"
 #include "nn/nn.h"
+#include "runtime/runtime.h"
 
 namespace msgcl {
 namespace models {
@@ -21,37 +33,136 @@ namespace models {
 /// Meta-SGCL, take two sub-steps per batch).
 using StepFn = std::function<float(const data::Batch& batch, Rng& rng)>;
 
-/// Runs the training loop for `model` with early stopping.
+/// Runs the training loop for `model` with early stopping, numeric-health
+/// recovery, and resumable checkpoints.
 ///
-/// `ranker` is evaluated on the validation split every
-/// `config.eval_every` epochs (when > 0); training stops after
-/// `config.patience` evaluations without NDCG@10 improvement, and the
-/// best-scoring weights are restored.
-inline void FitLoop(nn::Module& model, eval::Ranker& ranker,
-                    const data::SequenceDataset& ds, const TrainConfig& config,
-                    const StepFn& step) {
-  MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+/// `ranker` is evaluated on the validation split every `config.eval_every`
+/// epochs (when > 0); training stops after `config.patience` evaluations
+/// without NDCG@10 improvement, and the best-scoring weights are restored.
+///
+/// `optimizers` lists every optimizer the step function drives (non-owning).
+/// They are what recovery rolls back / backs off and what v2 checkpoints
+/// capture; an empty list still gets parameter-only rollback but no lr
+/// backoff and no optimizer-state resume.
+///
+/// Returns non-OK instead of training through poison: Internal when the
+/// recovery policy is exhausted (or kAbort fires), and the resume/checkpoint
+/// I/O status when those fail. On error the model's weights are unspecified.
+inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
+                      const data::SequenceDataset& ds, const TrainConfig& config,
+                      const StepFn& step, std::vector<nn::Optimizer*> optimizers = {}) {
+  if (Status s = config.Validate(); !s.ok()) return s;
   Rng rng(config.seed);
   model.SetTraining(true);
   if (config.history != nullptr) config.history->Clear();
 
   auto params = model.Parameters();
-  std::vector<std::vector<float>> best_weights;
-  double best_ndcg = -1.0;
-  int64_t best_epoch = -1;
-  int64_t bad_evals = 0;
+  nn::TrainerProgress progress;
+  int64_t start_epoch = 0;
+
+  if (!config.resume_from.empty()) {
+    if (Status s = nn::LoadTrainState(model, optimizers, &progress, config.resume_from);
+        !s.ok()) {
+      return s;
+    }
+    rng.SetState(progress.rng);
+    start_epoch = progress.epoch + 1;
+    if (config.history != nullptr) config.history->resumed_from_epoch = progress.epoch;
+    if (config.verbose) {
+      std::fprintf(stderr, "[%s] resumed from %s at epoch %ld\n", ranker.name().c_str(),
+                   config.resume_from.c_str(), static_cast<long>(start_epoch));
+    }
+  }
+
+  double best_ndcg = progress.best_ndcg;
+  int64_t best_epoch = progress.best_epoch;
+  int64_t bad_evals = progress.bad_evals;
+  std::vector<std::vector<float>> best_weights = std::move(progress.best_weights);
+
+  runtime::HealthGuard guard(config.recovery, params, optimizers);
+  guard.Snapshot();
+  runtime::FaultInjector* injector = config.fault_injector;
+  int64_t attempt_counter = 0;  // step attempts, including retries
+  int64_t healthy_steps = 0;
 
   eval::EvalConfig eval_cfg;
   eval_cfg.max_len = config.max_len;
 
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  const auto save_checkpoint = [&](int64_t epoch) -> Status {
+    if (config.checkpoint_path.empty()) return Status::Ok();
+    nn::TrainerProgress p;
+    p.epoch = epoch;
+    p.rng = rng.GetState();
+    p.best_ndcg = best_ndcg;
+    p.best_epoch = best_epoch;
+    p.bad_evals = bad_evals;
+    p.best_weights = best_weights;
+    std::vector<const nn::Optimizer*> copts(optimizers.begin(), optimizers.end());
+    return nn::SaveTrainState(model, copts, p, config.checkpoint_path);
+  };
+
+  bool stopped_early = false;
+  for (int64_t epoch = start_epoch; epoch < config.epochs && !stopped_early; ++epoch) {
     double loss_sum = 0.0;
     int64_t steps = 0;
     data::EpochIterator it(ds.num_users(), config.batch_size, rng);
     for (auto rows = it.Next(); !rows.empty(); rows = it.Next()) {
       data::Batch batch = data::MakeTrainBatch(ds, rows, config.max_len);
-      loss_sum += step(batch, rng);
-      ++steps;
+
+      // detect -> rollback -> backoff -> abort (see DESIGN.md).
+      int64_t retries = 0;
+      for (;;) {
+        float loss = step(batch, rng);
+        if (injector != nullptr && injector->ShouldCorruptLoss(attempt_counter)) {
+          loss = injector->CorruptLoss();
+        }
+        ++attempt_counter;
+
+        if (guard.Healthy(loss)) {
+          if (retries > 0) {
+            guard.RestoreLr();
+            if (config.history != nullptr) {
+              config.history->recovery_events.push_back(
+                  {epoch, attempt_counter - 1, retries, /*skipped=*/false,
+                   "recovered after " + std::to_string(retries) + " retr" +
+                       (retries == 1 ? "y" : "ies")});
+            }
+          }
+          loss_sum += loss;
+          ++steps;
+          ++healthy_steps;
+          guard.MaybeSnapshot(healthy_steps);
+          break;
+        }
+
+        const std::string detail = guard.Diagnose(loss);
+        switch (config.recovery.policy) {
+          case runtime::RecoveryPolicy::kAbort:
+            return Status::Internal("numeric health check failed at epoch " +
+                                    std::to_string(epoch) + ": " + detail);
+          case runtime::RecoveryPolicy::kSkipBatch:
+            guard.Rollback();
+            if (config.history != nullptr) {
+              ++config.history->skipped_batches;
+              config.history->recovery_events.push_back(
+                  {epoch, attempt_counter - 1, retries, /*skipped=*/true,
+                   detail + " (batch skipped)"});
+            }
+            break;  // out of the switch; flag below exits the retry loop
+          case runtime::RecoveryPolicy::kRollbackRetry:
+            if (retries >= config.recovery.max_retries) {
+              return Status::Internal(
+                  "numeric health check failed at epoch " + std::to_string(epoch) +
+                  " after " + std::to_string(retries) + " retries: " + detail);
+            }
+            guard.Rollback();
+            ++retries;
+            guard.ApplyBackoff(retries);
+            if (config.history != nullptr) ++config.history->rollback_retries;
+            continue;  // retry the same batch
+        }
+        break;  // kSkipBatch: abandon this batch
+      }
     }
     if (config.verbose) {
       std::fprintf(stderr, "[%s] epoch %ld loss %.4f\n", ranker.name().c_str(),
@@ -66,7 +177,7 @@ inline void FitLoop(nn::Module& model, eval::Ranker& ranker,
       model.SetTraining(false);
       double ndcg;
       {
-        NoGradGuard guard;
+        NoGradGuard no_grad;
         ndcg = eval::Evaluate(ranker, ds, eval::Split::kValidation, eval_cfg).ndcg10;
       }
       model.SetTraining(true);
@@ -86,8 +197,14 @@ inline void FitLoop(nn::Module& model, eval::Ranker& ranker,
           std::fprintf(stderr, "[%s] early stop at epoch %ld (best NDCG@10 %.4f)\n",
                        ranker.name().c_str(), static_cast<long>(epoch), best_ndcg);
         }
-        break;
+        stopped_early = true;
       }
+    }
+
+    const bool final_epoch = stopped_early || epoch + 1 >= config.epochs;
+    if (final_epoch ||
+        (config.checkpoint_every > 0 && (epoch + 1) % config.checkpoint_every == 0)) {
+      if (Status s = save_checkpoint(epoch); !s.ok()) return s;
     }
   }
 
@@ -96,18 +213,24 @@ inline void FitLoop(nn::Module& model, eval::Ranker& ranker,
   }
   if (config.history != nullptr) config.history->best_epoch = best_epoch;
   model.SetTraining(false);
+  return Status::Ok();
 }
 
 /// The common single-optimizer step: zero grads, compute `loss_fn`, backward,
-/// clip, step.
-inline StepFn StandardStep(nn::Module& model, nn::Optimizer& opt, float grad_clip,
+/// clip, (optionally inject a configured gradient fault), step.
+inline StepFn StandardStep(nn::Module& model, nn::Optimizer& opt, const TrainConfig& config,
                            std::function<Tensor(const data::Batch&, Rng&)> loss_fn) {
-  return [&model, &opt, grad_clip, loss_fn = std::move(loss_fn)](const data::Batch& batch,
-                                                                 Rng& rng) {
+  return [&model, &opt, grad_clip = config.grad_clip, injector = config.fault_injector,
+          loss_fn = std::move(loss_fn), call = int64_t{0}](const data::Batch& batch,
+                                                          Rng& rng) mutable {
     opt.ZeroGrad();
     Tensor loss = loss_fn(batch, rng);
     loss.Backward();
     if (grad_clip > 0.0f) nn::ClipGradNorm(model.Parameters(), grad_clip);
+    if (injector != nullptr && injector->ShouldCorruptGradients(call)) {
+      injector->CorruptGradients(model.Parameters());
+    }
+    ++call;
     opt.Step();
     return loss.item();
   };

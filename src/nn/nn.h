@@ -8,6 +8,7 @@
 #include "nn/layers.h"      // IWYU pragma: export
 #include "nn/losses.h"      // IWYU pragma: export
 #include "nn/module.h"      // IWYU pragma: export
+#include "nn/numeric.h"     // IWYU pragma: export
 #include "nn/optim.h"       // IWYU pragma: export
 #include "nn/schedule.h"    // IWYU pragma: export
 #include "nn/serialize.h"   // IWYU pragma: export

@@ -1,0 +1,54 @@
+// Numeric-health scans used by the fault-tolerant training runtime: cheap
+// checks that a buffer / parameter set / gradient set contains only finite
+// values, so a NaN or Inf produced by one bad step can be caught before it
+// poisons every subsequent optimizer update.
+#ifndef MSGCL_NN_NUMERIC_H_
+#define MSGCL_NN_NUMERIC_H_
+
+#include <cmath>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace nn {
+
+/// True iff every element of `values` is finite (no NaN/Inf).
+inline bool AllFinite(const std::vector<float>& values) {
+  // Summing and checking once is measurably cheaper than per-element
+  // std::isfinite branching: NaN and Inf both propagate through addition.
+  float acc = 0.0f;
+  for (float v : values) acc += v;
+  if (std::isfinite(acc)) return true;
+  // Slow path only on failure (or pathological cancellation): confirm
+  // element-wise so a finite-but-overflowing sum cannot false-positive.
+  for (float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// True iff every parameter tensor's data is finite.
+inline bool AllFinite(const std::vector<Tensor>& params) {
+  for (const auto& p : params) {
+    if (!AllFinite(p.data())) return false;
+  }
+  return true;
+}
+
+/// True iff every accumulated gradient is finite (empty gradients pass).
+inline bool AllGradsFinite(const std::vector<Tensor>& params) {
+  for (const auto& p : params) {
+    if (!p.grad().empty() && !AllFinite(p.grad())) return false;
+  }
+  return true;
+}
+
+/// True iff every parameter of `module`'s subtree is finite.
+inline bool AllFinite(const Module& module) { return AllFinite(module.Parameters()); }
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_NUMERIC_H_

@@ -10,6 +10,15 @@
 namespace msgcl {
 namespace nn {
 
+/// Snapshot of an optimizer's mutable state (moment buffers, step counter,
+/// learning rate). Used by the fault-tolerant runtime to roll back to the
+/// last healthy step and by v2 checkpoints to resume training bit-exactly.
+struct OptimizerState {
+  std::vector<std::vector<float>> slots;  // per-optimizer moment buffers
+  int64_t step_count = 0;
+  float lr = 0.0f;
+};
+
 /// Base optimizer over a fixed parameter list.
 class Optimizer {
  public:
@@ -18,6 +27,27 @@ class Optimizer {
 
   /// Applies one update from the accumulated gradients.
   virtual void Step() = 0;
+
+  /// Learning-rate control, shared by all optimizers so runtime recovery can
+  /// decay the rate without knowing the concrete type.
+  virtual void set_lr(float lr) = 0;
+  virtual float lr() const = 0;
+
+  /// Exports the mutable state (moments, step counter, lr).
+  virtual OptimizerState GetState() const {
+    OptimizerState s;
+    s.lr = lr();
+    return s;
+  }
+
+  /// Restores state captured by GetState. Returns false when the snapshot is
+  /// structurally incompatible (wrong slot count/sizes); the optimizer is
+  /// unchanged in that case.
+  virtual bool SetState(const OptimizerState& state) {
+    if (!state.slots.empty()) return false;
+    set_lr(state.lr);
+    return true;
+  }
 
   /// Zeroes every parameter's gradient buffer.
   void ZeroGrad() {
@@ -44,8 +74,8 @@ class Sgd : public Optimizer {
     }
   }
 
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
 
  private:
   float lr_;
@@ -93,9 +123,34 @@ class Adam : public Optimizer {
     }
   }
 
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
   int64_t step_count() const { return t_; }
+
+  OptimizerState GetState() const override {
+    OptimizerState s;
+    s.slots.reserve(m_.size() + v_.size());
+    for (const auto& m : m_) s.slots.push_back(m);
+    for (const auto& v : v_) s.slots.push_back(v);
+    s.step_count = t_;
+    s.lr = lr_;
+    return s;
+  }
+
+  bool SetState(const OptimizerState& state) override {
+    if (state.slots.size() != m_.size() + v_.size()) return false;
+    for (size_t i = 0; i < m_.size(); ++i) {
+      if (state.slots[i].size() != m_[i].size()) return false;
+      if (state.slots[m_.size() + i].size() != v_[i].size()) return false;
+    }
+    for (size_t i = 0; i < m_.size(); ++i) {
+      m_[i] = state.slots[i];
+      v_[i] = state.slots[m_.size() + i];
+    }
+    t_ = state.step_count;
+    lr_ = state.lr;
+    return true;
+  }
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -3,19 +3,44 @@
 // and loading verifies that names and shapes match the target module, so a
 // checkpoint cannot silently load into the wrong architecture.
 //
-// Format (little-endian):
-//   magic "MSGCLCKPT\0"  u32 version  u64 num_entries
+// v1 format (little-endian) — model weights only:
+//   magic "MSGCLCKPT\0"  u32 version=1  u64 num_entries
 //   per entry: u32 name_len, name bytes, u32 ndim, i64 dims..., f32 data...
+//
+// v2 format — resumable training state. Same header and model section as v1,
+// followed by a trainer section and a CRC32 integrity footer:
+//   magic  u32 version=2
+//   u64 num_entries, entries as in v1
+//   u32 num_optimizers
+//     per optimizer: u32 num_slots, per slot: u64 size, f32 data...
+//                    i64 step_count, f32 lr
+//   i64 epoch (last completed)
+//   rng state: 4x u64 words, f32 cached, u8 has_cached
+//   f64 best_ndcg, i64 best_epoch, i64 bad_evals
+//   u32 num_best_weights, per: u64 size, f32 data...
+//   u32 crc32 over every preceding byte
+//
+// Both writers are atomic: the payload goes to "<path>.tmp" and is renamed
+// over the target only after a successful write, so a crash mid-save can
+// never leave a half-written checkpoint under the real name. v2 loads verify
+// the CRC before trusting any field, so truncation and bit-flips are
+// detected up front instead of surfacing as garbage weights.
 #ifndef MSGCL_NN_SERIALIZE_H_
 #define MSGCL_NN_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/optim.h"
+#include "tensor/rng.h"
 #include "tensor/status.h"
 
 namespace msgcl {
@@ -24,74 +49,175 @@ namespace nn {
 namespace internal {
 inline constexpr char kCkptMagic[10] = "MSGCLCKPT";  // includes the NUL
 inline constexpr uint32_t kCkptVersion = 1;
-}  // namespace internal
+inline constexpr uint32_t kCkptVersionV2 = 2;
+// Sanity bounds for untrusted headers: no real checkpoint in this repo comes
+// anywhere near them, so anything larger is corruption or hostile input.
+inline constexpr uint64_t kMaxEntries = 1u << 20;
+inline constexpr uint32_t kMaxNameLen = 4096;
+inline constexpr uint32_t kMaxRank = 16;
+inline constexpr int64_t kMaxElements = int64_t{1} << 33;  // 32 GiB of f32
 
-/// Writes every named parameter of `module` to `path`.
-inline Status SaveCheckpoint(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open " + path + " for writing");
-  auto params = module.NamedParameters();
-  out.write(internal::kCkptMagic, sizeof(internal::kCkptMagic));
-  const uint32_t version = internal::kCkptVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const uint64_t n = params.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const auto& [name, tensor] : params) {
-    const uint32_t name_len = static_cast<uint32_t>(name.size());
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), name_len);
-    const uint32_t ndim = static_cast<uint32_t>(tensor.shape().size());
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int64_t d : tensor.shape()) {
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+/// Standard CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven.
+inline uint32_t Crc32(const char* data, size_t size, uint32_t seed = 0) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
     }
-    out.write(reinterpret_cast<const char*>(tensor.data().data()),
-              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
   }
-  if (!out) return Status::Internal("write failed for " + path);
+  return ~crc;
+}
+
+/// Append-only little-endian serializer into a memory buffer.
+class ByteWriter {
+ public:
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char* p = reinterpret_cast<const char*>(&v);
+    buf_.append(p, sizeof(T));
+  }
+  void Bytes(const char* data, size_t size) { buf_.append(data, size); }
+  void Floats(const std::vector<float>& v) {
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(float));
+  }
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over an in-memory checkpoint image. Every accessor
+/// fails (sticky `ok() == false`) instead of reading past the end, so hostile
+/// lengths can never drive an out-of-bounds read.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Pod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!Ensure(sizeof(T))) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool Bytes(char* out, size_t size) {
+    if (!Ensure(size)) return false;
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  bool Floats(std::vector<float>* out, uint64_t count) {
+    if (count > static_cast<uint64_t>(kMaxElements) || !Ensure(count * sizeof(float))) {
+      return false;
+    }
+    out->resize(count);
+    std::memcpy(out->data(), data_ + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+    return true;
+  }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool Ensure(size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Writes `payload` to `path` via a sibling tmp file + rename, so the target
+/// name only ever holds a complete image.
+inline Status WriteFileAtomic(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open " + tmp + " for writing");
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Internal("write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
   return Status::Ok();
 }
 
-/// Loads a checkpoint into `module`. Every entry must match an existing
-/// parameter by name and shape; a mismatch or a missing/extra entry fails
-/// without modifying anything (the load is staged, then committed).
-inline Status LoadCheckpoint(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  char magic[sizeof(internal::kCkptMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, internal::kCkptMagic, sizeof(magic)) != 0) {
-    return Status::InvalidArgument(path + " is not a Meta-SGCL checkpoint");
-  }
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (version != internal::kCkptVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version));
-  }
-  uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-
+/// Serializes the v1 model section (entry table) of `module`.
+inline void WriteModelSection(const Module& module, ByteWriter* w) {
   auto params = module.NamedParameters();
+  const uint64_t n = params.size();
+  w->Pod(n);
+  for (const auto& [name, tensor] : params) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    w->Pod(name_len);
+    w->Bytes(name.data(), name_len);
+    const uint32_t ndim = static_cast<uint32_t>(tensor.shape().size());
+    w->Pod(ndim);
+    for (int64_t d : tensor.shape()) w->Pod(d);
+    w->Floats(tensor.data());
+  }
+}
+
+/// Parses the model section into staged per-parameter buffers, verifying
+/// names/shapes against `module` without modifying it. On success `staged`
+/// holds one buffer per parameter in module order.
+inline Status ReadModelSection(const Module& module, ByteReader* r,
+                               std::vector<std::vector<float>>* staged) {
+  auto params = module.NamedParameters();
+  uint64_t n = 0;
+  if (!r->Pod(&n)) return Status::InvalidArgument("truncated checkpoint header");
+  if (n > kMaxEntries) {
+    return Status::InvalidArgument("implausible entry count " + std::to_string(n));
+  }
   if (n != params.size()) {
     return Status::InvalidArgument("checkpoint has " + std::to_string(n) +
                                    " entries, module has " +
                                    std::to_string(params.size()));
   }
-  std::vector<std::vector<float>> staged(params.size());
+  staged->assign(params.size(), {});
   std::vector<bool> seen(params.size(), false);
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > 4096) return Status::InvalidArgument("corrupt entry name");
+    if (!r->Pod(&name_len) || name_len > kMaxNameLen) {
+      return Status::InvalidArgument("corrupt entry name");
+    }
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    if (!r->Bytes(name.data(), name_len)) {
+      return Status::InvalidArgument("corrupt entry name");
+    }
     uint32_t ndim = 0;
-    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
-    if (!in || ndim > 16) return Status::InvalidArgument("corrupt entry rank");
+    if (!r->Pod(&ndim) || ndim > kMaxRank) {
+      return Status::InvalidArgument("corrupt entry rank");
+    }
     Shape shape(ndim);
-    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
-    // Find the matching parameter.
+    int64_t elems = 1;
+    for (auto& d : shape) {
+      if (!r->Pod(&d)) return Status::InvalidArgument("truncated entry shape");
+      if (d < 0 || (d > 0 && elems > kMaxElements / d)) {
+        return Status::InvalidArgument("hostile dimension in entry '" + name + "'");
+      }
+      elems *= d;
+    }
     size_t idx = params.size();
     for (size_t p = 0; p < params.size(); ++p) {
       if (!seen[p] && params[p].first == name) {
@@ -108,16 +234,235 @@ inline Status LoadCheckpoint(Module& module, const std::string& path) {
                                      ShapeToString(shape) + " vs module " +
                                      ShapeToString(params[idx].second.shape()));
     }
-    staged[idx].resize(NumElements(shape));
-    in.read(reinterpret_cast<char*>(staged[idx].data()),
-            static_cast<std::streamsize>(staged[idx].size() * sizeof(float)));
-    if (!in) return Status::InvalidArgument("truncated checkpoint at '" + name + "'");
+    if (!r->Floats(&(*staged)[idx], static_cast<uint64_t>(elems))) {
+      return Status::InvalidArgument("truncated checkpoint at '" + name + "'");
+    }
     seen[idx] = true;
   }
+  return Status::Ok();
+}
+
+/// Reads a whole file into memory. Checkpoints in this repo are small enough
+/// that an in-memory image (needed anyway for CRC verification) is the
+/// simplest safe representation.
+inline Status ReadFileImage(const std::string& path, std::string* image) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed for " + path);
+  *image = std::move(data);
+  return Status::Ok();
+}
+}  // namespace internal
+
+/// Writes every named parameter of `module` to `path` (v1 format, atomic).
+inline Status SaveCheckpoint(const Module& module, const std::string& path) {
+  internal::ByteWriter w;
+  w.Bytes(internal::kCkptMagic, sizeof(internal::kCkptMagic));
+  w.Pod(internal::kCkptVersion);
+  internal::WriteModelSection(module, &w);
+  return internal::WriteFileAtomic(path, w.buffer());
+}
+
+/// Loads a v1 checkpoint into `module`. Every entry must match an existing
+/// parameter by name and shape; a mismatch, a hostile header, or a truncated
+/// file fails without modifying anything (the load is staged, then
+/// committed).
+inline Status LoadCheckpoint(Module& module, const std::string& path) {
+  std::string image;
+  if (Status s = internal::ReadFileImage(path, &image); !s.ok()) return s;
+  internal::ByteReader r(image.data(), image.size());
+  char magic[sizeof(internal::kCkptMagic)];
+  if (!r.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, internal::kCkptMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + " is not a Meta-SGCL checkpoint");
+  }
+  uint32_t version = 0;
+  if (!r.Pod(&version)) return Status::InvalidArgument("truncated checkpoint header");
+  if (version != internal::kCkptVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  std::vector<std::vector<float>> staged;
+  if (Status s = internal::ReadModelSection(module, &r, &staged); !s.ok()) return s;
+  // Commit.
+  auto params = module.NamedParameters();
+  for (size_t p = 0; p < params.size(); ++p) {
+    params[p].second.data() = std::move(staged[p]);
+  }
+  return Status::Ok();
+}
+
+/// Trainer-side bookkeeping carried by a v2 checkpoint alongside the weights
+/// and optimizer moments: where the run was, its RNG stream, and the
+/// early-stopping state (including the best weights pending restore).
+struct TrainerProgress {
+  int64_t epoch = -1;  // last fully completed epoch (-1 = none)
+  Rng::State rng;      // loop RNG state at that epoch boundary
+  double best_ndcg = -1.0;
+  int64_t best_epoch = -1;
+  int64_t bad_evals = 0;
+  std::vector<std::vector<float>> best_weights;  // empty = no eval yet
+};
+
+/// Writes a v2 resumable-training checkpoint: model weights, each
+/// optimizer's moments/step/lr, and `progress`, sealed with a CRC32 footer
+/// and written atomically.
+inline Status SaveTrainState(const Module& module,
+                             const std::vector<const Optimizer*>& optimizers,
+                             const TrainerProgress& progress, const std::string& path) {
+  internal::ByteWriter w;
+  w.Bytes(internal::kCkptMagic, sizeof(internal::kCkptMagic));
+  w.Pod(internal::kCkptVersionV2);
+  internal::WriteModelSection(module, &w);
+
+  const uint32_t num_opts = static_cast<uint32_t>(optimizers.size());
+  w.Pod(num_opts);
+  for (const Optimizer* opt : optimizers) {
+    OptimizerState s = opt->GetState();
+    const uint32_t num_slots = static_cast<uint32_t>(s.slots.size());
+    w.Pod(num_slots);
+    for (const auto& slot : s.slots) {
+      w.Pod(static_cast<uint64_t>(slot.size()));
+      w.Floats(slot);
+    }
+    w.Pod(s.step_count);
+    w.Pod(s.lr);
+  }
+
+  w.Pod(progress.epoch);
+  for (uint64_t word : progress.rng.words) w.Pod(word);
+  w.Pod(progress.rng.cached);
+  w.Pod(static_cast<uint8_t>(progress.rng.has_cached ? 1 : 0));
+  w.Pod(progress.best_ndcg);
+  w.Pod(progress.best_epoch);
+  w.Pod(progress.bad_evals);
+  const uint32_t num_best = static_cast<uint32_t>(progress.best_weights.size());
+  w.Pod(num_best);
+  for (const auto& bw : progress.best_weights) {
+    w.Pod(static_cast<uint64_t>(bw.size()));
+    w.Floats(bw);
+  }
+
+  const uint32_t crc = internal::Crc32(w.buffer().data(), w.buffer().size());
+  internal::ByteWriter sealed;
+  sealed.Bytes(w.buffer().data(), w.buffer().size());
+  sealed.Pod(crc);
+  return internal::WriteFileAtomic(path, sealed.buffer());
+}
+
+/// Loads a v2 checkpoint, verifying the CRC32 footer before trusting any
+/// field. The module weights, optimizer states, and `progress` are only
+/// committed when the whole image parses and matches structurally; any
+/// truncation, bit-flip, or shape/count mismatch returns a non-OK Status and
+/// leaves every output untouched.
+inline Status LoadTrainState(Module& module, const std::vector<Optimizer*>& optimizers,
+                             TrainerProgress* progress, const std::string& path) {
+  std::string image;
+  if (Status s = internal::ReadFileImage(path, &image); !s.ok()) return s;
+  if (image.size() < sizeof(internal::kCkptMagic) + 2 * sizeof(uint32_t)) {
+    return Status::InvalidArgument(path + " is too short to be a v2 checkpoint");
+  }
+  const size_t body_size = image.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + body_size, sizeof(stored_crc));
+  const uint32_t actual_crc = internal::Crc32(image.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument(path + " failed CRC32 integrity check (corrupt or truncated)");
+  }
+
+  internal::ByteReader r(image.data(), body_size);
+  char magic[sizeof(internal::kCkptMagic)];
+  if (!r.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, internal::kCkptMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + " is not a Meta-SGCL checkpoint");
+  }
+  uint32_t version = 0;
+  if (!r.Pod(&version)) return Status::InvalidArgument("truncated checkpoint header");
+  if (version != internal::kCkptVersionV2) {
+    return Status::InvalidArgument("expected v2 train state, found version " +
+                                   std::to_string(version));
+  }
+
+  std::vector<std::vector<float>> staged;
+  if (Status s = internal::ReadModelSection(module, &r, &staged); !s.ok()) return s;
+
+  uint32_t num_opts = 0;
+  if (!r.Pod(&num_opts)) return Status::InvalidArgument("truncated optimizer section");
+  if (num_opts != optimizers.size()) {
+    return Status::InvalidArgument("checkpoint has " + std::to_string(num_opts) +
+                                   " optimizers, trainer has " +
+                                   std::to_string(optimizers.size()));
+  }
+  std::vector<OptimizerState> opt_states(num_opts);
+  for (uint32_t o = 0; o < num_opts; ++o) {
+    uint32_t num_slots = 0;
+    if (!r.Pod(&num_slots) || num_slots > internal::kMaxEntries) {
+      return Status::InvalidArgument("corrupt optimizer slot count");
+    }
+    opt_states[o].slots.resize(num_slots);
+    for (uint32_t s = 0; s < num_slots; ++s) {
+      uint64_t size = 0;
+      if (!r.Pod(&size) || !r.Floats(&opt_states[o].slots[s], size)) {
+        return Status::InvalidArgument("truncated optimizer slot");
+      }
+    }
+    if (!r.Pod(&opt_states[o].step_count) || !r.Pod(&opt_states[o].lr)) {
+      return Status::InvalidArgument("truncated optimizer state");
+    }
+  }
+
+  TrainerProgress loaded;
+  uint8_t has_cached = 0;
+  bool ok = r.Pod(&loaded.epoch);
+  for (uint64_t& word : loaded.rng.words) ok = ok && r.Pod(&word);
+  ok = ok && r.Pod(&loaded.rng.cached) && r.Pod(&has_cached) &&
+       r.Pod(&loaded.best_ndcg) && r.Pod(&loaded.best_epoch) && r.Pod(&loaded.bad_evals);
+  if (!ok) return Status::InvalidArgument("truncated progress section");
+  loaded.rng.has_cached = has_cached != 0;
+  uint32_t num_best = 0;
+  if (!r.Pod(&num_best) || num_best > internal::kMaxEntries) {
+    return Status::InvalidArgument("corrupt best-weights count");
+  }
+  auto params = module.NamedParameters();
+  if (num_best != 0 && num_best != params.size()) {
+    return Status::InvalidArgument("best-weights count does not match module");
+  }
+  loaded.best_weights.resize(num_best);
+  for (uint32_t i = 0; i < num_best; ++i) {
+    uint64_t size = 0;
+    if (!r.Pod(&size) || size != static_cast<uint64_t>(params[i].second.numel()) ||
+        !r.Floats(&loaded.best_weights[i], size)) {
+      return Status::InvalidArgument("corrupt best-weights entry");
+    }
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes in checkpoint");
+
+  // Structural dry-run of the optimizer restore before committing anything.
+  for (uint32_t o = 0; o < num_opts; ++o) {
+    OptimizerState current = optimizers[o]->GetState();
+    if (current.slots.size() != opt_states[o].slots.size()) {
+      return Status::InvalidArgument("optimizer " + std::to_string(o) +
+                                     " slot count mismatch");
+    }
+    for (size_t s = 0; s < current.slots.size(); ++s) {
+      if (current.slots[s].size() != opt_states[o].slots[s].size()) {
+        return Status::InvalidArgument("optimizer " + std::to_string(o) +
+                                       " slot size mismatch");
+      }
+    }
+  }
+
   // Commit.
   for (size_t p = 0; p < params.size(); ++p) {
     params[p].second.data() = std::move(staged[p]);
   }
+  for (uint32_t o = 0; o < num_opts; ++o) {
+    if (!optimizers[o]->SetState(opt_states[o])) {
+      return Status::Internal("optimizer state restore failed after validation");
+    }
+  }
+  if (progress != nullptr) *progress = std::move(loaded);
   return Status::Ok();
 }
 

@@ -1,0 +1,164 @@
+// Deterministic fault injection for exercising the fault-tolerant training
+// runtime. The injector can poison gradients or the reported loss at chosen
+// global steps (driving the numeric-health recovery paths in FitLoop),
+// corrupt checkpoint files by truncation or bit-flips (driving the CRC /
+// staged-load rejection paths), and emit malformed CSV rows (driving the
+// loader's strict parsing). Everything is seeded, so failures reproduce
+// bit-exactly.
+#ifndef MSGCL_RUNTIME_FAULT_INJECTOR_H_
+#define MSGCL_RUNTIME_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/status.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace runtime {
+
+/// What a gradient/loss fault writes into the target.
+enum class FaultKind {
+  kNaN,       // quiet NaN
+  kInf,       // +infinity
+  kHugeValue, // finite but catastrophic (1e30): escapes AllFinite checks on
+              // its own but overflows to Inf within one or two Adam steps
+};
+
+/// Plan for in-training faults, keyed by global step (0-based, counted across
+/// epochs). Empty sets disable that fault class.
+struct FaultPlan {
+  std::set<int64_t> corrupt_grad_steps;  // poison gradients before the update
+  std::set<int64_t> corrupt_loss_steps;  // poison the reported loss value
+  FaultKind kind = FaultKind::kNaN;
+  // Fraction of each parameter's gradient elements to poison (at least one).
+  double grad_fraction = 0.01;
+  uint64_t seed = 0xFA017;
+};
+
+/// Deterministic, seeded fault source. One injector instance drives one
+/// training run; Reset() rewinds it for an identical replay.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Rewinds the injector's RNG so a rerun injects identical faults.
+  void Reset() { rng_ = Rng(plan_.seed); }
+
+  bool ShouldCorruptGradients(int64_t global_step) const {
+    return plan_.corrupt_grad_steps.count(global_step) > 0;
+  }
+  bool ShouldCorruptLoss(int64_t global_step) const {
+    return plan_.corrupt_loss_steps.count(global_step) > 0;
+  }
+
+  /// Poisons a deterministic subset of each parameter's gradient buffer.
+  /// Call between Backward() and Optimizer::Step() so the fault flows through
+  /// the optimizer exactly like a real numeric blow-up would.
+  void CorruptGradients(const std::vector<Tensor>& params) {
+    for (const auto& p : params) {
+      Tensor t = p;  // shared handle; mutable_grad needs a non-const Tensor
+      auto& g = t.mutable_grad();
+      if (g.empty()) continue;
+      const uint64_t n = g.size();
+      uint64_t hits = static_cast<uint64_t>(plan_.grad_fraction * static_cast<double>(n));
+      if (hits == 0) hits = 1;
+      for (uint64_t h = 0; h < hits; ++h) g[rng_.UniformInt(n)] = FaultValue();
+    }
+    ++injected_faults_;
+  }
+
+  /// Returns the poisoned replacement for a loss value.
+  float CorruptLoss() {
+    ++injected_faults_;
+    return FaultValue();
+  }
+
+  /// Number of faults injected so far (for test assertions).
+  int64_t injected_faults() const { return injected_faults_; }
+
+  // ---- Checkpoint-file corruption ----------------------------------------
+
+  /// Truncates `path` to `keep_bytes` (clamped to the current size).
+  static Status TruncateFile(const std::string& path, uint64_t keep_bytes) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open " + path);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    if (keep_bytes < data.size()) data.resize(keep_bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot reopen " + path);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::Internal("truncate rewrite failed for " + path);
+    return Status::Ok();
+  }
+
+  /// Flips `num_flips` deterministic single bits in `path`, avoiding the
+  /// first `skip_prefix` bytes (e.g. to keep the magic intact and test
+  /// deeper validation layers).
+  Status BitFlipFile(const std::string& path, int64_t num_flips, uint64_t skip_prefix = 0) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open " + path);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    if (data.size() <= skip_prefix) {
+      return Status::InvalidArgument("file shorter than skip_prefix");
+    }
+    const uint64_t span = data.size() - skip_prefix;
+    for (int64_t i = 0; i < num_flips; ++i) {
+      const uint64_t byte = skip_prefix + rng_.UniformInt(span);
+      const int bit = static_cast<int>(rng_.UniformInt(8));
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot reopen " + path);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::Internal("bit-flip rewrite failed for " + path);
+    ++injected_faults_;
+    return Status::Ok();
+  }
+
+  // ---- Malformed CSV rows -------------------------------------------------
+
+  /// Returns a deterministic rotation of malformed CSV rows that a strict
+  /// loader must reject: short rows, trailing-garbage numerics, and
+  /// trailing-delimiter (empty final field) rows.
+  std::vector<std::string> MalformedCsvRows() const {
+    return {
+        "u1,i1",              // too few fields
+        "u1,i1,4.5abc,100",   // rating with trailing garbage
+        "u1,i1,4.5,100xyz",   // timestamp with trailing garbage
+        "u1,i1,,100",         // empty rating field
+        "u1,i1,4.5,",         // trailing delimiter: empty timestamp field
+        "u1,i1,nanX,100",     // not a number at all
+    };
+  }
+
+ private:
+  float FaultValue() const {
+    switch (plan_.kind) {
+      case FaultKind::kNaN: return std::numeric_limits<float>::quiet_NaN();
+      case FaultKind::kInf: return std::numeric_limits<float>::infinity();
+      case FaultKind::kHugeValue: return 1e30f;
+    }
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  int64_t injected_faults_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace msgcl
+
+#endif  // MSGCL_RUNTIME_FAULT_INJECTOR_H_

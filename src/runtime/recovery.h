@@ -1,0 +1,157 @@
+// Numeric-health recovery for the training loop: detect -> rollback ->
+// backoff -> abort (see DESIGN.md "Fault-tolerant training runtime").
+//
+// After every optimisation step FitLoop checks the reported loss and the
+// model parameters with nn::AllFinite. On the first non-finite value the
+// configured RecoveryPolicy decides what happens:
+//   kAbort         fail fast with Status::Internal (old behaviour, made loud)
+//   kSkipBatch     restore the last healthy snapshot and move on
+//   kRollbackRetry restore the snapshot, halve every optimizer's learning
+//                  rate (exponential backoff: lr * decay^attempt), and retry
+//                  the same batch up to max_retries times before aborting
+//
+// The HealthGuard owns the "last healthy snapshot": parameter data plus each
+// optimizer's moments/step/lr, refreshed every snapshot_every healthy steps.
+// Restoring both halves is what makes rollback sound — a NaN gradient that
+// reached Adam has already poisoned the moment buffers, so restoring the
+// weights alone would re-diverge on the very next step.
+#ifndef MSGCL_RUNTIME_RECOVERY_H_
+#define MSGCL_RUNTIME_RECOVERY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/numeric.h"
+#include "nn/optim.h"
+#include "tensor/status.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace runtime {
+
+/// What to do when a step produces a non-finite loss or parameter.
+enum class RecoveryPolicy {
+  kAbort,          // return Status::Internal immediately
+  kSkipBatch,      // roll back to the last healthy snapshot, skip the batch
+  kRollbackRetry,  // roll back, decay lr, retry the batch with backoff
+};
+
+/// Numeric-health guard configuration (TrainConfig::recovery).
+struct RecoveryConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kRollbackRetry;
+  int64_t max_retries = 3;      // rollback-retry attempts per batch
+  float lr_decay = 0.5f;        // backoff factor per retry attempt
+  int64_t snapshot_every = 1;   // healthy steps between snapshot refreshes
+  bool check_gradients = false; // additionally scan gradients post-step
+
+  Status Validate() const {
+    if (max_retries < 0) return Status::InvalidArgument("max_retries must be >= 0");
+    if (lr_decay <= 0.0f || lr_decay >= 1.0f) {
+      return Status::InvalidArgument("lr_decay must be in (0, 1)");
+    }
+    if (snapshot_every <= 0) {
+      return Status::InvalidArgument("snapshot_every must be positive");
+    }
+    return Status::Ok();
+  }
+};
+
+/// One recorded recovery action, surfaced through FitHistory so runs can
+/// report how they survived.
+struct RecoveryEvent {
+  int64_t epoch = 0;
+  int64_t global_step = 0;
+  int64_t retries = 0;     // attempts consumed (0 for a plain skip)
+  bool skipped = false;    // true when the batch was abandoned
+  std::string detail;      // what tripped the guard
+};
+
+/// Rolling snapshot + detect/rollback engine used by FitLoop. The guard is
+/// cheap when training is healthy: one AllFinite scan per step plus a
+/// parameter copy every snapshot_every steps.
+class HealthGuard {
+ public:
+  HealthGuard(const RecoveryConfig& config, std::vector<Tensor> params,
+              std::vector<nn::Optimizer*> optimizers)
+      : config_(config), params_(std::move(params)), optimizers_(std::move(optimizers)) {}
+
+  /// Captures the current parameters + optimizer states as the known-good
+  /// point. Call once before training and after healthy steps.
+  void Snapshot() {
+    param_data_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) param_data_[i] = params_[i].data();
+    opt_states_.clear();
+    opt_states_.reserve(optimizers_.size());
+    for (const nn::Optimizer* opt : optimizers_) opt_states_.push_back(opt->GetState());
+    has_snapshot_ = true;
+  }
+
+  /// Refreshes the snapshot if `healthy_steps` says it is due.
+  void MaybeSnapshot(int64_t healthy_steps) {
+    if (healthy_steps % config_.snapshot_every == 0) Snapshot();
+  }
+
+  /// True when loss and parameters (and optionally gradients) are finite.
+  bool Healthy(float loss) const {
+    if (!std::isfinite(loss)) return false;
+    if (!nn::AllFinite(params_)) return false;
+    if (config_.check_gradients && !nn::AllGradsFinite(params_)) return false;
+    return true;
+  }
+
+  /// Describes which check failed, for RecoveryEvent::detail.
+  std::string Diagnose(float loss) const {
+    if (!std::isfinite(loss)) return "non-finite loss";
+    if (!nn::AllFinite(params_)) return "non-finite parameter";
+    if (config_.check_gradients && !nn::AllGradsFinite(params_)) {
+      return "non-finite gradient";
+    }
+    return "healthy";
+  }
+
+  /// Restores parameters and optimizer states from the last snapshot.
+  /// Returns false when no snapshot exists (nothing to roll back to).
+  bool Rollback() {
+    if (!has_snapshot_) return false;
+    for (size_t i = 0; i < params_.size(); ++i) params_[i].data() = param_data_[i];
+    for (size_t o = 0; o < optimizers_.size(); ++o) {
+      optimizers_[o]->SetState(opt_states_[o]);
+    }
+    return true;
+  }
+
+  /// Applies the exponential lr backoff for retry attempt `attempt` (1-based)
+  /// on top of the snapshotted rates: lr = snapshot_lr * decay^attempt.
+  void ApplyBackoff(int64_t attempt) {
+    const float scale = std::pow(config_.lr_decay, static_cast<float>(attempt));
+    for (size_t o = 0; o < optimizers_.size(); ++o) {
+      optimizers_[o]->set_lr(opt_states_[o].lr * scale);
+    }
+  }
+
+  /// Restores every optimizer's snapshotted learning rate (after a
+  /// successful retry, so one bad batch does not permanently slow the run).
+  void RestoreLr() {
+    for (size_t o = 0; o < optimizers_.size(); ++o) {
+      optimizers_[o]->set_lr(opt_states_[o].lr);
+    }
+  }
+
+  const RecoveryConfig& config() const { return config_; }
+  bool has_snapshot() const { return has_snapshot_; }
+
+ private:
+  RecoveryConfig config_;
+  std::vector<Tensor> params_;
+  std::vector<nn::Optimizer*> optimizers_;
+  std::vector<std::vector<float>> param_data_;
+  std::vector<nn::OptimizerState> opt_states_;
+  bool has_snapshot_ = false;
+};
+
+}  // namespace runtime
+}  // namespace msgcl
+
+#endif  // MSGCL_RUNTIME_RECOVERY_H_

@@ -1,0 +1,8 @@
+// Umbrella header for the fault-tolerant training runtime.
+#ifndef MSGCL_RUNTIME_RUNTIME_H_
+#define MSGCL_RUNTIME_RUNTIME_H_
+
+#include "runtime/fault_injector.h"  // IWYU pragma: export
+#include "runtime/recovery.h"        // IWYU pragma: export
+
+#endif  // MSGCL_RUNTIME_RUNTIME_H_

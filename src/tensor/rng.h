@@ -109,6 +109,28 @@ class Rng {
   /// Derives an independent stream; use to give each component its own RNG.
   Rng Split() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
 
+  /// Serializable generator state, exposed so resumable training checkpoints
+  /// can restore a run mid-stream bit-exactly (see nn/serialize.h v2).
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    float cached = 0.0f;
+    bool has_cached = false;
+  };
+
+  State GetState() const {
+    State s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.cached = cached_;
+    s.has_cached = has_cached_;
+    return s;
+  }
+
+  void SetState(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

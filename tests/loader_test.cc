@@ -56,6 +56,66 @@ TEST(CsvParseTest, RejectsNonNumericRating) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(CsvParseTest, TrailingDelimiterKeepsEmptyField) {
+  // "u,i,4," is four fields, the last one empty; the istream-based splitter
+  // used to drop it and misreport the row as three fields.
+  auto f = SplitCsvLine("u,i,4,", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[3], "");
+  EXPECT_EQ(SplitCsvLine(",,", ',').size(), 3u);
+  EXPECT_EQ(SplitCsvLine("a", ',').size(), 1u);
+}
+
+TEST(CsvParseTest, RejectsPartiallyNumericFields) {
+  // std::stod("3abc") happily returns 3; the strict parser must reject any
+  // row whose numeric field is not fully consumed.
+  {
+    std::istringstream in("u1,i1,3abc,100\n");
+    auto result = ParseCsvEvents(in, CsvOptions{});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  }
+  {
+    std::istringstream in("u1,i1,4.5,100xyz\n");
+    auto result = ParseCsvEvents(in, CsvOptions{});
+    ASSERT_FALSE(result.ok());
+  }
+  {
+    std::istringstream in("u1,i1,4.5,1e3\n");  // float syntax in an int field
+    auto result = ParseCsvEvents(in, CsvOptions{});
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(CsvParseTest, RejectsEmptyNumericFields) {
+  {
+    std::istringstream in("u1,i1,,100\n");
+    auto result = ParseCsvEvents(in, CsvOptions{});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  }
+  {
+    // Trailing delimiter: empty timestamp. Previously the dropped field made
+    // this a "too few fields" error by luck; now it is a proper parse error
+    // on the empty field itself.
+    std::istringstream in("u1,i1,4.5,\n");
+    auto result = ParseCsvEvents(in, CsvOptions{});
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(CsvParseTest, StrictParsersAcceptNormalNumbers) {
+  double d = 0.0;
+  int64_t i = 0;
+  EXPECT_TRUE(ParseFullDouble("4.5", &d));
+  EXPECT_EQ(d, 4.5);
+  EXPECT_TRUE(ParseFullDouble("-3e2", &d));
+  EXPECT_TRUE(ParseFullInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseFullDouble("", &d));
+  EXPECT_FALSE(ParseFullInt64("12 ", &i));
+}
+
 TEST(CsvParseTest, NoRatingColumn) {
   std::istringstream in("u1\ti1\n");
   CsvOptions opt;

@@ -1,0 +1,626 @@
+// Tests for the fault-tolerant training runtime: numeric-health scans, the
+// deterministic fault injector, the detect->rollback->backoff->abort recovery
+// paths in FitLoop, optimizer state snapshots, and v2 resumable checkpoints
+// (round-trip, CRC rejection of truncation/bit-flips, bit-exact resume).
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "nn/nn.h"
+#include "runtime/runtime.h"
+
+namespace msgcl {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+data::SequenceDataset TinySplit(uint64_t seed = 7) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(seed)).value();
+  return data::LeaveOneOutSplit(log);
+}
+
+models::BackboneConfig TinyBackbone(const data::SequenceDataset& ds) {
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  b.dropout = 0.1f;
+  return b;
+}
+
+models::TrainConfig QuickTrain(int64_t epochs = 3) {
+  models::TrainConfig t;
+  t.epochs = epochs;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 99;
+  return t;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool FileExists(const std::string& path) { return std::ifstream(path).good(); }
+
+// ---------- nn::AllFinite ----------
+
+TEST(NumericTest, VectorScan) {
+  EXPECT_TRUE(nn::AllFinite(std::vector<float>{}));
+  EXPECT_TRUE(nn::AllFinite(std::vector<float>{1.0f, -2.5f, 0.0f}));
+  EXPECT_FALSE(nn::AllFinite(std::vector<float>{1.0f, kNaN}));
+  EXPECT_FALSE(nn::AllFinite(std::vector<float>{kInf, 0.0f}));
+  EXPECT_FALSE(nn::AllFinite(std::vector<float>{-kInf}));
+}
+
+TEST(NumericTest, OverflowingSumOfFiniteValuesIsNotAFalsePositive) {
+  // The fast path sums the buffer; 3e38 + 3e38 overflows to Inf even though
+  // every element is finite. The slow path must rescue this case.
+  std::vector<float> big(8, 3e38f);
+  EXPECT_TRUE(nn::AllFinite(big));
+  big[5] = kNaN;
+  EXPECT_FALSE(nn::AllFinite(big));
+}
+
+TEST(NumericTest, ParamAndGradScans) {
+  Tensor a = Tensor::Full({4}, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Full({3}, 2.0f, /*requires_grad=*/true);
+  std::vector<Tensor> params = {a, b};
+  EXPECT_TRUE(nn::AllFinite(params));
+  EXPECT_TRUE(nn::AllGradsFinite(params));  // empty grads pass
+
+  b.mutable_grad().assign(3, 0.5f);
+  EXPECT_TRUE(nn::AllGradsFinite(params));
+  b.mutable_grad()[1] = kNaN;
+  EXPECT_FALSE(nn::AllGradsFinite(params));
+  EXPECT_TRUE(nn::AllFinite(params));  // data still clean
+
+  a.data()[2] = kInf;
+  EXPECT_FALSE(nn::AllFinite(params));
+}
+
+// ---------- runtime::FaultInjector ----------
+
+TEST(FaultInjectorTest, StepSelection) {
+  runtime::FaultPlan plan;
+  plan.corrupt_grad_steps = {2, 5};
+  plan.corrupt_loss_steps = {3};
+  runtime::FaultInjector inj(plan);
+  EXPECT_TRUE(inj.ShouldCorruptGradients(2));
+  EXPECT_TRUE(inj.ShouldCorruptGradients(5));
+  EXPECT_FALSE(inj.ShouldCorruptGradients(3));
+  EXPECT_TRUE(inj.ShouldCorruptLoss(3));
+  EXPECT_FALSE(inj.ShouldCorruptLoss(2));
+}
+
+TEST(FaultInjectorTest, GradientCorruptionIsDeterministic) {
+  runtime::FaultPlan plan;
+  plan.corrupt_grad_steps = {0};
+  plan.grad_fraction = 0.1;
+  plan.seed = 42;
+
+  auto poison = [&plan]() {
+    Tensor t = Tensor::Zeros({64}, /*requires_grad=*/true);
+    t.mutable_grad().assign(64, 1.0f);
+    runtime::FaultInjector inj(plan);
+    inj.CorruptGradients({t});
+    return t.grad();
+  };
+  auto g1 = poison();
+  auto g2 = poison();
+  ASSERT_EQ(g1.size(), g2.size());
+  int64_t poisoned = 0;
+  for (size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(std::isnan(g1[i]), std::isnan(g2[i])) << "index " << i;
+    if (std::isnan(g1[i])) ++poisoned;
+  }
+  EXPECT_GE(poisoned, 1);
+}
+
+TEST(FaultInjectorTest, FaultKindsProduceTheAdvertisedValues) {
+  runtime::FaultPlan plan;
+  plan.kind = runtime::FaultKind::kNaN;
+  EXPECT_TRUE(std::isnan(runtime::FaultInjector(plan).CorruptLoss()));
+  plan.kind = runtime::FaultKind::kInf;
+  EXPECT_TRUE(std::isinf(runtime::FaultInjector(plan).CorruptLoss()));
+  plan.kind = runtime::FaultKind::kHugeValue;
+  const float huge = runtime::FaultInjector(plan).CorruptLoss();
+  EXPECT_TRUE(std::isfinite(huge));
+  EXPECT_GT(huge, 1e29f);
+}
+
+TEST(FaultInjectorTest, MalformedCsvRowsAreAllRejectedByTheLoader) {
+  runtime::FaultInjector inj(runtime::FaultPlan{});
+  for (const std::string& row : inj.MalformedCsvRows()) {
+    std::istringstream in(row + "\n");
+    auto result = data::ParseCsvEvents(in, data::CsvOptions{});
+    EXPECT_FALSE(result.ok()) << "loader accepted malformed row: " << row;
+  }
+}
+
+// ---------- nn::OptimizerState ----------
+
+TEST(OptimizerStateTest, AdamRoundTripRestoresMomentsStepAndLr) {
+  Rng rng(3);
+  Tensor p = Tensor::Randn({8}, rng, 0.1f, /*requires_grad=*/true);
+  nn::Adam opt({p}, /*lr=*/1e-2f);
+
+  p.mutable_grad().assign(8, 0.25f);
+  opt.Step();
+  const nn::OptimizerState snap = opt.GetState();
+  const std::vector<float> weights = p.data();
+
+  // Diverge: more steps and an lr change.
+  opt.set_lr(5e-3f);
+  opt.Step();
+  opt.Step();
+  ASSERT_NE(p.data(), weights);
+
+  ASSERT_TRUE(opt.SetState(snap));
+  p.data() = weights;
+  EXPECT_EQ(opt.lr(), 1e-2f);
+
+  // Re-running the same step from the restored state reproduces the same
+  // trajectory as a fresh optimizer that took identical steps.
+  opt.Step();
+  const std::vector<float> replay = p.data();
+
+  Tensor q = Tensor::FromVector({8}, weights, /*requires_grad=*/true);
+  nn::Adam fresh({q}, 1e-2f);
+  ASSERT_TRUE(fresh.SetState(snap));
+  q.mutable_grad().assign(8, 0.25f);
+  fresh.Step();
+  EXPECT_EQ(replay, q.data());
+}
+
+TEST(OptimizerStateTest, AdamRejectsStructurallyIncompatibleState) {
+  Tensor p = Tensor::Zeros({4}, /*requires_grad=*/true);
+  nn::Adam opt({p}, 1e-3f);
+  nn::OptimizerState bad = opt.GetState();
+  bad.slots.pop_back();
+  EXPECT_FALSE(opt.SetState(bad));
+  nn::OptimizerState wrong_size = opt.GetState();
+  wrong_size.slots[0].resize(3);
+  EXPECT_FALSE(opt.SetState(wrong_size));
+}
+
+TEST(OptimizerStateTest, SgdCarriesOnlyLr) {
+  Tensor p = Tensor::Zeros({4}, /*requires_grad=*/true);
+  nn::Sgd opt({p}, 0.5f);
+  nn::OptimizerState s = opt.GetState();
+  EXPECT_TRUE(s.slots.empty());
+  EXPECT_EQ(s.lr, 0.5f);
+  opt.set_lr(0.1f);
+  ASSERT_TRUE(opt.SetState(s));
+  EXPECT_EQ(opt.lr(), 0.5f);
+}
+
+// ---------- recovery paths in FitLoop ----------
+
+TEST(RecoveryTest, RollbackRetrySurvivesInjectedNaNGradient) {
+  auto ds = TinySplit();
+  runtime::FaultPlan plan;
+  plan.corrupt_grad_steps = {4};
+  plan.kind = runtime::FaultKind::kNaN;
+  runtime::FaultInjector injector(plan);
+
+  models::FitHistory history;
+  models::TrainConfig train = QuickTrain(3);
+  train.fault_injector = &injector;
+  train.history = &history;
+  train.recovery.policy = runtime::RecoveryPolicy::kRollbackRetry;
+  train.recovery.max_retries = 3;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(injector.injected_faults(), 1);
+  EXPECT_TRUE(nn::AllFinite(model.Parameters()));
+  EXPECT_GE(history.rollback_retries, 1);
+  ASSERT_FALSE(history.recovery_events.empty());
+  const auto& e = history.recovery_events.front();
+  EXPECT_FALSE(e.skipped);
+  EXPECT_GE(e.retries, 1);
+  // The model still produces finite scores after recovery.
+  data::Batch b = data::MakeEvalBatch(ds.train_seqs, {0}, 12);
+  for (float score : model.ScoreAll(b)) ASSERT_TRUE(std::isfinite(score));
+}
+
+TEST(RecoveryTest, SkipBatchAbandonsThePoisonedBatch) {
+  auto ds = TinySplit();
+  runtime::FaultPlan plan;
+  plan.corrupt_loss_steps = {2};
+  runtime::FaultInjector injector(plan);
+
+  models::FitHistory history;
+  models::TrainConfig train = QuickTrain(3);
+  train.fault_injector = &injector;
+  train.history = &history;
+  train.recovery.policy = runtime::RecoveryPolicy::kSkipBatch;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(history.skipped_batches, 1);
+  ASSERT_EQ(history.recovery_events.size(), 1u);
+  EXPECT_TRUE(history.recovery_events[0].skipped);
+  EXPECT_TRUE(nn::AllFinite(model.Parameters()));
+}
+
+TEST(RecoveryTest, AbortPolicyFailsFastWithInternal) {
+  auto ds = TinySplit();
+  runtime::FaultPlan plan;
+  plan.corrupt_loss_steps = {1};
+  runtime::FaultInjector injector(plan);
+
+  models::TrainConfig train = QuickTrain(3);
+  train.fault_injector = &injector;
+  train.recovery.policy = runtime::RecoveryPolicy::kAbort;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+}
+
+TEST(RecoveryTest, ExhaustedRetriesReturnInternal) {
+  auto ds = TinySplit();
+  // Attempts (including retries) advance the loss-fault counter, so a run of
+  // consecutive poisoned attempts defeats max_retries = 2.
+  runtime::FaultPlan plan;
+  plan.corrupt_loss_steps = {2, 3, 4};
+  runtime::FaultInjector injector(plan);
+
+  models::FitHistory history;
+  models::TrainConfig train = QuickTrain(3);
+  train.fault_injector = &injector;
+  train.history = &history;
+  train.recovery.policy = runtime::RecoveryPolicy::kRollbackRetry;
+  train.recovery.max_retries = 2;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+  EXPECT_EQ(history.rollback_retries, 2);
+}
+
+TEST(RecoveryTest, InvalidRecoveryConfigIsRejectedUpFront) {
+  auto ds = TinySplit();
+  models::TrainConfig train = QuickTrain(1);
+  train.recovery.lr_decay = 1.5f;
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  EXPECT_EQ(model.Fit(ds).code(), Status::Code::kInvalidArgument);
+}
+
+// ---------- v2 train state: round-trip and corruption rejection ----------
+
+TEST(TrainStateTest, RoundTripRestoresEverything) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_roundtrip.state");
+
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 2e-3f);
+
+  // Give the optimizer non-trivial moments.
+  auto params = model.Parameters();
+  for (auto& p : params) p.mutable_grad().assign(p.numel(), 0.01f);
+  opt.Step();
+
+  nn::TrainerProgress saved;
+  saved.epoch = 4;
+  Rng stream(123);
+  stream.NextU64();
+  saved.rng = stream.GetState();
+  saved.best_ndcg = 0.375;
+  saved.best_epoch = 2;
+  saved.bad_evals = 1;
+  for (auto& p : params) saved.best_weights.push_back(p.data());
+
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, saved, path).ok());
+
+  const std::vector<std::vector<float>> want_weights = [&] {
+    std::vector<std::vector<float>> w;
+    for (auto& p : params) w.push_back(p.data());
+    return w;
+  }();
+  const nn::OptimizerState want_opt = opt.GetState();
+
+  // Diverge, then restore.
+  for (auto& p : params) p.mutable_grad().assign(p.numel(), 0.2f);
+  opt.Step();
+  opt.set_lr(9e-4f);
+
+  nn::TrainerProgress loaded;
+  ASSERT_TRUE(nn::LoadTrainState(model, {&opt}, &loaded, path).ok());
+
+  for (size_t i = 0; i < params.size(); ++i) EXPECT_EQ(params[i].data(), want_weights[i]);
+  const nn::OptimizerState got_opt = opt.GetState();
+  EXPECT_EQ(got_opt.slots, want_opt.slots);
+  EXPECT_EQ(got_opt.step_count, want_opt.step_count);
+  EXPECT_EQ(got_opt.lr, want_opt.lr);
+
+  EXPECT_EQ(loaded.epoch, 4);
+  EXPECT_EQ(loaded.best_ndcg, 0.375);
+  EXPECT_EQ(loaded.best_epoch, 2);
+  EXPECT_EQ(loaded.bad_evals, 1);
+  ASSERT_EQ(loaded.best_weights.size(), want_weights.size());
+  for (size_t i = 0; i < want_weights.size(); ++i) {
+    EXPECT_EQ(loaded.best_weights[i], want_weights[i]);
+  }
+  // The restored RNG continues the saved stream exactly.
+  Rng resumed(0);
+  resumed.SetState(loaded.rng);
+  EXPECT_EQ(resumed.NextU64(), stream.NextU64());
+
+  std::remove(path.c_str());
+}
+
+TEST(TrainStateTest, AtomicWriteLeavesNoTmpFile) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_atomic.state");
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, nn::TrainerProgress{}, path).ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(TrainStateTest, TruncationAtEveryLayerIsRejectedNotCrashed) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_trunc.state");
+  const std::string mangled = TempPath("runtime_trunc_mangled.state");
+
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, nn::TrainerProgress{}, path).ok());
+
+  std::string image;
+  ASSERT_TRUE(nn::internal::ReadFileImage(path, &image).ok());
+  const uint64_t size = image.size();
+
+  // Sweep cut points across the whole file: headers, entry table, optimizer
+  // section, progress section, and the CRC footer itself.
+  std::vector<uint64_t> cuts = {0, 1, 5, size / 7, size / 3, size / 2,
+                                size - 5, size - 4, size - 1};
+  for (uint64_t i = 8; i < 160 && i < size; i += 13) cuts.push_back(i);
+  for (uint64_t keep : cuts) {
+    {
+      std::ofstream out(mangled, std::ios::binary | std::ios::trunc);
+      out.write(image.data(), static_cast<std::streamsize>(keep));
+    }
+    models::SasRec victim(TinyBackbone(ds), QuickTrain(1), Rng(5));
+    nn::Adam vopt(victim.Parameters(), 1e-3f);
+    nn::TrainerProgress progress;
+    Status s = nn::LoadTrainState(victim, {&vopt}, &progress, mangled);
+    EXPECT_FALSE(s.ok()) << "accepted a checkpoint truncated to " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+  std::remove(mangled.c_str());
+}
+
+TEST(TrainStateTest, BitFlipAnywhereFailsTheCrc) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_bitflip.state");
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, nn::TrainerProgress{}, path).ok());
+
+  runtime::FaultInjector injector(runtime::FaultPlan{});
+  // Skip the magic so the flip lands in real payload, forcing the CRC (not
+  // the magic check) to do the rejecting.
+  ASSERT_TRUE(injector.BitFlipFile(path, /*num_flips=*/1, /*skip_prefix=*/16).ok());
+
+  models::SasRec victim(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam vopt(victim.Parameters(), 1e-3f);
+  const std::vector<std::vector<float>> before = [&] {
+    std::vector<std::vector<float>> w;
+    for (auto& p : victim.Parameters()) w.push_back(p.data());
+    return w;
+  }();
+  Status s = nn::LoadTrainState(victim, {&vopt}, nullptr, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  // No silent partial load: the victim's weights are untouched.
+  auto params = victim.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) EXPECT_EQ(params[i].data(), before[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TrainStateTest, OptimizerCountMismatchIsRejected) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_optcount.state");
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, nn::TrainerProgress{}, path).ok());
+  EXPECT_FALSE(nn::LoadTrainState(model, {}, nullptr, path).ok());
+  nn::Adam extra(model.Parameters(), 1e-3f);
+  EXPECT_FALSE(nn::LoadTrainState(model, {&opt, &extra}, nullptr, path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------- v1 checkpoint hardening against hostile headers ----------
+
+TEST(CheckpointHardeningTest, HostileHeadersAreRejected) {
+  Rng rng(2);
+  nn::Linear module(4, 4, rng);
+  const std::string path = TempPath("runtime_hostile.ckpt");
+
+  auto write_image = [&path](const nn::internal::ByteWriter& w) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+  };
+  auto header = [] {
+    nn::internal::ByteWriter w;
+    w.Bytes(nn::internal::kCkptMagic, sizeof(nn::internal::kCkptMagic));
+    w.Pod(nn::internal::kCkptVersion);
+    return w;
+  };
+
+  {  // Entry count far beyond any real checkpoint: reject before allocating.
+    auto w = header();
+    w.Pod(uint64_t{1} << 60);
+    write_image(w);
+    EXPECT_FALSE(nn::LoadCheckpoint(module, path).ok());
+  }
+  {  // Hostile name length.
+    auto w = header();
+    w.Pod(uint64_t{2});  // matches the module's two parameters
+    w.Pod(uint32_t{0xFFFFFFFF});
+    write_image(w);
+    EXPECT_FALSE(nn::LoadCheckpoint(module, path).ok());
+  }
+  {  // Negative dimension.
+    auto w = header();
+    w.Pod(uint64_t{2});
+    const std::string name = "weight";
+    w.Pod(static_cast<uint32_t>(name.size()));
+    w.Bytes(name.data(), name.size());
+    w.Pod(uint32_t{2});
+    w.Pod(int64_t{-4});
+    w.Pod(int64_t{4});
+    write_image(w);
+    EXPECT_FALSE(nn::LoadCheckpoint(module, path).ok());
+  }
+  {  // Element-count overflow via huge (positive) dims.
+    auto w = header();
+    w.Pod(uint64_t{2});
+    const std::string name = "weight";
+    w.Pod(static_cast<uint32_t>(name.size()));
+    w.Bytes(name.data(), name.size());
+    w.Pod(uint32_t{2});
+    w.Pod(int64_t{1} << 40);
+    w.Pod(int64_t{1} << 40);
+    write_image(w);
+    EXPECT_FALSE(nn::LoadCheckpoint(module, path).ok());
+  }
+  {  // Implausible rank.
+    auto w = header();
+    w.Pod(uint64_t{2});
+    const std::string name = "weight";
+    w.Pod(static_cast<uint32_t>(name.size()));
+    w.Bytes(name.data(), name.size());
+    w.Pod(uint32_t{1000});
+    write_image(w);
+    EXPECT_FALSE(nn::LoadCheckpoint(module, path).ok());
+  }
+  std::remove(path.c_str());
+}
+
+// ---------- kill + resume == uninterrupted ----------
+
+// Trains a SasRec through FitLoop with the given config and returns its
+// final parameter buffers.
+std::vector<std::vector<float>> TrainedWeights(const data::SequenceDataset& ds,
+                                               const models::TrainConfig& train,
+                                               Status* status = nullptr) {
+  models::SasRec model(TinyBackbone(ds), train, Rng(11));
+  Status s = model.Fit(ds);
+  if (status != nullptr) *status = s;
+  std::vector<std::vector<float>> w;
+  for (auto& p : model.Parameters()) w.push_back(p.data());
+  return w;
+}
+
+TEST(ResumeTest, ResumedRunIsBitwiseIdenticalToUninterrupted) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_resume.state");
+
+  models::TrainConfig full = QuickTrain(4);
+  Status s;
+  const auto uninterrupted = TrainedWeights(ds, full, &s);
+  ASSERT_TRUE(s.ok());
+
+  models::TrainConfig leg1 = QuickTrain(4);
+  leg1.epochs = 2;  // the run "dies" after epoch 2
+  leg1.checkpoint_path = path;
+  (void)TrainedWeights(ds, leg1, &s);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(FileExists(path));
+
+  models::TrainConfig leg2 = QuickTrain(4);
+  leg2.resume_from = path;
+  models::FitHistory history;
+  leg2.history = &history;
+  const auto resumed = TrainedWeights(ds, leg2, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(history.resumed_from_epoch, 1);  // last completed epoch of leg 1
+
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i], uninterrupted[i]) << "parameter " << i << " diverged";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, ResumeReplaysEarlyStoppingBookkeepingBitExactly) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_resume_eval.state");
+
+  models::TrainConfig full = QuickTrain(6);
+  full.eval_every = 2;
+  full.patience = 10;  // keep all 6 epochs running
+  Status s;
+  const auto uninterrupted = TrainedWeights(ds, full, &s);
+  ASSERT_TRUE(s.ok());
+
+  models::TrainConfig leg1 = full;
+  leg1.epochs = 3;  // dies between evals, with best-weight state pending
+  leg1.checkpoint_path = path;
+  (void)TrainedWeights(ds, leg1, &s);
+  ASSERT_TRUE(s.ok());
+
+  models::TrainConfig leg2 = full;
+  leg2.resume_from = path;
+  const auto resumed = TrainedWeights(ds, leg2, &s);
+  ASSERT_TRUE(s.ok());
+
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i], uninterrupted[i]) << "parameter " << i << " diverged";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, MissingResumeFileFailsTheRun) {
+  auto ds = TinySplit();
+  models::TrainConfig train = QuickTrain(2);
+  train.resume_from = TempPath("runtime_no_such.state");
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(ResumeTest, TruncatedResumeFileFailsTheRunWithoutCrashing) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_resume_trunc.state");
+
+  models::TrainConfig leg1 = QuickTrain(2);
+  leg1.checkpoint_path = path;
+  Status s;
+  (void)TrainedWeights(ds, leg1, &s);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(runtime::FaultInjector::TruncateFile(path, 100).ok());
+
+  models::TrainConfig leg2 = QuickTrain(4);
+  leg2.resume_from = path;
+  models::SasRec model(TinyBackbone(ds), leg2, Rng(1));
+  EXPECT_FALSE(model.Fit(ds).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace msgcl

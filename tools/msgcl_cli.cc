@@ -16,11 +16,23 @@
 // Architecture flags (--dim, --layers, --heads, --max_len) must match
 // between train and evaluate/recommend; the checkpoint loader verifies
 // shapes and refuses mismatches.
+//
+// Fault-tolerant training (see DESIGN.md "Fault-tolerant training runtime"):
+//   --state=run.state            write a v2 resumable train state (weights +
+//                                optimizer moments + RNG + early stopping)
+//   --checkpoint_every=N         v2 checkpoint cadence in epochs (default 1)
+//   --resume=run.state           continue a killed run bit-exactly
+//   --recovery=retry|skip|abort  numeric-health policy (default retry)
+//   --max_retries=N --lr_decay=F rollback-retry backoff knobs
+//   --inject_grad_steps=3,7      chaos drill: poison gradients at steps 3,7
+//   --inject_loss_steps=5        chaos drill: poison the loss at step 5
+//   --fault_kind=nan|inf|huge    what the injected fault writes
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "core/core.h"
@@ -86,9 +98,39 @@ Result<data::InteractionLog> LoadData(const Args& args) {
       PresetByName(args.Get("preset", "toys"), args.GetD("scale", 0.25)));
 }
 
+// "3,7,12" -> {3, 7, 12}; empty string -> empty set.
+std::set<int64_t> ParseStepList(const std::string& csv) {
+  std::set<int64_t> steps;
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find(',', start);
+    if (end == std::string::npos) end = csv.size();
+    if (end > start) steps.insert(std::stoll(csv.substr(start, end - start)));
+    start = end + 1;
+  }
+  return steps;
+}
+
+// Builds a deterministic fault injector from --inject_* flags, or nullptr
+// when no fault was requested.
+std::unique_ptr<runtime::FaultInjector> MakeInjector(const Args& args) {
+  runtime::FaultPlan plan;
+  plan.corrupt_grad_steps = ParseStepList(args.Get("inject_grad_steps"));
+  plan.corrupt_loss_steps = ParseStepList(args.Get("inject_loss_steps"));
+  if (plan.corrupt_grad_steps.empty() && plan.corrupt_loss_steps.empty()) return nullptr;
+  const std::string kind = args.Get("fault_kind", "nan");
+  if (kind == "inf") plan.kind = runtime::FaultKind::kInf;
+  else if (kind == "huge") plan.kind = runtime::FaultKind::kHugeValue;
+  else plan.kind = runtime::FaultKind::kNaN;
+  plan.seed = static_cast<uint64_t>(args.GetI("fault_seed", 0xFA017));
+  return std::make_unique<runtime::FaultInjector>(plan);
+}
+
 std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
                                                const data::SequenceDataset& ds,
-                                               const Args& args) {
+                                               const Args& args,
+                                               runtime::FaultInjector* injector = nullptr,
+                                               models::FitHistory* history = nullptr) {
   models::BackboneConfig backbone;
   backbone.num_items = ds.num_items;
   backbone.max_len = args.GetI("max_len", 16);
@@ -106,6 +148,22 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   train.eval_every = args.GetI("eval_every", 2);
   train.patience = args.GetI("patience", 4);
   train.verbose = args.Get("verbose") == "1";
+  train.history = history;
+  train.fault_injector = injector;
+  train.checkpoint_path = args.Get("state");
+  train.checkpoint_every = args.GetI("checkpoint_every", 1);
+  train.resume_from = args.Get("resume");
+  const std::string recovery = args.Get("recovery", "retry");
+  if (recovery == "abort") train.recovery.policy = runtime::RecoveryPolicy::kAbort;
+  else if (recovery == "skip") train.recovery.policy = runtime::RecoveryPolicy::kSkipBatch;
+  else if (recovery == "retry") train.recovery.policy = runtime::RecoveryPolicy::kRollbackRetry;
+  else {
+    std::fprintf(stderr, "unknown recovery policy '%s' (retry|skip|abort)\n",
+                 recovery.c_str());
+    std::exit(2);
+  }
+  train.recovery.max_retries = args.GetI("max_retries", 3);
+  train.recovery.lr_decay = static_cast<float>(args.GetD("lr_decay", 0.5));
 
   Rng rng(train.seed * 31 + 7);
   if (name == "SASRec") return std::make_unique<models::SasRec>(backbone, train, rng);
@@ -174,10 +232,29 @@ int CmdTrain(const Args& args) {
   }
   auto ds = data::LeaveOneOutSplit(log.value());
   const std::string model_name = args.Get("model", "Meta-SGCL");
-  auto model = MakeModel(model_name, ds, args);
+  auto injector = MakeInjector(args);
+  models::FitHistory history;
+  auto model = MakeModel(model_name, ds, args, injector.get(), &history);
   std::printf("training %s on %d users / %d items...\n", model->name().c_str(),
               ds.num_users(), ds.num_items);
-  model->Fit(ds);
+  if (Status s = model->Fit(ds); !s.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (history.resumed_from_epoch >= 0) {
+    std::printf("resumed after epoch %lld\n",
+                static_cast<long long>(history.resumed_from_epoch));
+  }
+  if (!history.recovery_events.empty()) {
+    std::printf("numeric-health recovery: %zu event(s), %lld retry(ies), %lld skipped batch(es)\n",
+                history.recovery_events.size(),
+                static_cast<long long>(history.rollback_retries),
+                static_cast<long long>(history.skipped_batches));
+    for (const auto& e : history.recovery_events) {
+      std::printf("  epoch %lld step %lld: %s\n", static_cast<long long>(e.epoch),
+                  static_cast<long long>(e.global_step), e.detail.c_str());
+    }
+  }
   eval::EvalConfig ecfg;
   ecfg.max_len = args.GetI("max_len", 16);
   auto metrics = eval::Evaluate(*model, ds, eval::Split::kTest, ecfg);

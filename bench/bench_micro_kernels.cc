@@ -1,10 +1,26 @@
 // §IV.F complexity analysis: google-benchmark micro-benchmarks backing the
 // paper's claims that self-attention costs O(n^2 d), the feed-forward layer
 // O(n d^2), and that the model's parameter count is O(N d + n d + d^2).
+//
+// Kernel-throughput report mode (writes BENCH_kernels.json):
+//   bench_micro_kernels --threads=4 --json=BENCH_kernels.json
+// times the hot tensor kernels at 1 thread and at N threads and records the
+// speedup, verifying the intra-op pool actually scales. `--threads N`
+// (space-separated) is accepted too. Without these flags the binary runs the
+// normal google-benchmark suite.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "models/backbone.h"
 #include "nn/nn.h"
+#include "parallel/parallel.h"
 
 namespace {
 
@@ -91,6 +107,24 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->RangeMultiplier(2)->Range(32, 256);
 
+// Same matmul at varying intra-op thread counts (256^3, the acceptance
+// workload): thread scaling under the google-benchmark harness.
+void BM_MatMulThreads(benchmark::State& state) {
+  const int saved = parallel::MaxThreads();
+  parallel::SetNumThreads(static_cast<int>(state.range(0)));
+  const int64_t m = 256;
+  Rng rng(8);
+  Tensor a = Tensor::Randn({m, m}, rng);
+  Tensor b = Tensor::Randn({m, m}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * m);
+  parallel::SetNumThreads(saved);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // Space complexity O(N d + n d + d^2): parameter count of the backbone as
 // the item count N grows (reported as a counter, not timed work).
 void BM_BackboneParams(benchmark::State& state) {
@@ -108,6 +142,142 @@ void BM_BackboneParams(benchmark::State& state) {
 }
 BENCHMARK(BM_BackboneParams)->RangeMultiplier(4)->Range(256, 16384);
 
+// ---- Kernel-throughput report (--threads / --json) --------------------------
+
+/// Best-of-reps wall time in milliseconds for `fn`, after one warmup call.
+/// Repeats until ~300 ms total or 20 reps, whichever comes first.
+template <typename Fn>
+double BestMs(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup (pool spawn, cache fill)
+  double best = 1e300, total = 0.0;
+  int reps = 0;
+  while (reps < 3 || (total < 300.0 && reps < 20)) {
+    const auto t0 = clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            clock::now() - t0)
+            .count();
+    best = std::min(best, ms);
+    total += ms;
+    ++reps;
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string name;
+  double work;          // flops (matmul) or elements (others) per run
+  const char* work_unit;
+  double t1_ms = 0.0;
+  double tn_ms = 0.0;
+};
+
+int RunKernelReport(int threads, const std::string& json_path) {
+  if (threads < 1) threads = 4;
+  NoGradGuard guard;
+  Rng rng(99);
+
+  // The acceptance workload plus the other hot kernel families.
+  const int64_t M = 256;
+  Tensor ma = Tensor::Randn({M, M}, rng);
+  Tensor mb = Tensor::Randn({M, M}, rng);
+  const int64_t kElems = 1 << 20;
+  Tensor ea = Tensor::Randn({kElems}, rng);
+  Tensor eb = Tensor::Randn({kElems}, rng);
+  const int64_t kRows = 4096, kCols = 256;
+  Tensor sm = Tensor::Randn({kRows, kCols}, rng);
+
+  std::vector<KernelResult> results = {
+      {"matmul_256x256x256", 2.0 * M * M * M, "flops"},
+      {"elementwise_add_1m", static_cast<double>(kElems), "elems"},
+      {"softmax_rows_4096x256", static_cast<double>(kRows * kCols), "elems"},
+      {"reduce_sum_1m", static_cast<double>(kElems), "elems"},
+  };
+  const auto run_kernel = [&](size_t idx) {
+    switch (idx) {
+      case 0: { Tensor c = ma.MatMul(mb); benchmark::DoNotOptimize(c); break; }
+      case 1: { Tensor c = ea.Add(eb); benchmark::DoNotOptimize(c); break; }
+      case 2: { Tensor c = sm.SoftmaxLastDim(); benchmark::DoNotOptimize(c); break; }
+      case 3: { Tensor c = ea.Sum(); benchmark::DoNotOptimize(c); break; }
+    }
+  };
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    parallel::SetNumThreads(1);
+    results[i].t1_ms = BestMs([&] { run_kernel(i); });
+    parallel::SetNumThreads(threads);
+    results[i].tn_ms = BestMs([&] { run_kernel(i); });
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::string out = "{\n";
+  out += "  \"benchmark\": \"micro_kernels\",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  out += "  \"kernels\": [\n";
+  char buf[512];
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double speedup = r.tn_ms > 0.0 ? r.t1_ms / r.tn_ms : 0.0;
+    const double thr1 = r.work / (r.t1_ms * 1e6);   // Gwork/s
+    const double thrn = r.work / (r.tn_ms * 1e6);
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"work\": %.0f, \"work_unit\": \"%s\", "
+                  "\"t1_ms\": %.4f, \"tN_ms\": %.4f, "
+                  "\"gwork_per_s_1t\": %.4f, \"gwork_per_s_Nt\": %.4f, "
+                  "\"speedup\": %.3f}%s\n",
+                  r.name.c_str(), r.work, r.work_unit, r.t1_ms, r.tn_ms, thr1, thrn,
+                  speedup, i + 1 < results.size() ? "," : "");
+    out += buf;
+    std::printf("%-24s 1t %8.3f ms   %dt %8.3f ms   speedup %.2fx\n", r.name.c_str(),
+                r.t1_ms, threads, r.tn_ms, speedup);
+  }
+  out += "  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --threads=N / --json=PATH (or space-separated) select the kernel report;
+  // anything else falls through to google-benchmark.
+  int threads = 0;
+  std::string json_path;
+  bool report_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      const std::string f(flag);
+      if (arg.rfind(f + "=", 0) == 0) return arg.substr(f.size() + 1);
+      if (arg == f && i + 1 < argc) return argv[++i];
+      return "";
+    };
+    if (arg.rfind("--threads", 0) == 0) {
+      threads = std::atoi(value("--threads").c_str());
+      report_mode = true;
+    } else if (arg.rfind("--json", 0) == 0) {
+      json_path = value("--json");
+      report_mode = true;
+    }
+  }
+  if (report_mode) return RunKernelReport(threads, json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,6 +45,12 @@ struct TrainConfig {
   float grad_clip = 5.0f;
   uint64_t seed = 1234;
 
+  /// Intra-op worker threads for the tensor kernels. 0 keeps the process-wide
+  /// setting (MSGCL_NUM_THREADS env or hardware concurrency); > 0 pins the
+  /// pool to that many threads before training starts. Results are bitwise
+  /// identical for every value (DESIGN.md "Determinism under parallelism").
+  int64_t num_threads = 0;
+
   /// Optional training-trace sink (non-owning; must outlive Fit).
   FitHistory* history = nullptr;
 
@@ -75,6 +81,7 @@ struct TrainConfig {
       return Status::InvalidArgument("epochs, batch_size and max_len must be positive");
     }
     if (lr <= 0.0f) return Status::InvalidArgument("lr must be positive");
+    if (num_threads < 0) return Status::InvalidArgument("num_threads must be >= 0");
     return recovery.Validate();
   }
 };

@@ -23,6 +23,7 @@
 #include "eval/evaluator.h"
 #include "models/model.h"
 #include "nn/nn.h"
+#include "parallel/parallel.h"
 #include "runtime/runtime.h"
 
 namespace msgcl {
@@ -52,6 +53,9 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
                       const data::SequenceDataset& ds, const TrainConfig& config,
                       const StepFn& step, std::vector<nn::Optimizer*> optimizers = {}) {
   if (Status s = config.Validate(); !s.ok()) return s;
+  if (config.num_threads > 0) {
+    parallel::SetNumThreads(static_cast<int>(config.num_threads));
+  }
   Rng rng(config.seed);
   model.SetTraining(true);
   if (config.history != nullptr) config.history->Clear();

@@ -8,6 +8,7 @@
 
 #include "nn/layers.h"
 #include "nn/module.h"
+#include "parallel/parallel.h"
 
 namespace msgcl {
 namespace nn {
@@ -55,24 +56,36 @@ class MultiHeadSelfAttention : public Module {
     const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
     Tensor scores = q.MatMul(k.TransposeLast2()).MulScalar(scale);  // [B, H, T, T]
 
-    std::vector<uint8_t> mask(static_cast<size_t>(B) * heads_ * T * T, 0);
-    bool any_masked = false;
-    for (int64_t b = 0; b < B; ++b) {
-      for (int64_t h = 0; h < heads_; ++h) {
-        uint8_t* m = mask.data() + ((b * heads_ + h) * T) * T;
-        for (int64_t i = 0; i < T; ++i) {
-          for (int64_t j = 0; j < T; ++j) {
-            const bool future = causal && j > i;
-            const bool pad = key_padding != nullptr && (*key_padding)[b * T + j] != 0;
-            if (future || pad) {
-              m[i * T + j] = 1;
-              any_masked = true;
-            }
-          }
+    // Decide up front whether any position is masked (cheap: O(B*T) scan of
+    // the padding flags) so the O(B*H*T*T) mask tensor is only built when
+    // needed, and can be built in parallel without a shared flag.
+    bool any_masked = causal && T > 1;
+    if (!any_masked && key_padding != nullptr) {
+      for (uint8_t p : *key_padding) {
+        if (p != 0) {
+          any_masked = true;
+          break;
         }
       }
     }
-    if (any_masked) scores = scores.MaskedFill(mask, -1e9f);
+    if (any_masked) {
+      std::vector<uint8_t> mask(static_cast<size_t>(B) * heads_ * T * T, 0);
+      // Each (b, h) plane is a disjoint slice of the mask buffer.
+      parallel::For(0, B * heads_, 1, [&](int64_t bh0, int64_t bh1) {
+        for (int64_t bh = bh0; bh < bh1; ++bh) {
+          const int64_t b = bh / heads_;
+          uint8_t* m = mask.data() + bh * T * T;
+          for (int64_t i = 0; i < T; ++i) {
+            for (int64_t j = 0; j < T; ++j) {
+              const bool future = causal && j > i;
+              const bool pad = key_padding != nullptr && (*key_padding)[b * T + j] != 0;
+              if (future || pad) m[i * T + j] = 1;
+            }
+          }
+        }
+      });
+      scores = scores.MaskedFill(mask, -1e9f);
+    }
 
     Tensor attn = scores.SoftmaxLastDim();
     attn = attn_dropout_.Forward(attn, rng);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "parallel/parallel.h"
 #include "tensor/tensor.h"
 
 namespace msgcl {
@@ -70,7 +71,11 @@ class Sgd : public Optimizer {
       const auto& g = p.grad();
       if (g.empty()) continue;
       auto& d = p.data();
-      for (size_t i = 0; i < d.size(); ++i) d[i] -= lr_ * g[i];
+      // Per-index updates are independent -> disjoint writes.
+      parallel::For(0, static_cast<int64_t>(d.size()), 8192,
+                    [&](int64_t i0, int64_t i1) {
+                      for (int64_t i = i0; i < i1; ++i) d[i] -= lr_ * g[i];
+                    });
     }
   }
 
@@ -111,15 +116,19 @@ class Adam : public Optimizer {
       auto& d = p.data();
       auto& m = m_[pi];
       auto& v = v_[pi];
-      for (size_t i = 0; i < d.size(); ++i) {
-        float gi = g[i];
-        if (weight_decay_ != 0.0f) gi += weight_decay_ * d[i];
-        m[i] = beta1_ * m[i] + (1.0f - beta1_) * gi;
-        v[i] = beta2_ * v[i] + (1.0f - beta2_) * gi * gi;
-        const float mhat = m[i] / bc1;
-        const float vhat = v[i] / bc2;
-        d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-      }
+      // Per-index updates are independent -> disjoint writes.
+      parallel::For(0, static_cast<int64_t>(d.size()), 8192,
+                    [&](int64_t i0, int64_t i1) {
+                      for (int64_t i = i0; i < i1; ++i) {
+                        float gi = g[i];
+                        if (weight_decay_ != 0.0f) gi += weight_decay_ * d[i];
+                        m[i] = beta1_ * m[i] + (1.0f - beta1_) * gi;
+                        v[i] = beta2_ * v[i] + (1.0f - beta2_) * gi * gi;
+                        const float mhat = m[i] / bc1;
+                        const float vhat = v[i] / bc2;
+                        d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+                      }
+                    });
     }
   }
 

@@ -1,0 +1,208 @@
+#include "parallel/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msgcl {
+namespace parallel {
+namespace {
+
+constexpr int kMaxThreadCap = 256;
+
+thread_local bool tl_in_parallel = false;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int InitialThreads() {
+  if (const char* env = std::getenv("MSGCL_NUM_THREADS"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return static_cast<int>(std::min<long>(v, kMaxThreadCap));
+    }
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet initialized
+
+/// One loop execution shared between the submitting thread and the workers.
+/// Heap-allocated and reference-counted so a worker that wakes late for an
+/// already-finished task only touches exhausted counters, never a dead frame.
+struct Task {
+  const std::function<void(int64_t)>* chunk_fn = nullptr;
+  int64_t nchunks = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+};
+
+/// Fixed pool of workers, spawned lazily on the first parallel region that
+/// needs them. Chunks are claimed with an atomic counter (dynamic assignment
+/// is safe: chunk *boundaries*, not chunk-to-thread placement, determine the
+/// numeric result).
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool pool;
+    return pool;
+  }
+
+  void Run(int nthreads, int64_t nchunks, const std::function<void(int64_t)>& chunk_fn) {
+    auto task = std::make_shared<Task>();
+    task->chunk_fn = &chunk_fn;
+    task->nchunks = nchunks;
+    EnsureWorkers(nthreads - 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = task;
+      active_workers_ = std::min<int64_t>(nthreads - 1, nchunks);
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    RunChunks(*task);  // the submitting thread works too
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return task->done.load(std::memory_order_acquire) == task->nchunks;
+    });
+    current_.reset();
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+ private:
+  Pool() = default;
+
+  void EnsureWorkers(int needed) {
+    std::lock_guard<std::mutex> lock(spawn_mu_);
+    while (static_cast<int>(workers_.size()) < needed) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
+    }
+  }
+
+  void WorkerLoop(int index) {
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Task> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return shutdown_ ||
+                 (generation_ != seen && index < active_workers_ && current_ != nullptr);
+        });
+        if (shutdown_) return;
+        seen = generation_;
+        task = current_;
+      }
+      RunChunks(*task);
+    }
+  }
+
+  void RunChunks(Task& task) {
+    tl_in_parallel = true;
+    for (;;) {
+      const int64_t c = task.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= task.nchunks) break;
+      (*task.chunk_fn)(c);
+      if (task.done.fetch_add(1, std::memory_order_acq_rel) + 1 == task.nchunks) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+    tl_in_parallel = false;
+  }
+
+  std::mutex mu_;
+  std::mutex spawn_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Task> current_;
+  uint64_t generation_ = 0;
+  int64_t active_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int MaxThreads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = InitialThreads();
+    int expected = 0;
+    if (!g_num_threads.compare_exchange_strong(expected, n)) {
+      n = expected;
+    }
+  }
+  return n;
+}
+
+void SetNumThreads(int n) {
+  n = std::max(1, std::min(n, kMaxThreadCap));
+  g_num_threads.store(n, std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return tl_in_parallel; }
+
+void For(int64_t begin, int64_t end, int64_t grain,
+         const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  const int64_t max_chunks = (range + grain - 1) / grain;
+  const int64_t nchunks = std::min<int64_t>(MaxThreads(), max_chunks);
+  if (nchunks <= 1 || tl_in_parallel) {
+    fn(begin, end);
+    return;
+  }
+  // Even static split: first `rem` chunks get one extra index.
+  const int64_t base = range / nchunks;
+  const int64_t rem = range % nchunks;
+  Pool::Get().Run(static_cast<int>(nchunks), nchunks, [&](int64_t c) {
+    const int64_t b = begin + c * base + std::min(c, rem);
+    fn(b, b + base + (c < rem ? 1 : 0));
+  });
+}
+
+int64_t NumFixedChunks(int64_t range, int64_t chunk) {
+  if (range <= 0) return 0;
+  if (chunk < 1) chunk = 1;
+  return (range + chunk - 1) / chunk;
+}
+
+void ForFixedChunks(int64_t begin, int64_t end, int64_t chunk,
+                    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (chunk < 1) chunk = 1;
+  const int64_t nchunks = (range + chunk - 1) / chunk;
+  auto run_chunk = [&](int64_t c) {
+    const int64_t b = begin + c * chunk;
+    fn(c, b, std::min(end, b + chunk));
+  };
+  const int64_t threads = std::min<int64_t>(MaxThreads(), nchunks);
+  if (threads <= 1 || tl_in_parallel) {
+    for (int64_t c = 0; c < nchunks; ++c) run_chunk(c);
+    return;
+  }
+  Pool::Get().Run(static_cast<int>(threads), nchunks, run_chunk);
+}
+
+}  // namespace parallel
+}  // namespace msgcl

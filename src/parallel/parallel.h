@@ -1,0 +1,66 @@
+// Deterministic intra-op parallelism (see DESIGN.md "Determinism under
+// parallelism").
+//
+// A lazily-initialized fixed-size thread pool executes contiguous index
+// chunks of a loop. Determinism contract: every kernel routed through this
+// module produces bitwise-identical results for any thread count, because
+//
+//  * `For` partitions the range by a pure function of (range, grain,
+//    MaxThreads()) and is only used for loops whose writes are disjoint per
+//    index — any partition yields the same result.
+//  * `ForFixedChunks` partitions by a pure function of (range, chunk) ONLY —
+//    independent of the thread count — so per-chunk floating-point partials
+//    combined serially in chunk index order give one reduction tree
+//    regardless of how many threads computed the chunks.
+//
+// Thread count: `MSGCL_NUM_THREADS` env var at first use, overridable at any
+// time with SetNumThreads(); defaults to the hardware concurrency. Nested
+// calls run serially inline on the calling thread.
+//
+// The loop body must not throw and must not invoke tensor-graph operations
+// (it may only touch raw buffers); MSGCL_CHECK aborts are fine.
+#ifndef MSGCL_PARALLEL_PARALLEL_H_
+#define MSGCL_PARALLEL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace msgcl {
+namespace parallel {
+
+/// Configured maximum thread count (>= 1). First call reads
+/// MSGCL_NUM_THREADS; unset/invalid falls back to hardware concurrency.
+int MaxThreads();
+
+/// Sets the thread count for subsequent parallel regions (clamped to
+/// [1, 256]). Safe to call between regions at any point in the program.
+void SetNumThreads(int n);
+
+/// True while the calling thread is executing inside a parallel region
+/// (nested For/ForFixedChunks therefore run serially inline).
+bool InParallelRegion();
+
+/// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end) into at
+/// most MaxThreads() contiguous chunks of roughly >= grain indices. The
+/// partition is a pure function of (end - begin, grain, MaxThreads()).
+///
+/// Use ONLY for loops whose writes are disjoint per index (or per row the
+/// index owns); then the result is bitwise-invariant under the thread count.
+void For(int64_t begin, int64_t end, int64_t grain,
+         const std::function<void(int64_t, int64_t)>& fn);
+
+/// Number of chunks ForFixedChunks will produce: ceil(range / chunk).
+int64_t NumFixedChunks(int64_t range, int64_t chunk);
+
+/// Runs fn(chunk_index, chunk_begin, chunk_end) over chunks of exactly
+/// `chunk` indices (the last one may be shorter). Chunk boundaries depend
+/// only on (range, chunk) — never on the thread count — so order-sensitive
+/// reductions store per-chunk partials indexed by chunk_index and combine
+/// them serially in index order for a thread-count-invariant result.
+void ForFixedChunks(int64_t begin, int64_t end, int64_t chunk,
+                    const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+}  // namespace parallel
+}  // namespace msgcl
+
+#endif  // MSGCL_PARALLEL_PARALLEL_H_

@@ -1,10 +1,18 @@
 // Operator implementations for Tensor: elementwise ops with broadcasting,
 // reductions, matmul, shape manipulation, and fused neural-net primitives.
 // Each op records a backward closure that accumulates into parent gradients.
+//
+// Hot kernels run through parallel::For / parallel::ForFixedChunks and are
+// deterministic under any thread count (DESIGN.md "Determinism under
+// parallelism"): loops parallelized with For write disjoint outputs, and
+// every floating-point reduction either keeps its serial accumulation order
+// per output element or combines fixed-boundary chunk partials in chunk
+// index order.
 #include <algorithm>
 #include <cmath>
 #include <numeric>
 
+#include "parallel/parallel.h"
 #include "tensor/tensor.h"
 
 namespace msgcl {
@@ -12,6 +20,19 @@ namespace msgcl {
 namespace {
 
 using detail::TensorImpl;
+
+// Work-granularity knobs: minimum indices (or flops) per shard so tiny ops
+// skip the pool entirely. Values are pure constants — they affect only how
+// work is split, never what is computed.
+constexpr int64_t kElemGrain = 8192;       // elementwise indices per shard
+constexpr int64_t kReduceChunk = 8192;     // fixed chunk for flat reductions
+constexpr int64_t kRowReduceChunk = 64;    // fixed row chunk for row partials
+constexpr int64_t kMatMulGrainFlops = 1 << 15;  // min flops per matmul shard
+
+/// Rows per shard for row-parallel kernels of width `row_width`.
+int64_t RowGrain(int64_t row_width) {
+  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(row_width, 1));
+}
 
 bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
   if (!NoGradGuard::GradEnabled()) return false;
@@ -37,8 +58,17 @@ Tensor MakeNode(Shape shape, std::vector<float> data, const std::vector<Tensor>&
   return Tensor::FromImpl(std::move(impl));
 }
 
+/// Rank-0 (scalar) tensors broadcast as shape [1]: every broadcasting op
+/// sees rank >= 1 operands and produces a rank >= 1 result, consistent with
+/// the reductions (which return [1]). Without this, rank-0 inputs leak a
+/// rank-0 output from some ops but not others.
+Shape NormalizeScalarShape(const Shape& s) { return s.empty() ? Shape{1} : s; }
+
 /// NumPy broadcasting of two shapes; aborts on incompatibility.
+/// Callers must pass rank >= 1 shapes (see NormalizeScalarShape).
 Shape BroadcastShape(const Shape& a, const Shape& b) {
+  MSGCL_CHECK_MSG(!a.empty() && !b.empty(),
+                  "BroadcastShape requires rank >= 1; normalize rank-0 to [1] first");
   Shape out;
   int na = static_cast<int>(a.size()), nb = static_cast<int>(b.size());
   int n = std::max(na, nb);
@@ -55,7 +85,10 @@ Shape BroadcastShape(const Shape& a, const Shape& b) {
 
 /// Row-major strides of a shape, with 0 for broadcast (size-1) dims when
 /// aligned to `out_rank` dims on the right.
+/// Callers must pass rank >= 1 shapes (see NormalizeScalarShape).
 std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
+  MSGCL_CHECK_MSG(!shape.empty() && !out.empty(),
+                  "BroadcastStrides requires rank >= 1; normalize rank-0 to [1] first");
   int n = static_cast<int>(out.size());
   int ns = static_cast<int>(shape.size());
   std::vector<int64_t> strides(n, 0);
@@ -68,21 +101,30 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
   return strides;
 }
 
-/// Walks every coordinate of `out_shape`, calling fn(out_flat, a_off, b_off).
-/// Offsets advance incrementally (odometer), no div/mod per element.
+/// Walks coordinates [flat_begin, flat_end) of `out_shape`, calling
+/// fn(out_flat, a_off, b_off). Offsets advance incrementally (odometer, no
+/// div/mod per element); the odometer is seeded at flat_begin so disjoint
+/// ranges can run on different threads.
 template <typename Fn>
-void ForEachBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
-                      const std::vector<int64_t>& sb, Fn&& fn) {
+void ForEachBroadcastRange(const Shape& out_shape, const std::vector<int64_t>& sa,
+                           const std::vector<int64_t>& sb, int64_t flat_begin,
+                           int64_t flat_end, Fn&& fn) {
+  if (flat_begin >= flat_end) return;
   const int n = static_cast<int>(out_shape.size());
-  const int64_t total = NumElements(out_shape);
-  if (total == 0) return;
   if (n == 0) {
     fn(0, 0, 0);
     return;
   }
   std::vector<int64_t> idx(n, 0);
   int64_t ao = 0, bo = 0;
-  for (int64_t flat = 0; flat < total; ++flat) {
+  int64_t rem = flat_begin;
+  for (int d = n - 1; d >= 0; --d) {
+    idx[d] = rem % out_shape[d];
+    rem /= out_shape[d];
+    ao += idx[d] * sa[d];
+    bo += idx[d] * sb[d];
+  }
+  for (int64_t flat = flat_begin; flat < flat_end; ++flat) {
     fn(flat, ao, bo);
     // Increment odometer from the last dim.
     for (int d = n - 1; d >= 0; --d) {
@@ -97,29 +139,47 @@ void ForEachBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
   }
 }
 
+/// Walks every coordinate of `out_shape` serially.
+template <typename Fn>
+void ForEachBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
+                      const std::vector<int64_t>& sb, Fn&& fn) {
+  ForEachBroadcastRange(out_shape, sa, sb, 0, NumElements(out_shape),
+                        std::forward<Fn>(fn));
+}
+
 /// Elementwise binary op with broadcasting.
 /// fwd(a, b) -> out; bwd writes (da, db) contributions given (a, b, gout).
 template <typename Fwd, typename DA, typename DB>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
-  Shape out_shape = BroadcastShape(a.shape(), b.shape());
-  auto sa = BroadcastStrides(a.shape(), out_shape);
-  auto sb = BroadcastStrides(b.shape(), out_shape);
+  const Shape a_shape = NormalizeScalarShape(a.shape());
+  const Shape b_shape = NormalizeScalarShape(b.shape());
+  Shape out_shape = BroadcastShape(a_shape, b_shape);
+  auto sa = BroadcastStrides(a_shape, out_shape);
+  auto sb = BroadcastStrides(b_shape, out_shape);
   const auto& ad = a.data();
   const auto& bd = b.data();
   std::vector<float> out(NumElements(out_shape));
-  if (a.shape() == b.shape()) {
-    // Fast path: identical shapes, tight vectorizable loop.
-    for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(ad[i], bd[i]);
+  if (a_shape == b_shape) {
+    // Fast path: identical shapes, tight vectorizable loop per shard.
+    parallel::For(0, static_cast<int64_t>(out.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) out[i] = fwd(ad[i], bd[i]);
+                  });
   } else {
-    ForEachBroadcast(out_shape, sa, sb,
-                     [&](int64_t o, int64_t ao, int64_t bo) { out[o] = fwd(ad[ao], bd[bo]); });
+    parallel::For(0, NumElements(out_shape), kElemGrain, [&](int64_t i0, int64_t i1) {
+      ForEachBroadcastRange(out_shape, sa, sb, i0, i1,
+                            [&](int64_t o, int64_t ao, int64_t bo) {
+                              out[o] = fwd(ad[ao], bd[bo]);
+                            });
+    });
   }
   auto ai = a.impl_ptr();
   auto bi = b.impl_ptr();
   Shape shape_copy = out_shape;
+  const bool same_shape = a_shape == b_shape;
   return MakeNode(
       std::move(out_shape), std::move(out), {a, b},
-      [ai, bi, sa, sb, shape_copy, da_fn, db_fn](TensorImpl& self) {
+      [ai, bi, sa, sb, shape_copy, same_shape, da_fn, db_fn](TensorImpl& self) {
         const bool need_a = ai->requires_grad;
         const bool need_b = bi->requires_grad;
         if (need_a) ai->EnsureGrad();
@@ -127,12 +187,19 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
         const auto& g = self.grad;
         const auto& ad = ai->data;
         const auto& bd = bi->data;
-        if (ai->shape == bi->shape) {
-          for (size_t i = 0; i < g.size(); ++i) {
-            if (need_a) ai->grad[i] += da_fn(ad[i], bd[i]) * g[i];
-            if (need_b) bi->grad[i] += db_fn(ad[i], bd[i]) * g[i];
-          }
+        if (same_shape) {
+          // Disjoint per-index writes into both parents.
+          parallel::For(0, static_cast<int64_t>(g.size()), kElemGrain,
+                        [&](int64_t i0, int64_t i1) {
+                          for (int64_t i = i0; i < i1; ++i) {
+                            if (need_a) ai->grad[i] += da_fn(ad[i], bd[i]) * g[i];
+                            if (need_b) bi->grad[i] += db_fn(ad[i], bd[i]) * g[i];
+                          }
+                        });
         } else {
+          // Broadcast scatter: several output elements fold into one parent
+          // element, so this path stays serial to keep one accumulation
+          // order (flat output order) regardless of thread count.
           ForEachBroadcast(shape_copy, sa, sb, [&](int64_t o, int64_t ao, int64_t bo) {
             if (need_a) ai->grad[ao] += da_fn(ad[ao], bd[bo]) * g[o];
             if (need_b) bi->grad[bo] += db_fn(ad[ao], bd[bo]) * g[o];
@@ -146,7 +213,10 @@ template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd) {
   const auto& xd = x.data();
   std::vector<float> out(xd.size());
-  for (size_t i = 0; i < xd.size(); ++i) out[i] = fwd(xd[i]);
+  parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) out[i] = fwd(xd[i]);
+                });
   auto xi = x.impl_ptr();
   return MakeNode(x.shape(), std::move(out), {x}, [xi, bwd](TensorImpl& self) {
     if (!xi->requires_grad) return;
@@ -154,27 +224,40 @@ Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd) {
     const auto& g = self.grad;
     const auto& xd = xi->data;
     const auto& yd = self.data;
-    for (size_t i = 0; i < g.size(); ++i) xi->grad[i] += bwd(xd[i], yd[i]) * g[i];
+    parallel::For(0, static_cast<int64_t>(g.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) {
+                      xi->grad[i] += bwd(xd[i], yd[i]) * g[i];
+                    }
+                  });
   });
 }
 
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  // C[m,n] += A[m,k] * B[k,n]; i-p-j loop order keeps the inner loop
-  // contiguous over both B and C so the compiler can vectorize it.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+// C rows [i0, i1) of one batch: C[i,:] += A[i,:] * B. The contraction dim is
+// blocked so a kPBlock x n tile of B stays cache-hot across the row range;
+// per output element the p-accumulation order stays globally ascending, so
+// the result is bitwise-identical to the naive i-p-j loop.
+void MatMulRowsKernel(const float* a, const float* b, float* c, int64_t k, int64_t n,
+                      int64_t i0, int64_t i1) {
+  constexpr int64_t kPBlock = 64;
+  for (int64_t p0 = 0; p0 < k; p0 += kPBlock) {
+    const int64_t p1 = std::min(k, p0 + kPBlock);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
   }
 }
 
-// dA[m,k] += dC[m,n] * B^T  (i.e. dA[i,p] += sum_j dC[i,j] B[p,j])
-void MatMulGradA(const float* dc, const float* b, float* da, int64_t m, int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
+// dA rows [i0, i1) of one batch: dA[i,p] += sum_j dC[i,j] B[p,j].
+void MatMulGradARows(const float* dc, const float* b, float* da, int64_t k, int64_t n,
+                     int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
     const float* dcrow = dc + i * n;
     float* darow = da + i * k;
     for (int64_t p = 0; p < k; ++p) {
@@ -186,16 +269,31 @@ void MatMulGradA(const float* dc, const float* b, float* da, int64_t m, int64_t 
   }
 }
 
-// dB[k,n] += A^T * dC  (i.e. dB[p,j] += sum_i A[i,p] dC[i,j])
-void MatMulGradB(const float* a, const float* dc, float* db, int64_t m, int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* dcrow = dc + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      float* dbrow = db + p * n;
+// dB rows [p0, p1) of one batch: dB[p,j] += sum_i A[i,p] dC[i,j]. The i loop
+// ascends inside each row so per-element accumulation order matches the
+// serial i-outer kernel bitwise.
+void MatMulGradBRows(const float* a, const float* dc, float* db, int64_t m, int64_t k,
+                     int64_t n, int64_t p0, int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    float* dbrow = db + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a[i * k + p];
+      const float* dcrow = dc + i * n;
       for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
     }
+  }
+}
+
+/// Splits the flattened (batch, row) range [r0, r1) into per-batch segments
+/// and calls fn(batch_index, local_row_begin, local_row_end).
+template <typename Fn>
+void ForEachBatchSegment(int64_t r0, int64_t r1, int64_t rows_per_batch, Fn&& fn) {
+  int64_t r = r0;
+  while (r < r1) {
+    const int64_t bi = r / rows_per_batch;
+    const int64_t seg_end = std::min(r1, (bi + 1) * rows_per_batch);
+    fn(bi, r - bi * rows_per_batch, seg_end - bi * rows_per_batch);
+    r = seg_end;
   }
 }
 
@@ -302,14 +400,28 @@ Tensor Tensor::Square() const {
 
 Tensor Tensor::Sum() const {
   const auto& xd = data();
+  const int64_t total = static_cast<int64_t>(xd.size());
+  // Fixed-boundary chunk partials combined in chunk index order: the
+  // reduction tree depends only on (total, kReduceChunk), never on threads.
+  const int64_t nchunks = parallel::NumFixedChunks(total, kReduceChunk);
+  std::vector<double> partial(nchunks, 0.0);
+  parallel::ForFixedChunks(0, total, kReduceChunk,
+                           [&](int64_t c, int64_t b, int64_t e) {
+                             double acc = 0.0;
+                             for (int64_t i = b; i < e; ++i) acc += xd[i];
+                             partial[c] = acc;
+                           });
   double acc = 0.0;
-  for (float v : xd) acc += v;
+  for (double p : partial) acc += p;
   auto xi = impl_ptr();
   return MakeNode({1}, {static_cast<float>(acc)}, {*this}, [xi](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const float g = self.grad[0];
-    for (auto& gi : xi->grad) gi += g;
+    parallel::For(0, static_cast<int64_t>(xi->grad.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) xi->grad[i] += g;
+                  });
   });
 }
 
@@ -325,11 +437,13 @@ Tensor Tensor::SumLastDim() const {
   const int64_t rows = numel() / std::max<int64_t>(c, 1);
   const auto& xd = data();
   std::vector<float> out(rows, 0.0f);
-  for (int64_t r = 0; r < rows; ++r) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < c; ++j) acc += xd[r * c + j];
-    out[r] = static_cast<float>(acc);
-  }
+  parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < c; ++j) acc += xd[r * c + j];
+      out[r] = static_cast<float>(acc);
+    }
+  });
   Shape out_shape(shape().begin(), shape().end() - 1);
   if (out_shape.empty()) out_shape = {1};
   auto xi = impl_ptr();
@@ -337,10 +451,12 @@ Tensor Tensor::SumLastDim() const {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t rows = static_cast<int64_t>(self.grad.size());
-    for (int64_t r = 0; r < rows; ++r) {
-      const float g = self.grad[r];
-      for (int64_t j = 0; j < c; ++j) xi->grad[r * c + j] += g;
-    }
+    parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float g = self.grad[r];
+        for (int64_t j = 0; j < c; ++j) xi->grad[r * c + j] += g;
+      }
+    });
   });
 }
 
@@ -358,18 +474,20 @@ Tensor Tensor::MaxLastDim() const {
   const auto& xd = data();
   std::vector<float> out(rows);
   auto argmax = std::make_shared<std::vector<int64_t>>(rows);
-  for (int64_t r = 0; r < rows; ++r) {
-    int64_t best = 0;
-    float bv = xd[r * c];
-    for (int64_t j = 1; j < c; ++j) {
-      if (xd[r * c + j] > bv) {
-        bv = xd[r * c + j];
-        best = j;
+  parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      int64_t best = 0;
+      float bv = xd[r * c];
+      for (int64_t j = 1; j < c; ++j) {
+        if (xd[r * c + j] > bv) {
+          bv = xd[r * c + j];
+          best = j;
+        }
       }
+      out[r] = bv;
+      (*argmax)[r] = best;
     }
-    out[r] = bv;
-    (*argmax)[r] = best;
-  }
+  });
   Shape out_shape(shape().begin(), shape().end() - 1);
   if (out_shape.empty()) out_shape = {1};
   auto xi = impl_ptr();
@@ -378,9 +496,11 @@ Tensor Tensor::MaxLastDim() const {
                     if (!xi->requires_grad) return;
                     xi->EnsureGrad();
                     const int64_t rows = static_cast<int64_t>(self.grad.size());
-                    for (int64_t r = 0; r < rows; ++r) {
-                      xi->grad[r * c + (*argmax)[r]] += self.grad[r];
-                    }
+                    parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        xi->grad[r * c + (*argmax)[r]] += self.grad[r];
+                      }
+                    });
                   });
 }
 
@@ -393,32 +513,36 @@ Tensor Tensor::SoftmaxLastDim() const {
   const int64_t rows = numel() / c;
   const auto& xd = data();
   std::vector<float> out(xd.size());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xd.data() + r * c;
-    float* yr = out.data() + r * c;
-    float mx = xr[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      yr[j] = std::exp(xr[j] - mx);
-      z += yr[j];
+  parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xd.data() + r * c;
+      float* yr = out.data() + r * c;
+      float mx = xr[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        z += yr[j];
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (int64_t j = 0; j < c; ++j) yr[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (int64_t j = 0; j < c; ++j) yr[j] *= inv;
-  }
+  });
   auto xi = impl_ptr();
   return MakeNode(shape(), std::move(out), {*this}, [xi, c](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = self.data.data() + r * c;
-      const float* g = self.grad.data() + r * c;
-      double dot = 0.0;
-      for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
-      float* gx = xi->grad.data() + r * c;
-      for (int64_t j = 0; j < c; ++j) gx[j] += y[j] * (g[j] - static_cast<float>(dot));
-    }
+    parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* y = self.data.data() + r * c;
+        const float* g = self.grad.data() + r * c;
+        double dot = 0.0;
+        for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
+        float* gx = xi->grad.data() + r * c;
+        for (int64_t j = 0; j < c; ++j) gx[j] += y[j] * (g[j] - static_cast<float>(dot));
+      }
+    });
   });
 }
 
@@ -429,31 +553,35 @@ Tensor Tensor::LogSoftmaxLastDim() const {
   const int64_t rows = numel() / c;
   const auto& xd = data();
   std::vector<float> out(xd.size());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xd.data() + r * c;
-    float* yr = out.data() + r * c;
-    float mx = xr[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(z));
-    for (int64_t j = 0; j < c; ++j) yr[j] = xr[j] - lse;
-  }
+  parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xd.data() + r * c;
+      float* yr = out.data() + r * c;
+      float mx = xr[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(z));
+      for (int64_t j = 0; j < c; ++j) yr[j] = xr[j] - lse;
+    }
+  });
   auto xi = impl_ptr();
   return MakeNode(shape(), std::move(out), {*this}, [xi, c](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = self.data.data() + r * c;  // log-softmax values
-      const float* g = self.grad.data() + r * c;
-      double gsum = 0.0;
-      for (int64_t j = 0; j < c; ++j) gsum += g[j];
-      float* gx = xi->grad.data() + r * c;
-      for (int64_t j = 0; j < c; ++j) {
-        gx[j] += g[j] - std::exp(y[j]) * static_cast<float>(gsum);
+    parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* y = self.data.data() + r * c;  // log-softmax values
+        const float* g = self.grad.data() + r * c;
+        double gsum = 0.0;
+        for (int64_t j = 0; j < c; ++j) gsum += g[j];
+        float* gx = xi->grad.data() + r * c;
+        for (int64_t j = 0; j < c; ++j) {
+          gx[j] += g[j] - std::exp(y[j]) * static_cast<float>(gsum);
+        }
       }
-    }
+    });
   });
 }
 
@@ -465,30 +593,34 @@ Tensor Tensor::L2NormalizeLastDim(float eps) const {
   const auto& xd = data();
   std::vector<float> out(xd.size());
   auto norms = std::make_shared<std::vector<float>>(rows);
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xd.data() + r * c;
-    double sq = 0.0;
-    for (int64_t j = 0; j < c; ++j) sq += static_cast<double>(xr[j]) * xr[j];
-    const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
-    (*norms)[r] = norm;
-    for (int64_t j = 0; j < c; ++j) out[r * c + j] = xr[j] / norm;
-  }
+  parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xd.data() + r * c;
+      double sq = 0.0;
+      for (int64_t j = 0; j < c; ++j) sq += static_cast<double>(xr[j]) * xr[j];
+      const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+      (*norms)[r] = norm;
+      for (int64_t j = 0; j < c; ++j) out[r * c + j] = xr[j] / norm;
+    }
+  });
   auto xi = impl_ptr();
   return MakeNode(shape(), std::move(out), {*this}, [xi, c, norms](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = self.data.data() + r * c;
-      const float* g = self.grad.data() + r * c;
-      double dot = 0.0;
-      for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
-      const float inv_norm = 1.0f / (*norms)[r];
-      float* gx = xi->grad.data() + r * c;
-      for (int64_t j = 0; j < c; ++j) {
-        gx[j] += (g[j] - y[j] * static_cast<float>(dot)) * inv_norm;
+    parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* y = self.data.data() + r * c;
+        const float* g = self.grad.data() + r * c;
+        double dot = 0.0;
+        for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
+        const float inv_norm = 1.0f / (*norms)[r];
+        float* gx = xi->grad.data() + r * c;
+        for (int64_t j = 0; j < c; ++j) {
+          gx[j] += (g[j] - y[j] * static_cast<float>(dot)) * inv_norm;
+        }
       }
-    }
+    });
   });
 }
 
@@ -498,15 +630,21 @@ Tensor Tensor::MaskedFill(const std::vector<uint8_t>& mask, float value) const {
   MSGCL_CHECK_EQ(static_cast<int64_t>(mask.size()), numel());
   const auto& xd = data();
   std::vector<float> out(xd.size());
-  for (size_t i = 0; i < xd.size(); ++i) out[i] = mask[i] ? value : xd[i];
+  parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) out[i] = mask[i] ? value : xd[i];
+                });
   auto xi = impl_ptr();
   auto mask_copy = std::make_shared<std::vector<uint8_t>>(mask);
   return MakeNode(shape(), std::move(out), {*this}, [xi, mask_copy](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
-    for (size_t i = 0; i < self.grad.size(); ++i) {
-      if (!(*mask_copy)[i]) xi->grad[i] += self.grad[i];
-    }
+    parallel::For(0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) {
+                      if (!(*mask_copy)[i]) xi->grad[i] += self.grad[i];
+                    }
+                  });
   });
 }
 
@@ -516,16 +654,26 @@ Tensor Tensor::DropoutMask(const std::vector<uint8_t>& keep, float keep_prob) co
   const float scale = 1.0f / keep_prob;
   const auto& xd = data();
   std::vector<float> out(xd.size());
-  for (size_t i = 0; i < xd.size(); ++i) out[i] = keep[i] ? xd[i] * scale : 0.0f;
+  parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    out[i] = keep[i] ? xd[i] * scale : 0.0f;
+                  }
+                });
   auto xi = impl_ptr();
   auto keep_copy = std::make_shared<std::vector<uint8_t>>(keep);
   return MakeNode(shape(), std::move(out), {*this},
                   [xi, keep_copy, scale](TensorImpl& self) {
                     if (!xi->requires_grad) return;
                     xi->EnsureGrad();
-                    for (size_t i = 0; i < self.grad.size(); ++i) {
-                      if ((*keep_copy)[i]) xi->grad[i] += self.grad[i] * scale;
-                    }
+                    parallel::For(0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                                  [&](int64_t i0, int64_t i1) {
+                                    for (int64_t i = i0; i < i1; ++i) {
+                                      if ((*keep_copy)[i]) {
+                                        xi->grad[i] += self.grad[i] * scale;
+                                      }
+                                    }
+                                  });
                   });
 }
 
@@ -538,7 +686,10 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   return MakeNode(std::move(new_shape), data(), {*this}, [xi](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
-    for (size_t i = 0; i < self.grad.size(); ++i) xi->grad[i] += self.grad[i];
+    parallel::For(0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) xi->grad[i] += self.grad[i];
+                  });
   });
 }
 
@@ -568,8 +719,13 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
   const auto& xd = data();
   std::vector<float> out(xd.size());
   std::vector<int64_t> zero(n, 0);
-  ForEachBroadcast(out_shape, strides_by_out, zero,
-                   [&](int64_t o, int64_t io, int64_t) { out[o] = xd[io]; });
+  parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  ForEachBroadcastRange(out_shape, strides_by_out, zero, i0, i1,
+                                        [&](int64_t o, int64_t io, int64_t) {
+                                          out[o] = xd[io];
+                                        });
+                });
 
   auto xi = impl_ptr();
   Shape out_copy = out_shape;
@@ -577,11 +733,17 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
                   [xi, strides_by_out, out_copy](TensorImpl& self) {
                     if (!xi->requires_grad) return;
                     xi->EnsureGrad();
+                    // A permutation is a bijection: each output element maps
+                    // to a distinct input slot, so parallel scatter is safe.
                     std::vector<int64_t> zero(out_copy.size(), 0);
-                    ForEachBroadcast(out_copy, strides_by_out, zero,
-                                     [&](int64_t o, int64_t io, int64_t) {
-                                       xi->grad[io] += self.grad[o];
-                                     });
+                    parallel::For(0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                                  [&](int64_t i0, int64_t i1) {
+                                    ForEachBroadcastRange(
+                                        out_copy, strides_by_out, zero, i0, i1,
+                                        [&](int64_t o, int64_t io, int64_t) {
+                                          xi->grad[io] += self.grad[o];
+                                        });
+                                  });
                   });
 }
 
@@ -602,21 +764,30 @@ Tensor Tensor::Narrow(int d, int64_t start, int64_t length) const {
   out_shape[d] = length;
   const auto& xd = data();
   std::vector<float> out(outer * length * inner);
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = xd.data() + (o * in_dim + start) * inner;
-    float* dst = out.data() + o * length * inner;
-    std::copy(src, src + length * inner, dst);
-  }
+  parallel::For(0, outer, RowGrain(length * inner), [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const float* src = xd.data() + (o * in_dim + start) * inner;
+      float* dst = out.data() + o * length * inner;
+      std::copy(src, src + length * inner, dst);
+    }
+  });
   auto xi = impl_ptr();
   return MakeNode(std::move(out_shape), std::move(out), {*this},
                   [xi, outer, inner, in_dim, start, length](TensorImpl& self) {
                     if (!xi->requires_grad) return;
                     xi->EnsureGrad();
-                    for (int64_t o = 0; o < outer; ++o) {
-                      const float* gs = self.grad.data() + o * length * inner;
-                      float* gd = xi->grad.data() + (o * in_dim + start) * inner;
-                      for (int64_t i = 0; i < length * inner; ++i) gd[i] += gs[i];
-                    }
+                    parallel::For(0, outer, RowGrain(length * inner),
+                                  [&](int64_t o0, int64_t o1) {
+                                    for (int64_t o = o0; o < o1; ++o) {
+                                      const float* gs =
+                                          self.grad.data() + o * length * inner;
+                                      float* gd =
+                                          xi->grad.data() + (o * in_dim + start) * inner;
+                                      for (int64_t i = 0; i < length * inner; ++i) {
+                                        gd[i] += gs[i];
+                                      }
+                                    }
+                                  });
                   });
 }
 
@@ -666,12 +837,15 @@ Tensor Tensor::Concat(const std::vector<Tensor>& tensors, int d) {
                       const int64_t td = dim_sizes[p];
                       if (pi.requires_grad) {
                         pi.EnsureGrad();
-                        for (int64_t o = 0; o < outer; ++o) {
-                          const float* gs =
-                              self.grad.data() + (o * total_dim + offset_dim) * inner;
-                          float* gd = pi.grad.data() + o * td * inner;
-                          for (int64_t i = 0; i < td * inner; ++i) gd[i] += gs[i];
-                        }
+                        parallel::For(
+                            0, outer, RowGrain(td * inner), [&](int64_t o0, int64_t o1) {
+                              for (int64_t o = o0; o < o1; ++o) {
+                                const float* gs = self.grad.data() +
+                                                  (o * total_dim + offset_dim) * inner;
+                                float* gd = pi.grad.data() + o * td * inner;
+                                for (int64_t i = 0; i < td * inner; ++i) gd[i] += gs[i];
+                              }
+                            });
                       }
                       offset_dim += td;
                     }
@@ -708,32 +882,76 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   const auto& bd = B.data();
   const int64_t a_stride = a_batched ? m * ka : 0;
   const int64_t b_stride = b_batched ? ka * nn : 0;
-  for (int64_t bi = 0; bi < nbatch; ++bi) {
-    MatMulKernel(ad.data() + bi * a_stride, bd.data() + bi * b_stride,
-                 out.data() + bi * m * nn, m, ka, nn);
-  }
+  const int64_t k = ka;
+  // Output rows are disjoint across (batch, i): parallelize the flattened
+  // row space. Grain keeps >= kMatMulGrainFlops of work per shard.
+  const int64_t row_flops = std::max<int64_t>(2 * k * nn, 1);
+  const int64_t fwd_grain = std::max<int64_t>(1, kMatMulGrainFlops / row_flops);
+  parallel::For(0, nbatch * m, fwd_grain, [&](int64_t r0, int64_t r1) {
+    ForEachBatchSegment(r0, r1, m, [&](int64_t bi, int64_t i0, int64_t i1) {
+      MatMulRowsKernel(ad.data() + bi * a_stride, bd.data() + bi * b_stride,
+                       out.data() + bi * m * nn, k, nn, i0, i1);
+    });
+  });
 
   auto ai = A.impl_ptr();
   auto bimp = B.impl_ptr();
-  const int64_t k = ka;
-  return MakeNode(std::move(out_shape), std::move(out), {A, B},
-                  [ai, bimp, m, k, nn, nbatch, a_stride, b_stride](TensorImpl& self) {
-                    const bool need_a = ai->requires_grad;
-                    const bool need_b = bimp->requires_grad;
-                    if (need_a) ai->EnsureGrad();
-                    if (need_b) bimp->EnsureGrad();
-                    for (int64_t bi = 0; bi < nbatch; ++bi) {
-                      const float* dc = self.grad.data() + bi * m * nn;
-                      const float* a = ai->data.data() + bi * a_stride;
-                      const float* b = bimp->data.data() + bi * b_stride;
-                      if (need_a) {
-                        MatMulGradA(dc, b, ai->grad.data() + bi * a_stride, m, k, nn);
-                      }
-                      if (need_b) {
-                        MatMulGradB(a, dc, bimp->grad.data() + bi * b_stride, m, k, nn);
-                      }
-                    }
-                  });
+  return MakeNode(
+      std::move(out_shape), std::move(out), {A, B},
+      [ai, bimp, m, k, nn, nbatch, a_stride, b_stride, a_batched,
+       b_batched](TensorImpl& self) {
+        const bool need_a = ai->requires_grad;
+        const bool need_b = bimp->requires_grad;
+        if (need_a) ai->EnsureGrad();
+        if (need_b) bimp->EnsureGrad();
+        const float* gd = self.grad.data();
+        const float* adata = ai->data.data();
+        const float* bdata = bimp->data.data();
+        const int64_t row_flops = std::max<int64_t>(2 * k * nn, 1);
+        const int64_t grain_a = std::max<int64_t>(1, kMatMulGrainFlops / row_flops);
+        const int64_t col_flops = std::max<int64_t>(2 * m * nn, 1);
+        const int64_t grain_b = std::max<int64_t>(1, kMatMulGrainFlops / col_flops);
+        if (need_a) {
+          if (a_batched) {
+            // dA rows are disjoint across (batch, i).
+            parallel::For(0, nbatch * m, grain_a, [&](int64_t r0, int64_t r1) {
+              ForEachBatchSegment(r0, r1, m, [&](int64_t bi, int64_t i0, int64_t i1) {
+                MatMulGradARows(gd + bi * m * nn, bdata + bi * b_stride,
+                                ai->grad.data() + bi * a_stride, k, nn, i0, i1);
+              });
+            });
+          } else {
+            // Shared A: every batch accumulates into the same dA. Shard by
+            // row i and walk batches in ascending order inside the shard so
+            // per-element accumulation order matches the serial kernel.
+            parallel::For(0, m, grain_a, [&](int64_t i0, int64_t i1) {
+              for (int64_t bi = 0; bi < nbatch; ++bi) {
+                MatMulGradARows(gd + bi * m * nn, bdata + bi * b_stride,
+                                ai->grad.data(), k, nn, i0, i1);
+              }
+            });
+          }
+        }
+        if (need_b) {
+          if (b_batched) {
+            // dB rows are disjoint across (batch, p).
+            parallel::For(0, nbatch * k, grain_b, [&](int64_t r0, int64_t r1) {
+              ForEachBatchSegment(r0, r1, k, [&](int64_t bi, int64_t p0, int64_t p1) {
+                MatMulGradBRows(adata + bi * a_stride, gd + bi * m * nn,
+                                bimp->grad.data() + bi * b_stride, m, k, nn, p0, p1);
+              });
+            });
+          } else {
+            // Shared B: shard by row p, batches ascending inside the shard.
+            parallel::For(0, k, grain_b, [&](int64_t p0, int64_t p1) {
+              for (int64_t bi = 0; bi < nbatch; ++bi) {
+                MatMulGradBRows(adata + bi * a_stride, gd + bi * m * nn,
+                                bimp->grad.data(), m, k, nn, p0, p1);
+              }
+            });
+          }
+        }
+      });
 }
 
 // ---- Fused neural-net primitives -----------------------------------------------
@@ -746,28 +964,40 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& indices,
   const int64_t width = table.dim(1);
   const auto& td = table.data();
   std::vector<float> out(indices.size() * width);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int32_t id = indices[i];
-    MSGCL_CHECK_MSG(id >= 0 && id < rows,
-                    "embedding index " << id << " out of [0, " << rows << ")");
-    std::copy(td.data() + id * width, td.data() + (id + 1) * width,
-              out.data() + static_cast<int64_t>(i) * width);
-  }
+  parallel::For(0, static_cast<int64_t>(indices.size()), RowGrain(width),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    const int32_t id = indices[i];
+                    MSGCL_CHECK_MSG(id >= 0 && id < rows,
+                                    "embedding index " << id << " out of [0, " << rows
+                                                       << ")");
+                    std::copy(td.data() + id * width, td.data() + (id + 1) * width,
+                              out.data() + i * width);
+                  }
+                });
   Shape out_shape = index_shape;
   out_shape.push_back(width);
   auto ti = table.impl_ptr();
   auto idx = std::make_shared<std::vector<int32_t>>(indices);
   return MakeNode(std::move(out_shape), std::move(out), {table},
-                  [ti, idx, width, padding_idx](TensorImpl& self) {
+                  [ti, idx, rows, width, padding_idx](TensorImpl& self) {
                     if (!ti->requires_grad) return;
                     ti->EnsureGrad();
-                    for (size_t i = 0; i < idx->size(); ++i) {
-                      const int32_t id = (*idx)[i];
-                      if (id == padding_idx) continue;
-                      const float* gs = self.grad.data() + static_cast<int64_t>(i) * width;
-                      float* gd = ti->grad.data() + static_cast<int64_t>(id) * width;
-                      for (int64_t j = 0; j < width; ++j) gd[j] += gs[j];
-                    }
+                    // Scatter sharded by table-row ownership: each shard owns
+                    // a contiguous row range and scans the whole index list
+                    // in ascending order, so a given row always accumulates
+                    // its occurrences in the same order — race-free and
+                    // bitwise-invariant under the thread count.
+                    parallel::For(0, rows, 1, [&](int64_t r0, int64_t r1) {
+                      const int64_t count = static_cast<int64_t>(idx->size());
+                      for (int64_t i = 0; i < count; ++i) {
+                        const int32_t id = (*idx)[i];
+                        if (id == padding_idx || id < r0 || id >= r1) continue;
+                        const float* gs = self.grad.data() + i * width;
+                        float* gd = ti->grad.data() + static_cast<int64_t>(id) * width;
+                        for (int64_t j = 0; j < width; ++j) gd[j] += gs[j];
+                      }
+                    });
                   });
 }
 
@@ -777,24 +1007,29 @@ Tensor GatherTimeStep(const Tensor& x, const std::vector<int32_t>& positions) {
   MSGCL_CHECK_EQ(static_cast<int64_t>(positions.size()), B);
   const auto& xd = x.data();
   std::vector<float> out(B * D);
-  for (int64_t b = 0; b < B; ++b) {
-    const int32_t t = positions[b];
-    MSGCL_CHECK_MSG(t >= 0 && t < T, "position " << t << " out of [0, " << T << ")");
-    std::copy(xd.data() + (b * T + t) * D, xd.data() + (b * T + t + 1) * D,
-              out.data() + b * D);
-  }
+  parallel::For(0, B, RowGrain(D), [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const int32_t t = positions[b];
+      MSGCL_CHECK_MSG(t >= 0 && t < T, "position " << t << " out of [0, " << T << ")");
+      std::copy(xd.data() + (b * T + t) * D, xd.data() + (b * T + t + 1) * D,
+                out.data() + b * D);
+    }
+  });
   auto xi = x.impl_ptr();
   auto pos = std::make_shared<std::vector<int32_t>>(positions);
   return MakeNode({B, D}, std::move(out), {x}, [xi, pos, T, D](TensorImpl& self) {
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t B = static_cast<int64_t>(pos->size());
-    for (int64_t b = 0; b < B; ++b) {
-      const int32_t t = (*pos)[b];
-      const float* gs = self.grad.data() + b * D;
-      float* gd = xi->grad.data() + (b * T + t) * D;
-      for (int64_t j = 0; j < D; ++j) gd[j] += gs[j];
-    }
+    // One target row per batch element -> disjoint writes.
+    parallel::For(0, B, RowGrain(D), [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        const int32_t t = (*pos)[b];
+        const float* gs = self.grad.data() + b * D;
+        float* gd = xi->grad.data() + (b * T + t) * D;
+        for (int64_t j = 0; j < D; ++j) gd[j] += gs[j];
+      }
+    });
   });
 }
 
@@ -812,66 +1047,86 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta
   std::vector<float> out(xd.size());
   auto xhat = std::make_shared<std::vector<float>>(xd.size());
   auto inv_std = std::make_shared<std::vector<float>>(rows);
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xd.data() + r * c;
-    double mu = 0.0;
-    for (int64_t j = 0; j < c; ++j) mu += xr[j];
-    mu /= static_cast<double>(c);
-    double var = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      const double d = xr[j] - mu;
-      var += d * d;
+  parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xd.data() + r * c;
+      double mu = 0.0;
+      for (int64_t j = 0; j < c; ++j) mu += xr[j];
+      mu /= static_cast<double>(c);
+      double var = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        const double d = xr[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<double>(c);
+      const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+      (*inv_std)[r] = is;
+      for (int64_t j = 0; j < c; ++j) {
+        const float xh = (xr[j] - static_cast<float>(mu)) * is;
+        (*xhat)[r * c + j] = xh;
+        out[r * c + j] = gd[j] * xh + bd[j];
+      }
     }
-    var /= static_cast<double>(c);
-    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    (*inv_std)[r] = is;
-    for (int64_t j = 0; j < c; ++j) {
-      const float xh = (xr[j] - static_cast<float>(mu)) * is;
-      (*xhat)[r * c + j] = xh;
-      out[r * c + j] = gd[j] * xh + bd[j];
-    }
-  }
+  });
   auto xi = x.impl_ptr();
   auto gi = gamma.impl_ptr();
   auto bi = beta.impl_ptr();
-  return MakeNode(x.shape(), std::move(out), {x, gamma, beta},
-                  [xi, gi, bi, xhat, inv_std, c](TensorImpl& self) {
-                    const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
-                    const bool need_x = xi->requires_grad;
-                    const bool need_g = gi->requires_grad;
-                    const bool need_b = bi->requires_grad;
-                    if (need_x) xi->EnsureGrad();
-                    if (need_g) gi->EnsureGrad();
-                    if (need_b) bi->EnsureGrad();
-                    for (int64_t r = 0; r < rows; ++r) {
-                      const float* g = self.grad.data() + r * c;
-                      const float* xh = xhat->data() + r * c;
-                      if (need_g || need_b) {
-                        for (int64_t j = 0; j < c; ++j) {
-                          if (need_g) gi->grad[j] += g[j] * xh[j];
-                          if (need_b) bi->grad[j] += g[j];
-                        }
-                      }
-                      if (need_x) {
-                        // dx = inv_std/c * (c*dy*gamma - sum(dy*gamma)
-                        //        - xhat * sum(dy*gamma*xhat))
-                        double s1 = 0.0, s2 = 0.0;
-                        for (int64_t j = 0; j < c; ++j) {
-                          const double dg = static_cast<double>(g[j]) * gi->data[j];
-                          s1 += dg;
-                          s2 += dg * xh[j];
-                        }
-                        const float is = (*inv_std)[r];
-                        float* gx = xi->grad.data() + r * c;
-                        const float invc = 1.0f / static_cast<float>(c);
-                        for (int64_t j = 0; j < c; ++j) {
-                          const float dg = g[j] * gi->data[j];
-                          gx[j] += is * (dg - invc * static_cast<float>(s1) -
-                                         xh[j] * invc * static_cast<float>(s2));
-                        }
-                      }
-                    }
-                  });
+  return MakeNode(
+      x.shape(), std::move(out), {x, gamma, beta},
+      [xi, gi, bi, xhat, inv_std, c](TensorImpl& self) {
+        const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
+        const bool need_x = xi->requires_grad;
+        const bool need_g = gi->requires_grad;
+        const bool need_b = bi->requires_grad;
+        if (need_x) xi->EnsureGrad();
+        if (need_g) gi->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        // dgamma/dbeta reduce over rows: per-chunk partials with fixed
+        // (thread-count independent) chunk boundaries, combined below in
+        // chunk index order. dx rows are disjoint and need no partials.
+        const int64_t nchunks = parallel::NumFixedChunks(rows, kRowReduceChunk);
+        std::vector<float> pgamma(need_g ? nchunks * c : 0, 0.0f);
+        std::vector<float> pbeta(need_b ? nchunks * c : 0, 0.0f);
+        parallel::ForFixedChunks(0, rows, kRowReduceChunk, [&](int64_t chunk, int64_t r0,
+                                                               int64_t r1) {
+          float* pg = need_g ? pgamma.data() + chunk * c : nullptr;
+          float* pb = need_b ? pbeta.data() + chunk * c : nullptr;
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* g = self.grad.data() + r * c;
+            const float* xh = xhat->data() + r * c;
+            if (need_g || need_b) {
+              for (int64_t j = 0; j < c; ++j) {
+                if (need_g) pg[j] += g[j] * xh[j];
+                if (need_b) pb[j] += g[j];
+              }
+            }
+            if (need_x) {
+              // dx = inv_std/c * (c*dy*gamma - sum(dy*gamma)
+              //        - xhat * sum(dy*gamma*xhat))
+              double s1 = 0.0, s2 = 0.0;
+              for (int64_t j = 0; j < c; ++j) {
+                const double dg = static_cast<double>(g[j]) * gi->data[j];
+                s1 += dg;
+                s2 += dg * xh[j];
+              }
+              const float is = (*inv_std)[r];
+              float* gx = xi->grad.data() + r * c;
+              const float invc = 1.0f / static_cast<float>(c);
+              for (int64_t j = 0; j < c; ++j) {
+                const float dg = g[j] * gi->data[j];
+                gx[j] += is * (dg - invc * static_cast<float>(s1) -
+                               xh[j] * invc * static_cast<float>(s2));
+              }
+            }
+          }
+        });
+        for (int64_t chunk = 0; chunk < nchunks; ++chunk) {
+          for (int64_t j = 0; j < c; ++j) {
+            if (need_g) gi->grad[j] += pgamma[chunk * c + j];
+            if (need_b) bi->grad[j] += pbeta[chunk * c + j];
+          }
+        }
+      });
 }
 
 Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targets,
@@ -881,22 +1136,37 @@ Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targ
   MSGCL_CHECK_EQ(static_cast<int64_t>(targets.size()), M);
   const auto& xd = logits.data();
   // Forward: mean over non-ignored rows of (logsumexp - logit[target]).
+  // Loss reduces over rows: fixed-chunk partials combined in chunk order.
   auto log_probs = std::make_shared<std::vector<float>>(xd.size());
+  const int64_t nchunks = parallel::NumFixedChunks(M, kRowReduceChunk);
+  std::vector<double> ploss(nchunks, 0.0);
+  std::vector<int64_t> pvalid(nchunks, 0);
+  parallel::ForFixedChunks(0, M, kRowReduceChunk, [&](int64_t chunk, int64_t r0,
+                                                      int64_t r1) {
+    double loss = 0.0;
+    int64_t valid = 0;
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xd.data() + r * C;
+      float mx = xr[0];
+      for (int64_t j = 1; j < C; ++j) mx = std::max(mx, xr[j]);
+      double z = 0.0;
+      for (int64_t j = 0; j < C; ++j) z += std::exp(xr[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(z));
+      for (int64_t j = 0; j < C; ++j) (*log_probs)[r * C + j] = xr[j] - lse;
+      const int32_t t = targets[r];
+      if (t == ignore_index) continue;
+      MSGCL_CHECK_MSG(t >= 0 && t < C, "target " << t << " out of [0, " << C << ")");
+      loss -= (*log_probs)[r * C + t];
+      ++valid;
+    }
+    ploss[chunk] = loss;
+    pvalid[chunk] = valid;
+  });
   double loss = 0.0;
   int64_t valid = 0;
-  for (int64_t r = 0; r < M; ++r) {
-    const float* xr = xd.data() + r * C;
-    float mx = xr[0];
-    for (int64_t j = 1; j < C; ++j) mx = std::max(mx, xr[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < C; ++j) z += std::exp(xr[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(z));
-    for (int64_t j = 0; j < C; ++j) (*log_probs)[r * C + j] = xr[j] - lse;
-    const int32_t t = targets[r];
-    if (t == ignore_index) continue;
-    MSGCL_CHECK_MSG(t >= 0 && t < C, "target " << t << " out of [0, " << C << ")");
-    loss -= (*log_probs)[r * C + t];
-    ++valid;
+  for (int64_t chunk = 0; chunk < nchunks; ++chunk) {
+    loss += ploss[chunk];
+    valid += pvalid[chunk];
   }
   const float mean_loss =
       valid > 0 ? static_cast<float>(loss / static_cast<double>(valid)) : 0.0f;
@@ -908,16 +1178,18 @@ Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targ
                     li->EnsureGrad();
                     const float g = self.grad[0] / static_cast<float>(valid);
                     const int64_t M = static_cast<int64_t>(tgt->size());
-                    for (int64_t r = 0; r < M; ++r) {
-                      const int32_t t = (*tgt)[r];
-                      if (t == ignore_index) continue;
-                      const float* lp = log_probs->data() + r * C;
-                      float* gx = li->grad.data() + r * C;
-                      for (int64_t j = 0; j < C; ++j) {
-                        const float softmax = std::exp(lp[j]);
-                        gx[j] += g * (softmax - (j == t ? 1.0f : 0.0f));
+                    parallel::For(0, M, RowGrain(C), [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        const int32_t t = (*tgt)[r];
+                        if (t == ignore_index) continue;
+                        const float* lp = log_probs->data() + r * C;
+                        float* gx = li->grad.data() + r * C;
+                        for (int64_t j = 0; j < C; ++j) {
+                          const float softmax = std::exp(lp[j]);
+                          gx[j] += g * (softmax - (j == t ? 1.0f : 0.0f));
+                        }
                       }
-                    }
+                    });
                   });
 }
 
@@ -935,8 +1207,10 @@ Tensor HorizontalConv(const Tensor& x, const Tensor& weight, const Tensor& bias)
   const auto& wd = weight.data();
   const auto& bd = bias.data();
   std::vector<float> out(B * L * F);
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t t = 0; t < L; ++t) {
+  // Output rows (b, t) are disjoint.
+  parallel::For(0, B * L, RowGrain(F * h * D), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / L, t = r % L;
       float* orow = out.data() + (b * L + t) * F;
       for (int64_t f = 0; f < F; ++f) {
         const float* w = wd.data() + f * h * D;
@@ -946,7 +1220,7 @@ Tensor HorizontalConv(const Tensor& x, const Tensor& weight, const Tensor& bias)
         orow[f] = static_cast<float>(acc);
       }
     }
-  }
+  });
   auto xi = x.impl_ptr();
   auto wi = weight.impl_ptr();
   auto bi = bias.impl_ptr();
@@ -958,6 +1232,9 @@ Tensor HorizontalConv(const Tensor& x, const Tensor& weight, const Tensor& bias)
                     if (need_x) xi->EnsureGrad();
                     if (need_w) wi->EnsureGrad();
                     if (need_b) bi->EnsureGrad();
+                    // Serial: dw/db reduce over every (b, t) window and dx
+                    // windows overlap along t, so there is no disjoint
+                    // sharding. Caser-only and off the Meta-SGCL hot path.
                     for (int64_t b = 0; b < B; ++b) {
                       for (int64_t t = 0; t < L; ++t) {
                         const float* g = self.grad.data() + (b * L + t) * F;

@@ -1,0 +1,397 @@
+// Systematic finite-difference gradient sweep over every differentiable op
+// in src/tensor/ops.cc, at tighter tolerances than the spot checks in
+// tensor_test.cc (central differences, rtol 1e-3). Inputs are constructed to
+// stay away from non-differentiable points (Relu/Max kinks, Div poles,
+// Log/Sqrt near zero) so the numeric estimate is trustworthy at this
+// precision.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace msgcl {
+namespace {
+
+using testing::CheckGradients;
+
+constexpr float kEps = 1e-2f;    // central-difference step
+constexpr float kAtol = 2e-3f;   // absolute floor (float eval noise)
+constexpr float kRtol = 1e-3f;   // per ISSUE: sweep at rtol 1e-3
+
+/// |x| in [mag_lo, mag_hi], random sign: keeps Relu/Div/Log probes at least
+/// mag_lo - kEps away from their kinks/poles.
+Tensor SignedAwayFromZero(Shape shape, Rng& rng, float mag_lo, float mag_hi) {
+  std::vector<float> v(NumElements(shape));
+  for (auto& x : v) {
+    const float mag = mag_lo + static_cast<float>(rng.Uniform()) * (mag_hi - mag_lo);
+    x = rng.Uniform() < 0.5 ? -mag : mag;
+  }
+  return Tensor::FromVector(std::move(shape), std::move(v));
+}
+
+/// Reduces an arbitrary-shaped op output to a scalar with random weights, so
+/// every output element contributes a distinct gradient signal. The weights
+/// come from a fixed-seed stream: CheckGradients re-invokes the loss for
+/// every finite-difference probe, so the loss must be a pure function of the
+/// leaves (the caller's rng is accepted but unused to keep call sites tidy).
+Tensor WeightedSum(const Tensor& t, Rng& /*rng*/) {
+  Rng wrng(31337);
+  Tensor w = Tensor::Rand(t.shape(), wrng, 0.5f, 1.5f);
+  return t.Mul(w).Sum();
+}
+
+// ---- Elementwise binary ----------------------------------------------------
+
+TEST(GradSweepTest, AddSubSameShape) {
+  Rng rng(101);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].Add(l[1]).Sub(l[0].MulScalar(0.5f)), rng);
+      },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, MulDivSameShape) {
+  Rng rng(102);
+  Tensor a = Tensor::Rand({2, 5}, rng, -1.0f, 1.0f);
+  Tensor b = SignedAwayFromZero({2, 5}, rng, 0.5f, 1.5f);  // denominator
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].Div(l[1]), rng); },
+      {a, b}, kEps, kAtol, kRtol);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].Mul(l[1]), rng); },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, BroadcastRowColumnAndScalar) {
+  Rng rng(103);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f);
+  Tensor row = Tensor::Rand({4}, rng, -1.0f, 1.0f);
+  Tensor plane = Tensor::Rand({3, 1}, rng, -1.0f, 1.0f);
+  Tensor scalar = Tensor::Rand({1}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].Add(l[1]).Mul(l[2]).Add(l[3]), rng);
+      },
+      {a, row, plane, scalar}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, BroadcastRank0Leaf) {
+  Rng rng(104);
+  Tensor scalar = Tensor::FromVector({}, {0.7f});  // rank-0
+  Tensor m = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].Mul(l[1]), rng); },
+      {scalar, m}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, ScalarOps) {
+  Rng rng(105);
+  Tensor a = Tensor::Rand({3, 3}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].MulScalar(1.7f).AddScalar(-0.3f), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+}
+
+// ---- Elementwise unary -----------------------------------------------------
+
+TEST(GradSweepTest, ReluAwayFromKink) {
+  Rng rng(106);
+  Tensor a = SignedAwayFromZero({4, 4}, rng, 0.2f, 1.0f);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Relu(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, SmoothUnaries) {
+  Rng rng(107);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Gelu(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Tanh(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].Sigmoid(), rng); }, {a},
+      kEps, kAtol, kRtol);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Exp(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Square(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, LogSqrtPositiveDomain) {
+  Rng rng(108);
+  Tensor a = Tensor::Rand({3, 4}, rng, 0.5f, 2.0f);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Log(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+  CheckGradients([&](std::vector<Tensor>& l) { return WeightedSum(l[0].Sqrt(), rng); },
+                 {a}, kEps, kAtol, kRtol);
+}
+
+// ---- Reductions ------------------------------------------------------------
+
+TEST(GradSweepTest, FullReductions) {
+  Rng rng(109);
+  Tensor a = Tensor::Rand({4, 5}, rng, -1.0f, 1.0f);
+  CheckGradients([&](std::vector<Tensor>& l) { return l[0].Sum(); }, {a}, kEps, kAtol,
+                 kRtol);
+  CheckGradients([&](std::vector<Tensor>& l) { return l[0].Mean(); }, {a}, kEps, kAtol,
+                 kRtol);
+  CheckGradients([&](std::vector<Tensor>& l) { return l[0].Square().Sum(); }, {a}, kEps,
+                 kAtol, kRtol);
+}
+
+TEST(GradSweepTest, LastDimReductions) {
+  Rng rng(110);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].SumLastDim(), rng); }, {a},
+      kEps, kAtol, kRtol);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MeanLastDim(), rng); }, {a},
+      kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, MaxLastDimUniqueMax) {
+  // Row maxima separated by > 2*kEps so probes cannot flip the argmax.
+  Tensor a = Tensor::FromVector({2, 4}, {0.1f, 0.9f, -0.5f, 0.3f,  //
+                                         0.8f, -0.2f, 0.4f, 0.0f});
+  Rng rng(111);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MaxLastDim(), rng); }, {a},
+      kEps, kAtol, kRtol);
+}
+
+// ---- Softmax family --------------------------------------------------------
+
+TEST(GradSweepTest, SoftmaxLastDim) {
+  Rng rng(112);
+  Tensor a = Tensor::Rand({3, 5}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].SoftmaxLastDim(), rng); },
+      {a}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, LogSoftmaxLastDim) {
+  Rng rng(113);
+  Tensor a = Tensor::Rand({3, 5}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].LogSoftmaxLastDim(), rng); },
+      {a}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, L2NormalizeLastDim) {
+  Rng rng(114);
+  Tensor a = SignedAwayFromZero({3, 4}, rng, 0.5f, 1.5f);  // norm well above eps
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].L2NormalizeLastDim(), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+}
+
+// ---- Masking ---------------------------------------------------------------
+
+TEST(GradSweepTest, MaskedFill) {
+  Rng rng(115);
+  Tensor a = Tensor::Rand({2, 6}, rng, -1.0f, 1.0f);
+  std::vector<uint8_t> mask = {0, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1};
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].MaskedFill(mask, -5.0f), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, DropoutMask) {
+  Rng rng(116);
+  Tensor a = Tensor::Rand({2, 6}, rng, -1.0f, 1.0f);
+  std::vector<uint8_t> keep = {1, 0, 1, 1, 0, 1, 1, 1, 0, 1, 0, 1};
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].DropoutMask(keep, 0.75f), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+}
+
+// ---- Shape manipulation ----------------------------------------------------
+
+TEST(GradSweepTest, ReshapeTransposePermute) {
+  Rng rng(117);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].Reshape({4, 6}).TransposeLast2(), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].Permute({2, 0, 1}), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, NarrowAndConcat) {
+  Rng rng(118);
+  Tensor a = Tensor::Rand({3, 5}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({3, 2}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(l[0].Narrow(1, 1, 3), rng);
+      },
+      {a}, kEps, kAtol, kRtol);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(Tensor::Concat({l[0], l[1]}, 1), rng);
+      },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+// ---- MatMul ----------------------------------------------------------------
+
+TEST(GradSweepTest, MatMulRank2) {
+  Rng rng(119);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({4, 2}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MatMul(l[1]), rng); },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, MatMulBatchedBoth) {
+  Rng rng(120);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({2, 4, 2}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MatMul(l[1]), rng); },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, MatMulSharedRhs) {
+  // Batched A against rank-2 B: exercises the shared-operand grad path that
+  // accumulates every batch into one dB.
+  Rng rng(121);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({4, 2}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MatMul(l[1]), rng); },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, MatMulSharedLhs) {
+  Rng rng(122);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({2, 4, 2}, rng, -1.0f, 1.0f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MatMul(l[1]), rng); },
+      {a, b}, kEps, kAtol, kRtol);
+}
+
+// ---- Fused primitives ------------------------------------------------------
+
+TEST(GradSweepTest, EmbeddingLookupWithRepeats) {
+  Rng rng(123);
+  Tensor table = Tensor::Rand({6, 3}, rng, -1.0f, 1.0f);
+  // Row 2 repeats: exercises the row-ownership scatter accumulation. The
+  // index list avoids the padding row — its forward output still reads the
+  // table while its gradient is zero by design, so a finite-difference
+  // probe there would legitimately disagree.
+  std::vector<int32_t> idx = {2, 3, 5, 2, 1};
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(EmbeddingLookup(l[0], idx, {5}, /*padding_idx=*/0), rng);
+      },
+      {table}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, EmbeddingPaddingRowGradIsExactlyZero) {
+  Rng rng(129);
+  Tensor table = Tensor::Rand({6, 3}, rng, -1.0f, 1.0f);
+  table.set_requires_grad(true);
+  std::vector<int32_t> idx = {2, 0, 5, 0, 1};
+  Tensor loss = WeightedSum(EmbeddingLookup(table, idx, {5}, /*padding_idx=*/0), rng);
+  loss.Backward();
+  const auto& g = table.grad();
+  for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(g[j], 0.0f) << "padding row col " << j;
+  // Non-padding rows that were looked up must receive gradient.
+  EXPECT_NE(g[2 * 3], 0.0f);
+}
+
+TEST(GradSweepTest, GatherTimeStep) {
+  Rng rng(124);
+  Tensor x = Tensor::Rand({3, 4, 2}, rng, -1.0f, 1.0f);
+  std::vector<int32_t> pos = {3, 0, 2};
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(GatherTimeStep(l[0], pos), rng);
+      },
+      {x}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, LayerNormAllThreeInputs) {
+  Rng rng(125);
+  Tensor x = Tensor::Rand({4, 5}, rng, -1.0f, 1.0f);
+  Tensor gamma = Tensor::Rand({5}, rng, 0.5f, 1.5f);
+  Tensor beta = Tensor::Rand({5}, rng, -0.5f, 0.5f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(LayerNormLastDim(l[0], l[1], l[2], 1e-5f), rng);
+      },
+      {x, gamma, beta}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, CrossEntropyWithIgnoreIndex) {
+  Rng rng(126);
+  Tensor logits = Tensor::Rand({4, 5}, rng, -1.0f, 1.0f);
+  std::vector<int32_t> targets = {1, -1, 4, 0};  // row 1 ignored
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return CrossEntropyLogits(l[0], targets, /*ignore_index=*/-1);
+      },
+      {logits}, kEps, kAtol, kRtol);
+}
+
+TEST(GradSweepTest, HorizontalConvAllThreeInputs) {
+  Rng rng(127);
+  Tensor x = Tensor::Rand({2, 5, 3}, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::Rand({2, 2, 3}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({2}, rng, -0.5f, 0.5f);
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        return WeightedSum(HorizontalConv(l[0], l[1], l[2]), rng);
+      },
+      {x, w, b}, kEps, kAtol, kRtol);
+}
+
+// ---- Composite graph -------------------------------------------------------
+
+TEST(GradSweepTest, TransformerishComposite) {
+  // Embedding -> layernorm -> matmul -> softmax chain touching most kernels
+  // in one graph, checking gradient flow through op boundaries.
+  Rng rng(128);
+  Tensor table = Tensor::Rand({8, 4}, rng, -0.5f, 0.5f);
+  Tensor w = Tensor::Rand({4, 4}, rng, -0.5f, 0.5f);
+  Tensor gamma = Tensor::Rand({4}, rng, 0.8f, 1.2f);
+  Tensor beta = Tensor::Rand({4}, rng, -0.2f, 0.2f);
+  std::vector<int32_t> idx = {1, 3, 7, 2, 5, 1};
+  CheckGradients(
+      [&](std::vector<Tensor>& l) {
+        Tensor h = EmbeddingLookup(l[0], idx, {2, 3}, /*padding_idx=*/0);
+        h = LayerNormLastDim(h, l[2], l[3], 1e-5f);
+        Tensor s = h.MatMul(l[1]).SoftmaxLastDim();
+        return WeightedSum(s, rng);
+      },
+      // Smaller step: the layernorm->softmax chain has enough curvature that
+      // eps=1e-2 truncation error breaches the rtol-1e-3 envelope.
+      {table, w, gamma, beta}, 5e-3f, 3e-3f, kRtol);
+}
+
+}  // namespace
+}  // namespace msgcl

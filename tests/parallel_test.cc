@@ -1,0 +1,290 @@
+// Tests for the deterministic intra-op parallel runtime (src/parallel/):
+// pool edge cases, partition math, and the determinism contract — forward
+// values, gradients, and Adam-trained weights must be BITWISE identical for
+// every thread count (DESIGN.md "Determinism under parallelism").
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/optim.h"
+#include "parallel/parallel.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace {
+
+/// Bitwise equality (memcmp, not float ==): distinguishes -0.0 from 0.0 and
+/// would catch NaN payload differences.
+::testing::AssertionResult BitwiseEqual(const std::vector<float>& a,
+                                        const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  if (a.empty()) return ::testing::AssertionSuccess();
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bitwise difference at index " << i << ": " << a[i]
+               << " vs " << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Restores the entry thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallel::MaxThreads()) {}
+  ~ThreadCountGuard() { parallel::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// ---- Pool / partition edge cases -------------------------------------------
+
+TEST(ParallelForTest, EmptyAndReversedRangeNeverCallBody) {
+  int calls = 0;
+  parallel::For(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  parallel::For(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  parallel::For(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsOneInlineChunk) {
+  ThreadCountGuard guard;
+  parallel::SetNumThreads(7);
+  int calls = 0;
+  int64_t seen_b = -1, seen_e = -1;
+  parallel::For(2, 6, 100, [&](int64_t b, int64_t e) {
+    ++calls;
+    seen_b = b;
+    seen_e = e;
+    EXPECT_FALSE(parallel::InParallelRegion());  // single chunk stays inline
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_b, 2);
+  EXPECT_EQ(seen_e, 6);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 2, 7}) {
+    parallel::SetNumThreads(threads);
+    for (int64_t n : {1, 7, 64, 1000}) {
+      for (int64_t grain : {1, 3, 64}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto& h : hits) h = 0;
+        parallel::For(0, n, grain, [&](int64_t b, int64_t e) {
+          ASSERT_LE(0, b);
+          ASSERT_LE(b, e);
+          ASSERT_LE(e, n);
+          for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+        });
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1) << "index " << i << " n=" << n
+                                       << " grain=" << grain
+                                       << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunSerialInline) {
+  ThreadCountGuard guard;
+  parallel::SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  parallel::For(0, 8, 1, [&](int64_t b0, int64_t e0) {
+    for (int64_t i = b0; i < e0; ++i) {
+      // The inner For must not re-enter the pool: it runs as one inline
+      // chunk on the calling worker.
+      int inner_calls = 0;
+      parallel::For(0, 8, 1, [&](int64_t b1, int64_t e1) {
+        ++inner_calls;
+        EXPECT_EQ(b1, 0);
+        EXPECT_EQ(e1, 8);
+        for (int64_t j = b1; j < e1; ++j) hits[i * 8 + j].fetch_add(1);
+      });
+      EXPECT_EQ(inner_calls, 1);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SetNumThreadsClampsToAtLeastOne) {
+  ThreadCountGuard guard;
+  parallel::SetNumThreads(0);
+  EXPECT_GE(parallel::MaxThreads(), 1);
+  parallel::SetNumThreads(-5);
+  EXPECT_GE(parallel::MaxThreads(), 1);
+  parallel::SetNumThreads(3);
+  EXPECT_EQ(parallel::MaxThreads(), 3);
+}
+
+TEST(FixedChunksTest, ChunkCountMath) {
+  EXPECT_EQ(parallel::NumFixedChunks(0, 10), 0);
+  EXPECT_EQ(parallel::NumFixedChunks(1, 10), 1);
+  EXPECT_EQ(parallel::NumFixedChunks(10, 10), 1);
+  EXPECT_EQ(parallel::NumFixedChunks(11, 10), 2);
+  EXPECT_EQ(parallel::NumFixedChunks(100, 10), 10);
+  EXPECT_EQ(parallel::NumFixedChunks(5, 0), 5);  // chunk clamps to >= 1
+}
+
+TEST(FixedChunksTest, BoundariesIndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  const int64_t n = 103, chunk = 10;
+  std::vector<std::pair<int64_t, int64_t>> ref;
+  for (int threads : {1, 2, 7}) {
+    parallel::SetNumThreads(threads);
+    const int64_t nchunks = parallel::NumFixedChunks(n, chunk);
+    std::vector<std::pair<int64_t, int64_t>> bounds(nchunks);
+    parallel::ForFixedChunks(0, n, chunk, [&](int64_t c, int64_t b, int64_t e) {
+      bounds[c] = {b, e};
+    });
+    // Chunks tile [0, n) in order.
+    int64_t expect_b = 0;
+    for (int64_t c = 0; c < nchunks; ++c) {
+      EXPECT_EQ(bounds[c].first, expect_b);
+      EXPECT_LE(bounds[c].second - bounds[c].first, chunk);
+      expect_b = bounds[c].second;
+    }
+    EXPECT_EQ(expect_b, n);
+    if (ref.empty()) {
+      ref = bounds;
+    } else {
+      EXPECT_EQ(bounds, ref) << "chunk boundaries changed with threads=" << threads;
+    }
+  }
+}
+
+// ---- Kernel-level thread invariance ----------------------------------------
+
+/// Large enough to split into several chunks/shards under every kernel.
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+TEST(ThreadInvarianceTest, SumReductionBitwise) {
+  ThreadCountGuard guard;
+  // > 2x the fixed reduction chunk so partials genuinely combine.
+  auto vals = RandomVec(20000, 42);
+  std::vector<float> results;
+  for (int threads : {1, 2, 7}) {
+    parallel::SetNumThreads(threads);
+    NoGradGuard ng;
+    Tensor t = Tensor::FromVector({20000}, vals);
+    results.push_back(t.Sum().item());
+  }
+  EXPECT_TRUE(BitwiseEqual({results[0]}, {results[1]}));
+  EXPECT_TRUE(BitwiseEqual({results[0]}, {results[2]}));
+}
+
+TEST(ThreadInvarianceTest, MatMulForwardBitwise) {
+  ThreadCountGuard guard;
+  auto av = RandomVec(64 * 48, 1);
+  auto bv = RandomVec(48 * 32, 2);
+  std::vector<std::vector<float>> outs;
+  for (int threads : {1, 2, 7}) {
+    parallel::SetNumThreads(threads);
+    NoGradGuard ng;
+    Tensor a = Tensor::FromVector({64, 48}, av);
+    Tensor b = Tensor::FromVector({48, 32}, bv);
+    outs.push_back(a.MatMul(b).data());
+  }
+  EXPECT_TRUE(BitwiseEqual(outs[0], outs[1]));
+  EXPECT_TRUE(BitwiseEqual(outs[0], outs[2]));
+}
+
+/// Builds a composite graph over random shapes (embedding -> layernorm ->
+/// shared-weight matmul -> softmax + cross-entropy) and returns data and
+/// gradients of every leaf after one backward pass.
+std::vector<std::vector<float>> ForwardBackwardOnce(int threads) {
+  parallel::SetNumThreads(threads);
+  Rng rng(777);
+  Tensor table = Tensor::Randn({50, 16}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor w = Tensor::Randn({16, 50}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor gamma = Tensor::Ones({16}, /*requires_grad=*/true);
+  Tensor beta = Tensor::Zeros({16}, /*requires_grad=*/true);
+  std::vector<int32_t> idx;
+  std::vector<int32_t> targets;
+  for (int i = 0; i < 96; ++i) {
+    idx.push_back(static_cast<int32_t>(rng.UniformInt(50)));
+    targets.push_back(static_cast<int32_t>(rng.UniformInt(50)));
+  }
+  Tensor h = EmbeddingLookup(table, idx, {8, 12}, /*padding_idx=*/0);
+  h = LayerNormLastDim(h, gamma, beta, 1e-5f);
+  Tensor logits = h.Reshape({96, 16}).MatMul(w);  // shared rank-2 rhs
+  Tensor aux = logits.SoftmaxLastDim().Square().Sum();
+  Tensor loss = CrossEntropyLogits(logits, targets, -1).Add(aux.MulScalar(0.01f));
+  loss.Backward();
+  return {loss.data(),   table.grad(), w.grad(),
+          gamma.grad(),  beta.grad(),  h.data()};
+}
+
+TEST(ThreadInvarianceTest, ForwardAndBackwardBitwise) {
+  ThreadCountGuard guard;
+  auto ref = ForwardBackwardOnce(1);
+  for (int threads : {2, 7}) {
+    auto got = ForwardBackwardOnce(threads);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(ref[i], got[i])) << "buffer " << i
+                                                << " threads=" << threads;
+    }
+  }
+}
+
+/// Trains the composite model for several Adam steps and returns the final
+/// weights.
+std::vector<std::vector<float>> TrainWeights(int threads, int steps) {
+  parallel::SetNumThreads(threads);
+  Rng rng(4242);
+  Tensor table = Tensor::Randn({40, 16}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor w = Tensor::Randn({16, 40}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor gamma = Tensor::Ones({16}, /*requires_grad=*/true);
+  Tensor beta = Tensor::Zeros({16}, /*requires_grad=*/true);
+  nn::Adam adam({table, w, gamma, beta}, /*lr=*/1e-2f);
+  for (int s = 0; s < steps; ++s) {
+    std::vector<int32_t> idx;
+    std::vector<int32_t> targets;
+    for (int i = 0; i < 64; ++i) {
+      idx.push_back(static_cast<int32_t>(rng.UniformInt(40)));
+      targets.push_back(static_cast<int32_t>(rng.UniformInt(40)));
+    }
+    adam.ZeroGrad();
+    Tensor h = EmbeddingLookup(table, idx, {64}, /*padding_idx=*/0);
+    h = LayerNormLastDim(h, gamma, beta, 1e-5f);
+    Tensor logits = h.MatMul(w);
+    Tensor loss = CrossEntropyLogits(logits, targets, -1);
+    loss.Backward();
+    adam.Step();
+  }
+  return {table.data(), w.data(), gamma.data(), beta.data()};
+}
+
+TEST(ThreadInvarianceTest, AdamTrainedWeightsBitwise) {
+  ThreadCountGuard guard;
+  auto ref = TrainWeights(1, 5);
+  for (int threads : {2, 7}) {
+    auto got = TrainWeights(threads, 5);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(ref[i], got[i])) << "param " << i
+                                                << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msgcl

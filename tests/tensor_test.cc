@@ -178,6 +178,36 @@ TEST(OpsTest, BroadcastScalarTensor) {
   ExpectTensorNear(a * s, Tensor::FromVector({2, 2}, {2, 4, 6, 8}));
 }
 
+TEST(OpsTest, BroadcastRank0Tensor) {
+  // Rank-0 (shape []) operands are normalized to [1] by every broadcasting
+  // op, on either side, so they behave exactly like [1]-shaped scalars.
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = Tensor::FromVector({}, {10.0f});
+  ExpectTensorNear(a + s, Tensor::FromVector({2, 3}, {11, 12, 13, 14, 15, 16}));
+  ExpectTensorNear(s + a, Tensor::FromVector({2, 3}, {11, 12, 13, 14, 15, 16}));
+  ExpectTensorNear(s * a, Tensor::FromVector({2, 3}, {10, 20, 30, 40, 50, 60}));
+}
+
+TEST(OpsTest, Rank0WithRank0ProducesRank1) {
+  Tensor x = Tensor::FromVector({}, {3.0f});
+  Tensor y = Tensor::FromVector({}, {4.0f});
+  Tensor z = x * y;
+  EXPECT_EQ(z.shape(), Shape({1}));  // consistent with reductions -> [1]
+  EXPECT_FLOAT_EQ(z.at(0), 12.0f);
+  Tensor w = x + Tensor::FromVector({1}, {1.0f});
+  EXPECT_EQ(w.shape(), Shape({1}));
+  EXPECT_FLOAT_EQ(w.at(0), 4.0f);
+}
+
+TEST(OpsTest, Rank0GradientFlows) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::FromVector({}, {2.0f}, /*requires_grad=*/true);
+  Tensor loss = a.Mul(s).Sum();
+  loss.Backward();
+  ASSERT_EQ(s.grad().size(), 1u);
+  EXPECT_FLOAT_EQ(s.grad()[0], 10.0f);  // sum of a
+}
+
 TEST(OpsTest, UnaryForwardValues) {
   Tensor x = Tensor::FromVector({4}, {-1.0f, 0.0f, 0.5f, 2.0f});
   ExpectTensorNear(x.Relu(), Tensor::FromVector({4}, {0, 0, 0.5f, 2}));

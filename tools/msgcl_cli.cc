@@ -27,6 +27,12 @@
 //   --inject_grad_steps=3,7      chaos drill: poison gradients at steps 3,7
 //   --inject_loss_steps=5        chaos drill: poison the loss at step 5
 //   --fault_kind=nan|inf|huge    what the injected fault writes
+//
+// Parallelism:
+//   --threads=N                  intra-op worker threads for tensor kernels
+//                                (default: MSGCL_NUM_THREADS env, else the
+//                                hardware concurrency). Results are bitwise
+//                                identical for every thread count.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +45,7 @@
 #include "data/data.h"
 #include "eval/eval.h"
 #include "models/models.h"
+#include "parallel/parallel.h"
 
 namespace {
 
@@ -145,6 +152,7 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   train.lr = static_cast<float>(args.GetD("lr", 3e-3));
   train.batch_size = args.GetI("batch", 128);
   train.seed = args.GetI("seed", 42);
+  train.num_threads = args.GetI("threads", 0);
   train.eval_every = args.GetI("eval_every", 2);
   train.patience = args.GetI("patience", 4);
   train.verbose = args.Get("verbose") == "1";
@@ -336,6 +344,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   Args args(argc, argv);
+  // Applies to every subcommand (evaluate/recommend run kernels too);
+  // FitLoop re-applies TrainConfig::num_threads before training.
+  if (const int64_t threads = args.GetI("threads", 0); threads > 0) {
+    msgcl::parallel::SetNumThreads(static_cast<int>(threads));
+  }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "evaluate") return CmdEvaluate(args);

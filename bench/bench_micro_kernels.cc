@@ -8,16 +8,26 @@
 // speedup, verifying the intra-op pool actually scales. `--threads N`
 // (space-separated) is accepted too. Without these flags the binary runs the
 // normal google-benchmark suite.
+//
+// Instrumentation-overhead check (see tools/check_no_obs_overhead.sh):
+//   bench_micro_kernels --check_overhead=BENCH_kernels.json [--max_regress=0.02]
+// re-times the kernels single-threaded and exits non-zero when any kernel's
+// t1_ms is more than max_regress slower than the named baseline report —
+// used to assert the MSGCL_OBS scoped timers cost under 2% on the hot path.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "models/backbone.h"
 #include "nn/nn.h"
 #include "parallel/parallel.h"
@@ -174,8 +184,10 @@ struct KernelResult {
   double tn_ms = 0.0;
 };
 
-int RunKernelReport(int threads, const std::string& json_path) {
-  if (threads < 1) threads = 4;
+/// Times the hot kernel families: best-of-reps at 1 thread, and (when
+/// `measure_tn`) at `threads` threads. The kernel set and names are fixed —
+/// the overhead checker matches them against a baseline report by name.
+std::vector<KernelResult> MeasureKernels(int threads, bool measure_tn) {
   NoGradGuard guard;
   Rng rng(99);
 
@@ -207,45 +219,130 @@ int RunKernelReport(int threads, const std::string& json_path) {
   for (size_t i = 0; i < results.size(); ++i) {
     parallel::SetNumThreads(1);
     results[i].t1_ms = BestMs([&] { run_kernel(i); });
-    parallel::SetNumThreads(threads);
-    results[i].tn_ms = BestMs([&] { run_kernel(i); });
+    if (measure_tn) {
+      parallel::SetNumThreads(threads);
+      results[i].tn_ms = BestMs([&] { run_kernel(i); });
+    }
   }
+  return results;
+}
 
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::string out = "{\n";
-  out += "  \"benchmark\": \"micro_kernels\",\n";
-  out += "  \"threads\": " + std::to_string(threads) + ",\n";
-  out += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
-  out += "  \"kernels\": [\n";
-  char buf[512];
-  for (size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
+int RunKernelReport(int threads, const std::string& json_path) {
+  if (threads < 1) threads = 4;
+  std::vector<KernelResult> results = MeasureKernels(threads, /*measure_tn=*/true);
+
+  for (const auto& r : results) {
     const double speedup = r.tn_ms > 0.0 ? r.t1_ms / r.tn_ms : 0.0;
-    const double thr1 = r.work / (r.t1_ms * 1e6);   // Gwork/s
-    const double thrn = r.work / (r.tn_ms * 1e6);
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"name\": \"%s\", \"work\": %.0f, \"work_unit\": \"%s\", "
-                  "\"t1_ms\": %.4f, \"tN_ms\": %.4f, "
-                  "\"gwork_per_s_1t\": %.4f, \"gwork_per_s_Nt\": %.4f, "
-                  "\"speedup\": %.3f}%s\n",
-                  r.name.c_str(), r.work, r.work_unit, r.t1_ms, r.tn_ms, thr1, thrn,
-                  speedup, i + 1 < results.size() ? "," : "");
-    out += buf;
     std::printf("%-24s 1t %8.3f ms   %dt %8.3f ms   speedup %.2fx\n", r.name.c_str(),
                 r.t1_ms, threads, r.tn_ms, speedup);
   }
-  out += "  ]\n}\n";
 
   if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    const unsigned hw = std::thread::hardware_concurrency();
+    Status s = bench::WriteBenchReport(json_path, "micro_kernels", [&](obs::JsonWriter& w) {
+      w.Key("threads");
+      w.Int(threads);
+      w.Key("hardware_concurrency");
+      w.UInt(hw);
+      w.Key("kernels");
+      w.BeginArray();
+      for (const auto& r : results) {
+        w.BeginObject();
+        w.Key("name");
+        w.String(r.name);
+        w.Key("work");
+        w.Double(r.work);
+        w.Key("work_unit");
+        w.String(r.work_unit);
+        w.Key("t1_ms");
+        w.Double(r.t1_ms);
+        w.Key("tN_ms");
+        w.Double(r.tn_ms);
+        w.Key("gwork_per_s_1t");
+        w.Double(r.work / (r.t1_ms * 1e6));
+        w.Key("gwork_per_s_Nt");
+        w.Double(r.tn_ms > 0.0 ? r.work / (r.tn_ms * 1e6) : 0.0);
+        w.Key("speedup");
+        w.Double(r.tn_ms > 0.0 ? r.t1_ms / r.tn_ms : 0.0);
+        w.EndObject();
+      }
+      w.EndArray();
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    std::fwrite(out.data(), 1, out.size(), f);
-    std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
+  return 0;
+}
+
+// ---- Instrumentation-overhead check ----------------------------------------
+
+/// Extracts `"t1_ms": <number>` for the kernel named `kernel` from a
+/// BENCH_kernels.json document. Tolerates both the compact JsonWriter output
+/// and pretty-printed baselines (optional whitespace after ':'), and parses
+/// the number with from_chars so the result is locale-independent.
+bool BaselineT1Ms(const std::string& json, const std::string& kernel, double* out) {
+  const auto find_key_value = [&](const std::string& key, size_t from) -> size_t {
+    size_t pos = json.find("\"" + key + "\"", from);
+    if (pos == std::string::npos) return std::string::npos;
+    pos = json.find(':', pos);
+    if (pos == std::string::npos) return std::string::npos;
+    ++pos;
+    while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\t')) ++pos;
+    return pos;
+  };
+  // Locate this kernel's object by its name value, then its t1_ms field.
+  size_t pos = find_key_value("name", 0);
+  while (pos != std::string::npos) {
+    if (json.compare(pos, kernel.size() + 2, "\"" + kernel + "\"") == 0) break;
+    pos = find_key_value("name", pos);
+  }
+  if (pos == std::string::npos) return false;
+  pos = find_key_value("t1_ms", pos);
+  if (pos == std::string::npos) return false;
+  const auto res = std::from_chars(json.data() + pos, json.data() + json.size(), *out);
+  return res.ec == std::errc();
+}
+
+/// --check_overhead mode: re-times the kernels single-threaded and fails
+/// when any kernel's t1_ms exceeds the baseline's by more than `max_regress`
+/// (fractional; 0.02 = 2%). tools/check_no_obs_overhead.sh builds the two
+/// MSGCL_OBS variants and runs this in both directions to bound the scoped
+/// timers' hot-path cost.
+int RunOverheadCheck(const std::string& baseline_path, double max_regress) {
+  std::ifstream in(baseline_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  const std::string baseline((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+
+  std::vector<KernelResult> results = MeasureKernels(1, /*measure_tn=*/false);
+  int failures = 0;
+  for (const auto& r : results) {
+    double base_ms = 0.0;
+    if (!BaselineT1Ms(baseline, r.name, &base_ms) || base_ms <= 0.0) {
+      std::fprintf(stderr, "%-24s missing from baseline %s\n", r.name.c_str(),
+                   baseline_path.c_str());
+      ++failures;
+      continue;
+    }
+    const double ratio = r.t1_ms / base_ms;
+    const bool ok = ratio <= 1.0 + max_regress;
+    std::printf("%-24s baseline %8.3f ms   now %8.3f ms   ratio %.3f   %s\n",
+                r.name.c_str(), base_ms, r.t1_ms, ratio, ok ? "ok" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "overhead check FAILED: %d kernel(s) regressed more than %.1f%%\n",
+                 failures, max_regress * 100.0);
+    return 1;
+  }
+  std::printf("overhead check passed (every kernel within %.1f%% of baseline)\n",
+              max_regress * 100.0);
   return 0;
 }
 
@@ -253,10 +350,14 @@ int RunKernelReport(int threads, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   // --threads=N / --json=PATH (or space-separated) select the kernel report;
-  // anything else falls through to google-benchmark.
+  // --check_overhead=BASELINE.json selects the overhead check; anything else
+  // falls through to google-benchmark.
   int threads = 0;
   std::string json_path;
+  std::string baseline_path;
+  double max_regress = 0.02;
   bool report_mode = false;
+  bool check_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&](const char* flag) -> std::string {
@@ -271,8 +372,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json", 0) == 0) {
       json_path = value("--json");
       report_mode = true;
+    } else if (arg.rfind("--check_overhead", 0) == 0) {
+      baseline_path = value("--check_overhead");
+      check_mode = true;
+    } else if (arg.rfind("--max_regress", 0) == 0) {
+      max_regress = std::atof(value("--max_regress").c_str());
     }
   }
+  if (check_mode) return RunOverheadCheck(baseline_path, max_regress);
   if (report_mode) return RunKernelReport(threads, json_path);
 
   benchmark::Initialize(&argc, argv);

@@ -24,6 +24,7 @@
 #include "data/data.h"
 #include "eval/eval.h"
 #include "models/models.h"
+#include "obs/obs.h"
 
 namespace msgcl {
 namespace bench {
@@ -251,6 +252,71 @@ inline RunResult TrainAndEvaluate(models::Recommender& model, const DatasetSpec&
   r.metrics = eval::Evaluate(model, ds.split, eval::Split::kTest, cfg);
   r.train_seconds = std::chrono::duration<double>(t1 - t0).count();
   return r;
+}
+
+// ---- JSON reports ---------------------------------------------------------
+
+/// Appends a "profile" section with the per-op kernel timings accumulated in
+/// `reg` so far (calls, wall nanoseconds, bytes touched) plus every non-zero
+/// counter. Empty op list in an MSGCL_OBS=OFF build.
+inline void AppendProfileSection(obs::JsonWriter& w, const obs::Registry& reg) {
+  const obs::Snapshot snap = reg.TakeSnapshot();
+  w.Key("profile");
+  w.BeginObject();
+  w.Key("obs_enabled");
+  w.Bool(obs::kEnabled);
+  w.Key("ops");
+  w.BeginArray();
+  for (const auto& op : snap.ops) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(op.name);
+    w.Key("calls");
+    w.Int(op.calls);
+    w.Key("total_ns");
+    w.Int(op.total_ns);
+    w.Key("self_ns");
+    w.Int(op.self_ns);
+    w.Key("bytes");
+    w.Int(op.bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+/// Writes a BENCH_*.json report through the shared obs::JsonWriter, the one
+/// JSON emitter in the repo (escaped strings, locale-independent to_chars
+/// floats — see src/obs/json.h for the bugs this replaces). `body` receives
+/// the writer positioned inside the top-level object, right after the
+/// "benchmark" key; a "profile" section with the kernel profile of the run
+/// that produced the report is attached automatically.
+inline Status WriteBenchReport(const std::string& path, const std::string& benchmark,
+                               const std::function<void(obs::JsonWriter&)>& body) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("benchmark");
+  w.String(benchmark);
+  body(w);
+  AppendProfileSection(w, obs::Registry::Global());
+  w.EndObject();
+  std::string out = w.Take();
+  out += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  if (std::fclose(f) != 0 || written != out.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
 }
 
 // ---- Table printing -------------------------------------------------------

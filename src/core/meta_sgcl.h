@@ -26,6 +26,7 @@
 #include "models/model.h"
 #include "models/trainer.h"
 #include "nn/nn.h"
+#include "obs/obs.h"
 
 namespace msgcl {
 namespace core {
@@ -98,7 +99,10 @@ class MetaSgcl : public models::Recommender, public nn::Module {
         opt.ZeroGrad();
         Tensor loss = FullLoss(batch, rng, anneal.Weight(global_step++));
         loss.Backward();
-        if (train_.grad_clip > 0.0f) nn::ClipGradNorm(Parameters(), train_.grad_clip);
+        if (train_.grad_clip > 0.0f) {
+          obs::RecordStepScalar("grad_norm",
+                                nn::ClipGradNorm(Parameters(), train_.grad_clip));
+        }
         opt.Step();
         return loss.item();
       };
@@ -116,7 +120,8 @@ class MetaSgcl : public models::Recommender, public nn::Module {
       Tensor loss = FullLoss(batch, rng, anneal.Weight(global_step++));
       loss.Backward();
       if (train_.grad_clip > 0.0f) {
-        nn::ClipGradNorm(generator_.MainParameters(), train_.grad_clip);
+        obs::RecordStepScalar(
+            "grad_norm", nn::ClipGradNorm(generator_.MainParameters(), train_.grad_clip));
       }
       opt_main.Step();
 
@@ -151,23 +156,37 @@ class MetaSgcl : public models::Recommender, public nn::Module {
 
     Tensor loss = CrossEntropyLogits(generator_.LogitsAll(out.h_dec.Reshape({M, D})),
                                      batch.targets, /*ignore_index=*/0);  // L_rs1
+    double rec_term = loss.item();
+    double kl_term = 0.0;
+    double cl_term = 0.0;
     std::vector<uint8_t> valid(batch.key_padding.size());
     for (size_t i = 0; i < valid.size(); ++i) valid[i] = batch.key_padding[i] ? 0 : 1;
 
     if (config_.use_kl) {
-      loss = loss.Add(
-          nn::GaussianKl(out.mu, out.logvar, &valid).MulScalar(beta_weight));  // L_kl1
+      Tensor kl1 = nn::GaussianKl(out.mu, out.logvar, &valid).MulScalar(beta_weight);
+      kl_term += kl1.item();
+      loss = loss.Add(kl1);  // L_kl1
     }
     if (second) {
-      loss = loss.Add(CrossEntropyLogits(
-          generator_.LogitsAll(out.h_dec_prime.Reshape({M, D})), batch.targets,
-          /*ignore_index=*/0));  // L_rs2
+      Tensor rs2 = CrossEntropyLogits(generator_.LogitsAll(out.h_dec_prime.Reshape({M, D})),
+                                      batch.targets, /*ignore_index=*/0);
+      rec_term += rs2.item();
+      loss = loss.Add(rs2);  // L_rs2
       if (config_.use_kl) {
-        loss = loss.Add(nn::GaussianKl(out.mu, out.logvar_prime, &valid)
-                            .MulScalar(beta_weight));  // L_kl2
+        Tensor kl2 =
+            nn::GaussianKl(out.mu, out.logvar_prime, &valid).MulScalar(beta_weight);
+        kl_term += kl2.item();
+        loss = loss.Add(kl2);  // L_kl2
       }
-      loss = loss.Add(ContrastiveLoss(out, batch).MulScalar(config_.alpha));  // L_cl
+      Tensor cl = ContrastiveLoss(out, batch).MulScalar(config_.alpha);
+      cl_term = cl.item();
+      loss = loss.Add(cl);  // L_cl
     }
+    // Per-step loss decomposition for the telemetry CSV (DESIGN.md §8):
+    // FitLoop drains the means of these once per epoch.
+    obs::RecordStepScalar("loss/rec", rec_term);
+    obs::RecordStepScalar("loss/kl", kl_term);
+    obs::RecordStepScalar("loss/cl", cl_term);
     return loss;
   }
 

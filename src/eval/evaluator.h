@@ -12,6 +12,7 @@
 #include "data/batching.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "obs/profiler.h"
 
 namespace msgcl {
 namespace eval {
@@ -62,7 +63,12 @@ inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split sp
       rows.push_back(u);
     }
     data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
-    std::vector<float> scores = model.ScoreAll(batch);
+    std::vector<float> scores;
+    {
+      MSGCL_OBS_SCOPE("eval.score_all");
+      scores = model.ScoreAll(batch);
+    }
+    MSGCL_OBS_COUNT("eval.users_ranked", batch.batch_size);
     MSGCL_CHECK_EQ(static_cast<int64_t>(scores.size()), batch.batch_size * N1);
     for (int64_t b = 0; b < batch.batch_size; ++b) {
       std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);

@@ -74,6 +74,13 @@ struct TrainConfig {
   int64_t checkpoint_every = 1;
   std::string resume_from;
 
+  // ---- Observability (see src/obs/ and DESIGN.md §8) ----
+  // When non-empty, FitLoop appends one telemetry CSV row per epoch (loss
+  // terms, grad norm, validation HR/NDCG, wall time) to this path. A resumed
+  // run (resume_from non-empty) appends to the existing file, keeping its
+  // column order, so the series survives checkpoint restarts.
+  std::string telemetry_path;
+
   bool verbose = false;
 
   Status Validate() const {

@@ -13,8 +13,11 @@
 #ifndef MSGCL_MODELS_TRAINER_H_
 #define MSGCL_MODELS_TRAINER_H_
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
+#include <limits>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "eval/evaluator.h"
 #include "models/model.h"
 #include "nn/nn.h"
+#include "obs/obs.h"
 #include "parallel/parallel.h"
 #include "runtime/runtime.h"
 
@@ -92,8 +96,22 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
   eval::EvalConfig eval_cfg;
   eval_cfg.max_len = config.max_len;
 
+  // Telemetry CSV: fresh runs truncate; resumed runs append so the epoch
+  // series continues without duplicated or misaligned rows. Stale per-step
+  // scalars from any earlier run in this process are discarded so epoch
+  // means only aggregate this run's steps.
+  obs::TelemetryCsv telemetry;
+  if (!config.telemetry_path.empty()) {
+    if (Status s = telemetry.Open(config.telemetry_path, !config.resume_from.empty());
+        !s.ok()) {
+      return s;
+    }
+  }
+  (void)obs::DrainStepScalarMeans();
+
   const auto save_checkpoint = [&](int64_t epoch) -> Status {
     if (config.checkpoint_path.empty()) return Status::Ok();
+    MSGCL_OBS_SCOPE("train.checkpoint");
     nn::TrainerProgress p;
     p.epoch = epoch;
     p.rng = rng.GetState();
@@ -107,6 +125,7 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
 
   bool stopped_early = false;
   for (int64_t epoch = start_epoch; epoch < config.epochs && !stopped_early; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     double loss_sum = 0.0;
     int64_t steps = 0;
     data::EpochIterator it(ds.num_users(), config.batch_size, rng);
@@ -116,7 +135,11 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
       // detect -> rollback -> backoff -> abort (see DESIGN.md).
       int64_t retries = 0;
       for (;;) {
-        float loss = step(batch, rng);
+        float loss;
+        {
+          MSGCL_OBS_SCOPE("train.step_fn");
+          loss = step(batch, rng);
+        }
         if (injector != nullptr && injector->ShouldCorruptLoss(attempt_counter)) {
           loss = injector->CorruptLoss();
         }
@@ -125,6 +148,7 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
         if (guard.Healthy(loss)) {
           if (retries > 0) {
             guard.RestoreLr();
+            obs::Registry::Global().GetCounter("runtime.recovery.recovered").Add(1);
             if (config.history != nullptr) {
               config.history->recovery_events.push_back(
                   {epoch, attempt_counter - 1, retries, /*skipped=*/false,
@@ -146,6 +170,7 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
                                     std::to_string(epoch) + ": " + detail);
           case runtime::RecoveryPolicy::kSkipBatch:
             guard.Rollback();
+            obs::Registry::Global().GetCounter("runtime.recovery.skipped_batches").Add(1);
             if (config.history != nullptr) {
               ++config.history->skipped_batches;
               config.history->recovery_events.push_back(
@@ -162,6 +187,7 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
             guard.Rollback();
             ++retries;
             guard.ApplyBackoff(retries);
+            obs::Registry::Global().GetCounter("runtime.recovery.retries").Add(1);
             if (config.history != nullptr) ++config.history->rollback_retries;
             continue;  // retry the same batch
         }
@@ -177,14 +203,29 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
       config.history->stopped_epoch = epoch;
     }
 
+    // Per-epoch telemetry row. Step-scalar means (loss components, grad
+    // norm) are drained every epoch even without a CSV so they never leak
+    // across epochs. Validation columns are always present when evaluation
+    // is configured; epochs without an eval leave them blank (NaN).
+    std::map<std::string, double> row = obs::DrainStepScalarMeans();
+    row["loss"] = steps ? loss_sum / steps : 0.0;
+    if (config.eval_every > 0) {
+      row["val_hr10"] = std::numeric_limits<double>::quiet_NaN();
+      row["val_ndcg10"] = std::numeric_limits<double>::quiet_NaN();
+    }
+
     if (config.eval_every > 0 && (epoch + 1) % config.eval_every == 0) {
       model.SetTraining(false);
-      double ndcg;
+      eval::Metrics val;
       {
+        MSGCL_OBS_SCOPE("train.eval");
         NoGradGuard no_grad;
-        ndcg = eval::Evaluate(ranker, ds, eval::Split::kValidation, eval_cfg).ndcg10;
+        val = eval::Evaluate(ranker, ds, eval::Split::kValidation, eval_cfg);
       }
+      const double ndcg = val.ndcg10;
       model.SetTraining(true);
+      row["val_hr10"] = val.hr10;
+      row["val_ndcg10"] = val.ndcg10;
       if (config.history != nullptr) {
         config.history->val_epochs.push_back(epoch);
         config.history->val_ndcg10.push_back(ndcg);
@@ -203,6 +244,13 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
         }
         stopped_early = true;
       }
+    }
+
+    if (telemetry.is_open()) {
+      row["wall_seconds"] = std::chrono::duration_cast<std::chrono::duration<double>>(
+                                std::chrono::steady_clock::now() - epoch_start)
+                                .count();
+      if (Status s = telemetry.WriteRow(epoch, row); !s.ok()) return s;
     }
 
     const bool final_epoch = stopped_early || epoch + 1 >= config.epochs;
@@ -228,14 +276,25 @@ inline StepFn StandardStep(nn::Module& model, nn::Optimizer& opt, const TrainCon
           loss_fn = std::move(loss_fn), call = int64_t{0}](const data::Batch& batch,
                                                           Rng& rng) mutable {
     opt.ZeroGrad();
-    Tensor loss = loss_fn(batch, rng);
-    loss.Backward();
-    if (grad_clip > 0.0f) nn::ClipGradNorm(model.Parameters(), grad_clip);
+    Tensor loss = [&] {
+      MSGCL_OBS_SCOPE("train.forward");
+      return loss_fn(batch, rng);
+    }();
+    {
+      MSGCL_OBS_SCOPE("train.backward");
+      loss.Backward();
+    }
+    if (grad_clip > 0.0f) {
+      obs::RecordStepScalar("grad_norm", nn::ClipGradNorm(model.Parameters(), grad_clip));
+    }
     if (injector != nullptr && injector->ShouldCorruptGradients(call)) {
       injector->CorruptGradients(model.Parameters());
     }
     ++call;
-    opt.Step();
+    {
+      MSGCL_OBS_SCOPE("train.step");
+      opt.Step();
+    }
     return loss.item();
   };
 }

@@ -8,6 +8,7 @@
 
 #include "nn/layers.h"
 #include "nn/module.h"
+#include "obs/profiler.h"
 #include "parallel/parallel.h"
 
 namespace msgcl {
@@ -42,6 +43,7 @@ class MultiHeadSelfAttention : public Module {
   /// x: [B, T, dim] -> [B, T, dim].
   Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
                  Rng& rng) const {
+    MSGCL_OBS_SCOPE_BYTES("nn.attention.fwd", x.numel() * 4);
     const int64_t B = x.dim(0), T = x.dim(1);
     const int64_t dh = dim_ / heads_;
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "parallel/parallel.h"
 #include "tensor/tensor.h"
 
@@ -67,6 +68,7 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Tensor> params, float lr) : Optimizer(std::move(params)), lr_(lr) {}
 
   void Step() override {
+    MSGCL_OBS_SCOPE("nn.sgd.step");
     for (auto& p : params_) {
       const auto& g = p.grad();
       if (g.empty()) continue;
@@ -106,6 +108,7 @@ class Adam : public Optimizer {
   }
 
   void Step() override {
+    MSGCL_OBS_SCOPE("nn.adam.step");
     ++t_;
     const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
     const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));

@@ -40,6 +40,7 @@
 
 #include "nn/module.h"
 #include "nn/optim.h"
+#include "obs/registry.h"
 #include "tensor/rng.h"
 #include "tensor/status.h"
 
@@ -348,7 +349,16 @@ inline Status SaveTrainState(const Module& module,
   internal::ByteWriter sealed;
   sealed.Bytes(w.buffer().data(), w.buffer().size());
   sealed.Pod(crc);
-  return internal::WriteFileAtomic(path, sealed.buffer());
+  Status s = internal::WriteFileAtomic(path, sealed.buffer());
+  if (s.ok()) {
+    // Cold path: counted unconditionally (not macro-gated) so checkpoint
+    // volume stays observable in MSGCL_OBS=OFF builds.
+    auto& reg = obs::Registry::Global();
+    reg.GetCounter("runtime.checkpoint.saves").Add(1);
+    reg.GetCounter("runtime.checkpoint.bytes").Add(
+        static_cast<int64_t>(sealed.buffer().size()));
+  }
+  return s;
 }
 
 /// Loads a v2 checkpoint, verifying the CRC32 footer before trusting any

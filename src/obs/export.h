@@ -1,0 +1,40 @@
+// Export layer: registry snapshots to JSON, trace buffers to
+// chrome://tracing event files, and a human-readable profile table.
+// Implementations live in obs.cc.
+#ifndef MSGCL_OBS_EXPORT_H_
+#define MSGCL_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace obs {
+
+/// Serializes a snapshot as a pretty-printed JSON document:
+/// {"counters": {...}, "gauges": {...}, "ops": [...], "histograms": [...]}.
+/// Byte-stable for equal snapshot contents (name-sorted, to_chars floats).
+std::string SnapshotToJson(const Snapshot& snapshot);
+
+/// SnapshotToJson + atomic write (tmp + rename) to `path`.
+Status WriteMetricsJson(const Snapshot& snapshot, const std::string& path);
+
+/// Serializes trace events in the chrome://tracing JSON array format
+/// ({"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid", "tid"}, ...]},
+/// timestamps in microseconds as the format requires).
+std::string TraceToJson(const std::vector<TraceEvent>& events);
+
+/// TraceToJson + atomic write to `path`.
+Status WriteChromeTrace(const std::vector<TraceEvent>& events, const std::string& path);
+
+/// Prints an aligned per-op profile table (calls, total/self ms, MB) plus
+/// non-zero counters to `out`, ops sorted by descending self time.
+void PrintProfile(const Snapshot& snapshot, std::FILE* out);
+
+}  // namespace obs
+}  // namespace msgcl
+
+#endif  // MSGCL_OBS_EXPORT_H_

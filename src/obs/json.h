@@ -1,0 +1,132 @@
+// Minimal streaming JSON writer shared by every JSON emitter in the repo
+// (metrics snapshots, chrome traces, BENCH_*.json reports).
+//
+// Two bugs this writer exists to prevent, in one place:
+//  - strings went out unescaped (a quote or backslash in a kernel or op name
+//    produced invalid JSON);
+//  - floats were formatted with printf("%f"), which honors the process
+//    locale — under e.g. de_DE.UTF-8 that prints "0,5" and breaks every
+//    downstream parser. Doubles here go through std::to_chars, which is
+//    locale-independent by specification and round-trips exactly at 17
+//    significant digits.
+#ifndef MSGCL_OBS_JSON_H_
+#define MSGCL_OBS_JSON_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace msgcl {
+namespace obs {
+
+/// Locale-independent shortest-round-trip formatting, also used for CSV
+/// cells. Non-finite values format as "nan"/"inf"/"-inf" (callers emitting
+/// JSON must map those to null; JsonWriter::Double does).
+inline std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+/// Escapes `s` for use inside a JSON string literal (without the quotes).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.BeginObject(); w.Key("name"); w.String("x"); w.EndObject();
+///   std::string s = w.Take();
+/// Objects/arrays nest arbitrarily; values at array level are written by
+/// calling String/Int/Double/Bool/Null without a preceding Key.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(true); }
+
+  void BeginObject() { Prefix(); out_ += '{'; stack_.push_back(true); }
+  void EndObject() { stack_.pop_back(); out_ += '}'; }
+  void BeginArray() { Prefix(); out_ += '['; stack_.push_back(true); }
+  void EndArray() { stack_.pop_back(); out_ += ']'; }
+
+  void Key(const std::string& k) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(k);
+    out_ += "\":";
+    pending_value_ = true;
+  }
+
+  void String(const std::string& v) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(v);
+    out_ += '"';
+  }
+  void Int(int64_t v) { Prefix(); out_ += std::to_string(v); }
+  void UInt(uint64_t v) { Prefix(); out_ += std::to_string(v); }
+  void Bool(bool v) { Prefix(); out_ += v ? "true" : "false"; }
+  void Null() { Prefix(); out_ += "null"; }
+
+  /// Finite doubles via to_chars; NaN/Inf have no JSON spelling → null.
+  void Double(double v) {
+    Prefix();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      out_ += FormatDouble(v);
+    }
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  // Emits the separating comma unless this is the first element of the
+  // current container or the value right after a Key.
+  void Prefix() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.back()) {
+      out_ += ',';
+    } else {
+      stack_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per level: "next element is the first"
+  bool pending_value_ = false;
+};
+
+}  // namespace obs
+}  // namespace msgcl
+
+#endif  // MSGCL_OBS_JSON_H_

@@ -1,0 +1,389 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+
+namespace msgcl {
+namespace obs {
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, op] : ops_) {
+    const int64_t calls = op->calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    Snapshot::Op o;
+    o.name = name;
+    o.calls = calls;
+    o.total_ns = op->total_ns.load(std::memory_order_relaxed);
+    o.self_ns = op->self_ns.load(std::memory_order_relaxed);
+    o.bytes = op->bytes.load(std::memory_order_relaxed);
+    snap.ops.push_back(std::move(o));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist out;
+    out.name = name;
+    out.bounds = h->bounds();
+    out.bucket_counts.resize(out.bounds.size() + 1);
+    for (size_t i = 0; i <= out.bounds.size(); ++i) out.bucket_counts[i] = h->bucket_count(i);
+    out.count = h->count();
+    out.sum = h->sum();
+    out.max = h->max();
+    out.p50 = h->Percentile(50);
+    out.p95 = h->Percentile(95);
+    out.p99 = h->Percentile(99);
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, op] : ops_) op->Reset();
+}
+
+void Registry::SetTraceEnabled(bool on) {
+  if (on) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_epoch_ns_ = NowNs();
+  }
+  trace_enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Registry::AppendTraceEvent(TraceEvent e) {
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    if (static_cast<int64_t>(trace_.size()) < kMaxTraceEvents) {
+      trace_.push_back(std::move(e));
+      return;
+    }
+  }
+  GetCounter("obs.trace.dropped").Add(1);
+}
+
+std::vector<TraceEvent> Registry::TraceEvents() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    out = trace_;
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return std::tie(a.ts_ns, a.tid, a.name) < std::tie(b.ts_ns, b.tid, b.name);
+  });
+  return out;
+}
+
+void Registry::ClearTrace() {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_.clear();
+}
+
+// ---- Export -----------------------------------------------------------------
+
+namespace {
+
+// Writes `payload` to `path` via tmp + rename so readers never observe a
+// partial file (same discipline as nn/serialize.h's WriteFileAtomic, local
+// here to keep obs dependency-free below tensor).
+Status WriteFileAtomicLocal(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != payload.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, v] : snapshot.counters) {
+    w.Key(name);
+    w.Int(v);
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, v] : snapshot.gauges) {
+    w.Key(name);
+    w.Double(v);
+  }
+  w.EndObject();
+
+  w.Key("ops");
+  w.BeginArray();
+  for (const auto& op : snapshot.ops) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(op.name);
+    w.Key("calls");
+    w.Int(op.calls);
+    w.Key("total_ns");
+    w.Int(op.total_ns);
+    w.Key("self_ns");
+    w.Int(op.self_ns);
+    w.Key("bytes");
+    w.Int(op.bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("histograms");
+  w.BeginArray();
+  for (const auto& h : snapshot.histograms) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(h.name);
+    w.Key("count");
+    w.Int(h.count);
+    w.Key("sum");
+    w.Double(h.sum);
+    w.Key("max");
+    w.Double(h.max);
+    w.Key("p50");
+    w.Double(h.p50);
+    w.Key("p95");
+    w.Double(h.p95);
+    w.Key("p99");
+    w.Double(h.p99);
+    w.Key("bounds");
+    w.BeginArray();
+    for (const double b : h.bounds) w.Double(b);
+    w.EndArray();
+    w.Key("bucket_counts");
+    w.BeginArray();
+    for (const int64_t c : h.bucket_counts) w.Int(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  std::string out = w.Take();
+  out += '\n';
+  return out;
+}
+
+Status WriteMetricsJson(const Snapshot& snapshot, const std::string& path) {
+  return WriteFileAtomicLocal(path, SnapshotToJson(snapshot));
+}
+
+std::string TraceToJson(const std::vector<TraceEvent>& events) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& e : events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("ph");
+    w.String("X");
+    // chrome://tracing expects microseconds.
+    w.Key("ts");
+    w.Double(static_cast<double>(e.ts_ns) / 1000.0);
+    w.Key("dur");
+    w.Double(static_cast<double>(e.dur_ns) / 1000.0);
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(e.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  std::string out = w.Take();
+  out += '\n';
+  return out;
+}
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events, const std::string& path) {
+  return WriteFileAtomicLocal(path, TraceToJson(events));
+}
+
+void PrintProfile(const Snapshot& snapshot, std::FILE* out) {
+  std::vector<Snapshot::Op> ops = snapshot.ops;
+  std::sort(ops.begin(), ops.end(), [](const Snapshot::Op& a, const Snapshot::Op& b) {
+    return a.self_ns != b.self_ns ? a.self_ns > b.self_ns : a.name < b.name;
+  });
+  std::fprintf(out, "%-32s %10s %12s %12s %10s\n", "op", "calls", "total_ms",
+               "self_ms", "MB");
+  for (const auto& op : ops) {
+    std::fprintf(out, "%-32s %10lld %12.3f %12.3f %10.2f\n", op.name.c_str(),
+                 static_cast<long long>(op.calls),
+                 static_cast<double>(op.total_ns) / 1e6,
+                 static_cast<double>(op.self_ns) / 1e6,
+                 static_cast<double>(op.bytes) / 1e6);
+  }
+  bool header = false;
+  for (const auto& [name, v] : snapshot.counters) {
+    if (v == 0) continue;
+    if (!header) {
+      std::fprintf(out, "\n%-48s %14s\n", "counter", "value");
+      header = true;
+    }
+    std::fprintf(out, "%-48s %14lld\n", name.c_str(), static_cast<long long>(v));
+  }
+}
+
+// ---- Telemetry --------------------------------------------------------------
+
+namespace {
+
+struct ScalarAccum {
+  double sum = 0.0;
+  int64_t count = 0;
+};
+
+std::mutex g_scalar_mu;
+std::map<std::string, ScalarAccum>& ScalarStore() {
+  static std::map<std::string, ScalarAccum>* store = new std::map<std::string, ScalarAccum>();
+  return *store;
+}
+
+}  // namespace
+
+void RecordStepScalar(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(g_scalar_mu);
+  ScalarAccum& acc = ScalarStore()[name];
+  acc.sum += value;
+  acc.count += 1;
+}
+
+std::map<std::string, double> DrainStepScalarMeans() {
+  std::lock_guard<std::mutex> lock(g_scalar_mu);
+  std::map<std::string, double> out;
+  for (const auto& [name, acc] : ScalarStore()) {
+    if (acc.count > 0) out[name] = acc.sum / static_cast<double>(acc.count);
+  }
+  ScalarStore().clear();
+  return out;
+}
+
+namespace {
+
+// Splits a CSV header line (no quoting needed: column names never contain
+// commas) into its column names.
+std::vector<std::string> SplitHeader(const std::string& line) {
+  std::vector<std::string> cols;
+  std::string cur;
+  for (const char c : line) {
+    if (c == ',') {
+      cols.push_back(cur);
+      cur.clear();
+    } else if (c != '\r' && c != '\n') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) cols.push_back(cur);
+  return cols;
+}
+
+}  // namespace
+
+Status TelemetryCsv::Open(const std::string& path, bool append) {
+  Close();
+  columns_.clear();
+  if (append) {
+    // Adopt the existing header so a resumed run appends aligned rows.
+    std::FILE* existing = std::fopen(path.c_str(), "rb");
+    if (existing != nullptr) {
+      std::string header;
+      int c;
+      while ((c = std::fgetc(existing)) != EOF && c != '\n') {
+        header += static_cast<char>(c);
+      }
+      std::fclose(existing);
+      if (!header.empty()) columns_ = SplitHeader(header);
+    }
+  }
+  file_ = std::fopen(path.c_str(), append && !columns_.empty() ? "ab" : "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open telemetry csv " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status TelemetryCsv::WriteRow(int64_t epoch, const std::map<std::string, double>& values) {
+  if (file_ == nullptr) return Status::Internal("telemetry csv not open");
+  if (columns_.empty()) {
+    columns_.push_back("epoch");
+    for (const auto& [name, v] : values) {
+      (void)v;
+      columns_.push_back(name);
+    }
+    std::string header;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) header += ',';
+      header += columns_[i];
+    }
+    header += '\n';
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+      return Status::Internal("short write to telemetry csv header");
+    }
+  }
+  std::string row;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) row += ',';
+    if (columns_[i] == "epoch") {
+      row += std::to_string(epoch);
+      continue;
+    }
+    const auto it = values.find(columns_[i]);
+    if (it == values.end() || std::isnan(it->second)) continue;  // blank cell
+    row += FormatDouble(it->second);
+  }
+  row += '\n';
+  if (std::fwrite(row.data(), 1, row.size(), file_) != row.size()) {
+    return Status::Internal("short write to telemetry csv row");
+  }
+  std::fflush(file_);
+  return Status::Ok();
+}
+
+void TelemetryCsv::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace obs
+}  // namespace msgcl

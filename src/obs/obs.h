@@ -1,0 +1,13 @@
+// Umbrella header for the observability subsystem: metric registry,
+// scoped-timer profiler + instrumentation macros, JSON writer, exporters,
+// and training telemetry. See DESIGN.md §8 for the contract.
+#ifndef MSGCL_OBS_OBS_H_
+#define MSGCL_OBS_OBS_H_
+
+#include "obs/export.h"    // IWYU pragma: export
+#include "obs/json.h"      // IWYU pragma: export
+#include "obs/profiler.h"  // IWYU pragma: export
+#include "obs/registry.h"  // IWYU pragma: export
+#include "obs/telemetry.h" // IWYU pragma: export
+
+#endif  // MSGCL_OBS_OBS_H_

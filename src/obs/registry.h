@@ -1,0 +1,268 @@
+// Metric registry for the observability layer (DESIGN.md "Observability").
+//
+// Named counters, gauges, histograms, and per-op profiler stats live in a
+// Registry. Metric objects are allocated once and never move or disappear:
+// instrumentation sites cache a reference (the MSGCL_OBS_* macros do this in
+// a function-local static), so the hot path is a couple of relaxed atomic
+// adds — no lock, no lookup. ResetValues() zeroes every metric in place
+// without invalidating cached references.
+//
+// Determinism contract: counter, gauge, histogram, and call-count values are
+// pure functions of the executed work, never of the thread count, because
+// every instrumentation point sits outside the parallel::For sharding (ops
+// are instrumented at entry, not per shard). Snapshots iterate metrics in
+// name order, so exports are byte-stable given equal values. Only the
+// nanosecond timing fields vary run to run.
+#ifndef MSGCL_OBS_REGISTRY_H_
+#define MSGCL_OBS_REGISTRY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msgcl {
+namespace obs {
+
+// Compile-time gate for the instrumentation macros (profiler.h). The CMake
+// option MSGCL_OBS defines this to 0 when OFF; default is instrumented.
+#ifndef MSGCL_OBS_ENABLED
+#define MSGCL_OBS_ENABLED 1
+#endif
+
+/// True when the per-op instrumentation macros are compiled in.
+constexpr bool kEnabled = MSGCL_OBS_ENABLED != 0;
+
+/// Monotonic integer metric. Thread-safe; integer addition commutes, so the
+/// value is independent of which thread added what.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins scalar metric.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// plus an implicit overflow bucket. Percentile(p) reports the upper bound
+/// of the bucket holding the ceil(p/100 * count)-th smallest sample (the
+/// recorded maximum for the overflow bucket), which is exact at bucket
+/// resolution and trivially hand-computable in tests.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    Reset();
+  }
+
+  /// Default bucket layout: powers of two 1, 2, 4, ... 2^20.
+  static std::vector<double> DefaultBounds() {
+    std::vector<double> b;
+    for (int i = 0; i <= 20; ++i) b.push_back(static_cast<double>(int64_t{1} << i));
+    return b;
+  }
+
+  void Record(double v) {
+    const size_t bucket =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(sum_, v);
+    AtomicMax(max_, v);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  int64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const {
+    const int64_t n = count();
+    if (n <= 0) return 0.0;
+    int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(n));
+    if (rank * 100 < static_cast<int64_t>(p * static_cast<double>(n))) ++rank;
+    rank = std::max<int64_t>(rank, 1);
+    int64_t cum = 0;
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      cum += bucket_count(i);
+      if (cum >= rank) return i < bounds_.size() ? bounds_[i] : max();
+    }
+    return max();
+  }
+
+  void Reset() {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void AtomicAdd(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (cur < v && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1 cells
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Per-op profile accumulated by ScopedTimer: call count, wall nanoseconds
+/// (total and self = total minus time spent in nested instrumented ops), and
+/// approximate bytes touched.
+struct OpStats {
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> total_ns{0};
+  std::atomic<int64_t> self_ns{0};
+  std::atomic<int64_t> bytes{0};
+
+  void Reset() {
+    calls.store(0, std::memory_order_relaxed);
+    total_ns.store(0, std::memory_order_relaxed);
+    self_ns.store(0, std::memory_order_relaxed);
+    bytes.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One completed profiler span, recorded only while tracing is enabled.
+/// Exported in chrome://tracing "X" (complete-event) form.
+struct TraceEvent {
+  std::string name;
+  int64_t ts_ns = 0;   // start, relative to the trace epoch
+  int64_t dur_ns = 0;  // wall duration
+  int tid = 0;         // parallel::ThreadIndex() of the recording thread
+};
+
+/// Point-in-time copy of every metric, in name order.
+struct Snapshot {
+  struct Op {
+    std::string name;
+    int64_t calls = 0, total_ns = 0, self_ns = 0, bytes = 0;
+  };
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<int64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
+    int64_t count = 0;
+    double sum = 0.0, max = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Op> ops;
+  std::vector<Hist> histograms;
+};
+
+/// Named metric store. Get* return a stable reference, creating the metric
+/// on first use. Global() is the process-wide instance used by the
+/// instrumentation macros; tests build private instances for golden exports.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+
+  /// `bounds` applies only on first creation; empty means DefaultBounds().
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds = {}) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+      slot = std::make_unique<Histogram>(bounds.empty() ? Histogram::DefaultBounds()
+                                                        : std::move(bounds));
+    }
+    return *slot;
+  }
+
+  OpStats& GetOp(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = ops_[name];
+    if (!slot) slot = std::make_unique<OpStats>();
+    return *slot;
+  }
+
+  /// Copies every metric in name order. Ops with zero calls are skipped so
+  /// snapshots only list work that actually ran.
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes every metric in place; cached references stay valid.
+  void ResetValues();
+
+  // ---- Tracing ------------------------------------------------------------
+  // Off by default. While on, every ScopedTimer destruction appends one
+  // TraceEvent (bounded: events beyond kMaxTraceEvents are dropped and
+  // counted in the "obs.trace.dropped" counter).
+
+  static constexpr int64_t kMaxTraceEvents = int64_t{1} << 20;
+
+  void SetTraceEnabled(bool on);
+  bool trace_enabled() const { return trace_enabled_.load(std::memory_order_relaxed); }
+  int64_t trace_epoch_ns() const { return trace_epoch_ns_; }
+
+  void AppendTraceEvent(TraceEvent e);
+
+  /// Copy of the recorded events sorted by (ts, tid, name).
+  std::vector<TraceEvent> TraceEvents() const;
+  void ClearTrace();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<OpStats>> ops_;
+
+  std::atomic<bool> trace_enabled_{false};
+  int64_t trace_epoch_ns_ = 0;
+  mutable std::mutex trace_mu_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace obs
+}  // namespace msgcl
+
+#endif  // MSGCL_OBS_REGISTRY_H_

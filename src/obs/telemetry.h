@@ -1,0 +1,67 @@
+// Training telemetry: per-step scalar accumulation and the per-epoch CSV.
+//
+// Loss components and grad norms are produced deep inside step functions
+// (core/meta_sgcl.h, models/trainer.h) that have no channel back to FitLoop
+// other than the scalar loss. RecordStepScalar gives them a side channel:
+// each step records named scalars; once per epoch FitLoop drains the means
+// and writes one CSV row. The scalar store is process-global, mirroring the
+// metric registry.
+//
+// CSV contract: the column set is fixed by the first row written ("epoch" +
+// the row's keys in name order). Later rows drop unknown keys and leave
+// missing ones blank, so the file stays rectangular. Reopening in append
+// mode re-reads the header so a resumed run keeps the original column
+// order — telemetry survives checkpoint resume without duplicated or
+// misaligned columns. Floats use the same locale-independent formatting as
+// the JSON layer.
+#ifndef MSGCL_OBS_TELEMETRY_H_
+#define MSGCL_OBS_TELEMETRY_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace obs {
+
+/// Accumulates `value` under `name` in the global per-step scalar store.
+void RecordStepScalar(const std::string& name, double value);
+
+/// Returns the mean of every scalar recorded since the last drain and
+/// clears the store. Keys in name order (std::map).
+std::map<std::string, double> DrainStepScalarMeans();
+
+/// Per-epoch telemetry CSV emitter.
+class TelemetryCsv {
+ public:
+  TelemetryCsv() = default;
+  ~TelemetryCsv() { Close(); }
+  TelemetryCsv(const TelemetryCsv&) = delete;
+  TelemetryCsv& operator=(const TelemetryCsv&) = delete;
+
+  /// Opens `path`. With append=true and an existing non-empty file, adopts
+  /// the column order from its header line; otherwise truncates and writes
+  /// the header on the first row.
+  Status Open(const std::string& path, bool append);
+
+  /// Writes one row. On the first row of a fresh file, fixes the columns as
+  /// "epoch" + the keys of `values` in name order and writes the header.
+  /// NaN values become empty cells.
+  Status WriteRow(int64_t epoch, const std::map<std::string, double>& values);
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::vector<std::string> columns_;  // includes leading "epoch" once fixed
+};
+
+}  // namespace obs
+}  // namespace msgcl
+
+#endif  // MSGCL_OBS_TELEMETRY_H_

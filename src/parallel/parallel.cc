@@ -16,6 +16,7 @@ namespace {
 constexpr int kMaxThreadCap = 256;
 
 thread_local bool tl_in_parallel = false;
+thread_local int tl_thread_index = 0;
 
 int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -97,6 +98,7 @@ class Pool {
   }
 
   void WorkerLoop(int index) {
+    tl_thread_index = index + 1;
     uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Task> task;
@@ -159,6 +161,8 @@ void SetNumThreads(int n) {
 }
 
 bool InParallelRegion() { return tl_in_parallel; }
+
+int ThreadIndex() { return tl_thread_index; }
 
 void For(int64_t begin, int64_t end, int64_t grain,
          const std::function<void(int64_t, int64_t)>& fn) {

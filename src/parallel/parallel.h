@@ -40,6 +40,11 @@ void SetNumThreads(int n);
 /// (nested For/ForFixedChunks therefore run serially inline).
 bool InParallelRegion();
 
+/// Stable small id for the calling thread: 0 for any thread outside the
+/// pool (including the one submitting a parallel region), 1 + worker index
+/// for pool workers. Used by the observability trace to label events.
+int ThreadIndex();
+
 /// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end) into at
 /// most MaxThreads() contiguous chunks of roughly >= grain indices. The
 /// partition is a pure function of (end - begin, grain, MaxThreads()).

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/registry.h"
 #include "tensor/rng.h"
 #include "tensor/status.h"
 #include "tensor/tensor.h"
@@ -74,12 +75,12 @@ class FaultInjector {
       if (hits == 0) hits = 1;
       for (uint64_t h = 0; h < hits; ++h) g[rng_.UniformInt(n)] = FaultValue();
     }
-    ++injected_faults_;
+    CountFault();
   }
 
   /// Returns the poisoned replacement for a loss value.
   float CorruptLoss() {
-    ++injected_faults_;
+    CountFault();
     return FaultValue();
   }
 
@@ -123,7 +124,7 @@ class FaultInjector {
     if (!out) return Status::NotFound("cannot reopen " + path);
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
     if (!out) return Status::Internal("bit-flip rewrite failed for " + path);
-    ++injected_faults_;
+    CountFault();
     return Status::Ok();
   }
 
@@ -144,6 +145,13 @@ class FaultInjector {
   }
 
  private:
+  // Cold path: counted unconditionally (not macro-gated) so drills remain
+  // observable in MSGCL_OBS=OFF builds.
+  void CountFault() {
+    ++injected_faults_;
+    obs::Registry::Global().GetCounter("runtime.faults.injected").Add(1);
+  }
+
   float FaultValue() const {
     switch (plan_.kind) {
       case FaultKind::kNaN: return std::numeric_limits<float>::quiet_NaN();

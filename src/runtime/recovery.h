@@ -25,6 +25,7 @@
 
 #include "nn/numeric.h"
 #include "nn/optim.h"
+#include "obs/registry.h"
 #include "tensor/status.h"
 #include "tensor/tensor.h"
 
@@ -119,6 +120,9 @@ class HealthGuard {
     for (size_t o = 0; o < optimizers_.size(); ++o) {
       optimizers_[o]->SetState(opt_states_[o]);
     }
+    // Cold path: counted unconditionally (not macro-gated) so recovery
+    // drills are observable even in MSGCL_OBS=OFF builds.
+    obs::Registry::Global().GetCounter("runtime.recovery.rollbacks").Add(1);
     return true;
   }
 

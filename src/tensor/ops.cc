@@ -12,6 +12,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/profiler.h"
 #include "parallel/parallel.h"
 #include "tensor/tensor.h"
 
@@ -151,6 +152,8 @@ void ForEachBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
 /// fwd(a, b) -> out; bwd writes (da, db) contributions given (a, b, gout).
 template <typename Fwd, typename DA, typename DB>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
+  MSGCL_OBS_SCOPE_BYTES("tensor.elemwise.binary",
+                        (a.numel() + b.numel() + std::max(a.numel(), b.numel())) * 4);
   const Shape a_shape = NormalizeScalarShape(a.shape());
   const Shape b_shape = NormalizeScalarShape(b.shape());
   Shape out_shape = BroadcastShape(a_shape, b_shape);
@@ -180,6 +183,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
   return MakeNode(
       std::move(out_shape), std::move(out), {a, b},
       [ai, bi, sa, sb, shape_copy, same_shape, da_fn, db_fn](TensorImpl& self) {
+        MSGCL_OBS_SCOPE("tensor.elemwise.binary.bwd");
         const bool need_a = ai->requires_grad;
         const bool need_b = bi->requires_grad;
         if (need_a) ai->EnsureGrad();
@@ -211,6 +215,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
 /// Elementwise unary op. bwd receives (x, y, gout) and returns dx.
 template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd) {
+  MSGCL_OBS_SCOPE_BYTES("tensor.elemwise.unary", x.numel() * 2 * 4);
   const auto& xd = x.data();
   std::vector<float> out(xd.size());
   parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
@@ -219,6 +224,7 @@ Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd) {
                 });
   auto xi = x.impl_ptr();
   return MakeNode(x.shape(), std::move(out), {x}, [xi, bwd](TensorImpl& self) {
+    MSGCL_OBS_SCOPE("tensor.elemwise.unary.bwd");
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const auto& g = self.grad;
@@ -399,6 +405,7 @@ Tensor Tensor::Square() const {
 // ---- Reductions ------------------------------------------------------------
 
 Tensor Tensor::Sum() const {
+  MSGCL_OBS_SCOPE_BYTES("tensor.reduce.sum", numel() * 4);
   const auto& xd = data();
   const int64_t total = static_cast<int64_t>(xd.size());
   // Fixed-boundary chunk partials combined in chunk index order: the
@@ -415,6 +422,7 @@ Tensor Tensor::Sum() const {
   for (double p : partial) acc += p;
   auto xi = impl_ptr();
   return MakeNode({1}, {static_cast<float>(acc)}, {*this}, [xi](TensorImpl& self) {
+    MSGCL_OBS_SCOPE("tensor.reduce.sum.bwd");
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const float g = self.grad[0];
@@ -432,6 +440,7 @@ Tensor Tensor::Mean() const {
 }
 
 Tensor Tensor::SumLastDim() const {
+  MSGCL_OBS_SCOPE_BYTES("tensor.reduce.rows", numel() * 4);
   MSGCL_CHECK_GE(ndim(), 1);
   const int64_t c = dim(-1);
   const int64_t rows = numel() / std::max<int64_t>(c, 1);
@@ -507,6 +516,7 @@ Tensor Tensor::MaxLastDim() const {
 // ---- Softmax family ---------------------------------------------------------
 
 Tensor Tensor::SoftmaxLastDim() const {
+  MSGCL_OBS_SCOPE_BYTES("tensor.softmax.fwd", numel() * 2 * 4);
   MSGCL_CHECK_GE(ndim(), 1);
   const int64_t c = dim(-1);
   MSGCL_CHECK_GT(c, 0);
@@ -530,6 +540,7 @@ Tensor Tensor::SoftmaxLastDim() const {
   });
   auto xi = impl_ptr();
   return MakeNode(shape(), std::move(out), {*this}, [xi, c](TensorImpl& self) {
+    MSGCL_OBS_SCOPE("tensor.softmax.bwd");
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
@@ -547,6 +558,7 @@ Tensor Tensor::SoftmaxLastDim() const {
 }
 
 Tensor Tensor::LogSoftmaxLastDim() const {
+  MSGCL_OBS_SCOPE_BYTES("tensor.log_softmax.fwd", numel() * 2 * 4);
   MSGCL_CHECK_GE(ndim(), 1);
   const int64_t c = dim(-1);
   MSGCL_CHECK_GT(c, 0);
@@ -567,6 +579,7 @@ Tensor Tensor::LogSoftmaxLastDim() const {
   });
   auto xi = impl_ptr();
   return MakeNode(shape(), std::move(out), {*this}, [xi, c](TensorImpl& self) {
+    MSGCL_OBS_SCOPE("tensor.log_softmax.bwd");
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
     const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
@@ -873,6 +886,7 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   const int64_t nbatch = NumElements(batch);
   const bool a_batched = !batch_a.empty();
   const bool b_batched = !batch_b.empty();
+  MSGCL_OBS_SCOPE_BYTES("tensor.matmul.fwd", (m * ka + ka * nn + m * nn) * 4 * nbatch);
 
   Shape out_shape = batch;
   out_shape.push_back(m);
@@ -900,6 +914,7 @@ Tensor Tensor::MatMul(const Tensor& other) const {
       std::move(out_shape), std::move(out), {A, B},
       [ai, bimp, m, k, nn, nbatch, a_stride, b_stride, a_batched,
        b_batched](TensorImpl& self) {
+        MSGCL_OBS_SCOPE_BYTES("tensor.matmul.bwd", (m * k + k * nn + m * nn) * 8 * nbatch);
         const bool need_a = ai->requires_grad;
         const bool need_b = bimp->requires_grad;
         if (need_a) ai->EnsureGrad();
@@ -958,6 +973,8 @@ Tensor Tensor::MatMul(const Tensor& other) const {
 
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& indices,
                        const Shape& index_shape, int32_t padding_idx) {
+  MSGCL_OBS_SCOPE_BYTES("tensor.embedding.fwd",
+                        static_cast<int64_t>(indices.size()) * table.dim(1) * 2 * 4);
   MSGCL_CHECK_EQ(table.ndim(), 2);
   MSGCL_CHECK_EQ(NumElements(index_shape), static_cast<int64_t>(indices.size()));
   const int64_t rows = table.dim(0);
@@ -981,6 +998,9 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& indices,
   auto idx = std::make_shared<std::vector<int32_t>>(indices);
   return MakeNode(std::move(out_shape), std::move(out), {table},
                   [ti, idx, rows, width, padding_idx](TensorImpl& self) {
+                    MSGCL_OBS_SCOPE_BYTES(
+                        "tensor.embedding.scatter",
+                        static_cast<int64_t>(idx->size()) * width * 2 * 4);
                     if (!ti->requires_grad) return;
                     ti->EnsureGrad();
                     // Scatter sharded by table-row ownership: each shard owns
@@ -1035,6 +1055,7 @@ Tensor GatherTimeStep(const Tensor& x, const std::vector<int32_t>& positions) {
 
 Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                         float eps) {
+  MSGCL_OBS_SCOPE_BYTES("tensor.layernorm.fwd", x.numel() * 2 * 4);
   MSGCL_CHECK_GE(x.ndim(), 1);
   const int64_t c = x.dim(-1);
   MSGCL_CHECK_GT(c, 0);
@@ -1074,6 +1095,7 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta
   return MakeNode(
       x.shape(), std::move(out), {x, gamma, beta},
       [xi, gi, bi, xhat, inv_std, c](TensorImpl& self) {
+        MSGCL_OBS_SCOPE("tensor.layernorm.bwd");
         const int64_t rows = static_cast<int64_t>(self.data.size()) / c;
         const bool need_x = xi->requires_grad;
         const bool need_g = gi->requires_grad;
@@ -1131,6 +1153,7 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta
 
 Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targets,
                           int32_t ignore_index) {
+  MSGCL_OBS_SCOPE_BYTES("tensor.cross_entropy.fwd", logits.numel() * 2 * 4);
   MSGCL_CHECK_EQ(logits.ndim(), 2);
   const int64_t M = logits.dim(0), C = logits.dim(1);
   MSGCL_CHECK_EQ(static_cast<int64_t>(targets.size()), M);
@@ -1174,6 +1197,7 @@ Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targ
   auto tgt = std::make_shared<std::vector<int32_t>>(targets);
   return MakeNode({1}, {mean_loss}, {logits},
                   [li, tgt, log_probs, ignore_index, C, valid](TensorImpl& self) {
+                    MSGCL_OBS_SCOPE("tensor.cross_entropy.bwd");
                     if (!li->requires_grad || valid == 0) return;
                     li->EnsureGrad();
                     const float g = self.grad[0] / static_cast<float>(valid);

@@ -1,0 +1,491 @@
+// Tests for the observability layer (src/obs/, DESIGN.md §8): registry
+// semantics, hand-computed histogram percentiles, exact RAII self-time
+// accounting, thread-count-invariant snapshots, golden JSON/trace exports,
+// the shared JSON writer, the telemetry CSV, and a FitLoop run whose op
+// counters must match analytically derived counts.
+//
+// Golden files live in tests/golden/; regenerate with
+//   MSGCL_REGEN_GOLDEN=1 ./obs_test
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "obs/obs.h"
+#include "parallel/parallel.h"
+
+namespace msgcl {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void ExpectMatchesGolden(const std::string& got, const std::string& filename) {
+  const std::string path = std::string(MSGCL_GOLDEN_DIR) + "/" + filename;
+  if (std::getenv("MSGCL_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << got;
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream probe(path);
+  ASSERT_TRUE(probe.good()) << "missing golden " << path
+                            << " (regenerate with MSGCL_REGEN_GOLDEN=1)";
+  EXPECT_EQ(got, ReadFile(path));
+}
+
+// Burns a little wall time so nested timer spans are strictly ordered even
+// at coarse clock resolution.
+void Spin() {
+  volatile uint64_t acc = 0;
+  for (uint64_t i = 0; i < 20000; ++i) acc = acc + i * i;
+}
+
+// ---------- JsonWriter / FormatDouble (the one shared JSON emitter) ----------
+
+TEST(JsonWriterTest, NestedStructuresGetCommasRight) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.Int(2);
+  w.String("x");
+  w.BeginObject();
+  w.Key("c");
+  w.Bool(true);
+  w.Key("d");
+  w.Null();
+  w.EndObject();
+  w.BeginArray();
+  w.EndArray();
+  w.EndArray();
+  w.Key("e");
+  w.Double(0.5);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,"x",{"c":true,"d":null},[]],"e":0.5})");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("quote\"backslash\\");
+  w.String("line\nbreak\ttab\x01");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"quote\\\"backslash\\\\\":\"line\\nbreak\\ttab\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.Double(1.0);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,1]");
+}
+
+TEST(FormatDoubleTest, ShortestRoundTripAndNoLocaleArtifacts) {
+  EXPECT_EQ(obs::FormatDouble(0.5), "0.5");
+  EXPECT_EQ(obs::FormatDouble(13.0), "13");
+  EXPECT_EQ(obs::FormatDouble(-2.25), "-2.25");
+  EXPECT_EQ(obs::FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(obs::FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  // Shortest-round-trip: parsing the text recovers the exact double.
+  const double pi = 3.14159265358979323846;
+  EXPECT_EQ(std::stod(obs::FormatDouble(pi)), pi);
+  // The decimal separator is '.' regardless of environment (to_chars is
+  // locale-independent by specification).
+  EXPECT_NE(obs::FormatDouble(0.5).find('.'), std::string::npos);
+  EXPECT_EQ(obs::FormatDouble(0.5).find(','), std::string::npos);
+}
+
+// ---------- Registry ----------
+
+TEST(RegistryTest, MetricReferencesAreStableAndResetInPlace) {
+  obs::Registry reg;
+  obs::Counter& c1 = reg.GetCounter("x");
+  c1.Add(2);
+  obs::Counter& c2 = reg.GetCounter("x");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 2);
+
+  obs::Gauge& g = reg.GetGauge("lr");
+  g.Set(0.125);
+  EXPECT_EQ(reg.GetGauge("lr").value(), 0.125);
+
+  reg.ResetValues();
+  EXPECT_EQ(c1.value(), 0);       // zeroed...
+  EXPECT_EQ(g.value(), 0.0);
+  c1.Add(5);                      // ...but the cached reference still works
+  EXPECT_EQ(reg.GetCounter("x").value(), 5);
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndSkipsIdleOps) {
+  obs::Registry reg;
+  reg.GetCounter("zeta").Add(1);
+  reg.GetCounter("alpha").Add(2);
+  reg.GetCounter("mid").Add(3);
+  reg.GetOp("idle");  // never called: must not appear
+  obs::OpStats& busy = reg.GetOp("busy");
+  busy.calls.store(1);
+
+  obs::Snapshot snap = reg.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zeta");
+  ASSERT_EQ(snap.ops.size(), 1u);
+  EXPECT_EQ(snap.ops[0].name, "busy");
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, PercentilesMatchHandComputedValues) {
+  obs::Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int v = 1; v <= 10; ++v) h.Record(static_cast<double>(v));
+  // Buckets: (<=1)={1}, (<=2)={2}, (<=4)={3,4}, (<=8)={5..8}, overflow={9,10}.
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_EQ(h.sum(), 55.0);
+  EXPECT_EQ(h.max(), 10.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  EXPECT_EQ(h.bucket_count(3), 4);
+  EXPECT_EQ(h.bucket_count(4), 2);
+  // Percentile(p) = upper bound of the bucket with the ceil(p/100*n)-th
+  // smallest sample; the overflow bucket reports the recorded max.
+  EXPECT_EQ(h.Percentile(10), 1.0);   // rank 1  -> bucket <=1
+  EXPECT_EQ(h.Percentile(20), 2.0);   // rank 2  -> bucket <=2
+  EXPECT_EQ(h.Percentile(40), 4.0);   // rank 4  -> bucket <=4
+  EXPECT_EQ(h.Percentile(50), 8.0);   // rank 5  -> bucket <=8
+  EXPECT_EQ(h.Percentile(80), 8.0);   // rank 8  -> bucket <=8
+  EXPECT_EQ(h.Percentile(90), 10.0);  // rank 9  -> overflow -> max
+  EXPECT_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  obs::Histogram h(obs::Histogram::DefaultBounds());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+// ---------- ScopedTimer self-time accounting ----------
+
+TEST(ScopedTimerTest, SelfTimeExcludesDirectChildrenExactly) {
+  obs::Registry reg;
+  obs::OpStats& outer = reg.GetOp("outer");
+  obs::OpStats& middle = reg.GetOp("middle");
+  obs::OpStats& inner = reg.GetOp("inner");
+  {
+    obs::ScopedTimer t_outer(outer, "outer");
+    Spin();
+    {
+      obs::ScopedTimer t_mid(middle, "middle");
+      Spin();
+      {
+        obs::ScopedTimer t_in(inner, "inner");
+        Spin();
+      }
+    }
+    {
+      obs::ScopedTimer t_in(inner, "inner");
+      Spin();
+    }
+  }
+  EXPECT_EQ(outer.calls.load(), 1);
+  EXPECT_EQ(middle.calls.load(), 1);
+  EXPECT_EQ(inner.calls.load(), 2);
+  // Leaf timers have no instrumented children: self == total.
+  EXPECT_EQ(inner.self_ns.load(), inner.total_ns.load());
+  // middle's only direct child is the first inner span.
+  EXPECT_GT(middle.total_ns.load(), middle.self_ns.load());
+  // outer's direct children are middle and the second inner span — the
+  // grandchild must not be double-subtracted.
+  const int64_t second_inner =
+      inner.total_ns.load() - (middle.total_ns.load() - middle.self_ns.load());
+  EXPECT_EQ(outer.self_ns.load(),
+            outer.total_ns.load() - middle.total_ns.load() - second_inner);
+}
+
+TEST(ScopedTimerTest, AccumulatesCallsAndBytes) {
+  obs::Registry reg;
+  obs::OpStats& op = reg.GetOp("bytes_op");
+  { obs::ScopedTimer t(op, "bytes_op", 128); }
+  { obs::ScopedTimer t(op, "bytes_op", 128); }
+  EXPECT_EQ(op.calls.load(), 2);
+  EXPECT_EQ(op.bytes.load(), 256);
+  EXPECT_GE(op.total_ns.load(), 0);
+}
+
+// ---------- Tracing ----------
+
+TEST(TraceTest, EventsAreRecordedNestedSortedAndCleared) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.ClearTrace();
+  reg.SetTraceEnabled(true);
+  {
+    obs::ScopedTimer t_outer(reg.GetOp("obs_test.trace.outer"), "obs_test.trace.outer");
+    Spin();
+    {
+      obs::ScopedTimer t_inner(reg.GetOp("obs_test.trace.inner"), "obs_test.trace.inner");
+      Spin();
+    }
+    Spin();
+  }
+  reg.SetTraceEnabled(false);
+  std::vector<obs::TraceEvent> events = reg.TraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "obs_test.trace.outer");  // started first
+  EXPECT_EQ(events[1].name, "obs_test.trace.inner");
+  EXPECT_GT(events[1].ts_ns, events[0].ts_ns);
+  // The inner span is contained in the outer span.
+  EXPECT_LE(events[1].ts_ns + events[1].dur_ns, events[0].ts_ns + events[0].dur_ns);
+  EXPECT_EQ(events[0].tid, 0);  // recorded on the main thread
+
+  reg.ClearTrace();
+  EXPECT_TRUE(reg.TraceEvents().empty());
+}
+
+// ---------- Golden exports ----------
+
+// A private registry with hand-set values so the JSON is byte-deterministic.
+obs::Snapshot GoldenSnapshot(obs::Registry& reg) {
+  reg.GetCounter("batches").Add(7);
+  reg.GetCounter("faults").Add(1);
+  reg.GetGauge("lr").Set(0.003);
+  obs::Histogram& h = reg.GetHistogram("latency_ms", {1.0, 2.0, 4.0});
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(9.0);
+  obs::OpStats& op = reg.GetOp("matmul");
+  op.calls.store(2);
+  op.total_ns.store(3000);
+  op.self_ns.store(2500);
+  op.bytes.store(4096);
+  return reg.TakeSnapshot();
+}
+
+TEST(ExportTest, MetricsSnapshotJsonMatchesGolden) {
+  obs::Registry reg;
+  ExpectMatchesGolden(obs::SnapshotToJson(GoldenSnapshot(reg)), "metrics_snapshot.json");
+}
+
+TEST(ExportTest, ChromeTraceJsonMatchesGolden) {
+  std::vector<obs::TraceEvent> events(2);
+  events[0].name = "train.step_fn";
+  events[0].ts_ns = 1000;
+  events[0].dur_ns = 500;
+  events[0].tid = 0;
+  events[1].name = "tensor.matmul.fwd";
+  events[1].ts_ns = 1250;
+  events[1].dur_ns = 250;
+  events[1].tid = 1;
+  ExpectMatchesGolden(obs::TraceToJson(events), "chrome_trace.json");
+}
+
+TEST(ExportTest, WriteMetricsJsonIsAtomicAndParsesBack) {
+  obs::Registry reg;
+  const std::string path = ::testing::TempDir() + "/obs_metrics.json";
+  ASSERT_TRUE(obs::WriteMetricsJson(GoldenSnapshot(reg), path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());  // tmp file renamed away
+  const std::string body = ReadFile(path);
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '\n');
+  EXPECT_NE(body.find("\"batches\":7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------- Step scalars and the telemetry CSV ----------
+
+TEST(TelemetryTest, StepScalarMeansDrainOnce) {
+  (void)obs::DrainStepScalarMeans();  // discard leftovers from other code
+  obs::RecordStepScalar("a", 1.0);
+  obs::RecordStepScalar("a", 3.0);
+  obs::RecordStepScalar("b", 5.0);
+  std::map<std::string, double> means = obs::DrainStepScalarMeans();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means["a"], 2.0);
+  EXPECT_DOUBLE_EQ(means["b"], 5.0);
+  EXPECT_TRUE(obs::DrainStepScalarMeans().empty());
+}
+
+TEST(TelemetryTest, CsvFixesColumnsOnFirstRowAndBlanksNaN) {
+  const std::string path = ::testing::TempDir() + "/obs_telemetry.csv";
+  obs::TelemetryCsv csv;
+  ASSERT_TRUE(csv.Open(path, /*append=*/false).ok());
+  ASSERT_TRUE(csv.WriteRow(0, {{"loss", 0.5}, {"hr", 0.25}}).ok());
+  ASSERT_TRUE(
+      csv.WriteRow(1, {{"loss", 0.25},
+                       {"hr", std::numeric_limits<double>::quiet_NaN()}})
+          .ok());
+  ASSERT_TRUE(csv.WriteRow(2, {{"loss", 0.125}}).ok());  // hr missing -> blank
+  csv.Close();
+  EXPECT_EQ(ReadFile(path),
+            "epoch,hr,loss\n"
+            "0,0.25,0.5\n"
+            "1,,0.25\n"
+            "2,,0.125\n");
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTest, CsvAppendAdoptsExistingHeaderAndColumnOrder) {
+  const std::string path = ::testing::TempDir() + "/obs_telemetry_append.csv";
+  {
+    obs::TelemetryCsv csv;
+    ASSERT_TRUE(csv.Open(path, /*append=*/false).ok());
+    ASSERT_TRUE(csv.WriteRow(0, {{"loss", 0.5}, {"hr", 0.25}}).ok());
+  }
+  {
+    obs::TelemetryCsv csv;
+    ASSERT_TRUE(csv.Open(path, /*append=*/true).ok());
+    // Extra keys not in the adopted header are dropped; order is preserved.
+    ASSERT_TRUE(csv.WriteRow(1, {{"hr", 0.5}, {"loss", 0.1}, {"extra", 9.0}}).ok());
+  }
+  EXPECT_EQ(ReadFile(path),
+            "epoch,hr,loss\n"
+            "0,0.25,0.5\n"
+            "1,0.5,0.1\n");
+  // Append against a missing file starts a fresh one.
+  std::remove(path.c_str());
+  obs::TelemetryCsv fresh;
+  ASSERT_TRUE(fresh.Open(path, /*append=*/true).ok());
+  ASSERT_TRUE(fresh.WriteRow(0, {{"loss", 1.0}}).ok());
+  fresh.Close();
+  EXPECT_EQ(ReadFile(path), "epoch,loss\n0,1\n");
+  std::remove(path.c_str());
+}
+
+// ---------- Determinism across thread counts ----------
+
+// Thread-count-invariant view of a snapshot: everything except nanosecond
+// timing fields.
+struct StableView {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::tuple<std::string, int64_t, int64_t>> ops;  // name, calls, bytes
+
+  bool operator==(const StableView& o) const {
+    return counters == o.counters && ops == o.ops;
+  }
+};
+
+StableView WorkloadSnapshot(int threads) {
+  parallel::SetNumThreads(threads);
+  obs::Registry::Global().ResetValues();
+  Rng rng(7);
+  Tensor a = Tensor::Randn({32, 48}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({48, 16}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor loss = a.MatMul(b).SoftmaxLastDim().Sum();
+  loss.Backward();
+  MSGCL_OBS_COUNT("obs_test.workload_runs", 1);
+
+  obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  StableView view;
+  view.counters = snap.counters;
+  for (const auto& op : snap.ops) view.ops.emplace_back(op.name, op.calls, op.bytes);
+  return view;
+}
+
+TEST(ThreadInvarianceTest, CountersAndCallCountsIdenticalAcross1And2And7Threads) {
+  if (!obs::kEnabled) GTEST_SKIP() << "instrumentation compiled out (MSGCL_OBS=OFF)";
+  const StableView t1 = WorkloadSnapshot(1);
+  const StableView t2 = WorkloadSnapshot(2);
+  const StableView t7 = WorkloadSnapshot(7);
+  parallel::SetNumThreads(1);
+  ASSERT_FALSE(t1.ops.empty());
+  EXPECT_TRUE(t1 == t2);
+  EXPECT_TRUE(t1 == t7);
+  // The workload actually exercised the instrumented kernels.
+  std::vector<std::string> names;
+  for (const auto& op : t1.ops) names.push_back(std::get<0>(op));
+  for (const char* want : {"tensor.matmul.fwd", "tensor.matmul.bwd",
+                           "tensor.softmax.fwd", "tensor.reduce.sum"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << "missing op " << want;
+  }
+}
+
+// ---------- FitLoop op counters vs analytic expectations ----------
+
+TEST(FitLoopCountersTest, OpCallCountsMatchAnalyticExpectations) {
+  if (!obs::kEnabled) GTEST_SKIP() << "instrumentation compiled out (MSGCL_OBS=OFF)";
+  auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  b.dropout = 0.1f;
+
+  models::TrainConfig t;
+  t.epochs = 2;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 99;
+  t.eval_every = 0;  // no validation -> no eval ops
+
+  obs::Registry::Global().ResetValues();
+  models::SasRec model(b, t, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  const int64_t batches_per_epoch =
+      (ds.num_users() + t.batch_size - 1) / t.batch_size;
+  const int64_t steps = t.epochs * batches_per_epoch;
+  ASSERT_GE(steps, 2);
+
+  obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  std::map<std::string, obs::Snapshot::Op> ops;
+  for (const auto& op : snap.ops) ops[op.name] = op;
+
+  // One of each phase scope per optimisation step.
+  EXPECT_EQ(ops["train.step_fn"].calls, steps);
+  EXPECT_EQ(ops["train.forward"].calls, steps);
+  EXPECT_EQ(ops["train.backward"].calls, steps);
+  EXPECT_EQ(ops["train.step"].calls, steps);
+  EXPECT_EQ(ops["nn.adam.step"].calls, steps);
+  // One attention forward per layer per loss evaluation (layers = 1).
+  EXPECT_EQ(ops["nn.attention.fwd"].calls, steps * b.layers);
+  // One cross-entropy per loss evaluation.
+  EXPECT_EQ(ops["tensor.cross_entropy.fwd"].calls, steps);
+  // No eval and no checkpointing were configured.
+  EXPECT_EQ(ops.count("train.eval"), 0u);
+  EXPECT_EQ(ops.count("train.checkpoint"), 0u);
+  EXPECT_EQ(ops.count("eval.score_all"), 0u);
+
+  // RAII self-time is exact: step_fn's direct instrumented children are
+  // forward, backward, and step, so its self time is its total minus theirs.
+  EXPECT_EQ(ops["train.step_fn"].self_ns,
+            ops["train.step_fn"].total_ns - ops["train.forward"].total_ns -
+                ops["train.backward"].total_ns - ops["train.step"].total_ns);
+
+  // The acceptance bar: a real training run profiles at least 8 distinct ops.
+  EXPECT_GE(snap.ops.size(), 8u);
+  for (const auto& op : snap.ops) {
+    EXPECT_GE(op.total_ns, op.self_ns) << op.name;
+    EXPECT_GE(op.self_ns, 0) << op.name;
+  }
+}
+
+}  // namespace
+}  // namespace msgcl

@@ -14,6 +14,7 @@
 #include "gtest/gtest.h"
 #include "models/models.h"
 #include "nn/nn.h"
+#include "obs/obs.h"
 #include "runtime/runtime.h"
 
 namespace msgcl {
@@ -620,6 +621,134 @@ TEST(ResumeTest, TruncatedResumeFileFailsTheRunWithoutCrashing) {
   models::SasRec model(TinyBackbone(ds), leg2, Rng(1));
   EXPECT_FALSE(model.Fit(ds).ok());
   std::remove(path.c_str());
+}
+
+// ---------- Observability counters (DESIGN.md §8) ----------
+//
+// The runtime counters are registered directly (not via the gated macros),
+// so these drills hold in MSGCL_OBS=OFF builds too. Deltas, not absolute
+// values, so the tests are robust to other tests sharing the process.
+
+int64_t CounterValue(const std::string& name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
+TEST(ObsCountersTest, RollbackDrillCountsRetriesRecoveriesAndFaults) {
+  const int64_t retries0 = CounterValue("runtime.recovery.retries");
+  const int64_t rollbacks0 = CounterValue("runtime.recovery.rollbacks");
+  const int64_t recovered0 = CounterValue("runtime.recovery.recovered");
+  const int64_t faults0 = CounterValue("runtime.faults.injected");
+
+  auto ds = TinySplit();
+  runtime::FaultPlan plan;
+  plan.corrupt_grad_steps = {4};
+  plan.kind = runtime::FaultKind::kNaN;
+  runtime::FaultInjector injector(plan);
+
+  models::FitHistory history;
+  models::TrainConfig train = QuickTrain(3);
+  train.fault_injector = &injector;
+  train.history = &history;
+  train.recovery.policy = runtime::RecoveryPolicy::kRollbackRetry;
+  train.recovery.max_retries = 3;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // Counters agree with the FitHistory trace and the injector's own count.
+  EXPECT_EQ(CounterValue("runtime.recovery.retries") - retries0,
+            history.rollback_retries);
+  EXPECT_GE(CounterValue("runtime.recovery.rollbacks") - rollbacks0,
+            history.rollback_retries);
+  EXPECT_GE(CounterValue("runtime.recovery.recovered") - recovered0, 1);
+  EXPECT_EQ(CounterValue("runtime.faults.injected") - faults0,
+            injector.injected_faults());
+}
+
+TEST(ObsCountersTest, SkipBatchDrillCountsSkippedBatches) {
+  const int64_t skipped0 = CounterValue("runtime.recovery.skipped_batches");
+  const int64_t faults0 = CounterValue("runtime.faults.injected");
+
+  auto ds = TinySplit();
+  runtime::FaultPlan plan;
+  plan.corrupt_loss_steps = {2};
+  runtime::FaultInjector injector(plan);
+
+  models::FitHistory history;
+  models::TrainConfig train = QuickTrain(3);
+  train.fault_injector = &injector;
+  train.history = &history;
+  train.recovery.policy = runtime::RecoveryPolicy::kSkipBatch;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(CounterValue("runtime.recovery.skipped_batches") - skipped0,
+            history.skipped_batches);
+  EXPECT_EQ(CounterValue("runtime.faults.injected") - faults0,
+            injector.injected_faults());
+}
+
+TEST(ObsCountersTest, CheckpointingCountsSavesAndBytes) {
+  const int64_t saves0 = CounterValue("runtime.checkpoint.saves");
+  const int64_t bytes0 = CounterValue("runtime.checkpoint.bytes");
+
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_ckpt_counters.state");
+  models::TrainConfig train = QuickTrain(2);
+  train.checkpoint_path = path;
+  train.checkpoint_every = 1;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(FileExists(path));
+
+  // One save per epoch; bytes track the serialized train state on disk.
+  EXPECT_EQ(CounterValue("runtime.checkpoint.saves") - saves0, train.epochs);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const int64_t file_size = static_cast<int64_t>(in.tellg());
+  EXPECT_GE(CounterValue("runtime.checkpoint.bytes") - bytes0, file_size);
+  EXPECT_GT(file_size, 0);
+  std::remove(path.c_str());
+}
+
+TEST(ObsCountersTest, TelemetryCsvSurvivesResumeWithoutDuplicationOrGaps) {
+  auto ds = TinySplit();
+  const std::string state = TempPath("runtime_resume_telemetry.state");
+  const std::string csv = TempPath("runtime_resume_telemetry.csv");
+  std::remove(csv.c_str());
+
+  models::TrainConfig leg1 = QuickTrain(4);
+  leg1.epochs = 2;  // the run "dies" after epoch 2
+  leg1.checkpoint_path = state;
+  leg1.telemetry_path = csv;
+  Status s;
+  (void)TrainedWeights(ds, leg1, &s);
+  ASSERT_TRUE(s.ok());
+
+  models::TrainConfig leg2 = QuickTrain(4);
+  leg2.resume_from = state;
+  leg2.telemetry_path = csv;
+  (void)TrainedWeights(ds, leg2, &s);
+  ASSERT_TRUE(s.ok());
+
+  // Exactly one header and one row per epoch 0..3, in order: the resumed run
+  // appended rows 2..3 without duplicating or re-writing leg 1's rows.
+  std::ifstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("epoch,", 0), 0u) << "first line must be the header";
+  std::vector<int64_t> epochs;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    epochs.push_back(std::stoll(line.substr(0, line.find(','))));
+  }
+  ASSERT_EQ(epochs.size(), 4u);
+  for (int64_t e = 0; e < 4; ++e) EXPECT_EQ(epochs[e], e);
+  std::remove(state.c_str());
+  std::remove(csv.c_str());
 }
 
 }  // namespace

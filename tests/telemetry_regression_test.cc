@@ -1,0 +1,129 @@
+// Telemetry regression test: trains SASRec for two epochs on the fixed-seed
+// tiny synthetic dataset and compares the per-epoch telemetry CSV against a
+// checked-in golden file cell by cell (rtol 1e-5). Catches silent drift in
+// the loss curve, grad norms, validation metrics, or the CSV schema itself.
+//
+// The golden was recorded with the default Release flags; this test is
+// intentionally NOT under the `obs` ctest label so sanitizer presets (which
+// build with different codegen flags) do not compare floats against it.
+// Regenerate with: MSGCL_REGEN_GOLDEN=1 ./telemetry_regression_test
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+
+namespace msgcl {
+namespace {
+
+struct Csv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Csv ParseCsv(const std::string& path) {
+  Csv csv;
+  std::ifstream in(path);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.push_back("");
+    if (first) {
+      csv.header = cells;
+      first = false;
+    } else {
+      csv.rows.push_back(cells);
+    }
+  }
+  return csv;
+}
+
+std::string RunTraining(const std::string& csv_path) {
+  std::remove(csv_path.c_str());
+  auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  b.dropout = 0.1f;
+
+  models::TrainConfig t;
+  t.epochs = 2;
+  t.batch_size = 64;
+  t.max_len = 12;
+  t.lr = 3e-3f;
+  t.seed = 99;
+  t.eval_every = 1;  // every row carries validation HR/NDCG
+  t.patience = 10;
+  t.telemetry_path = csv_path;
+
+  models::SasRec model(b, t, Rng(11));
+  Status s = model.Fit(ds);
+  return s.ok() ? std::string() : s.ToString();
+}
+
+TEST(TelemetryRegressionTest, TwoEpochSasRecCsvMatchesGolden) {
+  const std::string golden_path =
+      std::string(MSGCL_GOLDEN_DIR) + "/telemetry_sasrec_2epoch.csv";
+  const std::string got_path = ::testing::TempDir() + "/telemetry_regression.csv";
+  const std::string err = RunTraining(got_path);
+  ASSERT_TRUE(err.empty()) << err;
+
+  if (std::getenv("MSGCL_REGEN_GOLDEN") != nullptr) {
+    std::ifstream in(got_path, std::ios::binary);
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+    ASSERT_TRUE(out.good()) << "cannot write golden " << golden_path;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  ASSERT_TRUE(std::ifstream(golden_path).good())
+      << "missing golden " << golden_path
+      << " (regenerate with MSGCL_REGEN_GOLDEN=1)";
+  const Csv want = ParseCsv(golden_path);
+  const Csv got = ParseCsv(got_path);
+
+  ASSERT_EQ(got.header, want.header) << "telemetry CSV schema changed";
+  ASSERT_EQ(got.rows.size(), want.rows.size());
+  constexpr double kRtol = 1e-5;
+  for (size_t r = 0; r < want.rows.size(); ++r) {
+    ASSERT_EQ(got.rows[r].size(), want.header.size()) << "row " << r;
+    ASSERT_EQ(want.rows[r].size(), want.header.size()) << "golden row " << r;
+    for (size_t c = 0; c < want.header.size(); ++c) {
+      const std::string& col = want.header[c];
+      const std::string& g = got.rows[r][c];
+      const std::string& w = want.rows[r][c];
+      if (col == "wall_seconds") {
+        // Timing is environment-dependent; require presence and positivity.
+        EXPECT_GT(std::stod(g), 0.0) << "row " << r;
+        continue;
+      }
+      if (w.empty()) {
+        EXPECT_TRUE(g.empty()) << col << " row " << r;
+        continue;
+      }
+      const double gv = std::stod(g);
+      const double wv = std::stod(w);
+      EXPECT_LE(std::fabs(gv - wv), kRtol * std::max(1.0, std::fabs(wv)))
+          << col << " row " << r << ": got " << g << " want " << w;
+    }
+  }
+  std::remove(got_path.c_str());
+}
+
+}  // namespace
+}  // namespace msgcl

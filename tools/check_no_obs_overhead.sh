@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Bounds the hot-path cost of the MSGCL_OBS scoped timers (DESIGN.md §8).
+#
+# Builds bench_micro_kernels twice — instrumented (MSGCL_OBS=ON, the default)
+# and stripped (MSGCL_OBS=OFF) — then runs the kernel timing in both
+# directions through `bench_micro_kernels --check_overhead`:
+#
+#   1. OFF timings vs an ON baseline: the macros must not pessimise the
+#      uninstrumented build (include or code-layout accidents);
+#   2. ON timings vs an OFF baseline: the instrumentation itself must cost
+#      less than MAX_REGRESS on every kernel.
+#
+# Both checks passing means the two builds time within MAX_REGRESS (default
+# 2%) of each other on every hot kernel.
+#
+# Usage: tools/check_no_obs_overhead.sh [build_dir] [max_regress]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-obs-check}"
+MAX_REGRESS="${2:-0.02}"
+
+configure_and_build() {
+  local dir="$1" obs="$2"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DMSGCL_OBS="$obs" \
+    -DMSGCL_BUILD_TESTS=OFF -DMSGCL_BUILD_BENCH=ON >/dev/null
+  cmake --build "$dir" --target bench_micro_kernels -j "$(nproc)" >/dev/null
+}
+
+echo "== building instrumented (MSGCL_OBS=ON) and stripped (MSGCL_OBS=OFF) kernels"
+configure_and_build "$BUILD/on" ON
+configure_and_build "$BUILD/off" OFF
+
+echo "== recording baselines (single-threaded best-of-reps)"
+"$BUILD/on/bench/bench_micro_kernels" --threads=1 --json="$BUILD/baseline_on.json"
+"$BUILD/off/bench/bench_micro_kernels" --threads=1 --json="$BUILD/baseline_off.json"
+
+echo "== check 1: MSGCL_OBS=OFF kernels vs instrumented baseline"
+"$BUILD/off/bench/bench_micro_kernels" \
+  --check_overhead="$BUILD/baseline_on.json" --max_regress="$MAX_REGRESS"
+
+echo "== check 2: instrumented kernels vs MSGCL_OBS=OFF baseline"
+"$BUILD/on/bench/bench_micro_kernels" \
+  --check_overhead="$BUILD/baseline_off.json" --max_regress="$MAX_REGRESS"
+
+echo "ok: instrumented and stripped builds agree within ${MAX_REGRESS} on every kernel"

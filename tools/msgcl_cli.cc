@@ -33,6 +33,17 @@
 //                                (default: MSGCL_NUM_THREADS env, else the
 //                                hardware concurrency). Results are bitwise
 //                                identical for every thread count.
+//
+// Observability (train only; see DESIGN.md §8):
+//   --profile                    print the per-op profile table after training
+//   --metrics-out=m.json         write the full metrics snapshot (counters,
+//                                gauges, per-op timings, histograms) as JSON
+//   --trace-out=t.json           record a chrome://tracing event file
+//   --telemetry-out=run.csv      per-epoch telemetry CSV (loss terms,
+//                                grad norm, HR/NDCG@10, wall time); resumed
+//                                runs append to the existing file
+// Per-op timings require an MSGCL_OBS=ON build (the default); counters and
+// telemetry work in every build.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +56,7 @@
 #include "data/data.h"
 #include "eval/eval.h"
 #include "models/models.h"
+#include "obs/obs.h"
 #include "parallel/parallel.h"
 
 namespace {
@@ -161,6 +173,7 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   train.checkpoint_path = args.Get("state");
   train.checkpoint_every = args.GetI("checkpoint_every", 1);
   train.resume_from = args.Get("resume");
+  train.telemetry_path = args.Get("telemetry-out");
   const std::string recovery = args.Get("recovery", "retry");
   if (recovery == "abort") train.recovery.policy = runtime::RecoveryPolicy::kAbort;
   else if (recovery == "skip") train.recovery.policy = runtime::RecoveryPolicy::kSkipBatch;
@@ -243,6 +256,15 @@ int CmdTrain(const Args& args) {
   auto injector = MakeInjector(args);
   models::FitHistory history;
   auto model = MakeModel(model_name, ds, args, injector.get(), &history);
+  const bool profile = args.Get("profile") == "1";
+  const std::string metrics_out = args.Get("metrics-out");
+  const std::string trace_out = args.Get("trace-out");
+  if (!obs::kEnabled && (profile || !metrics_out.empty() || !trace_out.empty())) {
+    std::fprintf(stderr,
+                 "warning: built with MSGCL_OBS=OFF; per-op timings are compiled "
+                 "out (counters and telemetry still work)\n");
+  }
+  if (!trace_out.empty()) obs::Registry::Global().SetTraceEnabled(true);
   std::printf("training %s on %d users / %d items...\n", model->name().c_str(),
               ds.num_users(), ds.num_items);
   if (Status s = model->Fit(ds); !s.ok()) {
@@ -267,6 +289,28 @@ int CmdTrain(const Args& args) {
   ecfg.max_len = args.GetI("max_len", 16);
   auto metrics = eval::Evaluate(*model, ds, eval::Split::kTest, ecfg);
   std::printf("test: %s MRR=%.4f\n", metrics.ToString().c_str(), metrics.mrr);
+  // Observability exports: snapshot once so the profile table, JSON metrics
+  // and trace all describe the same instant.
+  if (profile || !metrics_out.empty() || !trace_out.empty()) {
+    obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+    if (profile) obs::PrintProfile(snap, stdout);
+    if (!metrics_out.empty()) {
+      if (Status s = obs::WriteMetricsJson(snap, metrics_out); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      if (Status s = obs::WriteChromeTrace(obs::Registry::Global().TraceEvents(), trace_out);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("chrome trace written to %s (load via chrome://tracing)\n",
+                  trace_out.c_str());
+    }
+  }
   const std::string ckpt = args.Get("ckpt");
   if (!ckpt.empty()) {
     Status s = nn::SaveCheckpoint(*AsModule(model.get()), ckpt);

@@ -1,0 +1,167 @@
+// Serving throughput/latency benchmark (DESIGN.md §9): drives a closed-loop
+// request storm through the MicroBatcher + fused ScoreTopK path for SASRec
+// and Meta-SGCL and reports QPS plus exact p50/p95/p99 latency percentiles.
+//
+//   bench_serving [--scale=0.25] [--requests=2000] [--clients=16]
+//                 [--max_batch=32] [--max_wait_us=1000] [--workers=2]
+//                 [--k=10] [--threads=N] [--quick] [--json=BENCH_serving.json]
+//
+// This is a systems benchmark: it measures the serving subsystem only and
+// says nothing about recommendation quality (models are served with freshly
+// initialized weights — the scoring work is identical either way).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "parallel/parallel.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace msgcl;
+
+struct ServingRow {
+  std::string model;
+  std::string dataset;
+  int64_t max_batch = 0;
+  serve::LoadgenReport report;
+};
+
+ServingRow RunStorm(const std::string& model_name, const bench::DatasetSpec& ds,
+                    const bench::HyperParams& hp, const serve::ServeConfig& config,
+                    const serve::LoadgenConfig& load, uint64_t seed) {
+  auto model = bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed);
+  serve::MicroBatcher batcher(*model, ds.split.num_items, config);
+  ServingRow row;
+  row.model = model_name;
+  row.dataset = ds.name;
+  row.max_batch = config.max_batch;
+  row.report = serve::RunLoad(batcher, ds.split.train_seqs, load);
+  batcher.Stop();
+  return row;
+}
+
+void PrintRow(const ServingRow& r) {
+  std::printf("%-10s %-9s batch<=%-3lld %8.1f qps  p50=%6.0fus p95=%6.0fus "
+              "p99=%6.0fus  ok=%lld dl=%lld err=%lld\n",
+              r.model.c_str(), r.dataset.c_str(), static_cast<long long>(r.max_batch),
+              r.report.qps, r.report.p50_us, r.report.p95_us, r.report.p99_us,
+              static_cast<long long>(r.report.ok),
+              static_cast<long long>(r.report.deadline_expired),
+              static_cast<long long>(r.report.errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick");
+  const double scale = flags.GetDouble("scale", quick ? 0.08 : 0.25);
+  const uint64_t seed = flags.GetInt("seed", 42);
+  if (const int64_t threads = flags.GetInt("threads", 0); threads > 0) {
+    parallel::SetNumThreads(static_cast<int>(threads));
+  }
+
+  serve::ServeConfig config;
+  config.k = flags.GetInt("k", 10);
+  config.max_batch = flags.GetInt("max_batch", 32);
+  config.max_wait_us = flags.GetInt("max_wait_us", 1000);
+  config.num_workers = static_cast<int>(flags.GetInt("workers", 2));
+  serve::LoadgenConfig load;
+  load.requests = flags.GetInt("requests", quick ? 200 : 2000);
+  load.clients = static_cast<int>(flags.GetInt("clients", 16));
+  load.deadline_us = flags.GetInt("deadline_us", 0);
+  load.k = config.k;
+
+  bench::HyperParams hp;
+  std::printf("== Serving benchmark: %lld requests, %d clients, %d workers, "
+              "max_wait=%lldus ==\n",
+              static_cast<long long>(load.requests), load.clients, config.num_workers,
+              static_cast<long long>(config.max_wait_us));
+
+  // One dataset (Toys-like) is enough for a latency benchmark; batching
+  // behavior is what varies, so sweep max_batch per model.
+  auto datasets = bench::MakeDatasets(scale, seed);
+  const bench::DatasetSpec& ds = datasets[1];
+  config.max_len = ds.max_len;
+  std::printf("dataset %s: %d users, %d items\n\n", ds.name.c_str(),
+              ds.split.num_users(), ds.split.num_items);
+
+  std::vector<ServingRow> rows;
+  const std::vector<int64_t> batch_sizes =
+      quick ? std::vector<int64_t>{config.max_batch}
+            : std::vector<int64_t>{1, 8, config.max_batch};
+  for (const std::string model_name : {"SASRec", "Meta-SGCL"}) {
+    for (const int64_t max_batch : batch_sizes) {
+      serve::ServeConfig c = config;
+      c.max_batch = max_batch;
+      rows.push_back(RunStorm(model_name, ds, hp, c, load, seed));
+      PrintRow(rows.back());
+    }
+  }
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    Status s = bench::WriteBenchReport(json_path, "serving", [&](obs::JsonWriter& w) {
+      w.Key("note");
+      w.String("throughput/latency only; serves untrained weights, no quality metrics");
+      w.Key("config");
+      w.BeginObject();
+      w.Key("requests");
+      w.Int(load.requests);
+      w.Key("clients");
+      w.Int(load.clients);
+      w.Key("workers");
+      w.Int(config.num_workers);
+      w.Key("max_wait_us");
+      w.Int(config.max_wait_us);
+      w.Key("k");
+      w.Int(config.k);
+      w.Key("threads");
+      w.Int(parallel::MaxThreads());
+      w.EndObject();
+      w.Key("runs");
+      w.BeginArray();
+      for (const ServingRow& r : rows) {
+        w.BeginObject();
+        w.Key("model");
+        w.String(r.model);
+        w.Key("dataset");
+        w.String(r.dataset);
+        w.Key("max_batch");
+        w.Int(r.max_batch);
+        w.Key("qps");
+        w.Double(r.report.qps);
+        w.Key("p50_us");
+        w.Double(r.report.p50_us);
+        w.Key("p95_us");
+        w.Double(r.report.p95_us);
+        w.Key("p99_us");
+        w.Double(r.report.p99_us);
+        w.Key("mean_us");
+        w.Double(r.report.mean_us);
+        w.Key("max_us");
+        w.Double(r.report.max_us);
+        w.Key("ok");
+        w.Int(r.report.ok);
+        w.Key("deadline_expired");
+        w.Int(r.report.deadline_expired);
+        w.Key("errors");
+        w.Int(r.report.errors);
+        w.EndObject();
+      }
+      w.EndArray();
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  for (const ServingRow& r : rows) {
+    if (r.report.errors != 0) return 1;
+  }
+  return 0;
+}

@@ -204,19 +204,37 @@ class MetaSgcl : public models::Recommender, public nn::Module {
     NoGradGuard guard;
     const bool was_training = training();
     SetTraining(false);
-    Rng rng(0);
-    Seq2SeqOutput out = generator_.Forward(batch, rng, /*sample=*/false,
-                                           /*second_view=*/false, config_.use_decoder);
-    Tensor z_u = models::SasBackbone::LastPosition(out.h_dec);
-    Tensor logits = generator_.LogitsAll(z_u);
+    Tensor logits = generator_.LogitsAll(LastHidden(batch));
     SetTraining(was_training);
     return logits.data();
+  }
+
+  /// Fused serving path: same eval-mode forward as ScoreAll, then the
+  /// backbone's blocked dot + bounded-heap selection instead of full logits.
+  std::vector<eval::TopKList> ScoreTopK(const data::Batch& batch,
+                                        const eval::TopKOptions& opt) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    std::vector<eval::TopKList> topk =
+        generator_.backbone().ScoreTopKFused(LastHidden(batch), batch, opt);
+    SetTraining(was_training);
+    return topk;
   }
 
   const Seq2SeqGenerator& generator() const { return generator_; }
   const MetaSgclConfig& config() const { return config_; }
 
  private:
+  /// Eval-mode sequence representation at the final position: [B, dim].
+  /// Shared by ScoreAll and ScoreTopK so both paths are bit-identical.
+  Tensor LastHidden(const data::Batch& batch) {
+    Rng rng(0);
+    Seq2SeqOutput out = generator_.Forward(batch, rng, /*sample=*/false,
+                                           /*second_view=*/false, config_.use_decoder);
+    return models::SasBackbone::LastPosition(out.h_dec);
+  }
+
   MetaSgclConfig config_;
   models::TrainConfig train_;
   Rng rng_;

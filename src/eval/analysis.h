@@ -98,8 +98,9 @@ inline std::vector<double> PerUserNdcg10(Ranker& model, const data::SequenceData
     data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
     std::vector<float> scores = model.ScoreAll(batch);
     for (int64_t b = 0; b < batch.batch_size; ++b) {
-      std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);
-      out[rows[b]] = NdcgAt(RankOfTarget(row, targets[rows[b]]), 10);
+      out[rows[b]] = NdcgAt(RankOfTarget(scores.data() + b * N1, static_cast<size_t>(N1),
+                                         targets[rows[b]], config.tie_policy),
+                            10);
     }
   }
   return out;
@@ -187,10 +188,11 @@ inline PopularityStrata PopularityStratifiedHr10(Ranker& model,
     data::Batch batch = data::MakeEvalBatch(inputs, rows, config.max_len);
     std::vector<float> scores = model.ScoreAll(batch);
     for (int64_t b = 0; b < batch.batch_size; ++b) {
-      std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);
       const int32_t t = targets[rows[b]];
       const int bk = bucket[t];
-      hits[bk] += HitAt(RankOfTarget(row, t), 10);
+      hits[bk] += HitAt(RankOfTarget(scores.data() + b * N1, static_cast<size_t>(N1), t,
+                                     config.tie_policy),
+                        10);
       counts[bk]++;
     }
   }

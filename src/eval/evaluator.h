@@ -12,7 +12,9 @@
 #include "data/batching.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "eval/topk.h"
 #include "obs/profiler.h"
+#include "parallel/parallel.h"
 
 namespace msgcl {
 namespace eval {
@@ -31,6 +33,50 @@ class Ranker {
   /// must have B * (num_items + 1) entries; entry [b * (N+1) + i] is the
   /// score of item id i for row b (index 0 is padding and is ignored).
   virtual std::vector<float> ScoreAll(const data::Batch& batch) = 0;
+
+  /// Fused score→top-k: one descending (score, then ascending item id) list
+  /// of min(k, #non-excluded items) per batch row.
+  ///
+  /// Contract: the result is bit-identical to scoring via ScoreAll and
+  /// selecting under the same total order — backends that override this with
+  /// a fused path (e.g. SasBackbone's blocked dot + bounded heap, which
+  /// never materializes the B×(N+1) logits) are tested against the fallback
+  /// at several thread counts. The default implementation is that reference:
+  /// ScoreAll + per-row bounded selection.
+  virtual std::vector<TopKList> ScoreTopK(const data::Batch& batch,
+                                          const TopKOptions& opt) {
+    MSGCL_CHECK_GT(batch.batch_size, 0);
+    std::vector<float> scores;
+    {
+      MSGCL_OBS_SCOPE("eval.score_all");
+      scores = ScoreAll(batch);
+    }
+    const int64_t B = batch.batch_size;
+    MSGCL_CHECK_EQ(static_cast<int64_t>(scores.size()) % B, 0);
+    const int64_t N1 = static_cast<int64_t>(scores.size()) / B;
+    MSGCL_CHECK_GT(N1, 1);
+    if (opt.num_items > 0) MSGCL_CHECK_EQ(N1, static_cast<int64_t>(opt.num_items) + 1);
+    const int32_t num_items = static_cast<int32_t>(N1 - 1);
+    std::vector<ExcludeSet> exclude = BuildExcludeSets(batch, opt);
+    std::vector<TopKList> out(B);
+    // Rows are independent (disjoint writes), so the loop is bitwise
+    // thread-invariant under parallel::For's determinism contract.
+    parallel::For(0, B, 1, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        out[b] = SelectTopKFromRow(scores.data() + b * N1, num_items, opt.k, exclude[b]);
+      }
+    });
+    return out;
+  }
+
+  /// Convenience overload: top-k with only the seen-item filter toggled.
+  std::vector<TopKList> ScoreTopK(const data::Batch& batch, int64_t k,
+                                  bool exclude_seen) {
+    TopKOptions opt;
+    opt.k = k;
+    opt.exclude_seen = exclude_seen;
+    return ScoreTopK(batch, opt);
+  }
 };
 
 /// Which held-out interaction to rank.
@@ -41,10 +87,19 @@ struct EvalConfig {
   int64_t max_len = 50;
   int64_t batch_size = 128;
   std::vector<int> cutoffs = {5, 10};
+  /// How equal-scored items rank against the held-out target (see TiePolicy;
+  /// kOptimistic reproduces the historical strictly-greater behavior).
+  TiePolicy tie_policy = TiePolicy::kOptimistic;
 };
 
 /// Runs the paper's protocol: for each user, rank the held-out item among
 /// all items and accumulate HR@k / NDCG@k.
+///
+/// Rows whose target score collides with another item's are counted into the
+/// "eval.score_ties.rows" counter; when more than 1% of ranked rows are
+/// contested, "eval.score_ties.degenerate_runs" is bumped so near-constant
+/// scorers (whose metrics depend entirely on EvalConfig::tie_policy) are
+/// visible in the metrics snapshot instead of silently inflating HR.
 inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split split,
                         const EvalConfig& config = {}) {
   const int32_t U = ds.num_users();
@@ -56,6 +111,7 @@ inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split sp
   }
 
   MetricAccumulator acc(config.cutoffs);
+  int64_t tied_rows = 0;
   const int64_t N1 = static_cast<int64_t>(ds.num_items) + 1;
   for (int32_t start = 0; start < U; start += static_cast<int32_t>(config.batch_size)) {
     std::vector<int32_t> rows;
@@ -71,9 +127,16 @@ inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split sp
     MSGCL_OBS_COUNT("eval.users_ranked", batch.batch_size);
     MSGCL_CHECK_EQ(static_cast<int64_t>(scores.size()), batch.batch_size * N1);
     for (int64_t b = 0; b < batch.batch_size; ++b) {
-      std::vector<float> row(scores.begin() + b * N1, scores.begin() + (b + 1) * N1);
-      acc.Add(RankOfTarget(row, targets[rows[b]]));
+      const RankResult r = RankOfTargetDetailed(scores.data() + b * N1,
+                                                static_cast<size_t>(N1),
+                                                targets[rows[b]], config.tie_policy);
+      if (r.num_tied > 0) ++tied_rows;
+      acc.Add(r.rank);
     }
+  }
+  MSGCL_OBS_COUNT("eval.score_ties.rows", tied_rows);
+  if (acc.count() > 0 && tied_rows * 100 > acc.count()) {
+    MSGCL_OBS_COUNT("eval.score_ties.degenerate_runs", 1);
   }
   Metrics m;
   m.hr5 = acc.Hr(5);

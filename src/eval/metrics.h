@@ -14,30 +14,81 @@
 namespace msgcl {
 namespace eval {
 
-/// 0-based rank of `target` under `scores` (rank 0 = highest score).
-/// Computed by counting strictly-greater scores, so full sorting is avoided;
-/// ties rank the target optimistically last among equals is avoided by
-/// counting ties at half weight? No — ties count as ranked above only when
-/// strictly greater, matching common implementations.
-/// `scores` is indexed by item id; index 0 (padding) is skipped.
-inline int64_t RankOfTarget(const std::vector<float>& scores, int32_t target) {
+/// How items whose score equals the target's score contribute to its rank.
+///
+/// The BERT4Rec replicability study (Petrov & Macdonald, RecSys 2022) shows
+/// that leaving this ambiguous silently corrupts reported HR/NDCG: a
+/// degenerate model that scores every item equally gets HR@k = 1.0 under an
+/// optimistic policy but ~k/N under an average one. The policy is therefore
+/// an explicit parameter everywhere a rank is computed.
+enum class TiePolicy {
+  /// Target placed above every equal-scored item (rank = #strictly greater).
+  /// Default — matches the historical behavior of this repo and most public
+  /// SASRec/BERT4Rec implementations, keeping existing goldens bit-identical.
+  kOptimistic,
+  /// Target placed mid-pack: rank = #greater + #ties / 2 (may be fractional).
+  kAverage,
+  /// Target placed below every equal-scored item: rank = #greater + #ties.
+  kPessimistic,
+};
+
+/// Rank of the target plus how contested that rank was.
+struct RankResult {
+  double rank = 0.0;     // 0-based; 0 = best. Fractional under kAverage.
+  int64_t num_tied = 0;  // other items whose score equals the target's
+};
+
+/// 0-based rank of `target` under `scores[0..n)` (rank 0 = highest score).
+///
+/// Contract: `scores` is indexed by item id; index 0 (padding) is skipped.
+/// Items scoring strictly above the target always count toward the rank;
+/// equal-scored items contribute per `tie` (see TiePolicy). Computed by
+/// counting, so no sort is needed and the result is exact.
+inline RankResult RankOfTargetDetailed(const float* scores, size_t n, int32_t target,
+                                       TiePolicy tie = TiePolicy::kOptimistic) {
   MSGCL_CHECK_GT(target, 0);
-  MSGCL_CHECK_LT(static_cast<size_t>(target), scores.size());
+  MSGCL_CHECK_LT(static_cast<size_t>(target), n);
   const float t = scores[target];
-  int64_t rank = 0;
-  for (size_t i = 1; i < scores.size(); ++i) {
-    if (static_cast<int32_t>(i) != target && scores[i] > t) ++rank;
+  int64_t greater = 0, tied = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (static_cast<int32_t>(i) == target) continue;
+    if (scores[i] > t) {
+      ++greater;
+    } else if (scores[i] == t) {
+      ++tied;
+    }
   }
-  return rank;
+  RankResult r;
+  r.num_tied = tied;
+  switch (tie) {
+    case TiePolicy::kOptimistic: r.rank = static_cast<double>(greater); break;
+    case TiePolicy::kAverage:
+      r.rank = static_cast<double>(greater) + static_cast<double>(tied) * 0.5;
+      break;
+    case TiePolicy::kPessimistic: r.rank = static_cast<double>(greater + tied); break;
+  }
+  return r;
+}
+
+/// Rank only, over a raw row (no per-user copy needed at the call site).
+inline double RankOfTarget(const float* scores, size_t n, int32_t target,
+                           TiePolicy tie = TiePolicy::kOptimistic) {
+  return RankOfTargetDetailed(scores, n, target, tie).rank;
+}
+
+/// Convenience overload for callers that hold a whole row as a vector.
+inline double RankOfTarget(const std::vector<float>& scores, int32_t target,
+                           TiePolicy tie = TiePolicy::kOptimistic) {
+  return RankOfTarget(scores.data(), scores.size(), target, tie);
 }
 
 /// HR@k contribution of one ranked example: 1 if rank < k.
-inline double HitAt(int64_t rank, int k) { return rank < k ? 1.0 : 0.0; }
+inline double HitAt(double rank, int k) { return rank < k ? 1.0 : 0.0; }
 
 /// NDCG@k contribution of one ranked example with a single relevant item:
 /// 1/log2(rank + 2) if rank < k, else 0.
-inline double NdcgAt(int64_t rank, int k) {
-  return rank < k ? 1.0 / std::log2(static_cast<double>(rank) + 2.0) : 0.0;
+inline double NdcgAt(double rank, int k) {
+  return rank < k ? 1.0 / std::log2(rank + 2.0) : 0.0;
 }
 
 /// Accumulates HR@k / NDCG@k over users for a fixed set of cutoffs.
@@ -47,9 +98,9 @@ class MetricAccumulator {
     MSGCL_CHECK_LE(ks_.size(), hr_.size());
   }
 
-  void Add(int64_t rank) {
+  void Add(double rank) {
     ++count_;
-    mrr_ += 1.0 / static_cast<double>(rank + 1);
+    mrr_ += 1.0 / (rank + 1.0);
     for (size_t i = 0; i < ks_.size(); ++i) {
       hr_[i] += HitAt(rank, ks_[i]);
       ndcg_[i] += NdcgAt(rank, ks_[i]);

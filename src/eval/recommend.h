@@ -1,94 +1,81 @@
 // Convenience top-K recommendation API on top of the Ranker interface —
-// what a downstream application calls at serving time.
+// what a downstream application calls at serving time. Both entry points are
+// thin shells over Ranker::ScoreTopK, so single-user, batch, and the
+// micro-batched serving path (src/serve/) share one selection code path.
 #ifndef MSGCL_EVAL_RECOMMEND_H_
 #define MSGCL_EVAL_RECOMMEND_H_
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "data/batching.h"
 #include "eval/evaluator.h"
+#include "eval/topk.h"
 
 namespace msgcl {
 namespace eval {
 
-/// One scored recommendation.
-struct Recommendation {
-  int32_t item = 0;
-  float score = 0.0f;
-};
+/// One scored recommendation (alias of the shared top-k element type).
+using Recommendation = ScoredItem;
 
 /// Top-K recommendation options.
 struct RecommendOptions {
   int64_t k = 10;
-  int64_t max_len = 50;          // history window fed to the model
-  bool exclude_seen = true;      // drop items already in the history
+  int64_t max_len = 50;       // history window fed to the model
+  bool exclude_seen = true;   // drop items already in the (full) history
+  int64_t batch_size = 256;   // histories scored per model call (batch variant)
 };
+
+namespace internal {
+
+/// Scores `rows` of `histories` in one model call and returns per-row top-K.
+/// Seen-item exclusion uses the FULL history, not just the max_len window the
+/// model sees, so long-history users never get re-recommended old items.
+inline std::vector<TopKList> RecommendRows(Ranker& model,
+                                           const std::vector<std::vector<int32_t>>& histories,
+                                           const std::vector<int32_t>& rows,
+                                           int32_t num_items, const RecommendOptions& opt) {
+  MSGCL_CHECK_GT(opt.k, 0);
+  data::Batch batch = data::MakeEvalBatch(histories, rows, opt.max_len);
+  TopKOptions topk;
+  topk.k = opt.k;
+  topk.num_items = num_items;
+  std::vector<std::vector<int32_t>> exclude;
+  if (opt.exclude_seen) {
+    exclude.reserve(rows.size());
+    for (const int32_t u : rows) exclude.push_back(histories[u]);
+    topk.exclude = &exclude;
+  }
+  return model.ScoreTopK(batch, topk);
+}
+
+}  // namespace internal
 
 /// Ranks all items for one user history and returns the top K.
 inline std::vector<Recommendation> RecommendTopK(Ranker& model,
                                                  const std::vector<int32_t>& history,
                                                  int32_t num_items,
                                                  const RecommendOptions& opt = {}) {
-  MSGCL_CHECK_GT(opt.k, 0);
-  data::Batch batch = data::MakeEvalBatch({history}, {0}, opt.max_len);
-  std::vector<float> scores = model.ScoreAll(batch);
-  MSGCL_CHECK_EQ(static_cast<int64_t>(scores.size()), num_items + 1);
-
-  std::unordered_set<int32_t> seen;
-  if (opt.exclude_seen) seen.insert(history.begin(), history.end());
-
-  std::vector<Recommendation> candidates;
-  candidates.reserve(num_items);
-  for (int32_t i = 1; i <= num_items; ++i) {
-    if (opt.exclude_seen && seen.count(i)) continue;
-    candidates.push_back({i, scores[i]});
-  }
-  const int64_t k = std::min<int64_t>(opt.k, static_cast<int64_t>(candidates.size()));
-  std::partial_sort(candidates.begin(), candidates.begin() + k, candidates.end(),
-                    [](const Recommendation& a, const Recommendation& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.item < b.item;  // deterministic tie-break
-                    });
-  candidates.resize(k);
-  return candidates;
+  return internal::RecommendRows(model, {history}, {0}, num_items, opt)[0];
 }
 
-/// Batched variant: one top-K list per history. More efficient than calling
-/// RecommendTopK per user because the model scores the whole batch at once.
+/// Batched variant: one top-K list per history, scored in chunks of
+/// `opt.batch_size` histories so the model sees whole batches at once.
 inline std::vector<std::vector<Recommendation>> RecommendTopKBatch(
     Ranker& model, const std::vector<std::vector<int32_t>>& histories, int32_t num_items,
     const RecommendOptions& opt = {}) {
+  MSGCL_CHECK_GT(opt.batch_size, 0);
   std::vector<std::vector<Recommendation>> out(histories.size());
-  const int64_t N1 = num_items + 1;
-  for (size_t start = 0; start < histories.size(); start += 256) {
+  const size_t chunk = static_cast<size_t>(opt.batch_size);
+  for (size_t start = 0; start < histories.size(); start += chunk) {
     std::vector<int32_t> rows;
-    for (size_t u = start; u < std::min(histories.size(), start + 256); ++u) {
+    for (size_t u = start; u < std::min(histories.size(), start + chunk); ++u) {
       rows.push_back(static_cast<int32_t>(u));
     }
-    data::Batch batch = data::MakeEvalBatch(histories, rows, opt.max_len);
-    std::vector<float> scores = model.ScoreAll(batch);
-    for (int64_t b = 0; b < batch.batch_size; ++b) {
-      const int32_t u = rows[b];
-      std::unordered_set<int32_t> seen;
-      if (opt.exclude_seen) seen.insert(histories[u].begin(), histories[u].end());
-      std::vector<Recommendation> candidates;
-      candidates.reserve(num_items);
-      for (int32_t i = 1; i <= num_items; ++i) {
-        if (opt.exclude_seen && seen.count(i)) continue;
-        candidates.push_back({i, scores[b * N1 + i]});
-      }
-      const int64_t k = std::min<int64_t>(opt.k, static_cast<int64_t>(candidates.size()));
-      std::partial_sort(candidates.begin(), candidates.begin() + k, candidates.end(),
-                        [](const Recommendation& a, const Recommendation& b) {
-                          if (a.score != b.score) return a.score > b.score;
-                          return a.item < b.item;
-                        });
-      candidates.resize(k);
-      out[u] = std::move(candidates);
-    }
+    std::vector<TopKList> lists =
+        internal::RecommendRows(model, histories, rows, num_items, opt);
+    for (size_t b = 0; b < rows.size(); ++b) out[rows[b]] = std::move(lists[b]);
   }
   return out;
 }

@@ -1,0 +1,155 @@
+// Shared top-K selection for the ranking/serving layer.
+//
+// One total order governs every top-K list in the repo: higher score first,
+// lower item id on equal scores. Because the order is total, the top-K *set*
+// is unique, so any correct selector (bounded heap here, partial_sort in the
+// reference path) returns bit-identical (item, score) lists — the invariant
+// the serving subsystem's fused path is tested against (DESIGN.md §9).
+#ifndef MSGCL_EVAL_TOPK_H_
+#define MSGCL_EVAL_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/batching.h"
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace eval {
+
+/// One scored item of a top-K list.
+struct ScoredItem {
+  int32_t item = 0;
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredItem& a, const ScoredItem& b) {
+    return a.item == b.item && a.score == b.score;
+  }
+};
+
+/// A descending top-K list for one batch row.
+using TopKList = std::vector<ScoredItem>;
+
+/// The repo-wide recommendation order: score descending, item id ascending.
+inline bool BetterScored(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Options for Ranker::ScoreTopK.
+struct TopKOptions {
+  int64_t k = 10;
+  /// Drop items that appear in the row's (windowed) `batch.inputs`.
+  bool exclude_seen = false;
+  /// Optional extra per-row exclusions, indexed by batch row; entries need
+  /// not be sorted or unique. Non-owning — must outlive the call.
+  const std::vector<std::vector<int32_t>>* exclude = nullptr;
+  /// Expected catalogue size. When > 0, implementations validate that the
+  /// model scores exactly num_items + 1 ids per row.
+  int32_t num_items = 0;
+};
+
+/// Bounded selector that keeps the best `k` ScoredItems under BetterScored.
+/// Push order does not affect the result (the order is total), so callers
+/// may stream candidates in any deterministic sequence.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(int64_t k) : k_(k) { MSGCL_CHECK_GT(k, 0); }
+
+  void Push(int32_t item, float score) {
+    const ScoredItem c{item, score};
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push_back(c);
+      std::push_heap(heap_.begin(), heap_.end(), BetterScored);  // worst on top
+      return;
+    }
+    if (BetterScored(c, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), BetterScored);
+      heap_.back() = c;
+      std::push_heap(heap_.begin(), heap_.end(), BetterScored);
+    }
+  }
+
+  /// Drains the selector into a descending (BetterScored) list.
+  TopKList Take() {
+    // sort_heap with BetterScored-as-less yields "ascending" = best first,
+    // which is exactly the output order.
+    std::sort_heap(heap_.begin(), heap_.end(), BetterScored);
+    TopKList out = std::move(heap_);
+    heap_.clear();
+    return out;
+  }
+
+ private:
+  int64_t k_;
+  TopKList heap_;
+};
+
+/// Sorted, deduplicated exclusion list for one row. Lookup is a binary
+/// search, so membership tests stay cheap inside the fused scoring loops.
+class ExcludeSet {
+ public:
+  ExcludeSet() = default;
+
+  void Insert(int32_t item) { ids_.push_back(item); }
+
+  void InsertRange(const std::vector<int32_t>& items) {
+    ids_.insert(ids_.end(), items.begin(), items.end());
+  }
+
+  void Seal() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  bool Contains(int32_t item) const {
+    return std::binary_search(ids_.begin(), ids_.end(), item);
+  }
+
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+
+ private:
+  std::vector<int32_t> ids_;
+};
+
+/// Builds the per-row exclusion sets a ScoreTopK implementation must honor:
+/// the row's non-padding inputs when `opt.exclude_seen`, merged with
+/// `opt.exclude` when present. Shared by the ScoreAll fallback and the fused
+/// backbone path so the two can never disagree on exclusion semantics.
+inline std::vector<ExcludeSet> BuildExcludeSets(const data::Batch& batch,
+                                                const TopKOptions& opt) {
+  std::vector<ExcludeSet> sets(batch.batch_size);
+  if (opt.exclude != nullptr) {
+    MSGCL_CHECK_EQ(static_cast<int64_t>(opt.exclude->size()), batch.batch_size);
+  }
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    if (opt.exclude_seen) {
+      for (int64_t t = 0; t < batch.seq_len; ++t) {
+        const int32_t id = batch.inputs[b * batch.seq_len + t];
+        if (id != 0) sets[b].Insert(id);
+      }
+    }
+    if (opt.exclude != nullptr) sets[b].InsertRange((*opt.exclude)[b]);
+    sets[b].Seal();
+  }
+  return sets;
+}
+
+/// Selects the top k of items 1..num_items from one dense score row
+/// (indexed by item id; slot 0 is padding and ignored), skipping excluded
+/// ids. Returns min(k, #candidates) entries in descending BetterScored order.
+inline TopKList SelectTopKFromRow(const float* scores, int32_t num_items, int64_t k,
+                                  const ExcludeSet& exclude) {
+  BoundedTopK sel(k);
+  for (int32_t i = 1; i <= num_items; ++i) {
+    if (exclude.Contains(i)) continue;
+    sel.Push(i, scores[i]);
+  }
+  return sel.Take();
+}
+
+}  // namespace eval
+}  // namespace msgcl
+
+#endif  // MSGCL_EVAL_TOPK_H_

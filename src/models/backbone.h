@@ -5,10 +5,14 @@
 #ifndef MSGCL_MODELS_BACKBONE_H_
 #define MSGCL_MODELS_BACKBONE_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "data/batching.h"
+#include "eval/topk.h"
 #include "nn/nn.h"
+#include "obs/profiler.h"
+#include "parallel/parallel.h"
 
 namespace msgcl {
 namespace models {
@@ -70,6 +74,83 @@ class SasBackbone : public nn::Module {
     Tensor table = item_emb_.table();
     if (config_.with_mask_token) table = table.Narrow(0, 0, config_.num_items + 1);
     return h.MatMul(table.TransposeLast2());
+  }
+
+  /// Fused weight-tied score→top-k for the serving path (DESIGN.md §9).
+  ///
+  /// For each row of `h_last` [B, dim], dots against item rows 1..num_items
+  /// of the embedding table in blocks (a kItemBlock×dim tile stays cache-hot
+  /// across the rows of a shard) and keeps a per-row bounded heap — the
+  /// B×(num_items+1) logit matrix of LogitsAll is never materialized.
+  ///
+  /// Bitwise contract: each dot accumulates over the hidden dimension in the
+  /// same ascending order as the matmul kernel behind LogitsAll, so the
+  /// scores — and therefore the selected (item, score) lists under the total
+  /// BetterScored order — are bit-identical to the ScoreAll + sort reference.
+  /// Rows are sharded via parallel::For with disjoint writes, so the result
+  /// is also invariant under the thread count (DESIGN.md §6).
+  std::vector<eval::TopKList> ScoreTopKFused(const Tensor& h_last,
+                                             const data::Batch& batch,
+                                             const eval::TopKOptions& opt) const {
+    MSGCL_CHECK_EQ(h_last.ndim(), 2);
+    const int64_t B = h_last.dim(0), D = h_last.dim(1);
+    MSGCL_CHECK_EQ(B, batch.batch_size);
+    MSGCL_CHECK_EQ(D, config_.dim);
+    MSGCL_CHECK_GT(opt.k, 0);
+    const int32_t N = static_cast<int32_t>(config_.num_items);
+    if (opt.num_items > 0) MSGCL_CHECK_EQ(opt.num_items, N);
+    MSGCL_OBS_SCOPE_BYTES("serve.score_topk.fused",
+                          (B * D + static_cast<int64_t>(N) * D) * 4);
+    const float* hd = h_last.data().data();
+    // Rows 1..num_items only; the padding row 0 and the mask-token row (when
+    // present) are never pushed, matching LogitsAll's narrowed table.
+    const float* table = item_emb_.table().data().data();
+    std::vector<eval::ExcludeSet> exclude = eval::BuildExcludeSets(batch, opt);
+    std::vector<eval::TopKList> out(B);
+    constexpr int64_t kItemBlock = 256;
+    parallel::For(0, B, 1, [&](int64_t b0, int64_t b1) {
+      std::vector<eval::BoundedTopK> sel;
+      sel.reserve(static_cast<size_t>(b1 - b0));
+      for (int64_t b = b0; b < b1; ++b) sel.emplace_back(opt.k);
+      // Per-shard scratch: a transposed [D, block] tile of the embedding
+      // table and one [block] score row. The tile is what TransposeLast2
+      // materializes inside LogitsAll, block-sized instead of N-sized.
+      std::vector<float> tile(static_cast<size_t>(D) * kItemBlock);
+      std::vector<float> scores(kItemBlock);
+      for (int64_t i0 = 1; i0 <= N; i0 += kItemBlock) {
+        const int64_t block = std::min<int64_t>(N - i0 + 1, kItemBlock);
+        for (int64_t j = 0; j < block; ++j) {
+          const float* e = table + (i0 + j) * D;
+          for (int64_t p = 0; p < D; ++p) tile[p * block + j] = e[p];
+        }
+        for (int64_t b = b0; b < b1; ++b) {
+          // This loop nest deliberately mirrors the tensor matmul kernel
+          // (MatMulRowsKernel: p-blocked, j innermost, `+= av * brow[j]`) so
+          // the compiler makes the same FP-contraction choices — a scalar
+          // `acc += h[p] * e[p]` reduction compiles to a different
+          // mul/add/fma sequence and breaks the bitwise contract.
+          std::fill(scores.begin(), scores.begin() + block, 0.0f);
+          const float* arow = hd + b * D;
+          float* crow = scores.data();
+          constexpr int64_t kPBlock = 64;
+          for (int64_t pb0 = 0; pb0 < D; pb0 += kPBlock) {
+            const int64_t pb1 = std::min(D, pb0 + kPBlock);
+            for (int64_t p = pb0; p < pb1; ++p) {
+              const float av = arow[p];
+              const float* brow = tile.data() + p * block;
+              for (int64_t j = 0; j < block; ++j) crow[j] += av * brow[j];
+            }
+          }
+          for (int64_t j = 0; j < block; ++j) {
+            const int32_t item = static_cast<int32_t>(i0 + j);
+            if (exclude[b].Contains(item)) continue;
+            sel[b - b0].Push(item, scores[j]);
+          }
+        }
+      }
+      for (int64_t b = b0; b < b1; ++b) out[b] = sel[b - b0].Take();
+    });
+    return out;
   }
 
   /// Hidden state of the final (most recent) position: [B, dim].

@@ -44,16 +44,34 @@ class SasRec : public Recommender, public nn::Module {
     NoGradGuard guard;
     const bool was_training = training();
     SetTraining(false);
-    Rng rng(0);  // unused in eval mode
-    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
-    Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
+    Tensor logits = backbone_.LogitsAll(LastHidden(batch));
     SetTraining(was_training);
     return logits.data();
+  }
+
+  /// Fused serving path: same encode as ScoreAll, then the backbone's
+  /// blocked dot + bounded-heap selection instead of full logits.
+  std::vector<eval::TopKList> ScoreTopK(const data::Batch& batch,
+                                        const eval::TopKOptions& opt) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    std::vector<eval::TopKList> out = backbone_.ScoreTopKFused(LastHidden(batch), batch, opt);
+    SetTraining(was_training);
+    return out;
   }
 
   const SasBackbone& backbone() const { return backbone_; }
 
  private:
+  /// Eval-mode hidden state of the final position: [B, dim]. Shared by
+  /// ScoreAll and ScoreTopK so both paths see bit-identical representations.
+  Tensor LastHidden(const data::Batch& batch) const {
+    Rng rng(0);  // unused in eval mode
+    Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
+    return SasBackbone::LastPosition(h);
+  }
+
   TrainConfig train_;
   Rng rng_;
   SasBackbone backbone_;

@@ -1,0 +1,146 @@
+// Injectable microsecond clock for the serving subsystem.
+//
+// The MicroBatcher never reads the wall clock directly: all "now", deadline,
+// and wait decisions go through a Clock so tests can drive batch formation
+// deterministically with FakeClock (same submissions + same Advance calls =>
+// same batches, bit for bit), while production uses SystemClock.
+#ifndef MSGCL_SERVE_CLOCK_H_
+#define MSGCL_SERVE_CLOCK_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace msgcl {
+namespace serve {
+
+/// Time source + wait primitive. WaitUntil cooperates with the caller's
+/// mutex/condition-variable pair: `lock` must be held on entry, `wake` is
+/// evaluated under it, and the call returns once `wake()` is true or the
+/// clock has reached `deadline_us` (spurious returns are allowed — callers
+/// re-check their own state, as with any condition variable).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds since an arbitrary epoch.
+  virtual int64_t NowUs() = 0;
+
+  virtual void WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                         int64_t deadline_us, const std::function<bool()>& wake) = 0;
+
+  /// Waits with no deadline (until `wake()` becomes true).
+  virtual void Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                    const std::function<bool()>& wake) {
+    cv.wait(lock, wake);
+  }
+};
+
+/// Wall-clock implementation on std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  static SystemClock& Instance() {
+    static SystemClock clock;
+    return clock;
+  }
+
+  int64_t NowUs() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                 int64_t deadline_us, const std::function<bool()>& wake) override {
+    const auto tp = std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::microseconds(deadline_us)));
+    cv.wait_until(lock, tp, [&] { return wake() || NowUs() >= deadline_us; });
+  }
+};
+
+/// Manually-advanced clock for deterministic tests. Time only moves on
+/// Advance(), which wakes every thread blocked in WaitUntil/Wait so waiters
+/// re-evaluate their predicates against the new time.
+///
+/// Lifetime contract: waiters (and the mutex/cv they wait on) must outlive
+/// any concurrent Advance() call — in tests both belong to the same fixture.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_us = 0) : now_us_(start_us) {}
+
+  int64_t NowUs() override { return now_us_.load(std::memory_order_relaxed); }
+
+  /// Moves time forward and wakes all registered waiters. Briefly acquires
+  /// each waiter's mutex before notifying so a waiter that evaluated its
+  /// predicate against the old time has either gone to sleep (and gets the
+  /// notification) or will re-read the advanced time — no lost wakeups.
+  void Advance(int64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      waiters = waiters_;
+    }
+    for (const Waiter& w : waiters) {
+      { std::lock_guard<std::mutex> g(*w.mu); }
+      w.cv->notify_all();
+    }
+  }
+
+  void WaitUntil(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                 int64_t deadline_us, const std::function<bool()>& wake) override {
+    Registration reg(this, &cv, lock.mutex());
+    cv.wait(lock, [&] { return wake() || NowUs() >= deadline_us; });
+  }
+
+  void Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+            const std::function<bool()>& wake) override {
+    Registration reg(this, &cv, lock.mutex());
+    cv.wait(lock, wake);
+  }
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv = nullptr;
+    std::mutex* mu = nullptr;
+  };
+
+  /// RAII registration of a (cv, mutex) pair for the duration of one wait.
+  class Registration {
+   public:
+    Registration(FakeClock* clock, std::condition_variable* cv, std::mutex* mu)
+        : clock_(clock), waiter_{cv, mu} {
+      std::lock_guard<std::mutex> g(clock_->mu_);
+      clock_->waiters_.push_back(waiter_);
+    }
+    ~Registration() {
+      std::lock_guard<std::mutex> g(clock_->mu_);
+      auto& ws = clock_->waiters_;
+      for (auto it = ws.begin(); it != ws.end(); ++it) {
+        if (it->cv == waiter_.cv && it->mu == waiter_.mu) {
+          ws.erase(it);
+          break;
+        }
+      }
+    }
+
+   private:
+    FakeClock* clock_;
+    Waiter waiter_;
+  };
+
+  std::atomic<int64_t> now_us_;
+  std::mutex mu_;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_CLOCK_H_

@@ -1,0 +1,143 @@
+// Closed-loop load generator for the serving benchmark and `msgcl
+// serve-bench`: `clients` threads each submit requests back to back and wait
+// for the response, so concurrency (and therefore batch occupancy) is bounded
+// by the client count, as in a thread-per-connection frontend.
+//
+// Latency is measured wall-clock (SystemClock) from just before Submit() to
+// future readiness; percentiles are exact order statistics over the recorded
+// latencies, not histogram-bucket bounds.
+#ifndef MSGCL_SERVE_LOADGEN_H_
+#define MSGCL_SERVE_LOADGEN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/micro_batcher.h"
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace serve {
+
+struct LoadgenConfig {
+  int64_t requests = 1000;  // total across all clients
+  int clients = 8;          // concurrent closed-loop client threads
+  int64_t deadline_us = 0;  // per-request deadline relative to submit; 0 = none
+  int64_t k = 10;           // recorded in the report only
+
+  Status Validate() const {
+    if (requests <= 0) return Status::InvalidArgument("requests must be positive");
+    if (clients < 1) return Status::InvalidArgument("clients must be >= 1");
+    if (deadline_us < 0) return Status::InvalidArgument("deadline_us must be >= 0");
+    return Status::Ok();
+  }
+};
+
+struct LoadgenReport {
+  int64_t requests = 0;          // completed (any outcome)
+  int64_t ok = 0;                // served with a top-k list
+  int64_t deadline_expired = 0;  // failed with DEADLINE_EXCEEDED
+  int64_t errors = 0;            // any other non-OK status
+  double wall_s = 0.0;
+  double qps = 0.0;       // completed requests per second
+  double mean_us = 0.0;   // over completed requests
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Exact percentile (nearest-rank) of an unsorted sample; sorts a copy.
+inline double ExactPercentileUs(std::vector<int64_t> latencies_us, double p) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto n = static_cast<double>(latencies_us.size());
+  auto rank = static_cast<size_t>(p / 100.0 * n);
+  if (static_cast<double>(rank) < p / 100.0 * n) ++rank;
+  rank = std::max<size_t>(rank, 1);
+  return static_cast<double>(latencies_us[rank - 1]);
+}
+
+/// Drives `config.requests` requests through the batcher, round-robin over
+/// `histories`, and returns throughput + latency statistics.
+inline LoadgenReport RunLoad(MicroBatcher& batcher,
+                             const std::vector<std::vector<int32_t>>& histories,
+                             const LoadgenConfig& config) {
+  MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+  MSGCL_CHECK(!histories.empty());
+  Clock& clock = SystemClock::Instance();
+
+  struct ClientStats {
+    std::vector<int64_t> latencies_us;
+    int64_t ok = 0, deadline_expired = 0, errors = 0;
+  };
+  std::vector<ClientStats> stats(static_cast<size_t>(config.clients));
+
+  const int64_t per_client = config.requests / config.clients;
+  const int64_t remainder = config.requests % config.clients;
+  const int64_t start_us = clock.NowUs();
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientStats& s = stats[static_cast<size_t>(c)];
+      const int64_t n = per_client + (c < remainder ? 1 : 0);
+      s.latencies_us.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        const size_t h = static_cast<size_t>(c * per_client + i) % histories.size();
+        RecommendRequest req;
+        req.history = histories[h];
+        const int64_t submit_us = clock.NowUs();
+        if (config.deadline_us > 0) req.deadline_us = submit_us + config.deadline_us;
+        auto future = batcher.Submit(std::move(req));
+        const Result<eval::TopKList> result = future.get();
+        s.latencies_us.push_back(clock.NowUs() - submit_us);
+        if (result.ok()) {
+          ++s.ok;
+        } else if (result.status().code() == Status::Code::kDeadlineExceeded) {
+          ++s.deadline_expired;
+        } else {
+          ++s.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const int64_t end_us = clock.NowUs();
+
+  LoadgenReport report;
+  std::vector<int64_t> all;
+  all.reserve(static_cast<size_t>(config.requests));
+  for (const ClientStats& s : stats) {
+    report.ok += s.ok;
+    report.deadline_expired += s.deadline_expired;
+    report.errors += s.errors;
+    all.insert(all.end(), s.latencies_us.begin(), s.latencies_us.end());
+  }
+  report.requests = static_cast<int64_t>(all.size());
+  report.wall_s = static_cast<double>(end_us - start_us) * 1e-6;
+  if (report.wall_s > 0.0) {
+    report.qps = static_cast<double>(report.requests) / report.wall_s;
+  }
+  if (!all.empty()) {
+    int64_t sum = 0, mx = 0;
+    for (const int64_t v : all) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    report.mean_us = static_cast<double>(sum) / static_cast<double>(all.size());
+    report.max_us = static_cast<double>(mx);
+    report.p50_us = ExactPercentileUs(all, 50.0);
+    report.p95_us = ExactPercentileUs(all, 95.0);
+    report.p99_us = ExactPercentileUs(all, 99.0);
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_LOADGEN_H_

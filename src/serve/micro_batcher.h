@@ -1,0 +1,305 @@
+// Batched recommendation serving: coalesces concurrent RecommendRequests
+// into eval batches and scores them through Ranker::ScoreTopK (DESIGN.md §9).
+//
+// Concurrency model:
+//  * Submit() is thread-safe and non-blocking: it validates the request,
+//    enqueues it, and returns a future.
+//  * Worker threads pop up to `max_batch` requests per batch. A partial
+//    batch waits at most `max_wait_us` past the arrival of its oldest
+//    request before flushing.
+//  * Requests whose deadline passed before scoring fail fast with
+//    DEADLINE_EXCEEDED; they are dropped from the batch instead of poisoning
+//    it (the surviving requests are still scored and answered).
+//  * Scoring is serialized across workers by an internal mutex: the tensor
+//    stack's parallel pool executes one region at a time and Module eval
+//    toggling is not concurrent-safe, so one batch runs the kernels (itself
+//    parallelized via src/parallel) while other workers coalesce and answer.
+//
+// Observability (existing registry, ungated like the runtime counters):
+//  * serve.request_ns   histogram — submit→response latency per request
+//  * serve.batch_size   histogram — scored requests per flushed batch
+//  * serve.queue_depth  gauge     — pending requests after the last event
+//  * serve.requests / serve.batches / serve.deadline_expired / serve.rejected
+#ifndef MSGCL_SERVE_MICRO_BATCHER_H_
+#define MSGCL_SERVE_MICRO_BATCHER_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/batching.h"
+#include "eval/evaluator.h"
+#include "eval/topk.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "serve/clock.h"
+#include "tensor/status.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace serve {
+
+/// One serving request: the user's interaction history plus an optional
+/// absolute deadline on the batcher's clock (0 = no deadline).
+struct RecommendRequest {
+  std::vector<int32_t> history;
+  int64_t deadline_us = 0;
+};
+
+/// Serving configuration.
+struct ServeConfig {
+  int64_t k = 10;              // recommendations per request
+  int64_t max_len = 50;        // history window fed to the model
+  bool exclude_seen = true;    // drop items already in the full history
+  int64_t max_batch = 32;      // flush immediately at this many requests
+  int64_t max_wait_us = 1000;  // flush a partial batch after this long
+  int num_workers = 1;         // batch-forming worker threads
+
+  Status Validate() const {
+    if (k <= 0 || max_len <= 0 || max_batch <= 0) {
+      return Status::InvalidArgument("k, max_len and max_batch must be positive");
+    }
+    if (max_wait_us < 0) return Status::InvalidArgument("max_wait_us must be >= 0");
+    if (num_workers < 1) return Status::InvalidArgument("num_workers must be >= 1");
+    return Status::Ok();
+  }
+};
+
+/// Coalesces concurrent recommendation requests into micro-batches.
+class MicroBatcher {
+ public:
+  /// Called after each flush with the submit-order ids of the coalesced
+  /// requests (before deadline filtering) — a test/debug hook for asserting
+  /// batch formation. Invoked on a worker thread outside the queue lock.
+  using BatchObserver = std::function<void(const std::vector<int64_t>&)>;
+
+  /// `model` and `clock` are non-owning and must outlive the batcher.
+  /// `clock` == nullptr uses the process SystemClock.
+  MicroBatcher(eval::Ranker& model, int32_t num_items, const ServeConfig& config,
+               Clock* clock = nullptr)
+      : model_(model),
+        num_items_(num_items),
+        config_(config),
+        clock_(clock != nullptr ? clock : &SystemClock::Instance()) {
+    MSGCL_CHECK_GT(num_items, 0);
+    MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+    workers_.reserve(static_cast<size_t>(config_.num_workers));
+    for (int w = 0; w < config_.num_workers; ++w) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~MicroBatcher() { Stop(); }
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one request. The future resolves to the top-k list, or to a
+  /// non-OK Status: INVALID_ARGUMENT (bad item ids, rejected immediately),
+  /// DEADLINE_EXCEEDED (deadline passed before scoring), or UNAVAILABLE
+  /// (batcher stopped before the request was scheduled).
+  std::future<Result<eval::TopKList>> Submit(RecommendRequest req) {
+    std::promise<Result<eval::TopKList>> promise;
+    std::future<Result<eval::TopKList>> future = promise.get_future();
+    for (const int32_t id : req.history) {
+      if (id < 1 || id > num_items_) {
+        promise.set_value(Status::InvalidArgument(
+            "history item id " + std::to_string(id) + " outside [1, " +
+            std::to_string(num_items_) + "]"));
+        Counter("serve.rejected").Add(1);
+        return future;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        promise.set_value(Status::Unavailable("MicroBatcher is stopped"));
+        Counter("serve.rejected").Add(1);
+        return future;
+      }
+      Pending p;
+      p.id = next_id_++;
+      p.arrival_us = clock_->NowUs();
+      p.deadline_us = req.deadline_us;
+      p.history = std::move(req.history);
+      p.promise = std::move(promise);
+      queue_.push_back(std::move(p));
+      Gauge("serve.queue_depth").Set(static_cast<double>(queue_.size()));
+    }
+    Counter("serve.requests").Add(1);
+    cv_.notify_all();
+    return future;
+  }
+
+  /// Stops the workers and fails every still-queued request with
+  /// UNAVAILABLE. Idempotent; called by the destructor.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    std::deque<Pending> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained.swap(queue_);
+      Gauge("serve.queue_depth").Set(0.0);
+    }
+    for (Pending& p : drained) {
+      p.promise.set_value(Status::Unavailable("MicroBatcher stopped before scoring"));
+    }
+  }
+
+  /// Pending (not yet coalesced) requests.
+  int64_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(queue_.size());
+  }
+
+  /// Test/debug hook; set before submitting traffic.
+  void set_batch_observer(BatchObserver observer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct Pending {
+    int64_t id = 0;
+    int64_t arrival_us = 0;
+    int64_t deadline_us = 0;
+    std::vector<int32_t> history;
+    std::promise<Result<eval::TopKList>> promise;
+  };
+
+  // Registry helpers: resolve once per name, then relaxed atomics only.
+  static obs::Counter& Counter(const std::string& name) {
+    return obs::Registry::Global().GetCounter(name);
+  }
+  static obs::Gauge& Gauge(const std::string& name) {
+    return obs::Registry::Global().GetGauge(name);
+  }
+  static obs::Histogram& RequestHistogram() {
+    // Powers of two from ~1us to ~64s in nanoseconds; the default layout
+    // tops out at ~1ms, far too small for request latencies.
+    static obs::Histogram& h = []() -> obs::Histogram& {
+      std::vector<double> bounds;
+      for (int i = 10; i <= 36; ++i) bounds.push_back(static_cast<double>(int64_t{1} << i));
+      return obs::Registry::Global().GetHistogram("serve.request_ns", std::move(bounds));
+    }();
+    return h;
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      clock_->Wait(cv_, lock, [&] { return stopped_ || !queue_.empty(); });
+      if (stopped_) return;  // Stop() drains and fails the remainder
+      // A batch exists; give it until max_wait_us past its oldest arrival
+      // to fill up to max_batch.
+      const int64_t flush_at_us = queue_.front().arrival_us + config_.max_wait_us;
+      clock_->WaitUntil(cv_, lock, flush_at_us, [&] {
+        return stopped_ || static_cast<int64_t>(queue_.size()) >= config_.max_batch;
+      });
+      if (stopped_) return;
+      if (queue_.empty()) continue;  // another worker took the batch
+      std::vector<Pending> batch;
+      while (!queue_.empty() &&
+             static_cast<int64_t>(batch.size()) < config_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      Gauge("serve.queue_depth").Set(static_cast<double>(queue_.size()));
+      BatchObserver observer = observer_;
+      lock.unlock();
+      ProcessBatch(std::move(batch), observer);
+      lock.lock();
+    }
+  }
+
+  void ProcessBatch(std::vector<Pending> batch, const BatchObserver& observer) {
+    Counter("serve.batches").Add(1);
+    if (observer) {
+      std::vector<int64_t> ids;
+      ids.reserve(batch.size());
+      for (const Pending& p : batch) ids.push_back(p.id);
+      observer(ids);
+    }
+    // Fail expired requests fast; the rest of the batch proceeds.
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    const int64_t now_us = clock_->NowUs();
+    for (Pending& p : batch) {
+      if (p.deadline_us > 0 && now_us > p.deadline_us) {
+        Counter("serve.deadline_expired").Add(1);
+        p.promise.set_value(Status::DeadlineExceeded(
+            "deadline passed " + std::to_string(now_us - p.deadline_us) +
+            "us before scoring"));
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    if (live.empty()) return;
+
+    std::vector<std::vector<int32_t>> histories;
+    std::vector<int32_t> rows;
+    histories.reserve(live.size());
+    rows.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      histories.push_back(live[i].history);
+      rows.push_back(static_cast<int32_t>(i));
+    }
+    eval::TopKOptions opt;
+    opt.k = config_.k;
+    opt.num_items = num_items_;
+    if (config_.exclude_seen) opt.exclude = &histories;  // full history, not window
+
+    std::vector<eval::TopKList> lists;
+    {
+      MSGCL_OBS_SCOPE("serve.score_batch");
+      // One scoring region at a time (see the concurrency model above).
+      std::lock_guard<std::mutex> score_lock(score_mu_);
+      NoGradGuard guard;
+      data::Batch eval_batch = data::MakeEvalBatch(histories, rows, config_.max_len);
+      lists = model_.ScoreTopK(eval_batch, opt);
+    }
+    Counter("serve.requests_served").Add(static_cast<int64_t>(live.size()));
+    obs::Histogram& request_ns = RequestHistogram();
+    obs::Registry::Global().GetHistogram("serve.batch_size")
+        .Record(static_cast<double>(live.size()));
+    const int64_t done_us = clock_->NowUs();
+    for (size_t i = 0; i < live.size(); ++i) {
+      request_ns.Record(static_cast<double>((done_us - live[i].arrival_us) * 1000));
+      live[i].promise.set_value(std::move(lists[i]));
+    }
+  }
+
+  eval::Ranker& model_;
+  const int32_t num_items_;
+  const ServeConfig config_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::mutex score_mu_;
+  std::deque<Pending> queue_;
+  BatchObserver observer_;
+  int64_t next_id_ = 0;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,9 @@
+// Umbrella header for the batched serving subsystem (DESIGN.md §9).
+#ifndef MSGCL_SERVE_SERVE_H_
+#define MSGCL_SERVE_SERVE_H_
+
+#include "serve/clock.h"         // IWYU pragma: export
+#include "serve/loadgen.h"       // IWYU pragma: export
+#include "serve/micro_batcher.h" // IWYU pragma: export
+
+#endif  // MSGCL_SERVE_SERVE_H_

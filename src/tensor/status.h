@@ -23,6 +23,8 @@ class Status {
     kNotFound,
     kOutOfRange,
     kInternal,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -34,6 +36,14 @@ class Status {
   static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
   static Status OutOfRange(std::string msg) { return Status(Code::kOutOfRange, std::move(msg)); }
   static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+  /// The caller's deadline passed before the operation could run (serving).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service cannot take the request right now (e.g. shut down).
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -49,6 +59,8 @@ class Status {
       case Code::kNotFound: name = "NOT_FOUND"; break;
       case Code::kOutOfRange: name = "OUT_OF_RANGE"; break;
       case Code::kInternal: name = "INTERNAL"; break;
+      case Code::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+      case Code::kUnavailable: name = "UNAVAILABLE"; break;
     }
     return std::string(name) + ": " + message_;
   }

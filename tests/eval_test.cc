@@ -4,6 +4,7 @@
 
 #include "eval/eval.h"
 #include "gtest/gtest.h"
+#include "obs/registry.h"
 
 namespace msgcl {
 namespace eval {
@@ -27,7 +28,23 @@ TEST(MetricsTest, RankIgnoresPaddingSlot) {
 
 TEST(MetricsTest, TiesDoNotOutrank) {
   std::vector<float> scores = {0.0f, 0.5f, 0.5f, 0.5f};
-  EXPECT_EQ(RankOfTarget(scores, 2), 0);
+  EXPECT_EQ(RankOfTarget(scores, 2), 0);  // default = kOptimistic
+}
+
+TEST(MetricsTest, TiePoliciesPlaceTargetTopMidOrBottomOfItsTieGroup) {
+  // Item 4 is tied with items 2 and 5; item 1 scores strictly higher.
+  std::vector<float> scores = {0.0f, 0.9f, 0.5f, 0.1f, 0.5f, 0.5f};
+  const RankResult r = RankOfTargetDetailed(scores.data(), scores.size(), 4);
+  EXPECT_EQ(r.num_tied, 2);
+  EXPECT_EQ(RankOfTarget(scores, 4, TiePolicy::kOptimistic), 1.0);
+  EXPECT_EQ(RankOfTarget(scores, 4, TiePolicy::kAverage), 2.0);  // 1 + 2/2
+  EXPECT_EQ(RankOfTarget(scores, 4, TiePolicy::kPessimistic), 3.0);
+  // No ties: all policies agree.
+  std::vector<float> distinct = {0.0f, 0.9f, 0.5f, 0.7f};
+  for (TiePolicy tie :
+       {TiePolicy::kOptimistic, TiePolicy::kAverage, TiePolicy::kPessimistic}) {
+    EXPECT_EQ(RankOfTarget(distinct, 2, tie), 2.0);
+  }
 }
 
 TEST(MetricsTest, HitAndNdcgValues) {
@@ -92,6 +109,20 @@ class OracleRanker : public Ranker {
   std::vector<int32_t> best_;
 };
 
+/// The degenerate scorer from the BERT4Rec replicability study: every item
+/// gets the same score, so reported metrics depend entirely on the tie policy.
+class ConstantRanker : public Ranker {
+ public:
+  explicit ConstantRanker(int32_t num_items) : num_items_(num_items) {}
+  std::string name() const override { return "constant"; }
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    return std::vector<float>(batch.batch_size * (num_items_ + 1), 0.5f);
+  }
+
+ private:
+  int32_t num_items_;
+};
+
 data::SequenceDataset TwoUserDataset() {
   data::SequenceDataset ds;
   ds.num_items = 20;
@@ -121,6 +152,48 @@ TEST(EvaluatorTest, WrongRankerScoresBelowOne) {
   cfg.max_len = 5;
   Metrics m = Evaluate(model, ds, Split::kTest, cfg);
   EXPECT_LT(m.hr5, 1.0);
+}
+
+TEST(EvaluatorTest, ConstantScorerMetricsDependOnTiePolicy) {
+  // Regression for the tie-handling pitfall: an all-constant scorer must not
+  // report perfect accuracy unless the policy is explicitly optimistic.
+  data::SequenceDataset ds = TwoUserDataset();
+  ds.num_items = 100;
+  ConstantRanker model(ds.num_items);
+  EvalConfig cfg;
+  cfg.max_len = 5;
+
+  cfg.tie_policy = TiePolicy::kOptimistic;  // the historical default
+  Metrics optimistic = Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(optimistic.hr5, 1.0);
+  EXPECT_EQ(optimistic.hr10, 1.0);
+  EXPECT_EQ(optimistic.ndcg10, 1.0);
+
+  // Under kAverage every target lands mid-pack at rank (N-1)/2 = 49.5,
+  // far outside any reported cutoff.
+  cfg.tie_policy = TiePolicy::kAverage;
+  Metrics average = Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(average.hr5, 0.0);
+  EXPECT_EQ(average.hr10, 0.0);
+  EXPECT_NEAR(average.mrr, 1.0 / 50.5, 1e-12);
+
+  cfg.tie_policy = TiePolicy::kPessimistic;
+  EXPECT_EQ(Evaluate(model, ds, Split::kTest, cfg).hr10, 0.0);
+}
+
+TEST(EvaluatorTest, TiedRowsAreCountedIntoTheRegistry) {
+  data::SequenceDataset ds = TwoUserDataset();
+  ConstantRanker model(ds.num_items);
+  obs::Counter& rows = obs::Registry::Global().GetCounter("eval.score_ties.rows");
+  obs::Counter& runs =
+      obs::Registry::Global().GetCounter("eval.score_ties.degenerate_runs");
+  const int64_t rows_before = rows.value();
+  const int64_t runs_before = runs.value();
+  EvalConfig cfg;
+  cfg.max_len = 5;
+  Evaluate(model, ds, Split::kTest, cfg);
+  EXPECT_EQ(rows.value() - rows_before, 2);  // both users hit ties
+  EXPECT_EQ(runs.value() - runs_before, 1);  // >1% of rows contested
 }
 
 TEST(EvaluatorTest, ValidationSplitUsesValidTargets) {

@@ -1,0 +1,403 @@
+// Tests for the batched serving subsystem (DESIGN.md §9): micro-batch
+// coalescing under a fake clock, deadline fail-fast semantics, stop/drain
+// behavior, and the fused ScoreTopK bit-identity contract — the fused
+// backbone path must return byte-identical (item, score) lists to the
+// ScoreAll + sort reference at every thread count.
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/meta_sgcl.h"
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "parallel/parallel.h"
+#include "serve/serve.h"
+
+namespace msgcl {
+namespace serve {
+namespace {
+
+/// Restores the entry thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallel::MaxThreads()) {}
+  ~ThreadCountGuard() { parallel::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Bytewise equality of two top-k lists: same items AND bit-identical
+/// scores (memcmp on the floats, so -0.0 vs 0.0 or NaN payloads would fail).
+::testing::AssertionResult ListsBitEqual(const eval::TopKList& a,
+                                         const eval::TopKList& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].item != b[i].item ||
+        std::memcmp(&a[i].score, &b[i].score, sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": (" << a[i].item << ", " << a[i].score << ") vs ("
+             << b[i].item << ", " << b[i].score << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---- Deterministic toy ranker for batcher-level tests ----------------------
+
+constexpr int32_t kToyItems = 50;
+
+/// Score of item `i` for a row whose most recent input item is `last`: a
+/// cheap hash, so every request's expected top-k is computable independently
+/// of how requests were batched together.
+float ToyScore(int32_t last, int32_t i) {
+  return static_cast<float>((i * 31 + last * 7) % 97);
+}
+
+class ToyRanker : public eval::Ranker {
+ public:
+  std::string name() const override { return "Toy"; }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> scores(batch.batch_size * (kToyItems + 1), 0.0f);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      const int32_t last = batch.inputs[(b + 1) * batch.seq_len - 1];
+      for (int32_t i = 1; i <= kToyItems; ++i) {
+        scores[b * (kToyItems + 1) + i] = ToyScore(last, i);
+      }
+    }
+    return scores;
+  }
+};
+
+/// Expected top-k for one toy request, computed with plain sort.
+eval::TopKList ToyExpected(const std::vector<int32_t>& history, int64_t k,
+                           bool exclude_seen) {
+  const int32_t last = history.empty() ? 0 : history.back();
+  eval::TopKList all;
+  for (int32_t i = 1; i <= kToyItems; ++i) {
+    if (exclude_seen &&
+        std::find(history.begin(), history.end(), i) != history.end()) {
+      continue;
+    }
+    all.push_back({i, ToyScore(last, i)});
+  }
+  std::sort(all.begin(), all.end(), eval::BetterScored);
+  if (static_cast<int64_t>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+ServeConfig ToyConfig() {
+  ServeConfig c;
+  c.k = 5;
+  c.max_len = 8;
+  c.max_batch = 4;
+  c.max_wait_us = 100;
+  return c;
+}
+
+// ---- MicroBatcher: coalescing and failure semantics ------------------------
+
+TEST(MicroBatcherTest, FullBatchFlushesWithoutTimeAdvancing) {
+  ToyRanker model;
+  FakeClock clock;
+  MicroBatcher batcher(model, kToyItems, ToyConfig(), &clock);
+  std::vector<std::vector<int64_t>> batches;
+  batcher.set_batch_observer([&](const std::vector<int64_t>& ids) {
+    batches.push_back(ids);
+  });
+
+  std::vector<std::future<Result<eval::TopKList>>> futures;
+  for (int r = 0; r < 4; ++r) {
+    futures.push_back(batcher.Submit({{static_cast<int32_t>(r + 1), 10}, 0}));
+  }
+  for (int r = 0; r < 4; ++r) {
+    const Result<eval::TopKList> result = futures[static_cast<size_t>(r)].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(ListsBitEqual(
+        result.value(), ToyExpected({static_cast<int32_t>(r + 1), 10}, 5, true)));
+  }
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(MicroBatcherTest, PartialBatchFlushesAfterMaxWait) {
+  ToyRanker model;
+  FakeClock clock;
+  MicroBatcher batcher(model, kToyItems, ToyConfig(), &clock);
+  std::vector<std::vector<int64_t>> batches;
+  batcher.set_batch_observer([&](const std::vector<int64_t>& ids) {
+    batches.push_back(ids);
+  });
+
+  auto f0 = batcher.Submit({{3, 7}, 0});
+  auto f1 = batcher.Submit({{4, 9}, 0});
+  // Two of four slots filled: nothing flushes until the clock passes
+  // arrival + max_wait_us.
+  EXPECT_EQ(f0.wait_for(std::chrono::milliseconds(20)), std::future_status::timeout);
+  clock.Advance(200);
+  ASSERT_TRUE(f0.get().ok());
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1}));
+}
+
+TEST(MicroBatcherTest, CoalescingIsDeterministicUnderFakeClock) {
+  // Same submissions + same Advance calls => identical batch composition,
+  // run to run.
+  auto run_once = [] {
+    ToyRanker model;
+    FakeClock clock;
+    MicroBatcher batcher(model, kToyItems, ToyConfig(), &clock);
+    std::vector<std::vector<int64_t>> batches;
+    batcher.set_batch_observer([&](const std::vector<int64_t>& ids) {
+      batches.push_back(ids);
+    });
+    std::vector<std::future<Result<eval::TopKList>>> futures;
+    for (int r = 0; r < 4; ++r) {
+      futures.push_back(batcher.Submit({{static_cast<int32_t>(r + 1)}, 0}));
+    }
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+    futures.clear();
+    futures.push_back(batcher.Submit({{11, 12}, 0}));
+    futures.push_back(batcher.Submit({{13}, 0}));
+    clock.Advance(200);
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+    batcher.Stop();
+    ASSERT_EQ(batches.size(), 2u);
+    EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1, 2, 3}));
+    EXPECT_EQ(batches[1], (std::vector<int64_t>{4, 5}));
+  };
+  run_once();
+  run_once();
+}
+
+TEST(MicroBatcherTest, ExpiredDeadlineFailsFastWithoutPoisoningBatch) {
+  ToyRanker model;
+  FakeClock clock;
+  MicroBatcher batcher(model, kToyItems, ToyConfig(), &clock);
+
+  auto expired = batcher.Submit({{5, 6}, /*deadline_us=*/50});
+  auto live = batcher.Submit({{7, 8}, /*deadline_us=*/0});
+  clock.Advance(200);  // flush at 100; deadline 50 already passed
+
+  const Result<eval::TopKList> dead = expired.get();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), Status::Code::kDeadlineExceeded);
+
+  const Result<eval::TopKList> ok = live.get();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ListsBitEqual(ok.value(), ToyExpected({7, 8}, 5, true)));
+}
+
+TEST(MicroBatcherTest, InvalidItemIdsAreRejectedImmediately) {
+  ToyRanker model;
+  FakeClock clock;
+  MicroBatcher batcher(model, kToyItems, ToyConfig(), &clock);
+  auto zero = batcher.Submit({{0, 3}, 0});
+  auto high = batcher.Submit({{kToyItems + 1}, 0});
+  // Rejected synchronously — no clock advance needed for the futures.
+  EXPECT_EQ(zero.get().status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(high.get().status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(MicroBatcherTest, StopDrainsQueueWithUnavailable) {
+  ToyRanker model;
+  FakeClock clock;
+  ServeConfig config = ToyConfig();
+  config.max_wait_us = 1000000;  // park the request until Stop
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+  auto parked = batcher.Submit({{2}, 0});
+  batcher.Stop();
+  EXPECT_EQ(parked.get().status().code(), Status::Code::kUnavailable);
+  // Submissions after Stop are rejected, not enqueued.
+  EXPECT_EQ(batcher.Submit({{2}, 0}).get().status().code(),
+            Status::Code::kUnavailable);
+}
+
+TEST(MicroBatcherTest, ServesRealModelUnderConcurrentLoad) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  models::SasRec model(b, models::TrainConfig{}, Rng(3));
+
+  ServeConfig config;
+  config.k = 10;
+  config.max_len = 12;
+  config.max_batch = 8;
+  config.max_wait_us = 200;
+  config.num_workers = 2;
+  MicroBatcher batcher(model, ds.num_items, config);  // real SystemClock
+
+  LoadgenConfig load;
+  load.requests = 64;
+  load.clients = 4;
+  const LoadgenReport report = RunLoad(batcher, ds.train_seqs, load);
+  EXPECT_EQ(report.requests, 64);
+  EXPECT_EQ(report.ok, 64);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_GT(report.qps, 0.0);
+
+  // Spot-check one request directly: k results, descending order, history
+  // excluded.
+  const std::vector<int32_t>& history = ds.train_seqs[0];
+  auto result = batcher.Submit({history, 0}).get();
+  ASSERT_TRUE(result.ok());
+  const eval::TopKList& list = result.value();
+  ASSERT_EQ(list.size(), 10u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_TRUE(eval::BetterScored(list[i - 1], list[i]));
+  }
+  for (const eval::ScoredItem& s : list) {
+    EXPECT_EQ(std::find(history.begin(), history.end(), s.item), history.end());
+  }
+}
+
+// ---- Fused ScoreTopK bit-identity ------------------------------------------
+
+/// Reference selection: full ScoreAll matrix + std::sort under the same
+/// total order — deliberately a different algorithm from both the bounded
+/// heap and the fused blocked-dot path.
+std::vector<eval::TopKList> ReferenceTopK(eval::Ranker& model,
+                                          const data::Batch& batch,
+                                          const eval::TopKOptions& opt) {
+  const std::vector<float> scores = model.ScoreAll(batch);
+  const int64_t N1 = static_cast<int64_t>(scores.size()) / batch.batch_size;
+  const std::vector<eval::ExcludeSet> exclude = eval::BuildExcludeSets(batch, opt);
+  std::vector<eval::TopKList> out(batch.batch_size);
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    eval::TopKList all;
+    for (int32_t i = 1; i < N1; ++i) {
+      if (exclude[b].Contains(i)) continue;
+      all.push_back({i, scores[b * N1 + i]});
+    }
+    std::sort(all.begin(), all.end(), eval::BetterScored);
+    if (static_cast<int64_t>(all.size()) > opt.k) all.resize(static_cast<size_t>(opt.k));
+    out[b] = std::move(all);
+  }
+  return out;
+}
+
+void ExpectFusedMatchesReference(eval::Ranker& model, const data::Batch& batch,
+                                 const eval::TopKOptions& opt) {
+  ThreadCountGuard guard;
+  std::vector<std::vector<eval::TopKList>> per_thread_count;
+  for (int threads : {1, 2, 7}) {
+    parallel::SetNumThreads(threads);
+    const std::vector<eval::TopKList> reference = ReferenceTopK(model, batch, opt);
+    const std::vector<eval::TopKList> fused = model.ScoreTopK(batch, opt);
+    ASSERT_EQ(fused.size(), reference.size());
+    for (size_t b = 0; b < fused.size(); ++b) {
+      EXPECT_TRUE(ListsBitEqual(fused[b], reference[b]))
+          << "row " << b << " at " << threads << " threads";
+    }
+    per_thread_count.push_back(fused);
+  }
+  // Thread-invariance across counts, independent of the reference.
+  for (size_t t = 1; t < per_thread_count.size(); ++t) {
+    for (size_t b = 0; b < per_thread_count[t].size(); ++b) {
+      EXPECT_TRUE(ListsBitEqual(per_thread_count[0][b], per_thread_count[t][b]))
+          << "row " << b << " differs between thread counts";
+    }
+  }
+}
+
+TEST(ScoreTopKTest, SasRecFusedBitIdenticalToReference) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(11)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  models::SasRec model(b, models::TrainConfig{}, Rng(5));
+  data::Batch batch = data::MakeEvalBatch(ds.train_seqs, {0, 1, 2, 3, 4}, 12);
+
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.num_items = ds.num_items;
+  ExpectFusedMatchesReference(model, batch, opt);
+}
+
+TEST(ScoreTopKTest, SasRecFusedExcludeSeenParity) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(13)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+  models::BackboneConfig b;
+  b.num_items = ds.num_items;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 1;
+  models::SasRec model(b, models::TrainConfig{}, Rng(6));
+  data::Batch batch = data::MakeEvalBatch(ds.train_seqs, {0, 1, 2}, 12);
+
+  eval::TopKOptions opt;
+  opt.k = 7;
+  opt.exclude_seen = true;
+  std::vector<std::vector<int32_t>> extra(3);
+  extra[1] = {1, 2, 3};  // extra per-row exclusions on top of the window
+  opt.exclude = &extra;
+  ExpectFusedMatchesReference(model, batch, opt);
+
+  // Excluded ids must actually be absent.
+  const std::vector<eval::TopKList> fused = model.ScoreTopK(batch, opt);
+  for (const eval::ScoredItem& s : fused[1]) {
+    EXPECT_GT(s.item, 3);
+  }
+}
+
+TEST(ScoreTopKTest, MetaSgclFusedBitIdenticalToReference) {
+  auto log = data::GenerateSynthetic(data::TinyDataset(17)).value();
+  auto ds = data::LeaveOneOutSplit(log);
+  core::MetaSgclConfig c;
+  c.backbone.num_items = ds.num_items;
+  c.backbone.max_len = 12;
+  c.backbone.dim = 16;
+  c.backbone.heads = 2;
+  c.backbone.layers = 1;
+  core::MetaSgcl model(c, models::TrainConfig{}, Rng(9));
+  data::Batch batch = data::MakeEvalBatch(ds.train_seqs, {0, 1, 2, 3}, 12);
+
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.num_items = ds.num_items;
+  ExpectFusedMatchesReference(model, batch, opt);
+}
+
+TEST(ScoreTopKTest, KLargerThanCatalogueReturnsAllItems) {
+  ToyRanker model;
+  data::Batch batch = data::MakeEvalBatch({{1, 2, 3}}, {0}, 8);
+  eval::TopKOptions opt;
+  opt.k = kToyItems * 2;
+  const std::vector<eval::TopKList> lists = model.ScoreTopK(batch, opt);
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].size(), static_cast<size_t>(kToyItems));
+  EXPECT_TRUE(ListsBitEqual(lists[0], ToyExpected({1, 2, 3}, kToyItems, false)));
+}
+
+// ---- Loadgen percentile helper ---------------------------------------------
+
+TEST(LoadgenTest, ExactPercentilesAreOrderStatistics) {
+  std::vector<int64_t> lat;
+  for (int64_t i = 100; i >= 1; --i) lat.push_back(i);  // 1..100, shuffled-ish
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(lat, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(lat, 95.0), 95.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(lat, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(lat, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({42}, 99.0), 42.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msgcl

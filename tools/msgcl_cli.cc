@@ -6,12 +6,22 @@
 //              a checkpoint
 //   evaluate   load a checkpoint and report HR/NDCG/MRR on the test split
 //   recommend  load a checkpoint and print top-K items for one user
+//   serve-bench  drive a request storm through the batched serving subsystem
+//              (DESIGN.md §9) and report QPS + latency percentiles
 //
 // Examples:
 //   msgcl generate --preset=toys --scale=0.25 --out=toys.csv
 //   msgcl train --data=toys.csv --model=Meta-SGCL --epochs=30 --ckpt=m.bin
 //   msgcl evaluate --data=toys.csv --model=Meta-SGCL --ckpt=m.bin
 //   msgcl recommend --data=toys.csv --model=Meta-SGCL --ckpt=m.bin --user=3
+//   msgcl serve-bench --data=toys.csv --model=Meta-SGCL --ckpt=m.bin
+//     --requests=2000 --clients=16 --max_batch=32 --max_wait_us=1000
+//
+// serve-bench flags: --k (top-k size), --requests, --clients (closed-loop
+// client threads), --max_batch, --max_wait_us, --workers (batcher workers),
+// --deadline_us (per-request deadline, 0 = none). --ckpt is optional; without
+// it the storm runs over freshly initialized weights, which is fine for
+// latency measurement.
 //
 // Architecture flags (--dim, --layers, --heads, --max_len) must match
 // between train and evaluate/recommend; the checkpoint loader verifies
@@ -58,6 +68,7 @@
 #include "models/models.h"
 #include "obs/obs.h"
 #include "parallel/parallel.h"
+#include "serve/serve.h"
 
 namespace {
 
@@ -375,9 +386,65 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+int CmdServeBench(const Args& args) {
+  auto log = LoadData(args);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = data::LeaveOneOutSplit(log.value());
+  auto model = MakeModel(args.Get("model", "Meta-SGCL"), ds, args);
+  if (const std::string ckpt = args.Get("ckpt"); !ckpt.empty()) {
+    if (Status s = nn::LoadCheckpoint(*AsModule(model.get()), ckpt); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  AsModule(model.get())->SetTraining(false);
+
+  serve::ServeConfig config;
+  config.k = args.GetI("k", 10);
+  config.max_len = args.GetI("max_len", 16);
+  config.max_batch = args.GetI("max_batch", 32);
+  config.max_wait_us = args.GetI("max_wait_us", 1000);
+  config.num_workers = static_cast<int>(args.GetI("workers", 2));
+  serve::LoadgenConfig load;
+  load.requests = args.GetI("requests", 1000);
+  load.clients = static_cast<int>(args.GetI("clients", 8));
+  load.deadline_us = args.GetI("deadline_us", 0);
+  load.k = config.k;
+
+  // Serving histories: each user's full training sequence.
+  std::printf("serving %s: %lld requests, %d clients, max_batch=%lld, "
+              "max_wait=%lldus...\n",
+              model->name().c_str(), static_cast<long long>(load.requests),
+              load.clients, static_cast<long long>(config.max_batch),
+              static_cast<long long>(config.max_wait_us));
+  serve::MicroBatcher batcher(*model, ds.num_items, config);
+  const serve::LoadgenReport report = serve::RunLoad(batcher, ds.train_seqs, load);
+  batcher.Stop();
+
+  std::printf("served %lld requests in %.3fs: %.1f qps\n",
+              static_cast<long long>(report.requests), report.wall_s, report.qps);
+  std::printf("latency: p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus max=%.0fus\n",
+              report.p50_us, report.p95_us, report.p99_us, report.mean_us,
+              report.max_us);
+  std::printf("outcomes: ok=%lld deadline_expired=%lld errors=%lld\n",
+              static_cast<long long>(report.ok),
+              static_cast<long long>(report.deadline_expired),
+              static_cast<long long>(report.errors));
+  const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("serve.", 0) == 0) {
+      std::printf("  %-28s %lld\n", name.c_str(), static_cast<long long>(value));
+    }
+  }
+  return report.errors == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: msgcl <generate|train|evaluate|recommend> [--flags]\n"
+               "usage: msgcl <generate|train|evaluate|recommend|serve-bench> [--flags]\n"
                "see the header of tools/msgcl_cli.cc for examples\n");
   return 2;
 }
@@ -397,5 +464,6 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "evaluate") return CmdEvaluate(args);
   if (cmd == "recommend") return CmdRecommend(args);
+  if (cmd == "serve-bench") return CmdServeBench(args);
   return Usage();
 }

@@ -1,15 +1,25 @@
-// Serving throughput/latency benchmark (DESIGN.md §9): drives a closed-loop
-// request storm through the MicroBatcher + fused ScoreTopK path for SASRec
-// and Meta-SGCL and reports QPS plus exact p50/p95/p99 latency percentiles.
+// Serving throughput/latency benchmark (DESIGN.md §9–10): drives a
+// closed-loop request storm through the MicroBatcher + fused ScoreTopK path
+// for SASRec and Meta-SGCL and reports QPS plus exact p50/p95/p99 latency
+// percentiles.
 //
 //   bench_serving [--scale=0.25] [--requests=2000] [--clients=16]
 //                 [--max_batch=32] [--max_wait_us=1000] [--workers=2]
 //                 [--k=10] [--threads=N] [--quick] [--json=BENCH_serving.json]
 //
+// Chaos mode (--chaos) injects scoring faults (throw + NaN-poisoned scores)
+// into a fraction of batches (--fault_rate=0.1) with the circuit breaker and
+// popularity fallback active, and additionally reports availability, shed
+// rate, degraded-serve rate, and garbage count. --no_fallback drops the
+// fallback ranker (failed batches then surface as typed errors);
+// --queue_capacity bounds the admission queue. tools/check_chaos_drill.sh
+// asserts availability >= 99% and zero garbage on the JSON output.
+//
 // This is a systems benchmark: it measures the serving subsystem only and
 // says nothing about recommendation quality (models are served with freshly
 // initialized weights — the scoring work is identical either way).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +42,9 @@ ServingRow RunStorm(const std::string& model_name, const bench::DatasetSpec& ds,
                     const bench::HyperParams& hp, const serve::ServeConfig& config,
                     const serve::LoadgenConfig& load, uint64_t seed) {
   auto model = bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed);
+  // Each storm gets a rewound injector so fault sequences are comparable
+  // across models and batch sizes.
+  if (config.fault_injector != nullptr) config.fault_injector->Reset();
   serve::MicroBatcher batcher(*model, ds.split.num_items, config);
   ServingRow row;
   row.model = model_name;
@@ -42,14 +55,21 @@ ServingRow RunStorm(const std::string& model_name, const bench::DatasetSpec& ds,
   return row;
 }
 
-void PrintRow(const ServingRow& r) {
+void PrintRow(const ServingRow& r, bool chaos) {
   std::printf("%-10s %-9s batch<=%-3lld %8.1f qps  p50=%6.0fus p95=%6.0fus "
-              "p99=%6.0fus  ok=%lld dl=%lld err=%lld\n",
+              "p99=%6.0fus  ok=%lld dl=%lld err=%lld",
               r.model.c_str(), r.dataset.c_str(), static_cast<long long>(r.max_batch),
               r.report.qps, r.report.p50_us, r.report.p95_us, r.report.p99_us,
               static_cast<long long>(r.report.ok),
               static_cast<long long>(r.report.deadline_expired),
               static_cast<long long>(r.report.errors));
+  if (chaos) {
+    std::printf("  avail=%.4f degraded=%lld shed=%lld garbage=%lld",
+                r.report.availability, static_cast<long long>(r.report.degraded),
+                static_cast<long long>(r.report.shed),
+                static_cast<long long>(r.report.garbage));
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -57,6 +77,8 @@ void PrintRow(const ServingRow& r) {
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const bool quick = flags.GetBool("quick");
+  const bool chaos = flags.GetBool("chaos");
+  const bool no_fallback = flags.GetBool("no_fallback");
   const double scale = flags.GetDouble("scale", quick ? 0.08 : 0.25);
   const uint64_t seed = flags.GetInt("seed", 42);
   if (const int64_t threads = flags.GetInt("threads", 0); threads > 0) {
@@ -68,17 +90,37 @@ int main(int argc, char** argv) {
   config.max_batch = flags.GetInt("max_batch", 32);
   config.max_wait_us = flags.GetInt("max_wait_us", 1000);
   config.num_workers = static_cast<int>(flags.GetInt("workers", 2));
+  config.queue_capacity = flags.GetInt("queue_capacity", 0);
   serve::LoadgenConfig load;
   load.requests = flags.GetInt("requests", quick ? 200 : 2000);
   load.clients = static_cast<int>(flags.GetInt("clients", 16));
   load.deadline_us = flags.GetInt("deadline_us", 0);
   load.k = config.k;
 
+  const double fault_rate = flags.GetDouble("fault_rate", 0.10);
+  std::unique_ptr<runtime::ServeFaultInjector> injector;
+  if (chaos) {
+    runtime::ServeFaultPlan plan;
+    plan.fault_rate = fault_rate;
+    plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
+                  runtime::ServeFaultKind::kNaNScores};
+    plan.seed = seed;
+    injector = std::make_unique<runtime::ServeFaultInjector>(std::move(plan));
+    config.fault_injector = injector.get();
+    // Breaker tuned for a storm: open quickly, probe quickly, so the drill
+    // exercises the full Healthy -> Open -> Healthy cycle many times.
+    config.breaker.degraded_after = 1;
+    config.breaker.open_after = 2;
+    config.breaker.open_backoff_us = 2000;
+    config.breaker.max_backoff_us = 100000;
+  }
+
   bench::HyperParams hp;
   std::printf("== Serving benchmark: %lld requests, %d clients, %d workers, "
-              "max_wait=%lldus ==\n",
+              "max_wait=%lldus%s ==\n",
               static_cast<long long>(load.requests), load.clients, config.num_workers,
-              static_cast<long long>(config.max_wait_us));
+              static_cast<long long>(config.max_wait_us),
+              chaos ? ", CHAOS" : "");
 
   // One dataset (Toys-like) is enough for a latency benchmark; batching
   // behavior is what varies, so sweep max_batch per model.
@@ -87,6 +129,13 @@ int main(int argc, char** argv) {
   config.max_len = ds.max_len;
   std::printf("dataset %s: %d users, %d items\n\n", ds.name.c_str(),
               ds.split.num_users(), ds.split.num_items);
+
+  serve::FallbackRanker fallback;
+  if (chaos && !no_fallback) {
+    fallback = serve::FallbackRanker::FromSequences(ds.split.train_seqs,
+                                                    ds.split.num_items);
+    config.fallback = &fallback;
+  }
 
   std::vector<ServingRow> rows;
   const std::vector<int64_t> batch_sizes =
@@ -97,8 +146,21 @@ int main(int argc, char** argv) {
       serve::ServeConfig c = config;
       c.max_batch = max_batch;
       rows.push_back(RunStorm(model_name, ds, hp, c, load, seed));
-      PrintRow(rows.back());
+      PrintRow(rows.back(), chaos);
     }
+  }
+
+  double min_availability = 1.0;
+  int64_t total_garbage = 0;
+  for (const ServingRow& r : rows) {
+    min_availability = std::min(min_availability, r.report.availability);
+    total_garbage += r.report.garbage;
+  }
+  if (chaos) {
+    std::printf("\nchaos summary: min_availability=%.4f total_garbage=%lld "
+                "fallback=%s fault_rate=%.2f\n",
+                min_availability, static_cast<long long>(total_garbage),
+                no_fallback ? "off" : "on", fault_rate);
   }
 
   const std::string json_path = flags.GetString("json", "");
@@ -120,7 +182,19 @@ int main(int argc, char** argv) {
       w.Int(config.k);
       w.Key("threads");
       w.Int(parallel::MaxThreads());
+      w.Key("chaos");
+      w.Bool(chaos);
+      w.Key("fault_rate");
+      w.Double(chaos ? fault_rate : 0.0);
+      w.Key("fallback");
+      w.Bool(chaos && !no_fallback);
+      w.Key("queue_capacity");
+      w.Int(config.queue_capacity);
       w.EndObject();
+      w.Key("min_availability");
+      w.Double(min_availability);
+      w.Key("total_garbage");
+      w.Int(total_garbage);
       w.Key("runs");
       w.BeginArray();
       for (const ServingRow& r : rows) {
@@ -145,10 +219,18 @@ int main(int argc, char** argv) {
         w.Double(r.report.max_us);
         w.Key("ok");
         w.Int(r.report.ok);
+        w.Key("degraded");
+        w.Int(r.report.degraded);
+        w.Key("shed");
+        w.Int(r.report.shed);
         w.Key("deadline_expired");
         w.Int(r.report.deadline_expired);
         w.Key("errors");
         w.Int(r.report.errors);
+        w.Key("garbage");
+        w.Int(r.report.garbage);
+        w.Key("availability");
+        w.Double(r.report.availability);
         w.EndObject();
       }
       w.EndArray();
@@ -160,8 +242,14 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s\n", json_path.c_str());
   }
 
-  for (const ServingRow& r : rows) {
-    if (r.report.errors != 0) return 1;
+  // Garbage is never acceptable; errors are expected only in a chaos run
+  // that deliberately dropped the fallback.
+  if (total_garbage != 0) return 1;
+  const bool errors_expected = chaos && no_fallback;
+  if (!errors_expected) {
+    for (const ServingRow& r : rows) {
+      if (r.report.errors != 0) return 1;
+    }
   }
   return 0;
 }

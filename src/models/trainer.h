@@ -19,6 +19,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,8 +52,11 @@ using StepFn = std::function<float(const data::Batch& batch, Rng& rng)>;
 /// backoff and no optimizer-state resume.
 ///
 /// Returns non-OK instead of training through poison: Internal when the
-/// recovery policy is exhausted (or kAbort fires), and the resume/checkpoint
-/// I/O status when those fail. On error the model's weights are unspecified.
+/// recovery policy is exhausted (or kAbort fires), and the resume/telemetry
+/// I/O status when those fail. Periodic checkpoint-save failures are NOT
+/// fatal: the save is retried once after a short backoff, counted in
+/// `runtime.checkpoint.save_failures`, logged, and training continues. On
+/// error the model's weights are unspecified.
 inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
                       const data::SequenceDataset& ds, const TrainConfig& config,
                       const StepFn& step, std::vector<nn::Optimizer*> optimizers = {}) {
@@ -256,7 +260,24 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
     const bool final_epoch = stopped_early || epoch + 1 >= config.epochs;
     if (final_epoch ||
         (config.checkpoint_every > 0 && (epoch + 1) % config.checkpoint_every == 0)) {
-      if (Status s = save_checkpoint(epoch); !s.ok()) return s;
+      // A failed checkpoint save must not kill an otherwise healthy run:
+      // retry once after a short backoff, then log and train on — losing one
+      // periodic checkpoint is strictly better than losing the run. Failures
+      // are counted (ungated) so drills and dashboards see them.
+      if (Status s = save_checkpoint(epoch); !s.ok()) {
+        obs::Registry::Global().GetCounter("runtime.checkpoint.save_failures").Add(1);
+        std::fprintf(stderr, "[%s] checkpoint save failed at epoch %ld (%s); retrying\n",
+                     ranker.name().c_str(), static_cast<long>(epoch),
+                     s.ToString().c_str());
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        if (Status retry = save_checkpoint(epoch); !retry.ok()) {
+          obs::Registry::Global().GetCounter("runtime.checkpoint.save_failures").Add(1);
+          std::fprintf(stderr,
+                       "[%s] checkpoint retry failed (%s); continuing without a "
+                       "checkpoint for this epoch\n",
+                       ranker.name().c_str(), retry.ToString().c_str());
+        }
+      }
     }
   }
 

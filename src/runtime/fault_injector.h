@@ -1,19 +1,27 @@
 // Deterministic fault injection for exercising the fault-tolerant training
-// runtime. The injector can poison gradients or the reported loss at chosen
-// global steps (driving the numeric-health recovery paths in FitLoop),
-// corrupt checkpoint files by truncation or bit-flips (driving the CRC /
-// staged-load rejection paths), and emit malformed CSV rows (driving the
-// loader's strict parsing). Everything is seeded, so failures reproduce
-// bit-exactly.
+// runtime and the resilient serving layer. The training-side injector can
+// poison gradients or the reported loss at chosen global steps (driving the
+// numeric-health recovery paths in FitLoop), corrupt checkpoint files by
+// truncation or bit-flips (driving the CRC / staged-load rejection paths),
+// and emit malformed CSV rows (driving the loader's strict parsing). The
+// serve-side injector (ServeFaultInjector) stalls, throws from, or
+// NaN-poisons individual scoring batches, driving the MicroBatcher's circuit
+// breaker and degraded-mode fallback (DESIGN.md §10). Everything is seeded,
+// so failures reproduce bit-exactly.
 #ifndef MSGCL_RUNTIME_FAULT_INJECTOR_H_
 #define MSGCL_RUNTIME_FAULT_INJECTOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iterator>
 #include <limits>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -164,6 +172,138 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   int64_t injected_faults_ = 0;
+};
+
+// ---- Serve-path fault injection (DESIGN.md §10) ----------------------------
+
+/// What an injected serving fault does to one scoring batch.
+enum class ServeFaultKind {
+  kNone,        // batch proceeds untouched
+  kSlowScore,   // stall the scoring call (drives the batch timeout guard)
+  kScoreThrow,  // throw from inside the scoring call (drives the catch path)
+  kNaNScores,   // poison returned top-k scores (drives the numeric guard)
+};
+
+inline const char* ServeFaultKindName(ServeFaultKind kind) {
+  switch (kind) {
+    case ServeFaultKind::kNone: return "none";
+    case ServeFaultKind::kSlowScore: return "slow_score";
+    case ServeFaultKind::kScoreThrow: return "score_throw";
+    case ServeFaultKind::kNaNScores: return "nan_scores";
+  }
+  return "unknown";
+}
+
+/// Plan for serving faults, keyed by scored-batch index (0-based, counting
+/// only batches that reach the scoring call — fallback-served batches are
+/// never faulted). `fault_batches` pins faults to exact batches; when it is
+/// empty each batch is faulted independently with probability `fault_rate`.
+struct ServeFaultPlan {
+  std::set<int64_t> fault_batches;
+  double fault_rate = 0.0;
+  /// Kinds to rotate through; a firing batch draws one uniformly (seeded).
+  std::vector<ServeFaultKind> kinds = {ServeFaultKind::kScoreThrow};
+  int64_t slow_score_us = 50000;  // wall-clock stall for kSlowScore
+  double nan_fraction = 0.25;     // fraction of top-k slots poisoned (min 1)
+  uint64_t seed = 0x5EF7;
+};
+
+/// Deterministic, seeded fault source for the serving path. Thread-safe: the
+/// MicroBatcher serializes scoring, but chaos drills may share one injector
+/// across batchers, so every entry point locks. Reset() rewinds for an
+/// identical replay.
+class ServeFaultInjector {
+ public:
+  explicit ServeFaultInjector(ServeFaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  const ServeFaultPlan& plan() const { return plan_; }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_ = Rng(plan_.seed);
+    batch_index_ = 0;
+    injected_faults_ = 0;
+  }
+
+  /// Draws the fault (if any) for the next scored batch. Call exactly once
+  /// per batch that reaches the scoring call.
+  ServeFaultKind NextBatchFault() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t n = batch_index_++;
+    bool fire;
+    if (!plan_.fault_batches.empty()) {
+      fire = plan_.fault_batches.count(n) > 0;
+    } else {
+      // Always consume one draw so the fault sequence is a pure function of
+      // the batch index, independent of the rate.
+      fire = rng_.Uniform() < plan_.fault_rate;
+    }
+    if (!fire || plan_.kinds.empty()) return ServeFaultKind::kNone;
+    const ServeFaultKind kind =
+        plan_.kinds[rng_.UniformInt(plan_.kinds.size())];
+    if (kind != ServeFaultKind::kNone) CountFault();
+    return kind;
+  }
+
+  /// Stalls the scoring call. Defaults to a wall-clock sleep of
+  /// `slow_score_us`; tests override with set_slow_fn (e.g. to advance a
+  /// FakeClock deterministically instead of sleeping).
+  void InjectSlow() {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn = slow_fn_;
+    }
+    if (fn) {
+      fn();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(plan_.slow_score_us));
+    }
+  }
+
+  void set_slow_fn(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slow_fn_ = std::move(fn);
+  }
+
+  /// Throws the injected scoring exception (called from inside the batcher's
+  /// guarded scoring region, so the catch path is exercised end to end).
+  [[noreturn]] void ThrowScoreFault() {
+    throw std::runtime_error("injected scoring fault (kScoreThrow)");
+  }
+
+  /// Poisons a seeded subset (>= 1) of the given score slots with quiet
+  /// NaNs. `slots` are non-owning pointers into the batch's top-k lists.
+  void PoisonScores(const std::vector<float*>& slots) {
+    if (slots.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t hits = static_cast<uint64_t>(plan_.nan_fraction *
+                                          static_cast<double>(slots.size()));
+    if (hits == 0) hits = 1;
+    for (uint64_t h = 0; h < hits; ++h) {
+      *slots[rng_.UniformInt(slots.size())] = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+
+  /// Number of faulted batches so far (for test assertions).
+  int64_t injected_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_faults_;
+  }
+
+ private:
+  void CountFault() {
+    ++injected_faults_;
+    obs::Registry::Global().GetCounter("runtime.faults.injected").Add(1);
+  }
+
+  ServeFaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  int64_t batch_index_ = 0;
+  int64_t injected_faults_ = 0;
+  std::function<void()> slow_fn_;
 };
 
 }  // namespace runtime

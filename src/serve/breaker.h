@@ -1,0 +1,184 @@
+// Circuit breaker + health state machine for the serving layer
+// (DESIGN.md §10).
+//
+// The breaker wraps the MicroBatcher's scoring call and tracks consecutive
+// batch failures (scoring exceptions, non-finite scores, timeouts):
+//
+//   Healthy --(degraded_after consecutive failures)--> Degraded
+//   Degraded --(open_after consecutive failures)-----> Open
+//   any state --(one success)------------------------> Healthy
+//
+// While Open, scoring is skipped entirely: batches are served from the
+// degraded-mode FallbackRanker (or failed with Unavailable when no fallback
+// is configured). After `open_backoff_us` the breaker admits exactly one
+// half-open probe batch to the real model; a successful probe closes the
+// breaker, a failed probe re-opens it with exponentially grown backoff
+// (capped at max_backoff_us). All timing goes through the injected Clock, so
+// the full Healthy -> Open -> Healthy cycle is FakeClock-testable.
+//
+// Observability (ungated, like the runtime counters):
+//   serve.breaker.state            gauge   0=Healthy 1=Degraded 2=Open
+//   serve.breaker.failures         counter batch failures reported
+//   serve.breaker.opens            counter transitions into Open (incl. re-opens)
+//   serve.breaker.probes           counter half-open probe batches admitted
+//   serve.breaker.probe_successes  counter probes that closed the breaker
+#ifndef MSGCL_SERVE_BREAKER_H_
+#define MSGCL_SERVE_BREAKER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/registry.h"
+#include "serve/clock.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace serve {
+
+/// Serving health states, in order of degradation.
+enum class BreakerState { kHealthy = 0, kDegraded = 1, kOpen = 2 };
+
+inline const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kHealthy: return "healthy";
+    case BreakerState::kDegraded: return "degraded";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+/// Circuit-breaker thresholds and backoff schedule.
+struct BreakerConfig {
+  int64_t degraded_after = 1;       // consecutive failures to enter Degraded
+  int64_t open_after = 3;           // consecutive failures to open
+  int64_t open_backoff_us = 100000; // Open hold time before the first probe
+  double backoff_multiplier = 2.0;  // backoff growth per failed probe
+  int64_t max_backoff_us = 10000000;
+
+  Status Validate() const {
+    if (degraded_after < 1) {
+      return Status::InvalidArgument("degraded_after must be >= 1");
+    }
+    if (open_after < degraded_after) {
+      return Status::InvalidArgument("open_after must be >= degraded_after");
+    }
+    if (open_backoff_us <= 0) {
+      return Status::InvalidArgument("open_backoff_us must be positive");
+    }
+    if (backoff_multiplier < 1.0) {
+      return Status::InvalidArgument("backoff_multiplier must be >= 1");
+    }
+    if (max_backoff_us < open_backoff_us) {
+      return Status::InvalidArgument("max_backoff_us must be >= open_backoff_us");
+    }
+    return Status::Ok();
+  }
+};
+
+/// Thread-safe breaker state machine. Callers bracket each batch with
+/// OnBatchStart() (decide: score or fall back) and OnBatchResult(); at most
+/// one half-open probe is in flight at a time, so concurrent workers cannot
+/// hammer a struggling model.
+class CircuitBreaker {
+ public:
+  enum class Decision { kScore, kFallback };
+
+  /// `clock` is non-owning and must outlive the breaker.
+  CircuitBreaker(const BreakerConfig& config, Clock* clock)
+      : config_(config), clock_(clock), backoff_us_(config.open_backoff_us) {
+    MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+    StateGauge().Set(static_cast<double>(BreakerState::kHealthy));
+  }
+
+  /// Decides what to do with the next batch. kScore either means the
+  /// breaker is closed or this batch was admitted as the half-open probe.
+  Decision OnBatchStart() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != BreakerState::kOpen) return Decision::kScore;
+    if (probe_in_flight_ || clock_->NowUs() < open_until_us_) {
+      return Decision::kFallback;
+    }
+    probe_in_flight_ = true;
+    obs::Registry::Global().GetCounter("serve.breaker.probes").Add(1);
+    return Decision::kScore;
+  }
+
+  /// Reports the outcome of a batch that was admitted to scoring.
+  void OnBatchResult(bool success) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (success) {
+      if (probe_in_flight_) {
+        probe_in_flight_ = false;
+        obs::Registry::Global().GetCounter("serve.breaker.probe_successes").Add(1);
+      }
+      consecutive_failures_ = 0;
+      backoff_us_ = config_.open_backoff_us;
+      SetState(BreakerState::kHealthy);
+      return;
+    }
+    obs::Registry::Global().GetCounter("serve.breaker.failures").Add(1);
+    if (state_ == BreakerState::kOpen) {
+      // Failed half-open probe: stay open, grow the backoff.
+      probe_in_flight_ = false;
+      backoff_us_ = std::min<int64_t>(
+          static_cast<int64_t>(static_cast<double>(backoff_us_) *
+                               config_.backoff_multiplier),
+          config_.max_backoff_us);
+      open_until_us_ = clock_->NowUs() + backoff_us_;
+      obs::Registry::Global().GetCounter("serve.breaker.opens").Add(1);
+      return;
+    }
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= config_.open_after) {
+      open_until_us_ = clock_->NowUs() + backoff_us_;
+      SetState(BreakerState::kOpen);
+      obs::Registry::Global().GetCounter("serve.breaker.opens").Add(1);
+    } else if (consecutive_failures_ >= config_.degraded_after) {
+      SetState(BreakerState::kDegraded);
+    }
+  }
+
+  BreakerState state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  int64_t consecutive_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consecutive_failures_;
+  }
+
+  /// Current Open backoff (grows on failed probes; for tests).
+  int64_t backoff_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return backoff_us_;
+  }
+
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  static obs::Gauge& StateGauge() {
+    return obs::Registry::Global().GetGauge("serve.breaker.state");
+  }
+
+  void SetState(BreakerState s) {
+    state_ = s;
+    StateGauge().Set(static_cast<double>(s));
+  }
+
+  const BreakerConfig config_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kHealthy;
+  int64_t consecutive_failures_ = 0;
+  int64_t backoff_us_ = 0;
+  int64_t open_until_us_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_BREAKER_H_

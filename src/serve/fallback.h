@@ -1,0 +1,80 @@
+// Degraded-mode fallback ranking for the serving layer (DESIGN.md §10).
+//
+// When the circuit breaker is open (or a scoring batch fails its guards),
+// requests are answered from a popularity ranking computed once from the
+// training interactions instead of erroring out: non-personalised, but a
+// best-effort recommendation a frontend can still render. Responses served
+// this way are tagged `Response::degraded = true` so callers can distinguish
+// them from model-scored results.
+//
+// Ordering matches the repo-wide total order (score descending, item id
+// ascending, see eval/topk.h) with score = interaction count, so fallback
+// lists are deterministic and independent of request batching.
+#ifndef MSGCL_SERVE_FALLBACK_H_
+#define MSGCL_SERVE_FALLBACK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "eval/topk.h"
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace serve {
+
+/// Popularity-ranked fallback. Build once (FromSequences) at startup; TopK is
+/// then a cheap, allocation-light walk over the pre-sorted ranking, safe to
+/// call concurrently from any number of workers.
+class FallbackRanker {
+ public:
+  FallbackRanker() = default;
+
+  /// Ranks items 1..num_items by training interaction count (ties broken by
+  /// ascending id, matching eval::BetterScored with score = count).
+  static FallbackRanker FromSequences(const std::vector<std::vector<int32_t>>& seqs,
+                                      int32_t num_items) {
+    MSGCL_CHECK_GT(num_items, 0);
+    std::vector<float> counts(static_cast<size_t>(num_items) + 1, 0.0f);
+    for (const auto& seq : seqs) {
+      for (const int32_t item : seq) {
+        MSGCL_CHECK(item >= 1 && item <= num_items);
+        counts[static_cast<size_t>(item)] += 1.0f;
+      }
+    }
+    FallbackRanker ranker;
+    ranker.ranking_.reserve(static_cast<size_t>(num_items));
+    for (int32_t i = 1; i <= num_items; ++i) {
+      ranker.ranking_.push_back({i, counts[static_cast<size_t>(i)]});
+    }
+    std::sort(ranker.ranking_.begin(), ranker.ranking_.end(), eval::BetterScored);
+    return ranker;
+  }
+
+  bool ready() const { return !ranking_.empty(); }
+
+  int32_t num_items() const { return static_cast<int32_t>(ranking_.size()); }
+
+  /// The `min(k, #non-excluded items)` most popular items not in `exclude`,
+  /// in descending (count, then ascending id) order.
+  eval::TopKList TopK(int64_t k, const eval::ExcludeSet& exclude) const {
+    MSGCL_CHECK_GT(k, 0);
+    MSGCL_CHECK_MSG(ready(), "FallbackRanker used before FromSequences");
+    eval::TopKList out;
+    out.reserve(static_cast<size_t>(std::min<int64_t>(k, num_items())));
+    for (const eval::ScoredItem& s : ranking_) {
+      if (exclude.Contains(s.item)) continue;
+      out.push_back(s);
+      if (static_cast<int64_t>(out.size()) >= k) break;
+    }
+    return out;
+  }
+
+ private:
+  eval::TopKList ranking_;  // all items, best (most popular) first
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_FALLBACK_H_

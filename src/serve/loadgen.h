@@ -5,11 +5,20 @@
 //
 // Latency is measured wall-clock (SystemClock) from just before Submit() to
 // future readiness; percentiles are exact order statistics over the recorded
-// latencies, not histogram-bucket bounds.
+// latencies, not histogram-bucket bounds. Shed requests (RESOURCE_EXHAUSTED)
+// resolve synchronously and are excluded from the latency sample — they
+// never entered service.
+//
+// Chaos accounting (DESIGN.md §10): every OK response is structurally
+// verified (size <= k, finite scores); a response failing that check counts
+// as `garbage`, which a chaos drill asserts to be zero. `availability` is
+// the fraction of requests answered with a usable list — model-scored or
+// degraded — over everything submitted.
 #ifndef MSGCL_SERVE_LOADGEN_H_
 #define MSGCL_SERVE_LOADGEN_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <future>
 #include <thread>
@@ -25,24 +34,30 @@ struct LoadgenConfig {
   int64_t requests = 1000;  // total across all clients
   int clients = 8;          // concurrent closed-loop client threads
   int64_t deadline_us = 0;  // per-request deadline relative to submit; 0 = none
-  int64_t k = 10;           // recorded in the report only
+  int64_t k = 10;           // top-k size: recorded in the report, bounds the
+                            // garbage check on returned lists
 
   Status Validate() const {
     if (requests <= 0) return Status::InvalidArgument("requests must be positive");
     if (clients < 1) return Status::InvalidArgument("clients must be >= 1");
     if (deadline_us < 0) return Status::InvalidArgument("deadline_us must be >= 0");
+    if (k <= 0) return Status::InvalidArgument("k must be positive");
     return Status::Ok();
   }
 };
 
 struct LoadgenReport {
   int64_t requests = 0;          // completed (any outcome)
-  int64_t ok = 0;                // served with a top-k list
+  int64_t ok = 0;                // served with a model-scored top-k list
+  int64_t degraded = 0;          // served by the fallback ranker (degraded=true)
+  int64_t shed = 0;              // failed with RESOURCE_EXHAUSTED (admission)
   int64_t deadline_expired = 0;  // failed with DEADLINE_EXCEEDED
   int64_t errors = 0;            // any other non-OK status
+  int64_t garbage = 0;           // OK responses failing the structural check
+  double availability = 0.0;     // (ok + degraded - garbage) / requests
   double wall_s = 0.0;
   double qps = 0.0;       // completed requests per second
-  double mean_us = 0.0;   // over completed requests
+  double mean_us = 0.0;   // over served (non-shed) requests
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
@@ -60,6 +75,17 @@ inline double ExactPercentileUs(std::vector<int64_t> latencies_us, double p) {
   return static_cast<double>(latencies_us[rank - 1]);
 }
 
+/// True when an OK response is structurally usable: at most k items, every
+/// score finite. (Content correctness is pinned by the bit-identity tests;
+/// this is the runtime garbage detector for chaos drills.)
+inline bool ResponseIsUsable(const Response& response, int64_t k) {
+  if (static_cast<int64_t>(response.topk.size()) > k) return false;
+  for (const eval::ScoredItem& s : response.topk) {
+    if (!std::isfinite(s.score)) return false;
+  }
+  return true;
+}
+
 /// Drives `config.requests` requests through the batcher, round-robin over
 /// `histories`, and returns throughput + latency statistics.
 inline LoadgenReport RunLoad(MicroBatcher& batcher,
@@ -71,7 +97,8 @@ inline LoadgenReport RunLoad(MicroBatcher& batcher,
 
   struct ClientStats {
     std::vector<int64_t> latencies_us;
-    int64_t ok = 0, deadline_expired = 0, errors = 0;
+    int64_t ok = 0, degraded = 0, shed = 0, deadline_expired = 0, errors = 0;
+    int64_t garbage = 0;
   };
   std::vector<ClientStats> stats(static_cast<size_t>(config.clients));
 
@@ -93,14 +120,29 @@ inline LoadgenReport RunLoad(MicroBatcher& batcher,
         const int64_t submit_us = clock.NowUs();
         if (config.deadline_us > 0) req.deadline_us = submit_us + config.deadline_us;
         auto future = batcher.Submit(std::move(req));
-        const Result<eval::TopKList> result = future.get();
-        s.latencies_us.push_back(clock.NowUs() - submit_us);
+        const Result<Response> result = future.get();
         if (result.ok()) {
-          ++s.ok;
-        } else if (result.status().code() == Status::Code::kDeadlineExceeded) {
-          ++s.deadline_expired;
+          if (!ResponseIsUsable(result.value(), config.k)) ++s.garbage;
+          if (result.value().degraded) {
+            ++s.degraded;
+          } else {
+            ++s.ok;
+          }
+          s.latencies_us.push_back(clock.NowUs() - submit_us);
         } else {
-          ++s.errors;
+          switch (result.status().code()) {
+            case Status::Code::kResourceExhausted:
+              ++s.shed;  // synchronous rejection, no latency sample
+              break;
+            case Status::Code::kDeadlineExceeded:
+              ++s.deadline_expired;
+              s.latencies_us.push_back(clock.NowUs() - submit_us);
+              break;
+            default:
+              ++s.errors;
+              s.latencies_us.push_back(clock.NowUs() - submit_us);
+              break;
+          }
         }
       }
     });
@@ -113,11 +155,20 @@ inline LoadgenReport RunLoad(MicroBatcher& batcher,
   all.reserve(static_cast<size_t>(config.requests));
   for (const ClientStats& s : stats) {
     report.ok += s.ok;
+    report.degraded += s.degraded;
+    report.shed += s.shed;
     report.deadline_expired += s.deadline_expired;
     report.errors += s.errors;
+    report.garbage += s.garbage;
     all.insert(all.end(), s.latencies_us.begin(), s.latencies_us.end());
   }
-  report.requests = static_cast<int64_t>(all.size());
+  report.requests = report.ok + report.degraded + report.shed +
+                    report.deadline_expired + report.errors;
+  if (report.requests > 0) {
+    report.availability =
+        static_cast<double>(report.ok + report.degraded - report.garbage) /
+        static_cast<double>(report.requests);
+  }
   report.wall_s = static_cast<double>(end_us - start_us) * 1e-6;
   if (report.wall_s > 0.0) {
     report.qps = static_cast<double>(report.requests) / report.wall_s;

@@ -1,9 +1,12 @@
 // Batched recommendation serving: coalesces concurrent RecommendRequests
-// into eval batches and scores them through Ranker::ScoreTopK (DESIGN.md §9).
+// into eval batches and scores them through Ranker::ScoreTopK (DESIGN.md §9),
+// wrapped in an overload- and fault-resilience layer (DESIGN.md §10).
 //
 // Concurrency model:
 //  * Submit() is thread-safe and non-blocking: it validates the request,
-//    enqueues it, and returns a future.
+//    enqueues it, and returns a future. When the pending queue is at
+//    `queue_capacity` the request is shed immediately (RESOURCE_EXHAUSTED)
+//    instead of growing the queue without bound.
 //  * Worker threads pop up to `max_batch` requests per batch. A partial
 //    batch waits at most `max_wait_us` past the arrival of its oldest
 //    request before flushing.
@@ -15,18 +18,30 @@
 //    toggling is not concurrent-safe, so one batch runs the kernels (itself
 //    parallelized via src/parallel) while other workers coalesce and answer.
 //
+// Resilience (DESIGN.md §10): every scoring call runs under a circuit
+// breaker and per-batch guards — exceptions are caught, non-finite scores
+// and wrong-shape results are rejected, and (when `score_timeout_us` is set)
+// overlong scoring calls count as timeouts. A failed batch never returns
+// garbage: its requests are served from the popularity FallbackRanker with
+// `Response::degraded = true` (when configured) or fail with a typed error.
+// While the breaker is Open, scoring is skipped entirely and all traffic
+// degrades to the fallback until a half-open probe succeeds.
+//
 // Observability (existing registry, ungated like the runtime counters):
 //  * serve.request_ns   histogram — submit→response latency per request
 //  * serve.batch_size   histogram — scored requests per flushed batch
 //  * serve.queue_depth  gauge     — pending requests after the last event
 //  * serve.requests / serve.batches / serve.deadline_expired / serve.rejected
+//  * serve.shed / serve.degraded / serve.score_failures / serve.breaker.*
 #ifndef MSGCL_SERVE_MICRO_BATCHER_H_
 #define MSGCL_SERVE_MICRO_BATCHER_H_
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -40,7 +55,10 @@
 #include "eval/topk.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
+#include "runtime/fault_injector.h"
+#include "serve/breaker.h"
 #include "serve/clock.h"
+#include "serve/fallback.h"
 #include "tensor/status.h"
 #include "tensor/tensor.h"
 
@@ -49,9 +67,22 @@ namespace serve {
 
 /// One serving request: the user's interaction history plus an optional
 /// absolute deadline on the batcher's clock (0 = no deadline).
+///
+/// Truncation policy: histories longer than ServeConfig::max_len are scored
+/// on their most recent `max_len` items (left-padded window, as in offline
+/// eval), but `exclude_seen` filtering always applies to the FULL history —
+/// an item the user touched long ago is still never recommended back.
 struct RecommendRequest {
   std::vector<int32_t> history;
   int64_t deadline_us = 0;
+};
+
+/// One serving response. `degraded` marks best-effort results produced by
+/// the popularity FallbackRanker instead of the model (breaker open, or the
+/// batch failed its scoring guards).
+struct Response {
+  eval::TopKList topk;
+  bool degraded = false;
 };
 
 /// Serving configuration.
@@ -63,12 +94,37 @@ struct ServeConfig {
   int64_t max_wait_us = 1000;  // flush a partial batch after this long
   int num_workers = 1;         // batch-forming worker threads
 
+  // ---- Resilience (DESIGN.md §10) ----
+  /// Admission control: maximum pending (not yet coalesced) requests; a
+  /// Submit beyond this fails fast with RESOURCE_EXHAUSTED and bumps
+  /// `serve.shed`. 0 = unbounded (the pre-resilience behaviour).
+  int64_t queue_capacity = 0;
+  /// When > 0, a scoring call that takes longer than this (on the batcher's
+  /// clock) counts as a batch failure — the breaker sees a timeout and the
+  /// batch degrades to the fallback instead of returning very late.
+  int64_t score_timeout_us = 0;
+  /// Circuit-breaker thresholds/backoff for the scoring call.
+  BreakerConfig breaker;
+  /// Degraded-mode ranker served while the breaker is open or a batch fails
+  /// its guards (non-owning; must outlive the batcher). nullptr = failed
+  /// batches get typed errors instead of best-effort results.
+  const FallbackRanker* fallback = nullptr;
+  /// Optional deterministic serve-fault source (non-owning; chaos drills).
+  runtime::ServeFaultInjector* fault_injector = nullptr;
+
   Status Validate() const {
     if (k <= 0 || max_len <= 0 || max_batch <= 0) {
       return Status::InvalidArgument("k, max_len and max_batch must be positive");
     }
     if (max_wait_us < 0) return Status::InvalidArgument("max_wait_us must be >= 0");
     if (num_workers < 1) return Status::InvalidArgument("num_workers must be >= 1");
+    if (queue_capacity < 0) {
+      return Status::InvalidArgument("queue_capacity must be >= 0 (0 = unbounded)");
+    }
+    if (score_timeout_us < 0) {
+      return Status::InvalidArgument("score_timeout_us must be >= 0 (0 = disabled)");
+    }
+    if (Status s = breaker.Validate(); !s.ok()) return s;
     return Status::Ok();
   }
 };
@@ -88,7 +144,8 @@ class MicroBatcher {
       : model_(model),
         num_items_(num_items),
         config_(config),
-        clock_(clock != nullptr ? clock : &SystemClock::Instance()) {
+        clock_(clock != nullptr ? clock : &SystemClock::Instance()),
+        breaker_(config.breaker, clock_) {
     MSGCL_CHECK_GT(num_items, 0);
     MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
     workers_.reserve(static_cast<size_t>(config_.num_workers));
@@ -102,13 +159,21 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  /// Enqueues one request. The future resolves to the top-k list, or to a
-  /// non-OK Status: INVALID_ARGUMENT (bad item ids, rejected immediately),
-  /// DEADLINE_EXCEEDED (deadline passed before scoring), or UNAVAILABLE
-  /// (batcher stopped before the request was scheduled).
-  std::future<Result<eval::TopKList>> Submit(RecommendRequest req) {
-    std::promise<Result<eval::TopKList>> promise;
-    std::future<Result<eval::TopKList>> future = promise.get_future();
+  /// Enqueues one request. The future resolves to a Response, or to a
+  /// non-OK Status: INVALID_ARGUMENT (empty history / bad item ids, rejected
+  /// immediately), RESOURCE_EXHAUSTED (queue at capacity, shed immediately),
+  /// DEADLINE_EXCEEDED (deadline passed before scoring), UNAVAILABLE
+  /// (batcher stopped, or scoring unavailable with no fallback configured),
+  /// or INTERNAL (the batch failed its scoring guards and no fallback is
+  /// configured).
+  std::future<Result<Response>> Submit(RecommendRequest req) {
+    std::promise<Result<Response>> promise;
+    std::future<Result<Response>> future = promise.get_future();
+    if (req.history.empty()) {
+      promise.set_value(Status::InvalidArgument("history must not be empty"));
+      Counter("serve.rejected").Add(1);
+      return future;
+    }
     for (const int32_t id : req.history) {
       if (id < 1 || id > num_items_) {
         promise.set_value(Status::InvalidArgument(
@@ -123,6 +188,14 @@ class MicroBatcher {
       if (stopped_) {
         promise.set_value(Status::Unavailable("MicroBatcher is stopped"));
         Counter("serve.rejected").Add(1);
+        return future;
+      }
+      if (config_.queue_capacity > 0 &&
+          static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
+        promise.set_value(Status::ResourceExhausted(
+            "serving queue full (capacity " +
+            std::to_string(config_.queue_capacity) + ")"));
+        Counter("serve.shed").Add(1);
         return future;
       }
       Pending p;
@@ -140,7 +213,10 @@ class MicroBatcher {
   }
 
   /// Stops the workers and fails every still-queued request with
-  /// UNAVAILABLE. Idempotent; called by the destructor.
+  /// UNAVAILABLE. Idempotent; called by the destructor. A Submit racing with
+  /// Stop resolves deterministically: either it enqueued before the stop
+  /// flag was set (and is failed by the drain below) or it observes the flag
+  /// and is rejected synchronously — it never hangs or leaks its promise.
   void Stop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -167,6 +243,9 @@ class MicroBatcher {
     return static_cast<int64_t>(queue_.size());
   }
 
+  /// The scoring circuit breaker (for state assertions and dashboards).
+  const CircuitBreaker& breaker() const { return breaker_; }
+
   /// Test/debug hook; set before submitting traffic.
   void set_batch_observer(BatchObserver observer) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -179,7 +258,7 @@ class MicroBatcher {
     int64_t arrival_us = 0;
     int64_t deadline_us = 0;
     std::vector<int32_t> history;
-    std::promise<Result<eval::TopKList>> promise;
+    std::promise<Result<Response>> promise;
   };
 
   // Registry helpers: resolve once per name, then relaxed atomics only.
@@ -251,6 +330,13 @@ class MicroBatcher {
     }
     if (live.empty()) return;
 
+    // Circuit breaker: while Open (and no probe due), skip scoring entirely.
+    if (breaker_.OnBatchStart() == CircuitBreaker::Decision::kFallback) {
+      ServeDegraded(std::move(live),
+                    Status::Unavailable("scoring circuit breaker is open"));
+      return;
+    }
+
     std::vector<std::vector<int32_t>> histories;
     std::vector<int32_t> rows;
     histories.reserve(live.size());
@@ -265,14 +351,52 @@ class MicroBatcher {
     if (config_.exclude_seen) opt.exclude = &histories;  // full history, not window
 
     std::vector<eval::TopKList> lists;
+    std::string failure;  // non-empty => the whole batch failed its guards
     {
       MSGCL_OBS_SCOPE("serve.score_batch");
       // One scoring region at a time (see the concurrency model above).
       std::lock_guard<std::mutex> score_lock(score_mu_);
       NoGradGuard guard;
-      data::Batch eval_batch = data::MakeEvalBatch(histories, rows, config_.max_len);
-      lists = model_.ScoreTopK(eval_batch, opt);
+      runtime::ServeFaultInjector* injector = config_.fault_injector;
+      const runtime::ServeFaultKind fault =
+          injector != nullptr ? injector->NextBatchFault()
+                              : runtime::ServeFaultKind::kNone;
+      const int64_t score_start_us = clock_->NowUs();
+      try {
+        if (fault == runtime::ServeFaultKind::kSlowScore) injector->InjectSlow();
+        if (fault == runtime::ServeFaultKind::kScoreThrow) injector->ThrowScoreFault();
+        data::Batch eval_batch = data::MakeEvalBatch(histories, rows, config_.max_len);
+        lists = model_.ScoreTopK(eval_batch, opt);
+      } catch (const std::exception& e) {
+        failure = std::string("scoring threw: ") + e.what();
+      } catch (...) {
+        failure = "scoring threw a non-std exception";
+      }
+      if (failure.empty() && fault == runtime::ServeFaultKind::kNaNScores) {
+        std::vector<float*> slots;
+        for (eval::TopKList& list : lists) {
+          for (eval::ScoredItem& s : list) slots.push_back(&s.score);
+        }
+        injector->PoisonScores(slots);
+      }
+      if (failure.empty()) failure = CheckBatchHealth(lists, live.size());
+      if (failure.empty() && config_.score_timeout_us > 0) {
+        const int64_t elapsed_us = clock_->NowUs() - score_start_us;
+        if (elapsed_us > config_.score_timeout_us) {
+          failure = "scoring timeout: " + std::to_string(elapsed_us) + "us > " +
+                    std::to_string(config_.score_timeout_us) + "us";
+        }
+      }
     }
+
+    if (!failure.empty()) {
+      Counter("serve.score_failures").Add(1);
+      breaker_.OnBatchResult(false);
+      ServeDegraded(std::move(live), Status::Internal(failure));
+      return;
+    }
+    breaker_.OnBatchResult(true);
+
     Counter("serve.requests_served").Add(static_cast<int64_t>(live.size()));
     obs::Histogram& request_ns = RequestHistogram();
     obs::Registry::Global().GetHistogram("serve.batch_size")
@@ -280,7 +404,56 @@ class MicroBatcher {
     const int64_t done_us = clock_->NowUs();
     for (size_t i = 0; i < live.size(); ++i) {
       request_ns.Record(static_cast<double>((done_us - live[i].arrival_us) * 1000));
-      live[i].promise.set_value(std::move(lists[i]));
+      live[i].promise.set_value(Response{std::move(lists[i]), /*degraded=*/false});
+    }
+  }
+
+  /// Per-batch numeric/shape guard: the scorer must return one list per live
+  /// request, no list longer than k, and every score finite — anything else
+  /// fails the batch instead of handing garbage to clients.
+  std::string CheckBatchHealth(const std::vector<eval::TopKList>& lists,
+                               size_t expected_rows) const {
+    if (lists.size() != expected_rows) {
+      return "scorer returned " + std::to_string(lists.size()) + " rows for " +
+             std::to_string(expected_rows) + " requests";
+    }
+    for (size_t b = 0; b < lists.size(); ++b) {
+      if (static_cast<int64_t>(lists[b].size()) > config_.k) {
+        return "row " + std::to_string(b) + " has " +
+               std::to_string(lists[b].size()) + " items (k = " +
+               std::to_string(config_.k) + ")";
+      }
+      for (const eval::ScoredItem& s : lists[b]) {
+        if (!std::isfinite(s.score)) {
+          return "non-finite score for item " + std::to_string(s.item) +
+                 " in row " + std::to_string(b);
+        }
+      }
+    }
+    return std::string();
+  }
+
+  /// Answers a batch the model could not serve: from the fallback ranker
+  /// (tagged degraded) when configured, otherwise with `error`.
+  void ServeDegraded(std::vector<Pending> live, const Status& error) {
+    if (config_.fallback == nullptr || !config_.fallback->ready()) {
+      for (Pending& p : live) p.promise.set_value(error);
+      return;
+    }
+    Counter("serve.degraded").Add(static_cast<int64_t>(live.size()));
+    obs::Histogram& request_ns = RequestHistogram();
+    const int64_t done_us = clock_->NowUs();
+    for (Pending& p : live) {
+      eval::ExcludeSet exclude;
+      if (config_.exclude_seen) {
+        exclude.InsertRange(p.history);
+        exclude.Seal();
+      }
+      Response r;
+      r.topk = config_.fallback->TopK(config_.k, exclude);
+      r.degraded = true;
+      request_ns.Record(static_cast<double>((done_us - p.arrival_us) * 1000));
+      p.promise.set_value(std::move(r));
     }
   }
 
@@ -288,6 +461,7 @@ class MicroBatcher {
   const int32_t num_items_;
   const ServeConfig config_;
   Clock* const clock_;
+  CircuitBreaker breaker_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,8 +1,10 @@
-// Umbrella header for the batched serving subsystem (DESIGN.md §9).
+// Umbrella header for the batched serving subsystem (DESIGN.md §9–10).
 #ifndef MSGCL_SERVE_SERVE_H_
 #define MSGCL_SERVE_SERVE_H_
 
+#include "serve/breaker.h"       // IWYU pragma: export
 #include "serve/clock.h"         // IWYU pragma: export
+#include "serve/fallback.h"      // IWYU pragma: export
 #include "serve/loadgen.h"       // IWYU pragma: export
 #include "serve/micro_batcher.h" // IWYU pragma: export
 

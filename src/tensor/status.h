@@ -25,6 +25,7 @@ class Status {
     kInternal,
     kDeadlineExceeded,
     kUnavailable,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -44,6 +45,11 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// A bounded resource (e.g. the serving admission queue) is full; the
+  /// caller should back off and retry rather than wait.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -61,6 +67,7 @@ class Status {
       case Code::kInternal: name = "INTERNAL"; break;
       case Code::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
       case Code::kUnavailable: name = "UNAVAILABLE"; break;
+      case Code::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -1,0 +1,505 @@
+// Chaos tests for the serving resilience layer (DESIGN.md §10): circuit
+// breaker state machine under a fake clock, degraded-mode fallback ranking,
+// admission-control shedding with exact counter deltas, numeric-health and
+// timeout guards, serve-fault injector determinism, and a SystemClock chaos
+// storm asserting availability 1.0 with zero garbage.
+//
+// These carry the `chaos` ctest label so the sanitized presets
+// (`ctest --preset asan-serve` / `tsan-serve`) pick them up alongside the
+// `serve` suite.
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/registry.h"
+#include "runtime/fault_injector.h"
+#include "serve/serve.h"
+
+namespace msgcl {
+namespace serve {
+namespace {
+
+int64_t CounterValue(const std::string& name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
+// Same deterministic toy ranker as serve_test.cc: score depends only on the
+// most recent input item, so expected lists are computable per request.
+constexpr int32_t kToyItems = 50;
+
+float ToyScore(int32_t last, int32_t i) {
+  return static_cast<float>((i * 31 + last * 7) % 97);
+}
+
+class ToyRanker : public eval::Ranker {
+ public:
+  std::string name() const override { return "Toy"; }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> scores(batch.batch_size * (kToyItems + 1), 0.0f);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      const int32_t last = batch.inputs[(b + 1) * batch.seq_len - 1];
+      for (int32_t i = 1; i <= kToyItems; ++i) {
+        scores[b * (kToyItems + 1) + i] = ToyScore(last, i);
+      }
+    }
+    return scores;
+  }
+};
+
+eval::TopKList ToyExpected(const std::vector<int32_t>& history, int64_t k) {
+  const int32_t last = history.empty() ? 0 : history.back();
+  eval::TopKList all;
+  for (int32_t i = 1; i <= kToyItems; ++i) {
+    if (std::find(history.begin(), history.end(), i) != history.end()) continue;
+    all.push_back({i, ToyScore(last, i)});
+  }
+  std::sort(all.begin(), all.end(), eval::BetterScored);
+  if (static_cast<int64_t>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+/// One-batch-per-submit config: max_batch=1 flushes every request as its own
+/// batch without any clock advance, so scored-batch indices line up with
+/// submit order and ServeFaultPlan::fault_batches targets exact requests.
+ServeConfig ChaosConfig() {
+  ServeConfig c;
+  c.k = 5;
+  c.max_len = 8;
+  c.max_batch = 1;
+  c.max_wait_us = 100;
+  c.breaker.degraded_after = 1;
+  c.breaker.open_after = 2;
+  c.breaker.open_backoff_us = 1000;
+  c.breaker.backoff_multiplier = 2.0;
+  c.breaker.max_backoff_us = 8000;
+  return c;
+}
+
+FallbackRanker ToyFallback() {
+  // Popularity: item 1 most popular, then 2, then 3; the rest count 0.
+  return FallbackRanker::FromSequences({{1, 1, 1, 2, 2, 3}}, kToyItems);
+}
+
+Result<Response> SubmitAndGet(MicroBatcher& batcher,
+                              const std::vector<int32_t>& history) {
+  return batcher.Submit({history, 0}).get();
+}
+
+// ---- Circuit breaker unit tests (FakeClock, no batcher) --------------------
+
+TEST(BreakerTest, WalksHealthyDegradedOpenAndClosesOnProbeSuccess) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.degraded_after = 1;
+  config.open_after = 3;
+  config.open_backoff_us = 1000;
+  CircuitBreaker breaker(config, &clock);
+
+  EXPECT_EQ(breaker.state(), BreakerState::kHealthy);
+  EXPECT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kScore);
+
+  breaker.OnBatchResult(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kDegraded);
+  breaker.OnBatchResult(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kDegraded);
+  breaker.OnBatchResult(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.consecutive_failures(), 3);
+
+  // Open and inside the backoff window: everything falls back.
+  EXPECT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kFallback);
+  clock.Advance(500);
+  EXPECT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kFallback);
+
+  // Past the backoff: exactly one probe is admitted; concurrent batches
+  // still fall back while it is in flight.
+  clock.Advance(600);
+  EXPECT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kScore);
+  EXPECT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kFallback);
+
+  breaker.OnBatchResult(true);  // probe succeeds -> closed
+  EXPECT_EQ(breaker.state(), BreakerState::kHealthy);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kScore);
+}
+
+TEST(BreakerTest, FailedProbeGrowsBackoffExponentiallyUpToCap) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.degraded_after = 1;
+  config.open_after = 1;
+  config.open_backoff_us = 1000;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_us = 3000;
+  CircuitBreaker breaker(config, &clock);
+
+  breaker.OnBatchResult(false);  // open immediately
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.backoff_us(), 1000);
+
+  // Each failed probe doubles the backoff until the cap.
+  for (const int64_t expected : {2000, 3000, 3000}) {
+    clock.Advance(breaker.backoff_us() + 1);
+    ASSERT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kScore);
+    breaker.OnBatchResult(false);
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_EQ(breaker.backoff_us(), expected);
+  }
+
+  // A successful probe resets the backoff schedule.
+  clock.Advance(breaker.backoff_us() + 1);
+  ASSERT_EQ(breaker.OnBatchStart(), CircuitBreaker::Decision::kScore);
+  breaker.OnBatchResult(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kHealthy);
+  EXPECT_EQ(breaker.backoff_us(), 1000);
+}
+
+// ---- Batcher-level chaos (FakeClock, deterministic fault plans) ------------
+
+TEST(ChaosTest, ScoreThrowDegradesToFallbackAndBreakerRecovers) {
+  const int64_t degraded0 = CounterValue("serve.degraded");
+  const int64_t failures0 = CounterValue("serve.score_failures");
+  const int64_t opens0 = CounterValue("serve.breaker.opens");
+  const int64_t probes0 = CounterValue("serve.breaker.probes");
+  const int64_t probe_ok0 = CounterValue("serve.breaker.probe_successes");
+
+  ToyRanker model;
+  FakeClock clock;
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {0, 1};  // first two scored batches throw
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow};
+  runtime::ServeFaultInjector injector(plan);
+  const FallbackRanker fallback = ToyFallback();
+
+  ServeConfig config = ChaosConfig();
+  config.fallback = &fallback;
+  config.fault_injector = &injector;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  // Batch 0 throws: served degraded, breaker enters Degraded.
+  Result<Response> r = SubmitAndGet(batcher, {7});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kDegraded);
+  // Fallback order is popularity: 1, 2, 3, then ids ascending among count-0.
+  ASSERT_EQ(r.value().topk.size(), 5u);
+  EXPECT_EQ(r.value().topk[0].item, 1);
+  EXPECT_EQ(r.value().topk[1].item, 2);
+  EXPECT_EQ(r.value().topk[2].item, 3);
+
+  // Batch 1 throws: breaker opens.
+  r = SubmitAndGet(batcher, {7});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kOpen);
+
+  // Open + inside backoff: served from fallback WITHOUT scoring — the
+  // injector sees no new batch.
+  r = SubmitAndGet(batcher, {7});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_EQ(injector.injected_faults(), 2);
+
+  // Past the backoff, the half-open probe scores cleanly and closes the
+  // breaker; the response is a real model result.
+  clock.Advance(1500);
+  r = SubmitAndGet(batcher, {7});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().degraded);
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kHealthy);
+  const eval::TopKList expected = ToyExpected({7}, 5);
+  ASSERT_EQ(r.value().topk.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r.value().topk[i].item, expected[i].item);
+  }
+
+  EXPECT_EQ(CounterValue("serve.degraded") - degraded0, 3);
+  EXPECT_EQ(CounterValue("serve.score_failures") - failures0, 2);
+  EXPECT_EQ(CounterValue("serve.breaker.opens") - opens0, 1);
+  EXPECT_EQ(CounterValue("serve.breaker.probes") - probes0, 1);
+  EXPECT_EQ(CounterValue("serve.breaker.probe_successes") - probe_ok0, 1);
+}
+
+TEST(ChaosTest, WithoutFallbackFailuresSurfaceAsTypedErrors) {
+  ToyRanker model;
+  FakeClock clock;
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {0, 1};
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow};
+  runtime::ServeFaultInjector injector(plan);
+
+  ServeConfig config = ChaosConfig();
+  config.fault_injector = &injector;  // no fallback configured
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  // Failed batches: INTERNAL carrying the scoring failure.
+  Result<Response> r = SubmitAndGet(batcher, {3});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInternal);
+  r = SubmitAndGet(batcher, {3});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInternal);
+  ASSERT_EQ(batcher.breaker().state(), BreakerState::kOpen);
+
+  // Open breaker with no fallback: UNAVAILABLE, not a hang or garbage.
+  r = SubmitAndGet(batcher, {3});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kUnavailable);
+
+  // Recovery still works end to end.
+  clock.Advance(1500);
+  r = SubmitAndGet(batcher, {3});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().degraded);
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kHealthy);
+}
+
+TEST(ChaosTest, NaNScoresFailTheBatchInsteadOfServingGarbage) {
+  ToyRanker model;
+  FakeClock clock;
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {0};
+  plan.kinds = {runtime::ServeFaultKind::kNaNScores};
+  runtime::ServeFaultInjector injector(plan);
+  const FallbackRanker fallback = ToyFallback();
+
+  ServeConfig config = ChaosConfig();
+  config.fallback = &fallback;
+  config.fault_injector = &injector;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  // Poisoned batch: the numeric guard rejects it and the fallback answers.
+  // Every score in the response must be finite — NaNs never reach clients.
+  Result<Response> r = SubmitAndGet(batcher, {5});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);
+  for (const eval::ScoredItem& s : r.value().topk) {
+    EXPECT_TRUE(std::isfinite(s.score));
+  }
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kDegraded);
+
+  // Clean batch afterwards: model-scored again.
+  r = SubmitAndGet(batcher, {5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().degraded);
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kHealthy);
+}
+
+TEST(ChaosTest, NaNScoresWithoutFallbackReportNonFiniteInternalError) {
+  ToyRanker model;
+  FakeClock clock;
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {0};
+  plan.kinds = {runtime::ServeFaultKind::kNaNScores};
+  runtime::ServeFaultInjector injector(plan);
+
+  ServeConfig config = ChaosConfig();
+  config.fault_injector = &injector;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  const Result<Response> r = SubmitAndGet(batcher, {5});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInternal);
+  EXPECT_NE(r.status().ToString().find("non-finite"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ChaosTest, SlowScoreBeyondTimeoutCountsAsBatchFailure) {
+  ToyRanker model;
+  FakeClock clock;
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {0};
+  plan.kinds = {runtime::ServeFaultKind::kSlowScore};
+  runtime::ServeFaultInjector injector(plan);
+  // Deterministic stall: advance the fake clock instead of sleeping.
+  injector.set_slow_fn([&clock] { clock.Advance(1000); });
+  const FallbackRanker fallback = ToyFallback();
+
+  ServeConfig config = ChaosConfig();
+  config.score_timeout_us = 500;
+  config.fallback = &fallback;
+  config.fault_injector = &injector;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  const int64_t failures0 = CounterValue("serve.score_failures");
+  Result<Response> r = SubmitAndGet(batcher, {9});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);  // too late to be useful -> degraded
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kDegraded);
+  EXPECT_EQ(CounterValue("serve.score_failures") - failures0, 1);
+
+  // A fast batch is under the timeout and serves normally.
+  r = SubmitAndGet(batcher, {9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().degraded);
+  EXPECT_EQ(batcher.breaker().state(), BreakerState::kHealthy);
+}
+
+TEST(ChaosTest, QueueCapacityShedsExcessWithExactCounts) {
+  ToyRanker model;
+  FakeClock clock;
+  ServeConfig config;
+  config.k = 5;
+  config.max_len = 8;
+  config.max_batch = 8;          // larger than capacity: nothing flushes early
+  config.max_wait_us = 1000000;  // park the batch until we advance the clock
+  config.queue_capacity = 4;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  const int64_t shed0 = CounterValue("serve.shed");
+  std::vector<std::future<Result<Response>>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(batcher.Submit({{static_cast<int32_t>(i + 1)}, 0}));
+  }
+  EXPECT_EQ(batcher.queue_depth(), 4);
+
+  // Admission control: the next three are shed synchronously.
+  for (int i = 0; i < 3; ++i) {
+    const Result<Response> shed = batcher.Submit({{20}, 0}).get();
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), Status::Code::kResourceExhausted);
+  }
+  EXPECT_EQ(CounterValue("serve.shed") - shed0, 3);
+  EXPECT_EQ(batcher.queue_depth(), 4);
+
+  // The queued requests are unharmed: flush and serve them all.
+  clock.Advance(2000000);
+  for (int i = 0; i < 4; ++i) {
+    const Result<Response> r = queued[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.value().degraded);
+  }
+  EXPECT_EQ(CounterValue("serve.shed") - shed0, 3);  // no further sheds
+}
+
+// ---- Fallback ranker -------------------------------------------------------
+
+TEST(FallbackRankerTest, RanksByPopularityWithIdTiebreakAndExclusion) {
+  const FallbackRanker ranker =
+      FallbackRanker::FromSequences({{1, 2, 2, 3, 3, 3}}, 5);
+  ASSERT_TRUE(ranker.ready());
+  EXPECT_EQ(ranker.num_items(), 5);
+
+  eval::ExcludeSet none;
+  none.Seal();
+  const eval::TopKList top3 = ranker.TopK(3, none);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].item, 3);  // count 3
+  EXPECT_EQ(top3[1].item, 2);  // count 2
+  EXPECT_EQ(top3[2].item, 1);  // count 1
+
+  // k beyond the catalogue: all items, zero-count ties broken by id.
+  const eval::TopKList all = ranker.TopK(10, none);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[3].item, 4);
+  EXPECT_EQ(all[4].item, 5);
+
+  // Exclusion skips items without disturbing the order of the rest.
+  eval::ExcludeSet exclude;
+  exclude.InsertRange({3, 4});
+  exclude.Seal();
+  const eval::TopKList filtered = ranker.TopK(3, exclude);
+  ASSERT_EQ(filtered.size(), 3u);
+  EXPECT_EQ(filtered[0].item, 2);
+  EXPECT_EQ(filtered[1].item, 1);
+  EXPECT_EQ(filtered[2].item, 5);
+
+  EXPECT_FALSE(FallbackRanker().ready());
+}
+
+// ---- Serve-fault injector determinism --------------------------------------
+
+TEST(ServeFaultInjectorTest, SeededDrawSequenceIsDeterministicAndReplayable) {
+  runtime::ServeFaultPlan plan;
+  plan.fault_rate = 0.35;
+  plan.seed = 123;
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
+                runtime::ServeFaultKind::kNaNScores,
+                runtime::ServeFaultKind::kSlowScore};
+
+  runtime::ServeFaultInjector a(plan);
+  runtime::ServeFaultInjector b(plan);
+  std::vector<runtime::ServeFaultKind> draws_a, draws_b;
+  for (int i = 0; i < 200; ++i) draws_a.push_back(a.NextBatchFault());
+  for (int i = 0; i < 200; ++i) draws_b.push_back(b.NextBatchFault());
+  EXPECT_EQ(draws_a, draws_b);
+  EXPECT_EQ(a.injected_faults(), b.injected_faults());
+  EXPECT_GT(a.injected_faults(), 0);
+  EXPECT_LT(a.injected_faults(), 200);
+
+  // Reset rewinds to an identical replay.
+  a.Reset();
+  std::vector<runtime::ServeFaultKind> replay;
+  for (int i = 0; i < 200; ++i) replay.push_back(a.NextBatchFault());
+  EXPECT_EQ(replay, draws_a);
+}
+
+TEST(ServeFaultInjectorTest, ExplicitFaultBatchesFireExactly) {
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {1, 3};
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow};
+  runtime::ServeFaultInjector injector(plan);
+  EXPECT_EQ(injector.NextBatchFault(), runtime::ServeFaultKind::kNone);
+  EXPECT_EQ(injector.NextBatchFault(), runtime::ServeFaultKind::kScoreThrow);
+  EXPECT_EQ(injector.NextBatchFault(), runtime::ServeFaultKind::kNone);
+  EXPECT_EQ(injector.NextBatchFault(), runtime::ServeFaultKind::kScoreThrow);
+  EXPECT_EQ(injector.injected_faults(), 2);
+}
+
+// ---- End-to-end chaos storm (SystemClock) ----------------------------------
+
+TEST(ChaosTest, StormWithFallbackKeepsFullAvailabilityAndZeroGarbage) {
+  ToyRanker model;
+  runtime::ServeFaultPlan plan;
+  // Bernoulli faults at a 20% clip — well past the breaker's open threshold,
+  // so the storm exercises shedding into fallback and recovery repeatedly.
+  plan.fault_rate = 0.20;
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
+                runtime::ServeFaultKind::kNaNScores};
+  plan.seed = 7;
+  runtime::ServeFaultInjector injector(plan);
+  const FallbackRanker fallback = ToyFallback();
+
+  ServeConfig config;
+  config.k = 5;
+  config.max_len = 8;
+  config.max_batch = 8;
+  config.max_wait_us = 200;
+  config.num_workers = 2;
+  config.fallback = &fallback;
+  config.fault_injector = &injector;
+  config.breaker.degraded_after = 1;
+  config.breaker.open_after = 2;
+  config.breaker.open_backoff_us = 1000;
+  config.breaker.max_backoff_us = 50000;
+  MicroBatcher batcher(model, kToyItems, config);  // real SystemClock
+
+  std::vector<std::vector<int32_t>> histories;
+  for (int32_t i = 1; i <= 16; ++i) histories.push_back({i, (i % kToyItems) + 1});
+
+  LoadgenConfig load;
+  load.requests = 240;
+  load.clients = 6;
+  load.k = config.k;
+  const LoadgenReport report = RunLoad(batcher, histories, load);
+  batcher.Stop();
+
+  EXPECT_EQ(report.requests, 240);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.garbage, 0);
+  EXPECT_EQ(report.shed, 0);
+  EXPECT_EQ(report.ok + report.degraded, 240);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  // With a 20% fault rate some batches certainly failed; the fallback must
+  // actually have been exercised, not just configured.
+  if (injector.injected_faults() > 0) {
+    EXPECT_GT(report.degraded, 0);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msgcl

@@ -714,6 +714,28 @@ TEST(ObsCountersTest, CheckpointingCountsSavesAndBytes) {
   std::remove(path.c_str());
 }
 
+TEST(ObsCountersTest, UnwritableCheckpointPathIsNonFatalAndCounted) {
+  // Fault drill: checkpoint saves to an unwritable path fail every epoch, but
+  // training must finish OK — a flaky checkpoint disk must not kill the run.
+  // Each epoch makes two attempts (initial + one retry), so the counter
+  // advances by exactly 2 * epochs while `saves` does not move.
+  const int64_t failures0 = CounterValue("runtime.checkpoint.save_failures");
+  const int64_t saves0 = CounterValue("runtime.checkpoint.saves");
+
+  auto ds = TinySplit();
+  models::TrainConfig train = QuickTrain(2);
+  train.checkpoint_path = "/nonexistent-msgcl-dir/ck.state";
+  train.checkpoint_every = 1;
+
+  models::SasRec model(TinyBackbone(ds), train, Rng(1));
+  Status s = model.Fit(ds);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  EXPECT_EQ(CounterValue("runtime.checkpoint.save_failures") - failures0,
+            2 * train.epochs);
+  EXPECT_EQ(CounterValue("runtime.checkpoint.saves") - saves0, 0);
+}
+
 TEST(ObsCountersTest, TelemetryCsvSurvivesResumeWithoutDuplicationOrGaps) {
   auto ds = TinySplit();
   const std::string state = TempPath("runtime_resume_telemetry.state");

@@ -3,6 +3,8 @@
 // behavior, and the fused ScoreTopK bit-identity contract — the fused
 // backbone path must return byte-identical (item, score) lists to the
 // ScoreAll + sort reference at every thread count.
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -111,15 +113,17 @@ TEST(MicroBatcherTest, FullBatchFlushesWithoutTimeAdvancing) {
     batches.push_back(ids);
   });
 
-  std::vector<std::future<Result<eval::TopKList>>> futures;
+  std::vector<std::future<Result<Response>>> futures;
   for (int r = 0; r < 4; ++r) {
     futures.push_back(batcher.Submit({{static_cast<int32_t>(r + 1), 10}, 0}));
   }
   for (int r = 0; r < 4; ++r) {
-    const Result<eval::TopKList> result = futures[static_cast<size_t>(r)].get();
+    const Result<Response> result = futures[static_cast<size_t>(r)].get();
     ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result.value().degraded);
     EXPECT_TRUE(ListsBitEqual(
-        result.value(), ToyExpected({static_cast<int32_t>(r + 1), 10}, 5, true)));
+        result.value().topk,
+        ToyExpected({static_cast<int32_t>(r + 1), 10}, 5, true)));
   }
   ASSERT_EQ(batches.size(), 1u);
   EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1, 2, 3}));
@@ -157,7 +161,7 @@ TEST(MicroBatcherTest, CoalescingIsDeterministicUnderFakeClock) {
     batcher.set_batch_observer([&](const std::vector<int64_t>& ids) {
       batches.push_back(ids);
     });
-    std::vector<std::future<Result<eval::TopKList>>> futures;
+    std::vector<std::future<Result<Response>>> futures;
     for (int r = 0; r < 4; ++r) {
       futures.push_back(batcher.Submit({{static_cast<int32_t>(r + 1)}, 0}));
     }
@@ -185,13 +189,13 @@ TEST(MicroBatcherTest, ExpiredDeadlineFailsFastWithoutPoisoningBatch) {
   auto live = batcher.Submit({{7, 8}, /*deadline_us=*/0});
   clock.Advance(200);  // flush at 100; deadline 50 already passed
 
-  const Result<eval::TopKList> dead = expired.get();
+  const Result<Response> dead = expired.get();
   ASSERT_FALSE(dead.ok());
   EXPECT_EQ(dead.status().code(), Status::Code::kDeadlineExceeded);
 
-  const Result<eval::TopKList> ok = live.get();
+  const Result<Response> ok = live.get();
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
-  EXPECT_TRUE(ListsBitEqual(ok.value(), ToyExpected({7, 8}, 5, true)));
+  EXPECT_TRUE(ListsBitEqual(ok.value().topk, ToyExpected({7, 8}, 5, true)));
 }
 
 TEST(MicroBatcherTest, InvalidItemIdsAreRejectedImmediately) {
@@ -217,6 +221,84 @@ TEST(MicroBatcherTest, StopDrainsQueueWithUnavailable) {
   // Submissions after Stop are rejected, not enqueued.
   EXPECT_EQ(batcher.Submit({{2}, 0}).get().status().code(),
             Status::Code::kUnavailable);
+}
+
+TEST(MicroBatcherTest, EmptyHistoryIsRejectedImmediately) {
+  ToyRanker model;
+  FakeClock clock;
+  MicroBatcher batcher(model, kToyItems, ToyConfig(), &clock);
+  // Resolved synchronously (no clock advance): validation happens at Submit.
+  const Result<Response> r = batcher.Submit({{}, 0}).get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(MicroBatcherTest, LongHistoryScoresWindowButExcludesFullHistory) {
+  // Truncation policy (DESIGN.md §10): scoring sees the most recent max_len
+  // items, but exclude_seen applies to the FULL history — items the user
+  // touched before the window must still never be recommended back.
+  ToyRanker model;
+  FakeClock clock;
+  ServeConfig config = ToyConfig();
+  config.max_len = 4;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+
+  const std::vector<int32_t> history = {9, 10, 1, 2, 3, 4};  // window: {1,2,3,4}
+  auto future = batcher.Submit({history, 0});
+  clock.Advance(200);
+  const Result<Response> result = future.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // ToyRanker scores off the last item only, so the expected list is the
+  // full-history exclusion over last-item scores.
+  EXPECT_TRUE(ListsBitEqual(result.value().topk, ToyExpected(history, 5, true)));
+  for (const eval::ScoredItem& s : result.value().topk) {
+    EXPECT_NE(s.item, 9);   // outside the scoring window, still excluded
+    EXPECT_NE(s.item, 10);
+  }
+}
+
+TEST(MicroBatcherTest, StopSubmitRaceResolvesEveryFuture) {
+  // Regression test for the Stop()/Submit() race (run under TSan via the
+  // tsan-serve preset): submitters hammer the batcher while the main thread
+  // stops it. Every future must resolve — to a served response or
+  // UNAVAILABLE — and never hang or leak its promise.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  ToyRanker model;
+  ServeConfig config = ToyConfig();
+  config.num_workers = 2;
+  MicroBatcher batcher(model, kToyItems, config);  // real SystemClock
+
+  std::vector<std::vector<std::future<Result<Response>>>> futures(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        futures[static_cast<size_t>(t)].push_back(
+            batcher.Submit({{static_cast<int32_t>(i % kToyItems + 1)}, 0}));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  batcher.Stop();  // races with in-flight Submits by design
+  for (std::thread& th : submitters) th.join();
+
+  int resolved = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+          << "future hung across Stop()";
+      const Result<Response> r = f.get();
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), Status::Code::kUnavailable);
+      }
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, kThreads * kPerThread);
 }
 
 TEST(MicroBatcherTest, ServesRealModelUnderConcurrentLoad) {
@@ -252,7 +334,8 @@ TEST(MicroBatcherTest, ServesRealModelUnderConcurrentLoad) {
   const std::vector<int32_t>& history = ds.train_seqs[0];
   auto result = batcher.Submit({history, 0}).get();
   ASSERT_TRUE(result.ok());
-  const eval::TopKList& list = result.value();
+  EXPECT_FALSE(result.value().degraded);
+  const eval::TopKList& list = result.value().topk;
   ASSERT_EQ(list.size(), 10u);
   for (size_t i = 1; i < list.size(); ++i) {
     EXPECT_TRUE(eval::BetterScored(list[i - 1], list[i]));
@@ -396,6 +479,47 @@ TEST(LoadgenTest, ExactPercentilesAreOrderStatistics) {
   EXPECT_DOUBLE_EQ(ExactPercentileUs(lat, 100.0), 100.0);
   EXPECT_DOUBLE_EQ(ExactPercentileUs({}, 50.0), 0.0);
   EXPECT_DOUBLE_EQ(ExactPercentileUs({42}, 99.0), 42.0);
+}
+
+TEST(LoadgenTest, PercentileEdgeCases) {
+  // n = 1: every percentile is the single sample.
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({7}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({7}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({7}, 100.0), 7.0);
+  // n = 2, nearest rank: ceil(0.50 * 2) = 1 -> first order statistic;
+  // ceil(0.95 * 2) = ceil(0.99 * 2) = 2 -> second.
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({20, 10}, 50.0), 10.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({20, 10}, 95.0), 20.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs({20, 10}, 99.0), 20.0);
+  // All-equal sample: flat across every percentile.
+  const std::vector<int64_t> flat(9, 5);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(flat, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(flat, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(flat, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExactPercentileUs(flat, 100.0), 5.0);
+}
+
+// ---- BoundedTopK boundary behavior -----------------------------------------
+
+TEST(BoundedTopKTest, KAtLeastCandidateCountReturnsAllSorted) {
+  // k greater than the number of pushed candidates: everything comes back,
+  // in the repo total order (score desc, id asc on ties).
+  eval::BoundedTopK big(10);
+  big.Push(3, 1.0f);
+  big.Push(1, 2.0f);
+  big.Push(2, 2.0f);  // score tie with item 1: lower id ranks first
+  const eval::TopKList all = big.Take();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].item, 1);
+  EXPECT_EQ(all[1].item, 2);
+  EXPECT_EQ(all[2].item, 3);
+
+  // k exactly equal to the candidate count is bit-identical to k > count.
+  eval::BoundedTopK exact(3);
+  exact.Push(3, 1.0f);
+  exact.Push(1, 2.0f);
+  exact.Push(2, 2.0f);
+  EXPECT_TRUE(ListsBitEqual(exact.Take(), all));
 }
 
 }  // namespace

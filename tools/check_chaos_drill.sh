@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Chaos drill for the serving resilience layer (DESIGN.md §10).
+#
+# Runs bench_serving in chaos mode — a seeded fraction of scoring batches
+# throw or return NaN-poisoned scores — with the circuit breaker and the
+# popularity fallback active, then asserts on the JSON report:
+#
+#   1. min_availability >= MIN_AVAILABILITY (default 0.99): nearly every
+#      request is answered with a usable top-k list, model-scored or degraded;
+#   2. total_garbage == 0: no response ever carries a non-finite score or an
+#      over-long list — failed batches degrade, they never leak garbage.
+#
+# Usage: tools/check_chaos_drill.sh [build_dir] [min_availability] [fault_rate]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MIN_AVAILABILITY="${2:-0.99}"
+FAULT_RATE="${3:-0.10}"
+BENCH="$BUILD/bench/bench_serving"
+JSON="$BUILD/chaos_drill.json"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "== building bench_serving in $BUILD"
+  cmake --build "$BUILD" --target bench_serving -j "$(nproc)" >/dev/null
+fi
+
+echo "== chaos drill: fault_rate=$FAULT_RATE, fallback on"
+"$BENCH" --quick --chaos --fault_rate="$FAULT_RATE" --json="$JSON"
+
+availability=$(sed -n 's/.*"min_availability": *\([0-9.eE+-]*\).*/\1/p' "$JSON" | head -1)
+garbage=$(sed -n 's/.*"total_garbage": *\([0-9-]*\).*/\1/p' "$JSON" | head -1)
+
+if [[ -z "$availability" || -z "$garbage" ]]; then
+  echo "FAIL: could not parse min_availability/total_garbage from $JSON" >&2
+  exit 1
+fi
+
+echo "== min_availability=$availability (require >= $MIN_AVAILABILITY), total_garbage=$garbage (require 0)"
+
+ok=$(awk -v a="$availability" -v m="$MIN_AVAILABILITY" -v g="$garbage" \
+  'BEGIN { print (a >= m && g == 0) ? "yes" : "no" }')
+if [[ "$ok" != "yes" ]]; then
+  echo "FAIL: chaos drill violated availability/garbage bounds" >&2
+  exit 1
+fi
+echo "PASS: serving stayed available with zero garbage under injected faults"

@@ -23,6 +23,18 @@
 // it the storm runs over freshly initialized weights, which is fine for
 // latency measurement.
 //
+// Serving resilience (DESIGN.md §10):
+//   --queue_capacity=N     admission-control bound on pending requests
+//                          (excess submissions shed with RESOURCE_EXHAUSTED;
+//                          0 = unbounded)
+//   --score_timeout_us=N   scoring calls longer than this count as batch
+//                          failures (0 = disabled)
+//   --chaos                inject scoring faults (throw + NaN scores) into
+//                          --fault_rate (default 0.1) of batches; the circuit
+//                          breaker + popularity fallback keep availability up
+//   --no_fallback          disable the degraded-mode fallback ranker (failed
+//                          batches then surface as typed errors)
+//
 // Architecture flags (--dim, --layers, --heads, --max_len) must match
 // between train and evaluate/recommend; the checkpoint loader verifies
 // shapes and refuses mismatches.
@@ -408,20 +420,46 @@ int CmdServeBench(const Args& args) {
   config.max_batch = args.GetI("max_batch", 32);
   config.max_wait_us = args.GetI("max_wait_us", 1000);
   config.num_workers = static_cast<int>(args.GetI("workers", 2));
+  config.queue_capacity = args.GetI("queue_capacity", 0);
+  config.score_timeout_us = args.GetI("score_timeout_us", 0);
   serve::LoadgenConfig load;
   load.requests = args.GetI("requests", 1000);
   load.clients = static_cast<int>(args.GetI("clients", 8));
   load.deadline_us = args.GetI("deadline_us", 0);
   load.k = config.k;
 
+  const bool chaos = args.GetI("chaos", 0) != 0;
+  const bool no_fallback = args.GetI("no_fallback", 0) != 0;
+  std::unique_ptr<runtime::ServeFaultInjector> injector;
+  if (chaos) {
+    runtime::ServeFaultPlan plan;
+    plan.fault_rate = args.GetD("fault_rate", 0.10);
+    plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
+                  runtime::ServeFaultKind::kNaNScores};
+    plan.seed = static_cast<uint64_t>(args.GetI("seed", 42));
+    injector = std::make_unique<runtime::ServeFaultInjector>(std::move(plan));
+    config.fault_injector = injector.get();
+    config.breaker.degraded_after = 1;
+    config.breaker.open_after = 2;
+    config.breaker.open_backoff_us = 2000;
+    config.breaker.max_backoff_us = 100000;
+  }
+  serve::FallbackRanker fallback;
+  if (!no_fallback) {
+    fallback = serve::FallbackRanker::FromSequences(ds.train_seqs, ds.num_items);
+    config.fallback = &fallback;
+  }
+
   // Serving histories: each user's full training sequence.
   std::printf("serving %s: %lld requests, %d clients, max_batch=%lld, "
-              "max_wait=%lldus...\n",
+              "max_wait=%lldus%s...\n",
               model->name().c_str(), static_cast<long long>(load.requests),
               load.clients, static_cast<long long>(config.max_batch),
-              static_cast<long long>(config.max_wait_us));
+              static_cast<long long>(config.max_wait_us), chaos ? ", CHAOS" : "");
   serve::MicroBatcher batcher(*model, ds.num_items, config);
   const serve::LoadgenReport report = serve::RunLoad(batcher, ds.train_seqs, load);
+  std::printf("breaker state at end of storm: %s\n",
+              serve::BreakerStateName(batcher.breaker().state()));
   batcher.Stop();
 
   std::printf("served %lld requests in %.3fs: %.1f qps\n",
@@ -429,17 +467,23 @@ int CmdServeBench(const Args& args) {
   std::printf("latency: p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus max=%.0fus\n",
               report.p50_us, report.p95_us, report.p99_us, report.mean_us,
               report.max_us);
-  std::printf("outcomes: ok=%lld deadline_expired=%lld errors=%lld\n",
+  std::printf("outcomes: ok=%lld degraded=%lld shed=%lld deadline_expired=%lld "
+              "errors=%lld garbage=%lld availability=%.4f\n",
               static_cast<long long>(report.ok),
+              static_cast<long long>(report.degraded),
+              static_cast<long long>(report.shed),
               static_cast<long long>(report.deadline_expired),
-              static_cast<long long>(report.errors));
+              static_cast<long long>(report.errors),
+              static_cast<long long>(report.garbage), report.availability);
   const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
   for (const auto& [name, value] : snap.counters) {
     if (name.rfind("serve.", 0) == 0) {
       std::printf("  %-28s %lld\n", name.c_str(), static_cast<long long>(value));
     }
   }
-  return report.errors == 0 ? 0 : 1;
+  if (report.garbage != 0) return 1;
+  const bool errors_expected = chaos && no_fallback;
+  return (errors_expected || report.errors == 0) ? 0 : 1;
 }
 
 int Usage() {

@@ -12,8 +12,14 @@
 // popularity fallback active, and additionally reports availability, shed
 // rate, degraded-serve rate, and garbage count. --no_fallback drops the
 // fallback ranker (failed batches then surface as typed errors);
-// --queue_capacity bounds the admission queue. tools/check_chaos_drill.sh
-// asserts availability >= 99% and zero garbage on the JSON output.
+// --queue_capacity bounds the admission queue.
+//
+// Fleet mode (--fleet=N) routes each storm across N consistent-hash replicas
+// (DESIGN.md §11); --kill_replica=R --kill_at_us=T kills replica R T
+// microseconds into every storm and --restart_at_us=T brings it back, with
+// the exit code judging min availability >= 99% and zero garbage. The CLI
+// equivalent (`msgcl serve-bench --replicas=...`) backs
+// tools/check_chaos_drill.sh / check_swap_drill.sh.
 //
 // This is a systems benchmark: it measures the serving subsystem only and
 // says nothing about recommendation quality (models are served with freshly
@@ -38,20 +44,57 @@ struct ServingRow {
   serve::LoadgenReport report;
 };
 
+// Fleet mode (--fleet=N): route the storm across N replicas, optionally
+// killing one mid-run (--kill_at_us) and restarting it (--restart_at_us).
+struct FleetSpec {
+  int replicas = 1;
+  int victim = 0;
+  int64_t kill_at_us = 0;
+  int64_t restart_at_us = 0;
+  const serve::FallbackRanker* fallback = nullptr;
+};
+
 ServingRow RunStorm(const std::string& model_name, const bench::DatasetSpec& ds,
                     const bench::HyperParams& hp, const serve::ServeConfig& config,
-                    const serve::LoadgenConfig& load, uint64_t seed) {
-  auto model = bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed);
+                    const serve::LoadgenConfig& load, uint64_t seed,
+                    const FleetSpec& fleet_spec) {
   // Each storm gets a rewound injector so fault sequences are comparable
   // across models and batch sizes.
   if (config.fault_injector != nullptr) config.fault_injector->Reset();
-  serve::MicroBatcher batcher(*model, ds.split.num_items, config);
   ServingRow row;
   row.model = model_name;
   row.dataset = ds.name;
   row.max_batch = config.max_batch;
-  row.report = serve::RunLoad(batcher, ds.split.train_seqs, load);
-  batcher.Stop();
+  if (fleet_spec.replicas > 1) {
+    std::vector<std::unique_ptr<models::Recommender>> owned;
+    std::vector<eval::Ranker*> rankers;
+    for (int r = 0; r < fleet_spec.replicas; ++r) {
+      owned.push_back(bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed));
+      rankers.push_back(owned.back().get());
+    }
+    serve::FleetConfig fleet;
+    fleet.replicas = fleet_spec.replicas;
+    fleet.serve = config;
+    fleet.fallback = fleet_spec.fallback;
+    serve::Router router(std::move(rankers), ds.split.num_items, fleet);
+    std::vector<serve::FleetChaosEvent> events;
+    if (fleet_spec.kill_at_us > 0) {
+      events.push_back({fleet_spec.kill_at_us, fleet_spec.victim,
+                        serve::FleetChaosEvent::Action::kKill});
+    }
+    if (fleet_spec.restart_at_us > 0) {
+      events.push_back({fleet_spec.restart_at_us, fleet_spec.victim,
+                        serve::FleetChaosEvent::Action::kRestart});
+    }
+    row.report = serve::RunFleetLoad(router, ds.split.train_seqs, load,
+                                     std::move(events));
+    router.Stop();
+  } else {
+    auto model = bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed);
+    serve::MicroBatcher batcher(*model, ds.split.num_items, config);
+    row.report = serve::RunLoad(batcher, ds.split.train_seqs, load);
+    batcher.Stop();
+  }
   return row;
 }
 
@@ -97,6 +140,13 @@ int main(int argc, char** argv) {
   load.deadline_us = flags.GetInt("deadline_us", 0);
   load.k = config.k;
 
+  FleetSpec fleet_spec;
+  fleet_spec.replicas = static_cast<int>(flags.GetInt("fleet", 1));
+  fleet_spec.victim = static_cast<int>(flags.GetInt("kill_replica", 0));
+  fleet_spec.kill_at_us = flags.GetInt("kill_at_us", 0);
+  fleet_spec.restart_at_us = flags.GetInt("restart_at_us", 0);
+  const bool fleet_mode = fleet_spec.replicas > 1;
+
   const double fault_rate = flags.GetDouble("fault_rate", 0.10);
   std::unique_ptr<runtime::ServeFaultInjector> injector;
   if (chaos) {
@@ -117,9 +167,9 @@ int main(int argc, char** argv) {
 
   bench::HyperParams hp;
   std::printf("== Serving benchmark: %lld requests, %d clients, %d workers, "
-              "max_wait=%lldus%s ==\n",
+              "max_wait=%lldus, fleet=%d%s ==\n",
               static_cast<long long>(load.requests), load.clients, config.num_workers,
-              static_cast<long long>(config.max_wait_us),
+              static_cast<long long>(config.max_wait_us), fleet_spec.replicas,
               chaos ? ", CHAOS" : "");
 
   // One dataset (Toys-like) is enough for a latency benchmark; batching
@@ -131,10 +181,11 @@ int main(int argc, char** argv) {
               ds.split.num_users(), ds.split.num_items);
 
   serve::FallbackRanker fallback;
-  if (chaos && !no_fallback) {
+  if ((chaos || fleet_mode) && !no_fallback) {
     fallback = serve::FallbackRanker::FromSequences(ds.split.train_seqs,
                                                     ds.split.num_items);
     config.fallback = &fallback;
+    fleet_spec.fallback = &fallback;
   }
 
   std::vector<ServingRow> rows;
@@ -145,8 +196,8 @@ int main(int argc, char** argv) {
     for (const int64_t max_batch : batch_sizes) {
       serve::ServeConfig c = config;
       c.max_batch = max_batch;
-      rows.push_back(RunStorm(model_name, ds, hp, c, load, seed));
-      PrintRow(rows.back(), chaos);
+      rows.push_back(RunStorm(model_name, ds, hp, c, load, seed, fleet_spec));
+      PrintRow(rows.back(), chaos || fleet_mode);
     }
   }
 
@@ -190,6 +241,12 @@ int main(int argc, char** argv) {
       w.Bool(chaos && !no_fallback);
       w.Key("queue_capacity");
       w.Int(config.queue_capacity);
+      w.Key("fleet");
+      w.Int(fleet_spec.replicas);
+      w.Key("kill_at_us");
+      w.Int(fleet_spec.kill_at_us);
+      w.Key("restart_at_us");
+      w.Int(fleet_spec.restart_at_us);
       w.EndObject();
       w.Key("min_availability");
       w.Double(min_availability);
@@ -242,9 +299,14 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s\n", json_path.c_str());
   }
 
-  // Garbage is never acceptable; errors are expected only in a chaos run
-  // that deliberately dropped the fallback.
+  // Garbage is never acceptable. Errors are expected in a chaos run that
+  // deliberately dropped the fallback, and in a shard-kill drill (a killed
+  // replica honestly fails its queued requests) — the kill drill is judged on
+  // availability instead.
   if (total_garbage != 0) return 1;
+  if (fleet_mode && fleet_spec.kill_at_us > 0) {
+    return min_availability >= 0.99 ? 0 : 1;
+  }
   const bool errors_expected = chaos && no_fallback;
   if (!errors_expected) {
     for (const ServingRow& r : rows) {

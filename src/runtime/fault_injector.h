@@ -205,6 +205,15 @@ struct ServeFaultPlan {
   std::vector<ServeFaultKind> kinds = {ServeFaultKind::kScoreThrow};
   int64_t slow_score_us = 50000;  // wall-clock stall for kSlowScore
   double nan_fraction = 0.25;     // fraction of top-k slots poisoned (min 1)
+  /// Mid-swap crash plan, keyed by swap-attempt index (0-based): a firing
+  /// attempt makes SwappableRanker fail after the standby weights were
+  /// written but before validation, as if the process loading the snapshot
+  /// died (serve/model_swap.h). `swap_crash_attempts` pins crashes to exact
+  /// attempts; when it is empty each attempt crashes independently with
+  /// probability `swap_crash_rate`. Drawn from a separate RNG stream so the
+  /// batch-fault sequence above is unchanged by swap activity.
+  std::set<int64_t> swap_crash_attempts;
+  double swap_crash_rate = 0.0;
   uint64_t seed = 0x5EF7;
 };
 
@@ -215,14 +224,18 @@ struct ServeFaultPlan {
 class ServeFaultInjector {
  public:
   explicit ServeFaultInjector(ServeFaultPlan plan)
-      : plan_(std::move(plan)), rng_(plan_.seed) {}
+      : plan_(std::move(plan)),
+        rng_(plan_.seed),
+        swap_rng_(plan_.seed ^ kSwapStreamSalt) {}
 
   const ServeFaultPlan& plan() const { return plan_; }
 
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     rng_ = Rng(plan_.seed);
+    swap_rng_ = Rng(plan_.seed ^ kSwapStreamSalt);
     batch_index_ = 0;
+    swap_index_ = 0;
     injected_faults_ = 0;
   }
 
@@ -244,6 +257,23 @@ class ServeFaultInjector {
         plan_.kinds[rng_.UniformInt(plan_.kinds.size())];
     if (kind != ServeFaultKind::kNone) CountFault();
     return kind;
+  }
+
+  /// Draws whether the next hot-swap attempt crashes mid-swap. Call exactly
+  /// once per SwappableRanker swap attempt; deterministic per attempt index.
+  bool NextSwapCrash() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t n = swap_index_++;
+    bool fire;
+    if (!plan_.swap_crash_attempts.empty()) {
+      fire = plan_.swap_crash_attempts.count(n) > 0;
+    } else {
+      // Always consume one draw: the crash sequence is a pure function of
+      // the attempt index, independent of the rate.
+      fire = swap_rng_.Uniform() < plan_.swap_crash_rate;
+    }
+    if (fire) CountFault();
+    return fire;
   }
 
   /// Stalls the scoring call. Defaults to a wall-clock sleep of
@@ -298,10 +328,16 @@ class ServeFaultInjector {
     obs::Registry::Global().GetCounter("runtime.faults.injected").Add(1);
   }
 
+  // Decorrelates the swap-crash stream from the batch-fault stream so the
+  // same seed reproduces both independently.
+  static constexpr uint64_t kSwapStreamSalt = 0x51AB'C0DE;
+
   ServeFaultPlan plan_;
   mutable std::mutex mu_;
   Rng rng_;
+  Rng swap_rng_;
   int64_t batch_index_ = 0;
+  int64_t swap_index_ = 0;
   int64_t injected_faults_ = 0;
   std::function<void()> slow_fn_;
 };

@@ -1,0 +1,330 @@
+// Replicated serving fleet with health-checked consistent-hash routing
+// (DESIGN.md §11).
+//
+// A Router owns N MicroBatcher replicas and spreads users across them with
+// a consistent-hash ring (virtual nodes): the same user id always lands on
+// the same live replica, which preserves any per-replica state keyed by
+// user (a future session cache) and keeps remapping bounded — when a
+// replica dies, ONLY the users it owned move (to their ring successors);
+// everyone else keeps their replica, and a restart restores the original
+// mapping exactly.
+//
+// Health-checked routing: a replica is routable while it is alive (not
+// killed) AND its scoring circuit breaker is not Open. Routing around an
+// Open breaker keeps traffic on replicas that can still model-score instead
+// of pinning a user to one that would only serve degraded fallback results.
+//
+// Failure handling, in order:
+//   1. the ring walk skips dead/Open replicas, so most failovers are free;
+//   2. a Submit that resolves synchronously UNAVAILABLE (the replica was
+//      killed between the health check and the enqueue) is retried on the
+//      next healthy replica — counted in serve.fleet.failovers;
+//   3. with no healthy replica left, the fleet-level popularity fallback
+//      answers (degraded) when configured, else the request fails
+//      UNAVAILABLE.
+// Requests already queued inside a replica when it is killed fail
+// UNAVAILABLE to their callers — a kill models a crash, and the fleet's
+// availability bound (chaos drill: >= 99%) budgets for that small in-flight
+// window rather than pretending queued work survives a dead process.
+//
+// Observability: serve.fleet.requests / failovers / degraded / no_healthy /
+// kills / restarts counters and the serve.fleet.alive_replicas gauge.
+#ifndef MSGCL_SERVE_FLEET_H_
+#define MSGCL_SERVE_FLEET_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "eval/topk.h"
+#include "obs/registry.h"
+#include "serve/breaker.h"
+#include "serve/clock.h"
+#include "serve/fallback.h"
+#include "serve/micro_batcher.h"
+#include "tensor/macros.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace serve {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit hash for ring points and
+/// user ids (sequential ids would otherwise clump on the ring).
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Fleet configuration. Every replica runs the same ServeConfig (including
+/// any shared fault injector — it is thread-safe by contract).
+struct FleetConfig {
+  int replicas = 2;
+  /// Ring points per replica; more points = smoother load spread and finer
+  /// remapping granularity when a replica dies.
+  int virtual_nodes = 64;
+  ServeConfig serve;
+  /// Fleet-level last resort served (degraded) when NO replica is healthy;
+  /// non-owning, must outlive the Router. nullptr = UNAVAILABLE instead.
+  const FallbackRanker* fallback = nullptr;
+
+  Status Validate() const {
+    if (replicas < 1) return Status::InvalidArgument("replicas must be >= 1");
+    if (virtual_nodes < 1) {
+      return Status::InvalidArgument("virtual_nodes must be >= 1");
+    }
+    return serve.Validate();
+  }
+};
+
+/// Consistent-hash router over N MicroBatcher replicas.
+class Router {
+ public:
+  /// One Ranker per replica (non-owning, must outlive the Router). Distinct
+  /// model instances are typical — scoring is serialized process-wide by
+  /// ScoreSerializer(), but replicas restart independently, and hot swap
+  /// rolls out per replica.
+  Router(std::vector<eval::Ranker*> models, int32_t num_items,
+         const FleetConfig& config, Clock* clock = nullptr)
+      : models_(std::move(models)),
+        num_items_(num_items),
+        config_(config),
+        clock_(clock) {
+    MSGCL_CHECK_MSG(config_.Validate().ok(), config_.Validate().ToString());
+    MSGCL_CHECK_EQ(static_cast<int>(models_.size()), config_.replicas);
+    replicas_.reserve(models_.size());
+    for (eval::Ranker* model : models_) {
+      MSGCL_CHECK(model != nullptr);
+      replicas_.push_back(ReplicaSlot{
+          std::make_shared<MicroBatcher>(*model, num_items_, config_.serve, clock_),
+          /*alive=*/true});
+    }
+    // Ring points are a pure function of (replica, virtual node): replica
+    // death does not rebuild the ring, it only changes which walk stops
+    // where — that is what bounds remapping churn.
+    ring_.reserve(static_cast<size_t>(config_.replicas) *
+                  static_cast<size_t>(config_.virtual_nodes));
+    for (int r = 0; r < config_.replicas; ++r) {
+      for (int v = 0; v < config_.virtual_nodes; ++v) {
+        const uint64_t point = HashMix(
+            (static_cast<uint64_t>(r) << 32) | static_cast<uint64_t>(v) | 1ULL << 63);
+        ring_.push_back({point, r});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+    Gauge("serve.fleet.alive_replicas").Set(static_cast<double>(config_.replicas));
+  }
+
+  ~Router() { Stop(); }
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes one request for `user_id` to its replica, failing over to the
+  /// next healthy replica (then the fleet fallback) as described above. The
+  /// future's contract matches MicroBatcher::Submit.
+  std::future<Result<Response>> Submit(uint64_t user_id, RecommendRequest req) {
+    Counter("serve.fleet.requests").Add(1);
+    std::vector<int> tried;
+    tried.reserve(static_cast<size_t>(config_.replicas));
+    while (static_cast<int>(tried.size()) < config_.replicas) {
+      std::shared_ptr<MicroBatcher> target;
+      int r = -1;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        if (stopped_) break;
+        r = PickLocked(user_id, tried);
+        if (r < 0) break;
+        target = replicas_[static_cast<size_t>(r)].batcher;
+      }
+      if (!tried.empty()) Counter("serve.fleet.failovers").Add(1);
+      RecommendRequest attempt = req;  // keep `req` intact for retries
+      std::future<Result<Response>> future = target->Submit(std::move(attempt));
+      // Only a synchronous UNAVAILABLE (stopped replica) fails over: shed,
+      // invalid-argument, and every asynchronous outcome belong to the
+      // caller — retrying them would double-serve or mask admission control.
+      if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        Result<Response> result = future.get();
+        if (!result.ok() && result.status().code() == Status::Code::kUnavailable) {
+          tried.push_back(r);
+          continue;
+        }
+        std::promise<Result<Response>> ready;
+        ready.set_value(std::move(result));
+        return ready.get_future();
+      }
+      return future;
+    }
+    return ServeFleetFallback(req);
+  }
+
+  /// The replica `user_id` routes to right now, or -1 when none is healthy.
+  /// Stable for a fixed set of live replicas.
+  int PickReplica(uint64_t user_id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return PickLocked(user_id, {});
+  }
+
+  /// Simulates a replica crash: marks it unroutable, then stops its batcher
+  /// (queued requests fail UNAVAILABLE, as in a real process death).
+  /// Idempotent; safe concurrently with traffic.
+  void KillReplica(int r) {
+    MSGCL_CHECK(r >= 0 && r < config_.replicas);
+    std::shared_ptr<MicroBatcher> victim;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      ReplicaSlot& slot = replicas_[static_cast<size_t>(r)];
+      if (!slot.alive) return;
+      slot.alive = false;
+      victim = slot.batcher;
+      Counter("serve.fleet.kills").Add(1);
+      Gauge("serve.fleet.alive_replicas").Set(static_cast<double>(AliveLocked()));
+    }
+    victim->Stop();  // outside the lock: Stop blocks until drained
+  }
+
+  /// Brings a killed replica back with a fresh MicroBatcher over the same
+  /// model; its users remap back to it (the ring never changed).
+  void RestartReplica(int r) {
+    MSGCL_CHECK(r >= 0 && r < config_.replicas);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ReplicaSlot& slot = replicas_[static_cast<size_t>(r)];
+    if (stopped_ || slot.alive) return;
+    slot.batcher = std::make_shared<MicroBatcher>(
+        *models_[static_cast<size_t>(r)], num_items_, config_.serve, clock_);
+    slot.alive = true;
+    Counter("serve.fleet.restarts").Add(1);
+    Gauge("serve.fleet.alive_replicas").Set(static_cast<double>(AliveLocked()));
+  }
+
+  /// Stops every replica. Safe to call repeatedly; called by the destructor.
+  void Stop() {
+    std::vector<std::shared_ptr<MicroBatcher>> batchers;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (stopped_) return;  // MicroBatcher::Stop itself blocks until drained
+      stopped_ = true;
+      for (ReplicaSlot& slot : replicas_) batchers.push_back(slot.batcher);
+    }
+    for (auto& b : batchers) b->Stop();
+  }
+
+  int replicas() const { return config_.replicas; }
+
+  bool alive(int r) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return replicas_[static_cast<size_t>(r)].alive;
+  }
+
+  /// Replicas that are alive with a non-Open breaker (routable right now).
+  int healthy_replicas() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    int n = 0;
+    for (int r = 0; r < config_.replicas; ++r) {
+      if (HealthyLocked(r)) ++n;
+    }
+    return n;
+  }
+
+  /// The replica's current batcher (test/diagnostics; the pointer outlives
+  /// kills and restarts, the slot's batcher may be replaced).
+  std::shared_ptr<MicroBatcher> replica(int r) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return replicas_[static_cast<size_t>(r)].batcher;
+  }
+
+ private:
+  struct ReplicaSlot {
+    std::shared_ptr<MicroBatcher> batcher;
+    bool alive = true;
+  };
+
+  static obs::Counter& Counter(const std::string& name) {
+    return obs::Registry::Global().GetCounter(name);
+  }
+  static obs::Gauge& Gauge(const std::string& name) {
+    return obs::Registry::Global().GetGauge(name);
+  }
+
+  bool HealthyLocked(int r) const {
+    const ReplicaSlot& slot = replicas_[static_cast<size_t>(r)];
+    return slot.alive && slot.batcher->breaker().state() != BreakerState::kOpen;
+  }
+
+  int AliveLocked() const {
+    int n = 0;
+    for (const ReplicaSlot& slot : replicas_) n += slot.alive ? 1 : 0;
+    return n;
+  }
+
+  /// Ring walk: first healthy replica at or after the user's hash point,
+  /// skipping replicas in `tried`. Requires mu_ held (shared is enough).
+  int PickLocked(uint64_t user_id, const std::vector<int>& tried) const {
+    const uint64_t h = HashMix(user_id);
+    auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                               std::make_pair(h, config_.replicas));
+    size_t i = static_cast<size_t>(it - ring_.begin()) % ring_.size();
+    for (size_t step = 0; step < ring_.size(); ++step, i = (i + 1) % ring_.size()) {
+      const int r = ring_[i].second;
+      if (std::find(tried.begin(), tried.end(), r) != tried.end()) continue;
+      if (HealthyLocked(r)) return r;
+    }
+    return -1;
+  }
+
+  /// No healthy replica (or router stopped): answer from the fleet-level
+  /// popularity fallback when possible, else UNAVAILABLE.
+  std::future<Result<Response>> ServeFleetFallback(const RecommendRequest& req) {
+    std::promise<Result<Response>> promise;
+    bool stopped;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      stopped = stopped_;
+    }
+    if (!stopped && config_.fallback != nullptr && config_.fallback->ready() &&
+        !req.history.empty()) {
+      Counter("serve.fleet.no_healthy").Add(1);
+      Counter("serve.fleet.degraded").Add(1);
+      eval::ExcludeSet exclude;
+      if (config_.serve.exclude_seen) {
+        exclude.InsertRange(req.history);
+        exclude.Seal();
+      }
+      Response resp;
+      resp.topk = config_.fallback->TopK(config_.serve.k, exclude);
+      resp.degraded = true;
+      promise.set_value(std::move(resp));
+    } else if (stopped) {
+      promise.set_value(Status::Unavailable("fleet router is stopped"));
+    } else {
+      Counter("serve.fleet.no_healthy").Add(1);
+      promise.set_value(Status::Unavailable(
+          "no healthy replica and no fleet fallback configured"));
+    }
+    return promise.get_future();
+  }
+
+  const std::vector<eval::Ranker*> models_;
+  const int32_t num_items_;
+  const FleetConfig config_;
+  Clock* const clock_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<ReplicaSlot> replicas_;
+  std::vector<std::pair<uint64_t, int>> ring_;  // (hash point, replica), sorted
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_FLEET_H_

@@ -18,12 +18,15 @@
 #define MSGCL_SERVE_LOADGEN_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <future>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "serve/fleet.h"
 #include "serve/micro_batcher.h"
 #include "tensor/macros.h"
 
@@ -86,11 +89,16 @@ inline bool ResponseIsUsable(const Response& response, int64_t k) {
   return true;
 }
 
-/// Drives `config.requests` requests through the batcher, round-robin over
-/// `histories`, and returns throughput + latency statistics.
-inline LoadgenReport RunLoad(MicroBatcher& batcher,
-                             const std::vector<std::vector<int32_t>>& histories,
-                             const LoadgenConfig& config) {
+/// Drives `config.requests` requests through `submit`, round-robin over
+/// `histories`, and returns throughput + latency statistics. `submit` is
+/// called as `submit(user_index, RecommendRequest)` — user_index is the
+/// history row, which doubles as the fleet routing key so a given synthetic
+/// user's requests stay on one replica — and must return
+/// `std::future<Result<Response>>` with the MicroBatcher::Submit contract.
+template <typename SubmitFn>
+LoadgenReport RunLoadWith(SubmitFn&& submit,
+                          const std::vector<std::vector<int32_t>>& histories,
+                          const LoadgenConfig& config) {
   MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
   MSGCL_CHECK(!histories.empty());
   Clock& clock = SystemClock::Instance();
@@ -119,7 +127,7 @@ inline LoadgenReport RunLoad(MicroBatcher& batcher,
         req.history = histories[h];
         const int64_t submit_us = clock.NowUs();
         if (config.deadline_us > 0) req.deadline_us = submit_us + config.deadline_us;
-        auto future = batcher.Submit(std::move(req));
+        auto future = submit(h, std::move(req));
         const Result<Response> result = future.get();
         if (result.ok()) {
           if (!ResponseIsUsable(result.value(), config.k)) ++s.garbage;
@@ -185,6 +193,63 @@ inline LoadgenReport RunLoad(MicroBatcher& batcher,
     report.p95_us = ExactPercentileUs(all, 95.0);
     report.p99_us = ExactPercentileUs(all, 99.0);
   }
+  return report;
+}
+
+/// Drives `config.requests` requests through a single batcher.
+inline LoadgenReport RunLoad(MicroBatcher& batcher,
+                             const std::vector<std::vector<int32_t>>& histories,
+                             const LoadgenConfig& config) {
+  return RunLoadWith(
+      [&batcher](size_t /*user*/, RecommendRequest req) {
+        return batcher.Submit(std::move(req));
+      },
+      histories, config);
+}
+
+/// One scheduled fleet-chaos action, fired `at_us` wall-clock microseconds
+/// after the load starts. Events firing after the load completes still run
+/// (the schedule thread is joined at the end) — the drill simply saw less of
+/// them, which only makes its availability bound easier, never flaky.
+struct FleetChaosEvent {
+  enum class Action { kKill, kRestart };
+  int64_t at_us = 0;
+  int replica = 0;
+  Action action = Action::kKill;
+};
+
+/// Drives `config.requests` requests through the fleet router (routing key =
+/// history row, i.e. the synthetic user id) while a schedule thread fires
+/// kill/restart events against it — the shard-kill chaos drill.
+inline LoadgenReport RunFleetLoad(Router& router,
+                                  const std::vector<std::vector<int32_t>>& histories,
+                                  const LoadgenConfig& config,
+                                  std::vector<FleetChaosEvent> events = {}) {
+  std::sort(events.begin(), events.end(),
+            [](const FleetChaosEvent& a, const FleetChaosEvent& b) {
+              return a.at_us < b.at_us;
+            });
+  Clock& clock = SystemClock::Instance();
+  const int64_t start_us = clock.NowUs();
+  std::thread chaos([&router, &events, &clock, start_us] {
+    for (const FleetChaosEvent& e : events) {
+      const int64_t wait_us = start_us + e.at_us - clock.NowUs();
+      if (wait_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+      }
+      if (e.action == FleetChaosEvent::Action::kKill) {
+        router.KillReplica(e.replica);
+      } else {
+        router.RestartReplica(e.replica);
+      }
+    }
+  });
+  LoadgenReport report = RunLoadWith(
+      [&router](size_t user, RecommendRequest req) {
+        return router.Submit(static_cast<uint64_t>(user), std::move(req));
+      },
+      histories, config);
+  chaos.join();
   return report;
 }
 

@@ -13,9 +13,10 @@
 //  * Requests whose deadline passed before scoring fail fast with
 //    DEADLINE_EXCEEDED; they are dropped from the batch instead of poisoning
 //    it (the surviving requests are still scored and answered).
-//  * Scoring is serialized across workers by an internal mutex: the tensor
-//    stack's parallel pool executes one region at a time and Module eval
-//    toggling is not concurrent-safe, so one batch runs the kernels (itself
+//  * Scoring is serialized by the process-wide ScoreSerializer() mutex
+//    (serve/score_lock.h): the tensor stack's parallel pool executes one
+//    region at a time and Module eval toggling is not concurrent-safe, so one
+//    batch — from any batcher in the process — runs the kernels (themselves
 //    parallelized via src/parallel) while other workers coalesce and answer.
 //
 // Resilience (DESIGN.md §10): every scoring call runs under a circuit
@@ -59,6 +60,7 @@
 #include "serve/breaker.h"
 #include "serve/clock.h"
 #include "serve/fallback.h"
+#include "serve/score_lock.h"
 #include "tensor/status.h"
 #include "tensor/tensor.h"
 
@@ -185,7 +187,7 @@ class MicroBatcher {
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (stopped_) {
+      if (stop_state_ != StopState::kRunning) {
         promise.set_value(Status::Unavailable("MicroBatcher is stopped"));
         Counter("serve.rejected").Add(1);
         return future;
@@ -213,15 +215,26 @@ class MicroBatcher {
   }
 
   /// Stops the workers and fails every still-queued request with
-  /// UNAVAILABLE. Idempotent; called by the destructor. A Submit racing with
-  /// Stop resolves deterministically: either it enqueued before the stop
-  /// flag was set (and is failed by the drain below) or it observes the flag
-  /// and is rejected synchronously — it never hangs or leaks its promise.
+  /// UNAVAILABLE. Idempotent and fully synchronized: any number of threads
+  /// may call Stop() concurrently (the fleet Router stops replicas it has
+  /// already failed out, and the destructor calls it again); exactly one
+  /// caller performs the shutdown, and every other caller blocks until the
+  /// workers are joined and the queue is drained, so no Stop() returns while
+  /// promises are still unresolved. A Submit racing with Stop resolves
+  /// deterministically: either it enqueued before the stop state flipped
+  /// (and is failed by the drain below) or it observes the state and is
+  /// rejected synchronously — it never hangs or leaks its promise.
   void Stop() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopped_) return;
-      stopped_ = true;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_state_ == StopState::kStopped) return;
+      if (stop_state_ == StopState::kStopping) {
+        // Another thread is shutting down; wait for it to finish so Stop()
+        // means "stopped and drained" for every caller.
+        cv_.wait(lock, [&] { return stop_state_ == StopState::kStopped; });
+        return;
+      }
+      stop_state_ = StopState::kStopping;
     }
     cv_.notify_all();
     for (std::thread& w : workers_) w.join();
@@ -235,6 +248,11 @@ class MicroBatcher {
     for (Pending& p : drained) {
       p.promise.set_value(Status::Unavailable("MicroBatcher stopped before scoring"));
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_state_ = StopState::kStopped;
+    }
+    cv_.notify_all();
   }
 
   /// Pending (not yet coalesced) requests.
@@ -282,15 +300,16 @@ class MicroBatcher {
   void WorkerLoop() {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      clock_->Wait(cv_, lock, [&] { return stopped_ || !queue_.empty(); });
-      if (stopped_) return;  // Stop() drains and fails the remainder
+      clock_->Wait(cv_, lock, [&] { return StopRequested() || !queue_.empty(); });
+      if (StopRequested()) return;  // Stop() drains and fails the remainder
       // A batch exists; give it until max_wait_us past its oldest arrival
       // to fill up to max_batch.
       const int64_t flush_at_us = queue_.front().arrival_us + config_.max_wait_us;
       clock_->WaitUntil(cv_, lock, flush_at_us, [&] {
-        return stopped_ || static_cast<int64_t>(queue_.size()) >= config_.max_batch;
+        return StopRequested() ||
+               static_cast<int64_t>(queue_.size()) >= config_.max_batch;
       });
-      if (stopped_) return;
+      if (StopRequested()) return;
       if (queue_.empty()) continue;  // another worker took the batch
       std::vector<Pending> batch;
       while (!queue_.empty() &&
@@ -354,8 +373,9 @@ class MicroBatcher {
     std::string failure;  // non-empty => the whole batch failed its guards
     {
       MSGCL_OBS_SCOPE("serve.score_batch");
-      // One scoring region at a time (see the concurrency model above).
-      std::lock_guard<std::mutex> score_lock(score_mu_);
+      // One scoring region at a time, process-wide (see score_lock.h): fleet
+      // replicas and swap validation share the same parallel pool.
+      std::lock_guard<std::mutex> score_lock(ScoreSerializer());
       NoGradGuard guard;
       runtime::ServeFaultInjector* injector = config_.fault_injector;
       const runtime::ServeFaultKind fault =
@@ -463,13 +483,19 @@ class MicroBatcher {
   Clock* const clock_;
   CircuitBreaker breaker_;
 
+  /// Shutdown progression: kRunning -> kStopping (one thread joins workers
+  /// and drains the queue) -> kStopped (safe to return from any Stop()).
+  enum class StopState { kRunning, kStopping, kStopped };
+
+  /// True once any Stop() has begun. Requires mu_ held.
+  bool StopRequested() const { return stop_state_ != StopState::kRunning; }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::mutex score_mu_;
   std::deque<Pending> queue_;
   BatchObserver observer_;
   int64_t next_id_ = 0;
-  bool stopped_ = false;
+  StopState stop_state_ = StopState::kRunning;
   std::vector<std::thread> workers_;
 };
 

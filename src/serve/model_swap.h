@@ -1,0 +1,340 @@
+// Validated hot model swap for the serving layer (DESIGN.md §11).
+//
+// SwappableRanker holds two model slots — active and standby — behind the
+// eval::Ranker interface, so a MicroBatcher (or fleet replica) scores
+// through it without knowing which snapshot is live. A rollout loads new
+// weights into the STANDBY slot while traffic keeps flowing through the
+// active one, then runs a validation gate, and only on success atomically
+// flips the active index. Requests in flight during the flip score against
+// whichever snapshot they entered with; no request is ever dropped, torn
+// between snapshots, or answered from unvalidated weights.
+//
+// Validation gate (all stages must pass, in order):
+//   1. shape/name match — enforced structurally: both slots are checked for
+//      identical parameter names and shapes at construction, and checkpoint
+//      loads go through nn::LoadCheckpoint's staged name/shape-verified
+//      path, so a truncated or architecture-mismatched file is rejected
+//      before a single byte reaches the standby weights;
+//   2. finite weights — every standby parameter element must be finite,
+//      catching bit-flipped or NaN-poisoned checkpoints that parse cleanly;
+//   3. golden smoke score — the standby model ranks a tiny pinned batch and
+//      must return structurally healthy lists (one per row, <= k items, all
+//      scores finite) with HR@k / NDCG@k at or above configured floors, so
+//      a quality-regressed snapshot cannot ship (the BERT4Rec replicability
+//      lesson: gate every rollout on a metrics-parity check).
+//
+// A rejected swap leaves the active slot serving untouched and the standby
+// holding the rejected weights (overwritten by the next attempt). Failures
+// never touch the breaker or degraded-mode counters: rollout problems are
+// the operator's page, not the traffic path's.
+//
+// Lock order (deadlock-free with the batcher):
+//   * scoring path: ScoreSerializer() -> swap_mu_ (shared);
+//   * swap path:    swap_op_mu_ -> ScoreSerializer() (smoke score, released)
+//                   then swap_mu_ (unique, flip only).
+//   swap_op_mu_ is never taken by the scoring path, and the flip does not
+//   hold ScoreSerializer(), so there is no cycle.
+#ifndef MSGCL_SERVE_MODEL_SWAP_H_
+#define MSGCL_SERVE_MODEL_SWAP_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/batching.h"
+#include "eval/evaluator.h"
+#include "eval/topk.h"
+#include "nn/module.h"
+#include "nn/serialize.h"
+#include "obs/registry.h"
+#include "runtime/fault_injector.h"
+#include "serve/score_lock.h"
+#include "tensor/macros.h"
+#include "tensor/status.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace serve {
+
+/// Tiny pinned evaluation set for the swap smoke score: leave-one-out style,
+/// `histories[i]` must NOT contain `targets[i]` when exclude_seen is on.
+struct SwapGoldenBatch {
+  std::vector<std::vector<int32_t>> histories;
+  std::vector<int32_t> targets;
+};
+
+/// Validation-gate configuration for SwappableRanker.
+struct SwapConfig {
+  int64_t k = 10;        // top-k size for the smoke score
+  int64_t max_len = 50;  // history window fed to the model
+  bool exclude_seen = true;
+  /// Quality floors for the golden smoke score; a negative floor disables
+  /// that bound (the structural health checks always apply).
+  double min_hr = -1.0;
+  double min_ndcg = -1.0;
+  SwapGoldenBatch golden;
+  /// Optional deterministic mid-swap-crash source (non-owning).
+  runtime::ServeFaultInjector* fault_injector = nullptr;
+
+  Status Validate() const {
+    if (k <= 0 || max_len <= 0) {
+      return Status::InvalidArgument("k and max_len must be positive");
+    }
+    if (golden.histories.size() != golden.targets.size()) {
+      return Status::InvalidArgument("golden histories/targets size mismatch");
+    }
+    return Status::Ok();
+  }
+};
+
+/// Double-buffered model snapshot holder with a validated atomic flip.
+/// Scoring calls (ScoreAll/ScoreTopK) are safe concurrently with swap
+/// attempts from any other thread; swaps themselves are serialized.
+class SwappableRanker : public eval::Ranker {
+ public:
+  /// One model snapshot: the Module exposes the weights (for loading and the
+  /// finite scan), the Ranker scores them. Both typically point at the same
+  /// object; non-owning, must outlive the SwappableRanker.
+  struct Slot {
+    nn::Module* module = nullptr;
+    eval::Ranker* ranker = nullptr;
+  };
+
+  SwappableRanker(Slot active, Slot standby, int32_t num_items, SwapConfig config)
+      : slots_{active, standby},
+        num_items_(num_items),
+        config_(std::move(config)) {
+    MSGCL_CHECK_GT(num_items, 0);
+    MSGCL_CHECK_MSG(config_.Validate().ok(), config_.Validate().ToString());
+    for (const Slot& slot : slots_) {
+      MSGCL_CHECK(slot.module != nullptr && slot.ranker != nullptr);
+      slot.module->SetTraining(false);
+    }
+    MSGCL_CHECK_MSG(ArchitecturesMatch(*slots_[0].module, *slots_[1].module),
+                    "active and standby slots must have identical parameter "
+                    "names and shapes");
+    Gauge("serve.swap.active_slot").Set(0.0);
+  }
+
+  // ---- eval::Ranker (scoring path) ----------------------------------------
+
+  std::string name() const override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return slots_[active_].ranker->name();
+  }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return slots_[active_].ranker->ScoreAll(batch);
+  }
+
+  /// Delegates so the active model's fused top-k path (and its bit-identity
+  /// guarantee) is preserved through the swap layer.
+  std::vector<eval::TopKList> ScoreTopK(const data::Batch& batch,
+                                        const eval::TopKOptions& options) override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return slots_[active_].ranker->ScoreTopK(batch, options);
+  }
+
+  // ---- Swap path ----------------------------------------------------------
+
+  /// Loads `path` into the standby slot (staged, name/shape-verified),
+  /// validates, and flips. On any failure the active slot keeps serving and
+  /// the returned status says why the rollout was rejected.
+  Status SwapFromCheckpoint(const std::string& path) {
+    std::lock_guard<std::mutex> swap_lock(swap_op_mu_);
+    Counter("serve.swap.attempts").Add(1);
+    const size_t standby = active_index() ^ 1;
+    if (Status s = nn::LoadCheckpoint(*slots_[standby].module, path); !s.ok()) {
+      return Reject("checkpoint load failed: " + s.ToString());
+    }
+    return ValidateAndFlipLocked(standby);
+  }
+
+  /// Copies `source`'s weights into the standby slot (staged, name/shape-
+  /// verified against the standby architecture), validates, and flips.
+  Status SwapFromModule(const nn::Module& source) {
+    std::lock_guard<std::mutex> swap_lock(swap_op_mu_);
+    Counter("serve.swap.attempts").Add(1);
+    const size_t standby = active_index() ^ 1;
+    auto dst = slots_[standby].module->NamedParameters();
+    const auto src = source.NamedParameters();
+    if (src.size() != dst.size()) {
+      return Reject("source has " + std::to_string(src.size()) +
+                    " parameters, standby has " + std::to_string(dst.size()));
+    }
+    // Stage first so a mismatch partway through modifies nothing.
+    std::vector<std::vector<float>> staged;
+    staged.reserve(src.size());
+    for (size_t p = 0; p < src.size(); ++p) {
+      if (src[p].first != dst[p].first || src[p].second.shape() != dst[p].second.shape()) {
+        return Reject("parameter mismatch at '" + src[p].first + "'");
+      }
+      staged.push_back(src[p].second.data());
+    }
+    for (size_t p = 0; p < dst.size(); ++p) {
+      dst[p].second.data() = std::move(staged[p]);  // shared handle: in-place
+    }
+    return ValidateAndFlipLocked(standby);
+  }
+
+  /// Index of the live slot (0 or 1) — for tests and dashboards.
+  int active_slot() const {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return static_cast<int>(active_);
+  }
+
+  /// Per-instance swap outcome counts (the serve.swap.* registry counters
+  /// aggregate across every swapper in the process).
+  int64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  int64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  static obs::Counter& Counter(const std::string& name) {
+    return obs::Registry::Global().GetCounter(name);
+  }
+  static obs::Gauge& Gauge(const std::string& name) {
+    return obs::Registry::Global().GetGauge(name);
+  }
+
+  static bool ArchitecturesMatch(const nn::Module& a, const nn::Module& b) {
+    const auto pa = a.NamedParameters();
+    const auto pb = b.NamedParameters();
+    if (pa.size() != pb.size()) return false;
+    for (size_t p = 0; p < pa.size(); ++p) {
+      if (pa[p].first != pb[p].first) return false;
+      if (pa[p].second.shape() != pb[p].second.shape()) return false;
+    }
+    return true;
+  }
+
+  size_t active_index() const {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return active_;
+  }
+
+  Status Reject(const std::string& why) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Counter("serve.swap.rejected").Add(1);
+    return Status::InvalidArgument("swap rejected: " + why);
+  }
+
+  /// Stages 2–3 of the gate plus the flip. Requires swap_op_mu_ held; the
+  /// standby slot already holds the candidate weights.
+  Status ValidateAndFlipLocked(size_t standby) {
+    // Injected mid-swap crash: the rollout process dies after writing the
+    // standby weights but before validation — the flip must never happen.
+    if (config_.fault_injector != nullptr && config_.fault_injector->NextSwapCrash()) {
+      Counter("serve.swap.crashes").Add(1);
+      return Status::Internal("injected mid-swap crash before validation");
+    }
+
+    // Stage 2: every standby weight must be finite.
+    for (const auto& [pname, tensor] : slots_[standby].module->NamedParameters()) {
+      for (const float v : tensor.data()) {
+        if (!std::isfinite(v)) {
+          return Reject("non-finite weight in parameter '" + pname + "'");
+        }
+      }
+    }
+
+    // Stage 3: golden smoke score on the standby model.
+    if (!config_.golden.histories.empty()) {
+      if (Status s = SmokeScore(standby); !s.ok()) return s;
+    }
+
+    {
+      std::unique_lock<std::shared_mutex> lock(swap_mu_);
+      active_ = standby;
+    }
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    Counter("serve.swap.success").Add(1);
+    Gauge("serve.swap.active_slot").Set(static_cast<double>(standby));
+    return Status::Ok();
+  }
+
+  /// Scores the golden batch through the standby slot and checks structural
+  /// health and the HR/NDCG floors. Serialized with live scoring via
+  /// ScoreSerializer() (the parallel pool runs one region at a time).
+  Status SmokeScore(size_t standby) {
+    const auto& golden = config_.golden;
+    const auto n = static_cast<int64_t>(golden.histories.size());
+    std::vector<int32_t> rows(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+
+    eval::TopKOptions opt;
+    opt.k = config_.k;
+    opt.num_items = num_items_;
+    if (config_.exclude_seen) opt.exclude = &golden.histories;
+
+    std::vector<eval::TopKList> lists;
+    {
+      std::lock_guard<std::mutex> score_lock(ScoreSerializer());
+      NoGradGuard guard;
+      try {
+        data::Batch batch = data::MakeEvalBatch(golden.histories, rows, config_.max_len);
+        lists = slots_[standby].ranker->ScoreTopK(batch, opt);
+      } catch (const std::exception& e) {
+        return Reject(std::string("smoke score threw: ") + e.what());
+      } catch (...) {
+        return Reject("smoke score threw a non-std exception");
+      }
+    }
+
+    if (static_cast<int64_t>(lists.size()) != n) {
+      return Reject("smoke score returned " + std::to_string(lists.size()) +
+                    " rows for " + std::to_string(n) + " golden rows");
+    }
+    double hits = 0.0, ndcg = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const eval::TopKList& list = lists[static_cast<size_t>(i)];
+      if (static_cast<int64_t>(list.size()) > config_.k) {
+        return Reject("smoke row " + std::to_string(i) + " has " +
+                      std::to_string(list.size()) + " items (k = " +
+                      std::to_string(config_.k) + ")");
+      }
+      for (size_t r = 0; r < list.size(); ++r) {
+        if (!std::isfinite(list[r].score)) {
+          return Reject("non-finite smoke score in row " + std::to_string(i));
+        }
+        if (list[r].item == golden.targets[static_cast<size_t>(i)]) {
+          hits += 1.0;
+          ndcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+        }
+      }
+    }
+    const double hr = hits / static_cast<double>(n);
+    const double mean_ndcg = ndcg / static_cast<double>(n);
+    if (config_.min_hr >= 0.0 && hr < config_.min_hr) {
+      return Reject("smoke HR@" + std::to_string(config_.k) + " = " +
+                    std::to_string(hr) + " below floor " +
+                    std::to_string(config_.min_hr));
+    }
+    if (config_.min_ndcg >= 0.0 && mean_ndcg < config_.min_ndcg) {
+      return Reject("smoke NDCG@" + std::to_string(config_.k) + " = " +
+                    std::to_string(mean_ndcg) + " below floor " +
+                    std::to_string(config_.min_ndcg));
+    }
+    return Status::Ok();
+  }
+
+  Slot slots_[2];
+  const int32_t num_items_;
+  const SwapConfig config_;
+
+  mutable std::shared_mutex swap_mu_;  // guards active_; shared = scoring
+  std::mutex swap_op_mu_;              // serializes swap attempts
+  size_t active_ = 0;
+  std::atomic<int64_t> swaps_{0};
+  std::atomic<int64_t> rejected_{0};
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_MODEL_SWAP_H_

@@ -1,0 +1,32 @@
+// Process-wide scoring serializer for the serving layer (DESIGN.md §11).
+//
+// The tensor stack's parallel pool runs ONE region at a time: Pool::Run
+// publishes the region's task into a single shared slot, so two threads
+// entering parallel kernels concurrently would overwrite each other's work.
+// With a single MicroBatcher a per-instance mutex was enough; a replicated
+// fleet (serve/fleet.h) runs several batchers in one process, and hot model
+// swap (serve/model_swap.h) smoke-scores a standby model from a swap thread
+// while traffic flows — so every model-scoring call in the serving layer
+// must acquire this one global mutex, not a per-owner one.
+//
+// Hold discipline: take ScoreSerializer() only around the scoring call
+// itself (kernels + NoGradGuard scope), never while holding a queue or swap
+// lock that a scoring thread might need — see the lock-order notes in
+// model_swap.h.
+#ifndef MSGCL_SERVE_SCORE_LOCK_H_
+#define MSGCL_SERVE_SCORE_LOCK_H_
+
+#include <mutex>
+
+namespace msgcl {
+namespace serve {
+
+inline std::mutex& ScoreSerializer() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_SCORE_LOCK_H_

@@ -5,7 +5,10 @@
 #include "serve/breaker.h"       // IWYU pragma: export
 #include "serve/clock.h"         // IWYU pragma: export
 #include "serve/fallback.h"      // IWYU pragma: export
+#include "serve/fleet.h"         // IWYU pragma: export
 #include "serve/loadgen.h"       // IWYU pragma: export
 #include "serve/micro_batcher.h" // IWYU pragma: export
+#include "serve/model_swap.h"    // IWYU pragma: export
+#include "serve/score_lock.h"    // IWYU pragma: export
 
 #endif  // MSGCL_SERVE_SERVE_H_

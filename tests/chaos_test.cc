@@ -410,6 +410,56 @@ TEST(FallbackRankerTest, RanksByPopularityWithIdTiebreakAndExclusion) {
   EXPECT_FALSE(FallbackRanker().ready());
 }
 
+TEST(FallbackRankerTest, EmptyTrainingInteractionsYieldWellFormedZeroCountList) {
+  // Regression: a fleet can come up before any interactions are logged. The
+  // fallback must still produce a deterministic, well-formed list — every
+  // item at count 0, ties broken by ascending id per the repo total order.
+  const FallbackRanker ranker = FallbackRanker::FromSequences({}, 4);
+  ASSERT_TRUE(ranker.ready());
+  eval::ExcludeSet none;
+  none.Seal();
+  const eval::TopKList top = ranker.TopK(3, none);
+  ASSERT_EQ(top.size(), 3u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].item, static_cast<int32_t>(i + 1));
+    EXPECT_EQ(top[i].score, 0.0f);
+  }
+  // Sequences that exist but are empty are the same case.
+  const FallbackRanker from_empty_seqs =
+      FallbackRanker::FromSequences({{}, {}, {}}, 4);
+  ASSERT_TRUE(from_empty_seqs.ready());
+  const eval::TopKList top2 = from_empty_seqs.TopK(3, none);
+  ASSERT_EQ(top2.size(), 3u);
+  EXPECT_EQ(top2[0].item, 1);
+}
+
+TEST(FallbackRankerTest, KBeyondDistinctItemsReturnsShortWellFormedList) {
+  // Regression: k >= the distinct-item count (or >= the non-excluded count)
+  // returns min(k, available) entries in total order — never padding, never
+  // duplicates, never an over-long list.
+  const FallbackRanker ranker = FallbackRanker::FromSequences({{2, 2, 1}}, 3);
+  eval::ExcludeSet none;
+  none.Seal();
+  const eval::TopKList all = ranker.TopK(100, none);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].item, 2);  // count 2
+  EXPECT_EQ(all[1].item, 1);  // count 1
+  EXPECT_EQ(all[2].item, 3);  // count 0
+
+  // Every item excluded: an empty list is the well-formed answer.
+  eval::ExcludeSet everything;
+  everything.InsertRange({1, 2, 3});
+  everything.Seal();
+  EXPECT_TRUE(ranker.TopK(5, everything).empty());
+
+  // A degraded response built from a short fallback list passes the same
+  // structural check the loadgen applies to every response.
+  Response degraded;
+  degraded.topk = ranker.TopK(100, none);
+  degraded.degraded = true;
+  EXPECT_TRUE(ResponseIsUsable(degraded, 100));
+}
+
 // ---- Serve-fault injector determinism --------------------------------------
 
 TEST(ServeFaultInjectorTest, SeededDrawSequenceIsDeterministicAndReplayable) {

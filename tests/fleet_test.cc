@@ -1,0 +1,577 @@
+// Tests for the replicated serving fleet and validated hot model swap
+// (DESIGN.md §11): consistent-hash routing stability and bounded remap
+// churn, health-checked failover around killed replicas and Open breakers,
+// the shard-kill chaos drill (availability >= 99%, zero garbage), and the
+// swap validation gate — corrupted checkpoints rejected without touching
+// the traffic path, identical-weights swaps bit-identical on top-k, and
+// zero dropped requests across hot swaps under live load.
+//
+// These carry the `fleet` ctest label so the sanitized presets
+// (`ctest --preset asan-serve` / `tsan-serve`) pick them up alongside the
+// `serve` and `chaos` suites.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/data.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "nn/serialize.h"
+#include "obs/registry.h"
+#include "runtime/fault_injector.h"
+#include "serve/serve.h"
+
+namespace msgcl {
+namespace serve {
+namespace {
+
+int64_t CounterValue(const std::string& name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
+// Same deterministic toy ranker as serve_test.cc / chaos_test.cc.
+constexpr int32_t kToyItems = 50;
+
+float ToyScore(int32_t last, int32_t i) {
+  return static_cast<float>((i * 31 + last * 7) % 97);
+}
+
+class ToyRanker : public eval::Ranker {
+ public:
+  std::string name() const override { return "Toy"; }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> scores(batch.batch_size * (kToyItems + 1), 0.0f);
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      const int32_t last = batch.inputs[(b + 1) * batch.seq_len - 1];
+      for (int32_t i = 1; i <= kToyItems; ++i) {
+        scores[b * (kToyItems + 1) + i] = ToyScore(last, i);
+      }
+    }
+    return scores;
+  }
+};
+
+FallbackRanker ToyFallback() {
+  return FallbackRanker::FromSequences({{1, 1, 1, 2, 2, 3}}, kToyItems);
+}
+
+/// Per-request batches (max_batch=1) so routing/failover tests need no clock
+/// advances, plus a fast-opening breaker for the health-check tests.
+ServeConfig FleetServeConfig() {
+  ServeConfig c;
+  c.k = 5;
+  c.max_len = 8;
+  c.max_batch = 1;
+  c.max_wait_us = 100;
+  c.breaker.degraded_after = 1;
+  c.breaker.open_after = 2;
+  c.breaker.open_backoff_us = 1000;
+  c.breaker.max_backoff_us = 8000;
+  return c;
+}
+
+struct ToyFleet {
+  std::vector<ToyRanker> rankers;
+  std::vector<eval::Ranker*> models;
+
+  explicit ToyFleet(int n) : rankers(static_cast<size_t>(n)) {
+    for (ToyRanker& r : rankers) models.push_back(&r);
+  }
+};
+
+// ---- Consistent-hash routing ----------------------------------------------
+
+TEST(ConsistentHashTest, SameUserAlwaysSameLiveReplicaAndAllReplicasUsed) {
+  ToyFleet fleet(3);
+  FleetConfig config;
+  config.replicas = 3;
+  config.serve = FleetServeConfig();
+  FakeClock clock;
+  Router router(fleet.models, kToyItems, config, &clock);
+
+  std::vector<int> owners(300);
+  std::vector<int64_t> per_replica(3, 0);
+  for (uint64_t u = 0; u < 300; ++u) {
+    owners[u] = router.PickReplica(u);
+    ASSERT_GE(owners[u], 0);
+    ASSERT_LT(owners[u], 3);
+    ++per_replica[static_cast<size_t>(owners[u])];
+  }
+  // Stability: the mapping is a pure function of (user, live set).
+  for (uint64_t u = 0; u < 300; ++u) {
+    EXPECT_EQ(router.PickReplica(u), owners[u]) << "user " << u;
+  }
+  // Spread: with 64 virtual nodes per replica, no replica is starved.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GT(per_replica[static_cast<size_t>(r)], 0) << "replica " << r;
+  }
+  router.Stop();
+}
+
+TEST(ConsistentHashTest, ReplicaDeathMovesOnlyItsUsersAndRestartRestores) {
+  ToyFleet fleet(3);
+  FleetConfig config;
+  config.replicas = 3;
+  config.serve = FleetServeConfig();
+  FakeClock clock;
+  Router router(fleet.models, kToyItems, config, &clock);
+
+  constexpr uint64_t kUsers = 400;
+  std::vector<int> before(kUsers);
+  for (uint64_t u = 0; u < kUsers; ++u) before[u] = router.PickReplica(u);
+
+  router.KillReplica(1);
+  int64_t moved = 0, owned_by_dead = 0;
+  for (uint64_t u = 0; u < kUsers; ++u) {
+    const int now = router.PickReplica(u);
+    if (before[u] == 1) {
+      ++owned_by_dead;
+      // Dead replica's users move to a surviving replica...
+      EXPECT_TRUE(now == 0 || now == 2) << "user " << u;
+      ++moved;
+    } else {
+      // ...and NOBODY else moves: churn is exactly the dead replica's share.
+      EXPECT_EQ(now, before[u]) << "user " << u;
+    }
+  }
+  EXPECT_GT(owned_by_dead, 0);
+  EXPECT_EQ(moved, owned_by_dead);
+
+  // The ring never changed, so a restart restores the original map exactly.
+  router.RestartReplica(1);
+  for (uint64_t u = 0; u < kUsers; ++u) {
+    EXPECT_EQ(router.PickReplica(u), before[u]) << "user " << u;
+  }
+  router.Stop();
+}
+
+// ---- Health-checked failover -----------------------------------------------
+
+TEST(RouterTest, FailsOverToHealthyReplicaWhenPrimaryIsKilled) {
+  ToyFleet fleet(3);
+  FleetConfig config;
+  config.replicas = 3;
+  config.serve = FleetServeConfig();
+  FakeClock clock;
+  Router router(fleet.models, kToyItems, config, &clock);
+
+  const uint64_t user = 7;
+  const int primary = router.PickReplica(user);
+  router.KillReplica(primary);
+  EXPECT_FALSE(router.alive(primary));
+  EXPECT_EQ(router.healthy_replicas(), 2);
+
+  const int rerouted = router.PickReplica(user);
+  EXPECT_NE(rerouted, primary);
+  EXPECT_GE(rerouted, 0);
+
+  auto result = router.Submit(user, {{3, 9, 4}, 0}).get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().degraded);
+  EXPECT_EQ(result.value().topk.size(), 5u);
+  router.Stop();
+}
+
+TEST(RouterTest, RoutesAroundOpenBreaker) {
+  ToyFleet fleet(2);
+  runtime::ServeFaultPlan plan;
+  plan.fault_batches = {0, 1};  // exactly the first two scored batches throw
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow};
+  runtime::ServeFaultInjector injector(plan);
+  const FallbackRanker fallback = ToyFallback();
+
+  FleetConfig config;
+  config.replicas = 2;
+  config.serve = FleetServeConfig();
+  config.serve.fallback = &fallback;
+  config.serve.fault_injector = &injector;
+  FakeClock clock;
+  Router router(fleet.models, kToyItems, config, &clock);
+
+  const uint64_t user = 11;
+  const int primary = router.PickReplica(user);
+
+  // Two throwing batches on the primary: degraded responses, breaker opens.
+  for (int i = 0; i < 2; ++i) {
+    auto result = router.Submit(user, {{5, 2}, 0}).get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().degraded);
+  }
+  EXPECT_EQ(router.replica(primary)->breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(router.healthy_replicas(), 1);
+
+  // The user now routes around the Open breaker and gets model-scored again.
+  EXPECT_NE(router.PickReplica(user), primary);
+  auto result = router.Submit(user, {{5, 2}, 0}).get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().degraded);
+  router.Stop();
+}
+
+TEST(RouterTest, AllReplicasDeadServesFleetFallbackThenUnavailable) {
+  const FallbackRanker fallback = ToyFallback();
+  FakeClock clock;
+  {
+    ToyFleet fleet(2);
+    FleetConfig config;
+    config.replicas = 2;
+    config.serve = FleetServeConfig();
+    config.fallback = &fallback;
+    Router router(fleet.models, kToyItems, config, &clock);
+    router.KillReplica(0);
+    router.KillReplica(1);
+    EXPECT_EQ(router.PickReplica(3), -1);
+
+    auto result = router.Submit(3, {{4, 1}, 0}).get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().degraded);
+    // Most popular non-excluded items, repo total order: 2, 3, then id-asc.
+    ASSERT_GE(result.value().topk.size(), 2u);
+    EXPECT_EQ(result.value().topk[0].item, 2);
+    EXPECT_EQ(result.value().topk[1].item, 3);
+    router.Stop();
+  }
+  {
+    ToyFleet fleet(2);
+    FleetConfig config;
+    config.replicas = 2;
+    config.serve = FleetServeConfig();  // no fleet fallback
+    Router router(fleet.models, kToyItems, config, &clock);
+    router.KillReplica(0);
+    router.KillReplica(1);
+    auto result = router.Submit(3, {{4, 1}, 0}).get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kUnavailable);
+    router.Stop();
+  }
+}
+
+TEST(RouterTest, KillAndRestartAreIdempotent) {
+  ToyFleet fleet(2);
+  FleetConfig config;
+  config.replicas = 2;
+  config.serve = FleetServeConfig();
+  FakeClock clock;
+  Router router(fleet.models, kToyItems, config, &clock);
+
+  const int64_t kills0 = CounterValue("serve.fleet.kills");
+  router.KillReplica(0);
+  router.KillReplica(0);  // no-op
+  EXPECT_EQ(CounterValue("serve.fleet.kills") - kills0, 1);
+  router.RestartReplica(0);
+  router.RestartReplica(0);  // no-op
+  EXPECT_TRUE(router.alive(0));
+  auto result = router.Submit(1, {{2, 8}, 0}).get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  router.Stop();
+}
+
+// ---- Shard-kill chaos drill (SystemClock) ----------------------------------
+
+TEST(FleetChaosDrillTest, ShardKillMidRunKeepsAvailabilityWithZeroGarbage) {
+  ToyFleet fleet(3);
+  runtime::ServeFaultPlan plan;
+  plan.fault_rate = 0.10;
+  plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
+                runtime::ServeFaultKind::kNaNScores};
+  runtime::ServeFaultInjector injector(plan);
+  const FallbackRanker fallback = ToyFallback();
+
+  FleetConfig config;
+  config.replicas = 3;
+  config.serve.k = 5;
+  config.serve.max_len = 8;
+  config.serve.max_batch = 4;
+  config.serve.max_wait_us = 200;
+  config.serve.breaker.degraded_after = 1;
+  config.serve.breaker.open_after = 2;
+  config.serve.breaker.open_backoff_us = 2000;
+  config.serve.breaker.max_backoff_us = 100000;
+  config.serve.fallback = &fallback;
+  config.serve.fault_injector = &injector;
+  config.fallback = &fallback;
+  Router router(fleet.models, kToyItems, config);  // real SystemClock
+
+  std::vector<std::vector<int32_t>> histories;
+  for (int32_t u = 0; u < 40; ++u) {
+    histories.push_back({u % kToyItems + 1, (u * 3) % kToyItems + 1,
+                         (u * 7) % kToyItems + 1});
+  }
+  LoadgenConfig load;
+  load.requests = 1500;
+  load.clients = 6;
+  load.k = 5;
+  std::vector<FleetChaosEvent> events;
+  events.push_back({2000, 1, FleetChaosEvent::Action::kKill});
+  events.push_back({30000, 1, FleetChaosEvent::Action::kRestart});
+  const LoadgenReport report = RunFleetLoad(router, histories, load, events);
+  router.Stop();
+
+  EXPECT_EQ(report.requests, 1500);
+  EXPECT_EQ(report.garbage, 0);
+  EXPECT_GE(report.availability, 0.99)
+      << "ok=" << report.ok << " degraded=" << report.degraded
+      << " errors=" << report.errors << " shed=" << report.shed;
+  // The injector really fired and the kill really happened.
+  EXPECT_GT(injector.injected_faults(), 0);
+  EXPECT_TRUE(router.alive(1));  // restarted (or the restart fired post-run)
+}
+
+// ---- Validated hot model swap ----------------------------------------------
+
+/// Golden batch in leave-one-out form from the synthetic training split.
+SwapGoldenBatch MakeGolden(const std::vector<std::vector<int32_t>>& seqs,
+                           size_t rows) {
+  SwapGoldenBatch golden;
+  for (const auto& seq : seqs) {
+    if (golden.histories.size() >= rows) break;
+    if (seq.size() < 2) continue;
+    golden.histories.emplace_back(seq.begin(), seq.end() - 1);
+    golden.targets.push_back(seq.back());
+  }
+  return golden;
+}
+
+struct SwapFixture {
+  data::SequenceDataset ds;
+  models::BackboneConfig backbone;
+  std::unique_ptr<models::SasRec> active;
+  std::unique_ptr<models::SasRec> standby;
+
+  explicit SwapFixture(uint64_t active_seed = 3, uint64_t standby_seed = 4) {
+    auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
+    ds = data::LeaveOneOutSplit(log);
+    backbone.num_items = ds.num_items;
+    backbone.max_len = 12;
+    backbone.dim = 16;
+    backbone.heads = 2;
+    backbone.layers = 1;
+    active = std::make_unique<models::SasRec>(backbone, models::TrainConfig{},
+                                              Rng(active_seed));
+    standby = std::make_unique<models::SasRec>(backbone, models::TrainConfig{},
+                                               Rng(standby_seed));
+  }
+
+  SwapConfig Config() const {
+    SwapConfig c;
+    c.k = 10;
+    c.max_len = 12;
+    c.golden = MakeGolden(ds.train_seqs, 8);
+    return c;
+  }
+
+  std::unique_ptr<SwappableRanker> MakeSwapper(const SwapConfig& config) {
+    return std::make_unique<SwappableRanker>(
+        SwappableRanker::Slot{active.get(), active.get()},
+        SwappableRanker::Slot{standby.get(), standby.get()}, ds.num_items,
+        config);
+  }
+};
+
+/// Bytewise equality of two top-k lists (same as serve_test.cc).
+::testing::AssertionResult ListsBitEqual(const eval::TopKList& a,
+                                         const eval::TopKList& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].item != b[i].item ||
+        std::memcmp(&a[i].score, &b[i].score, sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": (" << a[i].item << ", " << a[i].score << ") vs ("
+             << b[i].item << ", " << b[i].score << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<eval::TopKList> ScoreThrough(
+    const std::unique_ptr<SwappableRanker>& swapper, const SwapFixture& fx) {
+  std::vector<std::vector<int32_t>> histories(fx.ds.train_seqs.begin(),
+                                              fx.ds.train_seqs.begin() + 6);
+  std::vector<int32_t> rows;
+  for (int32_t i = 0; i < 6; ++i) rows.push_back(i);
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.num_items = fx.ds.num_items;
+  opt.exclude = &histories;
+  NoGradGuard guard;
+  data::Batch batch = data::MakeEvalBatch(histories, rows, 12);
+  return swapper->ScoreTopK(batch, opt);
+}
+
+TEST(ModelSwapTest, IdenticalWeightsSwapIsBitIdenticalOnTopK) {
+  SwapFixture fx;
+  auto swapper = fx.MakeSwapper(fx.Config());
+  EXPECT_EQ(swapper->active_slot(), 0);
+
+  const std::vector<eval::TopKList> before = ScoreThrough(swapper, fx);
+
+  const std::string path = ::testing::TempDir() + "/fleet_swap_identical.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(*fx.active, path).ok());
+  const Status s = swapper->SwapFromCheckpoint(path);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(swapper->active_slot(), 1);
+  EXPECT_EQ(swapper->swaps(), 1);
+
+  // The standby slot now holds byte-identical weights: serving must be
+  // bit-identical before vs. after the flip.
+  const std::vector<eval::TopKList> after = ScoreThrough(swapper, fx);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t b = 0; b < before.size(); ++b) {
+    EXPECT_TRUE(ListsBitEqual(before[b], after[b])) << "row " << b;
+  }
+}
+
+TEST(ModelSwapTest, TruncatedCheckpointRejectedWithoutServingArtifacts) {
+  SwapFixture fx;
+  auto swapper = fx.MakeSwapper(fx.Config());
+
+  const std::string path = ::testing::TempDir() + "/fleet_swap_truncated.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(*fx.standby, path).ok());
+  ASSERT_TRUE(runtime::FaultInjector::TruncateFile(path, 64).ok());
+
+  const int64_t degraded0 = CounterValue("serve.degraded");
+  const Status s = swapper->SwapFromCheckpoint(path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(swapper->active_slot(), 0);
+  EXPECT_EQ(swapper->rejected(), 1);
+  EXPECT_EQ(swapper->swaps(), 0);
+  // Rollout failures never leak into the traffic path's degraded machinery.
+  EXPECT_EQ(CounterValue("serve.degraded"), degraded0);
+
+  // The active model still serves, full-quality.
+  const std::vector<eval::TopKList> lists = ScoreThrough(swapper, fx);
+  ASSERT_EQ(lists.size(), 6u);
+  for (const eval::TopKList& list : lists) {
+    EXPECT_EQ(list.size(), 10u);
+    for (const eval::ScoredItem& item : list) {
+      EXPECT_TRUE(std::isfinite(item.score));
+    }
+  }
+}
+
+TEST(ModelSwapTest, NaNPoisonedCheckpointRejectedByFiniteWeightScan) {
+  SwapFixture fx;
+  auto swapper = fx.MakeSwapper(fx.Config());
+
+  // A third model instance: same architecture, one weight NaN-poisoned. The
+  // checkpoint parses cleanly — only the finite scan can catch it.
+  models::SasRec poisoned(fx.backbone, models::TrainConfig{}, Rng(5));
+  auto params = poisoned.NamedParameters();
+  ASSERT_FALSE(params.empty());
+  params[0].second.data()[0] = std::numeric_limits<float>::quiet_NaN();
+
+  const std::string path = ::testing::TempDir() + "/fleet_swap_nan.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(poisoned, path).ok());
+  const Status s = swapper->SwapFromCheckpoint(path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("non-finite"), std::string::npos) << s.ToString();
+  EXPECT_EQ(swapper->active_slot(), 0);
+  EXPECT_EQ(swapper->rejected(), 1);
+
+  // The same weights via module-to-module swap are rejected identically.
+  const Status s2 = swapper->SwapFromModule(poisoned);
+  EXPECT_FALSE(s2.ok());
+  EXPECT_EQ(swapper->active_slot(), 0);
+  EXPECT_EQ(swapper->rejected(), 2);
+}
+
+TEST(ModelSwapTest, GoldenSmokeFloorRejectsAndPermissiveFloorAccepts) {
+  SwapFixture fx;
+  SwapConfig strict = fx.Config();
+  strict.min_hr = 1.1;  // unattainable: HR@k <= 1
+  auto rejecting = fx.MakeSwapper(strict);
+  const Status s = rejecting->SwapFromModule(*fx.standby);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("HR@"), std::string::npos) << s.ToString();
+  EXPECT_EQ(rejecting->active_slot(), 0);
+
+  SwapFixture fx2;
+  SwapConfig permissive = fx2.Config();
+  permissive.min_hr = 0.0;   // any finite quality passes
+  permissive.min_ndcg = 0.0;
+  auto accepting = fx2.MakeSwapper(permissive);
+  const Status s2 = accepting->SwapFromModule(*fx2.standby);
+  EXPECT_TRUE(s2.ok()) << s2.ToString();
+  EXPECT_EQ(accepting->active_slot(), 1);
+}
+
+TEST(ModelSwapTest, MidSwapCrashLeavesActiveServingAndRetrySucceeds) {
+  SwapFixture fx;
+  runtime::ServeFaultPlan plan;
+  plan.swap_crash_attempts = {0};  // first attempt dies mid-swap
+  runtime::ServeFaultInjector injector(plan);
+  SwapConfig config = fx.Config();
+  config.fault_injector = &injector;
+  auto swapper = fx.MakeSwapper(config);
+
+  const std::string path = ::testing::TempDir() + "/fleet_swap_crash.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(*fx.active, path).ok());
+
+  const Status crash = swapper->SwapFromCheckpoint(path);
+  EXPECT_FALSE(crash.ok());
+  EXPECT_EQ(crash.code(), Status::Code::kInternal);
+  EXPECT_EQ(swapper->active_slot(), 0);
+  EXPECT_EQ(swapper->swaps(), 0);
+
+  // Active still serves after the crash; the retry completes the rollout.
+  const std::vector<eval::TopKList> lists = ScoreThrough(swapper, fx);
+  ASSERT_EQ(lists.size(), 6u);
+  const Status retry = swapper->SwapFromCheckpoint(path);
+  EXPECT_TRUE(retry.ok()) << retry.ToString();
+  EXPECT_EQ(swapper->active_slot(), 1);
+  EXPECT_EQ(swapper->swaps(), 1);
+}
+
+TEST(ModelSwapTest, HotSwapsUnderLoadDropZeroRequests) {
+  SwapFixture fx;
+  auto swapper = fx.MakeSwapper(fx.Config());
+
+  const std::string path = ::testing::TempDir() + "/fleet_swap_underload.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(*fx.active, path).ok());
+
+  ServeConfig config;
+  config.k = 10;
+  config.max_len = 12;
+  config.max_batch = 8;
+  config.max_wait_us = 200;
+  config.num_workers = 2;
+  MicroBatcher batcher(*swapper, fx.ds.num_items, config);  // real SystemClock
+
+  constexpr int kSwaps = 5;
+  std::thread swap_thread([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const Status s = swapper->SwapFromCheckpoint(path);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  });
+
+  LoadgenConfig load;
+  load.requests = 300;
+  load.clients = 4;
+  load.k = 10;
+  const LoadgenReport report = RunLoad(batcher, fx.ds.train_seqs, load);
+  swap_thread.join();
+  batcher.Stop();
+
+  // Zero dropped, zero degraded, zero garbage across every hot swap.
+  EXPECT_EQ(report.requests, 300);
+  EXPECT_EQ(report.ok, 300);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.shed, 0);
+  EXPECT_EQ(report.garbage, 0);
+  EXPECT_EQ(swapper->swaps(), kSwaps);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msgcl

@@ -301,6 +301,60 @@ TEST(MicroBatcherTest, StopSubmitRaceResolvesEveryFuture) {
   EXPECT_EQ(resolved, kThreads * kPerThread);
 }
 
+TEST(MicroBatcherTest, DoubleStopIsIdempotent) {
+  ToyRanker model;
+  MicroBatcher batcher(model, kToyItems, ToyConfig());  // real SystemClock
+  batcher.Stop();
+  batcher.Stop();  // second Stop is a no-op, not a crash or a hang
+  auto result = batcher.Submit({{1}, 0}).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kUnavailable);
+  EXPECT_EQ(batcher.queue_depth(), 0);
+}
+
+TEST(MicroBatcherTest, ConcurrentStopsAllReturnAfterDrain) {
+  // Regression test for concurrent Stop() (run under TSan via the tsan-serve
+  // preset): the fleet Router stops a replica it failed out while the
+  // destructor or a drill stops it too. Every Stop() call must block until
+  // the workers are joined and the queue is drained — a caller returning
+  // early while promises are unresolved would let the Router tear down state
+  // the drain still needs.
+  constexpr int kStoppers = 4;
+  ToyRanker model;
+  ServeConfig config = ToyConfig();
+  config.max_wait_us = 1000000;  // park submissions until Stop drains them
+  FakeClock clock;
+  MicroBatcher batcher(model, kToyItems, config, &clock);
+  std::vector<std::future<Result<Response>>> parked;
+  for (int i = 0; i < 3; ++i) {
+    parked.push_back(batcher.Submit({{static_cast<int32_t>(i + 1)}, 0}));
+  }
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < kStoppers; ++t) {
+    stoppers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      batcher.Stop();
+      // Post-condition of ANY Stop() returning: the queue is fully drained.
+      EXPECT_EQ(batcher.queue_depth(), 0);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : stoppers) th.join();
+
+  for (auto& f : parked) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "parked future unresolved after Stop() returned";
+    const Result<Response> r = f.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kUnavailable);
+  }
+  auto rejected = batcher.Submit({{1}, 0}).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kUnavailable);
+}
+
 TEST(MicroBatcherTest, ServesRealModelUnderConcurrentLoad) {
   auto log = data::GenerateSynthetic(data::TinyDataset(7)).value();
   auto ds = data::LeaveOneOutSplit(log);

@@ -1,47 +1,54 @@
 #!/usr/bin/env bash
-# Chaos drill for the serving resilience layer (DESIGN.md §10).
+# Shard-kill chaos drill for the replicated serving fleet (DESIGN.md §10–11).
 #
-# Runs bench_serving in chaos mode — a seeded fraction of scoring batches
-# throw or return NaN-poisoned scores — with the circuit breaker and the
-# popularity fallback active, then asserts on the JSON report:
+# Drives `msgcl serve-bench` with 3 consistent-hash replicas and scoring
+# faults injected into ~10% of batches, kills replica 1 mid-storm, restarts
+# it later, then asserts on the JSON report:
 #
-#   1. min_availability >= MIN_AVAILABILITY (default 0.99): nearly every
-#      request is answered with a usable top-k list, model-scored or degraded;
-#   2. total_garbage == 0: no response ever carries a non-finite score or an
-#      over-long list — failed batches degrade, they never leak garbage.
+#   1. availability >= MIN_AVAILABILITY (default 0.99): nearly every request
+#      is answered with a usable top-k list — model-scored, failed over to a
+#      healthy replica, or degraded to the popularity fallback;
+#   2. garbage == 0: no response ever carries a non-finite score or an
+#      over-long list — faults and the kill degrade, they never leak garbage.
 #
-# Usage: tools/check_chaos_drill.sh [build_dir] [min_availability] [fault_rate]
+# Usage: tools/check_chaos_drill.sh [msgcl_bin|build_dir] [min_availability] [fault_rate]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
+BIN="${1:-build/tools/msgcl}"
+if [[ -d "$BIN" ]]; then BIN="$BIN/tools/msgcl"; fi
 MIN_AVAILABILITY="${2:-0.99}"
 FAULT_RATE="${3:-0.10}"
-BENCH="$BUILD/bench/bench_serving"
-JSON="$BUILD/chaos_drill.json"
 
-if [[ ! -x "$BENCH" ]]; then
-  echo "== building bench_serving in $BUILD"
-  cmake --build "$BUILD" --target bench_serving -j "$(nproc)" >/dev/null
+if [[ ! -x "$BIN" ]]; then
+  echo "== building msgcl_cli"
+  cmake --build "$(dirname "$(dirname "$BIN")")" --target msgcl_cli -j "$(nproc)" >/dev/null
 fi
 
-echo "== chaos drill: fault_rate=$FAULT_RATE, fallback on"
-"$BENCH" --quick --chaos --fault_rate="$FAULT_RATE" --json="$JSON"
+d=$(mktemp -d); trap 'rm -rf "$d"' EXIT
+JSON="$d/chaos_drill.json"
 
-availability=$(sed -n 's/.*"min_availability": *\([0-9.eE+-]*\).*/\1/p' "$JSON" | head -1)
-garbage=$(sed -n 's/.*"total_garbage": *\([0-9-]*\).*/\1/p' "$JSON" | head -1)
+echo "== shard-kill drill: 3 replicas, fault_rate=$FAULT_RATE, kill replica 1 mid-storm"
+"$BIN" serve-bench --preset=tiny --model=SASRec --max_len=12 --dim=16 \
+  --replicas=3 --chaos --fault_rate="$FAULT_RATE" \
+  --requests=2000 --clients=6 --max_batch=8 --max_wait_us=200 \
+  --kill_replica=1 --kill_replica_after_us=30000 --restart_replica_after_us=150000 \
+  --json="$JSON"
+
+availability=$(sed -n 's/.*"availability": *\([0-9.eE+-]*\).*/\1/p' "$JSON" | head -1)
+garbage=$(sed -n 's/.*"garbage": *\([0-9-]*\).*/\1/p' "$JSON" | head -1)
 
 if [[ -z "$availability" || -z "$garbage" ]]; then
-  echo "FAIL: could not parse min_availability/total_garbage from $JSON" >&2
+  echo "FAIL: could not parse availability/garbage from $JSON" >&2
   exit 1
 fi
 
-echo "== min_availability=$availability (require >= $MIN_AVAILABILITY), total_garbage=$garbage (require 0)"
+echo "== availability=$availability (require >= $MIN_AVAILABILITY), garbage=$garbage (require 0)"
 
 ok=$(awk -v a="$availability" -v m="$MIN_AVAILABILITY" -v g="$garbage" \
   'BEGIN { print (a >= m && g == 0) ? "yes" : "no" }')
 if [[ "$ok" != "yes" ]]; then
-  echo "FAIL: chaos drill violated availability/garbage bounds" >&2
+  echo "FAIL: shard-kill drill violated availability/garbage bounds" >&2
   exit 1
 fi
-echo "PASS: serving stayed available with zero garbage under injected faults"
+echo "PASS: fleet stayed available with zero garbage through faults + replica kill"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Hot-swap drill for the validated model rollout path (DESIGN.md §11).
+#
+# Leg 1 — healthy rollout: serves a request storm through a SwappableRanker
+# while 10 checkpoint swaps land mid-flight, then asserts on the JSON report:
+#
+#   1. errors == 0 and garbage == 0: a hot swap never drops a request or
+#      serves a non-finite score — the flip is atomic under load;
+#   2. swap_success == 10: every rollout passed the validation gate.
+#
+# Leg 2 — corrupted rollout: repeats the storm with a truncated source
+# checkpoint and asserts every swap is rejected (swap_success == 0) while
+# serving stays clean (errors == 0, garbage == 0, degraded == 0): a bad
+# artifact never reaches the serving path, not even as degraded responses.
+#
+# Usage: tools/check_swap_drill.sh [msgcl_bin|build_dir] [swaps]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/tools/msgcl}"
+if [[ -d "$BIN" ]]; then BIN="$BIN/tools/msgcl"; fi
+SWAPS="${2:-10}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "== building msgcl_cli"
+  cmake --build "$(dirname "$(dirname "$BIN")")" --target msgcl_cli -j "$(nproc)" >/dev/null
+fi
+
+d=$(mktemp -d); trap 'rm -rf "$d"' EXIT
+
+field() { sed -n "s/.*\"$2\": *\\([0-9.eE+-]*\\).*/\\1/p" "$1" | head -1; }
+
+echo "== swap drill leg 1: $SWAPS hot swaps under load"
+"$BIN" serve-bench --preset=tiny --model=SASRec --max_len=12 --dim=16 \
+  --swaps="$SWAPS" --swap_interval_us=5000 --swap_ckpt="$d/src.ckpt" \
+  --requests=1500 --clients=4 --max_batch=8 --max_wait_us=200 \
+  --json="$d/swap.json"
+
+errors=$(field "$d/swap.json" errors)
+garbage=$(field "$d/swap.json" garbage)
+success=$(field "$d/swap.json" swap_success)
+echo "== errors=$errors garbage=$garbage swap_success=$success (require 0/0/$SWAPS)"
+if [[ "$errors" != "0" || "$garbage" != "0" || "$success" != "$SWAPS" ]]; then
+  echo "FAIL: hot swaps under load dropped requests or failed validation" >&2
+  exit 1
+fi
+
+echo "== swap drill leg 2: corrupted (truncated) rollout source"
+"$BIN" serve-bench --preset=tiny --model=SASRec --max_len=12 --dim=16 \
+  --swaps=3 --swap_interval_us=5000 --swap_corrupt=truncate \
+  --swap_ckpt="$d/bad.ckpt" \
+  --requests=600 --clients=4 --max_batch=8 --max_wait_us=200 \
+  --json="$d/corrupt.json"
+
+errors=$(field "$d/corrupt.json" errors)
+garbage=$(field "$d/corrupt.json" garbage)
+degraded=$(field "$d/corrupt.json" degraded)
+success=$(field "$d/corrupt.json" swap_success)
+rejected=$(field "$d/corrupt.json" swap_rejected)
+echo "== errors=$errors garbage=$garbage degraded=$degraded swap_success=$success swap_rejected=$rejected"
+if [[ "$errors" != "0" || "$garbage" != "0" || "$degraded" != "0" || \
+      "$success" != "0" || "$rejected" != "3" ]]; then
+  echo "FAIL: corrupted rollout leaked into serving or was not rejected" >&2
+  exit 1
+fi
+echo "PASS: validated hot swap dropped zero requests; corrupted rollouts rejected cleanly"

@@ -35,6 +35,22 @@
 //   --no_fallback          disable the degraded-mode fallback ranker (failed
 //                          batches then surface as typed errors)
 //
+// Replicated fleet + hot swap (DESIGN.md §11; serve-bench only):
+//   --replicas=N                 consistent-hash route across N replicas
+//   --kill_replica=R             which replica the kill/restart events target
+//   --kill_replica_after_us=T    kill that replica T us into the storm
+//   --restart_replica_after_us=T restart it T us into the storm
+//   --swaps=N                    hot-swap the model N times during the storm
+//   --swap_interval_us=T         delay between swap attempts (default 20000)
+//   --swap_corrupt=truncate|nan  corrupt the rollout source; every swap must
+//                                then be rejected with the active model intact
+//   --swap_min_hr / --swap_min_ndcg  golden smoke-score floors (<0 = off)
+//   --swap_crash_attempts=0,2    inject a crash mid-swap at those attempts
+//   --swap_ckpt=path             where the rollout source checkpoint is staged
+//   --json=report.json           write the storm report as flat JSON (used by
+//                                tools/check_chaos_drill.sh / check_swap_drill.sh)
+// --replicas and --swaps are separate drills and cannot be combined.
+//
 // Architecture flags (--dim, --layers, --heads, --max_len) must match
 // between train and evaluate/recommend; the checkpoint loader verifies
 // shapes and refuses mismatches.
@@ -66,13 +82,19 @@
 //                                runs append to the existing file
 // Per-op timings require an MSGCL_OBS=ON build (the default); counters and
 // telemetry work in every build.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/core.h"
 #include "data/data.h"
@@ -398,6 +420,39 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+// Flat JSON report for the drill scripts (tools/check_chaos_drill.sh,
+// tools/check_swap_drill.sh): loadgen outcomes plus fleet/swap outcome counts.
+int WriteServeJson(const std::string& path, const serve::LoadgenReport& report,
+                   int replicas, int64_t swap_attempts, int64_t swap_success,
+                   int64_t swap_rejected) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("requests"); json.Int(report.requests);
+  json.Key("ok"); json.Int(report.ok);
+  json.Key("degraded"); json.Int(report.degraded);
+  json.Key("shed"); json.Int(report.shed);
+  json.Key("deadline_expired"); json.Int(report.deadline_expired);
+  json.Key("errors"); json.Int(report.errors);
+  json.Key("garbage"); json.Int(report.garbage);
+  json.Key("availability"); json.Double(report.availability);
+  json.Key("qps"); json.Double(report.qps);
+  json.Key("p50_us"); json.Double(report.p50_us);
+  json.Key("p95_us"); json.Double(report.p95_us);
+  json.Key("p99_us"); json.Double(report.p99_us);
+  json.Key("replicas"); json.Int(replicas);
+  json.Key("swap_attempts"); json.Int(swap_attempts);
+  json.Key("swap_success"); json.Int(swap_success);
+  json.Key("swap_rejected"); json.Int(swap_rejected);
+  json.EndObject();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json.Take() << "\n";
+  return 0;
+}
+
 int CmdServeBench(const Args& args) {
   auto log = LoadData(args);
   if (!log.ok()) {
@@ -405,14 +460,37 @@ int CmdServeBench(const Args& args) {
     return 1;
   }
   auto ds = data::LeaveOneOutSplit(log.value());
-  auto model = MakeModel(args.Get("model", "Meta-SGCL"), ds, args);
-  if (const std::string ckpt = args.Get("ckpt"); !ckpt.empty()) {
-    if (Status s = nn::LoadCheckpoint(*AsModule(model.get()), ckpt); !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
-    }
+
+  const int replicas = static_cast<int>(args.GetI("replicas", 1));
+  const int64_t swaps = args.GetI("swaps", 0);
+  if (replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
   }
-  AsModule(model.get())->SetTraining(false);
+  if (replicas > 1 && swaps > 0) {
+    std::fprintf(stderr,
+                 "--replicas and --swaps are separate drills; run one at a time\n");
+    return 2;
+  }
+
+  // One model instance per replica (plus a standby when hot-swapping): the
+  // same flags and seed produce identical architectures and initial weights.
+  const std::string model_name = args.Get("model", "Meta-SGCL");
+  const int instances = swaps > 0 ? 2 : replicas;
+  std::vector<std::unique_ptr<models::Recommender>> models;
+  models.reserve(static_cast<size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    models.push_back(MakeModel(model_name, ds, args));
+    if (const std::string ckpt = args.Get("ckpt"); !ckpt.empty()) {
+      if (Status s = nn::LoadCheckpoint(*AsModule(models.back().get()), ckpt);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    AsModule(models.back().get())->SetTraining(false);
+  }
+  models::Recommender* model = models[0].get();
 
   serve::ServeConfig config;
   config.k = args.GetI("k", 10);
@@ -430,19 +508,25 @@ int CmdServeBench(const Args& args) {
 
   const bool chaos = args.GetI("chaos", 0) != 0;
   const bool no_fallback = args.GetI("no_fallback", 0) != 0;
+  const std::set<int64_t> swap_crashes = ParseStepList(args.Get("swap_crash_attempts"));
   std::unique_ptr<runtime::ServeFaultInjector> injector;
-  if (chaos) {
+  if (chaos || !swap_crashes.empty()) {
     runtime::ServeFaultPlan plan;
-    plan.fault_rate = args.GetD("fault_rate", 0.10);
-    plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
-                  runtime::ServeFaultKind::kNaNScores};
+    if (chaos) {
+      plan.fault_rate = args.GetD("fault_rate", 0.10);
+      plan.kinds = {runtime::ServeFaultKind::kScoreThrow,
+                    runtime::ServeFaultKind::kNaNScores};
+    }
+    plan.swap_crash_attempts = swap_crashes;
     plan.seed = static_cast<uint64_t>(args.GetI("seed", 42));
     injector = std::make_unique<runtime::ServeFaultInjector>(std::move(plan));
-    config.fault_injector = injector.get();
-    config.breaker.degraded_after = 1;
-    config.breaker.open_after = 2;
-    config.breaker.open_backoff_us = 2000;
-    config.breaker.max_backoff_us = 100000;
+    if (chaos) {
+      config.fault_injector = injector.get();
+      config.breaker.degraded_after = 1;
+      config.breaker.open_after = 2;
+      config.breaker.open_backoff_us = 2000;
+      config.breaker.max_backoff_us = 100000;
+    }
   }
   serve::FallbackRanker fallback;
   if (!no_fallback) {
@@ -452,15 +536,133 @@ int CmdServeBench(const Args& args) {
 
   // Serving histories: each user's full training sequence.
   std::printf("serving %s: %lld requests, %d clients, max_batch=%lld, "
-              "max_wait=%lldus%s...\n",
+              "max_wait=%lldus, replicas=%d%s%s...\n",
               model->name().c_str(), static_cast<long long>(load.requests),
               load.clients, static_cast<long long>(config.max_batch),
-              static_cast<long long>(config.max_wait_us), chaos ? ", CHAOS" : "");
-  serve::MicroBatcher batcher(*model, ds.num_items, config);
-  const serve::LoadgenReport report = serve::RunLoad(batcher, ds.train_seqs, load);
-  std::printf("breaker state at end of storm: %s\n",
-              serve::BreakerStateName(batcher.breaker().state()));
-  batcher.Stop();
+              static_cast<long long>(config.max_wait_us), replicas,
+              chaos ? ", CHAOS" : "", swaps > 0 ? ", HOT-SWAP" : "");
+
+  serve::LoadgenReport report;
+  int64_t swap_attempts = 0;
+  int64_t swap_success = 0;
+  int64_t swap_rejected = 0;
+  const std::string swap_corrupt = args.Get("swap_corrupt");
+
+  if (replicas > 1) {
+    // Shard-kill drill: consistent-hash fleet, optionally killing (and later
+    // restarting) one replica mid-storm.
+    serve::FleetConfig fleet;
+    fleet.replicas = replicas;
+    fleet.serve = config;
+    if (!no_fallback) fleet.fallback = &fallback;
+    std::vector<eval::Ranker*> rankers;
+    rankers.reserve(models.size());
+    for (auto& m : models) rankers.push_back(m.get());
+    serve::Router router(std::move(rankers), ds.num_items, fleet);
+
+    const int victim = static_cast<int>(args.GetI("kill_replica", 0));
+    if (victim < 0 || victim >= replicas) {
+      std::fprintf(stderr, "--kill_replica=%d out of range [0, %d)\n", victim,
+                   replicas);
+      return 2;
+    }
+    std::vector<serve::FleetChaosEvent> events;
+    if (const int64_t at = args.GetI("kill_replica_after_us", 0); at > 0) {
+      events.push_back({at, victim, serve::FleetChaosEvent::Action::kKill});
+    }
+    if (const int64_t at = args.GetI("restart_replica_after_us", 0); at > 0) {
+      events.push_back({at, victim, serve::FleetChaosEvent::Action::kRestart});
+    }
+    report = serve::RunFleetLoad(router, ds.train_seqs, load, std::move(events));
+    std::printf("healthy replicas at end of storm: %d/%d\n",
+                router.healthy_replicas(), replicas);
+    router.Stop();
+  } else if (swaps > 0) {
+    // Hot-swap drill: serve through a SwappableRanker while a rollout thread
+    // re-applies a source checkpoint every --swap_interval_us. The source is
+    // the active weights themselves (a healthy no-op rollout), optionally
+    // corrupted to exercise the validation gate.
+    serve::SwapConfig swap_config;
+    swap_config.k = config.k;
+    swap_config.max_len = config.max_len;
+    swap_config.min_hr = args.GetD("swap_min_hr", -1.0);
+    swap_config.min_ndcg = args.GetD("swap_min_ndcg", -1.0);
+    swap_config.fault_injector = injector.get();
+    for (const auto& seq : ds.train_seqs) {  // leave-one-out golden batch
+      if (seq.size() < 2) continue;
+      swap_config.golden.histories.emplace_back(seq.begin(), seq.end() - 1);
+      swap_config.golden.targets.push_back(seq.back());
+      if (swap_config.golden.targets.size() >= 8) break;
+    }
+
+    const std::string swap_ckpt = args.Get("swap_ckpt", "msgcl_swap_src.ckpt");
+    if (swap_corrupt == "nan") {
+      auto poisoned = MakeModel(model_name, ds, args);
+      auto params = AsModule(poisoned.get())->NamedParameters();
+      params[0].second.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      if (Status s = nn::SaveCheckpoint(*AsModule(poisoned.get()), swap_ckpt);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    } else if (swap_corrupt.empty() || swap_corrupt == "truncate") {
+      if (Status s = nn::SaveCheckpoint(*AsModule(models[0].get()), swap_ckpt);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (swap_corrupt == "truncate") {
+        std::string bytes;
+        {
+          std::ifstream in(swap_ckpt, std::ios::binary);
+          bytes.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+        }
+        bytes.resize(std::min<size_t>(bytes.size(), 64));
+        std::ofstream out(swap_ckpt, std::ios::binary | std::ios::trunc);
+        out << bytes;
+      }
+    } else {
+      std::fprintf(stderr, "unknown --swap_corrupt='%s' (truncate|nan)\n",
+                   swap_corrupt.c_str());
+      return 2;
+    }
+
+    serve::SwappableRanker swapper(
+        serve::SwappableRanker::Slot{AsModule(models[0].get()), models[0].get()},
+        serve::SwappableRanker::Slot{AsModule(models[1].get()), models[1].get()},
+        ds.num_items, swap_config);
+    serve::MicroBatcher batcher(swapper, ds.num_items, config);
+    const int64_t interval_us = args.GetI("swap_interval_us", 20000);
+    std::thread rollout([&] {
+      for (int64_t i = 0; i < swaps; ++i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+        if (Status s = swapper.SwapFromCheckpoint(swap_ckpt); !s.ok()) {
+          std::printf("swap %lld not applied: %s\n", static_cast<long long>(i),
+                      s.ToString().c_str());
+        }
+      }
+    });
+    report = serve::RunLoad(batcher, ds.train_seqs, load);
+    rollout.join();
+    std::printf("breaker state at end of storm: %s\n",
+                serve::BreakerStateName(batcher.breaker().state()));
+    batcher.Stop();
+    swap_attempts = swaps;
+    swap_success = swapper.swaps();
+    swap_rejected = swapper.rejected();
+    std::printf("swaps: attempted=%lld success=%lld rejected=%lld active_slot=%d\n",
+                static_cast<long long>(swap_attempts),
+                static_cast<long long>(swap_success),
+                static_cast<long long>(swap_rejected), swapper.active_slot());
+    std::remove(swap_ckpt.c_str());
+  } else {
+    serve::MicroBatcher batcher(*model, ds.num_items, config);
+    report = serve::RunLoad(batcher, ds.train_seqs, load);
+    std::printf("breaker state at end of storm: %s\n",
+                serve::BreakerStateName(batcher.breaker().state()));
+    batcher.Stop();
+  }
 
   std::printf("served %lld requests in %.3fs: %.1f qps\n",
               static_cast<long long>(report.requests), report.wall_s, report.qps);
@@ -481,7 +683,19 @@ int CmdServeBench(const Args& args) {
       std::printf("  %-28s %lld\n", name.c_str(), static_cast<long long>(value));
     }
   }
+  if (const std::string json_path = args.Get("json"); !json_path.empty()) {
+    if (int rc = WriteServeJson(json_path, report, replicas, swap_attempts,
+                                swap_success, swap_rejected);
+        rc != 0) {
+      return rc;
+    }
+  }
   if (report.garbage != 0) return 1;
+  // A corrupted rollout source must never go live.
+  if (!swap_corrupt.empty() && swap_success != 0) return 1;
+  // Killing a replica mid-storm legitimately fails its queued requests, so a
+  // fleet drill judges availability rather than the raw error count.
+  if (replicas > 1) return report.availability >= 0.99 ? 0 : 1;
   const bool errors_expected = chaos && no_fallback;
   return (errors_expected || report.errors == 0) ? 0 : 1;
 }

@@ -21,6 +21,16 @@
 // equivalent (`msgcl serve-bench --replicas=...`) backs
 // tools/check_chaos_drill.sh / check_swap_drill.sh.
 //
+// Session mode (--repeat_user_frac=0.8) additionally runs a returning-user
+// mix per model through the per-session KV-state cache (DESIGN.md §12):
+// each request either revisits a live session with one appended interaction
+// (warm incremental path) or starts a fresh one (cold full encode), with
+// --session_cache_mb bounding the cache and --session_initial_len setting
+// the cold-start history length. Warm/cold p50/p95 and the hit rate go into
+// the "sessions" section of BENCH_serving.json. Session storms run at
+// max_batch=1 so warm and cold latencies are per-request truths, not
+// artifacts of sharing a batch with colder rows.
+//
 // This is a systems benchmark: it measures the serving subsystem only and
 // says nothing about recommendation quality (models are served with freshly
 // initialized weights — the scoring work is identical either way).
@@ -96,6 +106,48 @@ ServingRow RunStorm(const std::string& model_name, const bench::DatasetSpec& ds,
     batcher.Stop();
   }
   return row;
+}
+
+struct SessionRow {
+  std::string model;
+  serve::SessionLoadReport report;
+  serve::SessionCache::Stats cache;
+};
+
+// Session mode: a returning-user storm through one batcher with a session
+// cache. Runs at max_batch=1/max_wait_us=0 so the warm/cold latency split is
+// per-request (a shared batch would charge warm rows for cold encodes).
+SessionRow RunSessionStorm(const std::string& model_name,
+                           const bench::DatasetSpec& ds,
+                           const bench::HyperParams& hp,
+                           const serve::ServeConfig& base_config,
+                           const serve::SessionLoadConfig& session_load,
+                           uint64_t seed, int64_t cache_mb) {
+  SessionRow row;
+  row.model = model_name;
+  auto model = bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed);
+  serve::SessionCache cache(cache_mb << 20);
+  serve::ServeConfig config = base_config;
+  config.max_batch = 1;
+  config.max_wait_us = 0;
+  config.session_cache = &cache;
+  serve::MicroBatcher batcher(*model, ds.split.num_items, config);
+  row.report = serve::RunSessionLoad(batcher, session_load);
+  batcher.Stop();
+  row.cache = cache.stats();
+  return row;
+}
+
+void PrintSessionRow(const SessionRow& r) {
+  std::printf("%-10s sessions  %8.1f qps  hit_rate=%.3f  warm p50=%6.0fus "
+              "p95=%6.0fus  cold p50=%6.0fus p95=%6.0fus  warm=%lld cold=%lld "
+              "evicted=%lld garbage=%lld\n",
+              r.model.c_str(), r.report.all.qps, r.report.hit_rate,
+              r.report.warm_p50_us, r.report.warm_p95_us, r.report.cold_p50_us,
+              r.report.cold_p95_us, static_cast<long long>(r.report.warm),
+              static_cast<long long>(r.report.cold),
+              static_cast<long long>(r.cache.evictions),
+              static_cast<long long>(r.report.all.garbage));
 }
 
 void PrintRow(const ServingRow& r, bool chaos) {
@@ -201,11 +253,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Session mode: warm/cold returning-user mix (DESIGN.md §12).
+  const double repeat_user_frac = flags.GetDouble("repeat_user_frac", 0.0);
+  const int64_t session_cache_mb = flags.GetInt("session_cache_mb", 64);
+  std::vector<SessionRow> session_rows;
+  if (repeat_user_frac > 0.0) {
+    serve::SessionLoadConfig session_load;
+    session_load.base = load;
+    session_load.repeat_frac = repeat_user_frac;
+    session_load.num_items = ds.split.num_items;
+    session_load.max_session_len = ds.max_len;
+    session_load.initial_len = flags.GetInt(
+        "session_initial_len", std::max<int64_t>(1, ds.max_len - 10));
+    session_load.seed = seed;
+    std::printf("\nsession mix: repeat=%.2f cache=%lldMB initial_len=%lld "
+                "max_len=%lld (max_batch=1)\n",
+                repeat_user_frac, static_cast<long long>(session_cache_mb),
+                static_cast<long long>(session_load.initial_len),
+                static_cast<long long>(ds.max_len));
+    for (const std::string model_name : {"SASRec", "Meta-SGCL"}) {
+      session_rows.push_back(RunSessionStorm(model_name, ds, hp, config,
+                                             session_load, seed,
+                                             session_cache_mb));
+      PrintSessionRow(session_rows.back());
+    }
+  }
+
   double min_availability = 1.0;
   int64_t total_garbage = 0;
   for (const ServingRow& r : rows) {
     min_availability = std::min(min_availability, r.report.availability);
     total_garbage += r.report.garbage;
+  }
+  for (const SessionRow& r : session_rows) {
+    min_availability = std::min(min_availability, r.report.all.availability);
+    total_garbage += r.report.all.garbage;
   }
   if (chaos) {
     std::printf("\nchaos summary: min_availability=%.4f total_garbage=%lld "
@@ -247,6 +329,10 @@ int main(int argc, char** argv) {
       w.Int(fleet_spec.kill_at_us);
       w.Key("restart_at_us");
       w.Int(fleet_spec.restart_at_us);
+      w.Key("repeat_user_frac");
+      w.Double(repeat_user_frac);
+      w.Key("session_cache_mb");
+      w.Int(session_cache_mb);
       w.EndObject();
       w.Key("min_availability");
       w.Double(min_availability);
@@ -291,6 +377,47 @@ int main(int argc, char** argv) {
         w.EndObject();
       }
       w.EndArray();
+      if (!session_rows.empty()) {
+        w.Key("sessions");
+        w.BeginArray();
+        for (const SessionRow& r : session_rows) {
+          w.BeginObject();
+          w.Key("model");
+          w.String(r.model);
+          w.Key("qps");
+          w.Double(r.report.all.qps);
+          w.Key("hit_rate");
+          w.Double(r.report.hit_rate);
+          w.Key("warm");
+          w.Int(r.report.warm);
+          w.Key("cold");
+          w.Int(r.report.cold);
+          w.Key("warm_p50_us");
+          w.Double(r.report.warm_p50_us);
+          w.Key("warm_p95_us");
+          w.Double(r.report.warm_p95_us);
+          w.Key("cold_p50_us");
+          w.Double(r.report.cold_p50_us);
+          w.Key("cold_p95_us");
+          w.Double(r.report.cold_p95_us);
+          w.Key("cache_hits");
+          w.Int(r.cache.hits);
+          w.Key("cache_misses");
+          w.Int(r.cache.misses);
+          w.Key("cache_evictions");
+          w.Int(r.cache.evictions);
+          w.Key("cache_invalidations");
+          w.Int(r.cache.invalidations);
+          w.Key("cache_bytes");
+          w.Int(r.cache.bytes);
+          w.Key("garbage");
+          w.Int(r.report.all.garbage);
+          w.Key("availability");
+          w.Double(r.report.all.availability);
+          w.EndObject();
+        }
+        w.EndArray();
+      }
     });
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -312,6 +439,9 @@ int main(int argc, char** argv) {
     for (const ServingRow& r : rows) {
       if (r.report.errors != 0) return 1;
     }
+  }
+  for (const SessionRow& r : session_rows) {
+    if (r.report.all.errors != 0) return 1;
   }
   return 0;
 }

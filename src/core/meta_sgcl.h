@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/seq2seq_generator.h"
+#include "eval/session.h"
 #include "models/model.h"
 #include "models/trainer.h"
 #include "nn/nn.h"
@@ -73,7 +74,9 @@ struct MetaSgclConfig {
 };
 
 /// The Meta-SGCL recommender.
-class MetaSgcl : public models::Recommender, public nn::Module {
+class MetaSgcl : public models::Recommender,
+                 public nn::Module,
+                 public eval::SessionScorer {
  public:
   MetaSgcl(const MetaSgclConfig& config, const models::TrainConfig& train, Rng rng)
       : config_(config), train_(train), rng_(rng), generator_(config.backbone, rng_) {
@@ -220,6 +223,60 @@ class MetaSgcl : public models::Recommender, public nn::Module {
         generator_.backbone().ScoreTopKFused(LastHidden(batch), batch, opt);
     SetTraining(was_training);
     return topk;
+  }
+
+  // ---- eval::SessionScorer (incremental serving, DESIGN.md §12) -----------
+  //
+  // Inference is deterministic (z = mu), so the session state is one cache
+  // per stack the eval forward runs: encoder, plus decoder when configured.
+
+  int64_t session_capacity() const override {
+    return generator_.backbone().config().max_len;
+  }
+  int64_t session_dim() const override {
+    return generator_.backbone().config().dim;
+  }
+
+  void EncodeSession(const std::vector<int32_t>& window,
+                     eval::SessionState& state) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    state.items.clear();
+    state.items.reserve(static_cast<size_t>(session_capacity()));
+    generator_.InitSessionCaches(state.stacks, config_.use_decoder);
+    Tensor h = generator_.EncodeSessionCold(window, state.stacks,
+                                            config_.use_decoder, rng);
+    state.h_last = models::SasBackbone::LastPosition(h).data();
+    state.items.assign(window.begin(), window.end());
+    SetTraining(was_training);
+  }
+
+  void AppendSession(int32_t item, eval::SessionState& state) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = generator_.AppendSessionItem(
+        item, static_cast<int64_t>(state.items.size()), state.stacks,
+        config_.use_decoder, rng);
+    state.h_last = h.data();  // [1, 1, dim] — dim floats
+    state.items.push_back(item);
+    SetTraining(was_training);
+  }
+
+  std::vector<eval::TopKList> ScoreSessionHidden(
+      const std::vector<float>& hidden, int64_t rows,
+      const eval::TopKOptions& opt) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Tensor h = Tensor::FromVector({rows, session_dim()}, hidden);
+    std::vector<eval::TopKList> out =
+        generator_.backbone().ScoreTopKFusedRows(h, opt);
+    SetTraining(was_training);
+    return out;
   }
 
   const Seq2SeqGenerator& generator() const { return generator_; }

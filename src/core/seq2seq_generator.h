@@ -90,6 +90,48 @@ class Seq2SeqGenerator : public nn::Module {
   /// Weight-tied all-item logits (Eq. 22): h [M, D] -> [M, num_items + 1].
   Tensor LogitsAll(const Tensor& h) const { return backbone_.LogitsAll(h); }
 
+  // ---- Incremental session path (serving, DESIGN.md §12) -------------------
+  //
+  // Inference is deterministic (z = mu), so the session state is one KvCache
+  // for the backbone encoder plus, when the decoder runs, a second one for
+  // the decoder stack; the per-position Enc_mu projection is row-wise and
+  // needs no cache.
+
+  /// Sizes the per-stack caches: stacks[0] = encoder, stacks[1] = decoder
+  /// (present iff `use_decoder`).
+  void InitSessionCaches(std::vector<nn::KvCache>& stacks, bool use_decoder) const {
+    stacks.assign(use_decoder ? 2 : 1, nn::KvCache());
+    backbone_.InitSessionCache(stacks[0]);
+    if (use_decoder) decoder_.InitCache(stacks[1], backbone_.config().max_len);
+  }
+
+  /// Cold session encode (inference path: z = mu, no sampling): returns the
+  /// decoder hidden states [1, L, dim] (or the latent when `use_decoder` is
+  /// false), capturing K/V of every stack.
+  Tensor EncodeSessionCold(const std::vector<int32_t>& window,
+                           std::vector<nn::KvCache>& stacks, bool use_decoder,
+                           Rng& rng) const {
+    Tensor f = backbone_.EncodeSessionCold(window, stacks[0], rng);
+    Tensor z = enc_mu_.Forward(f);
+    if (!use_decoder) return z;
+    // Session layout has no padding, so nullptr builds the same (causal-only)
+    // mask an all-zero key_padding vector would.
+    return decoder_.Forward(z, /*causal=*/true, /*key_padding=*/nullptr, rng,
+                            /*skip_layer=*/-1, &stacks[1]);
+  }
+
+  /// Warm session step: appends one item at position `pos` through encoder,
+  /// mu head and (optionally) decoder — bit-identical to the last row of
+  /// EncodeSessionCold over the extended window.
+  Tensor AppendSessionItem(int32_t item, int64_t pos,
+                           std::vector<nn::KvCache>& stacks, bool use_decoder,
+                           Rng& rng) const {
+    Tensor f = backbone_.AppendSessionItem(item, pos, stacks[0], rng);
+    Tensor z = enc_mu_.Forward(f);
+    if (!use_decoder) return z;
+    return decoder_.ForwardIncremental(z, stacks[1], rng);
+  }
+
   /// Stage-1 parameter group: Enc_mu, Enc_sigma, Dec and the backbone.
   std::vector<Tensor> MainParameters() const {
     std::vector<Tensor> out = backbone_.Parameters();

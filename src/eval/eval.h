@@ -7,6 +7,7 @@
 #include "eval/evaluator.h"        // IWYU pragma: export
 #include "eval/metrics.h"          // IWYU pragma: export
 #include "eval/recommend.h"        // IWYU pragma: export
+#include "eval/session.h"          // IWYU pragma: export
 #include "eval/topk.h"             // IWYU pragma: export
 
 #endif  // MSGCL_EVAL_EVAL_H_

@@ -1,0 +1,102 @@
+// Incremental per-session scoring interface (DESIGN.md §12).
+//
+// A SessionState is the cached transformer state of one user's session: the
+// item window it was encoded from, one KvCache per Transformer stack the
+// model runs at inference (SASRec: 1; Meta-SGCL with its decoder: 2), and the
+// final-position hidden vector the scorer dots against the item table.
+//
+// Session layout vs the padded eval layout: offline eval and the stateless
+// serve path left-pad every history into a fixed [B, max_len] window with
+// per-slot positions, so growing a history by one item shifts every earlier
+// item's slot — and its position embedding — making K/V reuse impossible
+// bitwise. The session path instead encodes a history's window (its most
+// recent min(len, max_len) items) unpadded at absolute positions 0..L-1,
+// so appending an item extends the sequence without disturbing earlier
+// positions. The parity contract is *within* this layout: a warm append is
+// bit-identical to a cold session encode of the same window, at any thread
+// count. (At a full window the two layouts coincide in shape; short
+// histories score slightly differently than the left-padded path, which is
+// why sessions are opt-in per request via a nonzero session id.)
+#ifndef MSGCL_EVAL_SESSION_H_
+#define MSGCL_EVAL_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/topk.h"
+#include "nn/kv_cache.h"
+
+namespace msgcl {
+namespace eval {
+
+/// Cached per-session transformer state. `owner`/`epoch` tag which model
+/// revision encoded it: the serving layer treats an entry whose tag differs
+/// from the live (owner, epoch) as stale and re-encodes cold — stale K/V
+/// from old weights is never scored by new weights (DESIGN.md §12).
+struct SessionState {
+  std::vector<int32_t> items;        // the encoded window, oldest first
+  std::vector<nn::KvCache> stacks;   // one per Transformer stack
+  std::vector<float> h_last;         // [dim] final-position hidden state
+  const void* owner = nullptr;       // scorer identity
+  uint64_t epoch = 0;                // scorer revision (bumped on hot swap)
+
+  /// Exact heap bytes attributable to this entry. Constant after the
+  /// initial encode: KvCache buffers are allocated at full capacity and
+  /// `items` is reserved to the window capacity, so appends never realloc —
+  /// the session store's byte accounting relies on this.
+  int64_t bytes() const {
+    int64_t b = static_cast<int64_t>(sizeof(SessionState));
+    b += static_cast<int64_t>(items.capacity() * sizeof(int32_t));
+    b += static_cast<int64_t>(h_last.capacity() * sizeof(float));
+    for (const nn::KvCache& c : stacks) b += c.bytes();
+    return b;
+  }
+};
+
+/// Implemented by models that support incremental session scoring. All
+/// methods are scoring-path calls: the serving layer invokes them under the
+/// process-wide ScoreSerializer() lock, never concurrently.
+class SessionScorer {
+ public:
+  virtual ~SessionScorer() = default;
+
+  /// True when this scorer can serve the session path (a delegating scorer
+  /// may wrap inner rankers that cannot).
+  virtual bool session_supported() const { return true; }
+
+  /// Model revision: entries tagged with a different epoch are stale. The
+  /// serving layer reads this BEFORE encoding, so a concurrent model flip
+  /// can only yield a conservatively-invalidated entry, never a stale one
+  /// served as fresh.
+  virtual uint64_t session_epoch() const { return 0; }
+
+  /// Maximum window length (the model's max_len).
+  virtual int64_t session_capacity() const = 0;
+
+  /// Hidden dimension of SessionState::h_last.
+  virtual int64_t session_dim() const = 0;
+
+  /// Cold path: encodes `window` (1 <= size <= session_capacity()) from
+  /// scratch, filling `state` (items, stacks, h_last). Does not touch
+  /// owner/epoch — the caller tags them.
+  virtual void EncodeSession(const std::vector<int32_t>& window,
+                             SessionState& state) = 0;
+
+  /// Warm path: appends one item against the cached K/V, updating items and
+  /// h_last. Requires state.items.size() < session_capacity(). Bit-identical
+  /// to EncodeSession over the extended window.
+  virtual void AppendSession(int32_t item, SessionState& state) = 0;
+
+  /// Scores `rows` session hidden vectors (`hidden` is [rows, dim]
+  /// row-major) through the fused top-k path. `opt.exclude`, when set, must
+  /// have one entry per row (the serving layer passes full histories, not
+  /// windows, so long-seen items stay excluded).
+  virtual std::vector<TopKList> ScoreSessionHidden(
+      const std::vector<float>& hidden, int64_t rows,
+      const TopKOptions& opt) = 0;
+};
+
+}  // namespace eval
+}  // namespace msgcl
+
+#endif  // MSGCL_EVAL_SESSION_H_

@@ -67,6 +67,84 @@ class SasBackbone : public nn::Module {
   /// Number of encoder blocks (for layer-drop sampling).
   int64_t num_layers() const { return encoder_.num_layers(); }
 
+  // ---- Incremental session path (serving, DESIGN.md §12) -------------------
+  //
+  // Session layout: B = 1, seq_len = window length (<= max_len), no padding,
+  // absolute positions 0..L-1 — unlike MakeEvalBatch's left-padded window,
+  // appending an item extends the sequence without shifting earlier
+  // positions, which is what makes K/V reuse bit-exact.
+
+  /// Builds the session-layout batch for one window.
+  static data::Batch MakeSessionBatch(const std::vector<int32_t>& window) {
+    data::Batch b;
+    b.batch_size = 1;
+    b.seq_len = static_cast<int64_t>(window.size());
+    b.inputs = window;
+    b.positions.resize(window.size());
+    for (size_t t = 0; t < window.size(); ++t) {
+      b.positions[t] = static_cast<int32_t>(t);
+    }
+    b.key_padding.assign(window.size(), 0);
+    return b;
+  }
+
+  /// Sizes a session cache for this backbone's encoder stack.
+  void InitSessionCache(nn::KvCache& cache) const {
+    encoder_.InitCache(cache, config_.max_len);
+  }
+
+  /// Cold session encode: embeds `window` in the session layout and runs the
+  /// causal encoder, capturing every layer's K/V into `cache`. Returns
+  /// hidden states [1, L, dim].
+  Tensor EncodeSessionCold(const std::vector<int32_t>& window, nn::KvCache& cache,
+                           Rng& rng) const {
+    MSGCL_CHECK(!window.empty());
+    MSGCL_CHECK_LE(static_cast<int64_t>(window.size()), config_.max_len);
+    data::Batch batch = MakeSessionBatch(window);
+    Tensor x = Embed(batch, rng);
+    return encoder_.Forward(x, /*causal=*/true, &batch.key_padding, rng,
+                            /*skip_layer=*/-1, &cache);
+  }
+
+  /// Embeds one appended item at absolute position `pos` (= current session
+  /// length) in the session layout: [1, 1, dim]. Same Embed path as the cold
+  /// encode, so the row is bit-identical to the cold embedding of that
+  /// position.
+  Tensor EmbedSessionItem(int32_t item, int64_t pos, Rng& rng) const {
+    MSGCL_CHECK_GE(pos, 0);
+    MSGCL_CHECK_LT(pos, config_.max_len);
+    data::Batch b;
+    b.batch_size = 1;
+    b.seq_len = 1;
+    b.inputs = {item};
+    b.positions = {static_cast<int32_t>(pos)};
+    b.key_padding = {0};
+    return Embed(b, rng);
+  }
+
+  /// Warm session step: appends `item` at position `pos` against `cache` and
+  /// returns the new position's hidden state [1, 1, dim] — bit-identical to
+  /// the last row of EncodeSessionCold over the extended window.
+  Tensor AppendSessionItem(int32_t item, int64_t pos, nn::KvCache& cache,
+                           Rng& rng) const {
+    MSGCL_CHECK_EQ(pos, cache.len());
+    Tensor x = EmbedSessionItem(item, pos, rng);
+    return encoder_.ForwardIncremental(x, cache, rng);
+  }
+
+  /// ScoreTopKFused over bare hidden rows (no eval batch): used by the
+  /// session path, where exclusion comes via `opt.exclude` (one entry per
+  /// row) rather than batch contents. `opt.exclude_seen` must be false —
+  /// there is no batch window to read seen items from.
+  std::vector<eval::TopKList> ScoreTopKFusedRows(const Tensor& h_last,
+                                                 const eval::TopKOptions& opt) const {
+    MSGCL_CHECK(!opt.exclude_seen);
+    data::Batch dummy;
+    dummy.batch_size = h_last.dim(0);
+    dummy.seq_len = 0;
+    return ScoreTopKFused(h_last, dummy, opt);
+  }
+
   /// Weight-tied logits against rows 0..num_items of the item table
   /// (the mask-token row, when present, is excluded so it is never
   /// recommended). h: [M, dim] -> [M, num_items + 1].

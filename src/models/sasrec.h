@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "eval/session.h"
 #include "models/backbone.h"
 #include "models/model.h"
 #include "models/trainer.h"
@@ -14,7 +15,7 @@
 namespace msgcl {
 namespace models {
 
-class SasRec : public Recommender, public nn::Module {
+class SasRec : public Recommender, public nn::Module, public eval::SessionScorer {
  public:
   SasRec(const BackboneConfig& config, const TrainConfig& train, Rng rng)
       : train_(train), rng_(rng), backbone_(config, rng_) {
@@ -57,6 +58,51 @@ class SasRec : public Recommender, public nn::Module {
     const bool was_training = training();
     SetTraining(false);
     std::vector<eval::TopKList> out = backbone_.ScoreTopKFused(LastHidden(batch), batch, opt);
+    SetTraining(was_training);
+    return out;
+  }
+
+  // ---- eval::SessionScorer (incremental serving, DESIGN.md §12) -----------
+
+  int64_t session_capacity() const override { return backbone_.config().max_len; }
+  int64_t session_dim() const override { return backbone_.config().dim; }
+
+  void EncodeSession(const std::vector<int32_t>& window,
+                     eval::SessionState& state) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);  // unused in eval mode
+    state.items.clear();
+    state.items.reserve(static_cast<size_t>(session_capacity()));
+    state.stacks.assign(1, nn::KvCache());
+    backbone_.InitSessionCache(state.stacks[0]);
+    Tensor h = backbone_.EncodeSessionCold(window, state.stacks[0], rng);
+    state.h_last = SasBackbone::LastPosition(h).data();
+    state.items.assign(window.begin(), window.end());
+    SetTraining(was_training);
+  }
+
+  void AppendSession(int32_t item, eval::SessionState& state) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Rng rng(0);
+    Tensor h = backbone_.AppendSessionItem(
+        item, static_cast<int64_t>(state.items.size()), state.stacks[0], rng);
+    state.h_last = h.data();  // [1, 1, dim] — dim floats
+    state.items.push_back(item);
+    SetTraining(was_training);
+  }
+
+  std::vector<eval::TopKList> ScoreSessionHidden(
+      const std::vector<float>& hidden, int64_t rows,
+      const eval::TopKOptions& opt) override {
+    NoGradGuard guard;
+    const bool was_training = training();
+    SetTraining(false);
+    Tensor h = Tensor::FromVector({rows, backbone_.config().dim}, hidden);
+    std::vector<eval::TopKList> out = backbone_.ScoreTopKFusedRows(h, opt);
     SetTraining(was_training);
     return out;
   }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/kv_cache.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "obs/profiler.h"
@@ -41,8 +42,15 @@ class MultiHeadSelfAttention : public Module {
   }
 
   /// x: [B, T, dim] -> [B, T, dim].
+  ///
+  /// `capture` (optional, serving only, DESIGN.md §12): records this layer's
+  /// projected K/V into a session KvCache so later positions can be appended
+  /// incrementally via ForwardIncremental. Requires B == 1 — a session is
+  /// one user's sequence. The captured values are the exact buffers this
+  /// forward attends over, so a later incremental step reads bit-identical
+  /// state.
   Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
-                 Rng& rng) const {
+                 Rng& rng, KvCache* capture = nullptr, int64_t layer = 0) const {
     MSGCL_OBS_SCOPE_BYTES("nn.attention.fwd", x.numel() * 4);
     const int64_t B = x.dim(0), T = x.dim(1);
     const int64_t dh = dim_ / heads_;
@@ -54,6 +62,10 @@ class MultiHeadSelfAttention : public Module {
     Tensor q = split_heads(wq_.Forward(x));
     Tensor k = split_heads(wk_.Forward(x));
     Tensor v = split_heads(wv_.Forward(x));
+    if (capture != nullptr) {
+      MSGCL_CHECK_EQ(B, 1);
+      capture->CaptureLayer(layer, k.data().data(), v.data().data(), T);
+    }
 
     const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
     Tensor scores = q.MatMul(k.TransposeLast2()).MulScalar(scale);  // [B, H, T, T]
@@ -93,6 +105,56 @@ class MultiHeadSelfAttention : public Module {
     attn = attn_dropout_.Forward(attn, rng);
     Tensor ctx = attn.MatMul(v);                       // [B, H, T, dh]
     ctx = ctx.Permute({0, 2, 1, 3}).Reshape({B, T, dim_});
+    return wo_.Forward(ctx);
+  }
+
+  /// Incremental step for session serving (DESIGN.md §12): attends one new
+  /// position `x` [1, 1, dim] against the `cache.len()` cached positions of
+  /// `layer`, writing the new position's K/V at slot len() (the caller
+  /// advances the cache once per position, after every layer has written).
+  ///
+  /// Bitwise contract: this is the last query row of a cold causal
+  /// Forward over the full sequence, computed through the same Tensor
+  /// kernels (row-wise matmul, per-row softmax), so the output is
+  /// bit-identical to that row of a full re-encode at any thread count. No
+  /// mask is needed — the newest position attends every cached one, and a
+  /// cold encode's masked entries contribute exact zeros (exp(-1e9 - max)
+  /// underflows to 0.0f), never perturbing the unmasked rows.
+  Tensor ForwardIncremental(const Tensor& x, KvCache& cache, int64_t layer,
+                            Rng& rng) const {
+    MSGCL_OBS_SCOPE_BYTES("nn.attention.inc", x.numel() * 4);
+    MSGCL_CHECK_EQ(x.dim(0), 1);
+    MSGCL_CHECK_EQ(x.dim(1), 1);
+    const int64_t dh = dim_ / heads_;
+    MSGCL_CHECK_EQ(cache.heads(), heads_);
+    MSGCL_CHECK_EQ(cache.head_dim(), dh);
+
+    Tensor q = wq_.Forward(x).Reshape({1, 1, heads_, dh}).Permute({0, 2, 1, 3});
+    Tensor k1 = wk_.Forward(x);  // [1, 1, dim] == [heads * dh] row
+    Tensor v1 = wv_.Forward(x);
+    cache.WriteRow(layer, k1.data().data(), v1.data().data());
+    const int64_t L = cache.len() + 1;  // keys visible to the new position
+
+    // Materialize [1, H, L, dh] K/V views of the cache (row t of head h sits
+    // at (h * capacity + t) * dh; heads are re-packed contiguously).
+    std::vector<float> kbuf(static_cast<size_t>(heads_ * L * dh));
+    std::vector<float> vbuf(kbuf.size());
+    for (int64_t h = 0; h < heads_; ++h) {
+      const size_t src = static_cast<size_t>(h * cache.capacity() * dh);
+      const size_t dst = static_cast<size_t>(h * L * dh);
+      const size_t n = static_cast<size_t>(L * dh) * sizeof(float);
+      std::memcpy(kbuf.data() + dst, cache.k(layer) + src, n);
+      std::memcpy(vbuf.data() + dst, cache.v(layer) + src, n);
+    }
+    Tensor K = Tensor::FromVector({1, heads_, L, dh}, std::move(kbuf));
+    Tensor V = Tensor::FromVector({1, heads_, L, dh}, std::move(vbuf));
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+    Tensor scores = q.MatMul(K.TransposeLast2()).MulScalar(scale);  // [1, H, 1, L]
+    Tensor attn = scores.SoftmaxLastDim();
+    attn = attn_dropout_.Forward(attn, rng);  // identity in eval mode
+    Tensor ctx = attn.MatMul(V);              // [1, H, 1, dh]
+    ctx = ctx.Permute({0, 2, 1, 3}).Reshape({1, 1, dim_});
     return wo_.Forward(ctx);
   }
 

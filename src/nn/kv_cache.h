@@ -1,0 +1,135 @@
+// Per-session key/value state for incremental causal attention (DESIGN.md
+// §12). One KvCache holds, for every layer of one Transformer stack, the
+// projected keys and values of the positions encoded so far, laid out
+// [heads, capacity, head_dim] per layer so appending position t writes one
+// head_dim-sized row per head without moving earlier rows — the `update_cache`
+// op idiom: a preallocated cache tensor updated in place at an index.
+//
+// Buffers are allocated at full `capacity` up front, so `bytes()` is constant
+// over the cache's lifetime — the serving-layer session store relies on that
+// for exact byte accounting (an entry's cost never changes after insert).
+//
+// No thread-safety of its own: a KvCache belongs to exactly one session, and
+// the serving layer serializes all scoring (score_lock.h), so reads and
+// writes are never concurrent.
+#ifndef MSGCL_NN_KV_CACHE_H_
+#define MSGCL_NN_KV_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace nn {
+
+/// Cached K/V for one Transformer stack: `layers` pairs of
+/// [heads, capacity, head_dim] buffers plus the number of valid positions.
+class KvCache {
+ public:
+  KvCache() = default;
+
+  /// Allocates (or reallocates) full-capacity buffers and resets the length.
+  void Init(int64_t layers, int64_t heads, int64_t head_dim, int64_t capacity) {
+    MSGCL_CHECK_GT(layers, 0);
+    MSGCL_CHECK_GT(heads, 0);
+    MSGCL_CHECK_GT(head_dim, 0);
+    MSGCL_CHECK_GT(capacity, 0);
+    layers_ = layers;
+    heads_ = heads;
+    head_dim_ = head_dim;
+    capacity_ = capacity;
+    len_ = 0;
+    const size_t per_layer = static_cast<size_t>(heads * capacity * head_dim);
+    k_.assign(static_cast<size_t>(layers), std::vector<float>(per_layer, 0.0f));
+    v_.assign(static_cast<size_t>(layers), std::vector<float>(per_layer, 0.0f));
+  }
+
+  bool initialized() const { return capacity_ > 0; }
+  int64_t layers() const { return layers_; }
+  int64_t heads() const { return heads_; }
+  int64_t head_dim() const { return head_dim_; }
+  int64_t capacity() const { return capacity_; }
+  /// Number of positions currently cached (valid rows per head).
+  int64_t len() const { return len_; }
+
+  /// Drops all cached positions without freeing buffers.
+  void Reset() { len_ = 0; }
+
+  /// Raw per-layer buffers, [heads, capacity, head_dim] row-major.
+  const float* k(int64_t layer) const { return k_[CheckLayer(layer)].data(); }
+  const float* v(int64_t layer) const { return v_[CheckLayer(layer)].data(); }
+
+  /// Writes position `len()` of every head of `layer`. `k_row`/`v_row` are
+  /// the [heads * head_dim] projection of the appended position (the natural
+  /// layout of a [1, 1, dim] tensor). Call Advance() once per position after
+  /// all layers have written.
+  void WriteRow(int64_t layer, const float* k_row, const float* v_row) {
+    MSGCL_CHECK_LT(len_, capacity_);
+    std::vector<float>& kl = k_[CheckLayer(layer)];
+    std::vector<float>& vl = v_[static_cast<size_t>(layer)];
+    for (int64_t h = 0; h < heads_; ++h) {
+      const size_t dst = static_cast<size_t>((h * capacity_ + len_) * head_dim_);
+      std::memcpy(kl.data() + dst, k_row + h * head_dim_,
+                  static_cast<size_t>(head_dim_) * sizeof(float));
+      std::memcpy(vl.data() + dst, v_row + h * head_dim_,
+                  static_cast<size_t>(head_dim_) * sizeof(float));
+    }
+  }
+
+  /// Marks one appended position valid across all layers.
+  void Advance() {
+    MSGCL_CHECK_LT(len_, capacity_);
+    ++len_;
+  }
+
+  /// Captures `t` positions of one layer from a cold full encode: `k`/`v`
+  /// are contiguous [heads, t, head_dim] buffers (B == 1 tensors after the
+  /// split-heads permute). Call set_len(t) after capturing every layer.
+  void CaptureLayer(int64_t layer, const float* k, const float* v, int64_t t) {
+    MSGCL_CHECK_LE(t, capacity_);
+    std::vector<float>& kl = k_[CheckLayer(layer)];
+    std::vector<float>& vl = v_[static_cast<size_t>(layer)];
+    for (int64_t h = 0; h < heads_; ++h) {
+      const size_t dst = static_cast<size_t>(h * capacity_ * head_dim_);
+      const size_t src = static_cast<size_t>(h * t * head_dim_);
+      const size_t n = static_cast<size_t>(t * head_dim_) * sizeof(float);
+      std::memcpy(kl.data() + dst, k + src, n);
+      std::memcpy(vl.data() + dst, v + src, n);
+    }
+  }
+
+  /// Sets the valid-position count after a cold capture.
+  void set_len(int64_t len) {
+    MSGCL_CHECK_GE(len, 0);
+    MSGCL_CHECK_LE(len, capacity_);
+    len_ = len;
+  }
+
+  /// Heap bytes held by the K/V buffers — constant after Init().
+  int64_t bytes() const {
+    return 2 * layers_ * heads_ * capacity_ * head_dim_ *
+           static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  size_t CheckLayer(int64_t layer) const {
+    MSGCL_CHECK_GE(layer, 0);
+    MSGCL_CHECK_LT(layer, layers_);
+    return static_cast<size_t>(layer);
+  }
+
+  int64_t layers_ = 0;
+  int64_t heads_ = 0;
+  int64_t head_dim_ = 0;
+  int64_t capacity_ = 0;
+  int64_t len_ = 0;
+  std::vector<std::vector<float>> k_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace nn
+}  // namespace msgcl
+
+#endif  // MSGCL_NN_KV_CACHE_H_

@@ -5,6 +5,7 @@
 #include "nn/attention.h"   // IWYU pragma: export
 #include "nn/gru.h"         // IWYU pragma: export
 #include "nn/init.h"        // IWYU pragma: export
+#include "nn/kv_cache.h"    // IWYU pragma: export
 #include "nn/layers.h"      // IWYU pragma: export
 #include "nn/losses.h"      // IWYU pragma: export
 #include "nn/module.h"      // IWYU pragma: export

@@ -52,9 +52,21 @@ class TransformerBlock : public Module {
     RegisterChild("dropout", &dropout_);
   }
 
+  /// `capture`/`layer`: optionally record this block's attention K/V into a
+  /// session cache (see MultiHeadSelfAttention::Forward; B must be 1).
   Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
-                 Rng& rng) const {
-    Tensor a = attn_.Forward(x, causal, key_padding, rng);
+                 Rng& rng, nn::KvCache* capture = nullptr, int64_t layer = 0) const {
+    Tensor a = attn_.Forward(x, causal, key_padding, rng, capture, layer);
+    Tensor h = ln1_.Forward(x.Add(dropout_.Forward(a, rng)));
+    Tensor f = ffn_.Forward(h, rng);
+    return ln2_.Forward(h.Add(dropout_.Forward(f, rng)));
+  }
+
+  /// Appends one position against cached K/V — the last row of a cold
+  /// Forward, bit-identical (DESIGN.md §12). x: [1, 1, dim].
+  Tensor ForwardIncremental(const Tensor& x, KvCache& cache, int64_t layer,
+                            Rng& rng) const {
+    Tensor a = attn_.ForwardIncremental(x, cache, layer, rng);
     Tensor h = ln1_.Forward(x.Add(dropout_.Forward(a, rng)));
     Tensor f = ffn_.Forward(h, rng);
     return ln2_.Forward(h.Add(dropout_.Forward(f, rng)));
@@ -91,20 +103,57 @@ class TransformerEncoder : public Module {
   ///
   /// `skip_layer` (optional) bypasses one block — the "random layer drop"
   /// model augmentation of SRMA; -1 runs the full stack.
+  ///
+  /// `capture` (optional, serving): records every block's K/V into a session
+  /// cache during this cold encode and sets the cache length to T, priming
+  /// it for ForwardIncremental. Incompatible with skip_layer (an incremental
+  /// step always runs the full stack) and requires B == 1.
   Tensor Forward(const Tensor& x, bool causal, const std::vector<uint8_t>* key_padding,
-                 Rng& rng, int64_t skip_layer = -1) const {
+                 Rng& rng, int64_t skip_layer = -1, KvCache* capture = nullptr) const {
+    if (capture != nullptr) {
+      MSGCL_CHECK_EQ(skip_layer, -1);
+      CheckCache(*capture, x.dim(1));
+    }
     Tensor h = x;
     for (size_t l = 0; l < blocks_.size(); ++l) {
       if (static_cast<int64_t>(l) == skip_layer) continue;
-      h = blocks_[l]->Forward(h, causal, key_padding, rng);
+      h = blocks_[l]->Forward(h, causal, key_padding, rng, capture,
+                              static_cast<int64_t>(l));
     }
+    if (capture != nullptr) capture->set_len(x.dim(1));
     return h;
+  }
+
+  /// Appends one position [1, 1, dim] against a cache primed by a captured
+  /// cold Forward; advances the cache. Bit-identical to the last row of a
+  /// cold causal Forward over the extended sequence (DESIGN.md §12).
+  Tensor ForwardIncremental(const Tensor& x, KvCache& cache, Rng& rng) const {
+    CheckCache(cache, cache.len() + 1);
+    Tensor h = x;
+    for (size_t l = 0; l < blocks_.size(); ++l) {
+      h = blocks_[l]->ForwardIncremental(h, cache, static_cast<int64_t>(l), rng);
+    }
+    cache.Advance();
+    return h;
+  }
+
+  /// Sizes `cache` for this stack with room for `capacity` positions.
+  void InitCache(KvCache& cache, int64_t capacity) const {
+    cache.Init(num_layers(), config_.heads, config_.dim / config_.heads, capacity);
   }
 
   int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
   const TransformerConfig& config() const { return config_; }
 
  private:
+  void CheckCache(const KvCache& cache, int64_t needed) const {
+    MSGCL_CHECK(cache.initialized());
+    MSGCL_CHECK_EQ(cache.layers(), num_layers());
+    MSGCL_CHECK_EQ(cache.heads(), config_.heads);
+    MSGCL_CHECK_EQ(cache.head_dim(), config_.dim / config_.heads);
+    MSGCL_CHECK_LE(needed, cache.capacity());
+  }
+
   TransformerConfig config_;
   std::vector<std::unique_ptr<TransformerBlock>> blocks_;
 };

@@ -3,11 +3,12 @@
 //
 // A Router owns N MicroBatcher replicas and spreads users across them with
 // a consistent-hash ring (virtual nodes): the same user id always lands on
-// the same live replica, which preserves any per-replica state keyed by
-// user (a future session cache) and keeps remapping bounded — when a
-// replica dies, ONLY the users it owned move (to their ring successors);
-// everyone else keeps their replica, and a restart restores the original
-// mapping exactly.
+// the same live replica, which keeps a returning user's requests on one
+// batcher — so with a ServeConfig::session_cache configured (shared across
+// replicas; DESIGN.md §12) repeat users hit the warm incremental path — and
+// keeps remapping bounded: when a replica dies, ONLY the users it owned move
+// (to their ring successors); everyone else keeps their replica, and a
+// restart restores the original mapping exactly.
 //
 // Health-checked routing: a replica is routable while it is alive (not
 // killed) AND its scoring circuit breaker is not Open. Routing around an
@@ -66,7 +67,9 @@ inline uint64_t HashMix(uint64_t x) {
 }
 
 /// Fleet configuration. Every replica runs the same ServeConfig (including
-/// any shared fault injector — it is thread-safe by contract).
+/// any shared fault injector or session cache — both thread-safe by
+/// contract; the consistent-hash ring keeps each user's session state warm
+/// on one replica's submit path while the cache itself survives failover).
 struct FleetConfig {
   int replicas = 2;
   /// Ring points per replica; more points = smoother load spread and finer

@@ -22,6 +22,7 @@
 #include <cmath>
 #include <cstdint>
 #include <future>
+#include <random>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -205,6 +206,228 @@ inline LoadgenReport RunLoad(MicroBatcher& batcher,
         return batcher.Submit(std::move(req));
       },
       histories, config);
+}
+
+// ---- Returning-user session workload (DESIGN.md §12) -----------------------
+
+/// Configuration for the warm/cold session mix. Each client thread owns a
+/// pool of live sessions; every request either revisits a random live
+/// session with one new interaction appended (probability `repeat_frac` —
+/// the warm-path candidate) or starts a fresh session with `initial_len`
+/// random items (always cold). A session whose history reaches
+/// `max_session_len` is retired from the pool, modelling users who leave.
+struct SessionLoadConfig {
+  LoadgenConfig base;
+  double repeat_frac = 0.8;     // P(revisit an existing session)
+  int64_t initial_len = 40;     // history length of a fresh session
+  int64_t max_session_len = 50; // retire sessions at this length
+  int32_t num_items = 0;        // catalogue size for synthetic items
+  uint64_t seed = 1;
+
+  Status Validate() const {
+    if (repeat_frac < 0.0 || repeat_frac > 1.0) {
+      return Status::InvalidArgument("repeat_frac must be in [0, 1]");
+    }
+    if (initial_len < 1) return Status::InvalidArgument("initial_len must be >= 1");
+    if (max_session_len <= initial_len) {
+      return Status::InvalidArgument("max_session_len must exceed initial_len");
+    }
+    if (num_items < 1) return Status::InvalidArgument("num_items must be >= 1");
+    return base.Validate();
+  }
+};
+
+/// RunSessionLoad results: the overall report plus warm-vs-cold splits.
+/// `warm`/`cold` count non-degraded OK responses by Response::session_warm
+/// (server truth, not client guesswork); hit_rate = warm / (warm + cold).
+struct SessionLoadReport {
+  LoadgenReport all;
+  int64_t warm = 0;
+  int64_t cold = 0;
+  double hit_rate = 0.0;
+  double warm_p50_us = 0.0;
+  double warm_p95_us = 0.0;
+  double cold_p50_us = 0.0;
+  double cold_p95_us = 0.0;
+};
+
+/// Drives a returning-user mix through `submit` (same contract as
+/// RunLoadWith: `submit(user_key, RecommendRequest)`; the user key is the
+/// session id, so fleet routing keeps a session on one replica). Clients are
+/// closed-loop, so one session is never in flight twice.
+template <typename SubmitFn>
+SessionLoadReport RunSessionLoadWith(SubmitFn&& submit,
+                                     const SessionLoadConfig& config) {
+  MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+  Clock& clock = SystemClock::Instance();
+
+  struct ClientStats {
+    std::vector<int64_t> latencies_us;
+    std::vector<int64_t> warm_us, cold_us;
+    int64_t ok = 0, degraded = 0, shed = 0, deadline_expired = 0, errors = 0;
+    int64_t garbage = 0, warm = 0, cold = 0;
+  };
+  const LoadgenConfig& base = config.base;
+  std::vector<ClientStats> stats(static_cast<size_t>(base.clients));
+
+  const int64_t per_client = base.requests / base.clients;
+  const int64_t remainder = base.requests % base.clients;
+  const int64_t start_us = clock.NowUs();
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(base.clients));
+  for (int c = 0; c < base.clients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientStats& s = stats[static_cast<size_t>(c)];
+      const int64_t n = per_client + (c < remainder ? 1 : 0);
+      s.latencies_us.reserve(static_cast<size_t>(n));
+      std::mt19937_64 rng(config.seed * 1000003ULL +
+                          static_cast<uint64_t>(c) * 7919ULL);
+      auto item = [&]() -> int32_t {
+        return static_cast<int32_t>(
+            rng() % static_cast<uint64_t>(config.num_items) + 1);
+      };
+      struct Session {
+        uint64_t id;
+        std::vector<int32_t> history;
+      };
+      std::vector<Session> pool;
+      uint64_t next_session = 1;
+      for (int64_t i = 0; i < n; ++i) {
+        const bool revisit =
+            !pool.empty() &&
+            static_cast<double>(rng() >> 11) * 0x1.0p-53 < config.repeat_frac;
+        size_t slot;
+        if (revisit) {
+          slot = static_cast<size_t>(rng() % pool.size());
+          pool[slot].history.push_back(item());
+        } else {
+          Session fresh;
+          // Session ids are globally unique and nonzero: client in the high
+          // bits, a per-client counter in the low bits.
+          fresh.id = (static_cast<uint64_t>(c) + 1) << 32 | next_session++;
+          fresh.history.reserve(static_cast<size_t>(config.max_session_len));
+          for (int64_t t = 0; t < config.initial_len; ++t) {
+            fresh.history.push_back(item());
+          }
+          pool.push_back(std::move(fresh));
+          slot = pool.size() - 1;
+        }
+        RecommendRequest req;
+        req.history = pool[slot].history;
+        req.session_id = pool[slot].id;
+        const int64_t submit_us = clock.NowUs();
+        if (base.deadline_us > 0) req.deadline_us = submit_us + base.deadline_us;
+        auto future = submit(pool[slot].id, std::move(req));
+        const Result<Response> result = future.get();
+        const int64_t latency_us = clock.NowUs() - submit_us;
+        if (result.ok()) {
+          if (!ResponseIsUsable(result.value(), base.k)) ++s.garbage;
+          if (result.value().degraded) {
+            ++s.degraded;
+          } else {
+            ++s.ok;
+            if (result.value().session_warm) {
+              ++s.warm;
+              s.warm_us.push_back(latency_us);
+            } else {
+              ++s.cold;
+              s.cold_us.push_back(latency_us);
+            }
+          }
+          s.latencies_us.push_back(latency_us);
+        } else {
+          switch (result.status().code()) {
+            case Status::Code::kResourceExhausted:
+              ++s.shed;
+              break;
+            case Status::Code::kDeadlineExceeded:
+              ++s.deadline_expired;
+              s.latencies_us.push_back(latency_us);
+              break;
+            default:
+              ++s.errors;
+              s.latencies_us.push_back(latency_us);
+              break;
+          }
+        }
+        if (static_cast<int64_t>(pool[slot].history.size()) >=
+            config.max_session_len) {
+          pool[slot] = std::move(pool.back());  // retire: swap-remove
+          pool.pop_back();
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const int64_t end_us = clock.NowUs();
+
+  SessionLoadReport report;
+  std::vector<int64_t> all, warm_us, cold_us;
+  all.reserve(static_cast<size_t>(base.requests));
+  for (const ClientStats& s : stats) {
+    report.all.ok += s.ok;
+    report.all.degraded += s.degraded;
+    report.all.shed += s.shed;
+    report.all.deadline_expired += s.deadline_expired;
+    report.all.errors += s.errors;
+    report.all.garbage += s.garbage;
+    report.warm += s.warm;
+    report.cold += s.cold;
+    all.insert(all.end(), s.latencies_us.begin(), s.latencies_us.end());
+    warm_us.insert(warm_us.end(), s.warm_us.begin(), s.warm_us.end());
+    cold_us.insert(cold_us.end(), s.cold_us.begin(), s.cold_us.end());
+  }
+  LoadgenReport& r = report.all;
+  r.requests = r.ok + r.degraded + r.shed + r.deadline_expired + r.errors;
+  if (r.requests > 0) {
+    r.availability = static_cast<double>(r.ok + r.degraded - r.garbage) /
+                     static_cast<double>(r.requests);
+  }
+  r.wall_s = static_cast<double>(end_us - start_us) * 1e-6;
+  if (r.wall_s > 0.0) r.qps = static_cast<double>(r.requests) / r.wall_s;
+  if (!all.empty()) {
+    int64_t sum = 0, mx = 0;
+    for (const int64_t v : all) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    r.mean_us = static_cast<double>(sum) / static_cast<double>(all.size());
+    r.max_us = static_cast<double>(mx);
+    r.p50_us = ExactPercentileUs(all, 50.0);
+    r.p95_us = ExactPercentileUs(all, 95.0);
+    r.p99_us = ExactPercentileUs(all, 99.0);
+  }
+  if (report.warm + report.cold > 0) {
+    report.hit_rate = static_cast<double>(report.warm) /
+                      static_cast<double>(report.warm + report.cold);
+  }
+  report.warm_p50_us = ExactPercentileUs(warm_us, 50.0);
+  report.warm_p95_us = ExactPercentileUs(warm_us, 95.0);
+  report.cold_p50_us = ExactPercentileUs(cold_us, 50.0);
+  report.cold_p95_us = ExactPercentileUs(cold_us, 95.0);
+  return report;
+}
+
+/// Session mix through a single batcher.
+inline SessionLoadReport RunSessionLoad(MicroBatcher& batcher,
+                                        const SessionLoadConfig& config) {
+  return RunSessionLoadWith(
+      [&batcher](uint64_t /*user*/, RecommendRequest req) {
+        return batcher.Submit(std::move(req));
+      },
+      config);
+}
+
+/// Session mix through the fleet router (routing key = session id, so a
+/// session's requests stay on one replica).
+inline SessionLoadReport RunSessionFleetLoad(Router& router,
+                                             const SessionLoadConfig& config) {
+  return RunSessionLoadWith(
+      [&router](uint64_t user, RecommendRequest req) {
+        return router.Submit(user, std::move(req));
+      },
+      config);
 }
 
 /// One scheduled fleet-chaos action, fired `at_us` wall-clock microseconds

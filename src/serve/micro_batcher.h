@@ -53,6 +53,7 @@
 
 #include "data/batching.h"
 #include "eval/evaluator.h"
+#include "eval/session.h"
 #include "eval/topk.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
@@ -61,6 +62,7 @@
 #include "serve/clock.h"
 #include "serve/fallback.h"
 #include "serve/score_lock.h"
+#include "serve/session_cache.h"
 #include "tensor/status.h"
 #include "tensor/tensor.h"
 
@@ -77,6 +79,14 @@ namespace serve {
 struct RecommendRequest {
   std::vector<int32_t> history;
   int64_t deadline_us = 0;
+  /// Session identity for incremental scoring (DESIGN.md §12). 0 (default)
+  /// = stateless: the request scores through the padded-window path.
+  /// Nonzero = the request opts into the session layout; when the batcher
+  /// has a session cache and a SessionScorer model, repeat requests with a
+  /// growing history hit the warm incremental path. Clients must send the
+  /// full cumulative history each time — the cache reconciles via a prefix
+  /// check and re-encodes cold on any divergence.
+  uint64_t session_id = 0;
 };
 
 /// One serving response. `degraded` marks best-effort results produced by
@@ -85,6 +95,10 @@ struct RecommendRequest {
 struct Response {
   eval::TopKList topk;
   bool degraded = false;
+  /// True when this request was served from cached session state (warm
+  /// incremental path); false for cold session encodes, stateless requests
+  /// and degraded responses.
+  bool session_warm = false;
 };
 
 /// Serving configuration.
@@ -114,6 +128,17 @@ struct ServeConfig {
   /// Optional deterministic serve-fault source (non-owning; chaos drills).
   runtime::ServeFaultInjector* fault_injector = nullptr;
 
+  // ---- Incremental session scoring (DESIGN.md §12) ----
+  /// Per-session transformer-state cache (non-owning; must outlive the
+  /// batcher; may be shared across fleet replicas — scoring is serialized
+  /// process-wide). nullptr disables the session path entirely; with a cache
+  /// set, requests carrying a nonzero session_id score incrementally when
+  /// the model implements eval::SessionScorer.
+  SessionCache* session_cache = nullptr;
+  /// When > 0 (and a session cache is set), entries idle longer than this
+  /// are evicted after each scored batch.
+  int64_t session_idle_evict_us = 0;
+
   Status Validate() const {
     if (k <= 0 || max_len <= 0 || max_batch <= 0) {
       return Status::InvalidArgument("k, max_len and max_batch must be positive");
@@ -125,6 +150,9 @@ struct ServeConfig {
     }
     if (score_timeout_us < 0) {
       return Status::InvalidArgument("score_timeout_us must be >= 0 (0 = disabled)");
+    }
+    if (session_idle_evict_us < 0) {
+      return Status::InvalidArgument("session_idle_evict_us must be >= 0");
     }
     if (Status s = breaker.Validate(); !s.ok()) return s;
     return Status::Ok();
@@ -150,6 +178,12 @@ class MicroBatcher {
         breaker_(config.breaker, clock_) {
     MSGCL_CHECK_GT(num_items, 0);
     MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+    if (config_.session_cache != nullptr) {
+      session_scorer_ = dynamic_cast<eval::SessionScorer*>(&model_);
+      if (session_scorer_ != nullptr && !session_scorer_->session_supported()) {
+        session_scorer_ = nullptr;
+      }
+    }
     workers_.reserve(static_cast<size_t>(config_.num_workers));
     for (int w = 0; w < config_.num_workers; ++w) {
       workers_.emplace_back([this] { WorkerLoop(); });
@@ -204,6 +238,7 @@ class MicroBatcher {
       p.id = next_id_++;
       p.arrival_us = clock_->NowUs();
       p.deadline_us = req.deadline_us;
+      p.session_id = req.session_id;
       p.history = std::move(req.history);
       p.promise = std::move(promise);
       queue_.push_back(std::move(p));
@@ -275,6 +310,7 @@ class MicroBatcher {
     int64_t id = 0;
     int64_t arrival_us = 0;
     int64_t deadline_us = 0;
+    uint64_t session_id = 0;
     std::vector<int32_t> history;
     std::promise<Result<Response>> promise;
   };
@@ -356,25 +392,17 @@ class MicroBatcher {
       return;
     }
 
-    std::vector<std::vector<int32_t>> histories;
-    std::vector<int32_t> rows;
-    histories.reserve(live.size());
-    rows.reserve(live.size());
-    for (size_t i = 0; i < live.size(); ++i) {
-      histories.push_back(live[i].history);
-      rows.push_back(static_cast<int32_t>(i));
-    }
-    eval::TopKOptions opt;
-    opt.k = config_.k;
-    opt.num_items = num_items_;
-    if (config_.exclude_seen) opt.exclude = &histories;  // full history, not window
-
     std::vector<eval::TopKList> lists;
+    std::vector<uint8_t> warm(live.size(), 0);  // per-row warm-session flag
     std::string failure;  // non-empty => the whole batch failed its guards
     {
       MSGCL_OBS_SCOPE("serve.score_batch");
       // One scoring region at a time, process-wide (see score_lock.h): fleet
-      // replicas and swap validation share the same parallel pool.
+      // replicas and swap validation share the same parallel pool. The
+      // session path also relies on this region for atomicity: a model flip
+      // (SwappableRanker) takes the same lock around its epoch bump, so a
+      // batch never sees the epoch change between its epoch read and its
+      // encodes/appends.
       std::lock_guard<std::mutex> score_lock(ScoreSerializer());
       NoGradGuard guard;
       runtime::ServeFaultInjector* injector = config_.fault_injector;
@@ -385,8 +413,7 @@ class MicroBatcher {
       try {
         if (fault == runtime::ServeFaultKind::kSlowScore) injector->InjectSlow();
         if (fault == runtime::ServeFaultKind::kScoreThrow) injector->ThrowScoreFault();
-        data::Batch eval_batch = data::MakeEvalBatch(histories, rows, config_.max_len);
-        lists = model_.ScoreTopK(eval_batch, opt);
+        lists = ScoreLive(live, warm);
       } catch (const std::exception& e) {
         failure = std::string("scoring threw: ") + e.what();
       } catch (...) {
@@ -424,8 +451,107 @@ class MicroBatcher {
     const int64_t done_us = clock_->NowUs();
     for (size_t i = 0; i < live.size(); ++i) {
       request_ns.Record(static_cast<double>((done_us - live[i].arrival_us) * 1000));
-      live[i].promise.set_value(Response{std::move(lists[i]), /*degraded=*/false});
+      live[i].promise.set_value(Response{std::move(lists[i]), /*degraded=*/false,
+                                         /*session_warm=*/warm[i] != 0});
     }
+  }
+
+  /// Scores all live requests, splitting them into the stateless padded
+  /// window path and the incremental session path (DESIGN.md §12), and
+  /// merges the lists back into submit order. Runs under ScoreSerializer().
+  std::vector<eval::TopKList> ScoreLive(const std::vector<Pending>& live,
+                                        std::vector<uint8_t>& warm) {
+    SessionCache* cache = config_.session_cache;
+    const bool sessions_on = cache != nullptr && session_scorer_ != nullptr;
+    std::vector<size_t> legacy_rows, session_rows;
+    legacy_rows.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      ((sessions_on && live[i].session_id != 0) ? session_rows : legacy_rows)
+          .push_back(i);
+    }
+
+    std::vector<eval::TopKList> lists(live.size());
+
+    if (!legacy_rows.empty()) {
+      std::vector<std::vector<int32_t>> histories;
+      std::vector<int32_t> rows;
+      histories.reserve(legacy_rows.size());
+      rows.reserve(legacy_rows.size());
+      for (size_t j = 0; j < legacy_rows.size(); ++j) {
+        histories.push_back(live[legacy_rows[j]].history);
+        rows.push_back(static_cast<int32_t>(j));
+      }
+      eval::TopKOptions opt;
+      opt.k = config_.k;
+      opt.num_items = num_items_;
+      if (config_.exclude_seen) opt.exclude = &histories;  // full history, not window
+      data::Batch eval_batch = data::MakeEvalBatch(histories, rows, config_.max_len);
+      std::vector<eval::TopKList> out = model_.ScoreTopK(eval_batch, opt);
+      MSGCL_CHECK_EQ(out.size(), legacy_rows.size());
+      for (size_t j = 0; j < legacy_rows.size(); ++j) {
+        lists[legacy_rows[j]] = std::move(out[j]);
+      }
+    }
+
+    if (!session_rows.empty()) {
+      // Epoch read FIRST: a model flip after this point can only make the
+      // entries we Put conservatively stale (re-encoded cold next time),
+      // never let stale K/V pass as fresh. (Flips additionally serialize
+      // with this whole region via ScoreSerializer().)
+      const void* owner = &model_;
+      const uint64_t epoch = session_scorer_->session_epoch();
+      const int64_t cap = session_scorer_->session_capacity();
+      const int64_t dim = session_scorer_->session_dim();
+      std::vector<float> hidden(session_rows.size() * static_cast<size_t>(dim));
+      std::vector<std::vector<int32_t>> exclude;
+      if (config_.exclude_seen) exclude.reserve(session_rows.size());
+      for (size_t j = 0; j < session_rows.size(); ++j) {
+        const Pending& p = live[session_rows[j]];
+        // Scoring window: the most recent min(len, max_len) items — the
+        // same truncation the padded path applies, so cache and batcher
+        // always agree on what is being scored.
+        const int64_t n = static_cast<int64_t>(p.history.size());
+        const int64_t w = std::min<int64_t>(n, cap);
+        const std::vector<int32_t> window(p.history.end() - w, p.history.end());
+        SessionCache::LookupResult found =
+            cache->Lookup(p.session_id, owner, epoch, window);
+        std::shared_ptr<eval::SessionState> state = found.state;
+        if (found.outcome == SessionLookupOutcome::kWarm) {
+          // Append the suffix (possibly empty: an identical replay reuses
+          // h_last outright).
+          for (size_t t = state->items.size(); t < window.size(); ++t) {
+            session_scorer_->AppendSession(window[t], *state);
+          }
+          warm[session_rows[j]] = 1;
+          Counter("serve.session.warm").Add(1);
+        } else {
+          state = std::make_shared<eval::SessionState>();
+          state->owner = owner;
+          state->epoch = epoch;
+          session_scorer_->EncodeSession(window, *state);
+          Counter("serve.session.cold").Add(1);
+        }
+        MSGCL_CHECK_EQ(static_cast<int64_t>(state->h_last.size()), dim);
+        std::copy(state->h_last.begin(), state->h_last.end(),
+                  hidden.begin() + static_cast<int64_t>(j) * dim);
+        cache->Put(p.session_id, std::move(state));
+        if (config_.exclude_seen) exclude.push_back(p.history);  // full history
+      }
+      eval::TopKOptions opt;
+      opt.k = config_.k;
+      opt.num_items = num_items_;
+      if (config_.exclude_seen) opt.exclude = &exclude;
+      std::vector<eval::TopKList> out = session_scorer_->ScoreSessionHidden(
+          hidden, static_cast<int64_t>(session_rows.size()), opt);
+      MSGCL_CHECK_EQ(out.size(), session_rows.size());
+      for (size_t j = 0; j < session_rows.size(); ++j) {
+        lists[session_rows[j]] = std::move(out[j]);
+      }
+      if (config_.session_idle_evict_us > 0) {
+        cache->EvictIdle(config_.session_idle_evict_us);
+      }
+    }
+    return lists;
   }
 
   /// Per-batch numeric/shape guard: the scorer must return one list per live
@@ -478,6 +604,9 @@ class MicroBatcher {
   }
 
   eval::Ranker& model_;
+  /// Set when a session cache is configured and the model supports the
+  /// incremental path; nullptr sends everything through the padded path.
+  eval::SessionScorer* session_scorer_ = nullptr;
   const int32_t num_items_;
   const ServeConfig config_;
   Clock* const clock_;

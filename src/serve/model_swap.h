@@ -31,9 +31,15 @@
 // Lock order (deadlock-free with the batcher):
 //   * scoring path: ScoreSerializer() -> swap_mu_ (shared);
 //   * swap path:    swap_op_mu_ -> ScoreSerializer() (smoke score, released)
-//                   then swap_mu_ (unique, flip only).
-//   swap_op_mu_ is never taken by the scoring path, and the flip does not
-//   hold ScoreSerializer(), so there is no cycle.
+//                   then ScoreSerializer() -> swap_mu_ (unique, flip).
+//   swap_op_mu_ is never taken by the scoring path, and both paths acquire
+//   ScoreSerializer() before swap_mu_, so there is no cycle. Holding
+//   ScoreSerializer() across the flip (and the epoch bump) makes a swap
+//   atomic with respect to a whole scoring batch — the session path
+//   (DESIGN.md §12) relies on this: a batch reads session_epoch() and then
+//   encodes/appends K/V state inside one ScoreSerializer() region, so a flip
+//   can never interleave and let state from the old weights be extended or
+//   tagged by the new ones.
 #ifndef MSGCL_SERVE_MODEL_SWAP_H_
 #define MSGCL_SERVE_MODEL_SWAP_H_
 
@@ -48,6 +54,7 @@
 
 #include "data/batching.h"
 #include "eval/evaluator.h"
+#include "eval/session.h"
 #include "eval/topk.h"
 #include "nn/module.h"
 #include "nn/serialize.h"
@@ -95,7 +102,7 @@ struct SwapConfig {
 /// Double-buffered model snapshot holder with a validated atomic flip.
 /// Scoring calls (ScoreAll/ScoreTopK) are safe concurrently with swap
 /// attempts from any other thread; swaps themselves are serialized.
-class SwappableRanker : public eval::Ranker {
+class SwappableRanker : public eval::Ranker, public eval::SessionScorer {
  public:
   /// One model snapshot: the Module exposes the weights (for loading and the
   /// finite scan), the Ranker scores them. Both typically point at the same
@@ -118,6 +125,12 @@ class SwappableRanker : public eval::Ranker {
     MSGCL_CHECK_MSG(ArchitecturesMatch(*slots_[0].module, *slots_[1].module),
                     "active and standby slots must have identical parameter "
                     "names and shapes");
+    for (size_t i = 0; i < 2; ++i) {
+      session_inner_[i] = dynamic_cast<eval::SessionScorer*>(slots_[i].ranker);
+      if (session_inner_[i] != nullptr && !session_inner_[i]->session_supported()) {
+        session_inner_[i] = nullptr;
+      }
+    }
     Gauge("serve.swap.active_slot").Set(0.0);
   }
 
@@ -139,6 +152,51 @@ class SwappableRanker : public eval::Ranker {
                                         const eval::TopKOptions& options) override {
     std::shared_lock<std::shared_mutex> lock(swap_mu_);
     return slots_[active_].ranker->ScoreTopK(batch, options);
+  }
+
+  // ---- eval::SessionScorer (session scoring path, DESIGN.md §12) ----------
+  //
+  // Delegates to the active slot under the same shared lock as ScoreTopK.
+  // session_epoch() is the successful-swap count, bumped atomically with the
+  // flip while holding ScoreSerializer(): every cached session entry is
+  // tagged with the epoch it was encoded under, so after a flip every entry
+  // looks stale and is re-encoded cold by the new model — stale K/V from the
+  // old weights is never scored by the new ones.
+
+  bool session_supported() const override {
+    return session_inner_[0] != nullptr && session_inner_[1] != nullptr;
+  }
+
+  uint64_t session_epoch() const override {
+    return static_cast<uint64_t>(swaps_.load(std::memory_order_acquire));
+  }
+
+  int64_t session_capacity() const override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return ActiveSession()->session_capacity();
+  }
+
+  int64_t session_dim() const override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return ActiveSession()->session_dim();
+  }
+
+  void EncodeSession(const std::vector<int32_t>& window,
+                     eval::SessionState& state) override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    ActiveSession()->EncodeSession(window, state);
+  }
+
+  void AppendSession(int32_t item, eval::SessionState& state) override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    ActiveSession()->AppendSession(item, state);
+  }
+
+  std::vector<eval::TopKList> ScoreSessionHidden(
+      const std::vector<float>& hidden, int64_t rows,
+      const eval::TopKOptions& opt) override {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    return ActiveSession()->ScoreSessionHidden(hidden, rows, opt);
   }
 
   // ---- Swap path ----------------------------------------------------------
@@ -218,6 +276,14 @@ class SwappableRanker : public eval::Ranker {
     return active_;
   }
 
+  /// Active slot's session scorer. Requires swap_mu_ held (shared) and
+  /// session_supported().
+  eval::SessionScorer* ActiveSession() const {
+    eval::SessionScorer* s = session_inner_[active_];
+    MSGCL_CHECK(s != nullptr);
+    return s;
+  }
+
   Status Reject(const std::string& why) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     Counter("serve.swap.rejected").Add(1);
@@ -249,10 +315,14 @@ class SwappableRanker : public eval::Ranker {
     }
 
     {
+      // ScoreSerializer() makes the flip + epoch bump atomic with respect to
+      // an entire scoring batch (see the lock-order comment up top); the
+      // unique swap_mu_ inside it still excludes any straggler reader.
+      std::lock_guard<std::mutex> score_lock(ScoreSerializer());
       std::unique_lock<std::shared_mutex> lock(swap_mu_);
       active_ = standby;
+      swaps_.fetch_add(1, std::memory_order_release);
     }
-    swaps_.fetch_add(1, std::memory_order_relaxed);
     Counter("serve.swap.success").Add(1);
     Gauge("serve.swap.active_slot").Set(static_cast<double>(standby));
     return Status::Ok();
@@ -324,6 +394,7 @@ class SwappableRanker : public eval::Ranker {
   }
 
   Slot slots_[2];
+  eval::SessionScorer* session_inner_[2] = {nullptr, nullptr};
   const int32_t num_items_;
   const SwapConfig config_;
 

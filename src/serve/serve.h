@@ -10,5 +10,6 @@
 #include "serve/micro_batcher.h" // IWYU pragma: export
 #include "serve/model_swap.h"    // IWYU pragma: export
 #include "serve/score_lock.h"    // IWYU pragma: export
+#include "serve/session_cache.h" // IWYU pragma: export
 
 #endif  // MSGCL_SERVE_SERVE_H_

@@ -1,0 +1,290 @@
+// LRU, byte-bounded store of per-session transformer state — the serving
+// tier's KV cache (DESIGN.md §12).
+//
+// Keying and warmness: entries are keyed by the client-chosen session id
+// (nonzero uint64). A lookup is WARM only when all of
+//   1. an entry exists for the id,
+//   2. it was encoded by the live model revision — tag (owner, epoch) equals
+//      the scorer's current identity (SwappableRanker bumps the epoch on
+//      every validated flip, so stale K/V from old weights is never scored
+//      by new weights), and
+//   3. the cached items are a PREFIX of the request's scoring window (the
+//      most recent min(len, max_len) history items). A history crossing
+//      max_len slides the window, the prefix check fails, and the entry is
+//      invalidated — the cache can never silently score a stale window.
+// Any failed condition erases the entry (counted as an invalidation when an
+// entry existed) and the caller re-encodes cold.
+//
+// Eviction: entries are kept in strict LRU order (Lookup hits and Puts move
+// to the front). Put evicts from the tail until total bytes fit
+// `capacity_bytes`; EvictIdle drops entries idle longer than a bound on the
+// injected clock (FakeClock in tests). Byte accounting is exact: an entry's
+// cost is SessionState::bytes(), constant after its cold encode, and the
+// `serve.session_cache.bytes` gauge always equals the sum over resident
+// entries.
+//
+// Thread safety: all operations lock an internal mutex; states handed out by
+// Lookup are mutated by the caller only under the process-wide scoring lock
+// (score_lock.h), so get/put/evict storms from many threads are race-free.
+#ifndef MSGCL_SERVE_SESSION_CACHE_H_
+#define MSGCL_SERVE_SESSION_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eval/session.h"
+#include "obs/registry.h"
+#include "serve/clock.h"
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace serve {
+
+/// Why a lookup did or did not return warm state.
+enum class SessionLookupOutcome {
+  kWarm,          // prefix-valid state from the live model revision
+  kMissAbsent,    // no entry for this session id
+  kMissStale,     // entry tagged with a different (owner, epoch): model swap
+  kMissDiverged,  // cached items not a prefix of the window (e.g. it slid
+                  // past max_len, or the client replayed a different history)
+};
+
+/// LRU, size-bounded session store. See file comment for semantics.
+class SessionCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;         // absent + stale + diverged
+    int64_t evictions = 0;      // capacity + idle evictions
+    int64_t invalidations = 0;  // stale/diverged erases + InvalidateAll
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+
+  struct LookupResult {
+    std::shared_ptr<eval::SessionState> state;  // set iff outcome == kWarm
+    SessionLookupOutcome outcome = SessionLookupOutcome::kMissAbsent;
+  };
+
+  /// `clock` is non-owning (nullptr = process SystemClock); it timestamps
+  /// last accesses for idle eviction.
+  explicit SessionCache(int64_t capacity_bytes, Clock* clock = nullptr)
+      : capacity_bytes_(capacity_bytes),
+        clock_(clock != nullptr ? clock : &SystemClock::Instance()) {
+    MSGCL_CHECK_GT(capacity_bytes, 0);
+  }
+
+  /// Looks up `id` for the scorer identified by (owner, epoch), scoring the
+  /// given window. Warm hits move to the MRU position; any invalid entry is
+  /// erased so the follow-up Put starts clean.
+  LookupResult Lookup(uint64_t id, const void* owner, uint64_t epoch,
+                      const std::vector<int32_t>& window) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LookupResult result;
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      result.outcome = SessionLookupOutcome::kMissAbsent;
+      ++stats_.misses;
+      CounterMisses().Add(1);
+      return result;
+    }
+    const eval::SessionState& state = *it->second->state;
+    if (state.owner != owner || state.epoch != epoch) {
+      result.outcome = SessionLookupOutcome::kMissStale;
+    } else if (!IsPrefix(state.items, window)) {
+      result.outcome = SessionLookupOutcome::kMissDiverged;
+    } else {
+      result.state = it->second->state;
+      result.outcome = SessionLookupOutcome::kWarm;
+      it->second->last_access_us = clock_->NowUs();
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+      ++stats_.hits;
+      CounterHits().Add(1);
+      return result;
+    }
+    EraseLocked(it, /*invalidation=*/true);
+    ++stats_.misses;
+    CounterMisses().Add(1);
+    return result;
+  }
+
+  /// Inserts (or replaces) the state for `id` at the MRU position, then
+  /// evicts LRU entries until total bytes fit the capacity. A state larger
+  /// than the whole capacity is not admitted (it would evict everything and
+  /// still not fit).
+  void Put(uint64_t id, std::shared_ptr<eval::SessionState> state) {
+    MSGCL_CHECK(state != nullptr);
+    const int64_t entry_bytes = state->bytes();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it != index_.end()) EraseLocked(it, /*invalidation=*/false);
+    if (entry_bytes > capacity_bytes_) {
+      PublishGauges();
+      return;
+    }
+    lru_.push_front(Entry{id, std::move(state), entry_bytes, clock_->NowUs()});
+    index_[id] = lru_.begin();
+    stats_.bytes += entry_bytes;
+    ++stats_.entries;
+    while (stats_.bytes > capacity_bytes_ && !lru_.empty()) {
+      EvictLocked(std::prev(lru_.end()));
+    }
+    PublishGauges();
+  }
+
+  /// Erases one session (e.g. an explicit client logout). Returns whether an
+  /// entry existed.
+  bool Erase(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    EraseLocked(it, /*invalidation=*/true);
+    PublishGauges();
+    return true;
+  }
+
+  /// Drops every entry (counted as invalidations). The epoch tag already
+  /// keeps swapped-out state from being served; this additionally frees the
+  /// memory immediately.
+  int64_t InvalidateAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t n = stats_.entries;
+    stats_.invalidations += n;
+    CounterInvalidations().Add(n);
+    lru_.clear();
+    index_.clear();
+    stats_.entries = 0;
+    stats_.bytes = 0;
+    PublishGauges();
+    return n;
+  }
+
+  /// Evicts entries whose last access is more than `max_idle_us` before now
+  /// (on the cache's clock). Returns the number evicted.
+  int64_t EvictIdle(int64_t max_idle_us) {
+    MSGCL_CHECK_GE(max_idle_us, 0);
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t cutoff_us = clock_->NowUs() - max_idle_us;
+    int64_t evicted = 0;
+    // Tail-first: the LRU order also orders last_access ascending from the
+    // tail, so we can stop at the first fresh entry.
+    while (!lru_.empty() && std::prev(lru_.end())->last_access_us < cutoff_us) {
+      EvictLocked(std::prev(lru_.end()));
+      ++evicted;
+    }
+    if (evicted > 0) PublishGauges();
+    return evicted;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  int64_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.entries;
+  }
+  int64_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.bytes;
+  }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Session ids in LRU order, most recent first (tests/debugging).
+  std::vector<uint64_t> IdsMruToLru() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> ids;
+    ids.reserve(static_cast<size_t>(stats_.entries));
+    for (const Entry& e : lru_) ids.push_back(e.id);
+    return ids;
+  }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    std::shared_ptr<eval::SessionState> state;
+    int64_t bytes = 0;  // state->bytes() at insert; constant by contract
+    int64_t last_access_us = 0;
+  };
+
+  static bool IsPrefix(const std::vector<int32_t>& prefix,
+                       const std::vector<int32_t>& full) {
+    if (prefix.empty() || prefix.size() > full.size()) return false;
+    return std::equal(prefix.begin(), prefix.end(), full.begin());
+  }
+
+  // Registry handles resolved once; obs name map lookups stay off hot paths.
+  static obs::Counter& CounterHits() {
+    static obs::Counter& c =
+        obs::Registry::Global().GetCounter("serve.session_cache.hits");
+    return c;
+  }
+  static obs::Counter& CounterMisses() {
+    static obs::Counter& c =
+        obs::Registry::Global().GetCounter("serve.session_cache.misses");
+    return c;
+  }
+  static obs::Counter& CounterEvictions() {
+    static obs::Counter& c =
+        obs::Registry::Global().GetCounter("serve.session_cache.evictions");
+    return c;
+  }
+  static obs::Counter& CounterInvalidations() {
+    static obs::Counter& c =
+        obs::Registry::Global().GetCounter("serve.session_cache.invalidations");
+    return c;
+  }
+
+  /// Removes an entry without eviction accounting. Requires mu_ held.
+  void EraseLocked(std::unordered_map<uint64_t, std::list<Entry>::iterator>::iterator it,
+                   bool invalidation) {
+    stats_.bytes -= it->second->bytes;
+    --stats_.entries;
+    if (invalidation) {
+      ++stats_.invalidations;
+      CounterInvalidations().Add(1);
+    }
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  /// Capacity/idle eviction of one list position. Requires mu_ held.
+  void EvictLocked(std::list<Entry>::iterator pos) {
+    stats_.bytes -= pos->bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    CounterEvictions().Add(1);
+    index_.erase(pos->id);
+    lru_.erase(pos);
+  }
+
+  /// Mirrors entry/byte totals into the registry gauges. Requires mu_ held.
+  void PublishGauges() {
+    obs::Registry::Global()
+        .GetGauge("serve.session_cache.bytes")
+        .Set(static_cast<double>(stats_.bytes));
+    obs::Registry::Global()
+        .GetGauge("serve.session_cache.entries")
+        .Set(static_cast<double>(stats_.entries));
+  }
+
+  const int64_t capacity_bytes_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_SESSION_CACHE_H_

@@ -1,0 +1,687 @@
+// Tests for incremental per-session scoring and the LRU KV-state cache
+// (DESIGN.md §12). The load-bearing contract is BIT parity: a warm append
+// against cached K/V must produce the same bits as a cold full re-encode of
+// the same session window — same hidden state, same fused top-k lists — at
+// every thread count. On top of that: LRU eviction order and byte-exact
+// gauge accounting under a FakeClock, a TSan-clean concurrent storm,
+// invalidation on hot swap (stale K/V from old weights never scored by new
+// weights), and the max_len rolling-window regression (a history crossing
+// max_len diverges from the cached prefix and re-encodes cold).
+//
+// These carry the `kvcache` ctest label so the sanitized serve presets
+// (`ctest --preset asan-serve` / `tsan-serve`) pick them up alongside the
+// `serve`, `chaos` and `fleet` suites.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/core.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "nn/serialize.h"
+#include "obs/registry.h"
+#include "parallel/parallel.h"
+#include "serve/serve.h"
+
+namespace msgcl {
+namespace serve {
+namespace {
+
+constexpr int32_t kItems = 30;
+
+/// Restores the entry thread count when a test exits (parallel_test.cc).
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallel::MaxThreads()) {}
+  ~ThreadCountGuard() { parallel::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+int64_t CounterValue(const std::string& name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
+models::BackboneConfig TinyBackbone() {
+  models::BackboneConfig b;
+  b.num_items = kItems;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 2;
+  return b;
+}
+
+core::MetaSgclConfig TinyMetaSgcl(bool use_decoder) {
+  core::MetaSgclConfig c;
+  c.backbone = TinyBackbone();
+  c.use_decoder = use_decoder;
+  return c;
+}
+
+/// Deterministic synthetic history: items in [1, kItems].
+std::vector<int32_t> MakeHistory(int64_t len, int64_t salt = 0) {
+  std::vector<int32_t> h(static_cast<size_t>(len));
+  for (int64_t i = 0; i < len; ++i) {
+    h[static_cast<size_t>(i)] =
+        static_cast<int32_t>((i * 7 + salt * 13 + 3) % kItems) + 1;
+  }
+  return h;
+}
+
+/// Bitwise equality (memcmp, not float ==).
+::testing::AssertionResult BitwiseEqual(const std::vector<float>& a,
+                                        const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first bitwise difference at index " << i << ": " << a[i]
+             << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult ListsBitEqual(const eval::TopKList& a,
+                                         const eval::TopKList& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].item != b[i].item ||
+        std::memcmp(&a[i].score, &b[i].score, sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": (" << a[i].item << ", " << a[i].score
+             << ") vs (" << b[i].item << ", " << b[i].score << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+eval::TopKOptions FusedOpt(int64_t k = 10) {
+  eval::TopKOptions opt;
+  opt.k = k;
+  opt.num_items = kItems;
+  return opt;
+}
+
+/// Cold reference: fresh state, full re-encode of `window`, fused top-k.
+eval::TopKList ColdTopK(eval::SessionScorer& scorer,
+                        const std::vector<int32_t>& window,
+                        std::vector<float>* h_last = nullptr) {
+  eval::SessionState state;
+  scorer.EncodeSession(window, state);
+  if (h_last != nullptr) *h_last = state.h_last;
+  return scorer.ScoreSessionHidden(state.h_last, 1, FusedOpt())[0];
+}
+
+/// Grows one session via warm appends and asserts, at every step, bitwise
+/// parity of the hidden state AND the fused top-k list against a cold full
+/// re-encode of the same window.
+void CheckWarmColdParity(eval::SessionScorer& scorer) {
+  const int64_t cap = scorer.session_capacity();
+  const std::vector<int32_t> full = MakeHistory(cap);
+  eval::SessionState warm;
+  scorer.EncodeSession({full.begin(), full.begin() + 4}, warm);
+  for (int64_t len = 5; len <= cap; ++len) {
+    scorer.AppendSession(full[static_cast<size_t>(len - 1)], warm);
+    ASSERT_EQ(warm.items.size(), static_cast<size_t>(len));
+    std::vector<float> cold_h;
+    const eval::TopKList cold =
+        ColdTopK(scorer, {full.begin(), full.begin() + len}, &cold_h);
+    ASSERT_TRUE(BitwiseEqual(warm.h_last, cold_h)) << "len " << len;
+    const eval::TopKList warm_topk =
+        scorer.ScoreSessionHidden(warm.h_last, 1, FusedOpt())[0];
+    ASSERT_TRUE(ListsBitEqual(warm_topk, cold)) << "len " << len;
+  }
+}
+
+// ---- Warm/cold bit parity ---------------------------------------------------
+
+TEST(SessionParityTest, SasRecWarmAppendBitEqualsColdReencodeAcrossThreads) {
+  ThreadCountGuard guard;
+  std::vector<float> h_ref;
+  eval::TopKList topk_ref;
+  for (const int threads : {1, 2, 7}) {
+    parallel::SetNumThreads(threads);
+    models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+    model.SetTraining(false);
+    CheckWarmColdParity(model);
+    // The session path is also thread-count invariant (bitwise).
+    std::vector<float> h;
+    const eval::TopKList topk =
+        ColdTopK(model, MakeHistory(model.session_capacity()), &h);
+    if (threads == 1) {
+      h_ref = h;
+      topk_ref = topk;
+    } else {
+      EXPECT_TRUE(BitwiseEqual(h, h_ref)) << threads << " threads";
+      EXPECT_TRUE(ListsBitEqual(topk, topk_ref)) << threads << " threads";
+    }
+  }
+}
+
+TEST(SessionParityTest, MetaSgclWarmAppendBitEqualsColdReencodeAcrossThreads) {
+  ThreadCountGuard guard;
+  for (const bool use_decoder : {true, false}) {
+    for (const int threads : {1, 2, 7}) {
+      parallel::SetNumThreads(threads);
+      core::MetaSgcl model(TinyMetaSgcl(use_decoder), models::TrainConfig{},
+                           Rng(5));
+      model.SetTraining(false);
+      CheckWarmColdParity(model);
+    }
+  }
+}
+
+TEST(SessionParityTest, ParityHoldsAfterEvictionForcesColdReencodeMidSession) {
+  // Two interleaved sessions through a cache that holds exactly ONE entry:
+  // every request evicts the other session, so each revisit re-encodes cold
+  // mid-session — and must still match the never-evicted reference bits.
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+
+  // One encoded entry's byte size (constant by contract — see below).
+  auto probe = std::make_shared<eval::SessionState>();
+  model.EncodeSession(MakeHistory(4, /*salt=*/0), *probe);
+  const int64_t entry_bytes = probe->bytes();
+  SessionCache cache(entry_bytes);  // room for exactly one session
+
+  const void* owner = &model;
+  auto serve_one = [&](uint64_t id, const std::vector<int32_t>& window)
+      -> eval::TopKList {
+    auto r = cache.Lookup(id, owner, 0, window);
+    std::shared_ptr<eval::SessionState> state = r.state;
+    if (r.outcome == SessionLookupOutcome::kWarm) {
+      for (size_t i = state->items.size(); i < window.size(); ++i) {
+        model.AppendSession(window[i], *state);
+      }
+    } else {
+      state = std::make_shared<eval::SessionState>();
+      state->owner = owner;
+      model.EncodeSession(window, *state);
+    }
+    eval::TopKList topk = model.ScoreSessionHidden(state->h_last, 1,
+                                                   FusedOpt())[0];
+    cache.Put(id, std::move(state));
+    return topk;
+  };
+
+  const std::vector<int32_t> a = MakeHistory(10, /*salt=*/1);
+  const std::vector<int32_t> b = MakeHistory(10, /*salt=*/2);
+  for (int64_t len = 4; len <= 10; ++len) {
+    const std::vector<int32_t> wa(a.begin(), a.begin() + len);
+    const std::vector<int32_t> wb(b.begin(), b.begin() + len);
+    EXPECT_TRUE(ListsBitEqual(serve_one(1, wa), ColdTopK(model, wa)))
+        << "session a len " << len;
+    EXPECT_TRUE(ListsBitEqual(serve_one(2, wb), ColdTopK(model, wb)))
+        << "session b len " << len;
+  }
+  EXPECT_EQ(cache.entries(), 1);
+  EXPECT_GT(cache.stats().evictions, 0);
+  // Entry bytes really are constant (full-capacity Init + reserve), which is
+  // what makes "capacity == one entry" and the exact gauge accounting work.
+  EXPECT_EQ(cache.bytes(), entry_bytes);
+}
+
+// ---- LRU mechanics under a FakeClock ---------------------------------------
+
+/// Synthetic session state with exactly-controlled bytes() (no model, no
+/// K/V stacks; bytes() reads vector capacities, which fresh reserves pin).
+std::shared_ptr<eval::SessionState> MakeState(const void* owner,
+                                              uint64_t epoch,
+                                              std::vector<int32_t> items,
+                                              size_t floats) {
+  auto s = std::make_shared<eval::SessionState>();
+  s->owner = owner;
+  s->epoch = epoch;
+  s->items = std::move(items);
+  s->items.shrink_to_fit();
+  s->h_last.reserve(floats);
+  s->h_last.resize(floats, 1.0f);
+  return s;
+}
+
+TEST(SessionCacheLruTest, EvictsInLruOrderAndLookupRefreshesRecency) {
+  const int owner_tag = 0;
+  const void* owner = &owner_tag;
+  FakeClock clock;
+  const int64_t entry = MakeState(owner, 0, {1, 2}, 64)->bytes();
+  SessionCache cache(2 * entry, &clock);
+
+  cache.Put(10, MakeState(owner, 0, {1, 2}, 64));
+  cache.Put(20, MakeState(owner, 0, {1, 2}, 64));
+  EXPECT_EQ(cache.IdsMruToLru(), (std::vector<uint64_t>{20, 10}));
+
+  // A warm Lookup moves 10 to the front...
+  EXPECT_EQ(cache.Lookup(10, owner, 0, {1, 2}).outcome,
+            SessionLookupOutcome::kWarm);
+  EXPECT_EQ(cache.IdsMruToLru(), (std::vector<uint64_t>{10, 20}));
+
+  // ...so the third Put evicts 20 (the LRU tail), not 10.
+  cache.Put(30, MakeState(owner, 0, {1, 2}, 64));
+  EXPECT_EQ(cache.IdsMruToLru(), (std::vector<uint64_t>{30, 10}));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.Lookup(20, owner, 0, {1, 2}).outcome,
+            SessionLookupOutcome::kMissAbsent);
+}
+
+TEST(SessionCacheLruTest, BytesGaugeEqualsSummedEntryBytesExactly) {
+  const int owner_tag = 0;
+  const void* owner = &owner_tag;
+  FakeClock clock;
+  auto a = MakeState(owner, 0, {1}, 32);
+  auto b = MakeState(owner, 0, {1, 2, 3}, 96);
+  const int64_t bytes_a = a->bytes();
+  const int64_t bytes_b = b->bytes();
+  SessionCache cache(1 << 20, &clock);
+
+  cache.Put(1, std::move(a));
+  EXPECT_EQ(cache.bytes(), bytes_a);
+  cache.Put(2, std::move(b));
+  EXPECT_EQ(cache.bytes(), bytes_a + bytes_b);
+  // The obs gauges publish the same exact numbers.
+  EXPECT_EQ(static_cast<int64_t>(
+                obs::Registry::Global().GetGauge("serve.session_cache.bytes")
+                    .value()),
+            bytes_a + bytes_b);
+  EXPECT_EQ(static_cast<int64_t>(
+                obs::Registry::Global().GetGauge("serve.session_cache.entries")
+                    .value()),
+            2);
+
+  // Replacing an entry swaps its bytes out and the new ones in, exactly.
+  auto a2 = MakeState(owner, 0, {1, 2}, 128);
+  const int64_t bytes_a2 = a2->bytes();
+  cache.Put(1, std::move(a2));
+  EXPECT_EQ(cache.bytes(), bytes_a2 + bytes_b);
+
+  EXPECT_TRUE(cache.Erase(2));
+  EXPECT_EQ(cache.bytes(), bytes_a2);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.bytes(), 0);
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(static_cast<int64_t>(
+                obs::Registry::Global().GetGauge("serve.session_cache.bytes")
+                    .value()),
+            0);
+}
+
+TEST(SessionCacheLruTest, HitMissEvictionInvalidationCountersExactDeltas) {
+  const int owner_tag = 0;
+  const int other_tag = 0;
+  const void* owner = &owner_tag;
+  const void* other = &other_tag;
+  FakeClock clock;
+  const int64_t entry = MakeState(owner, 0, {1, 2}, 64)->bytes();
+  SessionCache cache(2 * entry, &clock);
+
+  const SessionCache::Stats s0 = cache.stats();
+  const int64_t hits0 = CounterValue("serve.session_cache.hits");
+  const int64_t misses0 = CounterValue("serve.session_cache.misses");
+  const int64_t evict0 = CounterValue("serve.session_cache.evictions");
+  const int64_t inval0 = CounterValue("serve.session_cache.invalidations");
+
+  // miss (absent), then a hit, then the four miss flavours + an eviction.
+  EXPECT_EQ(cache.Lookup(1, owner, 0, {1, 2}).outcome,
+            SessionLookupOutcome::kMissAbsent);
+  cache.Put(1, MakeState(owner, 0, {1, 2}, 64));
+  EXPECT_EQ(cache.Lookup(1, owner, 0, {1, 2, 9}).outcome,
+            SessionLookupOutcome::kWarm);  // cached items prefix of window
+  cache.Put(2, MakeState(owner, 0, {1, 2}, 64));
+  cache.Put(3, MakeState(owner, 0, {1, 2}, 64));  // capacity 2: evicts LRU id 1
+  EXPECT_EQ(cache.Lookup(2, other, 0, {1, 2}).outcome,
+            SessionLookupOutcome::kMissStale);  // wrong owner -> invalidated
+  cache.Put(2, MakeState(owner, 7, {1, 2}, 64));
+  EXPECT_EQ(cache.Lookup(2, owner, 8, {1, 2}).outcome,
+            SessionLookupOutcome::kMissStale);  // wrong epoch -> invalidated
+  cache.Put(2, MakeState(owner, 8, {4, 5}, 64));
+  EXPECT_EQ(cache.Lookup(2, owner, 8, {4, 6}).outcome,
+            SessionLookupOutcome::kMissDiverged);  // not a prefix
+
+  const SessionCache::Stats s1 = cache.stats();
+  EXPECT_EQ(s1.hits - s0.hits, 1);
+  EXPECT_EQ(s1.misses - s0.misses, 4);        // absent + stale*2 + diverged
+  EXPECT_EQ(s1.evictions - s0.evictions, 1);  // capacity eviction only
+  EXPECT_EQ(s1.invalidations - s0.invalidations, 3);  // stale*2 + diverged
+  EXPECT_EQ(CounterValue("serve.session_cache.hits") - hits0, 1);
+  EXPECT_EQ(CounterValue("serve.session_cache.misses") - misses0, 4);
+  EXPECT_EQ(CounterValue("serve.session_cache.evictions") - evict0, 1);
+  EXPECT_EQ(CounterValue("serve.session_cache.invalidations") - inval0, 3);
+}
+
+TEST(SessionCacheLruTest, EvictIdleDropsOnlyEntriesPastTheBound) {
+  const int owner_tag = 0;
+  const void* owner = &owner_tag;
+  FakeClock clock;
+  SessionCache cache(1 << 20, &clock);
+  cache.Put(1, MakeState(owner, 0, {1}, 32));
+  clock.Advance(10'000);
+  cache.Put(2, MakeState(owner, 0, {1}, 32));
+  clock.Advance(5'000);
+  // id 1 idle 15ms, id 2 idle 5ms: only id 1 is past a 10ms bound.
+  EXPECT_EQ(cache.EvictIdle(10'000), 1);
+  EXPECT_EQ(cache.IdsMruToLru(), (std::vector<uint64_t>{2}));
+  // A warm Lookup refreshes the timestamp, so id 2 now survives the bound.
+  clock.Advance(8'000);
+  EXPECT_EQ(cache.Lookup(2, owner, 0, {1}).outcome,
+            SessionLookupOutcome::kWarm);
+  clock.Advance(4'000);
+  EXPECT_EQ(cache.EvictIdle(10'000), 0);
+  EXPECT_EQ(cache.entries(), 1);
+}
+
+TEST(SessionCacheLruTest, OversizedEntryIsSkippedNotCached) {
+  const int owner_tag = 0;
+  const void* owner = &owner_tag;
+  SessionCache cache(64);  // smaller than any real state
+  cache.Put(1, MakeState(owner, 0, {1}, 4096));
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(cache.bytes(), 0);
+  EXPECT_EQ(cache.Lookup(1, owner, 0, {1}).outcome,
+            SessionLookupOutcome::kMissAbsent);
+}
+
+TEST(SessionCacheConcurrencyTest, ConcurrentGetPutEvictStormStaysConsistent) {
+  const int owner_tag = 0;
+  const void* owner = &owner_tag;
+  const int64_t entry = MakeState(owner, 0, {1, 2}, 64)->bytes();
+  SessionCache cache(8 * entry);  // small: constant eviction pressure
+  std::atomic<int64_t> warm_hits{0};
+  std::atomic<int64_t> lookups{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t rng = static_cast<uint64_t>(t) * 2654435761u + 1;
+      for (int i = 0; i < 2000; ++i) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t id = (rng >> 33) % 32;
+        switch ((rng >> 20) % 4) {
+          case 0:
+            cache.Put(id, MakeState(owner, 0, {1, 2}, 64));
+            break;
+          case 1:
+            cache.Erase(id);
+            break;
+          case 2:
+            cache.EvictIdle(1);
+            break;
+          default:
+            lookups.fetch_add(1, std::memory_order_relaxed);
+            if (cache.Lookup(id, owner, 0, {1, 2}).outcome ==
+                SessionLookupOutcome::kWarm) {
+              warm_hits.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Post-storm invariants: bookkeeping is exact, bounds were never broken.
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, static_cast<int64_t>(cache.IdsMruToLru().size()));
+  EXPECT_EQ(stats.bytes, stats.entries * entry);
+  EXPECT_LE(stats.bytes, 8 * entry);
+  EXPECT_EQ(stats.hits, warm_hits.load());
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+}
+
+// ---- MicroBatcher wiring ----------------------------------------------------
+
+ServeConfig SessionServeConfig(SessionCache* cache) {
+  ServeConfig c;
+  c.k = 10;
+  c.max_len = 12;
+  c.max_batch = 1;
+  c.max_wait_us = 0;
+  c.num_workers = 1;
+  c.session_cache = cache;
+  return c;
+}
+
+Response Serve(MicroBatcher& batcher, uint64_t session_id,
+               const std::vector<int32_t>& history) {
+  RecommendRequest req;
+  req.history = history;
+  req.session_id = session_id;
+  auto result = batcher.Submit(std::move(req)).get();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(MicroBatcherSessionTest, WarmResponsesBitEqualNeverCachedReplica) {
+  // Two identical models (same seed). A serves through a real cache; B's
+  // cache is 1 byte, so every Put is skipped and every request re-encodes
+  // cold — a never-cached replica on the same session layout.
+  models::SasRec model_a(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_b(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model_a.SetTraining(false);
+  model_b.SetTraining(false);
+  SessionCache cache(64 << 20);
+  SessionCache never(1);
+  MicroBatcher a(model_a, kItems, SessionServeConfig(&cache));
+  MicroBatcher b(model_b, kItems, SessionServeConfig(&never));
+
+  std::vector<int32_t> history = MakeHistory(5);
+  for (int step = 0; step < 6; ++step) {
+    if (step > 0) {
+      history.push_back(static_cast<int32_t>((step * 11) % kItems) + 1);
+    }
+    const Response ra = Serve(a, 77, history);
+    const Response rb = Serve(b, 77, history);
+    EXPECT_EQ(ra.session_warm, step > 0) << "step " << step;
+    EXPECT_FALSE(rb.session_warm) << "step " << step;
+    EXPECT_TRUE(ListsBitEqual(ra.topk, rb.topk)) << "step " << step;
+  }
+  EXPECT_EQ(cache.stats().hits, 5);
+  EXPECT_EQ(never.stats().entries, 0);
+  a.Stop();
+  b.Stop();
+}
+
+TEST(MicroBatcherSessionTest, StatelessRequestsIgnoreTheCache) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  SessionCache cache(64 << 20);
+  MicroBatcher batcher(model, kItems, SessionServeConfig(&cache));
+  const Response r = Serve(batcher, /*session_id=*/0, MakeHistory(6));
+  EXPECT_FALSE(r.session_warm);
+  EXPECT_EQ(r.topk.size(), 10u);
+  EXPECT_EQ(cache.entries(), 0);  // session_id 0 never touches the cache
+  batcher.Stop();
+}
+
+TEST(MicroBatcherSessionTest, HistoryCrossingMaxLenRollsCachedState) {
+  // Satellite regression: the batcher windows histories to the last max_len
+  // items. Once a session's history crosses max_len the window SLIDES, the
+  // cached items are no longer a prefix, and the cache must re-encode cold
+  // (kMissDiverged) rather than append against a misaligned K/V stack.
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec reference(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  reference.SetTraining(false);
+  SessionCache cache(64 << 20);
+  ServeConfig config = SessionServeConfig(&cache);
+  MicroBatcher batcher(model, kItems, config);
+
+  std::vector<int32_t> history = MakeHistory(config.max_len);  // == max_len
+  EXPECT_FALSE(Serve(batcher, 9, history).session_warm);
+  EXPECT_EQ(cache.stats().hits, 0);
+
+  // One more item: history length max_len + 1, window = last max_len items.
+  history.push_back(7);
+  const Response rolled = Serve(batcher, 9, history);
+  EXPECT_FALSE(rolled.session_warm) << "slid window must re-encode cold";
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_GT(cache.stats().invalidations, 0);
+
+  // And the cold re-encode of the slid window is bit-exact: compare against
+  // a never-cached replica scoring the same window with the same excludes.
+  const std::vector<int32_t> window(history.end() - config.max_len,
+                                    history.end());
+  eval::SessionState state;
+  reference.EncodeSession(window, state);
+  eval::TopKOptions opt = FusedOpt(config.k);
+  const std::vector<std::vector<int32_t>> exclude = {history};
+  opt.exclude = &exclude;
+  const eval::TopKList expect =
+      reference.ScoreSessionHidden(state.h_last, 1, opt)[0];
+  EXPECT_TRUE(ListsBitEqual(rolled.topk, expect));
+
+  // Once past max_len EVERY request slides the window, so the cached items
+  // are never again a prefix: a capped session re-encodes cold each time
+  // (absolute positions make in-place K/V rolls impossible — which is why
+  // the session loadgen retires sessions at max_len instead of growing them
+  // forever).
+  history.push_back(8);
+  EXPECT_FALSE(Serve(batcher, 9, history).session_warm);
+  batcher.Stop();
+}
+
+TEST(MicroBatcherSessionTest, FleetRoutingKeepsReturningSessionsWarm) {
+  // Through the Router: replicas are built from the shared ServeConfig, so
+  // one SessionCache serves the whole fleet, and consistent-hash routing on
+  // the session id keeps a session's requests on one replica. A returning
+  // session must hit the warm path exactly as on a single batcher.
+  models::SasRec model_a(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_b(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model_a.SetTraining(false);
+  model_b.SetTraining(false);
+  SessionCache cache(64 << 20);
+  FleetConfig fleet;
+  fleet.replicas = 2;
+  fleet.serve = SessionServeConfig(&cache);
+  std::vector<eval::Ranker*> rankers = {&model_a, &model_b};
+  Router router(rankers, kItems, fleet);
+
+  for (uint64_t session = 1; session <= 8; ++session) {
+    std::vector<int32_t> history = MakeHistory(5, static_cast<int64_t>(session));
+    RecommendRequest req;
+    req.history = history;
+    req.session_id = session;
+    auto first = router.Submit(session, req).get();
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_FALSE(first.value().session_warm);
+
+    history.push_back(static_cast<int32_t>(session % kItems) + 1);
+    req.history = history;
+    auto second = router.Submit(session, std::move(req)).get();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_TRUE(second.value().session_warm) << "session " << session;
+  }
+  EXPECT_EQ(cache.stats().hits, 8);
+  router.Stop();
+}
+
+// ---- Invalidation on hot swap ----------------------------------------------
+
+TEST(SwapInvalidationTest, SwapToNewWeightsForcesColdReencodeBitEqualToReplica) {
+  // Populate the cache through a SwappableRanker, hot-swap to DIFFERENT
+  // weights, and assert the next request for a cached session re-encodes
+  // cold (stale epoch) and matches a never-cached replica of the NEW
+  // weights bit-for-bit: stale K/V from the old model is never scored by
+  // the new one.
+  const models::BackboneConfig backbone = TinyBackbone();
+  models::SasRec active(backbone, models::TrainConfig{}, Rng(3));
+  models::SasRec standby(backbone, models::TrainConfig{}, Rng(4));
+  models::SasRec rollout(backbone, models::TrainConfig{}, Rng(5));
+  models::SasRec replica(backbone, models::TrainConfig{}, Rng(5));
+  active.SetTraining(false);
+  standby.SetTraining(false);
+  rollout.SetTraining(false);
+  replica.SetTraining(false);
+
+  SwapConfig swap_config;
+  swap_config.k = 10;
+  swap_config.max_len = backbone.max_len;
+  SwappableRanker swapper(SwappableRanker::Slot{&active, &active},
+                          SwappableRanker::Slot{&standby, &standby}, kItems,
+                          swap_config);
+  ASSERT_TRUE(swapper.session_supported());
+  EXPECT_EQ(swapper.session_epoch(), 0u);
+
+  SessionCache cache(64 << 20);
+  MicroBatcher batcher(swapper, kItems, SessionServeConfig(&cache));
+
+  std::vector<int32_t> history = MakeHistory(6);
+  EXPECT_FALSE(Serve(batcher, 42, history).session_warm);
+  history.push_back(9);
+  EXPECT_TRUE(Serve(batcher, 42, history).session_warm);
+  EXPECT_EQ(cache.entries(), 1);
+
+  // Roll out genuinely different weights (seed 5 != 3).
+  const std::string path = ::testing::TempDir() + "/session_swap_rollout.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(rollout, path).ok());
+  const Status s = swapper.SwapFromCheckpoint(path);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(swapper.session_epoch(), 1u);
+
+  // Next request: same session id, grown history. Must be COLD (the cached
+  // epoch is stale) and bit-equal to a never-cached replica of the new
+  // weights scoring the same window with the same excludes.
+  history.push_back(11);
+  const Response r = Serve(batcher, 42, history);
+  EXPECT_FALSE(r.session_warm);
+
+  eval::SessionState state;
+  replica.EncodeSession(history, state);  // len 8 < max_len: window == full
+  eval::TopKOptions opt = FusedOpt(10);
+  const std::vector<std::vector<int32_t>> exclude = {history};
+  opt.exclude = &exclude;
+  const eval::TopKList expect =
+      replica.ScoreSessionHidden(state.h_last, 1, opt)[0];
+  EXPECT_TRUE(ListsBitEqual(r.topk, expect));
+
+  // The re-encoded state is tagged with the new epoch: warm again next time.
+  history.push_back(13);
+  EXPECT_TRUE(Serve(batcher, 42, history).session_warm);
+  batcher.Stop();
+}
+
+TEST(SwapInvalidationTest, RejectedSwapDoesNotBumpEpochOrColdSessions) {
+  const models::BackboneConfig backbone = TinyBackbone();
+  models::SasRec active(backbone, models::TrainConfig{}, Rng(3));
+  models::SasRec standby(backbone, models::TrainConfig{}, Rng(4));
+  active.SetTraining(false);
+  standby.SetTraining(false);
+  SwapConfig swap_config;
+  swap_config.k = 10;
+  swap_config.max_len = backbone.max_len;
+  swap_config.min_hr = 1.1;  // unattainable: every rollout is rejected
+  // A non-empty golden batch so the smoke-score stage actually runs.
+  for (int i = 0; i < 4; ++i) {
+    swap_config.golden.histories.push_back(MakeHistory(5, i));
+    swap_config.golden.targets.push_back(static_cast<int32_t>(i + 1));
+  }
+  SwappableRanker swapper(SwappableRanker::Slot{&active, &active},
+                          SwappableRanker::Slot{&standby, &standby}, kItems,
+                          swap_config);
+  SessionCache cache(64 << 20);
+  MicroBatcher batcher(swapper, kItems, SessionServeConfig(&cache));
+
+  std::vector<int32_t> history = MakeHistory(6);
+  EXPECT_FALSE(Serve(batcher, 8, history).session_warm);
+  EXPECT_FALSE(swapper.SwapFromModule(standby).ok());
+  EXPECT_EQ(swapper.session_epoch(), 0u);
+
+  // A failed rollout must NOT cost cached sessions their warm path.
+  history.push_back(3);
+  EXPECT_TRUE(Serve(batcher, 8, history).session_warm);
+  batcher.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msgcl

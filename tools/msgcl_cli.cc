@@ -51,6 +51,19 @@
 //                                tools/check_chaos_drill.sh / check_swap_drill.sh)
 // --replicas and --swaps are separate drills and cannot be combined.
 //
+// Returning-user sessions (DESIGN.md §12; serve-bench only):
+//   --repeat_user_frac=F         fraction of requests that revisit a live
+//                                session (0 = off); enables the per-session
+//                                KV cache and a warm/cold latency split.
+//                                Forces max_batch=1 so warm and cold rows are
+//                                timed per-request, not smeared by batching
+//   --session_cache_mb=N         SessionCache capacity in MiB (default 64)
+//   --session_initial_len=N      history length of a fresh session (default
+//                                max_len - 10); sessions retire at max_len
+// Session mode is a single-replica drill (no --replicas/--swaps); the JSON
+// report gains hit_rate, warm/cold p50/p95 and cache counters (used by
+// tools/check_warm_session_drill.sh).
+//
 // Architecture flags (--dim, --layers, --heads, --max_len) must match
 // between train and evaluate/recommend; the checkpoint loader verifies
 // shapes and refuses mismatches.
@@ -420,11 +433,20 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+// Warm/cold session outcomes for the returning-user drill
+// (tools/check_warm_session_drill.sh). Only written when --repeat_user_frac
+// enables session mode.
+struct SessionBenchOut {
+  serve::SessionLoadReport report;
+  serve::SessionCache::Stats cache;
+};
+
 // Flat JSON report for the drill scripts (tools/check_chaos_drill.sh,
-// tools/check_swap_drill.sh): loadgen outcomes plus fleet/swap outcome counts.
+// tools/check_swap_drill.sh, tools/check_warm_session_drill.sh): loadgen
+// outcomes plus fleet/swap outcome counts and optional session-cache stats.
 int WriteServeJson(const std::string& path, const serve::LoadgenReport& report,
                    int replicas, int64_t swap_attempts, int64_t swap_success,
-                   int64_t swap_rejected) {
+                   int64_t swap_rejected, const SessionBenchOut* session) {
   obs::JsonWriter json;
   json.BeginObject();
   json.Key("requests"); json.Int(report.requests);
@@ -443,6 +465,21 @@ int WriteServeJson(const std::string& path, const serve::LoadgenReport& report,
   json.Key("swap_attempts"); json.Int(swap_attempts);
   json.Key("swap_success"); json.Int(swap_success);
   json.Key("swap_rejected"); json.Int(swap_rejected);
+  if (session != nullptr) {
+    json.Key("warm"); json.Int(session->report.warm);
+    json.Key("cold"); json.Int(session->report.cold);
+    json.Key("hit_rate"); json.Double(session->report.hit_rate);
+    json.Key("warm_p50_us"); json.Double(session->report.warm_p50_us);
+    json.Key("warm_p95_us"); json.Double(session->report.warm_p95_us);
+    json.Key("cold_p50_us"); json.Double(session->report.cold_p50_us);
+    json.Key("cold_p95_us"); json.Double(session->report.cold_p95_us);
+    json.Key("cache_hits"); json.Int(session->cache.hits);
+    json.Key("cache_misses"); json.Int(session->cache.misses);
+    json.Key("cache_evictions"); json.Int(session->cache.evictions);
+    json.Key("cache_invalidations"); json.Int(session->cache.invalidations);
+    json.Key("cache_entries"); json.Int(session->cache.entries);
+    json.Key("cache_bytes"); json.Int(session->cache.bytes);
+  }
   json.EndObject();
   std::ofstream out(path);
   if (!out) {
@@ -506,6 +543,22 @@ int CmdServeBench(const Args& args) {
   load.deadline_us = args.GetI("deadline_us", 0);
   load.k = config.k;
 
+  // Returning-user session mode: --repeat_user_frac > 0 swaps the storm for a
+  // warm/cold mix served through a SessionCache. Forces max_batch=1 so warm
+  // and cold latencies are measured per-request rather than smeared across a
+  // shared micro-batch (a batch resolves all its rows together, which would
+  // make warm ~= cold no matter how much encoding the cache saved).
+  const double repeat_user_frac = args.GetD("repeat_user_frac", 0.0);
+  const int64_t session_cache_mb = args.GetI("session_cache_mb", 64);
+  const int64_t session_initial_len =
+      args.GetI("session_initial_len", std::max<int64_t>(1, config.max_len - 10));
+  if (repeat_user_frac > 0.0 && (replicas > 1 || swaps > 0)) {
+    std::fprintf(stderr,
+                 "--repeat_user_frac is a single-replica drill; run it without "
+                 "--replicas/--swaps\n");
+    return 2;
+  }
+
   const bool chaos = args.GetI("chaos", 0) != 0;
   const bool no_fallback = args.GetI("no_fallback", 0) != 0;
   const std::set<int64_t> swap_crashes = ParseStepList(args.Get("swap_crash_attempts"));
@@ -540,9 +593,12 @@ int CmdServeBench(const Args& args) {
               model->name().c_str(), static_cast<long long>(load.requests),
               load.clients, static_cast<long long>(config.max_batch),
               static_cast<long long>(config.max_wait_us), replicas,
-              chaos ? ", CHAOS" : "", swaps > 0 ? ", HOT-SWAP" : "");
+              chaos ? ", CHAOS" : "",
+              swaps > 0 ? ", HOT-SWAP"
+                        : (repeat_user_frac > 0.0 ? ", SESSIONS" : ""));
 
   serve::LoadgenReport report;
+  std::unique_ptr<SessionBenchOut> session;
   int64_t swap_attempts = 0;
   int64_t swap_success = 0;
   int64_t swap_rejected = 0;
@@ -656,6 +712,48 @@ int CmdServeBench(const Args& args) {
                 static_cast<long long>(swap_success),
                 static_cast<long long>(swap_rejected), swapper.active_slot());
     std::remove(swap_ckpt.c_str());
+  } else if (repeat_user_frac > 0.0) {
+    // Returning-user drill: warm/cold mix through a per-session KV cache.
+    serve::SessionCache cache(session_cache_mb << 20);
+    serve::ServeConfig session_config = config;
+    session_config.max_batch = 1;
+    session_config.max_wait_us = 0;
+    session_config.session_cache = &cache;
+    serve::MicroBatcher batcher(*model, ds.num_items, session_config);
+    serve::SessionLoadConfig scfg;
+    scfg.base = load;
+    scfg.repeat_frac = repeat_user_frac;
+    scfg.initial_len = session_initial_len;
+    scfg.max_session_len = config.max_len;
+    scfg.num_items = ds.num_items;
+    scfg.seed = static_cast<uint64_t>(args.GetI("seed", 42));
+    if (Status s = scfg.Validate(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+    serve::SessionLoadReport sreport = serve::RunSessionLoad(batcher, scfg);
+    std::printf("breaker state at end of storm: %s\n",
+                serve::BreakerStateName(batcher.breaker().state()));
+    batcher.Stop();
+    session = std::make_unique<SessionBenchOut>();
+    session->report = sreport;
+    session->cache = cache.stats();
+    report = sreport.all;
+    std::printf("sessions: warm=%lld cold=%lld hit_rate=%.3f\n",
+                static_cast<long long>(sreport.warm),
+                static_cast<long long>(sreport.cold), sreport.hit_rate);
+    std::printf("warm latency: p50=%.0fus p95=%.0fus | cold latency: "
+                "p50=%.0fus p95=%.0fus\n",
+                sreport.warm_p50_us, sreport.warm_p95_us, sreport.cold_p50_us,
+                sreport.cold_p95_us);
+    std::printf("cache: hits=%lld misses=%lld evictions=%lld "
+                "invalidations=%lld entries=%lld bytes=%lld\n",
+                static_cast<long long>(session->cache.hits),
+                static_cast<long long>(session->cache.misses),
+                static_cast<long long>(session->cache.evictions),
+                static_cast<long long>(session->cache.invalidations),
+                static_cast<long long>(session->cache.entries),
+                static_cast<long long>(session->cache.bytes));
   } else {
     serve::MicroBatcher batcher(*model, ds.num_items, config);
     report = serve::RunLoad(batcher, ds.train_seqs, load);
@@ -685,7 +783,7 @@ int CmdServeBench(const Args& args) {
   }
   if (const std::string json_path = args.Get("json"); !json_path.empty()) {
     if (int rc = WriteServeJson(json_path, report, replicas, swap_attempts,
-                                swap_success, swap_rejected);
+                                swap_success, swap_rejected, session.get());
         rc != 0) {
       return rc;
     }

@@ -31,6 +31,7 @@
 #include "models/backbone.h"
 #include "nn/nn.h"
 #include "parallel/parallel.h"
+#include "tensor/kernels.h"
 
 namespace {
 
@@ -182,12 +183,17 @@ struct KernelResult {
   const char* work_unit;
   double t1_ms = 0.0;
   double tn_ms = 0.0;
+  double t1_scalar_ms = 0.0;  // single-thread, simd::Isa::kScalar dispatch
 };
 
 /// Times the hot kernel families: best-of-reps at 1 thread, and (when
-/// `measure_tn`) at `threads` threads. The kernel set and names are fixed —
-/// the overhead checker matches them against a baseline report by name.
-std::vector<KernelResult> MeasureKernels(int threads, bool measure_tn) {
+/// `measure_tn`) at `threads` threads. With `measure_scalar` each kernel is
+/// also re-timed single-threaded under the scalar kernel dispatch, so the
+/// report records the SIMD-vs-scalar speedup (tools/check_kernel_speedup.sh
+/// gates on it). The kernel set and names are fixed — the overhead checker
+/// matches them against a baseline report by name.
+std::vector<KernelResult> MeasureKernels(int threads, bool measure_tn,
+                                         bool measure_scalar = false) {
   NoGradGuard guard;
   Rng rng(99);
 
@@ -198,27 +204,49 @@ std::vector<KernelResult> MeasureKernels(int threads, bool measure_tn) {
   const int64_t kElems = 1 << 20;
   Tensor ea = Tensor::Randn({kElems}, rng);
   Tensor eb = Tensor::Randn({kElems}, rng);
+  // Division is compute-bound (unlike the bandwidth-bound 1M add), so this
+  // is where the vector win on elementwise work is visible; denominators
+  // bounded away from zero.
+  const int64_t kDivElems = 1 << 18;
+  Tensor da = Tensor::Randn({kDivElems}, rng);
+  Tensor db = Tensor::Rand({kDivElems}, rng, 0.5f, 1.5f);
   const int64_t kRows = 4096, kCols = 256;
   Tensor sm = Tensor::Randn({kRows, kCols}, rng);
+  Tensor gamma = Tensor::Randn({kCols}, rng);
+  Tensor beta = Tensor::Randn({kCols}, rng);
 
   std::vector<KernelResult> results = {
       {"matmul_256x256x256", 2.0 * M * M * M, "flops"},
       {"elementwise_add_1m", static_cast<double>(kElems), "elems"},
+      {"elementwise_div_256k", static_cast<double>(kDivElems), "elems"},
       {"softmax_rows_4096x256", static_cast<double>(kRows * kCols), "elems"},
+      {"layernorm_4096x256", static_cast<double>(kRows * kCols), "elems"},
       {"reduce_sum_1m", static_cast<double>(kElems), "elems"},
   };
   const auto run_kernel = [&](size_t idx) {
     switch (idx) {
       case 0: { Tensor c = ma.MatMul(mb); benchmark::DoNotOptimize(c); break; }
       case 1: { Tensor c = ea.Add(eb); benchmark::DoNotOptimize(c); break; }
-      case 2: { Tensor c = sm.SoftmaxLastDim(); benchmark::DoNotOptimize(c); break; }
-      case 3: { Tensor c = ea.Sum(); benchmark::DoNotOptimize(c); break; }
+      case 2: { Tensor c = da.Div(db); benchmark::DoNotOptimize(c); break; }
+      case 3: { Tensor c = sm.SoftmaxLastDim(); benchmark::DoNotOptimize(c); break; }
+      case 4: {
+        Tensor c = LayerNormLastDim(sm, gamma, beta, 1e-5f);
+        benchmark::DoNotOptimize(c);
+        break;
+      }
+      case 5: { Tensor c = ea.Sum(); benchmark::DoNotOptimize(c); break; }
     }
   };
 
   for (size_t i = 0; i < results.size(); ++i) {
     parallel::SetNumThreads(1);
     results[i].t1_ms = BestMs([&] { run_kernel(i); });
+    if (measure_scalar) {
+      const simd::Isa prev = simd::ActiveIsa();
+      simd::SetIsa(simd::Isa::kScalar);
+      results[i].t1_scalar_ms = BestMs([&] { run_kernel(i); });
+      simd::SetIsa(prev);
+    }
     if (measure_tn) {
       parallel::SetNumThreads(threads);
       results[i].tn_ms = BestMs([&] { run_kernel(i); });
@@ -229,12 +257,17 @@ std::vector<KernelResult> MeasureKernels(int threads, bool measure_tn) {
 
 int RunKernelReport(int threads, const std::string& json_path) {
   if (threads < 1) threads = 4;
-  std::vector<KernelResult> results = MeasureKernels(threads, /*measure_tn=*/true);
+  std::vector<KernelResult> results =
+      MeasureKernels(threads, /*measure_tn=*/true, /*measure_scalar=*/true);
+  const char* isa = simd::IsaName(simd::ActiveIsa());
 
   for (const auto& r : results) {
     const double speedup = r.tn_ms > 0.0 ? r.t1_ms / r.tn_ms : 0.0;
-    std::printf("%-24s 1t %8.3f ms   %dt %8.3f ms   speedup %.2fx\n", r.name.c_str(),
-                r.t1_ms, threads, r.tn_ms, speedup);
+    const double simd_speedup =
+        r.t1_ms > 0.0 ? r.t1_scalar_ms / r.t1_ms : 0.0;
+    std::printf(
+        "%-24s 1t %8.3f ms   %dt %8.3f ms   speedup %.2fx   %s-vs-scalar %.2fx\n",
+        r.name.c_str(), r.t1_ms, threads, r.tn_ms, speedup, isa, simd_speedup);
   }
 
   if (!json_path.empty()) {
@@ -244,6 +277,8 @@ int RunKernelReport(int threads, const std::string& json_path) {
       w.Int(threads);
       w.Key("hardware_concurrency");
       w.UInt(hw);
+      w.Key("isa");
+      w.String(isa);
       w.Key("kernels");
       w.BeginArray();
       for (const auto& r : results) {
@@ -258,12 +293,16 @@ int RunKernelReport(int threads, const std::string& json_path) {
         w.Double(r.t1_ms);
         w.Key("tN_ms");
         w.Double(r.tn_ms);
+        w.Key("t1_scalar_ms");
+        w.Double(r.t1_scalar_ms);
         w.Key("gwork_per_s_1t");
         w.Double(r.work / (r.t1_ms * 1e6));
         w.Key("gwork_per_s_Nt");
         w.Double(r.tn_ms > 0.0 ? r.work / (r.tn_ms * 1e6) : 0.0);
         w.Key("speedup");
         w.Double(r.tn_ms > 0.0 ? r.t1_ms / r.tn_ms : 0.0);
+        w.Key("simd_speedup");
+        w.Double(r.t1_ms > 0.0 ? r.t1_scalar_ms / r.t1_ms : 0.0);
         w.EndObject();
       }
       w.EndArray();

@@ -209,7 +209,7 @@ class MetaSgcl : public models::Recommender,
     SetTraining(false);
     Tensor logits = generator_.LogitsAll(LastHidden(batch));
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
   /// Fused serving path: same eval-mode forward as ScoreAll, then the
@@ -248,7 +248,7 @@ class MetaSgcl : public models::Recommender,
     generator_.InitSessionCaches(state.stacks, config_.use_decoder);
     Tensor h = generator_.EncodeSessionCold(window, state.stacks,
                                             config_.use_decoder, rng);
-    state.h_last = models::SasBackbone::LastPosition(h).data();
+    state.h_last = models::SasBackbone::LastPosition(h).ToVector();
     state.items.assign(window.begin(), window.end());
     SetTraining(was_training);
   }
@@ -261,7 +261,7 @@ class MetaSgcl : public models::Recommender,
     Tensor h = generator_.AppendSessionItem(
         item, static_cast<int64_t>(state.items.size()), state.stacks,
         config_.use_decoder, rng);
-    state.h_last = h.data();  // [1, 1, dim] — dim floats
+    state.h_last = h.ToVector();  // [1, 1, dim] — dim floats
     state.items.push_back(item);
     SetTraining(was_training);
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "data/batching.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
@@ -113,6 +114,12 @@ inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split sp
   MetricAccumulator acc(config.cutoffs);
   int64_t tied_rows = 0;
   const int64_t N1 = static_cast<int64_t>(ds.num_items) + 1;
+  // Forward-pass temporaries reuse one arena across batches; the first batch
+  // stays on the heap (arena.h "first batch on heap") so anything a model
+  // lazily builds on first use cannot pin a slab. `scores` is a plain
+  // heap vector, so nothing below escapes the scope.
+  arena::Arena eval_arena;
+  bool first_batch = true;
   for (int32_t start = 0; start < U; start += static_cast<int32_t>(config.batch_size)) {
     std::vector<int32_t> rows;
     for (int32_t u = start; u < std::min<int32_t>(U, start + config.batch_size); ++u) {
@@ -122,8 +129,15 @@ inline Metrics Evaluate(Ranker& model, const data::SequenceDataset& ds, Split sp
     std::vector<float> scores;
     {
       MSGCL_OBS_SCOPE("eval.score_all");
-      scores = model.ScoreAll(batch);
+      if (first_batch) {
+        scores = model.ScoreAll(batch);
+        first_batch = false;
+      } else {
+        arena::ArenaScope arena_scope(&eval_arena);
+        scores = model.ScoreAll(batch);
+      }
     }
+    eval_arena.Reset();
     MSGCL_OBS_COUNT("eval.users_ranked", batch.batch_size);
     MSGCL_CHECK_EQ(static_cast<int64_t>(scores.size()), batch.batch_size * N1);
     for (int64_t b = 0; b < batch.batch_size; ++b) {

@@ -124,7 +124,7 @@ class Acvae : public Recommender, public nn::Module {
     Tensor mu = enc_mu_.Forward(SasBackbone::LastPosition(h));
     Tensor logits = backbone_.LogitsAll(mu);
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

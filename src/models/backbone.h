@@ -13,6 +13,7 @@
 #include "nn/nn.h"
 #include "obs/profiler.h"
 #include "parallel/parallel.h"
+#include "tensor/kernels.h"
 
 namespace msgcl {
 namespace models {
@@ -202,22 +203,16 @@ class SasBackbone : public nn::Module {
           for (int64_t p = 0; p < D; ++p) tile[p * block + j] = e[p];
         }
         for (int64_t b = b0; b < b1; ++b) {
-          // This loop nest deliberately mirrors the tensor matmul kernel
-          // (MatMulRowsKernel: p-blocked, j innermost, `+= av * brow[j]`) so
-          // the compiler makes the same FP-contraction choices — a scalar
-          // `acc += h[p] * e[p]` reduction compiles to a different
-          // mul/add/fma sequence and breaks the bitwise contract.
+          // Scores flow through simd::MatMulTile — the SAME inner tile the
+          // tensor matmul kernel uses (p-blocked, j innermost, fma) — so the
+          // fused path stays bit-identical to LogitsAll under every ISA.
           std::fill(scores.begin(), scores.begin() + block, 0.0f);
           const float* arow = hd + b * D;
           float* crow = scores.data();
           constexpr int64_t kPBlock = 64;
           for (int64_t pb0 = 0; pb0 < D; pb0 += kPBlock) {
             const int64_t pb1 = std::min(D, pb0 + kPBlock);
-            for (int64_t p = pb0; p < pb1; ++p) {
-              const float av = arow[p];
-              const float* brow = tile.data() + p * block;
-              for (int64_t j = 0; j < block; ++j) crow[j] += av * brow[j];
-            }
+            simd::MatMulTile(crow, arow, tile.data(), pb0, pb1, block);
           }
           for (int64_t j = 0; j < block; ++j) {
             const int32_t item = static_cast<int32_t>(i0 + j);

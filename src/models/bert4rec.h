@@ -97,7 +97,7 @@ class Bert4Rec : public Recommender, public nn::Module {
     Tensor h = backbone_.Encode(shifted, /*causal=*/false, rng);
     Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

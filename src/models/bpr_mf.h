@@ -78,7 +78,7 @@ class BprMf : public Recommender, public nn::Module {
     NoGradGuard guard;
     Tensor eu = user_emb_->Forward(batch.users, {batch.batch_size});
     Tensor logits = eu.MatMul(item_emb_->table().TransposeLast2());
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

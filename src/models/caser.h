@@ -80,7 +80,7 @@ class Caser : public Recommender, public nn::Module {
     Rng rng(0);
     Tensor logits = Logits(batch, rng, /*use_user=*/true);
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

@@ -69,7 +69,7 @@ class Cl4SRec : public Recommender, public nn::Module {
     Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
     Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

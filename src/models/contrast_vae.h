@@ -99,7 +99,7 @@ class ContrastVae : public Recommender, public nn::Module {
     Tensor mu = enc_mu_.Forward(SasBackbone::LastPosition(h));
     Tensor logits = backbone_.LogitsAll(mu);
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

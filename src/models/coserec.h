@@ -140,7 +140,7 @@ class CoSeRec : public Recommender, public nn::Module {
     Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
     Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

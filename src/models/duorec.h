@@ -93,7 +93,7 @@ class DuoRec : public Recommender, public nn::Module {
     Tensor h = backbone_.Encode(batch, /*causal=*/true, rng);
     Tensor logits = backbone_.LogitsAll(SasBackbone::LastPosition(h));
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
   const SasBackbone& backbone() const { return backbone_; }

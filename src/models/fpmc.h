@@ -89,7 +89,7 @@ class Fpmc : public Recommender, public nn::Module {
     Tensor el = last_li_->Forward(last, {B});
     Tensor mf = eu.MatMul(item_iu_->table().TransposeLast2());
     Tensor mc = el.MatMul(item_il_->table().TransposeLast2());
-    return mf.Add(mc).data();
+    return mf.Add(mc).ToVector();
   }
 
  private:

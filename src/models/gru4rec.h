@@ -62,7 +62,7 @@ class Gru4Rec : public Recommender, public nn::Module {
     Tensor last = h.Narrow(1, batch.seq_len - 1, 1).Reshape({batch.batch_size, config_.dim});
     Tensor logits = last.MatMul(item_emb_.table().TransposeLast2());
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
  private:

@@ -47,7 +47,7 @@ class SasRec : public Recommender, public nn::Module, public eval::SessionScorer
     SetTraining(false);
     Tensor logits = backbone_.LogitsAll(LastHidden(batch));
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
   /// Fused serving path: same encode as ScoreAll, then the backbone's
@@ -78,7 +78,7 @@ class SasRec : public Recommender, public nn::Module, public eval::SessionScorer
     state.stacks.assign(1, nn::KvCache());
     backbone_.InitSessionCache(state.stacks[0]);
     Tensor h = backbone_.EncodeSessionCold(window, state.stacks[0], rng);
-    state.h_last = SasBackbone::LastPosition(h).data();
+    state.h_last = SasBackbone::LastPosition(h).ToVector();
     state.items.assign(window.begin(), window.end());
     SetTraining(was_training);
   }
@@ -90,7 +90,7 @@ class SasRec : public Recommender, public nn::Module, public eval::SessionScorer
     Rng rng(0);
     Tensor h = backbone_.AppendSessionItem(
         item, static_cast<int64_t>(state.items.size()), state.stacks[0], rng);
-    state.h_last = h.data();  // [1, 1, dim] — dim floats
+    state.h_last = h.ToVector();  // [1, 1, dim] — dim floats
     state.items.push_back(item);
     SetTraining(was_training);
   }

@@ -127,6 +127,13 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
     return nn::SaveTrainState(model, copts, p, config.checkpoint_path);
   };
 
+  // Per-step temporaries (activations, backward scratch) bump-allocate from
+  // this arena and are reclaimed wholesale after every attempt. The very
+  // first attempt runs on the heap: lazily-created persistent buffers (the
+  // parameters' grad vectors, sized by the first EnsureGrad) must not pin
+  // arena slabs (see arena.h "first batch on heap").
+  arena::Arena step_arena;
+
   bool stopped_early = false;
   for (int64_t epoch = start_epoch; epoch < config.epochs && !stopped_early; ++epoch) {
     const auto epoch_start = std::chrono::steady_clock::now();
@@ -142,8 +149,14 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
         float loss;
         {
           MSGCL_OBS_SCOPE("train.step_fn");
-          loss = step(batch, rng);
+          if (attempt_counter == 0) {
+            loss = step(batch, rng);
+          } else {
+            arena::ArenaScope arena_scope(&step_arena);
+            loss = step(batch, rng);
+          }
         }
+        step_arena.Reset();
         if (injector != nullptr && injector->ShouldCorruptLoss(attempt_counter)) {
           loss = injector->CorruptLoss();
         }
@@ -240,7 +253,7 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
         bad_evals = 0;
         best_weights.clear();
         best_weights.reserve(params.size());
-        for (auto& p : params) best_weights.push_back(p.data());
+        for (auto& p : params) best_weights.push_back(p.ToVector());
       } else if (++bad_evals >= config.patience) {
         if (config.verbose) {
           std::fprintf(stderr, "[%s] early stop at epoch %ld (best NDCG@10 %.4f)\n",
@@ -282,7 +295,9 @@ inline Status FitLoop(nn::Module& model, eval::Ranker& ranker,
   }
 
   if (!best_weights.empty()) {
-    for (size_t i = 0; i < params.size(); ++i) params[i].data() = best_weights[i];
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].data().assign(best_weights[i].begin(), best_weights[i].end());
+    }
   }
   if (config.history != nullptr) config.history->best_epoch = best_epoch;
   model.SetTraining(false);

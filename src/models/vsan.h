@@ -70,7 +70,7 @@ class Vsan : public Recommender, public nn::Module {
     Tensor mu = enc_mu_.Forward(SasBackbone::LastPosition(h));  // posterior mean at eval
     Tensor logits = backbone_.LogitsAll(mu);
     SetTraining(was_training);
-    return logits.data();
+    return logits.ToVector();
   }
 
   /// z = mu + sigma * eps with eps ~ N(0, I) (Eq. 12). In eval mode, z = mu.

@@ -14,8 +14,10 @@
 namespace msgcl {
 namespace nn {
 
-/// True iff every element of `values` is finite (no NaN/Inf).
-inline bool AllFinite(const std::vector<float>& values) {
+/// True iff every element of `values` is finite (no NaN/Inf). Templated on
+/// the allocator so both plain vectors and arena-backed FloatBuf pass.
+template <typename Alloc>
+inline bool AllFinite(const std::vector<float, Alloc>& values) {
   // Summing and checking once is measurably cheaper than per-element
   // std::isfinite branching: NaN and Inf both propagate through addition.
   float acc = 0.0f;

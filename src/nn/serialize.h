@@ -86,7 +86,8 @@ class ByteWriter {
     buf_.append(p, sizeof(T));
   }
   void Bytes(const char* data, size_t size) { buf_.append(data, size); }
-  void Floats(const std::vector<float>& v) {
+  template <typename Alloc>
+  void Floats(const std::vector<float, Alloc>& v) {
     buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(float));
   }
   const std::string& buffer() const { return buf_; }
@@ -289,7 +290,7 @@ inline Status LoadCheckpoint(Module& module, const std::string& path) {
   // Commit.
   auto params = module.NamedParameters();
   for (size_t p = 0; p < params.size(); ++p) {
-    params[p].second.data() = std::move(staged[p]);
+    params[p].second.data().assign(staged[p].begin(), staged[p].end());
   }
   return Status::Ok();
 }
@@ -465,7 +466,7 @@ inline Status LoadTrainState(Module& module, const std::vector<Optimizer*>& opti
 
   // Commit.
   for (size_t p = 0; p < params.size(); ++p) {
-    params[p].second.data() = std::move(staged[p]);
+    params[p].second.data().assign(staged[p].begin(), staged[p].end());
   }
   for (uint32_t o = 0; o < num_opts; ++o) {
     if (!optimizers[o]->SetState(opt_states[o])) {

@@ -184,6 +184,45 @@ void For(int64_t begin, int64_t end, int64_t grain,
   });
 }
 
+ShardPlan BuildShardPlan(int64_t begin, int64_t end, int64_t grain) {
+  ShardPlan plan;
+  plan.begin = begin;
+  plan.end = end;
+  plan.grain = grain < 1 ? 1 : grain;
+  plan.threads = MaxThreads();
+  const int64_t range = end - begin;
+  if (range <= 0) return plan;
+  // Mirror For()'s static split exactly.
+  const int64_t max_chunks = (range + plan.grain - 1) / plan.grain;
+  const int64_t nchunks = std::min<int64_t>(plan.threads, max_chunks);
+  const int64_t base = range / nchunks;
+  const int64_t rem = range % nchunks;
+  plan.chunks.reserve(nchunks);
+  for (int64_t c = 0; c < nchunks; ++c) {
+    const int64_t b = begin + c * base + std::min(c, rem);
+    plan.chunks.emplace_back(b, b + base + (c < rem ? 1 : 0));
+  }
+  return plan;
+}
+
+void For(const ShardPlan& plan, const std::function<void(int64_t, int64_t)>& fn) {
+  if (plan.chunks.empty()) return;
+  if (plan.threads != MaxThreads()) {
+    // Stale plan: recompute via the pure-function path — identical result.
+    For(plan.begin, plan.end, plan.grain, fn);
+    return;
+  }
+  if (plan.chunks.size() == 1 || tl_in_parallel) {
+    fn(plan.begin, plan.end);
+    return;
+  }
+  Pool::Get().Run(static_cast<int>(plan.chunks.size()),
+                  static_cast<int64_t>(plan.chunks.size()), [&](int64_t c) {
+                    const auto& ch = plan.chunks[static_cast<size_t>(c)];
+                    fn(ch.first, ch.second);
+                  });
+}
+
 int64_t NumFixedChunks(int64_t range, int64_t chunk) {
   if (range <= 0) return 0;
   if (chunk < 1) chunk = 1;

@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 namespace msgcl {
 namespace parallel {
@@ -53,6 +55,29 @@ int ThreadIndex();
 /// index owns); then the result is bitwise-invariant under the thread count.
 void For(int64_t begin, int64_t end, int64_t grain,
          const std::function<void(int64_t, int64_t)>& fn);
+
+/// A precomputed For() partition: exactly the chunk list For(begin, end,
+/// grain, fn) would build for the MaxThreads() captured at build time.
+/// Immutable and shareable — the tensor plan cache stores one per op shape
+/// so repeated steps skip the shard-grain arithmetic entirely.
+struct ShardPlan {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int threads = 1;  // MaxThreads() when the plan was built
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+};
+
+/// Builds the partition For() would use right now for [begin, end) at the
+/// given grain.
+ShardPlan BuildShardPlan(int64_t begin, int64_t end, int64_t grain);
+
+/// Runs fn over a prebuilt partition. Falls back to For(begin, end, grain,
+/// fn) when the thread count changed since the plan was built (the
+/// partition is a pure function of range/grain/threads, so the fallback is
+/// the partition a fresh plan would contain). Same disjoint-writes contract
+/// as For().
+void For(const ShardPlan& plan, const std::function<void(int64_t, int64_t)>& fn);
 
 /// Number of chunks ForFixedChunks will produce: ceil(range / chunk).
 int64_t NumFixedChunks(int64_t range, int64_t chunk);

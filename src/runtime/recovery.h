@@ -82,7 +82,7 @@ class HealthGuard {
   /// point. Call once before training and after healthy steps.
   void Snapshot() {
     param_data_.resize(params_.size());
-    for (size_t i = 0; i < params_.size(); ++i) param_data_[i] = params_[i].data();
+    for (size_t i = 0; i < params_.size(); ++i) param_data_[i] = params_[i].ToVector();
     opt_states_.clear();
     opt_states_.reserve(optimizers_.size());
     for (const nn::Optimizer* opt : optimizers_) opt_states_.push_back(opt->GetState());
@@ -116,7 +116,9 @@ class HealthGuard {
   /// Returns false when no snapshot exists (nothing to roll back to).
   bool Rollback() {
     if (!has_snapshot_) return false;
-    for (size_t i = 0; i < params_.size(); ++i) params_[i].data() = param_data_[i];
+    for (size_t i = 0; i < params_.size(); ++i) {
+      params_[i].data().assign(param_data_[i].begin(), param_data_[i].end());
+    }
     for (size_t o = 0; o < optimizers_.size(); ++o) {
       optimizers_[o]->SetState(opt_states_[o]);
     }

@@ -63,6 +63,7 @@
 #include "serve/fallback.h"
 #include "serve/score_lock.h"
 #include "serve/session_cache.h"
+#include "tensor/arena.h"
 #include "tensor/status.h"
 #include "tensor/tensor.h"
 
@@ -413,12 +414,23 @@ class MicroBatcher {
       try {
         if (fault == runtime::ServeFaultKind::kSlowScore) injector->InjectSlow();
         if (fault == runtime::ServeFaultKind::kScoreThrow) injector->ThrowScoreFault();
-        lists = ScoreLive(live, warm);
+        // Forward-pass temporaries bump-allocate from the batcher's arena
+        // (reset below). First batch on heap — see arena.h: anything the
+        // model lazily sizes on first use must not pin a slab. Results
+        // (TopKList, session h_last, K/V) are plain heap vectors.
+        if (first_score_batch_) {
+          lists = ScoreLive(live, warm);
+          first_score_batch_ = false;
+        } else {
+          arena::ArenaScope arena_scope(&score_arena_);
+          lists = ScoreLive(live, warm);
+        }
       } catch (const std::exception& e) {
         failure = std::string("scoring threw: ") + e.what();
       } catch (...) {
         failure = "scoring threw a non-std exception";
       }
+      score_arena_.Reset();
       if (failure.empty() && fault == runtime::ServeFaultKind::kNaNScores) {
         std::vector<float*> slots;
         for (eval::TopKList& list : lists) {
@@ -611,6 +623,11 @@ class MicroBatcher {
   const ServeConfig config_;
   Clock* const clock_;
   CircuitBreaker breaker_;
+  /// Scoring-scope temporaries bump-allocate here; only touched under the
+  /// process-wide ScoreSerializer() mutex, which also orders Reset() against
+  /// the next batch's allocations.
+  arena::Arena score_arena_;
+  bool first_score_batch_ = true;
 
   /// Shutdown progression: kRunning -> kStopping (one thread joins workers
   /// and drains the queue) -> kStopped (safe to return from any Stop()).

@@ -233,10 +233,10 @@ class SwappableRanker : public eval::Ranker, public eval::SessionScorer {
       if (src[p].first != dst[p].first || src[p].second.shape() != dst[p].second.shape()) {
         return Reject("parameter mismatch at '" + src[p].first + "'");
       }
-      staged.push_back(src[p].second.data());
+      staged.push_back(src[p].second.ToVector());
     }
     for (size_t p = 0; p < dst.size(); ++p) {
-      dst[p].second.data() = std::move(staged[p]);  // shared handle: in-place
+      dst[p].second.data().assign(staged[p].begin(), staged[p].end());  // shared handle: in-place
     }
     return ValidateAndFlipLocked(standby);
   }

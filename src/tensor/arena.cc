@@ -1,0 +1,174 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <new>
+
+#include "obs/registry.h"
+#include "tensor/macros.h"
+
+namespace msgcl {
+namespace arena {
+
+namespace {
+
+// Every payload is preceded by a kAlign-byte header whose first word is the
+// owning Epoch (nullptr = individually-heap-allocated block).
+struct BlockHeader {
+  detail::Epoch* epoch;
+};
+static_assert(sizeof(BlockHeader) <= Arena::kAlign, "header must fit");
+
+// Bytes pinned in retired epochs by escaped allocations, process-wide.
+// Plain atomic (no obs calls) so epoch teardown is safe at any shutdown
+// stage; Arena methods mirror it into the gauge.
+std::atomic<size_t> g_retired_bytes{0};
+
+thread_local Arena* g_current_arena = nullptr;
+
+size_t RoundUp(size_t v, size_t a) { return (v + a - 1) & ~(a - 1); }
+
+void FreeEpoch(detail::Epoch* e) {
+  for (auto& s : e->slabs) {
+    ::operator delete(s.base, std::align_val_t{Arena::kAlign});
+  }
+  if (e->retired) {
+    g_retired_bytes.fetch_sub(e->reserved, std::memory_order_relaxed);
+  }
+  delete e;
+}
+
+void ReleaseEpochRef(detail::Epoch* e) {
+  if (e->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) FreeEpoch(e);
+}
+
+obs::Gauge& ReservedGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("tensor.arena.bytes_reserved");
+  return g;
+}
+obs::Gauge& UsedGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("tensor.arena.bytes_used");
+  return g;
+}
+obs::Gauge& RetiredGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("tensor.arena.retired_bytes");
+  return g;
+}
+obs::Counter& ResetCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("tensor.arena.resets");
+  return c;
+}
+obs::Counter& RetireCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("tensor.arena.retired_epochs");
+  return c;
+}
+
+}  // namespace
+
+Arena::Arena(size_t slab_bytes)
+    : epoch_(new detail::Epoch()),
+      slab_bytes_(std::max(slab_bytes, size_t{4} * kAlign)) {}
+
+Arena::~Arena() {
+  if (g_current_arena == this) g_current_arena = nullptr;
+  if (epoch_->refs.load(std::memory_order_acquire) > 1) {
+    // Live escapees: the epoch outlives the arena as a retired group.
+    epoch_->retired = true;
+    g_retired_bytes.fetch_add(epoch_->reserved, std::memory_order_relaxed);
+  }
+  ReleaseEpochRef(epoch_);
+}
+
+void* Arena::Allocate(size_t bytes) {
+  const size_t total = RoundUp(kAlign + bytes, kAlign);
+  auto& slabs = epoch_->slabs;
+  while (active_ < slabs.size() && offset_ + total > slabs[active_].cap) {
+    ++active_;
+    offset_ = 0;
+  }
+  if (active_ >= slabs.size()) return AllocateSlow(total);
+  char* base = slabs[active_].base + offset_;
+  offset_ += total;
+  bytes_used_ += total;
+  epoch_->refs.fetch_add(1, std::memory_order_relaxed);
+  reinterpret_cast<BlockHeader*>(base)->epoch = epoch_;
+  return base + kAlign;
+}
+
+void* Arena::AllocateSlow(size_t total) {
+  const size_t cap = std::max(slab_bytes_, total);
+  char* base = static_cast<char*>(
+      ::operator new(cap, std::align_val_t{kAlign}));
+  epoch_->slabs.push_back({base, cap});
+  epoch_->reserved += cap;
+  active_ = epoch_->slabs.size() - 1;
+  offset_ = total;
+  bytes_used_ += total;
+  epoch_->refs.fetch_add(1, std::memory_order_relaxed);
+  reinterpret_cast<BlockHeader*>(base)->epoch = epoch_;
+  ReservedGauge().Set(static_cast<double>(epoch_->reserved));
+  return base + kAlign;
+}
+
+void Arena::Reset() {
+  ResetCounter().Add(1);
+  if (epoch_->refs.load(std::memory_order_acquire) == 1) {
+    // Nothing escaped: rewind in place, slabs are reused as-is.
+    active_ = 0;
+    offset_ = 0;
+  } else {
+    // Escapees hold references into these slabs — retire the whole group
+    // (freed when the last escapee dies) and start a fresh epoch.
+    RetireCounter().Add(1);
+    epoch_->retired = true;
+    g_retired_bytes.fetch_add(epoch_->reserved, std::memory_order_relaxed);
+    ReleaseEpochRef(epoch_);
+    epoch_ = new detail::Epoch();
+    active_ = 0;
+    offset_ = 0;
+  }
+  bytes_used_ = 0;
+  UsedGauge().Set(0.0);
+  ReservedGauge().Set(static_cast<double>(epoch_->reserved));
+  RetiredGauge().Set(
+      static_cast<double>(g_retired_bytes.load(std::memory_order_relaxed)));
+}
+
+size_t Arena::RetiredBytes() {
+  return g_retired_bytes.load(std::memory_order_relaxed);
+}
+
+void* BufAlloc(size_t bytes) {
+  Arena* a = g_current_arena;
+  if (a != nullptr) return a->Allocate(bytes);
+  char* base = static_cast<char*>(
+      ::operator new(Arena::kAlign + bytes, std::align_val_t{Arena::kAlign}));
+  reinterpret_cast<BlockHeader*>(base)->epoch = nullptr;
+  return base + Arena::kAlign;
+}
+
+void BufFree(void* p) noexcept {
+  if (p == nullptr) return;
+  char* base = static_cast<char*>(p) - Arena::kAlign;
+  detail::Epoch* e = reinterpret_cast<BlockHeader*>(base)->epoch;
+  if (e == nullptr) {
+    ::operator delete(base, std::align_val_t{Arena::kAlign});
+    return;
+  }
+  ReleaseEpochRef(e);
+}
+
+ArenaScope::ArenaScope(Arena* a) : prev_(g_current_arena) {
+  g_current_arena = a;
+}
+
+ArenaScope::~ArenaScope() { g_current_arena = prev_; }
+
+Arena* ArenaScope::Current() { return g_current_arena; }
+
+}  // namespace arena
+}  // namespace msgcl

@@ -1,0 +1,166 @@
+// Bump/arena allocation for tensor storage (DESIGN.md §13).
+//
+// Training, evaluation and serving all allocate the same per-step temporary
+// tensors over and over. `Arena` is a slab bump allocator: a step runs
+// inside an `ArenaScope`, every tensor buffer created on that thread bump-
+// allocates out of the arena, and `Reset()` at the end of the step makes the
+// memory reusable in O(1) — the steady state does zero malloc/free in the
+// hot loops.
+//
+// Safety model — escaping buffers stay valid:
+//   Every allocation carries a 64-byte header recording its owner. Heap
+//   blocks (owner = null) free individually. Arena blocks point at their
+//   `Epoch`, a refcounted slab group: the arena holds one reference, each
+//   live allocation holds one. `Reset()` with live allocations RETIRES the
+//   epoch — the slabs survive until the last escapee frees — and starts a
+//   fresh one, so code that keeps a tensor past the scope (checkpoints,
+//   captures, caches) is memory-safe, it merely costs the retired bytes
+//   until those tensors die. The `tensor.arena.retired_bytes` gauge makes
+//   that cost visible; keeping it at zero is the wiring rule: run the FIRST
+//   batch of a loop on the heap so lazily-created persistent buffers
+//   (e.g. parameter grads) never land in the arena.
+//
+// Threading: an Arena is single-owner — only the thread inside its
+// ArenaScope may Allocate/Reset. Freeing is safe from ANY thread at any
+// time (header + atomic refcount only). The current arena is thread-local,
+// so concurrent serve workers each scope their own arena.
+//
+// Determinism: placement never changes values — arena-vs-heap outputs are
+// bitwise identical (covered by tests/kernels_test.cc).
+#ifndef MSGCL_TENSOR_ARENA_H_
+#define MSGCL_TENSOR_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msgcl {
+namespace arena {
+
+namespace detail {
+
+struct Slab {
+  char* base = nullptr;
+  size_t cap = 0;
+};
+
+/// Refcounted slab group. The owning Arena holds one reference; every live
+/// allocation holds one. Slabs are mutated only by the owning Arena while
+/// it holds the epoch; after retirement the group is immutable until the
+/// last reference frees it.
+struct Epoch {
+  std::atomic<int64_t> refs{1};
+  std::vector<Slab> slabs;
+  size_t reserved = 0;    // sum of slab caps
+  bool retired = false;   // set (by the owner, pre-release) when abandoned
+};
+
+}  // namespace detail
+
+/// Slab bump allocator for tensor buffers. See file comment for the model.
+class Arena {
+ public:
+  static constexpr size_t kAlign = 64;
+  static constexpr size_t kDefaultSlabBytes = size_t{1} << 20;  // 1 MiB
+
+  explicit Arena(size_t slab_bytes = kDefaultSlabBytes);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte-aligned payload of `bytes` bytes, owner-tagged. Owner thread
+  /// only.
+  void* Allocate(size_t bytes);
+
+  /// Makes all arena memory reusable. If every allocation has been freed the
+  /// slabs are rewound in place (no malloc); otherwise the current epoch is
+  /// retired (slabs freed when the last escapee dies) and a fresh one
+  /// starts. Owner thread only.
+  void Reset();
+
+  /// Sum of slab capacities currently owned (excludes retired epochs).
+  size_t bytes_reserved() const { return epoch_->reserved; }
+  /// Bytes bump-allocated since the last Reset (header + padding included).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Allocations minus frees against the CURRENT epoch.
+  int64_t live() const {
+    return epoch_->refs.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Process-wide bytes pinned in retired epochs by escaped allocations.
+  static size_t RetiredBytes();
+
+ private:
+  void* AllocateSlow(size_t total);
+
+  detail::Epoch* epoch_;
+  size_t slab_bytes_;
+  size_t active_ = 0;      // index into epoch_->slabs
+  size_t offset_ = 0;      // bump offset within the active slab
+  size_t bytes_used_ = 0;  // since last Reset
+};
+
+/// Allocation entry points used by BufAllocator: route to the thread's
+/// current arena (or the heap when none is in scope). BufFree accepts any
+/// pointer BufAlloc returned, from any thread.
+void* BufAlloc(size_t bytes);
+void BufFree(void* p) noexcept;
+
+/// Scopes the thread's current arena for RAII; nestable. `ArenaScope(nullptr)`
+/// (or ArenaExempt) suspends arena allocation inside an outer scope.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* a);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// The thread's current arena, or nullptr (heap).
+  static Arena* Current();
+
+ private:
+  Arena* prev_;
+};
+
+/// Forces heap allocation for its lifetime — for code inside an arena scope
+/// that creates buffers meant to outlive the step (captures, snapshots).
+class ArenaExempt {
+ public:
+  ArenaExempt() : scope_(nullptr) {}
+
+ private:
+  ArenaScope scope_;
+};
+
+}  // namespace arena
+
+/// Tensor storage buffer: a float vector whose memory comes from the
+/// thread's current arena when one is in scope, else the heap. All
+/// BufAllocator instances compare equal (the block header knows its owner),
+/// so buffers move freely between containers.
+template <typename T>
+struct BufAllocator {
+  using value_type = T;
+  BufAllocator() = default;
+  template <typename U>
+  BufAllocator(const BufAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena::BufAlloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept { arena::BufFree(p); }
+
+  friend bool operator==(const BufAllocator&, const BufAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const BufAllocator&, const BufAllocator&) {
+    return false;
+  }
+};
+
+using FloatBuf = std::vector<float, BufAllocator<float>>;
+
+}  // namespace msgcl
+
+#endif  // MSGCL_TENSOR_ARENA_H_

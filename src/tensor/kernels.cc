@@ -1,0 +1,126 @@
+// Runtime ISA dispatch for the kernel layer (DESIGN.md §13).
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace msgcl {
+namespace simd {
+
+namespace {
+
+// -1 = not yet initialized from MSGCL_SIMD; otherwise a valid Isa value.
+std::atomic<int> g_isa{-1};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa IsaFromEnv() {
+  const char* env = std::getenv("MSGCL_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return Avx2Supported() ? Isa::kAvx2 : Isa::kScalar;
+    }
+    // Anything else (including "auto") falls through to auto-detection.
+  }
+  return Avx2Supported() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+}  // namespace
+
+bool Avx2Supported() {
+  static const bool supported = avx2::Compiled() && CpuHasAvx2();
+  return supported;
+}
+
+Isa ActiveIsa() {
+  int cur = g_isa.load(std::memory_order_relaxed);
+  if (cur >= 0) return static_cast<Isa>(cur);
+  Isa chosen = IsaFromEnv();
+  int expected = -1;
+  // First caller wins; a concurrent SetIsa keeps its explicit choice.
+  g_isa.compare_exchange_strong(expected, static_cast<int>(chosen),
+                                std::memory_order_relaxed);
+  return static_cast<Isa>(g_isa.load(std::memory_order_relaxed));
+}
+
+Isa SetIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && !Avx2Supported()) isa = Isa::kScalar;
+  g_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+const char* IsaName(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+// Dispatchers. One relaxed atomic load + branch per kernel call; the work
+// inside each kernel amortizes it (the plan cache removes the remaining
+// per-call setup — see plan_cache.h).
+#define MSGCL_DISPATCH(fn, ...)                              \
+  if (ActiveIsa() == Isa::kAvx2) return avx2::fn(__VA_ARGS__); \
+  return scalar::fn(__VA_ARGS__)
+
+void AddVec(float* y, const float* a, const float* b, int64_t n) {
+  MSGCL_DISPATCH(AddVec, y, a, b, n);
+}
+void SubVec(float* y, const float* a, const float* b, int64_t n) {
+  MSGCL_DISPATCH(SubVec, y, a, b, n);
+}
+void MulVec(float* y, const float* a, const float* b, int64_t n) {
+  MSGCL_DISPATCH(MulVec, y, a, b, n);
+}
+void DivVec(float* y, const float* a, const float* b, int64_t n) {
+  MSGCL_DISPATCH(DivVec, y, a, b, n);
+}
+void ScaleVec(float* y, const float* x, float s, int64_t n) {
+  MSGCL_DISPATCH(ScaleVec, y, x, s, n);
+}
+void AddScalarVec(float* y, const float* x, float s, int64_t n) {
+  MSGCL_DISPATCH(AddScalarVec, y, x, s, n);
+}
+void AccumVec(float* y, const float* x, int64_t n) {
+  MSGCL_DISPATCH(AccumVec, y, x, n);
+}
+void AxpyVec(float* y, const float* x, float s, int64_t n) {
+  MSGCL_DISPATCH(AxpyVec, y, x, s, n);
+}
+void MulAccumVec(float* y, const float* a, const float* b, int64_t n) {
+  MSGCL_DISPATCH(MulAccumVec, y, a, b, n);
+}
+void RecipMulAccumVec(float* y, const float* b, const float* g, int64_t n) {
+  MSGCL_DISPATCH(RecipMulAccumVec, y, b, g, n);
+}
+void DivGradBVec(float* y, const float* a, const float* b, const float* g,
+                 int64_t n) {
+  MSGCL_DISPATCH(DivGradBVec, y, a, b, g, n);
+}
+float RowMax(const float* x, int64_t n) { MSGCL_DISPATCH(RowMax, x, n); }
+void SoftmaxBwdVec(float* y, const float* p, const float* g, float dot,
+                   int64_t n) {
+  MSGCL_DISPATCH(SoftmaxBwdVec, y, p, g, dot, n);
+}
+void LayerNormRowVec(float* out, float* xhat, const float* x,
+                     const float* gamma, const float* beta, float mu,
+                     float inv_std, int64_t n) {
+  MSGCL_DISPATCH(LayerNormRowVec, out, xhat, x, gamma, beta, mu, inv_std, n);
+}
+void MatMulTile(float* c, const float* a, const float* b, int64_t p0,
+                int64_t p1, int64_t n) {
+  MSGCL_DISPATCH(MatMulTile, c, a, b, p0, p1, n);
+}
+float Dot(const float* a, const float* b, int64_t n) {
+  MSGCL_DISPATCH(Dot, a, b, n);
+}
+
+#undef MSGCL_DISPATCH
+
+}  // namespace simd
+}  // namespace msgcl

@@ -1,0 +1,178 @@
+// Vectorized inner kernels for the hot tensor ops (DESIGN.md §13).
+//
+// Every kernel here has two implementations — a scalar reference
+// (kernels_scalar.cc, compiled with auto-vectorization disabled so it is a
+// true one-element-at-a-time loop) and an AVX2+FMA version
+// (kernels_avx2.cc, compiled via GCC/Clang `target` attributes so the rest
+// of the build keeps its baseline ISA) — selected at runtime by ActiveIsa().
+//
+// Bitwise contract: for any input, the scalar and AVX2 paths produce
+// BITWISE-IDENTICAL outputs. This holds because
+//
+//  * no kernel reorders a floating-point reduction: accumulations run in
+//    the same per-element order in both paths (MatMulTile walks p
+//    ascending for every output j; Dot is a serial fma chain in both);
+//  * wherever a product feeds an accumulation both paths use a FUSED
+//    multiply-add (std::fma scalar, vfmadd in AVX2) — one rounding, the
+//    same contraction the repo's default `-O3 -march=native
+//    -ffp-contract=fast` codegen produced before this layer existed, which
+//    is what the checked-in telemetry golden records;
+//  * elementwise maps (add/sub/mul/div/scale) are exact per lane — IEEE
+//    addps/mulps/divps round identically to their scalar forms;
+//  * RowMax is a max reduction: max is exact, so any association gives the
+//    same value for finite inputs (for rows mixing +0.0f/-0.0f the sign of
+//    the max may differ between paths, which is invisible downstream
+//    because `x - mx` and `exp` erase it; NaN inputs are already rejected
+//    by the numeric-health guard).
+//
+// Dispatch: MSGCL_SIMD=auto|avx2|scalar env var at first use; SetIsa()
+// overrides at any time (tests and the micro-benchmarks flip it to compare
+// paths). Kernels never touch the dispatch state themselves, so a given op
+// call uses one ISA end to end.
+#ifndef MSGCL_TENSOR_KERNELS_H_
+#define MSGCL_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace msgcl {
+namespace simd {
+
+/// Instruction-set target for the kernel layer.
+enum class Isa { kScalar = 0, kAvx2 = 1 };
+
+/// True when the AVX2+FMA path is compiled in AND the CPU supports it.
+bool Avx2Supported();
+
+/// Currently selected path. First call reads MSGCL_SIMD (auto|avx2|scalar;
+/// auto picks AVX2 when supported), later calls return the cached choice.
+Isa ActiveIsa();
+
+/// Overrides the dispatch target (clamped to supported ISAs — requesting
+/// kAvx2 on a machine without it selects kScalar). Returns what was chosen.
+Isa SetIsa(Isa isa);
+
+/// "scalar" / "avx2".
+const char* IsaName(Isa isa);
+
+// ---- Elementwise maps (exact per lane in any ISA) -------------------------
+
+/// y[i] = a[i] + b[i]
+void AddVec(float* y, const float* a, const float* b, int64_t n);
+/// y[i] = a[i] - b[i]
+void SubVec(float* y, const float* a, const float* b, int64_t n);
+/// y[i] = a[i] * b[i]
+void MulVec(float* y, const float* a, const float* b, int64_t n);
+/// y[i] = a[i] / b[i]
+void DivVec(float* y, const float* a, const float* b, int64_t n);
+/// y[i] = x[i] * s
+void ScaleVec(float* y, const float* x, float s, int64_t n);
+/// y[i] = x[i] + s
+void AddScalarVec(float* y, const float* x, float s, int64_t n);
+
+// ---- Accumulations (fma where a product feeds the sum) --------------------
+
+/// y[i] += x[i]
+void AccumVec(float* y, const float* x, int64_t n);
+/// y[i] = fma(x[i], s, y[i])
+void AxpyVec(float* y, const float* x, float s, int64_t n);
+/// y[i] = fma(a[i], b[i], y[i])
+void MulAccumVec(float* y, const float* a, const float* b, int64_t n);
+/// y[i] = fma(g[i] / b[i] is NOT what this does — see ops.cc Div backward:
+/// y[i] = fma(1.0f / b[i], g[i], y[i])   (da of Div)
+void RecipMulAccumVec(float* y, const float* b, const float* g, int64_t n);
+/// y[i] = fma(-a[i] / (b[i] * b[i]), g[i], y[i])   (db of Div)
+void DivGradBVec(float* y, const float* a, const float* b, const float* g,
+                 int64_t n);
+
+// ---- Row kernels ----------------------------------------------------------
+
+/// max over x[0..n); n >= 1. Exact for finite inputs in any ISA.
+float RowMax(const float* x, int64_t n);
+
+/// Softmax backward row update: y[i] = fma(p[i], g[i] - dot, y[i]).
+void SoftmaxBwdVec(float* y, const float* p, const float* g, float dot,
+                   int64_t n);
+
+/// LayerNorm forward row tail: xhat[i] = (x[i] - mu) * inv_std;
+/// out[i] = fma(gamma[i], xhat[i], beta[i]).
+void LayerNormRowVec(float* out, float* xhat, const float* x,
+                     const float* gamma, const float* beta, float mu,
+                     float inv_std, int64_t n);
+
+// ---- Contraction tiles ----------------------------------------------------
+
+/// The shared matmul / fused-top-k inner tile:
+///   for p in [p0, p1) ascending:  c[j] = fma(a[p], b[p * n + j], c[j])
+/// Per output element j the p-accumulation order is globally ascending, so
+/// tiling p outside this call keeps results bitwise identical to the naive
+/// i-p-j loop. Both MatMulRowsKernel (ops.cc) and SasBackbone::ScoreTopKFused
+/// route through this ONE function, which is what keeps the fused serving
+/// path bit-identical to the LogitsAll reference under every ISA.
+void MatMulTile(float* c, const float* a, const float* b, int64_t p0,
+                int64_t p1, int64_t n);
+
+/// Serial-order dot product: acc = fma(a[i], b[i], acc) ascending, float
+/// accumulator. A serial dependence chain cannot be vectorized without
+/// reassociating, so BOTH paths run the same scalar chain — it lives here so
+/// every contraction in the rewired ops flows through the kernel layer.
+float Dot(const float* a, const float* b, int64_t n);
+
+// ---- Implementation namespaces (kernels_scalar.cc / kernels_avx2.cc) ------
+
+namespace scalar {
+void AddVec(float* y, const float* a, const float* b, int64_t n);
+void SubVec(float* y, const float* a, const float* b, int64_t n);
+void MulVec(float* y, const float* a, const float* b, int64_t n);
+void DivVec(float* y, const float* a, const float* b, int64_t n);
+void ScaleVec(float* y, const float* x, float s, int64_t n);
+void AddScalarVec(float* y, const float* x, float s, int64_t n);
+void AccumVec(float* y, const float* x, int64_t n);
+void AxpyVec(float* y, const float* x, float s, int64_t n);
+void MulAccumVec(float* y, const float* a, const float* b, int64_t n);
+void RecipMulAccumVec(float* y, const float* b, const float* g, int64_t n);
+void DivGradBVec(float* y, const float* a, const float* b, const float* g,
+                 int64_t n);
+float RowMax(const float* x, int64_t n);
+void SoftmaxBwdVec(float* y, const float* p, const float* g, float dot,
+                   int64_t n);
+void LayerNormRowVec(float* out, float* xhat, const float* x,
+                     const float* gamma, const float* beta, float mu,
+                     float inv_std, int64_t n);
+void MatMulTile(float* c, const float* a, const float* b, int64_t p0,
+                int64_t p1, int64_t n);
+float Dot(const float* a, const float* b, int64_t n);
+}  // namespace scalar
+
+namespace avx2 {
+// Present only when the build can target AVX2 (x86-64 GCC/Clang); callers
+// must gate on Avx2Supported(). Declarations are unconditional so the
+// dispatchers compile everywhere; definitions are stubbed out to abort on
+// non-x86 builds.
+void AddVec(float* y, const float* a, const float* b, int64_t n);
+void SubVec(float* y, const float* a, const float* b, int64_t n);
+void MulVec(float* y, const float* a, const float* b, int64_t n);
+void DivVec(float* y, const float* a, const float* b, int64_t n);
+void ScaleVec(float* y, const float* x, float s, int64_t n);
+void AddScalarVec(float* y, const float* x, float s, int64_t n);
+void AccumVec(float* y, const float* x, int64_t n);
+void AxpyVec(float* y, const float* x, float s, int64_t n);
+void MulAccumVec(float* y, const float* a, const float* b, int64_t n);
+void RecipMulAccumVec(float* y, const float* b, const float* g, int64_t n);
+void DivGradBVec(float* y, const float* a, const float* b, const float* g,
+                 int64_t n);
+float RowMax(const float* x, int64_t n);
+void SoftmaxBwdVec(float* y, const float* p, const float* g, float dot,
+                   int64_t n);
+void LayerNormRowVec(float* out, float* xhat, const float* x,
+                     const float* gamma, const float* beta, float mu,
+                     float inv_std, int64_t n);
+void MatMulTile(float* c, const float* a, const float* b, int64_t p0,
+                int64_t p1, int64_t n);
+float Dot(const float* a, const float* b, int64_t n);
+bool Compiled();  // true when this TU was built with real AVX2 bodies
+}  // namespace avx2
+
+}  // namespace simd
+}  // namespace msgcl
+
+#endif  // MSGCL_TENSOR_KERNELS_H_

@@ -1,0 +1,296 @@
+// AVX2+FMA path for the kernel layer (DESIGN.md §13).
+//
+// Built with GCC/Clang `target("avx2,fma")` function attributes so this TU
+// can live in a build whose baseline ISA is older (the sanitizer presets
+// compile with MSGCL_NATIVE_ARCH=OFF); callers gate on
+// simd::Avx2Supported(), which checks both that these bodies exist and that
+// the CPU executes AVX2.
+//
+// Bitwise rules (see kernels.h): per-element accumulation order over the
+// contraction index is ascending exactly as in the scalar path — lanes are
+// independent output elements, never partial sums of one element — and every
+// product-accumulate is a single-rounding fma. Tails run scalar std::fma
+// loops, which on this TU's targets inline to scalar vfmadd.
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MSGCL_HAVE_AVX2_TU 1
+#include <immintrin.h>
+#else
+#define MSGCL_HAVE_AVX2_TU 0
+#include <cstdlib>
+#endif
+
+namespace msgcl {
+namespace simd {
+namespace avx2 {
+
+#if MSGCL_HAVE_AVX2_TU
+
+#define MSGCL_AVX2 __attribute__((target("avx2,fma")))
+
+bool Compiled() { return true; }
+
+MSGCL_AVX2 void AddVec(float* y, const float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+MSGCL_AVX2 void SubVec(float* y, const float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) y[i] = a[i] - b[i];
+}
+
+MSGCL_AVX2 void MulVec(float* y, const float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+MSGCL_AVX2 void DivVec(float* y, const float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) y[i] = a[i] / b[i];
+}
+
+MSGCL_AVX2 void ScaleVec(float* y, const float* x, float s, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) y[i] = x[i] * s;
+}
+
+MSGCL_AVX2 void AddScalarVec(float* y, const float* x, float s, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) y[i] = x[i] + s;
+}
+
+MSGCL_AVX2 void AccumVec(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                          _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+MSGCL_AVX2 void AxpyVec(float* y, const float* x, float s, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(_mm256_loadu_ps(x + i), vs,
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(x[i], s, y[i]);
+}
+
+MSGCL_AVX2 void MulAccumVec(float* y, const float* a, const float* b,
+                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(a[i], b[i], y[i]);
+}
+
+MSGCL_AVX2 void RecipMulAccumVec(float* y, const float* b, const float* g,
+                                 int64_t n) {
+  const __m256 ones = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // IEEE divide, not rcpps — must round identically to the scalar 1/b.
+    const __m256 r = _mm256_div_ps(ones, _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(r, _mm256_loadu_ps(g + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(1.0f / b[i], g[i], y[i]);
+}
+
+MSGCL_AVX2 void DivGradBVec(float* y, const float* a, const float* b,
+                            const float* g, int64_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256 bb = _mm256_mul_ps(vb, vb);
+    const __m256 na = _mm256_xor_ps(_mm256_loadu_ps(a + i), sign);  // -a, exact
+    const __m256 t = _mm256_div_ps(na, bb);
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(t, _mm256_loadu_ps(g + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(-a[i] / (b[i] * b[i]), g[i], y[i]);
+}
+
+MSGCL_AVX2 float RowMax(const float* x, int64_t n) {
+  if (n < 8) {
+    float mx = x[0];
+    for (int64_t i = 1; i < n; ++i) mx = mx < x[i] ? x[i] : mx;
+    return mx;
+  }
+  __m256 vm = _mm256_loadu_ps(x);
+  int64_t i = 8;
+  for (; i + 8 <= n; i += 8) vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + i));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vm);
+  float mx = lanes[0];
+  for (int k = 1; k < 8; ++k) mx = mx < lanes[k] ? lanes[k] : mx;
+  for (; i < n; ++i) mx = mx < x[i] ? x[i] : mx;
+  return mx;
+}
+
+MSGCL_AVX2 void SoftmaxBwdVec(float* y, const float* p, const float* g,
+                              float dot, int64_t n) {
+  const __m256 vd = _mm256_set1_ps(dot);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_sub_ps(_mm256_loadu_ps(g + i), vd);
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(_mm256_loadu_ps(p + i), t,
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(p[i], g[i] - dot, y[i]);
+}
+
+MSGCL_AVX2 void LayerNormRowVec(float* out, float* xhat, const float* x,
+                                const float* gamma, const float* beta,
+                                float mu, float inv_std, int64_t n) {
+  const __m256 vmu = _mm256_set1_ps(mu);
+  const __m256 vis = _mm256_set1_ps(inv_std);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xh =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vmu), vis);
+    _mm256_storeu_ps(xhat + i, xh);
+    _mm256_storeu_ps(
+        out + i, _mm256_fmadd_ps(_mm256_loadu_ps(gamma + i), xh,
+                                 _mm256_loadu_ps(beta + i)));
+  }
+  for (; i < n; ++i) {
+    const float xh = (x[i] - mu) * inv_std;
+    xhat[i] = xh;
+    out[i] = std::fma(gamma[i], xh, beta[i]);
+  }
+}
+
+MSGCL_AVX2 void MatMulTile(float* c, const float* a, const float* b,
+                           int64_t p0, int64_t p1, int64_t n) {
+  // Output accumulators stay in registers across the whole p-walk: each
+  // lane is one output element c[j], accumulated over p ascending — the
+  // same per-element order as the scalar path, just 32 elements at a time.
+  int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    float* cj = c + j;
+    __m256 c0 = _mm256_loadu_ps(cj);
+    __m256 c1 = _mm256_loadu_ps(cj + 8);
+    __m256 c2 = _mm256_loadu_ps(cj + 16);
+    __m256 c3 = _mm256_loadu_ps(cj + 24);
+    for (int64_t p = p0; p < p1; ++p) {
+      const __m256 av = _mm256_set1_ps(a[p]);
+      const float* brow = b + p * n + j;
+      c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), c0);
+      c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), c1);
+      c2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), c2);
+      c3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), c3);
+    }
+    _mm256_storeu_ps(cj, c0);
+    _mm256_storeu_ps(cj + 8, c1);
+    _mm256_storeu_ps(cj + 16, c2);
+    _mm256_storeu_ps(cj + 24, c3);
+  }
+  for (; j + 8 <= n; j += 8) {
+    float* cj = c + j;
+    __m256 c0 = _mm256_loadu_ps(cj);
+    for (int64_t p = p0; p < p1; ++p) {
+      c0 = _mm256_fmadd_ps(_mm256_set1_ps(a[p]),
+                           _mm256_loadu_ps(b + p * n + j), c0);
+    }
+    _mm256_storeu_ps(cj, c0);
+  }
+  for (; j < n; ++j) {
+    float acc = c[j];
+    for (int64_t p = p0; p < p1; ++p) acc = std::fma(a[p], b[p * n + j], acc);
+    c[j] = acc;
+  }
+}
+
+MSGCL_AVX2 float Dot(const float* a, const float* b, int64_t n) {
+  // A serial float fma chain cannot be vectorized without reassociating;
+  // run the exact scalar recurrence (still benefits from the AVX2 TU's
+  // scalar vfmadd codegen).
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc = std::fma(a[i], b[i], acc);
+  return acc;
+}
+
+#undef MSGCL_AVX2
+
+#else  // !MSGCL_HAVE_AVX2_TU — stubs; unreachable because Avx2Supported()
+       // is false on these builds.
+
+bool Compiled() { return false; }
+
+namespace {
+[[noreturn]] void Unreachable() { std::abort(); }
+}  // namespace
+
+void AddVec(float*, const float*, const float*, int64_t) { Unreachable(); }
+void SubVec(float*, const float*, const float*, int64_t) { Unreachable(); }
+void MulVec(float*, const float*, const float*, int64_t) { Unreachable(); }
+void DivVec(float*, const float*, const float*, int64_t) { Unreachable(); }
+void ScaleVec(float*, const float*, float, int64_t) { Unreachable(); }
+void AddScalarVec(float*, const float*, float, int64_t) { Unreachable(); }
+void AccumVec(float*, const float*, int64_t) { Unreachable(); }
+void AxpyVec(float*, const float*, float, int64_t) { Unreachable(); }
+void MulAccumVec(float*, const float*, const float*, int64_t) { Unreachable(); }
+void RecipMulAccumVec(float*, const float*, const float*, int64_t) {
+  Unreachable();
+}
+void DivGradBVec(float*, const float*, const float*, const float*, int64_t) {
+  Unreachable();
+}
+float RowMax(const float*, int64_t) { Unreachable(); }
+void SoftmaxBwdVec(float*, const float*, const float*, float, int64_t) {
+  Unreachable();
+}
+void LayerNormRowVec(float*, float*, const float*, const float*, const float*,
+                     float, float, int64_t) {
+  Unreachable();
+}
+void MatMulTile(float*, const float*, const float*, int64_t, int64_t,
+                int64_t) {
+  Unreachable();
+}
+float Dot(const float*, const float*, int64_t) { Unreachable(); }
+
+#endif  // MSGCL_HAVE_AVX2_TU
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace msgcl

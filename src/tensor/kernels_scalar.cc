@@ -1,0 +1,106 @@
+// Scalar reference path for the kernel layer (DESIGN.md §13).
+//
+// This TU is compiled with `-fno-tree-vectorize -fno-tree-slp-vectorize`
+// (see src/tensor/CMakeLists.txt) so these loops stay genuinely scalar even
+// under `-O3 -march=native` — they are the reference the AVX2 path is
+// bitwise-compared against, and the baseline the speedup drill measures.
+//
+// Contraction policy: every product feeding an accumulation goes through
+// std::fma (a single rounding). On FMA-capable hardware GCC inlines it to a
+// scalar vfmadd; elsewhere it lowers to the correctly-rounded libm fma, so
+// the result is bitwise identical either way.
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+namespace msgcl {
+namespace simd {
+namespace scalar {
+
+void AddVec(float* y, const float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void SubVec(float* y, const float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] - b[i];
+}
+
+void MulVec(float* y, const float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+void DivVec(float* y, const float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] / b[i];
+}
+
+void ScaleVec(float* y, const float* x, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] * s;
+}
+
+void AddScalarVec(float* y, const float* x, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] + s;
+}
+
+void AccumVec(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyVec(float* y, const float* x, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(x[i], s, y[i]);
+}
+
+void MulAccumVec(float* y, const float* a, const float* b, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(a[i], b[i], y[i]);
+}
+
+void RecipMulAccumVec(float* y, const float* b, const float* g, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(1.0f / b[i], g[i], y[i]);
+}
+
+void DivGradBVec(float* y, const float* a, const float* b, const float* g,
+                 int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] = std::fma(-a[i] / (b[i] * b[i]), g[i], y[i]);
+  }
+}
+
+float RowMax(const float* x, int64_t n) {
+  float mx = x[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  return mx;
+}
+
+void SoftmaxBwdVec(float* y, const float* p, const float* g, float dot,
+                   int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(p[i], g[i] - dot, y[i]);
+}
+
+void LayerNormRowVec(float* out, float* xhat, const float* x,
+                     const float* gamma, const float* beta, float mu,
+                     float inv_std, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float xh = (x[i] - mu) * inv_std;
+    xhat[i] = xh;
+    out[i] = std::fma(gamma[i], xh, beta[i]);
+  }
+}
+
+void MatMulTile(float* c, const float* a, const float* b, int64_t p0,
+                int64_t p1, int64_t n) {
+  for (int64_t p = p0; p < p1; ++p) {
+    const float av = a[p];
+    const float* brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) c[j] = std::fma(av, brow[j], c[j]);
+  }
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc = std::fma(a[i], b[i], acc);
+  return acc;
+}
+
+}  // namespace scalar
+}  // namespace simd
+}  // namespace msgcl

@@ -14,6 +14,8 @@
 
 #include "obs/profiler.h"
 #include "parallel/parallel.h"
+#include "tensor/kernels.h"
+#include "tensor/plan_cache.h"
 #include "tensor/tensor.h"
 
 namespace msgcl {
@@ -35,6 +37,140 @@ int64_t RowGrain(int64_t row_width) {
   return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(row_width, 1));
 }
 
+// ---- Kernel plans (plan_cache.h) -----------------------------------------
+//
+// Repeated steps run the same op shapes; these caches make the second and
+// every later call skip broadcast/stride resolution and shard-grain
+// arithmetic. Plans are immutable; keys include the thread count wherever
+// the plan embeds a parallel::ShardPlan.
+
+void AppendShapeKey(std::vector<int64_t>& key, const Shape& s) {
+  key.push_back(static_cast<int64_t>(s.size()));
+  key.insert(key.end(), s.begin(), s.end());
+}
+
+Shape BroadcastShape(const Shape& a, const Shape& b);
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out);
+
+/// Broadcast resolution for one (a_shape, b_shape) pair plus the forward
+/// shard partition over the output.
+struct BinaryPlan {
+  Shape out_shape;
+  std::vector<int64_t> sa, sb;
+  bool same_shape = false;
+  int64_t out_numel = 0;
+  parallel::ShardPlan fwd_shards;
+};
+
+plans::PlanCache<BinaryPlan>& BinaryPlans() {
+  static auto* cache = new plans::PlanCache<BinaryPlan>();
+  return *cache;
+}
+
+std::shared_ptr<const BinaryPlan> GetBinaryPlan(const Shape& a_shape,
+                                                const Shape& b_shape) {
+  std::vector<int64_t> key;
+  key.reserve(a_shape.size() + b_shape.size() + 3);
+  key.push_back(parallel::MaxThreads());
+  AppendShapeKey(key, a_shape);
+  AppendShapeKey(key, b_shape);
+  return BinaryPlans().GetOrCreate(std::move(key), [&] {
+    BinaryPlan plan;
+    plan.out_shape = BroadcastShape(a_shape, b_shape);
+    plan.sa = BroadcastStrides(a_shape, plan.out_shape);
+    plan.sb = BroadcastStrides(b_shape, plan.out_shape);
+    plan.same_shape = a_shape == b_shape;
+    plan.out_numel = NumElements(plan.out_shape);
+    plan.fwd_shards = parallel::BuildShardPlan(0, plan.out_numel, kElemGrain);
+    return plan;
+  });
+}
+
+/// Stride table for one (in_shape, perm) pair.
+struct PermutePlan {
+  Shape out_shape;
+  std::vector<int64_t> strides_by_out;
+};
+
+plans::PlanCache<PermutePlan>& PermutePlans() {
+  static auto* cache = new plans::PlanCache<PermutePlan>();
+  return *cache;
+}
+
+/// Shard grains (and the forward row partition) for one matmul shape.
+struct MatMulPlan {
+  int64_t fwd_grain = 1;
+  int64_t grain_a = 1;
+  int64_t grain_b = 1;
+  parallel::ShardPlan row_shards;
+};
+
+plans::PlanCache<MatMulPlan>& MatMulPlans() {
+  static auto* cache = new plans::PlanCache<MatMulPlan>();
+  return *cache;
+}
+
+// ---- Vectorized elementwise kernel hooks ---------------------------------
+
+/// Same-shape fast-path kernels for a binary op: forward plus the two
+/// backward accumulators (ga/gb updated from a, b and the output grad g).
+/// All three are kernel-layer calls, so SIMD-vs-scalar stays bitwise equal.
+struct BinaryKernels {
+  void (*fwd)(float* out, const float* a, const float* b, int64_t n);
+  void (*da)(float* ga, const float* a, const float* b, const float* g,
+             int64_t n);
+  void (*db)(float* gb, const float* a, const float* b, const float* g,
+             int64_t n);
+};
+
+constexpr BinaryKernels kAddKernels = {
+    [](float* out, const float* a, const float* b, int64_t n) {
+      simd::AddVec(out, a, b, n);
+    },
+    [](float* ga, const float*, const float*, const float* g, int64_t n) {
+      simd::AccumVec(ga, g, n);
+    },
+    [](float* gb, const float*, const float*, const float* g, int64_t n) {
+      simd::AccumVec(gb, g, n);
+    },
+};
+
+constexpr BinaryKernels kSubKernels = {
+    [](float* out, const float* a, const float* b, int64_t n) {
+      simd::SubVec(out, a, b, n);
+    },
+    [](float* ga, const float*, const float*, const float* g, int64_t n) {
+      simd::AccumVec(ga, g, n);
+    },
+    [](float* gb, const float*, const float*, const float* g, int64_t n) {
+      simd::AxpyVec(gb, g, -1.0f, n);
+    },
+};
+
+constexpr BinaryKernels kMulKernels = {
+    [](float* out, const float* a, const float* b, int64_t n) {
+      simd::MulVec(out, a, b, n);
+    },
+    [](float* ga, const float*, const float* b, const float* g, int64_t n) {
+      simd::MulAccumVec(ga, b, g, n);
+    },
+    [](float* gb, const float* a, const float*, const float* g, int64_t n) {
+      simd::MulAccumVec(gb, a, g, n);
+    },
+};
+
+constexpr BinaryKernels kDivKernels = {
+    [](float* out, const float* a, const float* b, int64_t n) {
+      simd::DivVec(out, a, b, n);
+    },
+    [](float* ga, const float*, const float* b, const float* g, int64_t n) {
+      simd::RecipMulAccumVec(ga, b, g, n);
+    },
+    [](float* gb, const float* a, const float* b, const float* g, int64_t n) {
+      simd::DivGradBVec(gb, a, b, g, n);
+    },
+};
+
 bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
   if (!NoGradGuard::GradEnabled()) return false;
   for (const auto& p : parents) {
@@ -44,7 +180,7 @@ bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
 }
 
 /// Creates an op-output node. `bw` may be empty when no parent needs grad.
-Tensor MakeNode(Shape shape, std::vector<float> data, const std::vector<Tensor>& parents,
+Tensor MakeNode(Shape shape, FloatBuf data, const std::vector<Tensor>& parents,
                 std::function<void(TensorImpl&)> bw) {
   auto impl = std::make_shared<TensorImpl>();
   MSGCL_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
@@ -148,29 +284,31 @@ void ForEachBroadcast(const Shape& out_shape, const std::vector<int64_t>& sa,
                         std::forward<Fn>(fn));
 }
 
-/// Elementwise binary op with broadcasting.
-/// fwd(a, b) -> out; bwd writes (da, db) contributions given (a, b, gout).
+/// Elementwise binary op with broadcasting. The same-shape fast path runs
+/// through `vk` (kernel layer: vectorized, bitwise ISA-stable); the
+/// broadcast path keeps the serial odometer walk with the per-element
+/// `fwd`/`da_fn`/`db_fn` lambdas (one accumulation order regardless of
+/// thread count). Broadcast resolution and forward sharding come from the
+/// plan cache.
 template <typename Fwd, typename DA, typename DB>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
+Tensor BinaryOp(const Tensor& a, const Tensor& b, const BinaryKernels& vk,
+                Fwd fwd, DA da_fn, DB db_fn) {
   MSGCL_OBS_SCOPE_BYTES("tensor.elemwise.binary",
                         (a.numel() + b.numel() + std::max(a.numel(), b.numel())) * 4);
   const Shape a_shape = NormalizeScalarShape(a.shape());
   const Shape b_shape = NormalizeScalarShape(b.shape());
-  Shape out_shape = BroadcastShape(a_shape, b_shape);
-  auto sa = BroadcastStrides(a_shape, out_shape);
-  auto sb = BroadcastStrides(b_shape, out_shape);
+  auto plan = GetBinaryPlan(a_shape, b_shape);
   const auto& ad = a.data();
   const auto& bd = b.data();
-  std::vector<float> out(NumElements(out_shape));
-  if (a_shape == b_shape) {
-    // Fast path: identical shapes, tight vectorizable loop per shard.
-    parallel::For(0, static_cast<int64_t>(out.size()), kElemGrain,
-                  [&](int64_t i0, int64_t i1) {
-                    for (int64_t i = i0; i < i1; ++i) out[i] = fwd(ad[i], bd[i]);
-                  });
+  FloatBuf out(plan->out_numel);
+  if (plan->same_shape) {
+    // Fast path: identical shapes, vectorized kernel per shard.
+    parallel::For(plan->fwd_shards, [&](int64_t i0, int64_t i1) {
+      vk.fwd(out.data() + i0, ad.data() + i0, bd.data() + i0, i1 - i0);
+    });
   } else {
-    parallel::For(0, NumElements(out_shape), kElemGrain, [&](int64_t i0, int64_t i1) {
-      ForEachBroadcastRange(out_shape, sa, sb, i0, i1,
+    parallel::For(plan->fwd_shards, [&](int64_t i0, int64_t i1) {
+      ForEachBroadcastRange(plan->out_shape, plan->sa, plan->sb, i0, i1,
                             [&](int64_t o, int64_t ao, int64_t bo) {
                               out[o] = fwd(ad[ao], bd[bo]);
                             });
@@ -178,11 +316,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
   }
   auto ai = a.impl_ptr();
   auto bi = b.impl_ptr();
-  Shape shape_copy = out_shape;
-  const bool same_shape = a_shape == b_shape;
   return MakeNode(
-      std::move(out_shape), std::move(out), {a, b},
-      [ai, bi, sa, sb, shape_copy, same_shape, da_fn, db_fn](TensorImpl& self) {
+      plan->out_shape, std::move(out), {a, b},
+      [ai, bi, plan, vk, da_fn, db_fn](TensorImpl& self) {
         MSGCL_OBS_SCOPE("tensor.elemwise.binary.bwd");
         const bool need_a = ai->requires_grad;
         const bool need_b = bi->requires_grad;
@@ -191,20 +327,27 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DA da_fn, DB db_fn) {
         const auto& g = self.grad;
         const auto& ad = ai->data;
         const auto& bd = bi->data;
-        if (same_shape) {
-          // Disjoint per-index writes into both parents.
+        if (plan->same_shape) {
+          // Disjoint per-index writes into both parents. Per element the
+          // da-then-db order of the old fused loop is preserved (the a==b
+          // aliasing case accumulates identically).
           parallel::For(0, static_cast<int64_t>(g.size()), kElemGrain,
                         [&](int64_t i0, int64_t i1) {
-                          for (int64_t i = i0; i < i1; ++i) {
-                            if (need_a) ai->grad[i] += da_fn(ad[i], bd[i]) * g[i];
-                            if (need_b) bi->grad[i] += db_fn(ad[i], bd[i]) * g[i];
+                          if (need_a) {
+                            vk.da(ai->grad.data() + i0, ad.data() + i0,
+                                  bd.data() + i0, g.data() + i0, i1 - i0);
+                          }
+                          if (need_b) {
+                            vk.db(bi->grad.data() + i0, ad.data() + i0,
+                                  bd.data() + i0, g.data() + i0, i1 - i0);
                           }
                         });
         } else {
           // Broadcast scatter: several output elements fold into one parent
           // element, so this path stays serial to keep one accumulation
           // order (flat output order) regardless of thread count.
-          ForEachBroadcast(shape_copy, sa, sb, [&](int64_t o, int64_t ao, int64_t bo) {
+          ForEachBroadcast(plan->out_shape, plan->sa, plan->sb,
+                           [&](int64_t o, int64_t ao, int64_t bo) {
             if (need_a) ai->grad[ao] += da_fn(ad[ao], bd[bo]) * g[o];
             if (need_b) bi->grad[bo] += db_fn(ad[ao], bd[bo]) * g[o];
           });
@@ -217,7 +360,7 @@ template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd) {
   MSGCL_OBS_SCOPE_BYTES("tensor.elemwise.unary", x.numel() * 2 * 4);
   const auto& xd = x.data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
                 [&](int64_t i0, int64_t i1) {
                   for (int64_t i = i0; i < i1; ++i) out[i] = fwd(xd[i]);
@@ -249,13 +392,7 @@ void MatMulRowsKernel(const float* a, const float* b, float* c, int64_t k, int64
   for (int64_t p0 = 0; p0 < k; p0 += kPBlock) {
     const int64_t p1 = std::min(k, p0 + kPBlock);
     for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t p = p0; p < p1; ++p) {
-        const float av = arow[p];
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+      simd::MatMulTile(c + i * n, a + i * k, b, p0, p1, n);
     }
   }
 }
@@ -267,10 +404,7 @@ void MatMulGradARows(const float* dc, const float* b, float* da, int64_t k, int6
     const float* dcrow = dc + i * n;
     float* darow = da + i * k;
     for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
-      darow[p] += acc;
+      darow[p] += simd::Dot(dcrow, b + p * n, n);
     }
   }
 }
@@ -283,9 +417,7 @@ void MatMulGradBRows(const float* a, const float* dc, float* db, int64_t m, int6
   for (int64_t p = p0; p < p1; ++p) {
     float* dbrow = db + p * n;
     for (int64_t i = 0; i < m; ++i) {
-      const float av = a[i * k + p];
-      const float* dcrow = dc + i * n;
-      for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+      simd::AxpyVec(dbrow, dc + i * n, a[i * k + p], n);
     }
   }
 }
@@ -309,37 +441,69 @@ void ForEachBatchSegment(int64_t r0, int64_t r1, int64_t rows_per_batch, Fn&& fn
 
 Tensor Tensor::Add(const Tensor& o) const {
   return BinaryOp(
-      *this, o, [](float a, float b) { return a + b; },
+      *this, o, kAddKernels, [](float a, float b) { return a + b; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Tensor::Sub(const Tensor& o) const {
   return BinaryOp(
-      *this, o, [](float a, float b) { return a - b; },
+      *this, o, kSubKernels, [](float a, float b) { return a - b; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Tensor::Mul(const Tensor& o) const {
   return BinaryOp(
-      *this, o, [](float a, float b) { return a * b; },
+      *this, o, kMulKernels, [](float a, float b) { return a * b; },
       [](float, float b) { return b; }, [](float a, float) { return a; });
 }
 
 Tensor Tensor::Div(const Tensor& o) const {
   return BinaryOp(
-      *this, o, [](float a, float b) { return a / b; },
+      *this, o, kDivKernels, [](float a, float b) { return a / b; },
       [](float, float b) { return 1.0f / b; },
       [](float a, float b) { return -a / (b * b); });
 }
 
 Tensor Tensor::AddScalar(float s) const {
-  return UnaryOp(
-      *this, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+  MSGCL_OBS_SCOPE_BYTES("tensor.elemwise.unary", numel() * 2 * 4);
+  const auto& xd = data();
+  FloatBuf out(xd.size());
+  parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  simd::AddScalarVec(out.data() + i0, xd.data() + i0, s, i1 - i0);
+                });
+  auto xi = impl_ptr();
+  return MakeNode(shape(), std::move(out), {*this}, [xi](TensorImpl& self) {
+    MSGCL_OBS_SCOPE("tensor.elemwise.unary.bwd");
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const auto& g = self.grad;
+    parallel::For(0, static_cast<int64_t>(g.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    simd::AccumVec(xi->grad.data() + i0, g.data() + i0, i1 - i0);
+                  });
+  });
 }
 
 Tensor Tensor::MulScalar(float s) const {
-  return UnaryOp(
-      *this, [s](float x) { return x * s; }, [s](float, float) { return s; });
+  MSGCL_OBS_SCOPE_BYTES("tensor.elemwise.unary", numel() * 2 * 4);
+  const auto& xd = data();
+  FloatBuf out(xd.size());
+  parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  simd::ScaleVec(out.data() + i0, xd.data() + i0, s, i1 - i0);
+                });
+  auto xi = impl_ptr();
+  return MakeNode(shape(), std::move(out), {*this}, [xi, s](TensorImpl& self) {
+    MSGCL_OBS_SCOPE("tensor.elemwise.unary.bwd");
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const auto& g = self.grad;
+    parallel::For(0, static_cast<int64_t>(g.size()), kElemGrain,
+                  [&](int64_t i0, int64_t i1) {
+                    simd::AxpyVec(xi->grad.data() + i0, g.data() + i0, s, i1 - i0);
+                  });
+  });
 }
 
 // ---- Elementwise unary -----------------------------------------------------
@@ -445,7 +609,7 @@ Tensor Tensor::SumLastDim() const {
   const int64_t c = dim(-1);
   const int64_t rows = numel() / std::max<int64_t>(c, 1);
   const auto& xd = data();
-  std::vector<float> out(rows, 0.0f);
+  FloatBuf out(rows, 0.0f);
   parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       double acc = 0.0;
@@ -481,7 +645,7 @@ Tensor Tensor::MaxLastDim() const {
   MSGCL_CHECK_GT(c, 0);
   const int64_t rows = numel() / c;
   const auto& xd = data();
-  std::vector<float> out(rows);
+  FloatBuf out(rows);
   auto argmax = std::make_shared<std::vector<int64_t>>(rows);
   parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
@@ -522,20 +686,21 @@ Tensor Tensor::SoftmaxLastDim() const {
   MSGCL_CHECK_GT(c, 0);
   const int64_t rows = numel() / c;
   const auto& xd = data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = xd.data() + r * c;
       float* yr = out.data() + r * c;
-      float mx = xr[0];
-      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+      const float mx = simd::RowMax(xr, c);
+      // The exp/sum pass stays serial double precision: z is an
+      // order-sensitive reduction pinned by the telemetry goldens.
       double z = 0.0;
       for (int64_t j = 0; j < c; ++j) {
         yr[j] = std::exp(xr[j] - mx);
         z += yr[j];
       }
       const float inv = static_cast<float>(1.0 / z);
-      for (int64_t j = 0; j < c; ++j) yr[j] *= inv;
+      simd::ScaleVec(yr, yr, inv, c);
     }
   });
   auto xi = impl_ptr();
@@ -551,7 +716,7 @@ Tensor Tensor::SoftmaxLastDim() const {
         double dot = 0.0;
         for (int64_t j = 0; j < c; ++j) dot += static_cast<double>(y[j]) * g[j];
         float* gx = xi->grad.data() + r * c;
-        for (int64_t j = 0; j < c; ++j) gx[j] += y[j] * (g[j] - static_cast<float>(dot));
+        simd::SoftmaxBwdVec(gx, y, g, static_cast<float>(dot), c);
       }
     });
   });
@@ -564,17 +729,17 @@ Tensor Tensor::LogSoftmaxLastDim() const {
   MSGCL_CHECK_GT(c, 0);
   const int64_t rows = numel() / c;
   const auto& xd = data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = xd.data() + r * c;
       float* yr = out.data() + r * c;
-      float mx = xr[0];
-      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+      const float mx = simd::RowMax(xr, c);
+      // Serial double z: order-sensitive reduction, stays scalar.
       double z = 0.0;
       for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
       const float lse = mx + static_cast<float>(std::log(z));
-      for (int64_t j = 0; j < c; ++j) yr[j] = xr[j] - lse;
+      simd::AddScalarVec(yr, xr, -lse, c);  // x - lse == x + (-lse) exactly
     }
   });
   auto xi = impl_ptr();
@@ -604,7 +769,7 @@ Tensor Tensor::L2NormalizeLastDim(float eps) const {
   MSGCL_CHECK_GT(c, 0);
   const int64_t rows = numel() / c;
   const auto& xd = data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   auto norms = std::make_shared<std::vector<float>>(rows);
   parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
@@ -642,7 +807,7 @@ Tensor Tensor::L2NormalizeLastDim(float eps) const {
 Tensor Tensor::MaskedFill(const std::vector<uint8_t>& mask, float value) const {
   MSGCL_CHECK_EQ(static_cast<int64_t>(mask.size()), numel());
   const auto& xd = data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
                 [&](int64_t i0, int64_t i1) {
                   for (int64_t i = i0; i < i1; ++i) out[i] = mask[i] ? value : xd[i];
@@ -666,7 +831,7 @@ Tensor Tensor::DropoutMask(const std::vector<uint8_t>& keep, float keep_prob) co
   MSGCL_CHECK_GT(keep_prob, 0.0f);
   const float scale = 1.0f / keep_prob;
   const auto& xd = data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
                 [&](int64_t i0, int64_t i1) {
                   for (int64_t i = i0; i < i1; ++i) {
@@ -719,41 +884,50 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
   const int n = ndim();
   MSGCL_CHECK_EQ(static_cast<int>(perm.size()), n);
   const Shape& in_shape = shape();
-  Shape out_shape(n);
-  for (int i = 0; i < n; ++i) out_shape[i] = in_shape[perm[i]];
 
-  // in_strides in input layout; then arrange by perm so that walking the
-  // output row-major advances the input offset by strides_by_out.
-  std::vector<int64_t> in_strides(n, 1);
-  for (int i = n - 2; i >= 0; --i) in_strides[i] = in_strides[i + 1] * in_shape[i + 1];
-  std::vector<int64_t> strides_by_out(n);
-  for (int i = 0; i < n; ++i) strides_by_out[i] = in_strides[perm[i]];
+  // Stride layout is a pure function of (in_shape, perm): cacheable.
+  std::vector<int64_t> key;
+  key.reserve(1 + 2 * n);
+  key.push_back(n);
+  key.insert(key.end(), in_shape.begin(), in_shape.end());
+  for (int p : perm) key.push_back(p);
+  auto plan = PermutePlans().GetOrCreate(std::move(key), [&] {
+    PermutePlan p;
+    p.out_shape.resize(n);
+    for (int i = 0; i < n; ++i) p.out_shape[i] = in_shape[perm[i]];
+    // in_strides in input layout; then arrange by perm so that walking the
+    // output row-major advances the input offset by strides_by_out.
+    std::vector<int64_t> in_strides(n, 1);
+    for (int i = n - 2; i >= 0; --i) in_strides[i] = in_strides[i + 1] * in_shape[i + 1];
+    p.strides_by_out.resize(n);
+    for (int i = 0; i < n; ++i) p.strides_by_out[i] = in_strides[perm[i]];
+    return p;
+  });
 
   const auto& xd = data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   std::vector<int64_t> zero(n, 0);
   parallel::For(0, static_cast<int64_t>(xd.size()), kElemGrain,
                 [&](int64_t i0, int64_t i1) {
-                  ForEachBroadcastRange(out_shape, strides_by_out, zero, i0, i1,
-                                        [&](int64_t o, int64_t io, int64_t) {
+                  ForEachBroadcastRange(plan->out_shape, plan->strides_by_out, zero,
+                                        i0, i1, [&](int64_t o, int64_t io, int64_t) {
                                           out[o] = xd[io];
                                         });
                 });
 
   auto xi = impl_ptr();
-  Shape out_copy = out_shape;
-  return MakeNode(std::move(out_shape), std::move(out), {*this},
-                  [xi, strides_by_out, out_copy](TensorImpl& self) {
+  return MakeNode(plan->out_shape, std::move(out), {*this},
+                  [xi, plan](TensorImpl& self) {
                     if (!xi->requires_grad) return;
                     xi->EnsureGrad();
                     // A permutation is a bijection: each output element maps
                     // to a distinct input slot, so parallel scatter is safe.
-                    std::vector<int64_t> zero(out_copy.size(), 0);
+                    std::vector<int64_t> zero(plan->out_shape.size(), 0);
                     parallel::For(0, static_cast<int64_t>(self.grad.size()), kElemGrain,
                                   [&](int64_t i0, int64_t i1) {
                                     ForEachBroadcastRange(
-                                        out_copy, strides_by_out, zero, i0, i1,
-                                        [&](int64_t o, int64_t io, int64_t) {
+                                        plan->out_shape, plan->strides_by_out, zero,
+                                        i0, i1, [&](int64_t o, int64_t io, int64_t) {
                                           xi->grad[io] += self.grad[o];
                                         });
                                   });
@@ -776,7 +950,7 @@ Tensor Tensor::Narrow(int d, int64_t start, int64_t length) const {
   Shape out_shape = in_shape;
   out_shape[d] = length;
   const auto& xd = data();
-  std::vector<float> out(outer * length * inner);
+  FloatBuf out(outer * length * inner);
   parallel::For(0, outer, RowGrain(length * inner), [&](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
       const float* src = xd.data() + (o * in_dim + start) * inner;
@@ -824,7 +998,7 @@ Tensor Tensor::Concat(const std::vector<Tensor>& tensors, int d) {
   for (int i = 0; i < d; ++i) outer *= out_shape[i];
   for (int i = d + 1; i < n; ++i) inner *= out_shape[i];
 
-  std::vector<float> out(NumElements(out_shape));
+  FloatBuf out(NumElements(out_shape));
   std::vector<int64_t> dim_sizes;
   dim_sizes.reserve(tensors.size());
   int64_t offset_dim = 0;
@@ -891,17 +1065,28 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(nn);
-  std::vector<float> out(NumElements(out_shape), 0.0f);
+  FloatBuf out(NumElements(out_shape), 0.0f);
   const auto& ad = A.data();
   const auto& bd = B.data();
   const int64_t a_stride = a_batched ? m * ka : 0;
   const int64_t b_stride = b_batched ? ka * nn : 0;
   const int64_t k = ka;
   // Output rows are disjoint across (batch, i): parallelize the flattened
-  // row space. Grain keeps >= kMatMulGrainFlops of work per shard.
-  const int64_t row_flops = std::max<int64_t>(2 * k * nn, 1);
-  const int64_t fwd_grain = std::max<int64_t>(1, kMatMulGrainFlops / row_flops);
-  parallel::For(0, nbatch * m, fwd_grain, [&](int64_t r0, int64_t r1) {
+  // row space. Grains keep >= kMatMulGrainFlops of work per shard; the plan
+  // cache remembers grains and the forward row partition per shape.
+  std::vector<int64_t> key{parallel::MaxThreads(), nbatch, m, k, nn,
+                           a_batched ? 1 : 0, b_batched ? 1 : 0};
+  auto plan = MatMulPlans().GetOrCreate(std::move(key), [&] {
+    MatMulPlan p;
+    const int64_t row_flops = std::max<int64_t>(2 * k * nn, 1);
+    p.fwd_grain = std::max<int64_t>(1, kMatMulGrainFlops / row_flops);
+    p.grain_a = p.fwd_grain;
+    const int64_t col_flops = std::max<int64_t>(2 * m * nn, 1);
+    p.grain_b = std::max<int64_t>(1, kMatMulGrainFlops / col_flops);
+    p.row_shards = parallel::BuildShardPlan(0, nbatch * m, p.fwd_grain);
+    return p;
+  });
+  parallel::For(plan->row_shards, [&](int64_t r0, int64_t r1) {
     ForEachBatchSegment(r0, r1, m, [&](int64_t bi, int64_t i0, int64_t i1) {
       MatMulRowsKernel(ad.data() + bi * a_stride, bd.data() + bi * b_stride,
                        out.data() + bi * m * nn, k, nn, i0, i1);
@@ -912,7 +1097,7 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   auto bimp = B.impl_ptr();
   return MakeNode(
       std::move(out_shape), std::move(out), {A, B},
-      [ai, bimp, m, k, nn, nbatch, a_stride, b_stride, a_batched,
+      [ai, bimp, plan, m, k, nn, nbatch, a_stride, b_stride, a_batched,
        b_batched](TensorImpl& self) {
         MSGCL_OBS_SCOPE_BYTES("tensor.matmul.bwd", (m * k + k * nn + m * nn) * 8 * nbatch);
         const bool need_a = ai->requires_grad;
@@ -922,10 +1107,8 @@ Tensor Tensor::MatMul(const Tensor& other) const {
         const float* gd = self.grad.data();
         const float* adata = ai->data.data();
         const float* bdata = bimp->data.data();
-        const int64_t row_flops = std::max<int64_t>(2 * k * nn, 1);
-        const int64_t grain_a = std::max<int64_t>(1, kMatMulGrainFlops / row_flops);
-        const int64_t col_flops = std::max<int64_t>(2 * m * nn, 1);
-        const int64_t grain_b = std::max<int64_t>(1, kMatMulGrainFlops / col_flops);
+        const int64_t grain_a = plan->grain_a;
+        const int64_t grain_b = plan->grain_b;
         if (need_a) {
           if (a_batched) {
             // dA rows are disjoint across (batch, i).
@@ -980,7 +1163,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& indices,
   const int64_t rows = table.dim(0);
   const int64_t width = table.dim(1);
   const auto& td = table.data();
-  std::vector<float> out(indices.size() * width);
+  FloatBuf out(indices.size() * width);
   parallel::For(0, static_cast<int64_t>(indices.size()), RowGrain(width),
                 [&](int64_t i0, int64_t i1) {
                   for (int64_t i = i0; i < i1; ++i) {
@@ -1026,7 +1209,7 @@ Tensor GatherTimeStep(const Tensor& x, const std::vector<int32_t>& positions) {
   const int64_t B = x.dim(0), T = x.dim(1), D = x.dim(2);
   MSGCL_CHECK_EQ(static_cast<int64_t>(positions.size()), B);
   const auto& xd = x.data();
-  std::vector<float> out(B * D);
+  FloatBuf out(B * D);
   parallel::For(0, B, RowGrain(D), [&](int64_t b0, int64_t b1) {
     for (int64_t b = b0; b < b1; ++b) {
       const int32_t t = positions[b];
@@ -1065,12 +1248,13 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta
   const auto& xd = x.data();
   const auto& gd = gamma.data();
   const auto& bd = beta.data();
-  std::vector<float> out(xd.size());
+  FloatBuf out(xd.size());
   auto xhat = std::make_shared<std::vector<float>>(xd.size());
   auto inv_std = std::make_shared<std::vector<float>>(rows);
   parallel::For(0, rows, RowGrain(c), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = xd.data() + r * c;
+      // mu/var stay serial double reductions (order-sensitive, golden-pinned).
       double mu = 0.0;
       for (int64_t j = 0; j < c; ++j) mu += xr[j];
       mu /= static_cast<double>(c);
@@ -1082,11 +1266,8 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta
       var /= static_cast<double>(c);
       const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
       (*inv_std)[r] = is;
-      for (int64_t j = 0; j < c; ++j) {
-        const float xh = (xr[j] - static_cast<float>(mu)) * is;
-        (*xhat)[r * c + j] = xh;
-        out[r * c + j] = gd[j] * xh + bd[j];
-      }
+      simd::LayerNormRowVec(out.data() + r * c, xhat->data() + r * c, xr,
+                            gd.data(), bd.data(), static_cast<float>(mu), is, c);
     }
   });
   auto xi = x.impl_ptr();
@@ -1116,12 +1297,8 @@ Tensor LayerNormLastDim(const Tensor& x, const Tensor& gamma, const Tensor& beta
           for (int64_t r = r0; r < r1; ++r) {
             const float* g = self.grad.data() + r * c;
             const float* xh = xhat->data() + r * c;
-            if (need_g || need_b) {
-              for (int64_t j = 0; j < c; ++j) {
-                if (need_g) pg[j] += g[j] * xh[j];
-                if (need_b) pb[j] += g[j];
-              }
-            }
+            if (need_g) simd::MulAccumVec(pg, g, xh, c);
+            if (need_b) simd::AccumVec(pb, g, c);
             if (need_x) {
               // dx = inv_std/c * (c*dy*gamma - sum(dy*gamma)
               //        - xhat * sum(dy*gamma*xhat))
@@ -1230,7 +1407,7 @@ Tensor HorizontalConv(const Tensor& x, const Tensor& weight, const Tensor& bias)
   const auto& xd = x.data();
   const auto& wd = weight.data();
   const auto& bd = bias.data();
-  std::vector<float> out(B * L * F);
+  FloatBuf out(B * L * F);
   // Output rows (b, t) are disjoint.
   parallel::For(0, B * L, RowGrain(F * h * D), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {

@@ -1,0 +1,163 @@
+// Shape-keyed kernel-plan cache (DESIGN.md §13).
+//
+// Training and serving run the same op shapes every step, but each op call
+// used to redo its setup from scratch: broadcast-shape resolution and stride
+// tables, permute stride tables, shard-grain arithmetic. This is the
+// program-cache idiom: the first call with a given (op, shapes) key builds
+// an immutable Plan and caches it; every later call fetches it under a
+// mutex and skips straight to the kernel.
+//
+// Plans are `shared_ptr<const Plan>` — backward closures capture the same
+// plan the forward used, and a cache Clear() never invalidates a plan
+// somebody still holds. Caches are bounded (kMaxEntries, clear-on-overflow:
+// shape churn beyond the bound degrades to miss-per-call, never unbounded
+// memory). MSGCL_PLAN_CACHE=0 disables caching entirely (every call builds
+// a fresh plan) — plans only describe HOW to run, never WHAT is computed,
+// so this knob is a determinism bisection aid.
+//
+// Metrics (obs): tensor.plan_cache.hits / .misses / .evictions counters and
+// the tensor.plan_cache.entries gauge (total across all plan caches).
+#ifndef MSGCL_TENSOR_PLAN_CACHE_H_
+#define MSGCL_TENSOR_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace msgcl {
+namespace plans {
+
+namespace detail {
+
+inline obs::Counter& HitCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("tensor.plan_cache.hits");
+  return c;
+}
+inline obs::Counter& MissCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("tensor.plan_cache.misses");
+  return c;
+}
+inline obs::Counter& EvictionCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("tensor.plan_cache.evictions");
+  return c;
+}
+inline obs::Gauge& EntriesGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("tensor.plan_cache.entries");
+  return g;
+}
+
+/// Total live entries across every PlanCache instance (mirrored into the
+/// entries gauge).
+inline std::atomic<int64_t>& GlobalEntries() {
+  static std::atomic<int64_t> n{0};
+  return n;
+}
+
+struct KeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    // FNV-1a over the key words.
+    uint64_t h = 1469598103934665603ull;
+    for (int64_t v : key) {
+      uint64_t u = static_cast<uint64_t>(v);
+      for (int b = 0; b < 8; ++b) {
+        h ^= (u >> (b * 8)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace detail
+
+/// False when MSGCL_PLAN_CACHE is "0" or "off" (read once).
+inline bool Enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("MSGCL_PLAN_CACHE");
+    return env == nullptr ||
+           (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0);
+  }();
+  return enabled;
+}
+
+/// One shape-keyed cache of immutable plans. Keys are flat int64 vectors
+/// encoding whatever identifies the plan (shapes, flags, thread count);
+/// the caller owns the encoding, the cache owns lookup, bounding and
+/// metrics. Thread-safe.
+template <typename Plan>
+class PlanCache {
+ public:
+  using Key = std::vector<int64_t>;
+  static constexpr size_t kMaxEntries = 4096;
+
+  /// Returns the cached plan for `key`, building it with `make()` on miss.
+  template <typename Make>
+  std::shared_ptr<const Plan> GetOrCreate(Key key, Make&& make) {
+    if (!Enabled()) {
+      detail::MissCounter().Add(1);
+      return std::make_shared<const Plan>(make());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        detail::HitCounter().Add(1);
+        return it->second;
+      }
+    }
+    // Build outside the lock: plan construction can be arbitrarily heavy
+    // and is pure. A racing builder for the same key just loses its copy.
+    detail::MissCounter().Add(1);
+    auto plan = std::make_shared<const Plan>(make());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.size() >= kMaxEntries) {
+      detail::EvictionCounter().Add(static_cast<int64_t>(map_.size()));
+      detail::GlobalEntries().fetch_sub(static_cast<int64_t>(map_.size()),
+                                        std::memory_order_relaxed);
+      map_.clear();
+    }
+    auto [it, inserted] = map_.emplace(std::move(key), plan);
+    if (inserted) {
+      detail::EntriesGauge().Set(static_cast<double>(
+          detail::GlobalEntries().fetch_add(1, std::memory_order_relaxed) +
+          1));
+    }
+    return it->second;
+  }
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    detail::GlobalEntries().fetch_sub(static_cast<int64_t>(map_.size()),
+                                      std::memory_order_relaxed);
+    map_.clear();
+    detail::EntriesGauge().Set(static_cast<double>(
+        detail::GlobalEntries().load(std::memory_order_relaxed)));
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const Plan>, detail::KeyHash> map_;
+};
+
+}  // namespace plans
+}  // namespace msgcl
+
+#endif  // MSGCL_TENSOR_PLAN_CACHE_H_

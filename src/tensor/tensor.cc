@@ -10,7 +10,7 @@ namespace {
 
 thread_local bool g_grad_enabled = true;
 
-std::shared_ptr<detail::TensorImpl> MakeImpl(Shape shape, std::vector<float> data,
+std::shared_ptr<detail::TensorImpl> MakeImpl(Shape shape, FloatBuf data,
                                              bool requires_grad) {
   auto impl = std::make_shared<detail::TensorImpl>();
   MSGCL_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
@@ -50,7 +50,7 @@ bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
 
 Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
   int64_t n = NumElements(shape);
-  return FromImpl(MakeImpl(std::move(shape), std::vector<float>(n, 0.0f), requires_grad));
+  return FromImpl(MakeImpl(std::move(shape), FloatBuf(n, 0.0f), requires_grad));
 }
 
 Tensor Tensor::Ones(Shape shape, bool requires_grad) {
@@ -59,25 +59,26 @@ Tensor Tensor::Ones(Shape shape, bool requires_grad) {
 
 Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
   int64_t n = NumElements(shape);
-  return FromImpl(MakeImpl(std::move(shape), std::vector<float>(n, value), requires_grad));
+  return FromImpl(MakeImpl(std::move(shape), FloatBuf(n, value), requires_grad));
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
   int64_t n = NumElements(shape);
-  std::vector<float> v(n);
+  FloatBuf v(n);
   for (auto& x : v) x = rng.Normal(0.0f, stddev);
   return FromImpl(MakeImpl(std::move(shape), std::move(v), requires_grad));
 }
 
 Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi, bool requires_grad) {
   int64_t n = NumElements(shape);
-  std::vector<float> v(n);
+  FloatBuf v(n);
   for (auto& x : v) x = rng.UniformFloat(lo, hi);
   return FromImpl(MakeImpl(std::move(shape), std::move(v), requires_grad));
 }
 
 Tensor Tensor::FromVector(Shape shape, std::vector<float> values, bool requires_grad) {
-  return FromImpl(MakeImpl(std::move(shape), std::move(values), requires_grad));
+  return FromImpl(MakeImpl(std::move(shape),
+                           FloatBuf(values.begin(), values.end()), requires_grad));
 }
 
 Tensor Tensor::FromImpl(std::shared_ptr<detail::TensorImpl> impl) {

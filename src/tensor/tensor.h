@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/macros.h"
 #include "tensor/rng.h"
 
@@ -41,11 +42,13 @@ class Tensor;
 
 namespace detail {
 
-/// Graph node: storage, gradient buffer and backward closure.
+/// Graph node: storage, gradient buffer and backward closure. Buffers are
+/// FloatBuf: inside an arena::ArenaScope they bump-allocate from the scoped
+/// arena (per-step temporaries cost no malloc), outside they use the heap.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // allocated lazily, same size as data
+  FloatBuf data;
+  FloatBuf grad;  // allocated lazily, same size as data
   bool requires_grad = false;
 
   // Autograd bookkeeping. `backward_fn` reads this node's grad and
@@ -111,11 +114,17 @@ class Tensor {
 
   /// Mutable raw storage. Writing through this on a graph interior node
   /// invalidates recorded gradients; intended for leaves and tests.
-  std::vector<float>& data() { return impl()->data; }
-  const std::vector<float>& data() const { return impl()->data; }
+  FloatBuf& data() { return impl()->data; }
+  const FloatBuf& data() const { return impl()->data; }
   /// Gradient buffer (empty until backward touches this node).
-  const std::vector<float>& grad() const { return impl()->grad; }
-  std::vector<float>& mutable_grad() { impl()->EnsureGrad(); return impl()->grad; }
+  const FloatBuf& grad() const { return impl()->grad; }
+  FloatBuf& mutable_grad() { impl()->EnsureGrad(); return impl()->grad; }
+
+  /// Plain-vector copy of the storage (interop with snapshot/serialize code
+  /// that keeps long-lived std::vector<float> buffers).
+  std::vector<float> ToVector() const {
+    return std::vector<float>(impl()->data.begin(), impl()->data.end());
+  }
 
   /// Scalar value of a 1-element tensor.
   float item() const;

@@ -206,7 +206,7 @@ TEST(MetaSgclTest, StageTwoOnlyMovesMetaHead) {
 
   auto snapshot = [&](const std::vector<Tensor>& ps) {
     std::vector<std::vector<float>> out;
-    for (auto& p : ps) out.push_back(p.data());
+    for (auto& p : ps) out.push_back(p.ToVector());
     return out;
   };
   auto main_before = snapshot(gen.MainParameters());

@@ -370,6 +370,79 @@ TEST(GradSweepTest, HorizontalConvAllThreeInputs) {
       {x, w, b}, kEps, kAtol, kRtol);
 }
 
+// ---- Tail-odd widths (SIMD remainder lanes) --------------------------------
+//
+// The vector kernels in src/tensor/kernels.h process 8 floats per AVX2 lane
+// and finish each row with a scalar remainder loop. These sweeps pin the
+// remainder handling with finite differences at widths that hit every case:
+// below one lane (1, 7), exactly one lane (8), one lane + 1 (9), and just
+// either side of four lanes (31, 33).
+
+constexpr int64_t kTailWidths[] = {1, 7, 8, 9, 31, 33};
+
+TEST(GradSweepTest, TailOddElementwise) {
+  for (const int64_t n : kTailWidths) {
+    Rng rng(200 + static_cast<uint64_t>(n));
+    Tensor a = Tensor::Rand({2, n}, rng, -1.0f, 1.0f);
+    Tensor b = SignedAwayFromZero({2, n}, rng, 0.5f, 1.5f);  // denominator
+    CheckGradients(
+        [&](std::vector<Tensor>& l) {
+          return WeightedSum(l[0].Add(l[1]).Mul(l[0]).Sub(l[1]), rng);
+        },
+        {a, b}, kEps, kAtol, kRtol);
+    CheckGradients(
+        [&](std::vector<Tensor>& l) { return WeightedSum(l[0].Div(l[1]), rng); },
+        {a, b}, kEps, kAtol, kRtol);
+  }
+}
+
+TEST(GradSweepTest, TailOddMatMul) {
+  for (const int64_t n : kTailWidths) {
+    Rng rng(210 + static_cast<uint64_t>(n));
+    // n as the contraction depth and as the output width: both the p-loop
+    // tail and the j-loop (innermost, vectorized) tail get exercised.
+    Tensor a = Tensor::Rand({3, n}, rng, -1.0f, 1.0f);
+    Tensor b = Tensor::Rand({n, 2}, rng, -1.0f, 1.0f);
+    CheckGradients(
+        [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MatMul(l[1]), rng); },
+        {a, b}, kEps, kAtol, kRtol);
+    Tensor c = Tensor::Rand({2, n}, rng, -1.0f, 1.0f);
+    Tensor d = Tensor::Rand({n, n}, rng, -0.7f, 0.7f);
+    CheckGradients(
+        [&](std::vector<Tensor>& l) { return WeightedSum(l[0].MatMul(l[1]), rng); },
+        {c, d}, kEps, kAtol, kRtol);
+  }
+}
+
+TEST(GradSweepTest, TailOddSoftmaxFamily) {
+  for (const int64_t n : kTailWidths) {
+    Rng rng(220 + static_cast<uint64_t>(n));
+    Tensor a = Tensor::Rand({2, n}, rng, -1.0f, 1.0f);
+    CheckGradients(
+        [&](std::vector<Tensor>& l) { return WeightedSum(l[0].SoftmaxLastDim(), rng); },
+        {a}, kEps, kAtol, kRtol);
+    CheckGradients(
+        [&](std::vector<Tensor>& l) {
+          return WeightedSum(l[0].LogSoftmaxLastDim(), rng);
+        },
+        {a}, kEps, kAtol, kRtol);
+  }
+}
+
+TEST(GradSweepTest, TailOddLayerNorm) {
+  for (const int64_t n : kTailWidths) {
+    Rng rng(230 + static_cast<uint64_t>(n));
+    Tensor x = Tensor::Rand({2, n}, rng, -1.0f, 1.0f);
+    Tensor gamma = Tensor::Rand({n}, rng, 0.5f, 1.5f);
+    Tensor beta = Tensor::Rand({n}, rng, -0.5f, 0.5f);
+    CheckGradients(
+        [&](std::vector<Tensor>& l) {
+          return WeightedSum(LayerNormLastDim(l[0], l[1], l[2], 1e-5f), rng);
+        },
+        {x, gamma, beta}, kEps, kAtol, kRtol);
+  }
+}
+
 // ---- Composite graph -------------------------------------------------------
 
 TEST(GradSweepTest, TransformerishComposite) {

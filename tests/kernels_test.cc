@@ -1,0 +1,565 @@
+// Kernel-backend gate (DESIGN.md §13), ctest label `kernels`:
+//
+//  * raw kernel parity — every simd:: kernel produces BITWISE-identical
+//    output under the scalar and AVX2 paths, at widths that exercise the
+//    remainder lanes (1..9, 31, 33, ...);
+//  * op-level invariance — every rewired tensor op (elementwise, matmul,
+//    softmax family, layernorm) is bitwise invariant across ISA x {1, 2, 7}
+//    threads, forward AND backward;
+//  * arena-vs-heap equality — running a graph inside an ArenaScope changes
+//    only where buffers live, never a single bit of the values;
+//  * arena properties — 64-byte alignment, O(1) reset-reuse, no aliasing,
+//    escape-then-Reset safety with retired-bytes accounting;
+//  * plan-cache behavior — hit/miss/eviction counters and bounded size.
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/registry.h"
+#include "parallel/parallel.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
+#include "tensor/plan_cache.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace msgcl {
+namespace {
+
+// Widths hitting every AVX2 remainder case: sub-lane, exact lane, lane + 1,
+// either side of four lanes, and a larger non-multiple.
+constexpr int64_t kWidths[] = {1, 3, 7, 8, 9, 16, 31, 33, 100};
+
+std::vector<float> RandVec(int64_t n, uint64_t seed, float lo, float hi) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = lo + static_cast<float>(rng.Uniform()) * (hi - lo);
+  return v;
+}
+
+/// Nonzero magnitudes (for denominators).
+std::vector<float> RandVecAwayFromZero(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    const float mag = 0.5f + static_cast<float>(rng.Uniform());
+    x = rng.Uniform() < 0.5 ? -mag : mag;
+  }
+  return v;
+}
+
+void ExpectBitEq(const float* a, const float* b, size_t n, const std::string& what) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t ua, ub;
+    std::memcpy(&ua, a + i, sizeof(ua));
+    std::memcpy(&ub, b + i, sizeof(ub));
+    ASSERT_EQ(ua, ub) << what << " differs at [" << i << "]: " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+void ExpectBitEq(const std::vector<float>& a, const std::vector<float>& b,
+                 const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ExpectBitEq(a.data(), b.data(), a.size(), what);
+}
+
+/// Restores the ISA and thread count a test flipped.
+class IsaThreadGuard {
+ public:
+  IsaThreadGuard()
+      : isa_(simd::ActiveIsa()), threads_(parallel::MaxThreads()) {}
+  ~IsaThreadGuard() {
+    simd::SetIsa(isa_);
+    parallel::SetNumThreads(threads_);
+  }
+
+ private:
+  simd::Isa isa_;
+  int threads_;
+};
+
+// ---- Raw kernel parity: scalar vs AVX2, bitwise ---------------------------
+
+#define MSGCL_REQUIRE_AVX2()                                   \
+  if (!simd::Avx2Supported()) {                                \
+    GTEST_SKIP() << "AVX2 not available; scalar-only machine"; \
+  }
+
+TEST(KernelParityTest, ElementwiseMaps) {
+  MSGCL_REQUIRE_AVX2();
+  for (const int64_t n : kWidths) {
+    const std::vector<float> a = RandVec(n, 900 + n, -2.0f, 2.0f);
+    const std::vector<float> b = RandVecAwayFromZero(n, 901 + n);
+    std::vector<float> ys(n), yv(n);
+    const std::string tag = "n=" + std::to_string(n);
+
+    simd::scalar::AddVec(ys.data(), a.data(), b.data(), n);
+    simd::avx2::AddVec(yv.data(), a.data(), b.data(), n);
+    ExpectBitEq(ys, yv, "AddVec " + tag);
+
+    simd::scalar::SubVec(ys.data(), a.data(), b.data(), n);
+    simd::avx2::SubVec(yv.data(), a.data(), b.data(), n);
+    ExpectBitEq(ys, yv, "SubVec " + tag);
+
+    simd::scalar::MulVec(ys.data(), a.data(), b.data(), n);
+    simd::avx2::MulVec(yv.data(), a.data(), b.data(), n);
+    ExpectBitEq(ys, yv, "MulVec " + tag);
+
+    simd::scalar::DivVec(ys.data(), a.data(), b.data(), n);
+    simd::avx2::DivVec(yv.data(), a.data(), b.data(), n);
+    ExpectBitEq(ys, yv, "DivVec " + tag);
+
+    simd::scalar::ScaleVec(ys.data(), a.data(), 1.37f, n);
+    simd::avx2::ScaleVec(yv.data(), a.data(), 1.37f, n);
+    ExpectBitEq(ys, yv, "ScaleVec " + tag);
+
+    simd::scalar::AddScalarVec(ys.data(), a.data(), -0.61f, n);
+    simd::avx2::AddScalarVec(yv.data(), a.data(), -0.61f, n);
+    ExpectBitEq(ys, yv, "AddScalarVec " + tag);
+  }
+}
+
+TEST(KernelParityTest, Accumulations) {
+  MSGCL_REQUIRE_AVX2();
+  for (const int64_t n : kWidths) {
+    const std::vector<float> a = RandVec(n, 910 + n, -2.0f, 2.0f);
+    const std::vector<float> b = RandVecAwayFromZero(n, 911 + n);
+    const std::vector<float> g = RandVec(n, 912 + n, -1.0f, 1.0f);
+    const std::vector<float> y0 = RandVec(n, 913 + n, -1.0f, 1.0f);
+    std::vector<float> ys, yv;
+    const std::string tag = "n=" + std::to_string(n);
+
+    ys = y0;
+    yv = y0;
+    simd::scalar::AccumVec(ys.data(), a.data(), n);
+    simd::avx2::AccumVec(yv.data(), a.data(), n);
+    ExpectBitEq(ys, yv, "AccumVec " + tag);
+
+    ys = y0;
+    yv = y0;
+    simd::scalar::AxpyVec(ys.data(), a.data(), 0.73f, n);
+    simd::avx2::AxpyVec(yv.data(), a.data(), 0.73f, n);
+    ExpectBitEq(ys, yv, "AxpyVec " + tag);
+
+    ys = y0;
+    yv = y0;
+    simd::scalar::MulAccumVec(ys.data(), a.data(), b.data(), n);
+    simd::avx2::MulAccumVec(yv.data(), a.data(), b.data(), n);
+    ExpectBitEq(ys, yv, "MulAccumVec " + tag);
+
+    ys = y0;
+    yv = y0;
+    simd::scalar::RecipMulAccumVec(ys.data(), b.data(), g.data(), n);
+    simd::avx2::RecipMulAccumVec(yv.data(), b.data(), g.data(), n);
+    ExpectBitEq(ys, yv, "RecipMulAccumVec " + tag);
+
+    ys = y0;
+    yv = y0;
+    simd::scalar::DivGradBVec(ys.data(), a.data(), b.data(), g.data(), n);
+    simd::avx2::DivGradBVec(yv.data(), a.data(), b.data(), g.data(), n);
+    ExpectBitEq(ys, yv, "DivGradBVec " + tag);
+  }
+}
+
+TEST(KernelParityTest, RowKernels) {
+  MSGCL_REQUIRE_AVX2();
+  for (const int64_t n : kWidths) {
+    const std::vector<float> x = RandVec(n, 920 + n, -3.0f, 3.0f);
+    const std::vector<float> g = RandVec(n, 921 + n, -1.0f, 1.0f);
+    const std::vector<float> y0 = RandVec(n, 922 + n, -1.0f, 1.0f);
+    const std::string tag = "n=" + std::to_string(n);
+
+    const float ms = simd::scalar::RowMax(x.data(), n);
+    const float mv = simd::avx2::RowMax(x.data(), n);
+    ExpectBitEq(&ms, &mv, 1, "RowMax " + tag);
+
+    // p as a softmax row, dot as its weighted sum.
+    std::vector<float> p = RandVec(n, 923 + n, 0.01f, 1.0f);
+    std::vector<float> ys = y0, yv = y0;
+    simd::scalar::SoftmaxBwdVec(ys.data(), p.data(), g.data(), 0.42f, n);
+    simd::avx2::SoftmaxBwdVec(yv.data(), p.data(), g.data(), 0.42f, n);
+    ExpectBitEq(ys, yv, "SoftmaxBwdVec " + tag);
+
+    const std::vector<float> gamma = RandVec(n, 924 + n, 0.5f, 1.5f);
+    const std::vector<float> beta = RandVec(n, 925 + n, -0.5f, 0.5f);
+    std::vector<float> outs(n), outv(n), xhs(n), xhv(n);
+    simd::scalar::LayerNormRowVec(outs.data(), xhs.data(), x.data(),
+                                  gamma.data(), beta.data(), 0.11f, 2.7f, n);
+    simd::avx2::LayerNormRowVec(outv.data(), xhv.data(), x.data(),
+                                gamma.data(), beta.data(), 0.11f, 2.7f, n);
+    ExpectBitEq(outs, outv, "LayerNormRowVec.out " + tag);
+    ExpectBitEq(xhs, xhv, "LayerNormRowVec.xhat " + tag);
+  }
+}
+
+TEST(KernelParityTest, ContractionTiles) {
+  MSGCL_REQUIRE_AVX2();
+  constexpr int64_t kDepth = 37;  // odd contraction depth
+  for (const int64_t n : kWidths) {
+    const std::vector<float> a = RandVec(kDepth, 930 + n, -1.0f, 1.0f);
+    const std::vector<float> b = RandVec(kDepth * n, 931 + n, -1.0f, 1.0f);
+    std::vector<float> cs(n, 0.0f), cv(n, 0.0f);
+    const std::string tag = "n=" + std::to_string(n);
+
+    simd::scalar::MatMulTile(cs.data(), a.data(), b.data(), 0, kDepth, n);
+    simd::avx2::MatMulTile(cv.data(), a.data(), b.data(), 0, kDepth, n);
+    ExpectBitEq(cs, cv, "MatMulTile " + tag);
+
+    // p-tiling invariance: splitting [0, P) into uneven tiles must be
+    // bitwise identical to one pass — this is what lets ops.cc and
+    // ScoreTopKFused block the contraction dimension.
+    std::vector<float> ct(n, 0.0f);
+    simd::avx2::MatMulTile(ct.data(), a.data(), b.data(), 0, 13, n);
+    simd::avx2::MatMulTile(ct.data(), a.data(), b.data(), 13, kDepth, n);
+    ExpectBitEq(cv, ct, "MatMulTile p-split " + tag);
+
+    const float ds = simd::scalar::Dot(a.data(), b.data(), kDepth);
+    const float dv = simd::avx2::Dot(a.data(), b.data(), kDepth);
+    ExpectBitEq(&ds, &dv, 1, "Dot " + tag);
+  }
+}
+
+TEST(KernelParityTest, DispatcherClampsAndNames) {
+  IsaThreadGuard guard;
+  const simd::Isa got = simd::SetIsa(simd::Isa::kAvx2);
+  if (simd::Avx2Supported()) {
+    EXPECT_EQ(got, simd::Isa::kAvx2);
+    EXPECT_STREQ(simd::IsaName(got), "avx2");
+  } else {
+    EXPECT_EQ(got, simd::Isa::kScalar);  // clamped
+  }
+  EXPECT_EQ(simd::SetIsa(simd::Isa::kScalar), simd::Isa::kScalar);
+  EXPECT_STREQ(simd::IsaName(simd::Isa::kScalar), "scalar");
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+}
+
+// ---- Op-level invariance: ISA x thread count, forward + backward ----------
+
+struct GraphResult {
+  std::vector<float> out;
+  std::vector<std::vector<float>> grads;
+};
+
+using GraphFn = std::function<Tensor(std::vector<Tensor>&)>;
+using LeafSpec = std::pair<Shape, std::vector<float>>;
+
+/// Builds fresh leaves, runs the graph, backprops a weighted sum, and copies
+/// outputs + leaf grads to plain heap vectors.
+GraphResult RunGraph(const GraphFn& fn, const std::vector<LeafSpec>& specs) {
+  std::vector<Tensor> leaves;
+  leaves.reserve(specs.size());
+  for (const LeafSpec& s : specs) {
+    Tensor t = Tensor::FromVector(s.first, s.second);
+    t.set_requires_grad(true);
+    leaves.push_back(std::move(t));
+  }
+  Tensor out = fn(leaves);
+  GraphResult r;
+  r.out.assign(out.data().begin(), out.data().end());
+  // Distinct per-element weights so every output bit reaches the loss.
+  Rng wrng(4242);
+  Tensor w = Tensor::Rand(out.shape(), wrng, 0.5f, 1.5f);
+  out.Mul(w).Sum().Backward();
+  for (Tensor& l : leaves) {
+    r.grads.emplace_back(l.grad().begin(), l.grad().end());
+  }
+  return r;
+}
+
+/// Runs the graph at scalar/1-thread as the reference, then sweeps
+/// {scalar, avx2} x {1, 2, 7} threads (and arena-vs-heap at each point)
+/// asserting bitwise-identical outputs and gradients everywhere.
+void CheckInvariance(const std::string& name, const GraphFn& fn,
+                     const std::vector<LeafSpec>& specs) {
+  IsaThreadGuard guard;
+  simd::SetIsa(simd::Isa::kScalar);
+  parallel::SetNumThreads(1);
+  const GraphResult ref = RunGraph(fn, specs);
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    if (isa == simd::Isa::kAvx2 && !simd::Avx2Supported()) continue;
+    simd::SetIsa(isa);
+    for (const int threads : {1, 2, 7}) {
+      parallel::SetNumThreads(threads);
+      const std::string tag =
+          name + " [" + simd::IsaName(isa) + ", t=" + std::to_string(threads) + "]";
+      const GraphResult got = RunGraph(fn, specs);
+      ExpectBitEq(got.out, ref.out, tag + " out");
+      ASSERT_EQ(got.grads.size(), ref.grads.size());
+      for (size_t i = 0; i < got.grads.size(); ++i) {
+        ExpectBitEq(got.grads[i], ref.grads[i], tag + " grad" + std::to_string(i));
+      }
+      // Same point again, buffers arena-backed: placement must not change
+      // one bit. Graph temporaries die inside the scope; result copies are
+      // plain heap vectors.
+      arena::Arena step_arena;
+      GraphResult arena_got;
+      {
+        arena::ArenaScope scope(&step_arena);
+        arena_got = RunGraph(fn, specs);
+      }
+      step_arena.Reset();
+      ExpectBitEq(arena_got.out, ref.out, tag + " arena out");
+      for (size_t i = 0; i < arena_got.grads.size(); ++i) {
+        ExpectBitEq(arena_got.grads[i], ref.grads[i],
+                    tag + " arena grad" + std::to_string(i));
+      }
+    }
+  }
+}
+
+std::vector<LeafSpec> TwoLeaves(Shape sa, Shape sb, uint64_t seed,
+                                bool b_away_from_zero = false) {
+  const int64_t na = NumElements(sa), nb = NumElements(sb);
+  std::vector<LeafSpec> specs;
+  specs.emplace_back(std::move(sa), RandVec(na, seed, -1.0f, 1.0f));
+  specs.emplace_back(std::move(sb), b_away_from_zero
+                                        ? RandVecAwayFromZero(nb, seed + 1)
+                                        : RandVec(nb, seed + 1, -1.0f, 1.0f));
+  return specs;
+}
+
+TEST(OpInvarianceTest, ElementwiseSameShape) {
+  CheckInvariance(
+      "add-sub-mul",
+      [](std::vector<Tensor>& l) {
+        return l[0].Add(l[1]).Mul(l[0]).Sub(l[1]);
+      },
+      TwoLeaves({7, 33}, {7, 33}, 50));
+  CheckInvariance(
+      "div",
+      [](std::vector<Tensor>& l) { return l[0].Div(l[1]); },
+      TwoLeaves({5, 31}, {5, 31}, 51, /*b_away_from_zero=*/true));
+}
+
+TEST(OpInvarianceTest, ElementwiseBroadcast) {
+  CheckInvariance(
+      "broadcast-row-scalar",
+      [](std::vector<Tensor>& l) {
+        return l[0].Add(l[1]).MulScalar(1.3f).AddScalar(-0.2f);
+      },
+      TwoLeaves({3, 4, 9}, {9}, 52));
+}
+
+TEST(OpInvarianceTest, MatMulShapes) {
+  CheckInvariance(
+      "matmul-rank2",
+      [](std::vector<Tensor>& l) { return l[0].MatMul(l[1]); },
+      TwoLeaves({9, 33}, {33, 17}, 53));
+  CheckInvariance(
+      "matmul-batched",
+      [](std::vector<Tensor>& l) { return l[0].MatMul(l[1]); },
+      TwoLeaves({3, 5, 9}, {3, 9, 7}, 54));
+  CheckInvariance(
+      "matmul-shared-rhs",
+      [](std::vector<Tensor>& l) { return l[0].MatMul(l[1]); },
+      TwoLeaves({4, 6, 9}, {9, 5}, 55));
+}
+
+TEST(OpInvarianceTest, SoftmaxFamily) {
+  CheckInvariance(
+      "softmax",
+      [](std::vector<Tensor>& l) { return l[0].SoftmaxLastDim(); },
+      {{Shape{6, 33}, RandVec(6 * 33, 56, -2.0f, 2.0f)}});
+  CheckInvariance(
+      "logsoftmax",
+      [](std::vector<Tensor>& l) { return l[0].LogSoftmaxLastDim(); },
+      {{Shape{6, 31}, RandVec(6 * 31, 57, -2.0f, 2.0f)}});
+}
+
+TEST(OpInvarianceTest, LayerNorm) {
+  std::vector<LeafSpec> specs;
+  specs.emplace_back(Shape{6, 33}, RandVec(6 * 33, 58, -1.0f, 1.0f));
+  specs.emplace_back(Shape{33}, RandVec(33, 59, 0.5f, 1.5f));
+  specs.emplace_back(Shape{33}, RandVec(33, 60, -0.5f, 0.5f));
+  CheckInvariance(
+      "layernorm",
+      [](std::vector<Tensor>& l) {
+        return LayerNormLastDim(l[0], l[1], l[2], 1e-5f);
+      },
+      specs);
+}
+
+TEST(OpInvarianceTest, TransformerishComposite) {
+  std::vector<LeafSpec> specs;
+  specs.emplace_back(Shape{5, 9}, RandVec(5 * 9, 61, -0.5f, 0.5f));
+  specs.emplace_back(Shape{9, 9}, RandVec(9 * 9, 62, -0.5f, 0.5f));
+  specs.emplace_back(Shape{9}, RandVec(9, 63, 0.8f, 1.2f));
+  specs.emplace_back(Shape{9}, RandVec(9, 64, -0.2f, 0.2f));
+  CheckInvariance(
+      "composite",
+      [](std::vector<Tensor>& l) {
+        Tensor h = LayerNormLastDim(l[0], l[2], l[3], 1e-5f);
+        return h.MatMul(l[1]).SoftmaxLastDim();
+      },
+      specs);
+}
+
+// ---- ShardPlan fallback ----------------------------------------------------
+
+TEST(ShardPlanTest, FallbackCoversEveryIndexOnceAfterThreadChange) {
+  IsaThreadGuard guard;
+  parallel::SetNumThreads(7);
+  const parallel::ShardPlan plan = parallel::BuildShardPlan(0, 1000, 16);
+  EXPECT_EQ(plan.threads, 7);
+  parallel::SetNumThreads(2);  // stale plan: For(plan) must fall back
+  std::vector<int> hits(1000, 0);
+  parallel::For(plan, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+// ---- Arena properties ------------------------------------------------------
+
+TEST(ArenaTest, AlignmentAndNoAliasing) {
+  arena::Arena a;
+  char* p1 = static_cast<char*>(a.Allocate(100));
+  char* p2 = static_cast<char*>(a.Allocate(64));
+  char* p3 = static_cast<char*>(a.Allocate(1));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % arena::Arena::kAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % arena::Arena::kAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p3) % arena::Arena::kAlign, 0u);
+  // Payloads are disjoint: writing one never clobbers another.
+  std::memset(p1, 0xAA, 100);
+  std::memset(p2, 0xBB, 64);
+  std::memset(p3, 0xCC, 1);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(static_cast<uint8_t>(p1[i]), 0xAA);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(static_cast<uint8_t>(p2[i]), 0xBB);
+  ASSERT_EQ(static_cast<uint8_t>(p3[0]), 0xCC);
+  EXPECT_EQ(a.live(), 3);
+  arena::BufFree(p1);
+  arena::BufFree(p2);
+  arena::BufFree(p3);
+  EXPECT_EQ(a.live(), 0);
+}
+
+TEST(ArenaTest, ResetReusesTheSameMemory) {
+  arena::Arena a;
+  void* p1 = a.Allocate(512);
+  arena::BufFree(p1);
+  a.Reset();
+  // All allocations were freed, so Reset rewinds in place: the next bump
+  // must land on the same base address and reserve no new slab.
+  const size_t reserved = a.bytes_reserved();
+  void* p2 = a.Allocate(512);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+  arena::BufFree(p2);
+  a.Reset();
+  EXPECT_EQ(a.bytes_used(), 0u);
+}
+
+TEST(ArenaTest, EscapeThenResetRetiresSafely) {
+  const size_t retired0 = arena::Arena::RetiredBytes();
+  {
+    arena::Arena a;
+    char* p = static_cast<char*>(a.Allocate(256));
+    std::memset(p, 0x5A, 256);
+    a.Reset();  // p still live: epoch must be retired, not recycled
+    EXPECT_GT(arena::Arena::RetiredBytes(), retired0);
+    // The escaped payload is still intact and writable.
+    for (int i = 0; i < 256; ++i) ASSERT_EQ(static_cast<uint8_t>(p[i]), 0x5A);
+    // New allocations come from a fresh epoch and cannot alias p.
+    char* q = static_cast<char*>(a.Allocate(256));
+    std::memset(q, 0xA5, 256);
+    for (int i = 0; i < 256; ++i) ASSERT_EQ(static_cast<uint8_t>(p[i]), 0x5A);
+    arena::BufFree(q);
+    arena::BufFree(p);  // last reference: retired slabs free here
+  }
+  EXPECT_EQ(arena::Arena::RetiredBytes(), retired0);
+}
+
+TEST(ArenaTest, FloatBufRoutesThroughScopedArena) {
+  arena::Arena a;
+  {
+    arena::ArenaScope scope(&a);
+    EXPECT_EQ(arena::ArenaScope::Current(), &a);
+    FloatBuf buf(1000, 1.0f);
+    EXPECT_GE(a.bytes_used(), 1000 * sizeof(float));
+    {
+      // ArenaExempt suspends arena placement for persistent buffers.
+      arena::ArenaExempt exempt;
+      EXPECT_EQ(arena::ArenaScope::Current(), nullptr);
+      const size_t used = a.bytes_used();
+      FloatBuf heap_buf(1000, 2.0f);
+      EXPECT_EQ(heap_buf.size(), 1000u);
+      EXPECT_EQ(a.bytes_used(), used);
+    }
+    EXPECT_EQ(arena::ArenaScope::Current(), &a);
+  }
+  EXPECT_EQ(arena::ArenaScope::Current(), nullptr);
+  a.Reset();
+  EXPECT_EQ(a.live(), 0);
+}
+
+// ---- Plan cache ------------------------------------------------------------
+
+TEST(PlanCacheTest, HitMissAndBoundedEviction) {
+  struct Plan {
+    int64_t v = 0;
+  };
+  plans::PlanCache<Plan> cache;
+  obs::Counter& hits = obs::Registry::Global().GetCounter("tensor.plan_cache.hits");
+  obs::Counter& misses =
+      obs::Registry::Global().GetCounter("tensor.plan_cache.misses");
+  obs::Counter& evictions =
+      obs::Registry::Global().GetCounter("tensor.plan_cache.evictions");
+  if (!plans::Enabled()) GTEST_SKIP() << "MSGCL_PLAN_CACHE=off";
+
+  const int64_t h0 = hits.value(), m0 = misses.value();
+  auto p1 = cache.GetOrCreate({1, 2, 3}, [] { return Plan{42}; });
+  EXPECT_EQ(p1->v, 42);
+  EXPECT_EQ(misses.value() - m0, 1);
+  auto p2 = cache.GetOrCreate({1, 2, 3}, [] { return Plan{-1}; });
+  EXPECT_EQ(p2.get(), p1.get());  // cached object, maker not invoked
+  EXPECT_EQ(hits.value() - h0, 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Clear never invalidates outstanding plans.
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(p1->v, 42);
+
+  // Fill to the bound; the next insert clears the map (bounded memory).
+  const int64_t e0 = evictions.value();
+  for (int64_t i = 0; i < static_cast<int64_t>(plans::PlanCache<Plan>::kMaxEntries);
+       ++i) {
+    cache.GetOrCreate({i}, [i] { return Plan{i}; });
+  }
+  EXPECT_EQ(cache.size(), plans::PlanCache<Plan>::kMaxEntries);
+  cache.GetOrCreate({-7, -8}, [] { return Plan{7}; });
+  EXPECT_GE(evictions.value() - e0,
+            static_cast<int64_t>(plans::PlanCache<Plan>::kMaxEntries));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+}
+
+TEST(PlanCacheTest, MatMulPlansAreCachedAcrossCalls) {
+  if (!plans::Enabled()) GTEST_SKIP() << "MSGCL_PLAN_CACHE=off";
+  obs::Counter& hits = obs::Registry::Global().GetCounter("tensor.plan_cache.hits");
+  obs::Counter& misses =
+      obs::Registry::Global().GetCounter("tensor.plan_cache.misses");
+  Rng rng(77);
+  // A shape no other test in this binary uses, so the first call must miss.
+  Tensor a = Tensor::Rand({13, 41}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({41, 23}, rng, -1.0f, 1.0f);
+  const int64_t m0 = misses.value();
+  Tensor c1 = a.MatMul(b);
+  const int64_t m1 = misses.value();
+  EXPECT_GE(m1 - m0, 1);
+  const int64_t h0 = hits.value();
+  Tensor c2 = a.MatMul(b);
+  EXPECT_GE(hits.value() - h0, 1);
+  EXPECT_EQ(misses.value(), m1);  // steady state: no new plan builds
+  ExpectBitEq(std::vector<float>(c1.data().begin(), c1.data().end()),
+              std::vector<float>(c2.data().begin(), c2.data().end()),
+              "matmul plan reuse");
+}
+
+}  // namespace
+}  // namespace msgcl

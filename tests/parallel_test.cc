@@ -200,7 +200,7 @@ TEST(ThreadInvarianceTest, MatMulForwardBitwise) {
     NoGradGuard ng;
     Tensor a = Tensor::FromVector({64, 48}, av);
     Tensor b = Tensor::FromVector({48, 32}, bv);
-    outs.push_back(a.MatMul(b).data());
+    outs.push_back(a.MatMul(b).ToVector());
   }
   EXPECT_TRUE(BitwiseEqual(outs[0], outs[1]));
   EXPECT_TRUE(BitwiseEqual(outs[0], outs[2]));
@@ -228,8 +228,11 @@ std::vector<std::vector<float>> ForwardBackwardOnce(int threads) {
   Tensor aux = logits.SoftmaxLastDim().Square().Sum();
   Tensor loss = CrossEntropyLogits(logits, targets, -1).Add(aux.MulScalar(0.01f));
   loss.Backward();
-  return {loss.data(),   table.grad(), w.grad(),
-          gamma.grad(),  beta.grad(),  h.data()};
+  auto vec = [](const FloatBuf& b) {
+    return std::vector<float>(b.begin(), b.end());
+  };
+  return {vec(loss.data()),   vec(table.grad()), vec(w.grad()),
+          vec(gamma.grad()),  vec(beta.grad()),  vec(h.data())};
 }
 
 TEST(ThreadInvarianceTest, ForwardAndBackwardBitwise) {
@@ -270,7 +273,7 @@ std::vector<std::vector<float>> TrainWeights(int threads, int steps) {
     loss.Backward();
     adam.Step();
   }
-  return {table.data(), w.data(), gamma.data(), beta.data()};
+  return {table.ToVector(), w.ToVector(), gamma.ToVector(), beta.ToVector()};
 }
 
 TEST(ThreadInvarianceTest, AdamTrainedWeightsBitwise) {

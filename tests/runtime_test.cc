@@ -160,29 +160,29 @@ TEST(OptimizerStateTest, AdamRoundTripRestoresMomentsStepAndLr) {
   p.mutable_grad().assign(8, 0.25f);
   opt.Step();
   const nn::OptimizerState snap = opt.GetState();
-  const std::vector<float> weights = p.data();
+  const std::vector<float> weights = p.ToVector();
 
   // Diverge: more steps and an lr change.
   opt.set_lr(5e-3f);
   opt.Step();
   opt.Step();
-  ASSERT_NE(p.data(), weights);
+  ASSERT_NE(p.ToVector(), weights);
 
   ASSERT_TRUE(opt.SetState(snap));
-  p.data() = weights;
+  p.data().assign(weights.begin(), weights.end());
   EXPECT_EQ(opt.lr(), 1e-2f);
 
   // Re-running the same step from the restored state reproduces the same
   // trajectory as a fresh optimizer that took identical steps.
   opt.Step();
-  const std::vector<float> replay = p.data();
+  const std::vector<float> replay = p.ToVector();
 
   Tensor q = Tensor::FromVector({8}, weights, /*requires_grad=*/true);
   nn::Adam fresh({q}, 1e-2f);
   ASSERT_TRUE(fresh.SetState(snap));
   q.mutable_grad().assign(8, 0.25f);
   fresh.Step();
-  EXPECT_EQ(replay, q.data());
+  EXPECT_EQ(replay, q.ToVector());
 }
 
 TEST(OptimizerStateTest, AdamRejectsStructurallyIncompatibleState) {
@@ -327,13 +327,13 @@ TEST(TrainStateTest, RoundTripRestoresEverything) {
   saved.best_ndcg = 0.375;
   saved.best_epoch = 2;
   saved.bad_evals = 1;
-  for (auto& p : params) saved.best_weights.push_back(p.data());
+  for (auto& p : params) saved.best_weights.push_back(p.ToVector());
 
   ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, saved, path).ok());
 
   const std::vector<std::vector<float>> want_weights = [&] {
     std::vector<std::vector<float>> w;
-    for (auto& p : params) w.push_back(p.data());
+    for (auto& p : params) w.push_back(p.ToVector());
     return w;
   }();
   const nn::OptimizerState want_opt = opt.GetState();
@@ -346,7 +346,7 @@ TEST(TrainStateTest, RoundTripRestoresEverything) {
   nn::TrainerProgress loaded;
   ASSERT_TRUE(nn::LoadTrainState(model, {&opt}, &loaded, path).ok());
 
-  for (size_t i = 0; i < params.size(); ++i) EXPECT_EQ(params[i].data(), want_weights[i]);
+  for (size_t i = 0; i < params.size(); ++i) EXPECT_EQ(params[i].ToVector(), want_weights[i]);
   const nn::OptimizerState got_opt = opt.GetState();
   EXPECT_EQ(got_opt.slots, want_opt.slots);
   EXPECT_EQ(got_opt.step_count, want_opt.step_count);
@@ -428,7 +428,7 @@ TEST(TrainStateTest, BitFlipAnywhereFailsTheCrc) {
   nn::Adam vopt(victim.Parameters(), 1e-3f);
   const std::vector<std::vector<float>> before = [&] {
     std::vector<std::vector<float>> w;
-    for (auto& p : victim.Parameters()) w.push_back(p.data());
+    for (auto& p : victim.Parameters()) w.push_back(p.ToVector());
     return w;
   }();
   Status s = nn::LoadTrainState(victim, {&vopt}, nullptr, path);
@@ -436,7 +436,7 @@ TEST(TrainStateTest, BitFlipAnywhereFailsTheCrc) {
   EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
   // No silent partial load: the victim's weights are untouched.
   auto params = victim.Parameters();
-  for (size_t i = 0; i < params.size(); ++i) EXPECT_EQ(params[i].data(), before[i]);
+  for (size_t i = 0; i < params.size(); ++i) EXPECT_EQ(params[i].ToVector(), before[i]);
   std::remove(path.c_str());
 }
 
@@ -531,7 +531,7 @@ std::vector<std::vector<float>> TrainedWeights(const data::SequenceDataset& ds,
   Status s = model.Fit(ds);
   if (status != nullptr) *status = s;
   std::vector<std::vector<float>> w;
-  for (auto& p : model.Parameters()) w.push_back(p.data());
+  for (auto& p : model.Parameters()) w.push_back(p.ToVector());
   return w;
 }
 

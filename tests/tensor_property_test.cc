@@ -158,7 +158,7 @@ TEST(AutogradPropertyTest, GradScalesLinearlyWithLossScale) {
   Tensor a = RandomTensor({6}, 81);
   a.set_requires_grad(true);
   a.Square().Sum().Backward();
-  std::vector<float> g1 = a.grad();
+  std::vector<float> g1(a.grad().begin(), a.grad().end());
   a.ZeroGrad();
   a.Square().Sum().MulScalar(3.0f).Backward();
   for (size_t i = 0; i < g1.size(); ++i) {

@@ -43,7 +43,7 @@ inline void CheckGradients(const std::function<Tensor(std::vector<Tensor>&)>& fn
     Tensor& leaf = leaves[li];
     // Snapshot analytic grads: graph rebuilds below will not touch them, but
     // ZeroGrad between probes would.
-    std::vector<float> analytic = leaf.grad();
+    std::vector<float> analytic(leaf.grad().begin(), leaf.grad().end());
     if (analytic.empty()) analytic.assign(leaf.numel(), 0.0f);
     for (int64_t i = 0; i < leaf.numel(); ++i) {
       const float orig = leaf.at(i);

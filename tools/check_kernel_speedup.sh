@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Gates the SIMD kernel backend's single-thread payoff (DESIGN.md §13).
+#
+# Runs `bench_micro_kernels --json=...`, which times every hot kernel twice
+# single-threaded — once under the active SIMD dispatch and once forced to
+# the scalar reference — and records `simd_speedup` per kernel. The drill
+# PASSES when at least MIN_KERNELS of the vectorized families
+# {matmul, elementwise, softmax, layernorm} clear MIN_SPEEDUP (default
+# 1.5x on 2 kernels; reduce_sum is a serial-chain kernel and is exempt).
+#
+# On a machine without AVX2 the report says `"isa": "scalar"` and the drill
+# skips: there is no SIMD path to gate.
+#
+# Usage: tools/check_kernel_speedup.sh <bench_micro_kernels> [json_out]
+#        MIN_SPEEDUP=1.5 MIN_KERNELS=2 tools/check_kernel_speedup.sh ...
+set -euo pipefail
+
+BENCH="${1:?usage: check_kernel_speedup.sh <bench_micro_kernels> [json_out]}"
+JSON="${2:-$(mktemp /tmp/BENCH_kernels.XXXXXX.json)}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+MIN_KERNELS="${MIN_KERNELS:-2}"
+
+echo "== timing kernels (simd vs scalar dispatch, single-threaded)"
+"$BENCH" --threads=2 --json="$JSON"
+
+if grep -q '"isa": *"scalar"' "$JSON"; then
+  echo "skip: scalar-only machine (no AVX2), nothing to gate"
+  exit 0
+fi
+
+# One record per kernel object: pull (name, simd_speedup) pairs out of the
+# compact JSON without requiring a JSON tool.
+PASS=$(awk -v min="$MIN_SPEEDUP" '
+  BEGIN { RS="{"; passed = 0 }
+  /"simd_speedup"/ {
+    name = $0; sub(/.*"name": *"/, "", name); sub(/".*/, "", name)
+    sp = $0; sub(/.*"simd_speedup": */, "", sp); sub(/[,}\]].*/, "", sp)
+    if (name ~ /^(matmul|elementwise|softmax|layernorm)/) {
+      ok = (sp + 0 >= min + 0) ? "ok" : "below"
+      printf "  %-24s simd_speedup %.2fx  %s\n", name, sp, ok > "/dev/stderr"
+      if (ok == "ok") passed++
+    }
+  }
+  END { print passed }' "$JSON")
+
+if [ "$PASS" -lt "$MIN_KERNELS" ]; then
+  echo "FAIL: only $PASS vectorized kernel(s) reached ${MIN_SPEEDUP}x (need $MIN_KERNELS); see $JSON"
+  exit 1
+fi
+echo "ok: $PASS vectorized kernels at >= ${MIN_SPEEDUP}x over the scalar reference ($JSON)"

@@ -21,6 +21,11 @@
 // equivalent (`msgcl serve-bench --replicas=...`) backs
 // tools/check_chaos_drill.sh / check_swap_drill.sh.
 //
+// Sharded mode runs by default (outside chaos/fleet): each storm is repeated
+// through a ShardedRanker at S ∈ {1, 2, 4} (or the single value --shards=S)
+// and lands in the "sharded" section of BENCH_serving.json. The merge is
+// exact, so the section isolates the cost of per-shard fused top-k + merge.
+//
 // Session mode (--repeat_user_frac=0.8) additionally runs a returning-user
 // mix per model through the per-session KV-state cache (DESIGN.md §12):
 // each request either revisits a live session with one appended interaction
@@ -106,6 +111,45 @@ ServingRow RunStorm(const std::string& model_name, const bench::DatasetSpec& ds,
     batcher.Stop();
   }
   return row;
+}
+
+struct ShardRow {
+  std::string model;
+  int shards = 1;
+  serve::LoadgenReport report;
+};
+
+// Sharded mode (DESIGN.md §14): the same storm served through a
+// ShardedRanker over S contiguous id-range shards. The merge is exact
+// (bit-identical lists, gated by `ctest -L shards`), so this section
+// measures pure cost: per-shard fused top-k plus the k-way merge.
+ShardRow RunShardedStorm(const std::string& model_name,
+                         const bench::DatasetSpec& ds,
+                         const bench::HyperParams& hp,
+                         const serve::ServeConfig& config,
+                         const serve::LoadgenConfig& load, uint64_t seed,
+                         int num_shards) {
+  if (config.fault_injector != nullptr) config.fault_injector->Reset();
+  ShardRow row;
+  row.model = model_name;
+  row.shards = num_shards;
+  auto model = bench::MakeModel(model_name, ds, hp, /*epochs=*/1, seed);
+  serve::ShardedRanker sharded(
+      *model, serve::MakeItemShards(ds.split.num_items, num_shards));
+  serve::MicroBatcher batcher(sharded, ds.split.num_items, config);
+  row.report = serve::RunLoad(batcher, ds.split.train_seqs, load);
+  batcher.Stop();
+  return row;
+}
+
+void PrintShardRow(const ShardRow& r) {
+  std::printf("%-10s sharded S=%-2d %8.1f qps  p50=%6.0fus p95=%6.0fus "
+              "p99=%6.0fus  ok=%lld err=%lld garbage=%lld\n",
+              r.model.c_str(), r.shards, r.report.qps, r.report.p50_us,
+              r.report.p95_us, r.report.p99_us,
+              static_cast<long long>(r.report.ok),
+              static_cast<long long>(r.report.errors),
+              static_cast<long long>(r.report.garbage));
 }
 
 struct SessionRow {
@@ -253,6 +297,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Sharded scoring (DESIGN.md §14): S-way intra-model sharding at the base
+  // max_batch. --shards=S pins one value; the default sweeps {1, 2, 4}.
+  // Skipped under chaos/fleet — those drills measure resilience, not the
+  // shard overhead.
+  std::vector<ShardRow> shard_rows;
+  if (!fleet_mode && !chaos) {
+    std::vector<int> shard_counts = {1, 2, 4};
+    if (const int64_t s = flags.GetInt("shards", 0); s > 0) {
+      shard_counts = {static_cast<int>(s)};
+    }
+    std::printf("\nsharded scoring (exact merge, max_batch=%lld):\n",
+                static_cast<long long>(config.max_batch));
+    for (const std::string model_name : {"SASRec", "Meta-SGCL"}) {
+      for (const int s : shard_counts) {
+        shard_rows.push_back(
+            RunShardedStorm(model_name, ds, hp, config, load, seed, s));
+        PrintShardRow(shard_rows.back());
+      }
+    }
+  }
+
   // Session mode: warm/cold returning-user mix (DESIGN.md §12).
   const double repeat_user_frac = flags.GetDouble("repeat_user_frac", 0.0);
   const int64_t session_cache_mb = flags.GetInt("session_cache_mb", 64);
@@ -282,6 +347,10 @@ int main(int argc, char** argv) {
   double min_availability = 1.0;
   int64_t total_garbage = 0;
   for (const ServingRow& r : rows) {
+    min_availability = std::min(min_availability, r.report.availability);
+    total_garbage += r.report.garbage;
+  }
+  for (const ShardRow& r : shard_rows) {
     min_availability = std::min(min_availability, r.report.availability);
     total_garbage += r.report.garbage;
   }
@@ -377,6 +446,37 @@ int main(int argc, char** argv) {
         w.EndObject();
       }
       w.EndArray();
+      if (!shard_rows.empty()) {
+        w.Key("sharded");
+        w.BeginArray();
+        for (const ShardRow& r : shard_rows) {
+          w.BeginObject();
+          w.Key("model");
+          w.String(r.model);
+          w.Key("shards");
+          w.Int(r.shards);
+          w.Key("qps");
+          w.Double(r.report.qps);
+          w.Key("p50_us");
+          w.Double(r.report.p50_us);
+          w.Key("p95_us");
+          w.Double(r.report.p95_us);
+          w.Key("p99_us");
+          w.Double(r.report.p99_us);
+          w.Key("mean_us");
+          w.Double(r.report.mean_us);
+          w.Key("ok");
+          w.Int(r.report.ok);
+          w.Key("errors");
+          w.Int(r.report.errors);
+          w.Key("garbage");
+          w.Int(r.report.garbage);
+          w.Key("availability");
+          w.Double(r.report.availability);
+          w.EndObject();
+        }
+        w.EndArray();
+      }
       if (!session_rows.empty()) {
         w.Key("sessions");
         w.BeginArray();
@@ -439,6 +539,9 @@ int main(int argc, char** argv) {
     for (const ServingRow& r : rows) {
       if (r.report.errors != 0) return 1;
     }
+  }
+  for (const ShardRow& r : shard_rows) {
+    if (r.report.errors != 0) return 1;
   }
   for (const SessionRow& r : session_rows) {
     if (r.report.all.errors != 0) return 1;

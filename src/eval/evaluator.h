@@ -47,6 +47,7 @@ class Ranker {
   virtual std::vector<TopKList> ScoreTopK(const data::Batch& batch,
                                           const TopKOptions& opt) {
     MSGCL_CHECK_GT(batch.batch_size, 0);
+    opt.ValidateOrThrow();
     std::vector<float> scores;
     {
       MSGCL_OBS_SCOPE("eval.score_all");
@@ -58,13 +59,19 @@ class Ranker {
     MSGCL_CHECK_GT(N1, 1);
     if (opt.num_items > 0) MSGCL_CHECK_EQ(N1, static_cast<int64_t>(opt.num_items) + 1);
     const int32_t num_items = static_cast<int32_t>(N1 - 1);
+    // Honor an id-range restriction (intra-model sharding, DESIGN.md §14):
+    // the scores are still computed for the full catalogue, but only ids in
+    // [first, last] become candidates.
+    const int32_t first = opt.has_item_range() ? opt.first_item : 1;
+    const int32_t last =
+        opt.has_item_range() ? std::min(opt.last_item, num_items) : num_items;
     std::vector<ExcludeSet> exclude = BuildExcludeSets(batch, opt);
     std::vector<TopKList> out(B);
     // Rows are independent (disjoint writes), so the loop is bitwise
     // thread-invariant under parallel::For's determinism contract.
     parallel::For(0, B, 1, [&](int64_t b0, int64_t b1) {
       for (int64_t b = b0; b < b1; ++b) {
-        out[b] = SelectTopKFromRow(scores.data() + b * N1, num_items, opt.k, exclude[b]);
+        out[b] = SelectTopKFromRow(scores.data() + b * N1, first, last, opt.k, exclude[b]);
       }
     });
     return out;

@@ -44,17 +44,32 @@ struct RankResult {
 /// Items scoring strictly above the target always count toward the rank;
 /// equal-scored items contribute per `tie` (see TiePolicy). Computed by
 /// counting, so no sort is needed and the result is exact.
+///
+/// NaN scores follow the BetterScored total order (eval/topk.h): NaN ranks
+/// strictly below every non-NaN score. A NaN-scored competitor never counts
+/// against a finite target, and a NaN-scored target ranks below all finite
+/// items, tied only with other NaNs — without the explicit branch every
+/// float comparison against a NaN target is false, which silently reported
+/// the best possible rank (0) for the most broken score a model can emit.
 inline RankResult RankOfTargetDetailed(const float* scores, size_t n, int32_t target,
                                        TiePolicy tie = TiePolicy::kOptimistic) {
   MSGCL_CHECK_GT(target, 0);
   MSGCL_CHECK_LT(static_cast<size_t>(target), n);
   const float t = scores[target];
+  const bool target_nan = std::isnan(t);
   int64_t greater = 0, tied = 0;
   for (size_t i = 1; i < n; ++i) {
     if (static_cast<int32_t>(i) == target) continue;
-    if (scores[i] > t) {
+    const float s = scores[i];
+    if (target_nan) {
+      if (std::isnan(s)) {
+        ++tied;
+      } else {
+        ++greater;
+      }
+    } else if (s > t) {
       ++greater;
-    } else if (scores[i] == t) {
+    } else if (s == t) {
       ++tied;
     }
   }

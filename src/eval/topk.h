@@ -9,11 +9,14 @@
 #define MSGCL_EVAL_TOPK_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "data/batching.h"
 #include "tensor/macros.h"
+#include "tensor/status.h"
 
 namespace msgcl {
 namespace eval {
@@ -31,9 +34,25 @@ struct ScoredItem {
 /// A descending top-K list for one batch row.
 using TopKList = std::vector<ScoredItem>;
 
-/// The repo-wide recommendation order: score descending, item id ascending.
+/// The repo-wide recommendation order: score descending, item id ascending,
+/// with NaN ordered strictly below every non-NaN score.
+///
+/// The NaN clause is load-bearing: under the naive `a.score != b.score`
+/// comparator a NaN compares "equivalent" to every other score (all float
+/// comparisons involving NaN are false), which breaks transitivity of
+/// equivalence — NaN≡5 and NaN≡3 but 5≢3 — so std::sort_heap in
+/// BoundedTopK::Take is handed a non-strict-weak-ordering and its behavior
+/// is undefined. Classing NaN below all reals (ties, including NaN-vs-NaN,
+/// broken by id) restores a total order over every float bit pattern, which
+/// is also what makes the sharded merge exact (DESIGN.md §14).
 inline bool BetterScored(const ScoredItem& a, const ScoredItem& b) {
-  if (a.score != b.score) return a.score > b.score;
+  const bool a_nan = std::isnan(a.score);
+  const bool b_nan = std::isnan(b.score);
+  if (a_nan || b_nan) {
+    if (a_nan != b_nan) return b_nan;  // the non-NaN side wins
+  } else if (a.score != b.score) {
+    return a.score > b.score;
+  }
   return a.item < b.item;
 }
 
@@ -48,6 +67,54 @@ struct TopKOptions {
   /// Expected catalogue size. When > 0, implementations validate that the
   /// model scores exactly num_items + 1 ids per row.
   int32_t num_items = 0;
+  /// Optional contiguous id-range restriction for intra-model sharding
+  /// (DESIGN.md §14): when `first_item > 0`, only ids in
+  /// [first_item, last_item] are candidates. The default (0, 0) means the
+  /// full catalogue 1..num_items. Per-item scores do not depend on the
+  /// range (the fused dot is blocked per item), so restricting it and
+  /// merging per-shard lists under BetterScored reproduces the unsharded
+  /// list bit-for-bit.
+  int32_t first_item = 0;
+  int32_t last_item = 0;
+
+  bool has_item_range() const { return first_item > 0; }
+
+  /// Typed validation for the serving path (PR 5 convention): rejects the
+  /// malformed options an MSGCL_CHECK used to abort on — `k <= 0`, negative
+  /// `num_items`, and an inverted or out-of-catalogue item range.
+  Status Validate() const {
+    if (k <= 0) {
+      return Status::InvalidArgument("TopKOptions: k must be > 0");
+    }
+    if (num_items < 0) {
+      return Status::InvalidArgument("TopKOptions: num_items must be >= 0");
+    }
+    if (first_item < 0 || last_item < 0) {
+      return Status::InvalidArgument("TopKOptions: item range must be >= 0");
+    }
+    if (has_item_range()) {
+      if (last_item < first_item) {
+        return Status::InvalidArgument("TopKOptions: item range is inverted");
+      }
+      if (num_items > 0 && last_item > num_items) {
+        return Status::InvalidArgument(
+            "TopKOptions: item range exceeds the catalogue");
+      }
+    } else if (last_item != 0) {
+      return Status::InvalidArgument(
+          "TopKOptions: last_item set without first_item");
+    }
+    return Status::Ok();
+  }
+
+  /// Validate() that reports failure by throwing std::invalid_argument —
+  /// ScoreTopK-family entry points cannot return a Status (their result is
+  /// the list itself), so they throw and the MicroBatcher converts the
+  /// exception back into Status::InvalidArgument for clients.
+  void ValidateOrThrow() const {
+    const Status s = Validate();
+    if (!s.ok()) throw std::invalid_argument(s.message());
+  }
 };
 
 /// Bounded selector that keeps the best `k` ScoredItems under BetterScored.
@@ -136,17 +203,70 @@ inline std::vector<ExcludeSet> BuildExcludeSets(const data::Batch& batch,
   return sets;
 }
 
-/// Selects the top k of items 1..num_items from one dense score row
+/// Selects the top k of items first..last from one dense score row
 /// (indexed by item id; slot 0 is padding and ignored), skipping excluded
 /// ids. Returns min(k, #candidates) entries in descending BetterScored order.
-inline TopKList SelectTopKFromRow(const float* scores, int32_t num_items, int64_t k,
-                                  const ExcludeSet& exclude) {
+inline TopKList SelectTopKFromRow(const float* scores, int32_t first, int32_t last,
+                                  int64_t k, const ExcludeSet& exclude) {
   BoundedTopK sel(k);
-  for (int32_t i = 1; i <= num_items; ++i) {
+  for (int32_t i = first; i <= last; ++i) {
     if (exclude.Contains(i)) continue;
     sel.Push(i, scores[i]);
   }
   return sel.Take();
+}
+
+/// Full-catalogue overload: items 1..num_items.
+inline TopKList SelectTopKFromRow(const float* scores, int32_t num_items, int64_t k,
+                                  const ExcludeSet& exclude) {
+  return SelectTopKFromRow(scores, 1, num_items, k, exclude);
+}
+
+/// Exact k-way merge of per-shard top-k lists (DESIGN.md §14).
+///
+/// Each input list must already be in descending BetterScored order (the
+/// output order of BoundedTopK::Take). Because BetterScored is total and
+/// shards partition the id space (no duplicates across lists), the merged
+/// top-k is exactly the top-k of the union — bit-identical to selecting over
+/// the unsharded candidate set in one pass.
+inline TopKList MergeTopKLists(const std::vector<const TopKList*>& lists, int64_t k) {
+  MSGCL_CHECK_GT(k, 0);
+  struct Head {
+    const TopKList* list;
+    size_t pos;
+  };
+  std::vector<Head> heads;
+  heads.reserve(lists.size());
+  for (const TopKList* l : lists) {
+    if (l != nullptr && !l->empty()) heads.push_back(Head{l, 0});
+  }
+  // Max-heap on the current head of each list under BetterScored; "worse"
+  // heads sink, so the heap root is always the globally best remaining item.
+  const auto head_worse = [](const Head& a, const Head& b) {
+    return BetterScored((*b.list)[b.pos], (*a.list)[a.pos]);
+  };
+  std::make_heap(heads.begin(), heads.end(), head_worse);
+  TopKList out;
+  out.reserve(static_cast<size_t>(std::min<int64_t>(k, 64)));
+  while (!heads.empty() && static_cast<int64_t>(out.size()) < k) {
+    std::pop_heap(heads.begin(), heads.end(), head_worse);
+    Head& h = heads.back();
+    out.push_back((*h.list)[h.pos]);
+    if (++h.pos < h.list->size()) {
+      std::push_heap(heads.begin(), heads.end(), head_worse);
+    } else {
+      heads.pop_back();
+    }
+  }
+  return out;
+}
+
+/// Convenience overload for callers that own the lists by value.
+inline TopKList MergeTopKLists(const std::vector<TopKList>& lists, int64_t k) {
+  std::vector<const TopKList*> views;
+  views.reserve(lists.size());
+  for (const TopKList& l : lists) views.push_back(&l);
+  return MergeTopKLists(views, k);
 }
 
 }  // namespace eval

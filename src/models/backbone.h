@@ -175,9 +175,18 @@ class SasBackbone : public nn::Module {
     const int64_t B = h_last.dim(0), D = h_last.dim(1);
     MSGCL_CHECK_EQ(B, batch.batch_size);
     MSGCL_CHECK_EQ(D, config_.dim);
-    MSGCL_CHECK_GT(opt.k, 0);
+    // Typed validation (PR 5 convention): a malformed k / num_items / item
+    // range throws std::invalid_argument, which the serving layer converts
+    // to Status::InvalidArgument instead of aborting the process.
+    opt.ValidateOrThrow();
     const int32_t N = static_cast<int32_t>(config_.num_items);
     if (opt.num_items > 0) MSGCL_CHECK_EQ(opt.num_items, N);
+    // Optional contiguous shard range (DESIGN.md §14). Each item's dot is
+    // accumulated independently of its position in the tile block, so
+    // restricting the walk to [lo, hi] yields bit-identical per-item scores
+    // and the per-shard lists merge exactly under BetterScored.
+    const int32_t lo = opt.has_item_range() ? opt.first_item : 1;
+    const int32_t hi = opt.has_item_range() ? std::min(opt.last_item, N) : N;
     MSGCL_OBS_SCOPE_BYTES("serve.score_topk.fused",
                           (B * D + static_cast<int64_t>(N) * D) * 4);
     const float* hd = h_last.data().data();
@@ -196,8 +205,8 @@ class SasBackbone : public nn::Module {
       // materializes inside LogitsAll, block-sized instead of N-sized.
       std::vector<float> tile(static_cast<size_t>(D) * kItemBlock);
       std::vector<float> scores(kItemBlock);
-      for (int64_t i0 = 1; i0 <= N; i0 += kItemBlock) {
-        const int64_t block = std::min<int64_t>(N - i0 + 1, kItemBlock);
+      for (int64_t i0 = lo; i0 <= hi; i0 += kItemBlock) {
+        const int64_t block = std::min<int64_t>(hi - i0 + 1, kItemBlock);
         for (int64_t j = 0; j < block; ++j) {
           const float* e = table + (i0 + j) * D;
           for (int64_t p = 0; p < D; ++p) tile[p * block + j] = e[p];

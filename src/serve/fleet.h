@@ -79,11 +79,29 @@ struct FleetConfig {
   /// Fleet-level last resort served (degraded) when NO replica is healthy;
   /// non-owning, must outlive the Router. nullptr = UNAVAILABLE instead.
   const FallbackRanker* fallback = nullptr;
+  /// Intra-model sharding across the fleet (DESIGN.md §14): group g lists
+  /// the replica indices that own shard group g of the catalogue. Empty
+  /// (default) = every replica scores the full table. The router only
+  /// routes and merges — the caller must construct each listed replica's
+  /// model as a ShardedRanker (item_shards.h) over exactly that group's id
+  /// ranges, so a group's replicas are interchangeable exact partials.
+  std::vector<std::vector<int>> shard_owners;
 
   Status Validate() const {
     if (replicas < 1) return Status::InvalidArgument("replicas must be >= 1");
     if (virtual_nodes < 1) {
       return Status::InvalidArgument("virtual_nodes must be >= 1");
+    }
+    for (const std::vector<int>& group : shard_owners) {
+      if (group.empty()) {
+        return Status::InvalidArgument("shard_owners group must not be empty");
+      }
+      for (const int r : group) {
+        if (r < 0 || r >= replicas) {
+          return Status::InvalidArgument(
+              "shard_owners replica index out of range");
+        }
+      }
     }
     return serve.Validate();
   }
@@ -168,6 +186,51 @@ class Router {
       return future;
     }
     return ServeFleetFallback(req);
+  }
+
+  /// Scatter-gather over FleetConfig::shard_owners (DESIGN.md §14): the
+  /// request is fanned to one healthy owner of every shard group and the
+  /// per-group top-k partials are merged under the repo total order — exact,
+  /// because the groups partition the id space and every partial is the true
+  /// top-k of its ranges. Any missing or degraded partial (a popularity
+  /// fallback list is not shard-restricted, so it can never be merged with
+  /// exact partials) fails the whole request over to the fleet fallback.
+  /// With no shard_owners configured this is plain Submit. The returned
+  /// future is deferred: the merge runs on the first get()/wait() caller.
+  std::future<Result<Response>> SubmitSharded(uint64_t user_id,
+                                              RecommendRequest req) {
+    if (config_.shard_owners.empty()) return Submit(user_id, std::move(req));
+    Counter("serve.fleet.sharded_requests").Add(1);
+    auto parts =
+        std::make_shared<std::vector<std::future<Result<Response>>>>();
+    parts->reserve(config_.shard_owners.size());
+    for (const std::vector<int>& group : config_.shard_owners) {
+      RecommendRequest attempt = req;  // each group scores the same request
+      parts->push_back(SubmitToGroup(user_id, group, std::move(attempt)));
+    }
+    const int64_t k = config_.serve.k;
+    return std::async(
+        std::launch::deferred,
+        [this, parts, req = std::move(req), k]() -> Result<Response> {
+          std::vector<eval::TopKList> partials;
+          partials.reserve(parts->size());
+          bool all_warm = true;
+          for (std::future<Result<Response>>& f : *parts) {
+            Result<Response> r = f.get();
+            if (!r.ok() || r.value().degraded) continue;
+            all_warm = all_warm && r.value().session_warm;
+            partials.push_back(std::move(r.value().topk));
+          }
+          if (partials.size() != parts->size()) {
+            Counter("serve.fleet.shard_partials_failed").Add(1);
+            return ServeFleetFallback(req).get();
+          }
+          Response out;
+          out.topk = eval::MergeTopKLists(partials, k);
+          out.degraded = false;
+          out.session_warm = all_warm;
+          return out;
+        });
   }
 
   /// The replica `user_id` routes to right now, or -1 when none is healthy.
@@ -270,18 +333,65 @@ class Router {
   }
 
   /// Ring walk: first healthy replica at or after the user's hash point,
-  /// skipping replicas in `tried`. Requires mu_ held (shared is enough).
-  int PickLocked(uint64_t user_id, const std::vector<int>& tried) const {
+  /// skipping replicas in `tried` (and, when `allowed` is set, replicas
+  /// outside it — the shard-group walk). Requires mu_ held (shared is
+  /// enough).
+  int PickLocked(uint64_t user_id, const std::vector<int>& tried,
+                 const std::vector<int>* allowed = nullptr) const {
     const uint64_t h = HashMix(user_id);
     auto it = std::upper_bound(ring_.begin(), ring_.end(),
                                std::make_pair(h, config_.replicas));
     size_t i = static_cast<size_t>(it - ring_.begin()) % ring_.size();
     for (size_t step = 0; step < ring_.size(); ++step, i = (i + 1) % ring_.size()) {
       const int r = ring_[i].second;
+      if (allowed != nullptr &&
+          std::find(allowed->begin(), allowed->end(), r) == allowed->end()) {
+        continue;
+      }
       if (std::find(tried.begin(), tried.end(), r) != tried.end()) continue;
       if (HealthyLocked(r)) return r;
     }
     return -1;
+  }
+
+  /// Submit restricted to one shard-owner group, with the same ring-ordered
+  /// walk and synchronous-UNAVAILABLE failover as Submit. With no healthy
+  /// owner the partial fails UNAVAILABLE (the sharded merge then falls back
+  /// fleet-wide; a per-group popularity answer would not be an exact
+  /// partial).
+  std::future<Result<Response>> SubmitToGroup(uint64_t user_id,
+                                              const std::vector<int>& group,
+                                              RecommendRequest req) {
+    std::vector<int> tried;
+    tried.reserve(group.size());
+    while (tried.size() < group.size()) {
+      std::shared_ptr<MicroBatcher> target;
+      int r = -1;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        if (stopped_) break;
+        r = PickLocked(user_id, tried, &group);
+        if (r < 0) break;
+        target = replicas_[static_cast<size_t>(r)].batcher;
+      }
+      if (!tried.empty()) Counter("serve.fleet.failovers").Add(1);
+      RecommendRequest attempt = req;
+      std::future<Result<Response>> future = target->Submit(std::move(attempt));
+      if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        Result<Response> result = future.get();
+        if (!result.ok() && result.status().code() == Status::Code::kUnavailable) {
+          tried.push_back(r);
+          continue;
+        }
+        std::promise<Result<Response>> ready;
+        ready.set_value(std::move(result));
+        return ready.get_future();
+      }
+      return future;
+    }
+    std::promise<Result<Response>> none;
+    none.set_value(Status::Unavailable("no healthy owner for shard group"));
+    return none.get_future();
   }
 
   /// No healthy replica (or router stopped): answer from the fleet-level

@@ -1,0 +1,220 @@
+// Intra-model sharded scoring (DESIGN.md §14).
+//
+// The replica tier (fleet.h) scales *throughput* by copying the whole model;
+// this layer scales the *catalogue*: the item-embedding id space is split
+// into S contiguous ranges ("item shards"), the fused score→top-k runs per
+// shard against the same hidden state, and the per-shard bounded lists are
+// merged under the repo total order (BetterScored, NaN-safe). Because
+//   (a) per-item scores are independent of the block an item is scored in
+//       (the fused dot accumulates each column separately, in fixed p-order,
+//       under the PR 8 scalar≡AVX2 bitwise kernel contract), and
+//   (b) the order is total, so the top-k *set* of a candidate union is the
+//       union of per-shard top-k sets intersected with the global top k,
+// the merged list is bit-identical to unsharded ScoreTopKFused — the parity
+// gate `ctest -L shards` enforces exactly that at 1/2/7 threads × ISA.
+#ifndef MSGCL_SERVE_ITEM_SHARDS_H_
+#define MSGCL_SERVE_ITEM_SHARDS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "eval/session.h"
+#include "eval/topk.h"
+#include "obs/registry.h"
+#include "tensor/macros.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace serve {
+
+/// One contiguous id range [first, last] of the item catalogue (1-based,
+/// inclusive; id 0 is padding and never belongs to a shard).
+struct ItemShard {
+  int32_t first = 0;
+  int32_t last = 0;
+
+  int32_t count() const { return last - first + 1; }
+
+  friend bool operator==(const ItemShard& a, const ItemShard& b) {
+    return a.first == b.first && a.last == b.last;
+  }
+};
+
+/// Splits 1..num_items into `num_shards` contiguous near-equal ranges (the
+/// first `num_items % num_shards` shards carry one extra id). `num_shards`
+/// is clamped to num_items so every shard holds at least one id.
+inline std::vector<ItemShard> MakeItemShards(int32_t num_items, int num_shards) {
+  MSGCL_CHECK_GT(num_items, 0);
+  MSGCL_CHECK_GT(num_shards, 0);
+  const int32_t s = std::min<int32_t>(num_shards, num_items);
+  std::vector<ItemShard> shards(static_cast<size_t>(s));
+  const int32_t base = num_items / s;
+  const int32_t extra = num_items % s;
+  int32_t next = 1;
+  for (int32_t i = 0; i < s; ++i) {
+    const int32_t count = base + (i < extra ? 1 : 0);
+    shards[static_cast<size_t>(i)] = ItemShard{next, next + count - 1};
+    next += count;
+  }
+  return shards;
+}
+
+/// Validates a shard list: non-empty, each range well-formed and inside the
+/// catalogue, strictly ascending and non-overlapping. Full coverage is NOT
+/// required — a fleet replica may own a subset of the catalogue (fleet.h
+/// scatter-gather); use `ShardsCoverCatalogue` when a partition is expected.
+inline Status ValidateItemShards(const std::vector<ItemShard>& shards,
+                                 int32_t num_items) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("item shards: empty shard list");
+  }
+  int32_t prev_last = 0;
+  for (const ItemShard& s : shards) {
+    if (s.first <= prev_last || s.last < s.first) {
+      return Status::InvalidArgument(
+          "item shards: ranges must be well-formed, ascending, disjoint");
+    }
+    if (num_items > 0 && s.last > num_items) {
+      return Status::InvalidArgument("item shards: range exceeds the catalogue");
+    }
+    prev_last = s.last;
+  }
+  return Status::Ok();
+}
+
+/// True when `shards` is a full partition of 1..num_items (assumes the list
+/// already passed ValidateItemShards).
+inline bool ShardsCoverCatalogue(const std::vector<ItemShard>& shards,
+                                 int32_t num_items) {
+  int32_t next = 1;
+  for (const ItemShard& s : shards) {
+    if (s.first != next) return false;
+    next = s.last + 1;
+  }
+  return next == num_items + 1;
+}
+
+/// Ranker (and SessionScorer) adapter that scores an inner model one item
+/// shard at a time and merges the per-shard lists exactly.
+///
+/// Stateless beyond its shard table, so it is exactly as thread-safe as the
+/// inner model; it takes no locks of its own. In particular it must NOT
+/// acquire ScoreSerializer() — the MicroBatcher already holds it around
+/// every scoring call, and the lock is non-recursive. Swap atomicity comes
+/// from placement instead: wrap the ranker *inside* each SwappableRanker
+/// slot, so one ScoreTopK under the slot's shared swap_mu_ covers the whole
+/// S-shard merge and a hot swap validates (SmokeScore) and flips all shards
+/// as one unit (DESIGN.md §14).
+class ShardedRanker : public eval::Ranker, public eval::SessionScorer {
+ public:
+  /// `inner` is non-owning and must outlive this adapter. `shards` is
+  /// typically MakeItemShards(num_items, S); a fleet replica may pass the
+  /// subset it owns, in which case ScoreTopK returns the exact top-k of
+  /// that subset (merged fleet-side by MergeTopKLists).
+  ShardedRanker(eval::Ranker& inner, std::vector<ItemShard> shards)
+      : inner_(inner),
+        session_(dynamic_cast<eval::SessionScorer*>(&inner)),
+        shards_(std::move(shards)) {
+    const Status s = ValidateItemShards(shards_, /*num_items=*/0);
+    MSGCL_CHECK_MSG(s.ok(), s.ToString());
+  }
+
+  std::string name() const override { return inner_.name(); }
+
+  const std::vector<ItemShard>& shards() const { return shards_; }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    return inner_.ScoreAll(batch);
+  }
+
+  std::vector<eval::TopKList> ScoreTopK(const data::Batch& batch,
+                                        const eval::TopKOptions& opt) override {
+    return Merged(opt, [&](const eval::TopKOptions& shard_opt) {
+      return inner_.ScoreTopK(batch, shard_opt);
+    });
+  }
+
+  // --- SessionScorer: state calls delegate; scoring calls shard + merge ---
+
+  bool session_supported() const override {
+    return session_ != nullptr && session_->session_supported();
+  }
+  uint64_t session_epoch() const override {
+    MSGCL_CHECK(session_ != nullptr);
+    return session_->session_epoch();
+  }
+  int64_t session_capacity() const override {
+    MSGCL_CHECK(session_ != nullptr);
+    return session_->session_capacity();
+  }
+  int64_t session_dim() const override {
+    MSGCL_CHECK(session_ != nullptr);
+    return session_->session_dim();
+  }
+  void EncodeSession(const std::vector<int32_t>& window,
+                     eval::SessionState& state) override {
+    MSGCL_CHECK(session_ != nullptr);
+    session_->EncodeSession(window, state);
+  }
+  void AppendSession(int32_t item, eval::SessionState& state) override {
+    MSGCL_CHECK(session_ != nullptr);
+    session_->AppendSession(item, state);
+  }
+  std::vector<eval::TopKList> ScoreSessionHidden(
+      const std::vector<float>& hidden, int64_t rows,
+      const eval::TopKOptions& opt) override {
+    MSGCL_CHECK(session_ != nullptr);
+    return Merged(opt, [&](const eval::TopKOptions& shard_opt) {
+      return session_->ScoreSessionHidden(hidden, rows, shard_opt);
+    });
+  }
+
+ private:
+  /// Runs `score_fn` once per shard with the range narrowed, then merges
+  /// each row's S lists to opt.k under BetterScored.
+  template <typename ScoreFn>
+  std::vector<eval::TopKList> Merged(const eval::TopKOptions& opt,
+                                     ScoreFn&& score_fn) {
+    opt.ValidateOrThrow();
+    if (opt.has_item_range()) {
+      // Composing ranges would silently score the intersection; reject.
+      throw std::invalid_argument(
+          "ShardedRanker: opt.first_item/last_item must be unset (the "
+          "shard table owns the range)");
+    }
+    std::vector<std::vector<eval::TopKList>> parts;
+    parts.reserve(shards_.size());
+    for (const ItemShard& s : shards_) {
+      eval::TopKOptions shard_opt = opt;
+      shard_opt.first_item = s.first;
+      shard_opt.last_item = s.last;
+      parts.push_back(score_fn(shard_opt));
+      MSGCL_CHECK_EQ(parts.back().size(), parts.front().size());
+    }
+    obs::Registry::Global().GetCounter("serve.shards.batches").Add(1);
+    if (parts.size() == 1) return std::move(parts.front());
+    const size_t rows = parts.front().size();
+    std::vector<eval::TopKList> out(rows);
+    std::vector<const eval::TopKList*> views(parts.size());
+    for (size_t b = 0; b < rows; ++b) {
+      for (size_t s = 0; s < parts.size(); ++s) views[s] = &parts[s][b];
+      out[b] = eval::MergeTopKLists(views, opt.k);
+    }
+    obs::Registry::Global()
+        .GetCounter("serve.shards.merged_rows")
+        .Add(static_cast<int64_t>(rows));
+    return out;
+  }
+
+  eval::Ranker& inner_;
+  eval::SessionScorer* session_;  // non-null iff inner implements sessions
+  std::vector<ItemShard> shards_;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_ITEM_SHARDS_H_

@@ -46,6 +46,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -184,6 +185,9 @@ class MicroBatcher {
       if (session_scorer_ != nullptr && !session_scorer_->session_supported()) {
         session_scorer_ = nullptr;
       }
+      if (config_.session_idle_evict_us > 0) {
+        next_evict_us_ = clock_->NowUs() + config_.session_idle_evict_us;
+      }
     }
     workers_.reserve(static_cast<size_t>(config_.num_workers));
     for (int w = 0; w < config_.num_workers; ++w) {
@@ -284,6 +288,12 @@ class MicroBatcher {
     for (Pending& p : drained) {
       p.promise.set_value(Status::Unavailable("MicroBatcher stopped before scoring"));
     }
+    // Final idle sweep: entries whose session went idle while the batcher
+    // was draining are trimmed even though no further batch will ever score
+    // (the cache may be shared with a successor batcher after a restart).
+    if (config_.session_cache != nullptr && config_.session_idle_evict_us > 0) {
+      config_.session_cache->EvictIdle(config_.session_idle_evict_us);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_state_ = StopState::kStopped;
@@ -335,10 +345,32 @@ class MicroBatcher {
   }
 
   void WorkerLoop() {
+    // With a session cache and an idle bound configured, the idle wait has a
+    // deadline: the worker wakes on the next eviction tick even when no
+    // request ever arrives, so idle sessions are trimmed after traffic stops
+    // (before this fix EvictIdle only ran from the batch-scoring path).
+    const bool evict_timer = config_.session_cache != nullptr &&
+                             config_.session_idle_evict_us > 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      clock_->Wait(cv_, lock, [&] { return StopRequested() || !queue_.empty(); });
-      if (StopRequested()) return;  // Stop() drains and fails the remainder
+      if (evict_timer) {
+        clock_->WaitUntil(cv_, lock, next_evict_us_,
+                          [&] { return StopRequested() || !queue_.empty(); });
+        if (StopRequested()) return;
+        if (clock_->NowUs() >= next_evict_us_) {
+          // Claim the tick under mu_ (other workers see the new deadline),
+          // then evict outside it — EvictIdle takes the cache's own lock.
+          next_evict_us_ = clock_->NowUs() + config_.session_idle_evict_us;
+          lock.unlock();
+          config_.session_cache->EvictIdle(config_.session_idle_evict_us);
+          lock.lock();
+        }
+        if (StopRequested()) return;
+        if (queue_.empty()) continue;
+      } else {
+        clock_->Wait(cv_, lock, [&] { return StopRequested() || !queue_.empty(); });
+        if (StopRequested()) return;  // Stop() drains and fails the remainder
+      }
       // A batch exists; give it until max_wait_us past its oldest arrival
       // to fill up to max_batch.
       const int64_t flush_at_us = queue_.front().arrival_us + config_.max_wait_us;
@@ -396,6 +428,7 @@ class MicroBatcher {
     std::vector<eval::TopKList> lists;
     std::vector<uint8_t> warm(live.size(), 0);  // per-row warm-session flag
     std::string failure;  // non-empty => the whole batch failed its guards
+    std::string invalid;  // non-empty => malformed options, typed rejection
     {
       MSGCL_OBS_SCOPE("serve.score_batch");
       // One scoring region at a time, process-wide (see score_lock.h): fleet
@@ -425,20 +458,30 @@ class MicroBatcher {
           arena::ArenaScope arena_scope(&score_arena_);
           lists = ScoreLive(live, warm);
         }
+      } catch (const std::invalid_argument& e) {
+        // Malformed TopKOptions (k <= 0, negative num_items, bad shard
+        // range): the scoring layer throws instead of MSGCL_CHECK-aborting
+        // (PR 5 typed-error convention) and the batch is rejected below with
+        // INVALID_ARGUMENT — a deterministic caller error, so no fallback
+        // and no breaker signal.
+        invalid = e.what();
       } catch (const std::exception& e) {
         failure = std::string("scoring threw: ") + e.what();
       } catch (...) {
         failure = "scoring threw a non-std exception";
       }
       score_arena_.Reset();
-      if (failure.empty() && fault == runtime::ServeFaultKind::kNaNScores) {
+      if (failure.empty() && invalid.empty() &&
+          fault == runtime::ServeFaultKind::kNaNScores) {
         std::vector<float*> slots;
         for (eval::TopKList& list : lists) {
           for (eval::ScoredItem& s : list) slots.push_back(&s.score);
         }
         injector->PoisonScores(slots);
       }
-      if (failure.empty()) failure = CheckBatchHealth(lists, live.size());
+      if (failure.empty() && invalid.empty()) {
+        failure = CheckBatchHealth(lists, live.size());
+      }
       if (failure.empty() && config_.score_timeout_us > 0) {
         const int64_t elapsed_us = clock_->NowUs() - score_start_us;
         if (elapsed_us > config_.score_timeout_us) {
@@ -448,6 +491,13 @@ class MicroBatcher {
       }
     }
 
+    if (!invalid.empty()) {
+      Counter("serve.rejected").Add(static_cast<int64_t>(live.size()));
+      for (Pending& p : live) {
+        p.promise.set_value(Status::InvalidArgument(invalid));
+      }
+      return;
+    }
     if (!failure.empty()) {
       Counter("serve.score_failures").Add(1);
       breaker_.OnBatchResult(false);
@@ -641,6 +691,9 @@ class MicroBatcher {
   std::deque<Pending> queue_;
   BatchObserver observer_;
   int64_t next_id_ = 0;
+  /// Next idle-eviction timer tick (µs, guarded by mu_); 0 when the timer is
+  /// off (no session cache or no idle bound configured).
+  int64_t next_evict_us_ = 0;
   StopState stop_state_ = StopState::kRunning;
   std::vector<std::thread> workers_;
 };

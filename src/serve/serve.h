@@ -6,6 +6,7 @@
 #include "serve/clock.h"         // IWYU pragma: export
 #include "serve/fallback.h"      // IWYU pragma: export
 #include "serve/fleet.h"         // IWYU pragma: export
+#include "serve/item_shards.h"   // IWYU pragma: export
 #include "serve/loadgen.h"       // IWYU pragma: export
 #include "serve/micro_batcher.h" // IWYU pragma: export
 #include "serve/model_swap.h"    // IWYU pragma: export

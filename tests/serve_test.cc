@@ -7,6 +7,8 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "data/data.h"
 #include "gtest/gtest.h"
 #include "models/models.h"
+#include "obs/registry.h"
 #include "parallel/parallel.h"
 #include "serve/serve.h"
 
@@ -207,6 +210,68 @@ TEST(MicroBatcherTest, InvalidItemIdsAreRejectedImmediately) {
   // Rejected synchronously — no clock advance needed for the futures.
   EXPECT_EQ(zero.get().status().code(), Status::Code::kInvalidArgument);
   EXPECT_EQ(high.get().status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(MicroBatcherTest, MalformedTopKOptionsThrowTypedNotAbort) {
+  // k <= 0 / negative num_items used to hit MSGCL_CHECK and abort the
+  // process; on the serve path they are caller errors and must surface as
+  // typed std::invalid_argument (TopKOptions::ValidateOrThrow).
+  ToyRanker model;
+  const std::vector<std::vector<int32_t>> inputs = {{1, 2, 3}};
+  const data::Batch batch = data::MakeEvalBatch(inputs, {0}, 8);
+  eval::TopKOptions opt;
+  opt.k = 0;
+  EXPECT_THROW(model.ScoreTopK(batch, opt), std::invalid_argument);
+  opt.k = -4;
+  EXPECT_THROW(model.ScoreTopK(batch, opt), std::invalid_argument);
+  opt.k = 5;
+  opt.num_items = -1;
+  EXPECT_THROW(model.ScoreTopK(batch, opt), std::invalid_argument);
+}
+
+TEST(MicroBatcherTest, InvalidArgumentFromScoringIsTypedNotDegraded) {
+  // A scoring call that throws std::invalid_argument is a deterministic
+  // caller error: the batcher must fail the requests INVALID_ARGUMENT —
+  // never INTERNAL, never the fallback (even when one is configured), and
+  // without feeding the breaker — and keep serving the next batch exactly.
+  class FlakyOptRanker : public eval::Ranker {
+   public:
+    std::string name() const override { return "FlakyOpt"; }
+    std::vector<float> ScoreAll(const data::Batch& batch) override {
+      if (throw_next.exchange(false)) {
+        throw std::invalid_argument("TopKOptions: k must be > 0");
+      }
+      return ToyRanker().ScoreAll(batch);
+    }
+    std::atomic<bool> throw_next{false};
+  };
+  FlakyOptRanker model;
+  const FallbackRanker fallback =
+      FallbackRanker::FromSequences({{1, 2}, {2, 3}}, kToyItems);
+  ServeConfig config = ToyConfig();
+  config.max_batch = 1;
+  config.max_wait_us = 0;
+  config.fallback = &fallback;
+  MicroBatcher batcher(model, kToyItems, config);
+
+  const int64_t rejected_before =
+      obs::Registry::Global().GetCounter("serve.rejected").value();
+  model.throw_next = true;
+  const auto bad = batcher.Submit({{1, 2, 3}, 0}).get();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(obs::Registry::Global().GetCounter("serve.rejected").value(),
+            rejected_before + 1);
+
+  // The very next request scores exactly — no degraded fallback, so the
+  // invalid_argument neither tripped the breaker nor poisoned the worker.
+  const std::vector<int32_t> history = {1, 2, 3};
+  const auto good = batcher.Submit({history, 0}).get();
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_FALSE(good.value().degraded);
+  EXPECT_TRUE(ListsBitEqual(good.value().topk,
+                            ToyExpected(history, config.k, config.exclude_seen)));
+  batcher.Stop();
 }
 
 TEST(MicroBatcherTest, StopDrainsQueueWithUnavailable) {

@@ -12,6 +12,7 @@
 // (`ctest --preset asan-serve` / `tsan-serve`) pick them up alongside the
 // `serve`, `chaos` and `fleet` suites.
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -680,6 +681,56 @@ TEST(SwapInvalidationTest, RejectedSwapDoesNotBumpEpochOrColdSessions) {
   history.push_back(3);
   EXPECT_TRUE(Serve(batcher, 8, history).session_warm);
   batcher.Stop();
+}
+
+// ---- Idle eviction without traffic ------------------------------------------
+//
+// Before this fix EvictIdle only ran from the batch-scoring path: a cache
+// with no traffic kept idle sessions resident forever. Now the worker loop
+// ticks on `session_idle_evict_us` (clock-injectable) and Stop() runs one
+// final sweep, so idle entries vanish even when no request ever arrives.
+
+TEST(IdleEvictionTest, TimerTickEvictsIdleSessionsWithoutTraffic) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  FakeClock clock;  // shared by cache and batcher: one timeline
+  SessionCache cache(64 << 20, &clock);
+  ServeConfig config = SessionServeConfig(&cache);
+  config.session_idle_evict_us = 10'000;
+  MicroBatcher batcher(model, kItems, config, &clock);
+
+  Serve(batcher, 8, MakeHistory(6));
+  ASSERT_EQ(cache.entries(), 1);
+
+  // No further traffic. Advancing the shared clock past the idle bound
+  // wakes the worker's WaitUntil; the tick alone must clear the entry.
+  clock.Advance(config.session_idle_evict_us + 1);
+  for (int i = 0; i < 500 && cache.entries() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(cache.entries(), 0);
+  batcher.Stop();
+}
+
+TEST(IdleEvictionTest, StopRunsAFinalIdleSweep) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  // Split clocks pin the attribution: the cache ages on a FakeClock while
+  // the batcher ticks on the system clock with an hour-long bound, so no
+  // timer tick can fire within the test — only Stop() can evict.
+  FakeClock cache_clock;
+  SessionCache cache(64 << 20, &cache_clock);
+  ServeConfig config = SessionServeConfig(&cache);
+  config.session_idle_evict_us = 3'600'000'000;  // 1h on the batcher clock
+  MicroBatcher batcher(model, kItems, config);
+
+  Serve(batcher, 8, MakeHistory(6));
+  ASSERT_EQ(cache.entries(), 1);
+  cache_clock.Advance(config.session_idle_evict_us + 1);
+  ASSERT_EQ(cache.entries(), 1);  // aged out, but nothing has swept yet
+
+  batcher.Stop();
+  EXPECT_EQ(cache.entries(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,759 @@
+// Intra-model sharded scoring gate (DESIGN.md §14), label `shards`.
+//
+// The load-bearing contract is BIT parity: partitioning the item catalogue
+// into S contiguous id-range shards, running the fused score→top-k per
+// shard, and merging the per-shard lists under the repo total order must
+// reproduce the unsharded ScoreTopKFused lists bit-for-bit — for SASRec and
+// Meta-SGCL, at S ∈ {1, 2, 4}, at 1/2/7 threads, under the scalar and AVX2
+// kernel dispatch. On top of that:
+//   * the NaN-safe comparator regression (the old `a.score != b.score`
+//     comparator makes NaN "equivalent" to everything, breaking strict weak
+//     ordering — std::sort_heap UB — so this test FAILS pre-fix);
+//   * NaN-aware RankOfTarget (a NaN target used to get rank 0, the best);
+//   * MergeTopKLists unit tests and shard-partition validation;
+//   * adversarial shard layouts: equal scores straddling a boundary, k
+//     larger than a shard, an exclusion set wholly inside one shard, 1-item
+//     shards;
+//   * end-to-end wiring: MicroBatcher over a ShardedRanker (stateless and
+//     session paths), slot-level sharding through SwappableRanker (hot swap
+//     validates and flips all shards atomically), and fleet scatter-gather
+//     over shard-owner groups with failover.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/core.h"
+#include "data/batching.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "obs/registry.h"
+#include "parallel/parallel.h"
+#include "serve/serve.h"
+#include "tensor/kernels.h"
+
+namespace msgcl {
+namespace serve {
+namespace {
+
+constexpr int32_t kItems = 30;
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Restores the ISA and thread count a test flipped.
+class IsaThreadGuard {
+ public:
+  IsaThreadGuard() : isa_(simd::ActiveIsa()), threads_(parallel::MaxThreads()) {}
+  ~IsaThreadGuard() {
+    simd::SetIsa(isa_);
+    parallel::SetNumThreads(threads_);
+  }
+
+ private:
+  simd::Isa isa_;
+  int threads_;
+};
+
+models::BackboneConfig TinyBackbone() {
+  models::BackboneConfig b;
+  b.num_items = kItems;
+  b.max_len = 12;
+  b.dim = 16;
+  b.heads = 2;
+  b.layers = 2;
+  return b;
+}
+
+core::MetaSgclConfig TinyMetaSgcl() {
+  core::MetaSgclConfig c;
+  c.backbone = TinyBackbone();
+  c.use_decoder = true;
+  return c;
+}
+
+/// Deterministic synthetic history: items in [1, kItems].
+std::vector<int32_t> MakeHistory(int64_t len, int64_t salt = 0) {
+  std::vector<int32_t> h(static_cast<size_t>(len));
+  for (int64_t i = 0; i < len; ++i) {
+    h[static_cast<size_t>(i)] =
+        static_cast<int32_t>((i * 7 + salt * 13 + 3) % kItems) + 1;
+  }
+  return h;
+}
+
+/// A small eval batch of `users` distinct synthetic histories.
+data::Batch MakeBatch(int32_t users, int64_t max_len = 12) {
+  std::vector<std::vector<int32_t>> inputs(static_cast<size_t>(users));
+  std::vector<int32_t> rows(static_cast<size_t>(users));
+  for (int32_t u = 0; u < users; ++u) {
+    inputs[static_cast<size_t>(u)] = MakeHistory(4 + (u % 5), u);
+    rows[static_cast<size_t>(u)] = u;
+  }
+  return data::MakeEvalBatch(inputs, rows, max_len);
+}
+
+::testing::AssertionResult ListsBitEqual(const eval::TopKList& a,
+                                         const eval::TopKList& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].item != b[i].item ||
+        std::memcmp(&a[i].score, &b[i].score, sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": (" << a[i].item << ", " << a[i].score
+             << ") vs (" << b[i].item << ", " << b[i].score << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---- NaN-safe comparator (the satellite bugfix) -----------------------------
+
+TEST(NaNComparatorTest, TotalOrderClassesNaNBelowEverything) {
+  const eval::ScoredItem finite{5, 1.0f};
+  const eval::ScoredItem low{7, -1.0e30f};
+  const eval::ScoredItem pos_inf{3, kInf};
+  const eval::ScoredItem neg_inf{9, -kInf};
+  const eval::ScoredItem nan_a{2, kNaN};
+  const eval::ScoredItem nan_b{6, kNaN};
+
+  // Every non-NaN — including -inf — beats NaN, and never the reverse.
+  for (const eval::ScoredItem& real : {finite, low, pos_inf, neg_inf}) {
+    EXPECT_TRUE(eval::BetterScored(real, nan_a));
+    EXPECT_FALSE(eval::BetterScored(nan_a, real));
+  }
+  // NaN vs NaN ties deterministically by id.
+  EXPECT_TRUE(eval::BetterScored(nan_a, nan_b));
+  EXPECT_FALSE(eval::BetterScored(nan_b, nan_a));
+  // Finite ordering unchanged.
+  EXPECT_TRUE(eval::BetterScored(pos_inf, finite));
+  EXPECT_TRUE(eval::BetterScored(finite, low));
+  EXPECT_TRUE(eval::BetterScored(low, neg_inf));
+  // Irreflexive.
+  EXPECT_FALSE(eval::BetterScored(nan_a, nan_a));
+  EXPECT_FALSE(eval::BetterScored(finite, finite));
+}
+
+TEST(NaNComparatorTest, BoundedTopKTakeIsDeterministicWithNaNAndInf) {
+  // Pre-fix, pushing NaNs through the heap violated strict weak ordering
+  // (UB in sort_heap) and the output order was garbage; post-fix the order
+  // is exact: +inf, finites descending, -inf, then NaNs by ascending id.
+  eval::BoundedTopK sel(10);
+  sel.Push(1, kNaN);
+  sel.Push(2, 0.5f);
+  sel.Push(3, kInf);
+  sel.Push(4, kNaN);
+  sel.Push(5, -kInf);
+  sel.Push(6, 2.0f);
+  sel.Push(7, kNaN);
+  const eval::TopKList out = sel.Take();
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[0].item, 3);  // +inf
+  EXPECT_EQ(out[1].item, 6);  // 2.0
+  EXPECT_EQ(out[2].item, 2);  // 0.5
+  EXPECT_EQ(out[3].item, 5);  // -inf
+  EXPECT_EQ(out[4].item, 1);  // NaN, id ascending
+  EXPECT_EQ(out[5].item, 4);
+  EXPECT_EQ(out[6].item, 7);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), eval::BetterScored));
+}
+
+TEST(NaNComparatorTest, NaNFloodNeverDisplacesFiniteScores) {
+  // More NaNs than k: the finite candidates must all survive and the NaNs
+  // fill the remainder deterministically (smallest ids first).
+  eval::BoundedTopK sel(3);
+  for (int32_t i = 10; i < 20; ++i) sel.Push(i, kNaN);
+  sel.Push(2, -5.0f);
+  sel.Push(1, 1.0f);
+  for (int32_t i = 20; i < 25; ++i) sel.Push(i, kNaN);
+  const eval::TopKList out = sel.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].item, 1);
+  EXPECT_EQ(out[1].item, 2);
+  EXPECT_EQ(out[2].item, 10);  // best-id NaN holds the last slot
+  EXPECT_TRUE(std::isnan(out[2].score));
+}
+
+TEST(NaNComparatorTest, RankOfTargetIsNaNAware) {
+  // scores[0] is padding. Items: 1 -> 2.0, 2 -> NaN, 3 -> 0.5, 4 -> NaN.
+  const std::vector<float> scores = {0.0f, 2.0f, kNaN, 0.5f, kNaN};
+  // Finite target: NaN competitors do not count against it.
+  EXPECT_EQ(eval::RankOfTarget(scores, 3), 1.0);  // only item 1 is above
+  EXPECT_EQ(eval::RankOfTarget(scores, 1), 0.0);
+  // NaN target: below every finite item, tied with the other NaN — it used
+  // to get rank 0 (the best) because every comparison against NaN is false.
+  const eval::RankResult r = eval::RankOfTargetDetailed(
+      scores.data(), scores.size(), 2, eval::TiePolicy::kOptimistic);
+  EXPECT_EQ(r.rank, 2.0);  // items 1 and 3 are above
+  EXPECT_EQ(r.num_tied, 1);
+  const eval::RankResult p = eval::RankOfTargetDetailed(
+      scores.data(), scores.size(), 2, eval::TiePolicy::kPessimistic);
+  EXPECT_EQ(p.rank, 3.0);
+}
+
+// ---- TopKOptions typed validation (the serve-path satellite) ----------------
+
+TEST(TopKOptionsTest, ValidateRejectsMalformedOptions) {
+  eval::TopKOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.k = 0;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.k = -3;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.k = 10;
+  opt.num_items = -1;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.num_items = kItems;
+  opt.first_item = 10;
+  opt.last_item = 5;  // inverted
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.last_item = kItems + 1;  // beyond the catalogue
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.first_item = 0;
+  opt.last_item = 7;  // last without first
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.last_item = 0;
+  EXPECT_TRUE(opt.Validate().ok());
+}
+
+TEST(TopKOptionsTest, ScoreTopKThrowsInsteadOfAborting) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  const data::Batch batch = MakeBatch(2);
+  eval::TopKOptions opt;
+  opt.k = 0;
+  EXPECT_THROW(model.ScoreTopK(batch, opt), std::invalid_argument);
+  opt.k = 5;
+  opt.num_items = -7;
+  EXPECT_THROW(model.ScoreTopK(batch, opt), std::invalid_argument);
+}
+
+// ---- MergeTopKLists ---------------------------------------------------------
+
+TEST(MergeTopKTest, MergeEqualsSinglePassSelection) {
+  // Three disjoint id ranges with interleaved scores; merging the per-range
+  // top-k must equal one BoundedTopK pass over the union.
+  std::vector<std::pair<int32_t, float>> all;
+  for (int32_t i = 1; i <= 30; ++i) {
+    all.push_back({i, static_cast<float>((i * 37) % 11) - 5.0f});
+  }
+  const int64_t k = 8;
+  eval::BoundedTopK ref(k);
+  std::vector<eval::BoundedTopK> parts;
+  for (int s = 0; s < 3; ++s) parts.emplace_back(k);
+  for (const auto& [item, score] : all) {
+    ref.Push(item, score);
+    parts[static_cast<size_t>((item - 1) / 10)].Push(item, score);
+  }
+  std::vector<eval::TopKList> lists;
+  for (auto& p : parts) lists.push_back(p.Take());
+  EXPECT_TRUE(ListsBitEqual(eval::MergeTopKLists(lists, k), ref.Take()));
+}
+
+TEST(MergeTopKTest, HandlesEmptyListsAndShortInputs) {
+  const eval::TopKList a = {{1, 3.0f}, {4, 1.0f}};
+  const eval::TopKList empty;
+  const eval::TopKList b = {{2, 2.0f}};
+  const eval::TopKList merged = eval::MergeTopKLists({a, empty, b}, 10);
+  ASSERT_EQ(merged.size(), 3u);  // k > total: everything, still ordered
+  EXPECT_EQ(merged[0].item, 1);
+  EXPECT_EQ(merged[1].item, 2);
+  EXPECT_EQ(merged[2].item, 4);
+  EXPECT_TRUE(eval::MergeTopKLists(std::vector<eval::TopKList>{}, 5).empty());
+  // Single list passes through unchanged.
+  EXPECT_TRUE(ListsBitEqual(eval::MergeTopKLists({a}, 2), a));
+}
+
+// ---- Shard partition construction and validation ----------------------------
+
+TEST(ItemShardTest, MakeItemShardsPartitionsTheCatalogue) {
+  for (const int s : {1, 2, 4, 7, kItems}) {
+    const std::vector<ItemShard> shards = MakeItemShards(kItems, s);
+    ASSERT_EQ(static_cast<int>(shards.size()), s);
+    ASSERT_TRUE(ValidateItemShards(shards, kItems).ok());
+    EXPECT_TRUE(ShardsCoverCatalogue(shards, kItems));
+    int32_t min_count = kItems, max_count = 0;
+    for (const ItemShard& sh : shards) {
+      min_count = std::min(min_count, sh.count());
+      max_count = std::max(max_count, sh.count());
+    }
+    EXPECT_LE(max_count - min_count, 1);  // near-equal split
+  }
+  // More shards than items clamps to one id per shard.
+  const std::vector<ItemShard> tiny = MakeItemShards(5, 9);
+  ASSERT_EQ(tiny.size(), 5u);
+  for (const ItemShard& sh : tiny) EXPECT_EQ(sh.count(), 1);
+  EXPECT_TRUE(ShardsCoverCatalogue(tiny, 5));
+}
+
+TEST(ItemShardTest, ValidateRejectsMalformedShardTables) {
+  EXPECT_EQ(ValidateItemShards({}, kItems).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ValidateItemShards({{5, 2}}, kItems).code(),
+            Status::Code::kInvalidArgument);  // inverted
+  EXPECT_EQ(ValidateItemShards({{1, 10}, {10, 20}}, kItems).code(),
+            Status::Code::kInvalidArgument);  // overlap
+  EXPECT_EQ(ValidateItemShards({{10, 20}, {1, 9}}, kItems).code(),
+            Status::Code::kInvalidArgument);  // out of order
+  EXPECT_EQ(ValidateItemShards({{1, kItems + 1}}, kItems).code(),
+            Status::Code::kInvalidArgument);  // beyond catalogue
+  // A subset (fleet partial ownership) is valid but not a cover.
+  ASSERT_TRUE(ValidateItemShards({{3, 7}, {20, 25}}, kItems).ok());
+  EXPECT_FALSE(ShardsCoverCatalogue({{3, 7}, {20, 25}}, kItems));
+}
+
+// ---- The tentpole parity gate ----------------------------------------------
+//
+// SASRec and Meta-SGCL, S ∈ {1, 2, 4} × 1/2/7 threads × scalar/AVX2: the
+// sharded merge is bit-identical to unsharded ScoreTopKFused.
+
+void CheckShardParity(eval::Ranker& model) {
+  const data::Batch batch = MakeBatch(6);
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.exclude_seen = true;
+  opt.num_items = kItems;
+  const std::vector<eval::TopKList> ref = model.ScoreTopK(batch, opt);
+  for (const int s : {1, 2, 4}) {
+    ShardedRanker sharded(model, MakeItemShards(kItems, s));
+    const std::vector<eval::TopKList> got = sharded.ScoreTopK(batch, opt);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t b = 0; b < ref.size(); ++b) {
+      EXPECT_TRUE(ListsBitEqual(got[b], ref[b])) << "S=" << s << " row " << b;
+    }
+  }
+}
+
+TEST(ShardParityTest, SasRecBitIdenticalAcrossShardsThreadsAndIsa) {
+  IsaThreadGuard guard;
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    if (isa == simd::Isa::kAvx2 && !simd::Avx2Supported()) continue;
+    simd::SetIsa(isa);
+    for (const int threads : {1, 2, 7}) {
+      parallel::SetNumThreads(threads);
+      models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+      model.SetTraining(false);
+      CheckShardParity(model);
+    }
+  }
+}
+
+TEST(ShardParityTest, MetaSgclBitIdenticalAcrossShardsThreadsAndIsa) {
+  IsaThreadGuard guard;
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2}) {
+    if (isa == simd::Isa::kAvx2 && !simd::Avx2Supported()) continue;
+    simd::SetIsa(isa);
+    for (const int threads : {1, 2, 7}) {
+      parallel::SetNumThreads(threads);
+      core::MetaSgcl model(TinyMetaSgcl(), models::TrainConfig{}, Rng(3));
+      model.SetTraining(false);
+      CheckShardParity(model);
+    }
+  }
+}
+
+TEST(ShardParityTest, SessionHiddenPathBitIdentical) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  eval::SessionState state;
+  model.EncodeSession(MakeHistory(8), state);
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.num_items = kItems;
+  const eval::TopKList ref = model.ScoreSessionHidden(state.h_last, 1, opt)[0];
+  for (const int s : {1, 2, 4}) {
+    ShardedRanker sharded(model, MakeItemShards(kItems, s));
+    ASSERT_TRUE(sharded.session_supported());
+    const eval::TopKList got =
+        sharded.ScoreSessionHidden(state.h_last, 1, opt)[0];
+    EXPECT_TRUE(ListsBitEqual(got, ref)) << "S=" << s;
+  }
+}
+
+TEST(ShardParityTest, ShardedRankerRejectsPresetItemRange) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  ShardedRanker sharded(model, MakeItemShards(kItems, 2));
+  eval::TopKOptions opt;
+  opt.k = 5;
+  opt.first_item = 1;
+  opt.last_item = 10;
+  EXPECT_THROW(sharded.ScoreTopK(MakeBatch(1), opt), std::invalid_argument);
+}
+
+// ---- Adversarial shard layouts (fixed, fully controlled scores) -------------
+
+/// Ranker with an explicit score table, one row repeated for every batch
+/// row — every tie and boundary below is constructed, not incidental.
+class FixedRanker : public eval::Ranker {
+ public:
+  FixedRanker(int32_t num_items, std::vector<float> row)
+      : num_items_(num_items), row_(std::move(row)) {
+    MSGCL_CHECK_EQ(static_cast<int64_t>(row_.size()), num_items_ + 1);
+  }
+
+  std::string name() const override { return "Fixed"; }
+
+  std::vector<float> ScoreAll(const data::Batch& batch) override {
+    std::vector<float> out;
+    out.reserve(static_cast<size_t>(batch.batch_size) * row_.size());
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      out.insert(out.end(), row_.begin(), row_.end());
+    }
+    return out;
+  }
+
+ private:
+  int64_t num_items_;
+  std::vector<float> row_;
+};
+
+data::Batch OneRowBatch() {
+  const std::vector<std::vector<int32_t>> inputs = {{1, 2}};
+  return data::MakeEvalBatch(inputs, {0}, 4);
+}
+
+void CheckFixedParity(FixedRanker& model, const std::vector<ItemShard>& shards,
+                      const eval::TopKOptions& opt) {
+  const data::Batch batch = OneRowBatch();
+  const eval::TopKList ref = model.ScoreTopK(batch, opt)[0];
+  ShardedRanker sharded(model, shards);
+  const eval::TopKList got = sharded.ScoreTopK(batch, opt)[0];
+  EXPECT_TRUE(ListsBitEqual(got, ref));
+}
+
+TEST(ShardAdversarialTest, EqualScoresStraddlingAShardBoundary) {
+  // Items 4..7 all score 1.0 and the boundary splits them 4,5 | 6,7: the
+  // merged list must break the tie by id across the boundary, exactly as
+  // the unsharded selector does.
+  std::vector<float> row(11, 0.0f);
+  row[4] = row[5] = row[6] = row[7] = 1.0f;
+  row[9] = 2.0f;
+  FixedRanker model(10, row);
+  eval::TopKOptions opt;
+  opt.k = 4;
+  opt.num_items = 10;
+  CheckFixedParity(model, {{1, 5}, {6, 10}}, opt);
+}
+
+TEST(ShardAdversarialTest, KLargerThanOneShardsCandidateCount) {
+  // k = 8 but the first shard holds only 3 ids: its whole list is consumed
+  // and the remainder must come from the other shards.
+  std::vector<float> row(11, 0.0f);
+  for (int32_t i = 1; i <= 10; ++i) {
+    row[static_cast<size_t>(i)] = static_cast<float>((i * 13) % 7);
+  }
+  FixedRanker model(10, row);
+  eval::TopKOptions opt;
+  opt.k = 8;
+  opt.num_items = 10;
+  CheckFixedParity(model, {{1, 3}, {4, 10}}, opt);
+}
+
+TEST(ShardAdversarialTest, ExclusionSetWhollyInsideOneShard) {
+  // The exclusions empty out most of shard 1; parity must hold when a
+  // shard contributes fewer than k candidates (or none).
+  std::vector<float> row(11, 0.0f);
+  for (int32_t i = 1; i <= 10; ++i) {
+    row[static_cast<size_t>(i)] = static_cast<float>(10 - i);
+  }
+  FixedRanker model(10, row);
+  const std::vector<std::vector<int32_t>> exclude = {{1, 2, 3, 4, 5}};
+  eval::TopKOptions opt;
+  opt.k = 4;
+  opt.num_items = 10;
+  opt.exclude = &exclude;
+  CheckFixedParity(model, {{1, 5}, {6, 10}}, opt);
+}
+
+TEST(ShardAdversarialTest, OneItemShards) {
+  // Every shard holds exactly one id — the merge IS the selection.
+  std::vector<float> row(11, 0.0f);
+  for (int32_t i = 1; i <= 10; ++i) {
+    row[static_cast<size_t>(i)] = static_cast<float>((i * 29) % 5);
+  }
+  FixedRanker model(10, row);
+  eval::TopKOptions opt;
+  opt.k = 6;
+  opt.num_items = 10;
+  CheckFixedParity(model, MakeItemShards(10, 10), opt);
+}
+
+TEST(ShardAdversarialTest, NaNScoresStayExactAcrossTheMerge) {
+  // NaN scores inside one shard: the NaN-safe total order keeps the merge
+  // exact (NaNs sink below every finite item in both paths).
+  std::vector<float> row(11, 0.0f);
+  for (int32_t i = 1; i <= 10; ++i) {
+    row[static_cast<size_t>(i)] = static_cast<float>(i % 4);
+  }
+  row[3] = row[8] = kNaN;
+  FixedRanker model(10, row);
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.num_items = 10;
+  CheckFixedParity(model, {{1, 4}, {5, 10}}, opt);
+}
+
+// ---- Serving wiring ---------------------------------------------------------
+
+ServeConfig ShardServeConfig() {
+  ServeConfig c;
+  c.k = 10;
+  c.max_len = 12;
+  c.max_batch = 4;
+  c.max_wait_us = 0;
+  c.num_workers = 1;
+  return c;
+}
+
+Result<Response> Serve(MicroBatcher& batcher, const std::vector<int32_t>& history,
+                       uint64_t session_id = 0) {
+  RecommendRequest req;
+  req.history = history;
+  req.session_id = session_id;
+  return batcher.Submit(std::move(req)).get();
+}
+
+TEST(ShardServingTest, MicroBatcherOverShardedRankerBitEqualsUnsharded) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec twin(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  twin.SetTraining(false);
+  ShardedRanker sharded(model, MakeItemShards(kItems, 4));
+  MicroBatcher plain(twin, kItems, ShardServeConfig());
+  MicroBatcher shard_batcher(sharded, kItems, ShardServeConfig());
+  for (int64_t u = 0; u < 6; ++u) {
+    const std::vector<int32_t> history = MakeHistory(5 + (u % 4), u);
+    const Result<Response> a = Serve(plain, history);
+    const Result<Response> b = Serve(shard_batcher, history);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_FALSE(b.value().degraded);
+    EXPECT_TRUE(ListsBitEqual(b.value().topk, a.value().topk)) << "user " << u;
+  }
+  plain.Stop();
+  shard_batcher.Stop();
+}
+
+TEST(ShardServingTest, SessionPathThroughShardedRankerBitEqualsUnsharded) {
+  models::SasRec model(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec twin(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model.SetTraining(false);
+  twin.SetTraining(false);
+  ShardedRanker sharded(model, MakeItemShards(kItems, 2));
+  SessionCache cache_a(64 << 20), cache_b(64 << 20);
+  ServeConfig config = ShardServeConfig();
+  config.max_batch = 1;
+  ServeConfig config_a = config, config_b = config;
+  config_a.session_cache = &cache_a;
+  config_b.session_cache = &cache_b;
+  MicroBatcher plain(twin, kItems, config_a);
+  MicroBatcher shard_batcher(sharded, kItems, config_b);
+  std::vector<int32_t> history = MakeHistory(6);
+  for (int step = 0; step < 3; ++step) {
+    const Result<Response> a = Serve(plain, history, /*session_id=*/42);
+    const Result<Response> b = Serve(shard_batcher, history, /*session_id=*/42);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().session_warm, b.value().session_warm);
+    EXPECT_TRUE(ListsBitEqual(b.value().topk, a.value().topk)) << "step " << step;
+    history.push_back(static_cast<int32_t>(step + 2));
+  }
+  EXPECT_TRUE(Serve(shard_batcher, history, 42).value().session_warm);
+  plain.Stop();
+  shard_batcher.Stop();
+}
+
+TEST(ShardServingTest, TypedInvalidArgumentSurfacesThroughTheBatcher) {
+  // A ShardedRanker given pre-set item-range options throws
+  // std::invalid_argument from the scoring path; the batcher must convert
+  // that into INVALID_ARGUMENT (not INTERNAL, not a degraded fallback).
+  class BadOptRanker : public eval::Ranker {
+   public:
+    std::string name() const override { return "BadOpt"; }
+    std::vector<float> ScoreAll(const data::Batch&) override {
+      throw std::invalid_argument("num_items must be >= 0");
+    }
+  };
+  BadOptRanker model;
+  MicroBatcher batcher(model, kItems, ShardServeConfig());
+  const Result<Response> r = Serve(batcher, MakeHistory(4));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  batcher.Stop();
+}
+
+TEST(ShardSwapTest, HotSwapFlipsAllShardsAtomicallyAndStaysExact) {
+  // Slot-level sharding: each SwappableRanker slot holds a ShardedRanker
+  // over its model, so the smoke score validates the sharded path and the
+  // flip covers every shard as one unit. After the swap the served lists
+  // must be bit-identical to the new weights scored unsharded.
+  const models::BackboneConfig backbone = TinyBackbone();
+  models::SasRec active(backbone, models::TrainConfig{}, Rng(3));
+  models::SasRec standby(backbone, models::TrainConfig{}, Rng(4));
+  models::SasRec rollout(backbone, models::TrainConfig{}, Rng(5));
+  models::SasRec reference(backbone, models::TrainConfig{}, Rng(5));
+  for (models::SasRec* m : {&active, &standby, &rollout, &reference}) {
+    m->SetTraining(false);
+  }
+  ShardedRanker sharded_active(active, MakeItemShards(kItems, 4));
+  ShardedRanker sharded_standby(standby, MakeItemShards(kItems, 4));
+  SwapConfig swap_config;
+  swap_config.k = 10;
+  swap_config.max_len = backbone.max_len;
+  SwappableRanker swapper(
+      SwappableRanker::Slot{&active, &sharded_active},
+      SwappableRanker::Slot{&standby, &sharded_standby}, kItems, swap_config);
+
+  const data::Batch batch = MakeBatch(4);
+  eval::TopKOptions opt;
+  opt.k = 10;
+  opt.exclude_seen = true;
+  opt.num_items = kItems;
+  // Pre-swap: the swap layer serves the sharded active slot exactly.
+  EXPECT_TRUE(ListsBitEqual(swapper.ScoreTopK(batch, opt)[0],
+                            active.ScoreTopK(batch, opt)[0]));
+
+  const Status s = swapper.SwapFromModule(rollout);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::vector<eval::TopKList> got = swapper.ScoreTopK(batch, opt);
+  const std::vector<eval::TopKList> want = reference.ScoreTopK(batch, opt);
+  for (size_t b = 0; b < want.size(); ++b) {
+    EXPECT_TRUE(ListsBitEqual(got[b], want[b])) << "row " << b;
+  }
+}
+
+TEST(ShardFleetTest, ScatterGatherOverShardOwnersIsExact) {
+  // Two shard groups, each owned by one replica holding HALF the catalogue;
+  // a third full-table model is the reference. The merged scatter-gather
+  // response must be bit-identical to the reference's fused top-k.
+  models::SasRec model_a(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_b(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec reference(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  for (models::SasRec* m : {&model_a, &model_b, &reference}) {
+    m->SetTraining(false);
+  }
+  const std::vector<ItemShard> shards = MakeItemShards(kItems, 2);
+  ShardedRanker owner_a(model_a, {shards[0]});
+  ShardedRanker owner_b(model_b, {shards[1]});
+  FleetConfig config;
+  config.replicas = 2;
+  config.serve = ShardServeConfig();
+  config.shard_owners = {{0}, {1}};
+  Router router({&owner_a, &owner_b}, kItems, config);
+
+  for (uint64_t user = 1; user <= 5; ++user) {
+    const std::vector<int32_t> history = MakeHistory(5 + (user % 3), user);
+    RecommendRequest req;
+    req.history = history;
+    const Result<Response> r = router.SubmitSharded(user, std::move(req)).get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.value().degraded);
+    // Reference: unsharded fused top-k over the same padded window.
+    const std::vector<std::vector<int32_t>> inputs = {history};
+    const data::Batch batch = data::MakeEvalBatch(inputs, {0}, 12);
+    eval::TopKOptions opt;
+    opt.k = config.serve.k;
+    opt.exclude_seen = config.serve.exclude_seen;
+    opt.num_items = kItems;
+    const eval::TopKList want = reference.ScoreTopK(batch, opt)[0];
+    EXPECT_TRUE(ListsBitEqual(r.value().topk, want)) << "user " << user;
+  }
+  router.Stop();
+}
+
+TEST(ShardFleetTest, GroupFailoverKeepsTheMergeExact) {
+  // Group 0 has two interchangeable owners; killing one must fail over
+  // inside the group and keep the merged result exact.
+  models::SasRec model_a(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_a2(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_b(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec reference(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  for (models::SasRec* m : {&model_a, &model_a2, &model_b, &reference}) {
+    m->SetTraining(false);
+  }
+  const std::vector<ItemShard> shards = MakeItemShards(kItems, 2);
+  ShardedRanker owner_a(model_a, {shards[0]});
+  ShardedRanker owner_a2(model_a2, {shards[0]});
+  ShardedRanker owner_b(model_b, {shards[1]});
+  FleetConfig config;
+  config.replicas = 3;
+  config.serve = ShardServeConfig();
+  config.shard_owners = {{0, 1}, {2}};
+  Router router({&owner_a, &owner_a2, &owner_b}, kItems, config);
+  router.KillReplica(0);
+
+  const std::vector<int32_t> history = MakeHistory(6);
+  RecommendRequest req;
+  req.history = history;
+  const Result<Response> r = router.SubmitSharded(7, std::move(req)).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().degraded);
+  const std::vector<std::vector<int32_t>> inputs = {history};
+  const data::Batch batch = data::MakeEvalBatch(inputs, {0}, 12);
+  eval::TopKOptions opt;
+  opt.k = config.serve.k;
+  opt.exclude_seen = config.serve.exclude_seen;
+  opt.num_items = kItems;
+  EXPECT_TRUE(ListsBitEqual(r.value().topk,
+                            reference.ScoreTopK(batch, opt)[0]));
+  router.Stop();
+}
+
+TEST(ShardFleetTest, LostGroupFallsBackFleetWideNeverMergesPartials) {
+  // Killing the SOLE owner of a group makes an exact merge impossible: the
+  // router must serve the fleet-level popularity fallback (degraded), never
+  // a merge of surviving partials or a half-table answer.
+  models::SasRec model_a(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_b(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model_a.SetTraining(false);
+  model_b.SetTraining(false);
+  const std::vector<ItemShard> shards = MakeItemShards(kItems, 2);
+  ShardedRanker owner_a(model_a, {shards[0]});
+  ShardedRanker owner_b(model_b, {shards[1]});
+
+  const std::vector<std::vector<int32_t>> train = {{1, 2, 3}, {2, 3, 4}};
+  const FallbackRanker fallback = FallbackRanker::FromSequences(train, kItems);
+  FleetConfig config;
+  config.replicas = 2;
+  config.serve = ShardServeConfig();
+  config.shard_owners = {{0}, {1}};
+  config.fallback = &fallback;
+  Router router({&owner_a, &owner_b}, kItems, config);
+  router.KillReplica(1);
+
+  RecommendRequest req;
+  req.history = MakeHistory(5);
+  const Result<Response> r = router.SubmitSharded(3, std::move(req)).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);
+
+  // Without a fleet fallback the request fails UNAVAILABLE instead.
+  FleetConfig bare = config;
+  bare.fallback = nullptr;
+  models::SasRec model_c(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  models::SasRec model_d(TinyBackbone(), models::TrainConfig{}, Rng(3));
+  model_c.SetTraining(false);
+  model_d.SetTraining(false);
+  ShardedRanker owner_c(model_c, {shards[0]});
+  ShardedRanker owner_d(model_d, {shards[1]});
+  Router bare_router({&owner_c, &owner_d}, kItems, bare);
+  bare_router.KillReplica(0);
+  RecommendRequest req2;
+  req2.history = MakeHistory(5);
+  const Result<Response> r2 = bare_router.SubmitSharded(3, std::move(req2)).get();
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), Status::Code::kUnavailable);
+  router.Stop();
+  bare_router.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msgcl

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Shard-parity drill for intra-model sharded scoring (DESIGN.md §14).
+#
+# Drives `msgcl serve-bench --shard_parity` — which bit-compares the sharded
+# score→top-k merge against unsharded fused scoring over real histories —
+# for SASRec and Meta-SGCL under both kernel dispatches (MSGCL_SIMD=scalar
+# and avx2; on hardware without AVX2 the avx2 request clamps to scalar, so
+# the run stays meaningful rather than being skipped). Any bitwise mismatch
+# fails the drill.
+#
+# Usage: tools/check_shard_parity.sh [msgcl_bin|build_dir] [shards]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/tools/msgcl}"
+if [[ -d "$BIN" ]]; then BIN="$BIN/tools/msgcl"; fi
+SHARDS="${2:-4}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "== building msgcl_cli"
+  cmake --build "$(dirname "$(dirname "$BIN")")" --target msgcl_cli -j "$(nproc)" >/dev/null
+fi
+
+for model in SASRec Meta-SGCL; do
+  for isa in scalar avx2; do
+    echo "== shard parity: model=$model S=$SHARDS MSGCL_SIMD=$isa"
+    MSGCL_SIMD="$isa" "$BIN" serve-bench --preset=tiny --model="$model" \
+      --max_len=12 --dim=16 --shards="$SHARDS" --shard_parity --k=10
+  done
+done
+
+echo "PASS: sharded scoring is bit-identical to unsharded for both models and both dispatches"

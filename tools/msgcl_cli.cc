@@ -51,6 +51,16 @@
 //                                tools/check_chaos_drill.sh / check_swap_drill.sh)
 // --replicas and --swaps are separate drills and cannot be combined.
 //
+// Intra-model sharded scoring (DESIGN.md §14; serve-bench only):
+//   --shards=S             wrap every served model in a ShardedRanker over S
+//                          contiguous id-range shards; composes with
+//                          --replicas, --swaps and session mode (the merged
+//                          lists stay bit-identical to unsharded scoring)
+//   --shard_parity         check sharded-vs-unsharded bit parity over real
+//                          histories and exit 0/1 instead of running a storm
+//                          (tools/check_shard_parity.sh drives this under
+//                          MSGCL_SIMD=scalar and avx2)
+//
 // Returning-user sessions (DESIGN.md §12; serve-bench only):
 //   --repeat_user_frac=F         fraction of requests that revisit a live
 //                                session (0 = off); enables the per-session
@@ -116,6 +126,7 @@
 #include "obs/obs.h"
 #include "parallel/parallel.h"
 #include "serve/serve.h"
+#include "tensor/kernels.h"
 
 namespace {
 
@@ -529,6 +540,62 @@ int CmdServeBench(const Args& args) {
   }
   models::Recommender* model = models[0].get();
 
+  // Intra-model sharded scoring (DESIGN.md §14): --shards=S wraps every
+  // served model in a ShardedRanker over S contiguous id ranges, composing
+  // with --replicas / --swaps / session mode. The wrappers live here so
+  // they outlive every batcher/router below.
+  const int shards = static_cast<int>(args.GetI("shards", 1));
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  std::vector<std::unique_ptr<serve::ShardedRanker>> sharded_wrappers;
+  auto MaybeShard = [&](eval::Ranker* r) -> eval::Ranker* {
+    if (shards <= 1) return r;
+    sharded_wrappers.push_back(std::make_unique<serve::ShardedRanker>(
+        *r, serve::MakeItemShards(ds.num_items, shards)));
+    return sharded_wrappers.back().get();
+  };
+
+  // --shard_parity: bit-compare the sharded merge against unsharded fused
+  // scoring over real histories and exit 0/1 — the drill entry point
+  // (tools/check_shard_parity.sh) runs this under MSGCL_SIMD=scalar/avx2.
+  if (args.GetI("shard_parity", 0) != 0) {
+    const int s = std::max(shards, 2);
+    eval::Ranker& ref = *models[0];
+    serve::ShardedRanker sharded(ref, serve::MakeItemShards(ds.num_items, s));
+    eval::TopKOptions opt;
+    opt.k = args.GetI("k", 10);
+    opt.exclude_seen = true;
+    opt.num_items = ds.num_items;
+    const int64_t max_len = args.GetI("max_len", 16);
+    int64_t rows = 0;
+    for (size_t u = 0; u < ds.train_seqs.size() && rows < 64; ++u) {
+      if (ds.train_seqs[u].empty()) continue;
+      const std::vector<std::vector<int32_t>> inputs = {ds.train_seqs[u]};
+      const data::Batch batch = data::MakeEvalBatch(inputs, {0}, max_len);
+      const eval::TopKList want = ref.ScoreTopK(batch, opt)[0];
+      const eval::TopKList got = sharded.ScoreTopK(batch, opt)[0];
+      bool equal = want.size() == got.size();
+      for (size_t i = 0; equal && i < want.size(); ++i) {
+        equal = want[i].item == got[i].item &&
+                std::memcmp(&want[i].score, &got[i].score, sizeof(float)) == 0;
+      }
+      if (!equal) {
+        std::fprintf(stderr,
+                     "shard parity FAILED: model=%s user=%zu S=%d isa=%s\n",
+                     model->name().c_str(), u, s,
+                     simd::IsaName(simd::ActiveIsa()));
+        return 1;
+      }
+      ++rows;
+    }
+    std::printf("shard parity OK: model=%s S=%d rows=%lld isa=%s\n",
+                model->name().c_str(), s, static_cast<long long>(rows),
+                simd::IsaName(simd::ActiveIsa()));
+    return 0;
+  }
+
   serve::ServeConfig config;
   config.k = args.GetI("k", 10);
   config.max_len = args.GetI("max_len", 16);
@@ -613,7 +680,7 @@ int CmdServeBench(const Args& args) {
     if (!no_fallback) fleet.fallback = &fallback;
     std::vector<eval::Ranker*> rankers;
     rankers.reserve(models.size());
-    for (auto& m : models) rankers.push_back(m.get());
+    for (auto& m : models) rankers.push_back(MaybeShard(m.get()));
     serve::Router router(std::move(rankers), ds.num_items, fleet);
 
     const int victim = static_cast<int>(args.GetI("kill_replica", 0));
@@ -684,9 +751,13 @@ int CmdServeBench(const Args& args) {
       return 2;
     }
 
+    // Slot-level sharding: each slot serves through its own ShardedRanker,
+    // so the swap validates and flips all shards as one unit.
     serve::SwappableRanker swapper(
-        serve::SwappableRanker::Slot{AsModule(models[0].get()), models[0].get()},
-        serve::SwappableRanker::Slot{AsModule(models[1].get()), models[1].get()},
+        serve::SwappableRanker::Slot{AsModule(models[0].get()),
+                                     MaybeShard(models[0].get())},
+        serve::SwappableRanker::Slot{AsModule(models[1].get()),
+                                     MaybeShard(models[1].get())},
         ds.num_items, swap_config);
     serve::MicroBatcher batcher(swapper, ds.num_items, config);
     const int64_t interval_us = args.GetI("swap_interval_us", 20000);
@@ -719,7 +790,7 @@ int CmdServeBench(const Args& args) {
     session_config.max_batch = 1;
     session_config.max_wait_us = 0;
     session_config.session_cache = &cache;
-    serve::MicroBatcher batcher(*model, ds.num_items, session_config);
+    serve::MicroBatcher batcher(*MaybeShard(model), ds.num_items, session_config);
     serve::SessionLoadConfig scfg;
     scfg.base = load;
     scfg.repeat_frac = repeat_user_frac;
@@ -755,7 +826,7 @@ int CmdServeBench(const Args& args) {
                 static_cast<long long>(session->cache.entries),
                 static_cast<long long>(session->cache.bytes));
   } else {
-    serve::MicroBatcher batcher(*model, ds.num_items, config);
+    serve::MicroBatcher batcher(*MaybeShard(model), ds.num_items, config);
     report = serve::RunLoad(batcher, ds.train_seqs, load);
     std::printf("breaker state at end of storm: %s\n",
                 serve::BreakerStateName(batcher.breaker().state()));

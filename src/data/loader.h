@@ -107,7 +107,18 @@ inline Result<std::vector<RawEvent>> ParseCsvEvents(std::istream& in,
                                opt.timestamp_col}) + 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line_no == 1 && opt.has_header) continue;
+    // CRLF dumps: getline splits on '\n', leaving the '\r' glued to the last
+    // field (making "1396" parse as "1396\r" — malformed). Strip it here so
+    // Windows-exported CSVs parse identically to LF ones.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_no == 1) {
+      // Spreadsheet exports often prepend a UTF-8 BOM; it would otherwise be
+      // glued onto the first field (or the header name being skipped).
+      if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' && line[2] == '\xBF') {
+        line.erase(0, 3);
+      }
+      if (opt.has_header) continue;
+    }
     if (line.empty()) continue;
     auto fields = SplitCsvLine(line, opt.delimiter);
     if (static_cast<int>(fields.size()) < needed) {

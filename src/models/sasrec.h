@@ -24,13 +24,18 @@ class SasRec : public Recommender, public nn::Module, public eval::SessionScorer
 
   std::string name() const override { return "SASRec"; }
 
-  Status Fit(const data::SequenceDataset& ds) override {
-    nn::Adam opt(Parameters(), train_.lr);
-    auto step = StandardStep(*this, opt, train_,
+  Status Fit(const data::SequenceDataset& ds) override { return FitWith(ds, train_); }
+
+  /// Fit with a caller-supplied config instead of the constructor's — the
+  /// online trainer builds a per-session config (resume_from the serving
+  /// checkpoint, a few extra epochs, eval disabled) around the same loop.
+  Status FitWith(const data::SequenceDataset& ds, const TrainConfig& config) {
+    nn::Adam opt(Parameters(), config.lr);
+    auto step = StandardStep(*this, opt, config,
                              [this](const data::Batch& batch, Rng& rng) {
                                return Loss(batch, rng);
                              });
-    return FitLoop(*this, *this, ds, train_, step, {&opt});
+    return FitLoop(*this, *this, ds, config, step, {&opt});
   }
 
   /// Next-item cross-entropy over all non-padded positions.

@@ -117,6 +117,11 @@ class ByteReader {
     pos_ += size;
     return true;
   }
+  bool Skip(size_t size) {
+    if (!Ensure(size)) return false;
+    pos_ += size;
+    return true;
+  }
   bool Floats(std::vector<float>* out, uint64_t count) {
     if (count > static_cast<uint64_t>(kMaxElements) || !Ensure(count * sizeof(float))) {
       return false;
@@ -475,6 +480,93 @@ inline Status LoadTrainState(Module& module, const std::vector<Optimizer*>& opti
   }
   if (progress != nullptr) *progress = std::move(loaded);
   return Status::Ok();
+}
+
+/// Reads only the `epoch` field out of a v2 checkpoint without needing the
+/// module it belongs to: verifies the CRC footer, then walks (and
+/// bounds-checks) the model and optimizer sections structurally. The online
+/// trainer uses this to extend a warm-start run — FitLoop counts absolute
+/// epochs, so "train k more epochs" needs the checkpoint's own epoch first.
+inline Result<int64_t> PeekTrainStateEpoch(const std::string& path) {
+  std::string image;
+  if (Status s = internal::ReadFileImage(path, &image); !s.ok()) return s;
+  if (image.size() < sizeof(internal::kCkptMagic) + 2 * sizeof(uint32_t)) {
+    return Status::InvalidArgument(path + " is too short to be a v2 checkpoint");
+  }
+  const size_t body_size = image.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + body_size, sizeof(stored_crc));
+  if (stored_crc != internal::Crc32(image.data(), body_size)) {
+    return Status::InvalidArgument(path + " failed CRC32 integrity check (corrupt or truncated)");
+  }
+
+  internal::ByteReader r(image.data(), body_size);
+  char magic[sizeof(internal::kCkptMagic)];
+  if (!r.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, internal::kCkptMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + " is not a Meta-SGCL checkpoint");
+  }
+  uint32_t version = 0;
+  if (!r.Pod(&version)) return Status::InvalidArgument("truncated checkpoint header");
+  if (version != internal::kCkptVersionV2) {
+    return Status::InvalidArgument("expected v2 train state, found version " +
+                                   std::to_string(version));
+  }
+
+  // Model section, structurally (no module to match against).
+  uint64_t num_entries = 0;
+  if (!r.Pod(&num_entries) || num_entries > internal::kMaxEntries) {
+    return Status::InvalidArgument("corrupt entry count");
+  }
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint32_t name_len = 0;
+    if (!r.Pod(&name_len) || name_len > internal::kMaxNameLen || !r.Skip(name_len)) {
+      return Status::InvalidArgument("corrupt entry name");
+    }
+    uint32_t ndim = 0;
+    if (!r.Pod(&ndim) || ndim > internal::kMaxRank) {
+      return Status::InvalidArgument("corrupt entry rank");
+    }
+    int64_t elems = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      int64_t dim = 0;
+      if (!r.Pod(&dim)) return Status::InvalidArgument("truncated entry shape");
+      if (dim < 0 || (dim > 0 && elems > internal::kMaxElements / dim)) {
+        return Status::InvalidArgument("hostile dimension in checkpoint entry");
+      }
+      elems *= dim;
+    }
+    if (!r.Skip(static_cast<size_t>(elems) * sizeof(float))) {
+      return Status::InvalidArgument("truncated checkpoint entry");
+    }
+  }
+
+  uint32_t num_opts = 0;
+  if (!r.Pod(&num_opts) || num_opts > internal::kMaxEntries) {
+    return Status::InvalidArgument("corrupt optimizer count");
+  }
+  for (uint32_t o = 0; o < num_opts; ++o) {
+    uint32_t num_slots = 0;
+    if (!r.Pod(&num_slots) || num_slots > internal::kMaxEntries) {
+      return Status::InvalidArgument("corrupt optimizer slot count");
+    }
+    for (uint32_t s = 0; s < num_slots; ++s) {
+      uint64_t size = 0;
+      if (!r.Pod(&size) || size > static_cast<uint64_t>(internal::kMaxElements) ||
+          !r.Skip(static_cast<size_t>(size) * sizeof(float))) {
+        return Status::InvalidArgument("truncated optimizer slot");
+      }
+    }
+    int64_t step_count = 0;
+    float lr = 0.0f;
+    if (!r.Pod(&step_count) || !r.Pod(&lr)) {
+      return Status::InvalidArgument("truncated optimizer state");
+    }
+  }
+
+  int64_t epoch = 0;
+  if (!r.Pod(&epoch)) return Status::InvalidArgument("truncated progress section");
+  return epoch;
 }
 
 }  // namespace nn

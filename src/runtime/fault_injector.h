@@ -6,8 +6,11 @@
 // and emit malformed CSV rows (driving the loader's strict parsing). The
 // serve-side injector (ServeFaultInjector) stalls, throws from, or
 // NaN-poisons individual scoring batches, driving the MicroBatcher's circuit
-// breaker and degraded-mode fallback (DESIGN.md §10). Everything is seeded,
-// so failures reproduce bit-exactly.
+// breaker and degraded-mode fallback (DESIGN.md §10). The online-loop
+// injector (OnlineFaultInjector) tears or corrupts WAL appends, crashes the
+// driver between train and publish, and poisons trained updates, driving the
+// event-log recovery and drift-gate paths (DESIGN.md §15). Everything is
+// seeded, so failures reproduce bit-exactly.
 #ifndef MSGCL_RUNTIME_FAULT_INJECTOR_H_
 #define MSGCL_RUNTIME_FAULT_INJECTOR_H_
 
@@ -340,6 +343,142 @@ class ServeFaultInjector {
   int64_t swap_index_ = 0;
   int64_t injected_faults_ = 0;
   std::function<void()> slow_fn_;
+};
+
+// ---- Online-loop fault injection (DESIGN.md §15) ---------------------------
+
+/// What an injected online-loop fault does. Append faults are keyed by append
+/// index (0-based, counted across the writer's lifetime); session faults by
+/// session index (0-based, counted across the online trainer's lifetime).
+enum class OnlineAppendFault {
+  kNone,     // the append commits normally
+  kTorn,     // the writer "crashes" mid-frame: a partial frame hits the disk
+             // and the writer goes dead (the append is NOT committed)
+  kCorrupt,  // the full frame is written with a poisoned payload byte, so its
+             // CRC can never match (in-flight bit rot; NOT committed)
+};
+
+/// Plan for online-loop faults. Pinned index sets take precedence; when a set
+/// is empty the corresponding fault fires independently per index with its
+/// rate. Torn wins over corrupt when both fire on the same append.
+struct OnlineFaultPlan {
+  std::set<int64_t> torn_appends;
+  std::set<int64_t> corrupt_appends;
+  double torn_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Sessions where the driver "crashes" after training (and writing the
+  /// candidate checkpoint) but before publish — serving must stay untouched.
+  std::set<int64_t> crash_before_publish_sessions;
+  /// Sessions whose trained update is poisoned before the drift gate sees
+  /// it. The poison is FINITE garbage (huge uniform noise), so it sails past
+  /// any is-finite scan and must be caught by the quality gate itself.
+  std::set<int64_t> poison_update_sessions;
+  double poison_scale = 1e8;  // amplitude of the poisoned weights
+  uint64_t seed = 0x0A11E;
+};
+
+/// Deterministic, seeded fault source for the online train->serve loop.
+/// Thread-safe for symmetry with ServeFaultInjector (the loop itself is
+/// single-threaded, but drills share injectors freely). Reset() rewinds for
+/// an identical replay.
+class OnlineFaultInjector {
+ public:
+  explicit OnlineFaultInjector(OnlineFaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  const OnlineFaultPlan& plan() const { return plan_; }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_ = Rng(plan_.seed);
+    append_index_ = 0;
+    injected_faults_ = 0;
+  }
+
+  /// Draws the fault (if any) for the next WAL append. Call exactly once per
+  /// Append; deterministic per append index. Torn takes precedence.
+  OnlineAppendFault NextAppendFault() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t n = append_index_++;
+    // Always consume both draws so the fault sequence is a pure function of
+    // the append index, independent of either rate.
+    const bool torn = plan_.torn_appends.empty() ? rng_.Uniform() < plan_.torn_rate
+                                                 : plan_.torn_appends.count(n) > 0;
+    const bool corrupt = plan_.corrupt_appends.empty()
+                             ? rng_.Uniform() < plan_.corrupt_rate
+                             : plan_.corrupt_appends.count(n) > 0;
+    if (torn) {
+      CountFault();
+      return OnlineAppendFault::kTorn;
+    }
+    if (corrupt) {
+      CountFault();
+      return OnlineAppendFault::kCorrupt;
+    }
+    return OnlineAppendFault::kNone;
+  }
+
+  /// How many bytes of a `frame_bytes`-long frame a torn append leaves on
+  /// disk: seeded uniform in [1, frame_bytes - 1].
+  int64_t TornPrefixBytes(int64_t frame_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (frame_bytes <= 1) return 0;
+    return 1 + static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(frame_bytes - 1)));
+  }
+
+  /// Which payload byte a corrupt append poisons (XOR 0xFF).
+  int64_t CorruptByteOffset(int64_t payload_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (payload_bytes <= 0) return 0;
+    return static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(payload_bytes)));
+  }
+
+  /// True when the driver should die between training and publish.
+  bool ShouldCrashBeforePublish(int64_t session) {
+    if (plan_.crash_before_publish_sessions.count(session) == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    CountFault();
+    return true;
+  }
+
+  bool ShouldPoisonUpdate(int64_t session) const {
+    return plan_.poison_update_sessions.count(session) > 0;
+  }
+
+  /// Overwrites every parameter with seeded uniform noise in
+  /// [-poison_scale, poison_scale]: finite, so the publish path's is-finite
+  /// scan passes and only the drift gate can stop it. (At the default scale
+  /// the downstream dot products overflow float32, so the candidate's
+  /// rankings are garbage — exactly the failure a quality gate must catch.)
+  void PoisonParameters(const std::vector<Tensor>& params) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const float s = static_cast<float>(plan_.poison_scale);
+    for (const auto& p : params) {
+      Tensor t = p;  // shared handle
+      for (float& v : t.data()) {
+        v = (2.0f * static_cast<float>(rng_.Uniform()) - 1.0f) * s;
+      }
+    }
+    CountFault();
+  }
+
+  /// Number of faults injected so far (for test assertions).
+  int64_t injected_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_faults_;
+  }
+
+ private:
+  void CountFault() {
+    ++injected_faults_;
+    obs::Registry::Global().GetCounter("runtime.faults.injected").Add(1);
+  }
+
+  OnlineFaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  int64_t append_index_ = 0;
+  int64_t injected_faults_ = 0;
 };
 
 }  // namespace runtime

@@ -1,0 +1,421 @@
+// Crash-safe online training loop (DESIGN.md §15): WAL ingestion →
+// incremental warm-start training → drift gate → probation publish.
+//
+// OnlineTrainer closes the train→serve loop as a sequence of bounded
+// *sessions*. Each session:
+//
+//   1. replays the interaction WAL (data/event_log.h) and builds a trailing
+//      sliding-window SequenceDataset — torn tails and corrupt frames are
+//      recovered around, never fatal;
+//   2. warm-starts FitLoop from the serving checkpoint (v2 resumable state:
+//      weights + optimizer moments + RNG) and trains a few more epochs,
+//      retrying with backoff on failure instead of dying;
+//   3. evaluates the candidate on the trailing holdout (the dataset's
+//      leave-one-out validation split) and runs the drift gate: HR/NDCG
+//      must not fall below a fraction of the last published baseline.
+//      Regressing candidates are quarantined — moved aside on disk, never
+//      swapped, serving untouched;
+//   4. publishes survivors through serve::PublishController (golden-batch
+//      swap gate + probation auto-rollback), and only after probation
+//      passes commits the candidate checkpoint over the serving checkpoint
+//      (atomic rename), so a crash anywhere in the session leaves the
+//      previous serving state fully intact.
+//
+// Crash discipline: the serving checkpoint is the loop's sole durable
+// truth. The candidate checkpoint is scratch until step 4's commit; an
+// injected (or real) crash between train and publish orphans the candidate
+// and nothing else. Restarting the loop re-reads the WAL and resumes from
+// the serving checkpoint — no session state needs recovery.
+//
+// This header sits above data/, models/, and serve/ by design (it is the
+// driver that ties the layers together) and is deliberately NOT part of the
+// runtime.h umbrella: include it directly.
+#ifndef MSGCL_RUNTIME_ONLINE_H_
+#define MSGCL_RUNTIME_ONLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "data/event_log.h"
+#include "eval/evaluator.h"
+#include "models/model.h"
+#include "nn/serialize.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "runtime/fault_injector.h"
+#include "serve/publish.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace runtime {
+
+/// Drift-gate floors, relative to the last published baseline.
+struct DriftConfig {
+  /// Candidate HR@10 must be >= min_hr_frac * baseline HR@10 (and likewise
+  /// NDCG@10). A fraction of 0 disables that relative bound.
+  double min_hr_frac = 0.5;
+  double min_ndcg_frac = 0.5;
+  /// Absolute HR@10 floor applied even before a baseline exists (negative
+  /// disables). This is what stops a poisoned model in the bootstrap
+  /// session, when there is no baseline to regress from yet.
+  double min_hr = -1.0;
+
+  Status Validate() const {
+    if (min_hr_frac < 0.0 || min_hr_frac > 1.0 || min_ndcg_frac < 0.0 ||
+        min_ndcg_frac > 1.0) {
+      return Status::InvalidArgument("drift fractions must be in [0, 1]");
+    }
+    if (min_hr > 1.0) return Status::InvalidArgument("min_hr must be <= 1");
+    return Status::Ok();
+  }
+};
+
+/// Tracks the last published model's holdout metrics and decides whether a
+/// candidate has drifted below the floors. Every check exports
+/// `online.drift.*` gauges so regressions are observable on dashboards even
+/// when the gate passes.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftConfig config = {}) : config_(std::move(config)) {}
+
+  const DriftConfig& config() const { return config_; }
+  bool has_baseline() const { return has_baseline_; }
+  const eval::Metrics& baseline() const { return baseline_; }
+
+  /// Pins the metrics the next candidates are compared against. Called after
+  /// every successful publish, so the floor tracks the serving model.
+  void SetBaseline(const eval::Metrics& m) {
+    baseline_ = m;
+    has_baseline_ = true;
+    Gauge("online.drift.baseline_hr10").Set(m.hr10);
+    Gauge("online.drift.baseline_ndcg10").Set(m.ndcg10);
+  }
+
+  /// OK when the candidate clears every configured floor; InvalidArgument
+  /// (with the failing bound in the message) when it regressed.
+  Status Check(const eval::Metrics& candidate) {
+    Gauge("online.drift.hr10").Set(candidate.hr10);
+    Gauge("online.drift.ndcg10").Set(candidate.ndcg10);
+    if (has_baseline_) {
+      Gauge("online.drift.delta_hr10").Set(candidate.hr10 - baseline_.hr10);
+      Gauge("online.drift.delta_ndcg10").Set(candidate.ndcg10 - baseline_.ndcg10);
+    }
+    if (config_.min_hr >= 0.0 && candidate.hr10 < config_.min_hr) {
+      return Status::InvalidArgument(
+          "drift gate: HR@10 " + std::to_string(candidate.hr10) +
+          " below absolute floor " + std::to_string(config_.min_hr));
+    }
+    if (!has_baseline_) return Status::Ok();
+    const double hr_floor = config_.min_hr_frac * baseline_.hr10;
+    if (config_.min_hr_frac > 0.0 && candidate.hr10 < hr_floor) {
+      return Status::InvalidArgument(
+          "drift gate: HR@10 " + std::to_string(candidate.hr10) + " below " +
+          std::to_string(hr_floor) + " (" + std::to_string(config_.min_hr_frac) +
+          " x baseline " + std::to_string(baseline_.hr10) + ")");
+    }
+    const double ndcg_floor = config_.min_ndcg_frac * baseline_.ndcg10;
+    if (config_.min_ndcg_frac > 0.0 && candidate.ndcg10 < ndcg_floor) {
+      return Status::InvalidArgument(
+          "drift gate: NDCG@10 " + std::to_string(candidate.ndcg10) + " below " +
+          std::to_string(ndcg_floor) + " (" + std::to_string(config_.min_ndcg_frac) +
+          " x baseline " + std::to_string(baseline_.ndcg10) + ")");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static obs::Gauge& Gauge(const std::string& name) {
+    return obs::Registry::Global().GetGauge(name);
+  }
+
+  DriftConfig config_;
+  eval::Metrics baseline_;
+  bool has_baseline_ = false;
+};
+
+/// Online-loop configuration.
+struct OnlineTrainerConfig {
+  std::string wal_dir;                 // interaction WAL directory
+  std::string serving_checkpoint;      // durable truth; warm-start source
+  std::string candidate_checkpoint;    // scratch until the post-probation commit
+  std::string quarantine_dir;          // where gated-out candidates are moved
+  int64_t epochs_per_session = 1;      // incremental epochs per session
+  int64_t window = 0;                  // trailing events per user (0 = all)
+  int32_t num_items = 0;               // serving catalogue size (> 0)
+  int64_t min_events = 1;              // skip the session below this many WAL records
+  int64_t max_session_retries = 2;     // training retries before giving up the session
+  int64_t retry_backoff_us = 0;        // sleep between retries
+  DriftConfig drift;
+  std::string telemetry_path;          // per-session CSV rows (empty = off)
+  OnlineFaultInjector* fault_injector = nullptr;  // non-owning
+
+  Status Validate() const {
+    if (wal_dir.empty()) return Status::InvalidArgument("wal_dir must be set");
+    if (serving_checkpoint.empty() || candidate_checkpoint.empty()) {
+      return Status::InvalidArgument("serving and candidate checkpoint paths must be set");
+    }
+    if (serving_checkpoint == candidate_checkpoint) {
+      return Status::InvalidArgument(
+          "serving and candidate checkpoints must be distinct paths");
+    }
+    if (num_items <= 0) return Status::InvalidArgument("num_items must be positive");
+    if (epochs_per_session < 1) {
+      return Status::InvalidArgument("epochs_per_session must be >= 1");
+    }
+    if (min_events < 1) return Status::InvalidArgument("min_events must be >= 1");
+    if (max_session_retries < 0 || retry_backoff_us < 0 || window < 0) {
+      return Status::InvalidArgument(
+          "max_session_retries, retry_backoff_us, and window must be >= 0");
+    }
+    return drift.Validate();
+  }
+};
+
+/// Counters for test assertions and the CLI report. The loop also exports
+/// matching `online.*` registry counters.
+struct OnlineLoopStats {
+  int64_t sessions = 0;          // RunSession calls
+  int64_t skipped = 0;           // sessions ended early (not enough events)
+  int64_t trained = 0;           // sessions whose training converged
+  int64_t train_failures = 0;    // individual failed training attempts
+  int64_t retries = 0;           // retry attempts after a failure
+  int64_t published = 0;         // candidates that survived probation
+  int64_t quarantined = 0;       // candidates blocked by the drift gate
+  int64_t publish_rejected = 0;  // candidates rejected by the swap gate
+  int64_t rollbacks = 0;         // probation trips rolled back
+  int64_t crashes = 0;           // injected crash-between-train-and-publish
+  int64_t poisoned = 0;          // sessions whose update was poisoned
+  int64_t poisoned_blocked = 0;  // poisoned candidates stopped before serving
+  int64_t events_consumed = 0;   // WAL records fed into training (cumulative)
+};
+
+/// Drives the session loop. The model/ranker pair is the training replica
+/// (NOT a serving slot — published weights are copied into the fleet through
+/// the PublishController's staged swap).
+class OnlineTrainer {
+ public:
+  /// Trains `model` on `ds` under `config` — e.g. SasRec::FitWith. Injected
+  /// as a function so the driver works for any Recommender with a
+  /// per-session-config entry point.
+  using TrainFn =
+      std::function<Status(const data::SequenceDataset& ds, const models::TrainConfig&)>;
+
+  /// `model` and `ranker` are the same object seen through two interfaces
+  /// (non-owning; must outlive the trainer). `base` supplies the static
+  /// training knobs (lr, batch size, max_len, seed); the per-session epochs,
+  /// resume, and checkpoint fields are overridden each session. `publisher`
+  /// is optional: without one the loop commits gated candidates directly
+  /// (ingest-and-train mode, used by the WAL drill).
+  OnlineTrainer(nn::Module& model, eval::Ranker& ranker, TrainFn train,
+                models::TrainConfig base, OnlineTrainerConfig config,
+                serve::PublishController* publisher = nullptr)
+      : model_(model),
+        ranker_(ranker),
+        train_(std::move(train)),
+        base_(std::move(base)),
+        config_(std::move(config)),
+        drift_(config_.drift),
+        publisher_(publisher) {
+    const Status s = config_.Validate();
+    if (!s.ok()) throw std::invalid_argument(s.ToString());
+  }
+
+  const OnlineLoopStats& stats() const { return stats_; }
+  DriftMonitor& drift() { return drift_; }
+
+  /// Runs one ingest → train → gate → publish session. Returns OK both for
+  /// a published candidate and for a benign skip (not enough data, candidate
+  /// quarantined/rolled back — the loop is healthy, the candidate was not);
+  /// non-OK only when the session itself failed (training exhausted its
+  /// retries, WAL unreadable, injected crash).
+  Status RunSession() {
+    const int64_t session = stats_.sessions++;
+    Counter("online.sessions").Add(1);
+
+    // 1. Ingest: replay the WAL, recovering around damage.
+    auto recovered = data::ReadEventLog(config_.wal_dir);
+    if (!recovered.ok()) return recovered.status();
+    const data::EventLogRecovery& rec = recovered.value();
+    if (static_cast<int64_t>(rec.events.size()) < config_.min_events) {
+      ++stats_.skipped;
+      return Status::Ok();
+    }
+    data::SlidingWindowOptions wopt;
+    wopt.window = config_.window;
+    wopt.num_items = config_.num_items;
+    const data::SequenceDataset ds = data::BuildSlidingWindowDataset(rec.events, wopt);
+    if (ds.num_users() == 0) {
+      ++stats_.skipped;
+      return Status::Ok();
+    }
+    stats_.events_consumed += static_cast<int64_t>(rec.events.size());
+
+    // 2. Train: warm-start from the serving checkpoint, bounded epochs,
+    // retry with backoff instead of dying.
+    models::TrainConfig cfg = base_;
+    cfg.eval_every = 0;  // sessions are too short for early stopping
+    cfg.history = nullptr;
+    cfg.checkpoint_path = config_.candidate_checkpoint;
+    cfg.checkpoint_every = 0;  // only the end-of-session state matters
+    cfg.resume_from.clear();
+    cfg.epochs = config_.epochs_per_session;
+    if (std::filesystem::exists(config_.serving_checkpoint)) {
+      auto epoch = nn::PeekTrainStateEpoch(config_.serving_checkpoint);
+      if (!epoch.ok()) {
+        // A serving checkpoint that does not parse is an operator problem,
+        // not something to silently train over from scratch.
+        return epoch.status();
+      }
+      cfg.resume_from = config_.serving_checkpoint;
+      // FitLoop counts absolute epochs: resume starts at epoch+1 and runs
+      // while < cfg.epochs, so "k more" means last epoch + 1 + k.
+      cfg.epochs = epoch.value() + 1 + config_.epochs_per_session;
+    }
+    Status train_status = Status::Ok();
+    for (int64_t attempt = 0; attempt <= config_.max_session_retries; ++attempt) {
+      if (attempt > 0) {
+        ++stats_.retries;
+        Counter("online.train.retries").Add(1);
+        if (config_.retry_backoff_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(config_.retry_backoff_us));
+        }
+      }
+      train_status = train_(ds, cfg);
+      if (train_status.ok()) break;
+      ++stats_.train_failures;
+      Counter("online.train.failures").Add(1);
+    }
+    if (!train_status.ok()) return train_status;
+    ++stats_.trained;
+
+    // Injected poisoned update: the trained weights are overwritten with
+    // finite garbage after training but before the gate — the gate must
+    // catch what the is-finite scan cannot.
+    if (config_.fault_injector != nullptr &&
+        config_.fault_injector->ShouldPoisonUpdate(session)) {
+      config_.fault_injector->PoisonParameters(model_.Parameters());
+      ++stats_.poisoned;
+    }
+
+    // 3. Drift gate on the trailing holdout.
+    eval::EvalConfig eval_cfg;
+    eval_cfg.max_len = base_.max_len;
+    const eval::Metrics m = eval::Evaluate(ranker_, ds, eval::Split::kValidation, eval_cfg);
+    const Status gate = drift_.Check(m);
+    WriteTelemetry(session, m, gate.ok());
+    if (!gate.ok()) {
+      Quarantine(session);
+      if (config_.fault_injector != nullptr &&
+          config_.fault_injector->ShouldPoisonUpdate(session)) {
+        ++stats_.poisoned_blocked;
+      }
+      // Serving keeps the old model, and the next session's warm start
+      // (resume_from the serving checkpoint) overwrites the replica's
+      // weights, so a quarantined update never seeds session n+1. Absent a
+      // serving checkpoint (gated bootstrap) the gate keeps quarantining
+      // until training recovers.
+      return Status::Ok();
+    }
+
+    // Injected crash between train and publish: the candidate checkpoint is
+    // orphaned on disk, serving state untouched. The caller restarts the
+    // loop (a fresh RunSession) to recover.
+    if (config_.fault_injector != nullptr &&
+        config_.fault_injector->ShouldCrashBeforePublish(session)) {
+      ++stats_.crashes;
+      Counter("online.crashes").Add(1);
+      return Status::Internal("injected crash between train and publish (session " +
+                              std::to_string(session) + ")");
+    }
+
+    // 4. Publish through the probation gate, then commit the checkpoint.
+    if (publisher_ != nullptr) {
+      const serve::PublishOutcome out = publisher_->PublishAndProbe(model_);
+      if (out.rolled_back) {
+        ++stats_.rollbacks;
+        Counter("online.rollbacks").Add(1);
+        Quarantine(session);
+        return Status::Ok();
+      }
+      if (!out.published) {
+        ++stats_.publish_rejected;
+        Counter("online.publish_rejected").Add(1);
+        Quarantine(session);
+        return Status::Ok();
+      }
+    }
+    if (Status s = CommitServingCheckpoint(); !s.ok()) return s;
+    drift_.SetBaseline(m);
+    ++stats_.published;
+    Counter("online.published").Add(1);
+    return Status::Ok();
+  }
+
+ private:
+  static obs::Counter& Counter(const std::string& name) {
+    return obs::Registry::Global().GetCounter(name);
+  }
+
+  /// Atomically replaces the serving checkpoint with the candidate (copy +
+  /// rename through nn::internal::WriteFileAtomic, so a crash mid-commit
+  /// leaves the old serving checkpoint intact).
+  Status CommitServingCheckpoint() {
+    std::string image;
+    if (Status s = nn::internal::ReadFileImage(config_.candidate_checkpoint, &image);
+        !s.ok()) {
+      return s;
+    }
+    return nn::internal::WriteFileAtomic(config_.serving_checkpoint, image);
+  }
+
+  /// Moves the rejected candidate checkpoint aside so it can be inspected
+  /// but can never be served. Best-effort: a quarantine failure is not worth
+  /// failing the session over (the candidate is scratch either way).
+  void Quarantine(int64_t session) {
+    ++stats_.quarantined;
+    Counter("online.quarantined").Add(1);
+    if (config_.quarantine_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(config_.quarantine_dir, ec);
+    if (ec) return;
+    const std::string dst = config_.quarantine_dir + "/candidate-session-" +
+                            std::to_string(session) + ".ckpt";
+    std::filesystem::rename(config_.candidate_checkpoint, dst, ec);
+  }
+
+  void WriteTelemetry(int64_t session, const eval::Metrics& m, bool gate_ok) {
+    if (config_.telemetry_path.empty()) return;
+    if (!telemetry_.is_open()) {
+      if (!telemetry_.Open(config_.telemetry_path, /*append=*/true).ok()) return;
+    }
+    std::map<std::string, double> row;
+    row["drift_hr10"] = m.hr10;
+    row["drift_ndcg10"] = m.ndcg10;
+    row["baseline_hr10"] = drift_.has_baseline() ? drift_.baseline().hr10 : 0.0;
+    row["baseline_ndcg10"] = drift_.has_baseline() ? drift_.baseline().ndcg10 : 0.0;
+    row["gate_ok"] = gate_ok ? 1.0 : 0.0;
+    row["events"] = static_cast<double>(stats_.events_consumed);
+    (void)telemetry_.WriteRow(session, row);
+  }
+
+  nn::Module& model_;
+  eval::Ranker& ranker_;
+  TrainFn train_;
+  models::TrainConfig base_;
+  OnlineTrainerConfig config_;
+  DriftMonitor drift_;
+  serve::PublishController* publisher_;
+  OnlineLoopStats stats_;
+  obs::TelemetryCsv telemetry_;
+};
+
+}  // namespace runtime
+}  // namespace msgcl
+
+#endif  // MSGCL_RUNTIME_ONLINE_H_

@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 
 #include "obs/registry.h"
 #include "serve/clock.h"
@@ -74,6 +75,15 @@ struct BreakerConfig {
     }
     return Status::Ok();
   }
+
+  /// A caller configuration error, so it surfaces as std::invalid_argument —
+  /// never an abort. MicroBatcher constructs its breaker in the member-init
+  /// list, before its own ValidateOrThrow() runs, so the breaker must throw
+  /// typed on its own.
+  void ValidateOrThrow() const {
+    const Status s = Validate();
+    if (!s.ok()) throw std::invalid_argument(s.ToString());
+  }
 };
 
 /// Thread-safe breaker state machine. Callers bracket each batch with
@@ -87,7 +97,7 @@ class CircuitBreaker {
   /// `clock` is non-owning and must outlive the breaker.
   CircuitBreaker(const BreakerConfig& config, Clock* clock)
       : config_(config), clock_(clock), backoff_us_(config.open_backoff_us) {
-    MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+    config.ValidateOrThrow();
     StateGauge().Set(static_cast<double>(BreakerState::kHealthy));
   }
 

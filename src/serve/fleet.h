@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -105,6 +106,13 @@ struct FleetConfig {
     }
     return serve.Validate();
   }
+
+  /// Construction-time variant: typed std::invalid_argument instead of a
+  /// process abort (eval/topk.h idiom).
+  void ValidateOrThrow() const {
+    const Status s = Validate();
+    if (!s.ok()) throw std::invalid_argument(s.message());
+  }
 };
 
 /// Consistent-hash router over N MicroBatcher replicas.
@@ -120,7 +128,7 @@ class Router {
         num_items_(num_items),
         config_(config),
         clock_(clock) {
-    MSGCL_CHECK_MSG(config_.Validate().ok(), config_.Validate().ToString());
+    config_.ValidateOrThrow();
     MSGCL_CHECK_EQ(static_cast<int>(models_.size()), config_.replicas);
     replicas_.reserve(models_.size());
     for (eval::Ranker* model : models_) {

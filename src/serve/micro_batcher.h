@@ -159,6 +159,14 @@ struct ServeConfig {
     if (Status s = breaker.Validate(); !s.ok()) return s;
     return Status::Ok();
   }
+
+  /// Construction-time variant: a nonsensical config is a typed
+  /// std::invalid_argument the embedding application can catch and report,
+  /// not a process abort (eval/topk.h idiom).
+  void ValidateOrThrow() const {
+    const Status s = Validate();
+    if (!s.ok()) throw std::invalid_argument(s.message());
+  }
 };
 
 /// Coalesces concurrent recommendation requests into micro-batches.
@@ -179,7 +187,7 @@ class MicroBatcher {
         clock_(clock != nullptr ? clock : &SystemClock::Instance()),
         breaker_(config.breaker, clock_) {
     MSGCL_CHECK_GT(num_items, 0);
-    MSGCL_CHECK_MSG(config.Validate().ok(), config.Validate().ToString());
+    config.ValidateOrThrow();
     if (config_.session_cache != nullptr) {
       session_scorer_ = dynamic_cast<eval::SessionScorer*>(&model_);
       if (session_scorer_ != nullptr && !session_scorer_->session_supported()) {

@@ -241,6 +241,39 @@ class SwappableRanker : public eval::Ranker, public eval::SessionScorer {
     return ValidateAndFlipLocked(standby);
   }
 
+  /// Rolls back to the previous model. After a successful swap the standby
+  /// slot still holds exactly the bits that were serving before the flip, so
+  /// rollback is another validated flip onto those bits — bit-exact by
+  /// construction, no checkpoint reload involved. The golden gate still runs
+  /// (the prior model passed it once and must again); the injected mid-swap
+  /// crash is skipped — rollback is the recovery path, not the rollout under
+  /// test. Fails if no swap has succeeded yet (the standby holds whatever a
+  /// rejected attempt last staged, not a known-good model).
+  Status SwapBackToPrevious() {
+    std::lock_guard<std::mutex> swap_lock(swap_op_mu_);
+    if (swaps_.load(std::memory_order_acquire) == 0) {
+      return Status::InvalidArgument(
+          "rollback: no successful swap yet, standby slot is not a prior model");
+    }
+    Counter("serve.swap.attempts").Add(1);
+    const size_t standby = active_index() ^ 1;
+    Status s = ValidateAndFlipLocked(standby, /*is_rollback=*/true);
+    if (s.ok()) Counter("serve.swap.rollbacks").Add(1);
+    return s;
+  }
+
+  /// Copies the active slot's parameter buffers (in NamedParameters order),
+  /// for pinning a pre-publish snapshot to verify bit-exact rollback against.
+  std::vector<std::vector<float>> SnapshotActiveWeights() const {
+    std::shared_lock<std::shared_mutex> lock(swap_mu_);
+    std::vector<std::vector<float>> out;
+    for (const auto& [pname, tensor] : slots_[active_].module->NamedParameters()) {
+      (void)pname;
+      out.push_back(tensor.ToVector());
+    }
+    return out;
+  }
+
   /// Index of the live slot (0 or 1) — for tests and dashboards.
   int active_slot() const {
     std::shared_lock<std::shared_mutex> lock(swap_mu_);
@@ -292,10 +325,12 @@ class SwappableRanker : public eval::Ranker, public eval::SessionScorer {
 
   /// Stages 2–3 of the gate plus the flip. Requires swap_op_mu_ held; the
   /// standby slot already holds the candidate weights.
-  Status ValidateAndFlipLocked(size_t standby) {
+  Status ValidateAndFlipLocked(size_t standby, bool is_rollback = false) {
     // Injected mid-swap crash: the rollout process dies after writing the
     // standby weights but before validation — the flip must never happen.
-    if (config_.fault_injector != nullptr && config_.fault_injector->NextSwapCrash()) {
+    // Rollbacks are exempt: they are the recovery arm of the drill.
+    if (!is_rollback && config_.fault_injector != nullptr &&
+        config_.fault_injector->NextSwapCrash()) {
       Counter("serve.swap.crashes").Add(1);
       return Status::Internal("injected mid-swap crash before validation");
     }

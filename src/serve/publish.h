@@ -1,0 +1,222 @@
+// Publish-with-probation for the hot-swap layer (DESIGN.md §15).
+//
+// PublishController wraps SwappableRanker's validated swap with the last
+// line of defense the drift gate cannot provide: live-signal auto-rollback.
+// A candidate that parses, has finite weights, and clears the golden batch
+// can still hurt real traffic; so after a successful flip the controller
+// holds the new model in *probation* for a configured window, watching
+// signals the validation gate cannot see:
+//
+//   * the serving circuit breaker opening (the score path started failing),
+//   * the degraded-response fraction over the window exceeding a ceiling,
+//   * an arbitrary caller-supplied trip predicate (the online loop plugs the
+//     post-publish holdout drift check in here).
+//
+// If any signal trips, the controller swaps back to the previous model.
+// Rollback is bit-exact by construction — after a successful flip the
+// standby slot still holds exactly the bits that were serving before
+// (SwappableRanker::SwapBackToPrevious) — and the controller additionally
+// *verifies* this against a snapshot pinned before the publish, so the
+// outcome reports proven bit-equality rather than assumed.
+//
+// State machine (per PublishAndProbe call):
+//
+//     idle --SwapFromModule rejected--> rejected (active model untouched)
+//       \--flip ok--> probation --window elapses clean--> published
+//                        \--signal trips--> rolled back (bit-verified)
+//
+// The controller never touches the traffic path: probing reads counters and
+// breaker state, and the only writes are the swaps themselves.
+#ifndef MSGCL_SERVE_PUBLISH_H_
+#define MSGCL_SERVE_PUBLISH_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "obs/registry.h"
+#include "serve/clock.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_swap.h"
+#include "tensor/status.h"
+
+namespace msgcl {
+namespace serve {
+
+/// Probation-window configuration.
+struct ProbationConfig {
+  /// How long a freshly published model stays on probation. 0 publishes
+  /// without probation (swap-and-done; no rollback arm).
+  int64_t window_us = 0;
+  /// How often live signals are polled inside the window.
+  int64_t check_interval_us = 1000;
+  /// Ceiling on degraded responses / total responses over the window; a
+  /// negative value disables the check.
+  double max_degraded_frac = -1.0;
+  /// Roll back if the attached batcher's breaker is open at any poll.
+  bool trip_on_breaker_open = true;
+
+  Status Validate() const {
+    if (window_us < 0) return Status::InvalidArgument("window_us must be >= 0");
+    if (window_us > 0 && check_interval_us <= 0) {
+      return Status::InvalidArgument("check_interval_us must be positive");
+    }
+    if (max_degraded_frac > 1.0) {
+      return Status::InvalidArgument("max_degraded_frac must be <= 1");
+    }
+    return Status::Ok();
+  }
+};
+
+/// What one PublishAndProbe call did.
+struct PublishOutcome {
+  bool published = false;    // candidate survived probation and is serving
+  bool rolled_back = false;  // a live signal tripped; prior model restored
+  bool bit_exact = false;    // rollback verified identical to the pinned snapshot
+  std::string reason;        // why it was rejected / rolled back (empty on clean publish)
+};
+
+/// Drives SwapFromModule + probation + auto-rollback. One publish runs at a
+/// time (serialized internally); the traffic path is never blocked by it.
+class PublishController {
+ public:
+  /// `ranker` must outlive the controller. `clock` defaults to SystemClock;
+  /// tests pass a FakeClock and drive the probation window with Advance().
+  /// `batcher` (optional, non-owning) supplies the breaker signal.
+  PublishController(SwappableRanker& ranker, ProbationConfig config,
+                    Clock* clock = nullptr, const MicroBatcher* batcher = nullptr)
+      : ranker_(ranker),
+        config_(std::move(config)),
+        clock_(clock != nullptr ? clock : &SystemClock::Instance()),
+        batcher_(batcher) {
+    const Status s = config_.Validate();
+    if (!s.ok()) throw std::invalid_argument(s.ToString());
+  }
+
+  /// Extra trip predicate evaluated at every probation poll. Returns true to
+  /// roll back, optionally filling `*why`. The online loop installs its
+  /// post-publish holdout drift check here. Not thread-safe against a
+  /// concurrent PublishAndProbe.
+  using TripFn = std::function<bool(std::string* why)>;
+  void SetExtraTrip(TripFn fn) { extra_trip_ = std::move(fn); }
+
+  /// Publishes `candidate` through the validated swap gate, then holds it on
+  /// probation. Returns only after the window elapses clean (published), a
+  /// signal trips (rolled back), or the swap gate rejects the candidate.
+  PublishOutcome PublishAndProbe(const nn::Module& candidate) {
+    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    Counter("serve.publish.attempts").Add(1);
+    PublishOutcome out;
+
+    // Pin the serving bits. If probation trips, rollback must restore
+    // exactly these.
+    const std::vector<std::vector<float>> pinned = ranker_.SnapshotActiveWeights();
+
+    if (Status s = ranker_.SwapFromModule(candidate); !s.ok()) {
+      Counter("serve.publish.rejected").Add(1);
+      out.reason = s.ToString();
+      return out;
+    }
+
+    if (config_.window_us == 0) {
+      Counter("serve.publish.published").Add(1);
+      out.published = true;
+      return out;
+    }
+
+    // Probation: poll live signals until the window elapses or one trips.
+    const int64_t start_us = clock_->NowUs();
+    const int64_t end_us = start_us + config_.window_us;
+    const int64_t degraded0 = Counter("serve.degraded").value();
+    const int64_t served0 = Counter("serve.requests_served").value();
+    std::string trip_reason;
+    int64_t now = start_us;
+    for (;;) {
+      if (Tripped(degraded0, served0, &trip_reason)) break;
+      if (now >= end_us) break;
+      const int64_t deadline = std::min(end_us, now + config_.check_interval_us);
+      std::unique_lock<std::mutex> lock(probe_mu_);
+      clock_->WaitUntil(probe_cv_, lock, deadline,
+                        [this, deadline] { return clock_->NowUs() >= deadline; });
+      now = clock_->NowUs();
+    }
+
+    if (trip_reason.empty()) {
+      Counter("serve.publish.published").Add(1);
+      out.published = true;
+      return out;
+    }
+
+    // A live signal tripped: restore the prior model and verify the bits.
+    Counter("serve.publish.probation_trips").Add(1);
+    out.rolled_back = true;
+    out.reason = trip_reason;
+    if (Status s = ranker_.SwapBackToPrevious(); !s.ok()) {
+      // The prior model failed its own gate on the way back — nothing sane
+      // to serve but the candidate; report loudly instead of flapping.
+      out.rolled_back = false;
+      out.reason += "; rollback FAILED: " + s.ToString();
+      return out;
+    }
+    Counter("serve.publish.rollbacks").Add(1);
+    out.bit_exact = ranker_.SnapshotActiveWeights() == pinned;
+    return out;
+  }
+
+ private:
+  static obs::Counter& Counter(const std::string& name) {
+    return obs::Registry::Global().GetCounter(name);
+  }
+
+  /// Evaluates every live signal against the window-start counter baseline.
+  bool Tripped(int64_t degraded0, int64_t served0, std::string* why) {
+    if (config_.trip_on_breaker_open && batcher_ != nullptr &&
+        batcher_->breaker().state() == BreakerState::kOpen) {
+      *why = "circuit breaker open during probation";
+      return true;
+    }
+    if (config_.max_degraded_frac >= 0.0) {
+      const int64_t degraded = Counter("serve.degraded").value() - degraded0;
+      const int64_t served =
+          (Counter("serve.requests_served").value() - served0) + degraded;
+      if (served > 0) {
+        const double frac = static_cast<double>(degraded) / static_cast<double>(served);
+        if (frac > config_.max_degraded_frac) {
+          *why = "degraded fraction " + std::to_string(frac) + " exceeds ceiling " +
+                 std::to_string(config_.max_degraded_frac);
+          return true;
+        }
+      }
+    }
+    if (extra_trip_) {
+      std::string extra;
+      if (extra_trip_(&extra)) {
+        *why = extra.empty() ? "external trip signal" : extra;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  SwappableRanker& ranker_;
+  const ProbationConfig config_;
+  Clock* clock_;
+  const MicroBatcher* batcher_;
+  TripFn extra_trip_;
+
+  std::mutex publish_mu_;  // one publish at a time
+  std::mutex probe_mu_;    // backs the probation wait only
+  std::condition_variable probe_cv_;
+};
+
+}  // namespace serve
+}  // namespace msgcl
+
+#endif  // MSGCL_SERVE_PUBLISH_H_

@@ -10,6 +10,7 @@
 #include "serve/loadgen.h"       // IWYU pragma: export
 #include "serve/micro_batcher.h" // IWYU pragma: export
 #include "serve/model_swap.h"    // IWYU pragma: export
+#include "serve/publish.h"       // IWYU pragma: export
 #include "serve/score_lock.h"    // IWYU pragma: export
 #include "serve/session_cache.h" // IWYU pragma: export
 

@@ -26,6 +26,7 @@ class Status {
     kDeadlineExceeded,
     kUnavailable,
     kResourceExhausted,
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -50,6 +51,10 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  /// Durable data was lost or is unrecoverable (torn WAL tail, a frame that
+  /// fails its CRC, an append that died mid-write). Distinct from
+  /// InvalidArgument: the caller's request was fine, the bytes were not.
+  static Status DataLoss(std::string msg) { return Status(Code::kDataLoss, std::move(msg)); }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -68,6 +73,7 @@ class Status {
       case Code::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
       case Code::kUnavailable: name = "UNAVAILABLE"; break;
       case Code::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
+      case Code::kDataLoss: name = "DATA_LOSS"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <future>
+#include <stdexcept>
 #include <limits>
 #include <map>
 #include <string>
@@ -570,6 +572,55 @@ TEST(ModelSwapTest, HotSwapsUnderLoadDropZeroRequests) {
   EXPECT_EQ(report.shed, 0);
   EXPECT_EQ(report.garbage, 0);
   EXPECT_EQ(swapper->swaps(), kSwaps);
+}
+
+// ---- FleetConfig validation at construction -------------------------------
+
+TEST(FleetConfigValidationTest, EachBadKnobIsTypedInvalidArgument) {
+  struct Case {
+    const char* name;
+    std::function<void(FleetConfig&)> set;
+    int replicas_for_router;  // matching model count so only the knob fails
+  };
+  const std::vector<Case> cases = {
+      {"replicas = 0", [](FleetConfig& c) { c.replicas = 0; }, 0},
+      {"negative replicas", [](FleetConfig& c) { c.replicas = -2; }, 1},
+      {"virtual_nodes = 0", [](FleetConfig& c) { c.virtual_nodes = 0; }, 2},
+      {"empty shard_owners group",
+       [](FleetConfig& c) { c.shard_owners = {{0}, {}}; }, 2},
+      {"shard owner index out of range",
+       [](FleetConfig& c) { c.shard_owners = {{0, 5}}; }, 2},
+      {"negative shard owner index",
+       [](FleetConfig& c) { c.shard_owners = {{-1}}; }, 2},
+      {"invalid nested serve config",
+       [](FleetConfig& c) { c.serve.max_batch = 0; }, 2},
+  };
+  FakeClock clock;
+  for (const Case& c : cases) {
+    FleetConfig config;
+    config.replicas = 2;
+    config.serve = FleetServeConfig();
+    c.set(config);
+    const Status s = config.Validate();
+    ASSERT_FALSE(s.ok()) << c.name;
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << c.name;
+    EXPECT_THROW(config.ValidateOrThrow(), std::invalid_argument) << c.name;
+    ToyFleet fleet(std::max(c.replicas_for_router, 1));
+    std::vector<eval::Ranker*> models(fleet.models.begin(),
+                                      fleet.models.begin() + c.replicas_for_router);
+    EXPECT_THROW(Router(models, kToyItems, config, &clock), std::invalid_argument)
+        << c.name << ": construction must throw, not abort";
+  }
+}
+
+TEST(FleetConfigValidationTest, ValidConfigConstructs) {
+  FleetConfig config;
+  config.replicas = 2;
+  config.serve = FleetServeConfig();
+  EXPECT_TRUE(config.Validate().ok());
+  ToyFleet fleet(2);
+  FakeClock clock;
+  EXPECT_NO_THROW(Router(fleet.models, kToyItems, config, &clock));
 }
 
 }  // namespace

@@ -207,6 +207,88 @@ TEST(LoadCsvTest, RoundTripThroughTempFile) {
   EXPECT_EQ(log.sequences[0], (std::vector<int32_t>{3, 1, 2}));
 }
 
+// ---------- CRLF / UTF-8 BOM hardening ----------
+
+TEST(CsvParseTest, CrlfLineEndingsParseIdenticallyToLf) {
+  std::istringstream lf("u1,i1,5.0,100\nu2,i2,3.0,50\n");
+  std::istringstream crlf("u1,i1,5.0,100\r\nu2,i2,3.0,50\r\n");
+  auto a = ParseCsvEvents(lf, CsvOptions{});
+  auto b = ParseCsvEvents(crlf, CsvOptions{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].user, b.value()[i].user);
+    EXPECT_EQ(a.value()[i].item, b.value()[i].item);
+    EXPECT_EQ(a.value()[i].rating, b.value()[i].rating);
+    EXPECT_EQ(a.value()[i].timestamp, b.value()[i].timestamp);
+  }
+}
+
+TEST(CsvParseTest, CrlfTimestampInLastColumnIsNotMalformed) {
+  // Without the '\r' strip, the last field parses as "100\r" and the strict
+  // numeric parser rejects the row.
+  std::istringstream in("u1,i1,5.0,100\r\n");
+  auto result = ParseCsvEvents(in, CsvOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()[0].timestamp, 100);
+}
+
+TEST(CsvParseTest, Utf8BomOnHeaderRowIsStripped) {
+  std::istringstream in("\xEF\xBB\xBFuser,item,rating,ts\r\nu1,i1,5.0,1\r\n");
+  CsvOptions opt;
+  opt.has_header = true;
+  auto result = ParseCsvEvents(in, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].user, "u1");
+}
+
+TEST(CsvParseTest, Utf8BomOnHeaderlessFirstDataRowIsStripped) {
+  // Without the strip, the BOM is glued onto the first user id, silently
+  // splitting one user into two.
+  std::istringstream in("\xEF\xBB\xBFu1,i1,5.0,1\nu1,i2,5.0,2\n");
+  auto result = ParseCsvEvents(in, CsvOptions{});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value()[0].user, "u1");
+  EXPECT_EQ(result.value()[0].user, result.value()[1].user);
+}
+
+TEST(CsvParseTest, CrlfOnlyLineIsSkippedAsEmpty) {
+  std::istringstream in("u1,i1,5.0,1\r\n\r\nu2,i2,5.0,2\r\n");
+  auto result = ParseCsvEvents(in, CsvOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(CsvLoadTest, CrlfBomFixtureSurvivesFullPreprocessing) {
+  // End-to-end: a Windows-exported fixture (BOM + CRLF) must produce the
+  // same log as its clean LF twin.
+  const std::string body =
+      "user,item,rating,ts\n"
+      "u1,a,5.0,1\nu1,b,5.0,2\nu1,c,5.0,3\n"
+      "u2,a,5.0,1\nu2,b,5.0,2\nu2,c,5.0,4\n";
+  std::string windows = "\xEF\xBB\xBF";
+  for (char c : body) {
+    if (c == '\n') windows += "\r\n";
+    else windows += c;
+  }
+  CsvOptions opt = NoFilter();
+  opt.has_header = true;
+  std::istringstream clean_in(body), windows_in(windows);
+  auto clean_events = ParseCsvEvents(clean_in, opt);
+  auto windows_events = ParseCsvEvents(windows_in, opt);
+  ASSERT_TRUE(clean_events.ok());
+  ASSERT_TRUE(windows_events.ok()) << windows_events.status().ToString();
+  auto clean_log = BuildLog(std::move(clean_events).value(), opt);
+  auto windows_log = BuildLog(std::move(windows_events).value(), opt);
+  ASSERT_TRUE(clean_log.ok());
+  ASSERT_TRUE(windows_log.ok());
+  EXPECT_EQ(clean_log.value().num_items, windows_log.value().num_items);
+  EXPECT_EQ(clean_log.value().sequences, windows_log.value().sequences);
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace msgcl

@@ -1,0 +1,712 @@
+// Tests for the crash-safe online training loop (DESIGN.md §15): the WAL
+// event log (framing, rotation, torn-tail recovery, corrupt-frame resync,
+// the zero-committed-records-lost invariant across seeded fault schedules),
+// the sliding-window dataset view, the drift monitor, the probation
+// publish/rollback controller, and the OnlineTrainer session driver
+// (warm-start, poisoned-update quarantine, crash-between-train-and-publish).
+//
+// These carry the `online` ctest label so the sanitized presets
+// (`ctest --preset asan-online` / `tsan-online`) can select them.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/data.h"
+#include "data/event_log.h"
+#include "gtest/gtest.h"
+#include "models/models.h"
+#include "nn/serialize.h"
+#include "obs/registry.h"
+#include "runtime/online.h"
+#include "serve/publish.h"
+#include "serve/serve.h"
+
+namespace msgcl {
+namespace {
+
+using data::EventLogConfig;
+using data::EventLogWriter;
+using data::InteractionEvent;
+using data::ReadEventLog;
+
+/// Fresh per-test directory (removed up front so reruns start clean).
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/online_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+InteractionEvent Ev(int64_t user, int32_t item, int64_t ts) {
+  return InteractionEvent{user, item, ts};
+}
+
+EventLogConfig SmallSegments(const std::string& dir,
+                             runtime::OnlineFaultInjector* inj = nullptr) {
+  EventLogConfig c;
+  c.dir = dir;
+  c.segment_max_bytes = 3 * data::wal::kFrameBytes;  // rotate every 3 records
+  c.fault_injector = inj;
+  return c;
+}
+
+// ---------- WAL framing, rotation, recovery --------------------------------
+
+TEST(EventLogTest, RoundTripAcrossSegmentRotation) {
+  const std::string dir = FreshDir("roundtrip");
+  EventLogWriter w;
+  ASSERT_TRUE(w.Open(SmallSegments(dir)).ok());
+  std::vector<InteractionEvent> written;
+  for (int i = 0; i < 11; ++i) {
+    written.push_back(Ev(i % 3, i + 1, 1000 + i));
+    ASSERT_TRUE(w.Append(written.back()).ok());
+  }
+  ASSERT_TRUE(w.Close().ok());
+
+  auto rec = ReadEventLog(dir);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec.value().clean());
+  EXPECT_EQ(rec.value().events, written);
+  // 11 records at 3 per segment = at least 3 sealed segments on disk.
+  int sealed = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".log") ++sealed;
+  }
+  EXPECT_GE(sealed, 3);
+}
+
+TEST(EventLogTest, ValidateRejectsBadConfig) {
+  EventLogConfig c;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);  // empty dir
+  c.dir = "/tmp/x";
+  c.segment_max_bytes = 4;  // cannot hold one frame
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(EventLogTest, ReadingAMissingDirectoryIsTypedNotFound) {
+  auto rec = ReadEventLog(FreshDir("never_created"));
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), Status::Code::kNotFound);
+}
+
+TEST(EventLogTest, CrashedWriterReopensAndContinuesInPlace) {
+  const std::string dir = FreshDir("reopen");
+  {
+    EventLogWriter w;
+    ASSERT_TRUE(w.Open(SmallSegments(dir)).ok());
+    ASSERT_TRUE(w.Append(Ev(1, 10, 1)).ok());
+    ASSERT_TRUE(w.Append(Ev(1, 11, 2)).ok());
+    // Destroyed without Close: models a crash, `.open` stays behind.
+  }
+  EventLogWriter w2;
+  ASSERT_TRUE(w2.Open(SmallSegments(dir)).ok());
+  ASSERT_TRUE(w2.Append(Ev(2, 20, 3)).ok());
+  ASSERT_TRUE(w2.Close().ok());
+
+  auto rec = ReadEventLog(dir);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().clean());
+  const std::vector<InteractionEvent> want = {Ev(1, 10, 1), Ev(1, 11, 2), Ev(2, 20, 3)};
+  EXPECT_EQ(rec.value().events, want);
+}
+
+TEST(EventLogTest, TornAppendLosesOnlyTheUncommittedRecord) {
+  const std::string dir = FreshDir("torn");
+  runtime::OnlineFaultPlan plan;
+  plan.torn_appends = {2};  // the third append dies mid-frame
+  runtime::OnlineFaultInjector inj(plan);
+  EventLogWriter w;
+  ASSERT_TRUE(w.Open(SmallSegments(dir, &inj)).ok());
+  ASSERT_TRUE(w.Append(Ev(1, 10, 1)).ok());
+  ASSERT_TRUE(w.Append(Ev(1, 11, 2)).ok());
+  const Status torn = w.Append(Ev(1, 12, 3));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.code(), Status::Code::kDataLoss);
+  EXPECT_TRUE(w.dead());
+  // A dead writer refuses further appends instead of corrupting the tail.
+  EXPECT_EQ(w.Append(Ev(1, 13, 4)).code(), Status::Code::kUnavailable);
+
+  // Recovery: both committed records survive; the torn tail is accounted.
+  auto rec = ReadEventLog(dir);
+  ASSERT_TRUE(rec.ok());
+  const std::vector<InteractionEvent> want = {Ev(1, 10, 1), Ev(1, 11, 2)};
+  EXPECT_EQ(rec.value().events, want);
+  EXPECT_GT(rec.value().torn_tail_bytes, 0);
+  ASSERT_FALSE(rec.value().losses.empty());
+  EXPECT_EQ(rec.value().losses[0].code(), Status::Code::kDataLoss);
+
+  // A fresh writer truncates the torn tail and appends cleanly after it.
+  EventLogWriter w2;
+  ASSERT_TRUE(w2.Open(SmallSegments(dir)).ok());
+  ASSERT_TRUE(w2.Append(Ev(2, 20, 5)).ok());
+  ASSERT_TRUE(w2.Close().ok());
+  auto rec2 = ReadEventLog(dir);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_TRUE(rec2.value().clean());
+  const std::vector<InteractionEvent> want2 = {Ev(1, 10, 1), Ev(1, 11, 2), Ev(2, 20, 5)};
+  EXPECT_EQ(rec2.value().events, want2);
+}
+
+TEST(EventLogTest, CorruptFrameIsSkippedAndLaterRecordsSurvive) {
+  const std::string dir = FreshDir("corrupt");
+  runtime::OnlineFaultPlan plan;
+  plan.corrupt_appends = {1};  // the second append's frame rots in flight
+  runtime::OnlineFaultInjector inj(plan);
+  EventLogWriter w;
+  EventLogConfig cfg = SmallSegments(dir, &inj);
+  cfg.segment_max_bytes = 100 * data::wal::kFrameBytes;  // keep one segment
+  ASSERT_TRUE(w.Open(cfg).ok());
+  ASSERT_TRUE(w.Append(Ev(1, 10, 1)).ok());
+  EXPECT_EQ(w.Append(Ev(1, 11, 2)).code(), Status::Code::kDataLoss);
+  EXPECT_FALSE(w.dead());  // corrupt != crash: the writer carries on
+  ASSERT_TRUE(w.Append(Ev(1, 12, 3)).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  auto rec = ReadEventLog(dir);
+  ASSERT_TRUE(rec.ok());
+  const std::vector<InteractionEvent> want = {Ev(1, 10, 1), Ev(1, 12, 3)};
+  EXPECT_EQ(rec.value().events, want) << "reader must resync past the bad frame";
+  EXPECT_EQ(rec.value().corrupt_frames, 1);
+  EXPECT_GT(rec.value().skipped_bytes, 0);
+}
+
+TEST(EventLogTest, AtRestCorruptionOfASealedSegmentIsContained) {
+  const std::string dir = FreshDir("atrest");
+  EventLogWriter w;
+  ASSERT_TRUE(w.Open(SmallSegments(dir)).ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(w.Append(Ev(1, i + 1, i)).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  // Flip one payload byte in the FIRST sealed segment.
+  std::string first;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".log" &&
+        (first.empty() || e.path().string() < first)) {
+      first = e.path().string();
+    }
+  }
+  ASSERT_FALSE(first.empty());
+  {
+    std::fstream f(first, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);  // inside the first frame's payload
+    char b = 0;
+    f.seekg(10);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0xFF);
+    f.seekp(10);
+    f.write(&b, 1);
+  }
+
+  auto rec = ReadEventLog(dir);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GE(rec.value().corrupt_frames, 1);
+  // The other five records all survive (the bad frame's neighbors included).
+  EXPECT_EQ(rec.value().events.size(), 5u);
+  for (const auto& e : rec.value().events) EXPECT_NE(e.item, 1);
+}
+
+// The drill invariant, unit-sized: across 20 seeded random fault schedules,
+// every append the writer acknowledged is recovered, in order.
+TEST(EventLogTest, ZeroCommittedRecordsLostAcrossTwentySeededSchedules) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const std::string dir = FreshDir("sweep_" + std::to_string(seed));
+    runtime::OnlineFaultPlan plan;
+    plan.seed = 0xA5A5 + seed;
+    plan.torn_rate = 0.06;
+    plan.corrupt_rate = 0.10;
+    runtime::OnlineFaultInjector inj(plan);
+
+    std::vector<InteractionEvent> committed;
+    int64_t next_ts = 0;
+    // Writers die on torn appends; keep reopening, like the real loop.
+    for (int lives = 0; lives < 8; ++lives) {
+      EventLogWriter w;
+      ASSERT_TRUE(w.Open(SmallSegments(dir, &inj)).ok());
+      while (!w.dead() && committed.size() < 60) {
+        const InteractionEvent e =
+            Ev(next_ts % 5, static_cast<int32_t>(next_ts % 7 + 1), next_ts);
+        ++next_ts;
+        if (w.Append(e).ok()) committed.push_back(e);
+      }
+      if (committed.size() >= 60) {
+        if (!w.dead()) {
+          ASSERT_TRUE(w.Close().ok());
+        }
+        break;
+      }
+    }
+
+    auto rec = ReadEventLog(dir);
+    ASSERT_TRUE(rec.ok()) << "seed " << seed;
+    EXPECT_EQ(rec.value().events, committed)
+        << "seed " << seed << ": committed records lost or reordered";
+  }
+}
+
+// ---------- Sliding-window dataset view ------------------------------------
+
+TEST(SlidingWindowTest, GroupsByUserAndAppliesLeaveOneOut) {
+  std::vector<InteractionEvent> events;
+  for (int i = 0; i < 5; ++i) events.push_back(Ev(7, i + 1, i));       // user 7
+  for (int i = 0; i < 4; ++i) events.push_back(Ev(3, 10 + i, 100 + i));  // user 3
+  events.push_back(Ev(9, 2, 50));  // user 9: 1 event, dropped by leave-one-out
+
+  data::SlidingWindowOptions opt;
+  opt.num_items = 20;
+  const data::SequenceDataset ds = data::BuildSlidingWindowDataset(events, opt);
+  ASSERT_EQ(ds.num_users(), 2);
+  EXPECT_EQ(ds.num_items, 20);
+  // std::map order: user 3 first, then user 7.
+  EXPECT_EQ(ds.train_seqs[0], (std::vector<int32_t>{10, 11}));
+  EXPECT_EQ(ds.valid_targets[0], 12);
+  EXPECT_EQ(ds.test_targets[0], 13);
+  EXPECT_EQ(ds.train_seqs[1], (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(ds.valid_targets[1], 4);
+  EXPECT_EQ(ds.test_targets[1], 5);
+}
+
+TEST(SlidingWindowTest, WindowKeepsOnlyTheTrailingEvents) {
+  std::vector<InteractionEvent> events;
+  for (int i = 0; i < 10; ++i) events.push_back(Ev(1, i + 1, i));
+  data::SlidingWindowOptions opt;
+  opt.window = 4;
+  const data::SequenceDataset ds = data::BuildSlidingWindowDataset(events, opt);
+  ASSERT_EQ(ds.num_users(), 1);
+  EXPECT_EQ(ds.train_seqs[0], (std::vector<int32_t>{7, 8}));
+  EXPECT_EQ(ds.valid_targets[0], 9);
+  EXPECT_EQ(ds.test_targets[0], 10);
+}
+
+TEST(SlidingWindowTest, MatchesLeaveOneOutSplitOnAReplayedLog) {
+  const auto log = data::GenerateSynthetic(data::TinyDataset(11)).value();
+  std::vector<InteractionEvent> events;
+  int64_t ts = 0;
+  for (size_t u = 0; u < log.sequences.size(); ++u) {
+    for (int32_t item : log.sequences[u]) {
+      events.push_back(Ev(static_cast<int64_t>(u), item, ts++));
+    }
+  }
+  data::SlidingWindowOptions opt;
+  opt.num_items = log.num_items;
+  const data::SequenceDataset via_wal = data::BuildSlidingWindowDataset(events, opt);
+  const data::SequenceDataset direct = data::LeaveOneOutSplit(log);
+  EXPECT_EQ(via_wal.train_seqs, direct.train_seqs);
+  EXPECT_EQ(via_wal.valid_targets, direct.valid_targets);
+  EXPECT_EQ(via_wal.test_targets, direct.test_targets);
+  EXPECT_EQ(via_wal.num_items, direct.num_items);
+}
+
+TEST(SlidingWindowTest, PaddingAndGarbageItemIdsNeverEnterASequence) {
+  std::vector<InteractionEvent> events = {Ev(1, 1, 0), Ev(1, 0, 1),  Ev(1, -5, 2),
+                                          Ev(1, 2, 3), Ev(1, 3, 4), Ev(1, 4, 5)};
+  const data::SequenceDataset ds = data::BuildSlidingWindowDataset(events, {});
+  ASSERT_EQ(ds.num_users(), 1);
+  EXPECT_EQ(ds.train_seqs[0], (std::vector<int32_t>{1, 2}));
+}
+
+// ---------- Drift monitor ---------------------------------------------------
+
+TEST(DriftMonitorTest, PassesWithoutABaselineAndGatesAgainstOne) {
+  runtime::DriftConfig cfg;
+  cfg.min_hr_frac = 0.5;
+  cfg.min_ndcg_frac = 0.5;
+  runtime::DriftMonitor monitor(cfg);
+
+  eval::Metrics good;
+  good.hr10 = 0.4;
+  good.ndcg10 = 0.2;
+  EXPECT_TRUE(monitor.Check(good).ok()) << "no baseline yet: bootstrap must pass";
+  monitor.SetBaseline(good);
+
+  eval::Metrics ok_candidate;
+  ok_candidate.hr10 = 0.25;  // above 0.5 * 0.4
+  ok_candidate.ndcg10 = 0.15;
+  EXPECT_TRUE(monitor.Check(ok_candidate).ok());
+
+  eval::Metrics regressed;
+  regressed.hr10 = 0.1;  // below 0.5 * 0.4
+  regressed.ndcg10 = 0.15;
+  const Status s = monitor.Check(regressed);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+
+  eval::Metrics ndcg_regressed;
+  ndcg_regressed.hr10 = 0.4;
+  ndcg_regressed.ndcg10 = 0.05;  // below 0.5 * 0.2
+  EXPECT_FALSE(monitor.Check(ndcg_regressed).ok());
+}
+
+TEST(DriftMonitorTest, AbsoluteFloorAppliesEvenInBootstrap) {
+  runtime::DriftConfig cfg;
+  cfg.min_hr = 0.05;
+  runtime::DriftMonitor monitor(cfg);
+  eval::Metrics dead;
+  dead.hr10 = 0.0;  // what a NaN-scoring poisoned model produces
+  EXPECT_FALSE(monitor.Check(dead).ok());
+  eval::Metrics alive;
+  alive.hr10 = 0.2;
+  EXPECT_TRUE(monitor.Check(alive).ok());
+}
+
+TEST(DriftMonitorTest, ChecksExportDriftGauges) {
+  runtime::DriftMonitor monitor;
+  eval::Metrics m;
+  m.hr10 = 0.33;
+  m.ndcg10 = 0.11;
+  monitor.SetBaseline(m);
+  eval::Metrics cand = m;
+  cand.hr10 = 0.30;
+  ASSERT_TRUE(monitor.Check(cand).ok());
+  auto& reg = obs::Registry::Global();
+  EXPECT_DOUBLE_EQ(reg.GetGauge("online.drift.baseline_hr10").value(), 0.33);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("online.drift.hr10").value(), 0.30);
+  EXPECT_NEAR(reg.GetGauge("online.drift.delta_hr10").value(), -0.03, 1e-12);
+}
+
+TEST(DriftMonitorTest, BadConfigIsRejected) {
+  runtime::DriftConfig cfg;
+  cfg.min_hr_frac = 1.5;
+  EXPECT_EQ(cfg.Validate().code(), Status::Code::kInvalidArgument);
+  cfg = {};
+  cfg.min_hr = 2.0;
+  EXPECT_EQ(cfg.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+// ---------- Publish controller ---------------------------------------------
+
+/// Two-slot swap fixture around real SasRec models (the swap gate scans
+/// weights and smoke-scores, so toy rankers are not enough).
+struct SwapFixture {
+  data::SequenceDataset ds;
+  models::SasRec a, b, candidate;
+  serve::SwappableRanker swapper;
+
+  static models::BackboneConfig Backbone(const data::SequenceDataset& d) {
+    models::BackboneConfig b;
+    b.num_items = d.num_items;
+    b.max_len = 12;
+    b.dim = 16;
+    b.heads = 2;
+    b.layers = 1;
+    b.dropout = 0.1f;
+    return b;
+  }
+
+  static serve::SwapConfig Swap() {
+    serve::SwapConfig c;
+    c.k = 5;
+    c.max_len = 12;
+    c.golden.histories = {{1, 2, 3}, {2, 3, 4}};
+    c.golden.targets = {4, 5};
+    return c;
+  }
+
+  SwapFixture()
+      : ds(data::LeaveOneOutSplit(
+            data::GenerateSynthetic(data::TinyDataset(21)).value())),
+        a(Backbone(ds), models::TrainConfig{}, Rng(1)),
+        b(Backbone(ds), models::TrainConfig{}, Rng(2)),
+        candidate(Backbone(ds), models::TrainConfig{}, Rng(3)),
+        swapper({&a, &a}, {&b, &b}, ds.num_items, Swap()) {}
+};
+
+TEST(PublishControllerTest, ZeroWindowPublishesWithoutProbation) {
+  SwapFixture fx;
+  serve::ProbationConfig cfg;  // window_us = 0
+  serve::PublishController controller(fx.swapper, cfg);
+  const serve::PublishOutcome out = controller.PublishAndProbe(fx.candidate);
+  EXPECT_TRUE(out.published);
+  EXPECT_FALSE(out.rolled_back);
+  EXPECT_EQ(fx.swapper.swaps(), 1);
+}
+
+TEST(PublishControllerTest, RejectedCandidateLeavesServingUntouched) {
+  SwapFixture fx;
+  const auto before = fx.swapper.SnapshotActiveWeights();
+  // Poison the candidate with a non-finite weight: the swap gate's finite
+  // scan must reject it before probation even starts.
+  fx.candidate.Parameters()[0].data()[0] = std::numeric_limits<float>::quiet_NaN();
+  serve::ProbationConfig cfg;
+  serve::PublishController controller(fx.swapper, cfg);
+  const serve::PublishOutcome out = controller.PublishAndProbe(fx.candidate);
+  EXPECT_FALSE(out.published);
+  EXPECT_FALSE(out.rolled_back);
+  EXPECT_FALSE(out.reason.empty());
+  EXPECT_EQ(fx.swapper.swaps(), 0);
+  EXPECT_EQ(fx.swapper.SnapshotActiveWeights(), before);
+}
+
+TEST(PublishControllerTest, ExtraTripRollsBackBitExactly) {
+  SwapFixture fx;
+  const auto before = fx.swapper.SnapshotActiveWeights();
+  serve::ProbationConfig cfg;
+  cfg.window_us = 60'000'000;  // would be a minute — the trip fires first
+  cfg.check_interval_us = 100;
+  serve::PublishController controller(fx.swapper, cfg);
+  controller.SetExtraTrip([](std::string* why) {
+    *why = "holdout drift tripped";
+    return true;
+  });
+  const serve::PublishOutcome out = controller.PublishAndProbe(fx.candidate);
+  EXPECT_FALSE(out.published);
+  ASSERT_TRUE(out.rolled_back);
+  EXPECT_TRUE(out.bit_exact) << "rollback must restore the prior model's bits";
+  EXPECT_EQ(out.reason, "holdout drift tripped");
+  EXPECT_EQ(fx.swapper.SnapshotActiveWeights(), before);
+}
+
+TEST(PublishControllerTest, CleanProbationWindowPublishes) {
+  SwapFixture fx;
+  serve::ProbationConfig cfg;
+  cfg.window_us = 2000;  // 2ms of real time on the SystemClock
+  cfg.check_interval_us = 500;
+  serve::PublishController controller(fx.swapper, cfg);
+  const serve::PublishOutcome out = controller.PublishAndProbe(fx.candidate);
+  EXPECT_TRUE(out.published) << out.reason;
+  EXPECT_FALSE(out.rolled_back);
+}
+
+TEST(PublishControllerTest, BadProbationConfigThrows) {
+  SwapFixture fx;
+  serve::ProbationConfig cfg;
+  cfg.window_us = -1;
+  EXPECT_THROW(serve::PublishController(fx.swapper, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.window_us = 1000;
+  cfg.check_interval_us = 0;
+  EXPECT_THROW(serve::PublishController(fx.swapper, cfg), std::invalid_argument);
+}
+
+// ---------- OnlineTrainer sessions -----------------------------------------
+
+struct LoopFixture {
+  std::string root;
+  data::InteractionLog log;
+  data::SequenceDataset ds;
+  models::SasRec model;
+  runtime::OnlineTrainerConfig config;
+
+  explicit LoopFixture(const std::string& name, uint64_t seed = 31)
+      : root(FreshDir(name)),
+        log(data::GenerateSynthetic(data::TinyDataset(seed)).value()),
+        ds(data::LeaveOneOutSplit(log)),
+        model(SwapFixture::Backbone(ds), BaseTrain(), Rng(5)) {
+    std::filesystem::create_directories(root);
+    config.wal_dir = root + "/wal";
+    config.serving_checkpoint = root + "/serving.ckpt";
+    config.candidate_checkpoint = root + "/candidate.ckpt";
+    config.quarantine_dir = root + "/quarantine";
+    config.num_items = log.num_items;
+    config.epochs_per_session = 2;
+    // The poisoned model ranks near-randomly (HR@10 ~ 10/60); the trained
+    // tiny model clears 0.32 after two epochs. Both floors sit between the
+    // two so the gate deterministically separates them (all seeds fixed).
+    config.drift.min_hr = 0.25;
+    config.drift.min_hr_frac = 0.75;
+    config.drift.min_ndcg_frac = 0.5;
+    FillWal();
+  }
+
+  static models::TrainConfig BaseTrain() {
+    models::TrainConfig t;
+    t.epochs = 2;
+    t.batch_size = 64;
+    t.max_len = 12;
+    t.lr = 3e-3f;
+    t.seed = 99;
+    return t;
+  }
+
+  void FillWal() {
+    EventLogWriter w;
+    EventLogConfig c;
+    c.dir = config.wal_dir;
+    ASSERT_TRUE(w.Open(c).ok());
+    int64_t ts = 0;
+    for (size_t u = 0; u < log.sequences.size(); ++u) {
+      for (int32_t item : log.sequences[u]) {
+        ASSERT_TRUE(w.Append(Ev(static_cast<int64_t>(u), item, ts++)).ok());
+      }
+    }
+    ASSERT_TRUE(w.Close().ok());
+  }
+
+  runtime::OnlineTrainer MakeTrainer(serve::PublishController* pub = nullptr) {
+    return runtime::OnlineTrainer(
+        model, model,
+        [this](const data::SequenceDataset& d, const models::TrainConfig& c) {
+          return model.FitWith(d, c);
+        },
+        BaseTrain(), config, pub);
+  }
+
+  std::vector<std::vector<float>> Weights() {
+    std::vector<std::vector<float>> w;
+    for (auto& p : model.Parameters()) w.push_back(p.ToVector());
+    return w;
+  }
+};
+
+TEST(OnlineTrainerTest, FirstSessionBootstrapsAndCommitsTheServingCheckpoint) {
+  LoopFixture fx("bootstrap");
+  auto trainer = fx.MakeTrainer();
+  ASSERT_TRUE(trainer.RunSession().ok());
+  EXPECT_EQ(trainer.stats().trained, 1);
+  EXPECT_EQ(trainer.stats().published, 1);
+  EXPECT_TRUE(std::filesystem::exists(fx.config.serving_checkpoint));
+  // Session 0 trained epochs [0, 2): the committed state says epoch 1.
+  auto epoch = nn::PeekTrainStateEpoch(fx.config.serving_checkpoint);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 1);
+  EXPECT_TRUE(trainer.drift().has_baseline());
+}
+
+TEST(OnlineTrainerTest, SessionsWarmStartFromTheServingCheckpoint) {
+  LoopFixture fx("warmstart");
+  auto trainer = fx.MakeTrainer();
+  ASSERT_TRUE(trainer.RunSession().ok());
+  ASSERT_TRUE(trainer.RunSession().ok());
+  ASSERT_TRUE(trainer.RunSession().ok());
+  // Each session adds epochs_per_session = 2 absolute epochs: 1, 3, 5.
+  auto epoch = nn::PeekTrainStateEpoch(fx.config.serving_checkpoint);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 5);
+  EXPECT_EQ(trainer.stats().sessions, 3);
+  EXPECT_EQ(trainer.stats().events_consumed,
+            3 * static_cast<int64_t>(fx.log.num_interactions()));
+}
+
+TEST(OnlineTrainerTest, TooFewEventsSkipsTheSessionCleanly) {
+  LoopFixture fx("skip");
+  fx.config.min_events = 1'000'000;
+  auto trainer = fx.MakeTrainer();
+  ASSERT_TRUE(trainer.RunSession().ok());
+  EXPECT_EQ(trainer.stats().skipped, 1);
+  EXPECT_EQ(trainer.stats().trained, 0);
+  EXPECT_FALSE(std::filesystem::exists(fx.config.serving_checkpoint));
+}
+
+TEST(OnlineTrainerTest, PoisonedUpdateIsQuarantinedAndServingStaysIntact) {
+  LoopFixture fx("poison");
+  runtime::OnlineFaultPlan plan;
+  plan.poison_update_sessions = {1};
+  runtime::OnlineFaultInjector inj(plan);
+  fx.config.fault_injector = &inj;
+  auto trainer = fx.MakeTrainer();
+
+  ASSERT_TRUE(trainer.RunSession().ok());  // session 0: clean baseline
+  ASSERT_GT(trainer.drift().baseline().hr10, 0.0)
+      << "baseline must be alive for the relative floor to mean anything";
+  std::string serving_before;
+  ASSERT_TRUE(
+      nn::internal::ReadFileImage(fx.config.serving_checkpoint, &serving_before).ok());
+
+  ASSERT_TRUE(trainer.RunSession().ok());  // session 1: poisoned
+  EXPECT_EQ(trainer.stats().poisoned, 1);
+  EXPECT_EQ(trainer.stats().poisoned_blocked, 1);
+  EXPECT_EQ(trainer.stats().quarantined, 1);
+  EXPECT_EQ(trainer.stats().published, 1) << "the poisoned candidate must not publish";
+
+  // Serving checkpoint bits untouched; the candidate is in quarantine.
+  std::string serving_after;
+  ASSERT_TRUE(
+      nn::internal::ReadFileImage(fx.config.serving_checkpoint, &serving_after).ok());
+  EXPECT_EQ(serving_before, serving_after);
+  EXPECT_TRUE(std::filesystem::exists(fx.config.quarantine_dir +
+                                      "/candidate-session-1.ckpt"));
+
+  // Session 2 warm-starts from the intact serving state and recovers.
+  ASSERT_TRUE(trainer.RunSession().ok());
+  EXPECT_EQ(trainer.stats().published, 2);
+}
+
+TEST(OnlineTrainerTest, CrashBetweenTrainAndPublishLeavesServingIntact) {
+  LoopFixture fx("crash");
+  runtime::OnlineFaultPlan plan;
+  plan.crash_before_publish_sessions = {1};
+  runtime::OnlineFaultInjector inj(plan);
+  fx.config.fault_injector = &inj;
+  auto trainer = fx.MakeTrainer();
+
+  ASSERT_TRUE(trainer.RunSession().ok());
+  std::string serving_before;
+  ASSERT_TRUE(
+      nn::internal::ReadFileImage(fx.config.serving_checkpoint, &serving_before).ok());
+
+  const Status crashed = trainer.RunSession();
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(trainer.stats().crashes, 1);
+  std::string serving_after;
+  ASSERT_TRUE(
+      nn::internal::ReadFileImage(fx.config.serving_checkpoint, &serving_after).ok());
+  EXPECT_EQ(serving_before, serving_after)
+      << "a crash before publish must not move the serving checkpoint";
+
+  // "Restart": the next session recovers and publishes normally.
+  ASSERT_TRUE(trainer.RunSession().ok());
+  EXPECT_EQ(trainer.stats().published, 2);
+}
+
+TEST(OnlineTrainerTest, FailedTrainingSessionsRetryThenSurface) {
+  LoopFixture fx("retry");
+  fx.config.max_session_retries = 2;
+  int calls = 0;
+  runtime::OnlineTrainer trainer(
+      fx.model, fx.model,
+      [&calls](const data::SequenceDataset&, const models::TrainConfig&) {
+        ++calls;
+        return Status::Internal("injected training failure");
+      },
+      LoopFixture::BaseTrain(), fx.config);
+  const Status s = trainer.RunSession();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(calls, 3);  // initial + 2 retries
+  EXPECT_EQ(trainer.stats().train_failures, 3);
+  EXPECT_EQ(trainer.stats().retries, 2);
+  EXPECT_FALSE(std::filesystem::exists(fx.config.serving_checkpoint));
+}
+
+TEST(OnlineTrainerTest, BadConfigThrowsAtConstruction) {
+  LoopFixture fx("badcfg");
+  fx.config.candidate_checkpoint = fx.config.serving_checkpoint;
+  EXPECT_THROW(fx.MakeTrainer(), std::invalid_argument);
+}
+
+TEST(OnlineTrainerTest, FullLoopPublishesIntoAProbedSwapper) {
+  LoopFixture fx("fullloop");
+  // Serving side: two swap slots, golden batch from the dataset itself.
+  models::SasRec slot_a(SwapFixture::Backbone(fx.ds), models::TrainConfig{}, Rng(41));
+  models::SasRec slot_b(SwapFixture::Backbone(fx.ds), models::TrainConfig{}, Rng(42));
+  serve::SwapConfig swap_cfg;
+  swap_cfg.k = 10;
+  swap_cfg.max_len = 12;
+  for (int32_t u = 0; u < std::min<int32_t>(4, fx.ds.num_users()); ++u) {
+    swap_cfg.golden.histories.push_back(fx.ds.ValidInput(u));
+    swap_cfg.golden.targets.push_back(fx.ds.valid_targets[u]);
+  }
+  serve::SwappableRanker swapper({&slot_a, &slot_a}, {&slot_b, &slot_b},
+                                 fx.ds.num_items, swap_cfg);
+  serve::ProbationConfig probation;
+  probation.window_us = 1000;
+  probation.check_interval_us = 500;
+  serve::PublishController controller(swapper, probation);
+  auto trainer = fx.MakeTrainer(&controller);
+
+  ASSERT_TRUE(trainer.RunSession().ok());
+  EXPECT_EQ(trainer.stats().published, 1);
+  EXPECT_EQ(swapper.swaps(), 1);
+
+  // The fleet now serves the trained weights bit-for-bit.
+  const auto served = swapper.SnapshotActiveWeights();
+  auto trained = fx.model.Parameters();
+  ASSERT_EQ(served.size(), trained.size());
+  for (size_t i = 0; i < trained.size(); ++i) {
+    EXPECT_EQ(served[i], trained[i].ToVector());
+  }
+}
+
+}  // namespace
+}  // namespace msgcl

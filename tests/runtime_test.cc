@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -771,6 +772,88 @@ TEST(ObsCountersTest, TelemetryCsvSurvivesResumeWithoutDuplicationOrGaps) {
   for (int64_t e = 0; e < 4; ++e) EXPECT_EQ(epochs[e], e);
   std::remove(state.c_str());
   std::remove(csv.c_str());
+}
+
+// ---------- v2 checkpoint corruption surface (table-driven) ----------
+
+// Every way a checkpoint file can rot on disk must surface as a typed error
+// (never a crash) and leave the in-memory model and optimizer bit-for-bit
+// untouched. The named cases cover the on-disk failure modes the WAL/online
+// loop can produce: truncation (torn copy), a flipped byte in the CRC footer
+// itself, and a short read that cuts the file mid-header.
+TEST(TrainStateTest, CorruptionSurfaceIsTypedAndNonDestructive) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_surface.state");
+  const std::string mangled = TempPath("runtime_surface_mangled.state");
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, nn::TrainerProgress{}, path).ok());
+  std::string image;
+  ASSERT_TRUE(nn::internal::ReadFileImage(path, &image).ok());
+
+  struct Case {
+    const char* name;
+    std::function<std::string(std::string)> mangle;
+  };
+  const std::vector<Case> cases = {
+      {"truncated file (half)",
+       [](std::string img) { return img.substr(0, img.size() / 2); }},
+      {"truncated to empty", [](std::string) { return std::string(); }},
+      {"flipped CRC footer byte",
+       [](std::string img) {
+         img[img.size() - 2] = static_cast<char>(img[img.size() - 2] ^ 0xFF);
+         return img;
+       }},
+      {"short read mid-header (8 bytes)",
+       [](std::string img) { return img.substr(0, 8); }},
+      {"short read inside the magic (3 bytes)",
+       [](std::string img) { return img.substr(0, 3); }},
+  };
+
+  for (const Case& c : cases) {
+    {
+      const std::string bad = c.mangle(image);
+      std::ofstream out(mangled, std::ios::binary | std::ios::trunc);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    models::SasRec victim(TinyBackbone(ds), QuickTrain(1), Rng(5));
+    nn::Adam vopt(victim.Parameters(), 1e-3f);
+    std::vector<std::vector<float>> before;
+    for (auto& p : victim.Parameters()) before.push_back(p.ToVector());
+    const nn::OptimizerState opt_before = vopt.GetState();
+
+    nn::TrainerProgress progress;
+    const Status s = nn::LoadTrainState(victim, {&vopt}, &progress, mangled);
+    ASSERT_FALSE(s.ok()) << c.name;
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << c.name;
+    auto params = victim.Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(params[i].ToVector(), before[i]) << c.name << ": weights modified";
+    }
+    const nn::OptimizerState opt_after = vopt.GetState();
+    EXPECT_EQ(opt_after.slots, opt_before.slots) << c.name << ": optimizer modified";
+    EXPECT_EQ(opt_after.step_count, opt_before.step_count) << c.name;
+
+    // The epoch peek walks the same untrusted bytes and must reject too.
+    EXPECT_FALSE(nn::PeekTrainStateEpoch(mangled).ok()) << c.name;
+  }
+  std::remove(path.c_str());
+  std::remove(mangled.c_str());
+}
+
+TEST(TrainStateTest, PeekTrainStateEpochReadsTheEpochWithoutAModule) {
+  auto ds = TinySplit();
+  const std::string path = TempPath("runtime_peek.state");
+  models::SasRec model(TinyBackbone(ds), QuickTrain(1), Rng(5));
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  nn::TrainerProgress progress;
+  progress.epoch = 17;
+  ASSERT_TRUE(nn::SaveTrainState(model, {&opt}, progress, path).ok());
+  auto peeked = nn::PeekTrainStateEpoch(path);
+  ASSERT_TRUE(peeked.ok()) << peeked.status().ToString();
+  EXPECT_EQ(peeked.value(), 17);
+  EXPECT_FALSE(nn::PeekTrainStateEpoch(TempPath("runtime_peek_missing.state")).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

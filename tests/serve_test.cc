@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -639,6 +640,64 @@ TEST(BoundedTopKTest, KAtLeastCandidateCountReturnsAllSorted) {
   exact.Push(1, 2.0f);
   exact.Push(2, 2.0f);
   EXPECT_TRUE(ListsBitEqual(exact.Take(), all));
+}
+
+// ---- ServeConfig validation at construction -------------------------------
+//
+// A nonsensical knob must be a typed error the embedding application can
+// catch (std::invalid_argument from the PR 9 ValidateOrThrow convention),
+// not a silent runtime misbehavior or a process abort.
+
+TEST(ServeConfigValidationTest, EachBadKnobIsTypedInvalidArgument) {
+  struct Case {
+    const char* name;
+    std::function<void(ServeConfig&)> set;
+  };
+  const std::vector<Case> cases = {
+      {"k = 0", [](ServeConfig& c) { c.k = 0; }},
+      {"negative k", [](ServeConfig& c) { c.k = -3; }},
+      {"max_len = 0", [](ServeConfig& c) { c.max_len = 0; }},
+      {"max_batch = 0", [](ServeConfig& c) { c.max_batch = 0; }},
+      {"negative max_wait_us", [](ServeConfig& c) { c.max_wait_us = -1; }},
+      {"num_workers = 0", [](ServeConfig& c) { c.num_workers = 0; }},
+      {"negative queue_capacity", [](ServeConfig& c) { c.queue_capacity = -1; }},
+      {"negative score_timeout_us", [](ServeConfig& c) { c.score_timeout_us = -1; }},
+      {"negative session_idle_evict_us",
+       [](ServeConfig& c) { c.session_idle_evict_us = -1; }},
+      {"breaker degraded_after = 0",
+       [](ServeConfig& c) { c.breaker.degraded_after = 0; }},
+      {"breaker open_after below degraded_after",
+       [](ServeConfig& c) {
+         c.breaker.degraded_after = 3;
+         c.breaker.open_after = 1;
+       }},
+  };
+  ToyRanker model;
+  FakeClock clock;
+  for (const Case& c : cases) {
+    ServeConfig config = ToyConfig();
+    c.set(config);
+    const Status s = config.Validate();
+    ASSERT_FALSE(s.ok()) << c.name;
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << c.name;
+    EXPECT_THROW(config.ValidateOrThrow(), std::invalid_argument) << c.name;
+    EXPECT_THROW(MicroBatcher(model, kToyItems, config, &clock), std::invalid_argument)
+        << c.name << ": construction must throw, not abort";
+  }
+}
+
+TEST(ServeConfigValidationTest, ZeroQueueCapacityMeansUnboundedAndStaysValid) {
+  ServeConfig config = ToyConfig();
+  config.queue_capacity = 0;  // documented: 0 = unbounded admission queue
+  EXPECT_TRUE(config.Validate().ok());
+  ToyRanker model;
+  FakeClock clock;
+  EXPECT_NO_THROW(MicroBatcher(model, kToyItems, config, &clock));
+}
+
+TEST(ServeConfigValidationTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(ServeConfig{}.Validate().ok());
+  EXPECT_NO_THROW(ServeConfig{}.ValidateOrThrow());
 }
 
 }  // namespace

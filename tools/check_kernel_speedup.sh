@@ -16,7 +16,11 @@
 set -euo pipefail
 
 BENCH="${1:?usage: check_kernel_speedup.sh <bench_micro_kernels> [json_out]}"
-JSON="${2:-$(mktemp /tmp/BENCH_kernels.XXXXXX.json)}"
+if [[ -n "${2:-}" ]]; then
+  JSON="$2"  # caller-owned: kept after exit
+else
+  JSON=$(mktemp /tmp/BENCH_kernels.XXXXXX.json); trap 'rm -f "$JSON"' EXIT
+fi
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
 MIN_KERNELS="${MIN_KERNELS:-2}"
 

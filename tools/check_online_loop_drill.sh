@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Crash-safe online training loop drill (DESIGN.md §15).
+#
+# Drives `msgcl online-train` and asserts on the JSON report:
+#
+#   1. zero committed records lost (and none invented) across >= 20 seeded
+#      WAL crash/corruption schedules — an Append() that returned OK is
+#      always recovered, in order, through torn tails and corrupt frames;
+#   2. every poisoned update is blocked by the drift gate before it can
+#      reach the serving fleet (poisoned == poisoned_blocked, quarantined);
+#   3. fleet availability >= 0.99 while sessions train, crash, and publish
+#      around the probes;
+#   4. the forced probation trip rolls the fleet back to the previous
+#      model's exact bits (rollback_bit_exact == 1).
+#
+# Usage: tools/check_online_loop_drill.sh [msgcl_bin|build_dir] [schedules]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${1:-build/tools/msgcl}"
+if [[ -d "$BIN" ]]; then BIN="$BIN/tools/msgcl"; fi
+SCHEDULES="${2:-20}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "== building msgcl_cli"
+  cmake --build "$(dirname "$(dirname "$BIN")")" --target msgcl_cli -j "$(nproc)" >/dev/null
+fi
+
+d=$(mktemp -d); trap 'rm -rf "$d"' EXIT
+
+field() { sed -n "s/.*\"$2\": *\\([0-9.eE+-]*\\).*/\\1/p" "$1" | head -1; }
+
+echo "== online loop drill: $SCHEDULES WAL schedules, 4 sessions (poison @1, crash @2)"
+"$BIN" online-train --dir="$d/loop" --wal_schedules="$SCHEDULES" \
+  --sessions=4 --poison_sessions=1 --crash_sessions=2 \
+  --json="$d/online.json"
+
+lost=$(field "$d/online.json" wal_lost)
+spurious=$(field "$d/online.json" wal_spurious)
+committed=$(field "$d/online.json" wal_committed)
+torn=$(field "$d/online.json" wal_torn_appends)
+corrupt=$(field "$d/online.json" wal_corrupt_appends)
+echo "== wal: committed=$committed lost=$lost spurious=$spurious (torn=$torn corrupt=$corrupt)"
+if [[ "$lost" != "0" || "$spurious" != "0" ]]; then
+  echo "FAIL: committed WAL records lost or invented across crash schedules" >&2
+  exit 1
+fi
+if [[ "$torn" == "0" || "$corrupt" == "0" ]]; then
+  echo "FAIL: fault schedules injected no torn/corrupt appends — drill is vacuous" >&2
+  exit 1
+fi
+
+poisoned=$(field "$d/online.json" poisoned)
+blocked=$(field "$d/online.json" poisoned_blocked)
+published=$(field "$d/online.json" published)
+crashes=$(field "$d/online.json" crashes)
+echo "== loop: published=$published poisoned=$poisoned blocked=$blocked crashes=$crashes"
+if [[ "$poisoned" == "0" || "$poisoned" != "$blocked" ]]; then
+  echo "FAIL: a poisoned update was not blocked by the drift gate" >&2
+  exit 1
+fi
+if [[ "$published" == "0" || "$crashes" == "0" ]]; then
+  echo "FAIL: drill did not exercise both publish and crash recovery" >&2
+  exit 1
+fi
+
+availability=$(field "$d/online.json" availability)
+rollback=$(field "$d/online.json" forced_rollback)
+bit_exact=$(field "$d/online.json" rollback_bit_exact)
+echo "== serve: availability=$availability rollback=$rollback bit_exact=$bit_exact"
+ok=$(awk -v a="$availability" 'BEGIN { print (a >= 0.99) ? 1 : 0 }')
+if [[ "$ok" != "1" ]]; then
+  echo "FAIL: fleet availability $availability < 0.99 during the online loop" >&2
+  exit 1
+fi
+if [[ "$rollback" != "1" || "$bit_exact" != "1" ]]; then
+  echo "FAIL: forced probation trip did not roll back to the previous model's bits" >&2
+  exit 1
+fi
+echo "PASS: zero committed records lost, poison gated, fleet available, rollback bit-exact"

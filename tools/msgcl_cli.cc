@@ -8,6 +8,9 @@
 //   recommend  load a checkpoint and print top-K items for one user
 //   serve-bench  drive a request storm through the batched serving subsystem
 //              (DESIGN.md §9) and report QPS + latency percentiles
+//   online-train  crash-safe online training loop drill (DESIGN.md §15):
+//              WAL crash/corruption schedules, drift-gated sessions into a
+//              probed serving swap, and a forced bit-exact rollback
 //
 // Examples:
 //   msgcl generate --preset=toys --scale=0.25 --out=toys.csv
@@ -74,6 +77,19 @@
 // report gains hit_rate, warm/cold p50/p95 and cache counters (used by
 // tools/check_warm_session_drill.sh).
 //
+// Crash-safe online loop (DESIGN.md §15; online-train only):
+//   --dir=path             working directory (WAL, checkpoints, quarantine)
+//   --wal_schedules=20     seeded crash/corruption schedules for the WAL leg
+//   --wal_records=60       committed records per schedule
+//   --torn_rate=0.06 --corrupt_rate=0.10  per-append fault probabilities
+//   --sessions=4           ingest->train->gate->publish sessions to run
+//   --epochs_per_session=2 incremental epochs per session
+//   --poison_sessions=1    sessions whose update is poisoned post-training
+//   --crash_sessions=      sessions that crash between train and publish
+//   --probe_requests=200   serving requests driven after each session
+//   --fault_seed=N         seed for the online fault injector
+//   --json=report.json     flat JSON report (tools/check_online_loop_drill.sh)
+//
 // Architecture flags (--dim, --layers, --heads, --max_len) must match
 // between train and evaluate/recommend; the checkpoint loader verifies
 // shapes and refuses mismatches.
@@ -109,7 +125,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <iterator>
 #include <limits>
 #include <map>
@@ -121,10 +139,12 @@
 
 #include "core/core.h"
 #include "data/data.h"
+#include "data/event_log.h"
 #include "eval/eval.h"
 #include "models/models.h"
 #include "obs/obs.h"
 #include "parallel/parallel.h"
+#include "runtime/online.h"
 #include "serve/serve.h"
 #include "tensor/kernels.h"
 
@@ -869,9 +889,294 @@ int CmdServeBench(const Args& args) {
   return (errors_expected || report.errors == 0) ? 0 : 1;
 }
 
+// ---- online-train: crash-safe online loop drill (DESIGN.md §15) ----------
+
+// Leg 1: seeded WAL crash/corruption schedules. Returns through the out
+// params; `lost` counts committed (OK-returned) records missing from
+// recovery, `spurious` recovered records that were never committed.
+void RunWalSchedules(const std::string& root, int64_t schedules, int64_t records,
+                     double torn_rate, double corrupt_rate, uint64_t fault_seed,
+                     int64_t* committed_total, int64_t* lost, int64_t* spurious,
+                     int64_t* torn, int64_t* corrupt) {
+  for (int64_t schedule = 0; schedule < schedules; ++schedule) {
+    const std::string dir = root + "/wal-sweep-" + std::to_string(schedule);
+    runtime::OnlineFaultPlan plan;
+    plan.seed = fault_seed + static_cast<uint64_t>(schedule);
+    plan.torn_rate = torn_rate;
+    plan.corrupt_rate = corrupt_rate;
+    runtime::OnlineFaultInjector inj(plan);
+
+    std::vector<data::InteractionEvent> committed;
+    int64_t next_ts = 0;
+    // A torn append kills the writer; reopen and continue, like the real loop.
+    for (int lives = 0; lives < 16; ++lives) {
+      data::EventLogWriter w;
+      data::EventLogConfig cfg;
+      cfg.dir = dir;
+      cfg.segment_max_bytes = 3 * data::wal::kFrameBytes;
+      cfg.fault_injector = &inj;
+      if (!w.Open(cfg).ok()) break;
+      while (!w.dead() && static_cast<int64_t>(committed.size()) < records) {
+        data::InteractionEvent e{next_ts % 7, static_cast<int32_t>(next_ts % 11 + 1),
+                                 next_ts};
+        ++next_ts;
+        const Status s = w.Append(e);
+        if (s.ok()) {
+          committed.push_back(e);
+        } else if (!w.dead()) {
+          ++*corrupt;
+        } else {
+          ++*torn;
+        }
+      }
+      if (static_cast<int64_t>(committed.size()) >= records) {
+        if (!w.dead()) (void)w.Close();
+        break;
+      }
+    }
+    *committed_total += static_cast<int64_t>(committed.size());
+
+    auto rec = data::ReadEventLog(dir);
+    if (!rec.ok()) {
+      *lost += static_cast<int64_t>(committed.size());
+      continue;
+    }
+    // Order is preserved, so a two-pointer subsequence walk separates lost
+    // committed records from spurious recovered ones.
+    size_t ci = 0;
+    for (const data::InteractionEvent& got : rec.value().events) {
+      if (ci < committed.size() && got == committed[ci]) {
+        ++ci;
+      } else {
+        ++*spurious;
+      }
+    }
+    *lost += static_cast<int64_t>(committed.size() - ci);
+  }
+}
+
+int CmdOnlineTrain(const Args& args) {
+  const std::string root = args.Get("dir", "/tmp/msgcl_online");
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  // ---- Leg 1: WAL crash/corruption schedules ----
+  const int64_t schedules = args.GetI("wal_schedules", 20);
+  int64_t wal_committed = 0, wal_lost = 0, wal_spurious = 0;
+  int64_t wal_torn = 0, wal_corrupt = 0;
+  RunWalSchedules(root, schedules, args.GetI("wal_records", 60),
+                  args.GetD("torn_rate", 0.06), args.GetD("corrupt_rate", 0.10),
+                  static_cast<uint64_t>(args.GetI("fault_seed", 0xA5A5)),
+                  &wal_committed, &wal_lost, &wal_spurious, &wal_torn, &wal_corrupt);
+  std::printf("wal sweep: %lld schedules, %lld committed, %lld lost, %lld spurious "
+              "(%lld torn, %lld corrupt appends)\n",
+              static_cast<long long>(schedules), static_cast<long long>(wal_committed),
+              static_cast<long long>(wal_lost), static_cast<long long>(wal_spurious),
+              static_cast<long long>(wal_torn), static_cast<long long>(wal_corrupt));
+
+  // ---- Leg 2: full ingest -> train -> gate -> publish loop ----
+  auto log_result = data::GenerateSynthetic(data::TinyDataset(
+      static_cast<uint64_t>(args.GetI("seed", 31))));
+  if (!log_result.ok()) {
+    std::fprintf(stderr, "%s\n", log_result.status().ToString().c_str());
+    return 1;
+  }
+  const data::InteractionLog& log = log_result.value();
+  const data::SequenceDataset ds = data::LeaveOneOutSplit(log);
+
+  runtime::OnlineTrainerConfig cfg;
+  cfg.wal_dir = root + "/wal";
+  cfg.serving_checkpoint = root + "/serving.ckpt";
+  cfg.candidate_checkpoint = root + "/candidate.ckpt";
+  cfg.quarantine_dir = root + "/quarantine";
+  cfg.num_items = log.num_items;
+  cfg.epochs_per_session = args.GetI("epochs_per_session", 2);
+  cfg.telemetry_path = root + "/online.csv";
+  // Floors sit between the trained tiny model (HR@10 > 0.3 after two epochs)
+  // and the near-random ranking a poisoned model produces (~10/60).
+  cfg.drift.min_hr = args.GetD("min_hr", 0.25);
+  cfg.drift.min_hr_frac = args.GetD("min_hr_frac", 0.75);
+  cfg.drift.min_ndcg_frac = args.GetD("min_ndcg_frac", 0.5);
+
+  runtime::OnlineFaultPlan plan;
+  plan.seed = static_cast<uint64_t>(args.GetI("fault_seed", 0xA5A5));
+  plan.poison_update_sessions = ParseStepList(args.Get("poison_sessions", "1"));
+  plan.crash_before_publish_sessions = ParseStepList(args.Get("crash_sessions"));
+  runtime::OnlineFaultInjector inj(plan);
+  cfg.fault_injector = &inj;
+
+  {
+    data::EventLogWriter w;
+    data::EventLogConfig wal_cfg;
+    wal_cfg.dir = cfg.wal_dir;
+    if (Status s = w.Open(wal_cfg); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    int64_t ts = 0;
+    for (size_t u = 0; u < log.sequences.size(); ++u) {
+      for (int32_t item : log.sequences[u]) {
+        if (!w.Append({static_cast<int64_t>(u), item, ts++}).ok()) return 1;
+      }
+    }
+    if (!w.Close().ok()) return 1;
+  }
+
+  models::BackboneConfig backbone;
+  backbone.num_items = ds.num_items;
+  backbone.max_len = args.GetI("max_len", 12);
+  backbone.dim = args.GetI("dim", 16);
+  backbone.heads = args.GetI("heads", 2);
+  backbone.layers = args.GetI("layers", 1);
+  backbone.dropout = 0.1f;
+  models::TrainConfig base;
+  base.epochs = 2;  // overridden per session
+  base.batch_size = 64;
+  base.max_len = backbone.max_len;
+  base.lr = static_cast<float>(args.GetD("lr", 3e-3));
+  base.seed = static_cast<uint64_t>(args.GetI("seed", 31)) * 31 + 7;
+
+  models::SasRec replica(backbone, base, Rng(5));
+  models::SasRec slot_a(backbone, base, Rng(41));
+  models::SasRec slot_b(backbone, base, Rng(42));
+
+  serve::SwapConfig swap_cfg;
+  swap_cfg.k = args.GetI("k", 10);
+  swap_cfg.max_len = backbone.max_len;
+  for (int32_t u = 0; u < std::min<int32_t>(4, ds.num_users()); ++u) {
+    swap_cfg.golden.histories.push_back(ds.ValidInput(u));
+    swap_cfg.golden.targets.push_back(ds.valid_targets[u]);
+  }
+  serve::SwappableRanker swapper({&slot_a, &slot_a}, {&slot_b, &slot_b},
+                                 ds.num_items, swap_cfg);
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.k = swap_cfg.k;
+  serve_cfg.max_len = backbone.max_len;
+  serve_cfg.max_batch = 8;
+  serve_cfg.max_wait_us = 200;
+  serve_cfg.num_workers = 2;
+  serve::MicroBatcher batcher(swapper, ds.num_items, serve_cfg);
+
+  serve::ProbationConfig probation;
+  probation.window_us = args.GetI("probation_us", 2000);
+  probation.check_interval_us = 500;
+  serve::PublishController publisher(swapper, probation, nullptr, &batcher);
+
+  runtime::OnlineTrainer trainer(
+      replica, replica,
+      [&replica](const data::SequenceDataset& d, const models::TrainConfig& c) {
+        return replica.FitWith(d, c);
+      },
+      base, cfg, &publisher);
+
+  const int64_t sessions = args.GetI("sessions", 4);
+  const int64_t probe_requests = args.GetI("probe_requests", 200);
+  int64_t probe_ok = 0, probe_degraded = 0, probe_errors = 0;
+  for (int64_t s = 0; s < sessions; ++s) {
+    const Status status = trainer.RunSession();
+    if (!status.ok()) {
+      // An injected crash-between-train-and-publish is the drill exercising
+      // restart recovery; anything else is a real failure.
+      if (plan.crash_before_publish_sessions.count(s) == 0) {
+        std::fprintf(stderr, "session %lld failed: %s\n", static_cast<long long>(s),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("session %lld: injected crash before publish (restarting)\n",
+                  static_cast<long long>(s));
+      continue;
+    }
+    // Probe the fleet: every published (or kept) model must keep serving.
+    std::vector<std::future<Result<serve::Response>>> futures;
+    futures.reserve(static_cast<size_t>(probe_requests));
+    for (int64_t r = 0; r < probe_requests; ++r) {
+      serve::RecommendRequest req;
+      req.history = ds.ValidInput(static_cast<int32_t>(r) % ds.num_users());
+      futures.push_back(batcher.Submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      auto resp = f.get();
+      if (!resp.ok()) ++probe_errors;
+      else if (resp.value().degraded) ++probe_degraded;
+      else ++probe_ok;
+    }
+  }
+  const runtime::OnlineLoopStats& stats = trainer.stats();
+  const int64_t probed = probe_ok + probe_degraded + probe_errors;
+  const double availability =
+      probed == 0 ? 0.0 : static_cast<double>(probe_ok) / static_cast<double>(probed);
+
+  // ---- Leg 3: forced probation trip -> bit-exact rollback ----
+  serve::ProbationConfig trip_cfg;
+  trip_cfg.window_us = 60'000'000;  // the trip always fires long before this
+  trip_cfg.check_interval_us = 200;
+  serve::PublishController tripper(swapper, trip_cfg, nullptr, &batcher);
+  tripper.SetExtraTrip([](std::string* why) {
+    *why = "drill: forced probation trip";
+    return true;
+  });
+  const serve::PublishOutcome rollback = tripper.PublishAndProbe(replica);
+  std::printf("forced rollback: rolled_back=%d bit_exact=%d (%s)\n",
+              rollback.rolled_back ? 1 : 0, rollback.bit_exact ? 1 : 0,
+              rollback.reason.c_str());
+
+  std::printf("online loop: %lld sessions, %lld published, %lld quarantined, "
+              "%lld poisoned (%lld blocked), %lld crashes; availability %.4f\n",
+              static_cast<long long>(stats.sessions),
+              static_cast<long long>(stats.published),
+              static_cast<long long>(stats.quarantined),
+              static_cast<long long>(stats.poisoned),
+              static_cast<long long>(stats.poisoned_blocked),
+              static_cast<long long>(stats.crashes), availability);
+
+  const std::string json_path = args.Get("json");
+  if (!json_path.empty()) {
+    obs::JsonWriter json;
+    json.BeginObject();
+    json.Key("wal_schedules"); json.Int(schedules);
+    json.Key("wal_committed"); json.Int(wal_committed);
+    json.Key("wal_lost"); json.Int(wal_lost);
+    json.Key("wal_spurious"); json.Int(wal_spurious);
+    json.Key("wal_torn_appends"); json.Int(wal_torn);
+    json.Key("wal_corrupt_appends"); json.Int(wal_corrupt);
+    json.Key("sessions"); json.Int(stats.sessions);
+    json.Key("trained"); json.Int(stats.trained);
+    json.Key("published"); json.Int(stats.published);
+    json.Key("quarantined"); json.Int(stats.quarantined);
+    json.Key("publish_rejected"); json.Int(stats.publish_rejected);
+    json.Key("poisoned"); json.Int(stats.poisoned);
+    json.Key("poisoned_blocked"); json.Int(stats.poisoned_blocked);
+    json.Key("crashes"); json.Int(stats.crashes);
+    json.Key("events_consumed"); json.Int(stats.events_consumed);
+    json.Key("swaps"); json.Int(swapper.swaps());
+    json.Key("probe_requests"); json.Int(probed);
+    json.Key("probe_ok"); json.Int(probe_ok);
+    json.Key("probe_degraded"); json.Int(probe_degraded);
+    json.Key("probe_errors"); json.Int(probe_errors);
+    json.Key("availability"); json.Double(availability);
+    json.Key("forced_rollback"); json.Int(rollback.rolled_back ? 1 : 0);
+    json.Key("rollback_bit_exact"); json.Int(rollback.bit_exact ? 1 : 0);
+    json.EndObject();
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json.Take() << "\n";
+  }
+
+  if (wal_lost != 0 || wal_spurious != 0) return 1;
+  if (stats.poisoned != stats.poisoned_blocked) return 1;
+  if (availability < 0.99) return 1;
+  if (!rollback.rolled_back || !rollback.bit_exact) return 1;
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: msgcl <generate|train|evaluate|recommend|serve-bench> [--flags]\n"
+               "usage: msgcl <generate|train|evaluate|recommend|serve-bench|online-train>"
+               " [--flags]\n"
                "see the header of tools/msgcl_cli.cc for examples\n");
   return 2;
 }
@@ -892,5 +1197,6 @@ int main(int argc, char** argv) {
   if (cmd == "evaluate") return CmdEvaluate(args);
   if (cmd == "recommend") return CmdRecommend(args);
   if (cmd == "serve-bench") return CmdServeBench(args);
+  if (cmd == "online-train") return CmdOnlineTrain(args);
   return Usage();
 }
